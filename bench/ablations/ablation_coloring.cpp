@@ -1,0 +1,53 @@
+// Ablation: block colouring — the OP2 plan machinery that lets indirect
+// increment loops run without atomics.  Reports colour counts across
+// block sizes on the real Airfoil mesh, plan-construction cost, and the
+// parallel-efficiency consequence on the virtual node (more colours =
+// more synchronisation points per loop).
+#include <chrono>
+#include <cstdio>
+
+#include "figure_common.hpp"
+
+int main() {
+  figures::print_header(
+      "Ablation: block colouring of the res_calc loop",
+      "colour structure and cost as a function of plan block size");
+
+  op2::init({op2::backend::seq, 1, 128, 0});
+  auto s = airfoil::make_sim(airfoil::generate_mesh({400, 100}));
+  const std::vector<op2::plan_indirection> conflicts{
+      {s.pecell, 0, s.p_res.id()}, {s.pecell, 1, s.p_res.id()}};
+
+  std::printf("%12s %10s %10s %14s %16s\n", "block_size", "nblocks",
+              "ncolors", "max_blk/color", "plan_build_ms");
+  for (const int bs : {16, 32, 64, 128, 256, 512, 1024}) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto plan = op2::build_plan(s.edges, bs, conflicts);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    std::size_t max_blocks = 0;
+    for (const auto& c : plan.color_blocks) {
+      max_blocks = std::max(max_blocks, c.size());
+    }
+    std::printf("%12d %10d %10d %14zu %16.3f\n", bs, plan.nblocks,
+                plan.ncolors, max_blocks, ms);
+  }
+
+  // The scheduling consequence: simulate the dataflow method at 32
+  // threads with shapes built at different block sizes.
+  std::printf("\n[sim] dataflow at 32 threads, ms/iter by block size\n");
+  static const simsched::machine_model machine{};
+  static const simsched::overhead_model overheads{};
+  auto costs = airfoil::measure_kernel_costs(s, 1);
+  airfoil::reset_solution(s);
+  std::printf("%12s %12s\n", "block_size", "ms/iter");
+  for (const int bs : {32, 128, 512}) {
+    const auto shape = airfoil::extract_shape(s, costs, bs, 2);
+    const double us = simsched::simulate_airfoil(
+        shape, simsched::method::hpx_dataflow, 32, machine, overheads);
+    std::printf("%12d %12.3f\n", bs, us / 1000.0 / 2.0);
+  }
+  op2::finalize();
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation: the hyper-threading throughput parameter of the virtual
+// machine model.  The paper's node has HT "enabled after 16 threads";
+// the knee in every figure depends on how much an extra hardware thread
+// is worth.  This sweep shows the reproduced 32-thread results are not
+// an artefact of one magic value.
+#include <cstdio>
+
+#include "figure_common.hpp"
+
+int main() {
+  figures::print_header(
+      "Ablation: hyper-threading throughput factor",
+      "[sim] 32-thread time (ms/iter) and dataflow-vs-omp gain as the "
+      "per-HT-thread throughput varies");
+  const auto shape = figures::make_shape({});
+  static const simsched::overhead_model overheads{};
+
+  std::printf("%10s %12s %12s %12s %14s\n", "ht_factor", "omp@32",
+              "async@32", "dflow@32", "dflow gain");
+  for (const double ht : {0.0, 0.15, 0.30, 0.50, 1.0}) {
+    simsched::machine_model machine;
+    machine.ht_throughput = ht;
+    const auto ms = [&](simsched::method m) {
+      return simsched::simulate_airfoil(shape, m, 32, machine, overheads) /
+             1000.0 / figures::sim_iters;
+    };
+    const double omp = ms(simsched::method::omp_forkjoin);
+    const double as = ms(simsched::method::hpx_async);
+    const double df = ms(simsched::method::hpx_dataflow);
+    std::printf("%10.2f %12.3f %12.3f %12.3f %+13.1f%%\n", ht, omp, as, df,
+                (omp / df - 1.0) * 100.0);
+  }
+
+  std::printf("\n16 vs 32 threads (omp, ms/iter) — the knee:\n");
+  std::printf("%10s %12s %12s\n", "ht_factor", "omp@16", "omp@32");
+  for (const double ht : {0.0, 0.30, 1.0}) {
+    simsched::machine_model machine;
+    machine.ht_throughput = ht;
+    const double t16 =
+        simsched::simulate_airfoil(shape, simsched::method::omp_forkjoin, 16,
+                                   machine, overheads) /
+        1000.0 / figures::sim_iters;
+    const double t32 =
+        simsched::simulate_airfoil(shape, simsched::method::omp_forkjoin, 32,
+                                   machine, overheads) /
+        1000.0 / figures::sim_iters;
+    std::printf("%10.2f %12.3f %12.3f\n", ht, t16, t32);
+  }
+  return 0;
+}

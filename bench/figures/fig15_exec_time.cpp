@@ -1,0 +1,73 @@
+// Figure 15: execution time of the Airfoil application under
+// `#pragma omp parallel for`, for_each, async and dataflow, versus
+// thread count.  The paper's observation: all methods tie at 1 thread;
+// async and dataflow pull ahead as threads grow.
+//
+// Output: one row per thread count, simulated ms/iteration per method,
+// followed by a real-execution cross-check on this machine.
+#include "figure_common.hpp"
+
+namespace {
+
+void real_execution_check() {
+  std::printf("\n[real] Airfoil on this machine (small mesh, wall ms/iter; "
+              "thread counts beyond the local core count oversubscribe)\n");
+  const airfoil::mesh_params mp{96, 24};
+  constexpr int iters = 5;
+  std::printf("%8s %16s %16s %16s %16s\n", "threads", "omp(forkjoin)",
+              "for_each", "async", "dataflow");
+  for (const unsigned t : {1u, 2u, 4u}) {
+    double fj = 0.0;
+    double fe = 0.0;
+    double as = 0.0;
+    double df = 0.0;
+    {
+      op2::init({op2::backend::forkjoin, t, 128, 0});
+      auto s = airfoil::make_sim(airfoil::generate_mesh(mp));
+      fj = airfoil::run_classic(s, iters).seconds;
+    }
+    {
+      op2::init({op2::backend::hpx_foreach, t, 128, 0});
+      auto s = airfoil::make_sim(airfoil::generate_mesh(mp));
+      fe = airfoil::run_classic(s, iters).seconds;
+    }
+    {
+      op2::init({op2::backend::hpx_async, t, 128, 0});
+      auto s = airfoil::make_sim(airfoil::generate_mesh(mp));
+      as = airfoil::run_async(s, iters).seconds;
+    }
+    {
+      op2::init({op2::backend::hpx_dataflow, t, 128, 0});
+      auto s = airfoil::make_sim(airfoil::generate_mesh(mp));
+      df = airfoil::run_dataflow(s, iters).seconds;
+    }
+    op2::finalize();
+    const double scale = 1000.0 / iters;
+    std::printf("%8u %16.2f %16.2f %16.2f %16.2f\n", t, fj * scale,
+                fe * scale, as * scale, df * scale);
+  }
+}
+
+}  // namespace
+
+int main() {
+  figures::print_header(
+      "Figure 15: Airfoil execution time vs threads",
+      "[sim] virtual 16-core+HT node, ms per iteration (lower is better)");
+  const auto shape = figures::make_shape({});
+  figures::print_series_header(
+      {"omp", "for_each", "async", "dataflow"});
+  for (const unsigned t : figures::paper_threads) {
+    std::printf("%8u %16.3f %16.3f %16.3f %16.3f\n", t,
+                figures::sim_ms_per_iter(shape,
+                                         simsched::method::omp_forkjoin, t),
+                figures::sim_ms_per_iter(
+                    shape, simsched::method::hpx_foreach_auto, t),
+                figures::sim_ms_per_iter(shape, simsched::method::hpx_async,
+                                         t),
+                figures::sim_ms_per_iter(shape,
+                                         simsched::method::hpx_dataflow, t));
+  }
+  real_execution_check();
+  return 0;
+}

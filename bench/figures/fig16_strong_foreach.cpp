@@ -1,0 +1,36 @@
+// Figure 16: strong scaling of `#pragma omp parallel for` vs
+// for_each(par) with auto-determined chunk size vs for_each(par) with a
+// static chunk size for the large loops.
+//
+// Expected shape (paper): static chunking beats the auto-partitioner
+// (whose ~1% sequential probe hurts large loops), and OpenMP still
+// performs best of the three fork-join variants.
+#include "figure_common.hpp"
+
+int main() {
+  figures::print_header(
+      "Figure 16: strong scaling, omp vs for_each(auto) vs "
+      "for_each(static chunk)",
+      "[sim] speedup relative to 1 thread (higher is better)");
+  const auto shape = figures::make_shape({});
+  const double omp1 =
+      figures::sim_ms_per_iter(shape, simsched::method::omp_forkjoin, 1);
+  const double fa1 =
+      figures::sim_ms_per_iter(shape, simsched::method::hpx_foreach_auto, 1);
+  const double fs1 = figures::sim_ms_per_iter(
+      shape, simsched::method::hpx_foreach_static, 1);
+  figures::print_series_header({"omp", "foreach_auto", "foreach_static"});
+  for (const unsigned t : figures::paper_threads) {
+    const double omp =
+        figures::sim_ms_per_iter(shape, simsched::method::omp_forkjoin, t);
+    const double fa = figures::sim_ms_per_iter(
+        shape, simsched::method::hpx_foreach_auto, t);
+    const double fs = figures::sim_ms_per_iter(
+        shape, simsched::method::hpx_foreach_static, t);
+    std::printf("%8u %16.2f %16.2f %16.2f\n", t, omp1 / omp, fa1 / fa,
+                fs1 / fs);
+  }
+  std::printf("\nexpected shape: static > auto; omp >= both for_each "
+              "variants at 32 threads\n");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Figure 17: strong scaling of `#pragma omp parallel for` vs async with
+// for_each(par(task)) — §III-A2.  Paper headline: ~5% scalability
+// improvement at 32 threads from asynchronous task execution.
+#include "figure_common.hpp"
+
+int main() {
+  figures::print_header(
+      "Figure 17: strong scaling, omp vs async+for_each(par(task))",
+      "[sim] speedup relative to 1 thread (higher is better)");
+  const auto shape = figures::make_shape({});
+  const double omp1 =
+      figures::sim_ms_per_iter(shape, simsched::method::omp_forkjoin, 1);
+  const double as1 =
+      figures::sim_ms_per_iter(shape, simsched::method::hpx_async, 1);
+  figures::print_series_header({"omp", "async"});
+  double omp32 = 0.0;
+  double as32 = 0.0;
+  for (const unsigned t : figures::paper_threads) {
+    const double omp =
+        figures::sim_ms_per_iter(shape, simsched::method::omp_forkjoin, t);
+    const double as =
+        figures::sim_ms_per_iter(shape, simsched::method::hpx_async, t);
+    if (t == 32) {
+      omp32 = omp;
+      as32 = as;
+    }
+    std::printf("%8u %16.2f %16.2f\n", t, omp1 / omp, as1 / as);
+  }
+  std::printf("\nasync improvement over omp at 32 threads: %+.1f%% "
+              "(paper: ~5%%)\n",
+              (omp32 / as32 - 1.0) * 100.0);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 19: weak scaling efficiency of all four methods — the problem
+// size grows in proportion to the thread count; efficiency is
+// time(1 thread, base problem) / time(N threads, N x base problem).
+//
+// Paper shape: dataflow best ("perfect overlap of computation with
+// communication"), async next, for_each ~ omp; the hyper-threading knee
+// appears past 16 threads for everyone.
+#include "figure_common.hpp"
+
+namespace {
+
+simsched::airfoil_shape shape_with_cells(int cells, int block_size) {
+  op2::init({op2::backend::seq, 1, block_size, 0});
+  auto sim =
+      airfoil::make_sim(airfoil::generate_mesh_with_cells(cells));
+  auto shape = airfoil::extract_shape(sim, airfoil::nominal_kernel_costs(),
+                                      block_size, figures::sim_iters);
+  op2::finalize();
+  return shape;
+}
+
+}  // namespace
+
+int main() {
+  figures::print_header(
+      "Figure 19: weak scaling efficiency, all methods",
+      "[sim] efficiency = t(1 thread, base) / t(N threads, N x base); "
+      "1.0 = perfect");
+  // Per-thread slice chosen so the 32-thread weak problem equals the
+  // strong-scaling problem (400x100 = 40k cells): same operating point,
+  // comparable overhead-to-work ratio.
+  constexpr int base_cells = 1250;
+  constexpr int block_size = 128;
+
+  const auto base_shape = shape_with_cells(base_cells, block_size);
+  const double base_omp = figures::sim_ms_per_iter(
+      base_shape, simsched::method::omp_forkjoin, 1);
+  const double base_fe = figures::sim_ms_per_iter(
+      base_shape, simsched::method::hpx_foreach_auto, 1);
+  const double base_as =
+      figures::sim_ms_per_iter(base_shape, simsched::method::hpx_async, 1);
+  const double base_df = figures::sim_ms_per_iter(
+      base_shape, simsched::method::hpx_dataflow, 1);
+
+  figures::print_series_header({"omp", "for_each", "async", "dataflow"});
+  for (const unsigned t : figures::paper_threads) {
+    const auto shape =
+        shape_with_cells(base_cells * static_cast<int>(t), block_size);
+    const double omp = figures::sim_ms_per_iter(
+        shape, simsched::method::omp_forkjoin, t);
+    const double fe = figures::sim_ms_per_iter(
+        shape, simsched::method::hpx_foreach_auto, t);
+    const double as =
+        figures::sim_ms_per_iter(shape, simsched::method::hpx_async, t);
+    const double df =
+        figures::sim_ms_per_iter(shape, simsched::method::hpx_dataflow, t);
+    std::printf("%8u %16.3f %16.3f %16.3f %16.3f\n", t, base_omp / omp,
+                base_fe / fe, base_as / as, base_df / df);
+  }
+  std::printf("\nexpected shape: dataflow > async > for_each ~ omp; knee "
+              "past 16 threads (hyper-threading)\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Shared scaffolding for the figure-reproduction harnesses (Figs 15-19
+// of the paper).
+//
+// Every harness combines two measurements:
+//   [real]  the actual runtime executing the actual Airfoil code on
+//           this machine's threads (meaningful up to the local core
+//           count; this box may have only one core)
+//   [sim]   the virtual 16-core/32-thread Xeon node (simsched), driven
+//           by the real OP2 plans and kernel costs measured here —
+//           reproducing the paper's scaling envelope per DESIGN.md's
+//           substitution table
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "airfoil/airfoil.hpp"
+#include "airfoil/model_adapter.hpp"
+#include "simsched/simsched.hpp"
+
+namespace figures {
+
+/// Thread counts of the paper's x axis.
+inline const std::vector<unsigned> paper_threads{1, 2, 4, 8, 16, 24, 32};
+
+/// Iterations used for the simulated runs (the paper runs 1000; the
+/// schedule shape is periodic, so a few periods suffice and each row
+/// reports time *per iteration*).
+inline constexpr int sim_iters = 3;
+
+struct figure_config {
+  int imax = 400;
+  int jmax = 100;
+  int block_size = 128;
+};
+
+/// Builds the simulated-Airfoil shape: real mesh, real plans, nominal
+/// per-element kernel costs (2012-Xeon magnitudes — the simulator's
+/// calibrated operating point; see DESIGN.md §6).  Kernel costs
+/// measured on *this* machine are printed alongside for transparency:
+/// the figure ratios are properties of the work-to-overhead ratio, so
+/// pinning the costs keeps the reproduction deterministic and at the
+/// paper's scale.
+inline simsched::airfoil_shape make_shape(const figure_config& cfg) {
+  op2::init({op2::backend::seq, 1, cfg.block_size, 0});
+  auto sim = airfoil::make_sim(
+      airfoil::generate_mesh({cfg.imax, cfg.jmax}));
+  const auto local = airfoil::measure_kernel_costs(sim, 2);
+  airfoil::reset_solution(sim);
+  const auto costs = airfoil::nominal_kernel_costs();
+  std::printf("kernel us/elem (save/adt/res/bres/update): "
+              "model %.3f/%.3f/%.3f/%.3f/%.3f, this machine "
+              "%.3f/%.3f/%.3f/%.3f/%.3f\n",
+              costs.save, costs.adt, costs.res, costs.bres, costs.update,
+              local.save, local.adt, local.res, local.bres, local.update);
+  auto shape = airfoil::extract_shape(sim, costs, cfg.block_size, sim_iters);
+  op2::finalize();
+  return shape;
+}
+
+/// Simulated execution time per iteration, in milliseconds.
+inline double sim_ms_per_iter(const simsched::airfoil_shape& shape,
+                              simsched::method m, unsigned threads) {
+  static const simsched::machine_model machine{};
+  static const simsched::overhead_model overheads{};
+  const double us =
+      simsched::simulate_airfoil(shape, m, threads, machine, overheads);
+  return us / 1000.0 / static_cast<double>(shape.niter);
+}
+
+inline void print_header(const char* title, const char* note) {
+  std::printf("\n=== %s ===\n", title);
+  std::printf("%s\n", note);
+}
+
+inline void print_series_header(const std::vector<std::string>& names) {
+  std::printf("%8s", "threads");
+  for (const auto& n : names) {
+    std::printf(" %16s", n.c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace figures

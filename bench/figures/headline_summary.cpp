@@ -1,0 +1,42 @@
+// The paper's headline numbers (abstract / §IV / §V), reproduced in one
+// table: 1-thread parity of HPX and OpenMP, ~5% improvement from async,
+// ~21% improvement from dataflow at 32 threads.
+#include "figure_common.hpp"
+
+int main() {
+  figures::print_header("Headline summary: paper claims vs this reproduction",
+                        "[sim] virtual 16-core+HT node; Airfoil, real plans + "
+                        "calibrated kernel costs (DESIGN.md \u00a76)");
+  const auto shape = figures::make_shape({});
+
+  const auto t = [&](simsched::method m, unsigned n) {
+    return figures::sim_ms_per_iter(shape, m, n);
+  };
+  using simsched::method;
+
+  const double omp1 = t(method::omp_forkjoin, 1);
+  const double fe1 = t(method::hpx_foreach_auto, 1);
+  const double as1 = t(method::hpx_async, 1);
+  const double df1 = t(method::hpx_dataflow, 1);
+  const double omp32 = t(method::omp_forkjoin, 32);
+  const double as32 = t(method::hpx_async, 32);
+  const double df32 = t(method::hpx_dataflow, 32);
+
+  std::printf("%-52s %12s %12s\n", "claim", "paper", "measured");
+  std::printf("%-52s %12s %11.1f%%\n",
+              "1-thread parity: for_each vs omp (time delta)", "~0%",
+              (fe1 / omp1 - 1.0) * 100.0);
+  std::printf("%-52s %12s %11.1f%%\n",
+              "1-thread parity: async vs omp (time delta)", "~0%",
+              (as1 / omp1 - 1.0) * 100.0);
+  std::printf("%-52s %12s %11.1f%%\n",
+              "1-thread parity: dataflow vs omp (time delta)", "~0%",
+              (df1 / omp1 - 1.0) * 100.0);
+  std::printf("%-52s %12s %11.1f%%\n",
+              "async improvement over omp at 32 threads", "~5%",
+              (omp32 / as32 - 1.0) * 100.0);
+  std::printf("%-52s %12s %11.1f%%\n",
+              "dataflow improvement over omp at 32 threads", "~21%",
+              (omp32 / df32 - 1.0) * 100.0);
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Per-loop breakdown of the Airfoil iteration — the table OP2's own
+// reporting prints (time share per op_par_loop).  Real execution on
+// this machine plus the simulated 32-thread split, showing where the
+// time goes (res_calc dominates) and how the methods shift it.
+#include <chrono>
+#include <cstdio>
+
+#include "figure_common.hpp"
+
+namespace {
+
+struct loop_times {
+  double save = 0.0;
+  double adt = 0.0;
+  double res = 0.0;
+  double bres = 0.0;
+  double update = 0.0;
+
+  double total() const { return save + adt + res + bres + update; }
+};
+
+/// Measures each loop by running the solver with per-loop timing: we
+/// time the five loops of one classic iteration directly.
+loop_times measure_real(airfoil::sim& s, int iters) {
+  using clock = std::chrono::steady_clock;
+  using namespace op2;
+  loop_times t;
+  const auto span = [](clock::time_point a) {
+    return std::chrono::duration<double, std::milli>(clock::now() - a)
+        .count();
+  };
+  for (int iter = 0; iter < iters; ++iter) {
+    auto t0 = clock::now();
+    op_par_loop(airfoil::save_soln, "save_soln", s.cells,
+                op_arg_dat<double>(s.p_q, -1, OP_ID, 4, OP_READ),
+                op_arg_dat<double>(s.p_qold, -1, OP_ID, 4, OP_WRITE));
+    t.save += span(t0);
+    double rms = 0.0;
+    for (int k = 0; k < 2; ++k) {
+      t0 = clock::now();
+      op_par_loop(airfoil::adt_calc, "adt_calc", s.cells,
+                  op_arg_dat<double>(s.p_x, 0, s.pcell, 2, OP_READ),
+                  op_arg_dat<double>(s.p_x, 1, s.pcell, 2, OP_READ),
+                  op_arg_dat<double>(s.p_x, 2, s.pcell, 2, OP_READ),
+                  op_arg_dat<double>(s.p_x, 3, s.pcell, 2, OP_READ),
+                  op_arg_dat<double>(s.p_q, -1, OP_ID, 4, OP_READ),
+                  op_arg_dat<double>(s.p_adt, -1, OP_ID, 1, OP_WRITE));
+      t.adt += span(t0);
+      t0 = clock::now();
+      op_par_loop(airfoil::res_calc, "res_calc", s.edges,
+                  op_arg_dat<double>(s.p_x, 0, s.pedge, 2, OP_READ),
+                  op_arg_dat<double>(s.p_x, 1, s.pedge, 2, OP_READ),
+                  op_arg_dat<double>(s.p_q, 0, s.pecell, 4, OP_READ),
+                  op_arg_dat<double>(s.p_q, 1, s.pecell, 4, OP_READ),
+                  op_arg_dat<double>(s.p_adt, 0, s.pecell, 1, OP_READ),
+                  op_arg_dat<double>(s.p_adt, 1, s.pecell, 1, OP_READ),
+                  op_arg_dat<double>(s.p_res, 0, s.pecell, 4, OP_INC),
+                  op_arg_dat<double>(s.p_res, 1, s.pecell, 4, OP_INC));
+      t.res += span(t0);
+      t0 = clock::now();
+      op_par_loop(airfoil::bres_calc, "bres_calc", s.bedges,
+                  op_arg_dat<double>(s.p_x, 0, s.pbedge, 2, OP_READ),
+                  op_arg_dat<double>(s.p_x, 1, s.pbedge, 2, OP_READ),
+                  op_arg_dat<double>(s.p_q, 0, s.pbecell, 4, OP_READ),
+                  op_arg_dat<double>(s.p_adt, 0, s.pbecell, 1, OP_READ),
+                  op_arg_dat<double>(s.p_res, 0, s.pbecell, 4, OP_INC),
+                  op_arg_dat<int>(s.p_bound, -1, OP_ID, 1, OP_READ));
+      t.bres += span(t0);
+      t0 = clock::now();
+      op_par_loop(airfoil::update, "update", s.cells,
+                  op_arg_dat<double>(s.p_qold, -1, OP_ID, 4, OP_READ),
+                  op_arg_dat<double>(s.p_q, -1, OP_ID, 4, OP_WRITE),
+                  op_arg_dat<double>(s.p_res, -1, OP_ID, 4, OP_RW),
+                  op_arg_dat<double>(s.p_adt, -1, OP_ID, 1, OP_READ),
+                  op_arg_gbl<double>(&rms, 1, OP_INC));
+      t.update += span(t0);
+    }
+  }
+  return t;
+}
+
+void print_row(const char* name, double ms, double total) {
+  std::printf("%12s %10.2f %9.1f%%\n", name, ms, 100.0 * ms / total);
+}
+
+}  // namespace
+
+int main() {
+  figures::print_header("Loop breakdown: where the Airfoil iteration goes",
+                        "[real] classic API, forkjoin backend, this machine");
+  op2::init({op2::backend::forkjoin, 2, 128, 0});
+  auto s = airfoil::make_sim(airfoil::generate_mesh({200, 50}));
+  constexpr int iters = 10;
+  const auto t = measure_real(s, iters);
+  op2::finalize();
+  std::printf("%12s %10s %10s   (%d iterations, 2 stages each)\n", "loop",
+              "ms", "share", iters);
+  print_row("save_soln", t.save, t.total());
+  print_row("adt_calc", t.adt, t.total());
+  print_row("res_calc", t.res, t.total());
+  print_row("bres_calc", t.bres, t.total());
+  print_row("update", t.update, t.total());
+  std::printf("%12s %10.2f\n", "total", t.total());
+
+  std::printf("\n[sim] share of kernel work at the model's calibrated "
+              "costs\n");
+  const auto shape = figures::make_shape({});
+  const double save = shape.save.total_cost_us();
+  const double adt = 2 * shape.adt.total_cost_us();
+  const double res = 2 * shape.res.total_cost_us();
+  const double bres = 2 * shape.bres.total_cost_us();
+  const double update = 2 * shape.update.total_cost_us();
+  const double total = save + adt + res + bres + update;
+  std::printf("%12s %9.1f%%\n", "save_soln", 100.0 * save / total);
+  std::printf("%12s %9.1f%%\n", "adt_calc", 100.0 * adt / total);
+  std::printf("%12s %9.1f%%\n", "res_calc", 100.0 * res / total);
+  std::printf("%12s %9.1f%%\n", "bres_calc", 100.0 * bres / total);
+  std::printf("%12s %9.1f%%\n", "update", 100.0 * update / total);
+  return 0;
+}

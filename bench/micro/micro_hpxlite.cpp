@@ -1,0 +1,133 @@
+// Microbenchmarks of the hpxlite runtime primitives the paper's
+// comparison hinges on: future creation/continuation cost, async task
+// spawn, dataflow node activation, and the fork-join team's barrier.
+// These are the measured counterparts of the simulator's overhead_model
+// constants.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <vector>
+
+#include "hpxlite/hpxlite.hpp"
+
+namespace {
+
+void BM_FutureMakeReady(benchmark::State& state) {
+  for (auto _ : state) {
+    auto f = hpxlite::make_ready_future(42);
+    benchmark::DoNotOptimize(f.get());
+  }
+}
+BENCHMARK(BM_FutureMakeReady);
+
+void BM_PromiseSetGet(benchmark::State& state) {
+  for (auto _ : state) {
+    hpxlite::promise<int> p;
+    auto f = p.get_future();
+    p.set_value(7);
+    benchmark::DoNotOptimize(f.get());
+  }
+}
+BENCHMARK(BM_PromiseSetGet);
+
+void BM_FutureThenChain(benchmark::State& state) {
+  hpxlite::runtime_guard guard(2);
+  const int depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto f = hpxlite::make_ready_future(0);
+    for (int i = 0; i < depth; ++i) {
+      f = f.then([](hpxlite::future<int>&& r) { return r.get() + 1; });
+    }
+    benchmark::DoNotOptimize(f.get());
+  }
+  state.SetItemsProcessed(state.iterations() * depth);
+}
+BENCHMARK(BM_FutureThenChain)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_AsyncSpawnAndGet(benchmark::State& state) {
+  hpxlite::runtime_guard guard(2);
+  for (auto _ : state) {
+    auto f = hpxlite::async([] { return 1; });
+    benchmark::DoNotOptimize(f.get());
+  }
+}
+BENCHMARK(BM_AsyncSpawnAndGet);
+
+void BM_DataflowNode(benchmark::State& state) {
+  hpxlite::runtime_guard guard(2);
+  for (auto _ : state) {
+    auto a = hpxlite::make_ready_future(1);
+    auto b = hpxlite::make_ready_future(2);
+    auto f = hpxlite::dataflow(
+        hpxlite::unwrapping([](int x, int y) { return x + y; }),
+        std::move(a), std::move(b));
+    benchmark::DoNotOptimize(f.get());
+  }
+}
+BENCHMARK(BM_DataflowNode);
+
+void BM_SchedulerSubmitDrain(benchmark::State& state) {
+  hpxlite::runtime_guard guard(2);
+  const int tasks = static_cast<int>(state.range(0));
+  std::atomic<int> count{0};
+  for (auto _ : state) {
+    count = 0;
+    for (int i = 0; i < tasks; ++i) {
+      hpxlite::runtime::get().submit(
+          [&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    hpxlite::runtime::get().wait_idle();
+  }
+  state.SetItemsProcessed(state.iterations() * tasks);
+}
+BENCHMARK(BM_SchedulerSubmitDrain)->Arg(64)->Arg(1024);
+
+void BM_ForEachParallel(benchmark::State& state) {
+  hpxlite::runtime_guard guard(2);
+  const int n = static_cast<int>(state.range(0));
+  std::vector<double> data(static_cast<std::size_t>(n), 1.0);
+  for (auto _ : state) {
+    hpxlite::parallel::for_each(
+        hpxlite::par.with(hpxlite::static_chunk_size(256)), data.begin(),
+        data.end(), [](double& x) { x *= 1.000001; });
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ForEachParallel)->Arg(1024)->Arg(65536);
+
+void BM_ForEachTaskPolicy(benchmark::State& state) {
+  hpxlite::runtime_guard guard(2);
+  const int n = static_cast<int>(state.range(0));
+  std::vector<double> data(static_cast<std::size_t>(n), 1.0);
+  for (auto _ : state) {
+    auto f = hpxlite::parallel::for_each(
+        hpxlite::par(hpxlite::task).with(hpxlite::static_chunk_size(256)),
+        data.begin(), data.end(), [](double& x) { x *= 1.000001; });
+    f.get();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ForEachTaskPolicy)->Arg(65536);
+
+// The cost the paper blames: one full fork-join episode (implicit
+// global barrier) on the OpenMP-style team.
+void BM_ForkJoinBarrier(benchmark::State& state) {
+  hpxlite::fork_join_team team(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    team.parallel_for(0, [](std::size_t, std::size_t) {});
+  }
+}
+BENCHMARK(BM_ForkJoinBarrier)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_SpinlockUncontended(benchmark::State& state) {
+  hpxlite::spinlock lock;
+  for (auto _ : state) {
+    lock.lock();
+    lock.unlock();
+  }
+}
+BENCHMARK(BM_SpinlockUncontended);
+
+}  // namespace
+
+BENCHMARK_MAIN();

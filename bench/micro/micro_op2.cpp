@@ -1,0 +1,148 @@
+// Microbenchmarks of the OP2 layer: plan construction (blocking +
+// greedy colouring), plan-cache hits, and op_par_loop dispatch cost per
+// backend — the "loop_launch" overhead the simulator charges the
+// synchronous drivers for.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+#include <vector>
+
+#include "airfoil/airfoil.hpp"
+#include "op2/op2.hpp"
+
+namespace {
+
+struct chain_mesh {
+  op2::op_set edges;
+  op2::op_set nodes;
+  op2::op_map e2n;
+};
+
+chain_mesh make_chain(int nedge) {
+  chain_mesh m;
+  m.edges = op2::op_decl_set(nedge, "edges");
+  m.nodes = op2::op_decl_set(nedge + 1, "nodes");
+  std::vector<int> table;
+  table.reserve(static_cast<std::size_t>(nedge) * 2);
+  for (int e = 0; e < nedge; ++e) {
+    table.push_back(e);
+    table.push_back(e + 1);
+  }
+  m.e2n = op2::op_decl_map(m.edges, m.nodes, 2, table, "e2n");
+  return m;
+}
+
+void BM_PlanBuildDirect(benchmark::State& state) {
+  auto s = op2::op_decl_set(static_cast<int>(state.range(0)), "s");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(op2::build_plan(s, 128, {}));
+  }
+}
+BENCHMARK(BM_PlanBuildDirect)->Arg(10000)->Arg(100000);
+
+void BM_PlanBuildColoured(benchmark::State& state) {
+  const auto m = make_chain(static_cast<int>(state.range(0)));
+  const std::vector<op2::plan_indirection> conflicts{
+      {m.e2n, 0, m.nodes.id()}, {m.e2n, 1, m.nodes.id()}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(op2::build_plan(m.edges, 128, conflicts));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PlanBuildColoured)->Arg(10000)->Arg(100000);
+
+void BM_PlanCacheHit(benchmark::State& state) {
+  op2::clear_plan_cache();
+  auto s = op2::op_decl_set(100000, "s");
+  (void)op2::get_plan(s, 128, {});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(op2::get_plan(s, 128, {}));
+  }
+}
+BENCHMARK(BM_PlanCacheHit);
+
+void BM_ParLoopDispatchSeq(benchmark::State& state) {
+  op2::init({op2::backend::seq, 1, 128, 0});
+  auto s = op2::op_decl_set(static_cast<int>(state.range(0)), "s");
+  auto a = op2::op_decl_dat<double>(s, 1, "double", "a");
+  auto b = op2::op_decl_dat<double>(s, 1, "double", "b");
+  for (auto _ : state) {
+    op2::op_par_loop([](const double* x, double* y) { y[0] = x[0]; }, "copy",
+                     s, op2::op_arg_dat<double>(a, -1, op2::OP_ID, 1,
+                                                op2::OP_READ),
+                     op2::op_arg_dat<double>(b, -1, op2::OP_ID, 1,
+                                             op2::OP_WRITE));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  op2::finalize();
+}
+BENCHMARK(BM_ParLoopDispatchSeq)->Arg(16)->Arg(4096);
+
+void BM_ParLoopForkJoin(benchmark::State& state) {
+  op2::init({op2::backend::forkjoin, 2, 128, 0});
+  auto s = op2::op_decl_set(4096, "s");
+  auto a = op2::op_decl_dat<double>(s, 1, "double", "a");
+  auto b = op2::op_decl_dat<double>(s, 1, "double", "b");
+  for (auto _ : state) {
+    op2::op_par_loop([](const double* x, double* y) { y[0] = x[0]; }, "copy",
+                     s, op2::op_arg_dat<double>(a, -1, op2::OP_ID, 1,
+                                                op2::OP_READ),
+                     op2::op_arg_dat<double>(b, -1, op2::OP_ID, 1,
+                                             op2::OP_WRITE));
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+  op2::finalize();
+}
+BENCHMARK(BM_ParLoopForkJoin);
+
+void BM_ParLoopHpxForeach(benchmark::State& state) {
+  op2::init({op2::backend::hpx_foreach, 2, 128, 16});
+  auto s = op2::op_decl_set(4096, "s");
+  auto a = op2::op_decl_dat<double>(s, 1, "double", "a");
+  auto b = op2::op_decl_dat<double>(s, 1, "double", "b");
+  for (auto _ : state) {
+    op2::op_par_loop([](const double* x, double* y) { y[0] = x[0]; }, "copy",
+                     s, op2::op_arg_dat<double>(a, -1, op2::OP_ID, 1,
+                                                op2::OP_READ),
+                     op2::op_arg_dat<double>(b, -1, op2::OP_ID, 1,
+                                             op2::OP_WRITE));
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+  op2::finalize();
+}
+BENCHMARK(BM_ParLoopHpxForeach);
+
+void BM_ParLoopIndirectInc(benchmark::State& state) {
+  op2::init({op2::backend::forkjoin, 2, 128, 0});
+  const auto m = make_chain(8192);
+  auto degree = op2::op_decl_dat<double>(m.nodes, 1, "double", "degree");
+  for (auto _ : state) {
+    op2::op_par_loop(
+        [](double* x, double* y) {
+          x[0] += 1.0;
+          y[0] += 1.0;
+        },
+        "count", m.edges,
+        op2::op_arg_dat<double>(degree, 0, m.e2n, 1, op2::OP_INC),
+        op2::op_arg_dat<double>(degree, 1, m.e2n, 1, op2::OP_INC));
+  }
+  state.SetItemsProcessed(state.iterations() * 8192);
+  op2::finalize();
+}
+BENCHMARK(BM_ParLoopIndirectInc);
+
+void BM_AirfoilIteration(benchmark::State& state) {
+  op2::init({op2::backend::seq, 1, 128, 0});
+  auto s = airfoil::make_sim(airfoil::generate_mesh({96, 24}));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(airfoil::run_classic(s, 1));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(s.cells.size()));
+  op2::finalize();
+}
+BENCHMARK(BM_AirfoilIteration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,143 @@
+// The full Airfoil application as a command-line program — the
+// reproduction's equivalent of OP2's airfoil binary reading
+// new_grid.dat (we generate the mesh; see airfoil/mesh.hpp).
+//
+//   ./examples/airfoil_app [--backend=seq|forkjoin|foreach|async|dataflow]
+//                          [--threads=N] [--imax=N] [--jmax=N]
+//                          [--iters=N] [--block=N] [--chunk=N]
+//                          [--save-mesh=path] [--profile]
+//
+// Prints the RMS residual every 100 iterations, like the original.
+#include <cstdio>
+#include <iostream>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "airfoil/airfoil.hpp"
+
+namespace {
+
+struct options {
+  std::string backend = "forkjoin";
+  unsigned threads = 2;
+  int imax = 200;
+  int jmax = 50;
+  int iters = 200;
+  int block = 128;
+  std::size_t chunk = 0;
+  std::string save_mesh;
+  bool profile = false;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: airfoil_app [--backend=seq|forkjoin|foreach|async|"
+               "dataflow] [--threads=N]\n"
+               "                   [--imax=N] [--jmax=N] [--iters=N] "
+               "[--block=N] [--chunk=N]\n"
+               "                   [--save-mesh=path] [--profile]\n");
+  return 2;
+}
+
+bool parse_flag(const char* arg, const char* name, std::string& out) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  options opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (parse_flag(argv[i], "--backend", value)) {
+      opt.backend = value;
+    } else if (parse_flag(argv[i], "--threads", value)) {
+      opt.threads = static_cast<unsigned>(std::atoi(value.c_str()));
+    } else if (parse_flag(argv[i], "--imax", value)) {
+      opt.imax = std::atoi(value.c_str());
+    } else if (parse_flag(argv[i], "--jmax", value)) {
+      opt.jmax = std::atoi(value.c_str());
+    } else if (parse_flag(argv[i], "--iters", value)) {
+      opt.iters = std::atoi(value.c_str());
+    } else if (parse_flag(argv[i], "--block", value)) {
+      opt.block = std::atoi(value.c_str());
+    } else if (parse_flag(argv[i], "--chunk", value)) {
+      opt.chunk = static_cast<std::size_t>(std::atol(value.c_str()));
+    } else if (parse_flag(argv[i], "--save-mesh", value)) {
+      opt.save_mesh = value;
+    } else if (std::string(argv[i]) == "--profile") {
+      opt.profile = true;
+    } else {
+      return usage();
+    }
+  }
+
+  op2::backend bk;
+  if (opt.backend == "seq") {
+    bk = op2::backend::seq;
+  } else if (opt.backend == "forkjoin") {
+    bk = op2::backend::forkjoin;
+  } else if (opt.backend == "foreach") {
+    bk = op2::backend::hpx_foreach;
+  } else if (opt.backend == "async") {
+    bk = op2::backend::hpx_async;
+  } else if (opt.backend == "dataflow") {
+    bk = op2::backend::hpx_dataflow;
+  } else {
+    return usage();
+  }
+
+  std::printf("airfoil: %dx%d cells, %d iterations, backend=%s, "
+              "threads=%u, block=%d\n",
+              opt.imax, opt.jmax, opt.iters, opt.backend.c_str(),
+              opt.threads, opt.block);
+
+  op2::init({bk, opt.threads, opt.block, opt.chunk});
+  if (opt.profile) {
+    op2::profiling::enable(true);
+  }
+  auto mesh = airfoil::generate_mesh({opt.imax, opt.jmax});
+  if (!opt.save_mesh.empty()) {
+    op2::write_mesh_file(opt.save_mesh, mesh);
+    std::printf("mesh written to %s\n", opt.save_mesh.c_str());
+  }
+  auto sim = airfoil::make_sim(std::move(mesh));
+
+  airfoil::run_result result;
+  switch (bk) {
+    case op2::backend::hpx_async:
+      result = airfoil::run_async(sim, opt.iters);
+      break;
+    case op2::backend::hpx_dataflow:
+      result = airfoil::run_dataflow(sim, opt.iters);
+      break;
+    default:
+      result = airfoil::run_classic(sim, opt.iters);
+      break;
+  }
+
+  for (std::size_t i = 99; i < result.rms_history.size(); i += 100) {
+    std::printf("  iter %5zu  rms = %.6e\n", i + 1, result.rms_history[i]);
+  }
+  if (!result.rms_history.empty()) {
+    std::printf("final rms = %.6e after %d iterations\n",
+                result.rms_history.back(), opt.iters);
+  }
+  std::printf("elapsed: %.3f s (%.3f ms/iter), checksum = %.12e\n",
+              result.seconds,
+              1000.0 * result.seconds / static_cast<double>(opt.iters),
+              airfoil::solution_checksum(sim));
+  if (opt.profile) {
+    op2::profiling::report(std::cout);
+    op2::profiling::enable(false);
+    op2::profiling::reset();
+  }
+  op2::finalize();
+  return 0;
+}

@@ -1,0 +1,121 @@
+// The modified OP2 API (§III-B) in action on a multi-field pipeline:
+// a 1D explicit heat solve with separate flux/limit/apply stages, all
+// launched up front — the dependency tree (RAW, WAR, WAW chains across
+// three dats) is derived automatically from the argument futures.
+//
+// Also prints what the runtime did: how many tasks executed and how
+// many were stolen, to show asynchronous execution really happened.
+//
+//   ./examples/dataflow_pipeline [steps]
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "hpxlite/scheduler.hpp"
+#include "op2/op2.hpp"
+
+namespace {
+
+// flux[e] = T[left] - T[right] on each interior face.
+void compute_flux(const double* tl, const double* tr, double* fl) {
+  fl[0] = tl[0] - tr[0];
+}
+
+// Limiter stage: clamp fluxes (a second loop on the same dat, creating
+// a WAW dependency with compute_flux that the API must order).
+void limit_flux(double* fl) {
+  if (fl[0] > 0.5) {
+    fl[0] = 0.5;
+  } else if (fl[0] < -0.5) {
+    fl[0] = -0.5;
+  }
+}
+
+// Apply stage: T gains flux from its left face, loses to its right.
+void apply_flux(double* t_left_cell, double* t_right_cell,
+                const double* fl) {
+  constexpr double k = 0.4;
+  t_left_cell[0] -= k * fl[0];
+  t_right_cell[0] += k * fl[0];
+}
+
+void measure(const double* t, double* acc) { acc[0] += t[0]; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int steps = argc > 1 ? std::atoi(argv[1]) : 50;
+  op2::init({op2::backend::hpx_dataflow, 4, 32, 0});
+
+  const int ncell = 1 << 12;
+  auto cells = op2::op_decl_set(ncell, "cells");
+  auto faces = op2::op_decl_set(ncell - 1, "faces");
+  std::vector<int> conn;
+  for (int fidx = 0; fidx < ncell - 1; ++fidx) {
+    conn.push_back(fidx);      // left cell
+    conn.push_back(fidx + 1);  // right cell
+  }
+  auto f2c = op2::op_decl_map(faces, cells, 2, conn, "f2c");
+
+  // A hot spot in the middle of a cold bar.
+  std::vector<double> t0(static_cast<std::size_t>(ncell), 0.0);
+  for (int c = ncell / 2 - 8; c < ncell / 2 + 8; ++c) {
+    t0[static_cast<std::size_t>(c)] = 100.0;
+  }
+  op2::op_dat_df temp(op2::op_decl_dat<double>(
+      cells, 1, "double", std::span<const double>(t0), "temp"));
+  op2::op_dat_df flux(op2::op_decl_dat<double>(faces, 1, "double", "flux"));
+
+  // Per-step observable slots (the paper's data[t] pattern).
+  std::vector<double> heat(static_cast<std::size_t>(steps), 0.0);
+  std::vector<hpxlite::shared_future<void>> step_done(
+      static_cast<std::size_t>(steps));
+
+  // Launch EVERY stage of EVERY step without blocking once.
+  for (int s = 0; s < steps; ++s) {
+    op2::op_par_loop(compute_flux, "compute_flux", faces,
+                     op2::op_arg_dat1<double>(temp, 0, f2c, 1, op2::OP_READ),
+                     op2::op_arg_dat1<double>(temp, 1, f2c, 1, op2::OP_READ),
+                     op2::op_arg_dat1<double>(flux, -1, op2::OP_ID, 1,
+                                              op2::OP_WRITE));
+    op2::op_par_loop(limit_flux, "limit_flux", faces,
+                     op2::op_arg_dat1<double>(flux, -1, op2::OP_ID, 1,
+                                              op2::OP_RW));
+    op2::op_par_loop(apply_flux, "apply_flux", faces,
+                     op2::op_arg_dat1<double>(temp, 0, f2c, 1, op2::OP_INC),
+                     op2::op_arg_dat1<double>(temp, 1, f2c, 1, op2::OP_INC),
+                     op2::op_arg_dat1<double>(flux, -1, op2::OP_ID, 1,
+                                              op2::OP_READ));
+    step_done[static_cast<std::size_t>(s)] = op2::op_par_loop(
+        measure, "measure", cells,
+        op2::op_arg_dat1<double>(temp, -1, op2::OP_ID, 1, op2::OP_READ),
+        op2::op_arg_gbl1<double>(&heat[static_cast<std::size_t>(s)], 1,
+                                 op2::OP_INC));
+  }
+  std::printf("launched %d loops without blocking; draining the tree...\n",
+              4 * steps);
+
+  temp.wait();
+  flux.wait();
+  step_done.back().wait();
+
+  const double total = heat.back();
+  double peak = 0.0;
+  for (const double t : temp.dat().data<double>()) {
+    peak = std::max(peak, t);
+  }
+  std::printf("after %d steps: total heat = %.2f (conserved: %.2f), "
+              "peak T = %.2f (diffused from 100)\n",
+              steps, total, 16 * 100.0, peak);
+
+  const auto st = hpxlite::runtime::get().stats();
+  std::printf("runtime: %llu tasks executed, %llu stolen, %llu helped "
+              "while waiting\n",
+              static_cast<unsigned long long>(st.tasks_executed),
+              static_cast<unsigned long long>(st.tasks_stolen),
+              static_cast<unsigned long long>(st.helped_while_waiting));
+  op2::finalize();
+  return 0;
+}

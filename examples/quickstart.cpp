@@ -1,0 +1,104 @@
+// Quickstart: the OP2 API in ~80 lines.
+//
+// Declares a 1D chain mesh (edges connecting nodes), runs a direct
+// loop, an indirect increment loop, and a global reduction — first
+// synchronously on the fork-join backend, then through the futures and
+// dataflow APIs of the paper.
+//
+//   ./examples/quickstart
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "op2/op2.hpp"
+
+namespace {
+
+// User kernels, OP2 style: one pointer per op_arg.
+void double_it(const double* in, double* out) { out[0] = 2.0 * in[0]; }
+
+void scatter_add(double* left, double* right) {
+  left[0] += 1.0;
+  right[0] += 1.0;
+}
+
+void sum_up(const double* v, double* acc) { acc[0] += v[0]; }
+
+}  // namespace
+
+int main() {
+  // 1. Start the runtime: HPX-style for_each backend, 4 worker threads.
+  op2::init({op2::backend::hpx_foreach, 4, 64, 0});
+
+  // 2. Declare the mesh: 1000 edges chaining 1001 nodes.
+  const int nedge = 1000;
+  auto edges = op2::op_decl_set(nedge, "edges");
+  auto nodes = op2::op_decl_set(nedge + 1, "nodes");
+  std::vector<int> conn;
+  for (int e = 0; e < nedge; ++e) {
+    conn.push_back(e);
+    conn.push_back(e + 1);
+  }
+  auto e2n = op2::op_decl_map(edges, nodes, 2, conn, "e2n");
+
+  // 3. Data on sets.
+  std::vector<double> init(nedge, 1.5);
+  auto length = op2::op_decl_dat<double>(edges, 1, "double",
+                                         std::span<const double>(init),
+                                         "length");
+  auto doubled = op2::op_decl_dat<double>(edges, 1, "double", "doubled");
+  auto degree = op2::op_decl_dat<double>(nodes, 1, "double", "degree");
+
+  // 4. A direct loop: doubled[e] = 2 * length[e].
+  op2::op_par_loop(double_it, "double_it", edges,
+                   op2::op_arg_dat<double>(length, -1, op2::OP_ID, 1,
+                                           op2::OP_READ),
+                   op2::op_arg_dat<double>(doubled, -1, op2::OP_ID, 1,
+                                           op2::OP_WRITE));
+
+  // 5. An indirect increment loop: each edge bumps both its nodes.
+  //    The runtime colours blocks so no atomics are needed.
+  op2::op_par_loop(scatter_add, "scatter_add", edges,
+                   op2::op_arg_dat<double>(degree, 0, e2n, 1, op2::OP_INC),
+                   op2::op_arg_dat<double>(degree, 1, e2n, 1, op2::OP_INC));
+
+  // 6. A global reduction.
+  double total = 0.0;
+  op2::op_par_loop(sum_up, "sum_up", edges,
+                   op2::op_arg_dat<double>(doubled, -1, op2::OP_ID, 1,
+                                           op2::OP_READ),
+                   op2::op_arg_gbl<double>(&total, 1, op2::OP_INC));
+  std::printf("sum(doubled) = %.1f (expect %.1f)\n", total, 2.0 * 1.5 * nedge);
+  std::printf("degree[0] = %.0f, degree[500] = %.0f (expect 1 and 2)\n",
+              degree.data<double>()[0], degree.data<double>()[500]);
+
+  // 7. The same loop through the futures API (§III-A2): launch, then
+  //    .get() when the result is needed.
+  auto f = op2::op_par_loop_async(
+      double_it, "double_it", edges,
+      op2::op_arg_dat<double>(doubled, -1, op2::OP_ID, 1, op2::OP_READ),
+      op2::op_arg_dat<double>(length, -1, op2::OP_ID, 1, op2::OP_WRITE));
+  f.get();
+  std::printf("after async re-double: length[0] = %.1f (expect 6.0)\n",
+              length.data<double>()[0]);
+
+  // 8. And through the dataflow API (§III-B): dependencies are derived
+  //    from the argument futures automatically; no .get() placement.
+  op2::op_dat_df dlen(length), ddbl(doubled);
+  op2::op_par_loop(double_it, "double_it", edges,
+                   op2::op_arg_dat1<double>(dlen, -1, op2::OP_ID, 1,
+                                            op2::OP_READ),
+                   op2::op_arg_dat1<double>(ddbl, -1, op2::OP_ID, 1,
+                                            op2::OP_WRITE));
+  op2::op_par_loop(double_it, "double_it", edges,
+                   op2::op_arg_dat1<double>(ddbl, -1, op2::OP_ID, 1,
+                                            op2::OP_READ),
+                   op2::op_arg_dat1<double>(dlen, -1, op2::OP_ID, 1,
+                                            op2::OP_WRITE));
+  dlen.wait();
+  std::printf("after dataflow chain: length[0] = %.1f (expect 24.0)\n",
+              length.data<double>()[0]);
+
+  op2::finalize();
+  return 0;
+}

@@ -1,0 +1,9 @@
+// Umbrella header for the Airfoil benchmark application.
+#pragma once
+
+#include "airfoil/constants.hpp"
+#include "airfoil/distributed.hpp"
+#include "airfoil/kernels.hpp"
+#include "airfoil/mesh.hpp"
+#include "airfoil/solver.hpp"
+#include "airfoil/state_io.hpp"

@@ -1,0 +1,54 @@
+// Physical and scheme constants of the Airfoil benchmark (Giles et
+// al., "Using automatic differentiation for adjoint CFD code
+// development" — the nonlinear airfoil code distributed with OP2).
+//
+// Free-stream state qinf derives from the Mach number and angle of
+// attack; gam/gm1/cfl/eps parameterise the finite-volume scheme.  They
+// are global constants exactly as in the original code (OP2 propagates
+// them with op_decl_const; in a shared-memory build plain globals are
+// equivalent).
+#pragma once
+
+#include <array>
+#include <cmath>
+
+namespace airfoil {
+
+struct flow_constants {
+  double gam = 1.4;
+  double gm1 = 0.4;               // gam - 1
+  double cfl = 0.9;
+  double eps = 0.05;
+  double mach = 0.4;
+  double alpha = 3.0 * std::atan(1.0) / 45.0;  // 3 degrees
+  std::array<double, 4> qinf{};   // free-stream conservative state
+
+  /// Recomputes the derived members from gam/mach/alpha.
+  void finalise() {
+    gm1 = gam - 1.0;
+    const double p = 1.0;
+    const double r = 1.0;
+    const double u = std::sqrt(gam * p / r) * mach;
+    const double e = p / (r * gm1) + 0.5 * u * u;
+    qinf[0] = r;
+    qinf[1] = r * u * std::cos(alpha);
+    qinf[2] = r * u * std::sin(alpha);
+    qinf[3] = r * e;
+  }
+};
+
+/// The process-wide constants (mutable only before a run starts).
+inline flow_constants& constants() {
+  static flow_constants c = [] {
+    flow_constants init;
+    init.finalise();
+    return init;
+  }();
+  return c;
+}
+
+/// Boundary-condition markers carried by the p_bound dat.
+inline constexpr int bound_wall = 1;      // inviscid wall (the airfoil)
+inline constexpr int bound_farfield = 2;  // free-stream far field
+
+}  // namespace airfoil

@@ -1,0 +1,63 @@
+// Distributed-memory Airfoil — OP2's MPI execution mode, simulated in
+// one process ("on distributed nodes, [OpenMP] is used in conjunction
+// with MPI", §I).  Each simulated rank owns a private sub-mesh with
+// its own storage; communication is explicit:
+//
+//   per iteration:  exchange q (owner -> ghost copies)
+//                   save_soln / adt_calc / res_calc / bres_calc locally
+//                   halo-reduce res (ghost contributions -> owner += )
+//                   update
+//
+// Scheme: cells are partitioned (RCB); each rank holds its owned cells
+// plus one layer of ghost cells (redundant adt compute on ghosts avoids
+// an adt exchange).  Edges belong to the owner of their first adjacent
+// cell; boundary edges to their cell's owner.  Ghost residuals are
+// reduced to the owner before update, and ghost updates see zero
+// residual, so owned state evolves exactly like the single-domain run
+// (up to floating-point reassociation of the halo additions).
+#pragma once
+
+#include <vector>
+
+#include "airfoil/mesh.hpp"
+#include "airfoil/solver.hpp"
+#include "op2/partition.hpp"
+
+namespace airfoil {
+
+/// One simulated rank: a self-contained sim over its sub-mesh plus the
+/// bookkeeping to exchange with neighbours.
+struct rank_domain {
+  sim local;                       // private sub-mesh + solution state
+  int nowned = 0;                  // local cells [0, nowned) are owned
+  std::vector<int> global_cell;    // local cell -> global cell id
+
+  /// Ghost pulls: ghost local id + owning rank + owner-local id.
+  struct ghost_link {
+    int local_cell;
+    int owner_rank;
+    int owner_local_cell;
+  };
+  std::vector<ghost_link> ghosts;
+};
+
+/// A distributed simulation: `nranks` private domains over one mesh.
+struct dist_sim {
+  std::vector<rank_domain> ranks;
+  int global_cells = 0;
+};
+
+/// Decomposes `m` (a mesh from generate_mesh) into `nranks` domains
+/// using RCB over cell centroids.
+dist_sim make_dist_sim(const op2::mesh& m, int nranks);
+
+/// Runs `niter` iterations across all ranks with explicit halo
+/// exchanges; rms is reduced across ranks each iteration (owned cells
+/// only).  Loops execute with the currently configured op2 backend.
+run_result run_distributed(dist_sim& d, int niter);
+
+/// Gathers the owned q values back into a global field (4 values per
+/// global cell) for comparison against a single-domain run.
+std::vector<double> gather_q(const dist_sim& d);
+
+}  // namespace airfoil

@@ -1,0 +1,139 @@
+// The five user kernels of the Airfoil application — "save_soln.h,
+// adt_calc.h, res_calc.h, bres_calc.h and update.h" in the original
+// OP2 distribution.  Signatures match what op_par_loop passes: one
+// pointer per op_arg, const for OP_READ arguments.
+//
+//   save_soln  (direct,   cells)  q -> qold
+//   adt_calc   (indirect, cells)  x(4 corners), q -> adt  (local dt)
+//   res_calc   (indirect, edges)  interior fluxes, res += / -=
+//   bres_calc  (indirect, bedges) boundary fluxes (wall / far field)
+//   update     (direct,   cells)  q = qold - dt*res; rms += del^2
+#pragma once
+
+#include <cmath>
+
+#include "airfoil/constants.hpp"
+
+namespace airfoil {
+
+/// Copies the conservative state to the old-solution buffer.
+inline void save_soln(const double* q, double* qold) {
+  for (int n = 0; n < 4; ++n) {
+    qold[n] = q[n];
+  }
+}
+
+/// Computes the local area/timestep measure for one quadrilateral cell
+/// from its four corner coordinates and its state.
+inline void adt_calc(const double* x1, const double* x2, const double* x3,
+                     const double* x4, const double* q, double* adt) {
+  const auto& c = constants();
+  const double ri = 1.0 / q[0];
+  const double u = ri * q[1];
+  const double v = ri * q[2];
+  const double sound =
+      std::sqrt(c.gam * c.gm1 * (ri * q[3] - 0.5 * (u * u + v * v)));
+
+  const auto face = [&](const double* a, const double* b) {
+    const double dx = b[0] - a[0];
+    const double dy = b[1] - a[1];
+    return std::fabs(u * dy - v * dx) + sound * std::sqrt(dx * dx + dy * dy);
+  };
+
+  double sum = face(x1, x2) + face(x2, x3) + face(x3, x4) + face(x4, x1);
+  *adt = sum / c.cfl;
+}
+
+/// Accumulates the interior-edge flux: adds to the left cell's residual
+/// and subtracts from the right cell's (conservation).
+inline void res_calc(const double* x1, const double* x2, const double* q1,
+                     const double* q2, const double* adt1, const double* adt2,
+                     double* res1, double* res2) {
+  const auto& c = constants();
+  const double dx = x1[0] - x2[0];
+  const double dy = x1[1] - x2[1];
+
+  double ri = 1.0 / q1[0];
+  const double p1 =
+      c.gm1 * (q1[3] - 0.5 * ri * (q1[1] * q1[1] + q1[2] * q1[2]));
+  const double vol1 = ri * (q1[1] * dy - q1[2] * dx);
+
+  ri = 1.0 / q2[0];
+  const double p2 =
+      c.gm1 * (q2[3] - 0.5 * ri * (q2[1] * q2[1] + q2[2] * q2[2]));
+  const double vol2 = ri * (q2[1] * dy - q2[2] * dx);
+
+  const double mu = 0.5 * ((*adt1) + (*adt2)) * c.eps;
+
+  double f = 0.5 * (vol1 * q1[0] + vol2 * q2[0]) + mu * (q1[0] - q2[0]);
+  res1[0] += f;
+  res2[0] -= f;
+  f = 0.5 * (vol1 * q1[1] + p1 * dy + vol2 * q2[1] + p2 * dy) +
+      mu * (q1[1] - q2[1]);
+  res1[1] += f;
+  res2[1] -= f;
+  f = 0.5 * (vol1 * q1[2] - p1 * dx + vol2 * q2[2] - p2 * dx) +
+      mu * (q1[2] - q2[2]);
+  res1[2] += f;
+  res2[2] -= f;
+  f = 0.5 * (vol1 * (q1[3] + p1) + vol2 * (q2[3] + p2)) +
+      mu * (q1[3] - q2[3]);
+  res1[3] += f;
+  res2[3] -= f;
+}
+
+/// Boundary-edge flux: an inviscid wall contributes only pressure; a
+/// far-field edge fluxes against the free-stream state qinf.
+inline void bres_calc(const double* x1, const double* x2, const double* q1,
+                      const double* adt1, double* res1, const int* bound) {
+  const auto& c = constants();
+  const double dx = x1[0] - x2[0];
+  const double dy = x1[1] - x2[1];
+
+  double ri = 1.0 / q1[0];
+  const double p1 =
+      c.gm1 * (q1[3] - 0.5 * ri * (q1[1] * q1[1] + q1[2] * q1[2]));
+
+  if (*bound == bound_wall) {
+    res1[1] += +p1 * dy;
+    res1[2] += -p1 * dx;
+    return;
+  }
+
+  const double vol1 = ri * (q1[1] * dy - q1[2] * dx);
+
+  ri = 1.0 / c.qinf[0];
+  const double p2 =
+      c.gm1 *
+      (c.qinf[3] - 0.5 * ri * (c.qinf[1] * c.qinf[1] + c.qinf[2] * c.qinf[2]));
+  const double vol2 = ri * (c.qinf[1] * dy - c.qinf[2] * dx);
+
+  const double mu = (*adt1) * c.eps;
+
+  double f = 0.5 * (vol1 * q1[0] + vol2 * c.qinf[0]) + mu * (q1[0] - c.qinf[0]);
+  res1[0] += f;
+  f = 0.5 * (vol1 * q1[1] + p1 * dy + vol2 * c.qinf[1] + p2 * dy) +
+      mu * (q1[1] - c.qinf[1]);
+  res1[1] += f;
+  f = 0.5 * (vol1 * q1[2] - p1 * dx + vol2 * c.qinf[2] - p2 * dx) +
+      mu * (q1[2] - c.qinf[2]);
+  res1[2] += f;
+  f = 0.5 * (vol1 * (q1[3] + p1) + vol2 * (c.qinf[3] + p2)) +
+      mu * (q1[3] - c.qinf[3]);
+  res1[3] += f;
+}
+
+/// Explicit pseudo-timestep update; accumulates the RMS residual used
+/// as the convergence monitor.
+inline void update(const double* qold, double* q, double* res,
+                   const double* adt, double* rms) {
+  const double adti = 1.0 / (*adt);
+  for (int n = 0; n < 4; ++n) {
+    const double del = adti * res[n];
+    q[n] = qold[n] - del;
+    res[n] = 0.0;
+    *rms += del * del;
+  }
+}
+
+}  // namespace airfoil

@@ -1,0 +1,42 @@
+// Bridges the real Airfoil application to the scheduling simulator:
+// measures per-element kernel costs on this machine, extracts the real
+// OP2 execution plans (block structure + colouring), and assembles the
+// simsched::airfoil_shape the figure harnesses simulate.
+#pragma once
+
+#include "airfoil/solver.hpp"
+#include "simsched/airfoil_model.hpp"
+
+namespace airfoil {
+
+/// Measured sequential cost of one kernel application, in µs/element.
+struct kernel_costs {
+  double save = 0.0;
+  double adt = 0.0;
+  double res = 0.0;
+  double bres = 0.0;
+  double update = 0.0;
+};
+
+/// Times each of the five kernels over the whole mesh (sequentially,
+/// `repeats` sweeps) and returns per-element costs.  Mutates the
+/// solution state; call reset_solution() afterwards if it matters.
+kernel_costs measure_kernel_costs(sim& s, int repeats = 3);
+
+/// Nominal costs for deterministic tests (µs/element, Xeon-like
+/// magnitudes: save 0.02, adt 0.08, res 0.12, bres 0.10, update 0.04).
+kernel_costs nominal_kernel_costs();
+
+/// Times each loop THROUGH op_par_loop (the engine's real per-element
+/// speed, including block dispatch and argument indirection) using the
+/// profiling facility, under the currently configured backend —
+/// configure seq/1-thread for calibration.  Runs `iters` iterations of
+/// the full solver.  Mutates the solution; resets it afterwards.
+kernel_costs measure_loop_costs(sim& s, int iters = 3);
+
+/// Builds the simulator shape for `s`: real plans for all five loops at
+/// `block_size`, scaled by `costs`, over `niter` iterations.
+simsched::airfoil_shape extract_shape(const sim& s, const kernel_costs& costs,
+                                      int block_size, int niter);
+
+}  // namespace airfoil

@@ -1,0 +1,20 @@
+// Checkpointing for the Airfoil solver: saves/restores the full
+// simulation (mesh + solution dats) through the op2 mesh container, so
+// long runs can resume and cross-backend bit-comparisons can be made
+// from identical snapshots.
+#pragma once
+
+#include <string>
+
+#include "airfoil/solver.hpp"
+
+namespace airfoil {
+
+/// Writes mesh and solution state (q, qold, adt, res) to `path`.
+void save_state(const sim& s, const std::string& path);
+
+/// Reads a checkpoint written by save_state and reconstructs the
+/// simulation.  Throws std::runtime_error on malformed files.
+sim load_state(const std::string& path);
+
+}  // namespace airfoil

@@ -1,0 +1,329 @@
+#include "airfoil/distributed.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "airfoil/kernels.hpp"
+
+namespace airfoil {
+
+namespace {
+
+/// Exchange q: every ghost cell's state is overwritten by its owner's
+/// current value (the MPI halo-exchange message, as a memcpy).
+void exchange_q(dist_sim& d) {
+  for (auto& rank : d.ranks) {
+    auto q = rank.local.p_q.data<double>();
+    for (const auto& g : rank.ghosts) {
+      const auto src =
+          d.ranks[static_cast<std::size_t>(g.owner_rank)].local.p_q
+              .data<double>();
+      for (int n = 0; n < 4; ++n) {
+        q[static_cast<std::size_t>(4 * g.local_cell + n)] =
+            src[static_cast<std::size_t>(4 * g.owner_local_cell + n)];
+      }
+    }
+  }
+}
+
+/// Halo reduction: ghost residual contributions are added into the
+/// owner's residual, then cleared locally (the MPI reduce message).
+void reduce_res(dist_sim& d) {
+  for (auto& rank : d.ranks) {
+    auto res = rank.local.p_res.data<double>();
+    for (const auto& g : rank.ghosts) {
+      auto owner_res =
+          d.ranks[static_cast<std::size_t>(g.owner_rank)].local.p_res
+              .data<double>();
+      for (int n = 0; n < 4; ++n) {
+        owner_res[static_cast<std::size_t>(4 * g.owner_local_cell + n)] +=
+            res[static_cast<std::size_t>(4 * g.local_cell + n)];
+        res[static_cast<std::size_t>(4 * g.local_cell + n)] = 0.0;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+dist_sim make_dist_sim(const op2::mesh& m, int nranks) {
+  if (nranks <= 0) {
+    throw std::invalid_argument("make_dist_sim: nranks must be >= 1");
+  }
+  const auto& cells = m.set("cells");
+  const auto& pcell = m.map("pcell");
+  const auto& pedge = m.map("pedge");
+  const auto& pecell = m.map("pecell");
+  const auto& pbedge = m.map("pbedge");
+  const auto& pbecell = m.map("pbecell");
+  const auto x = m.dat("p_x").data<double>();
+  const auto bound = m.dat("p_bound").data<int>();
+  const int ncell = cells.size();
+  const int nedge = m.set("edges").size();
+  const int nbedge = m.set("bedges").size();
+
+  // RCB over cell centroids.
+  std::vector<double> centroids(static_cast<std::size_t>(ncell) * 2, 0.0);
+  for (int c = 0; c < ncell; ++c) {
+    for (int k = 0; k < 4; ++k) {
+      const auto node = static_cast<std::size_t>(pcell.at(c, k));
+      centroids[static_cast<std::size_t>(2 * c)] += 0.25 * x[2 * node];
+      centroids[static_cast<std::size_t>(2 * c + 1)] +=
+          0.25 * x[2 * node + 1];
+    }
+  }
+  const auto parts = op2::partition_rcb(centroids, nranks);
+
+  dist_sim d;
+  d.global_cells = ncell;
+  d.ranks.resize(static_cast<std::size_t>(nranks));
+
+  // Owned cell lists (global order) and global -> owner-local index.
+  std::vector<std::vector<int>> owned(static_cast<std::size_t>(nranks));
+  std::vector<int> owner_local_of(static_cast<std::size_t>(ncell));
+  for (int c = 0; c < ncell; ++c) {
+    auto& list = owned[static_cast<std::size_t>(parts.part_of[
+        static_cast<std::size_t>(c)])];
+    owner_local_of[static_cast<std::size_t>(c)] =
+        static_cast<int>(list.size());
+    list.push_back(c);
+  }
+
+  for (int r = 0; r < nranks; ++r) {
+    auto& rank = d.ranks[static_cast<std::size_t>(r)];
+
+    // Owned edges and the ghost cells they reach.
+    std::vector<int> my_edges;
+    std::vector<int> ghost_cells;
+    for (int e = 0; e < nedge; ++e) {
+      if (parts.part_of[static_cast<std::size_t>(pecell.at(e, 0))] != r) {
+        continue;
+      }
+      my_edges.push_back(e);
+      const int other = pecell.at(e, 1);
+      if (parts.part_of[static_cast<std::size_t>(other)] != r) {
+        ghost_cells.push_back(other);
+      }
+    }
+    std::sort(ghost_cells.begin(), ghost_cells.end());
+    ghost_cells.erase(std::unique(ghost_cells.begin(), ghost_cells.end()),
+                      ghost_cells.end());
+
+    std::vector<int> my_bedges;
+    for (int e = 0; e < nbedge; ++e) {
+      if (parts.part_of[static_cast<std::size_t>(pbecell.at(e, 0))] == r) {
+        my_bedges.push_back(e);
+      }
+    }
+
+    // Local cell numbering: owned first, then ghosts.
+    rank.global_cell = owned[static_cast<std::size_t>(r)];
+    rank.nowned = static_cast<int>(rank.global_cell.size());
+    rank.global_cell.insert(rank.global_cell.end(), ghost_cells.begin(),
+                            ghost_cells.end());
+    std::unordered_map<int, int> local_of_cell;
+    local_of_cell.reserve(rank.global_cell.size());
+    for (std::size_t i = 0; i < rank.global_cell.size(); ++i) {
+      local_of_cell.emplace(rank.global_cell[i], static_cast<int>(i));
+    }
+    for (const int g : ghost_cells) {
+      rank.ghosts.push_back(
+          {local_of_cell.at(g),
+           parts.part_of[static_cast<std::size_t>(g)],
+           owner_local_of[static_cast<std::size_t>(g)]});
+    }
+
+    // Local nodes: the corners of every local cell.
+    std::vector<int> my_nodes;
+    for (const int c : rank.global_cell) {
+      for (int k = 0; k < 4; ++k) {
+        my_nodes.push_back(pcell.at(c, k));
+      }
+    }
+    std::sort(my_nodes.begin(), my_nodes.end());
+    my_nodes.erase(std::unique(my_nodes.begin(), my_nodes.end()),
+                   my_nodes.end());
+    std::unordered_map<int, int> local_of_node;
+    local_of_node.reserve(my_nodes.size());
+    for (std::size_t i = 0; i < my_nodes.size(); ++i) {
+      local_of_node.emplace(my_nodes[i], static_cast<int>(i));
+    }
+
+    // Assemble the local op2 mesh.
+    op2::mesh lm;
+    lm.sets.emplace("nodes", op2::op_decl_set(
+                                 static_cast<int>(my_nodes.size()), "nodes"));
+    lm.sets.emplace("cells",
+                    op2::op_decl_set(
+                        static_cast<int>(rank.global_cell.size()), "cells"));
+    lm.sets.emplace("edges", op2::op_decl_set(
+                                 static_cast<int>(my_edges.size()), "edges"));
+    lm.sets.emplace("bedges",
+                    op2::op_decl_set(static_cast<int>(my_bedges.size()),
+                                     "bedges"));
+
+    std::vector<int> lp;
+    lp.reserve(rank.global_cell.size() * 4);
+    for (const int c : rank.global_cell) {
+      for (int k = 0; k < 4; ++k) {
+        lp.push_back(local_of_node.at(pcell.at(c, k)));
+      }
+    }
+    lm.maps.emplace("pcell",
+                    op2::op_decl_map(lm.sets.at("cells"), lm.sets.at("nodes"),
+                                     4, lp, "pcell"));
+    lp.clear();
+    for (const int e : my_edges) {
+      lp.push_back(local_of_node.at(pedge.at(e, 0)));
+      lp.push_back(local_of_node.at(pedge.at(e, 1)));
+    }
+    lm.maps.emplace("pedge",
+                    op2::op_decl_map(lm.sets.at("edges"), lm.sets.at("nodes"),
+                                     2, lp, "pedge"));
+    lp.clear();
+    for (const int e : my_edges) {
+      lp.push_back(local_of_cell.at(pecell.at(e, 0)));
+      lp.push_back(local_of_cell.at(pecell.at(e, 1)));
+    }
+    lm.maps.emplace("pecell",
+                    op2::op_decl_map(lm.sets.at("edges"), lm.sets.at("cells"),
+                                     2, lp, "pecell"));
+    lp.clear();
+    for (const int e : my_bedges) {
+      lp.push_back(local_of_node.at(pbedge.at(e, 0)));
+      lp.push_back(local_of_node.at(pbedge.at(e, 1)));
+    }
+    lm.maps.emplace("pbedge",
+                    op2::op_decl_map(lm.sets.at("bedges"),
+                                     lm.sets.at("nodes"), 2, lp, "pbedge"));
+    lp.clear();
+    for (const int e : my_bedges) {
+      lp.push_back(local_of_cell.at(pbecell.at(e, 0)));
+    }
+    lm.maps.emplace("pbecell",
+                    op2::op_decl_map(lm.sets.at("bedges"),
+                                     lm.sets.at("cells"), 1, lp, "pbecell"));
+
+    std::vector<double> lx;
+    lx.reserve(my_nodes.size() * 2);
+    for (const int n : my_nodes) {
+      lx.push_back(x[static_cast<std::size_t>(2 * n)]);
+      lx.push_back(x[static_cast<std::size_t>(2 * n + 1)]);
+    }
+    lm.dats.emplace("p_x", op2::op_decl_dat<double>(
+                               lm.sets.at("nodes"), 2, "double",
+                               std::span<const double>(lx), "p_x"));
+    std::vector<int> lbound;
+    lbound.reserve(my_bedges.size());
+    for (const int e : my_bedges) {
+      lbound.push_back(bound[static_cast<std::size_t>(e)]);
+    }
+    lm.dats.emplace("p_bound", op2::op_decl_dat<int>(
+                                   lm.sets.at("bedges"), 1, "int",
+                                   std::span<const int>(lbound), "p_bound"));
+
+    rank.local = make_sim(std::move(lm));
+  }
+  return d;
+}
+
+run_result run_distributed(dist_sim& d, int niter) {
+  using op2::op_arg_dat;
+  using op2::op_arg_gbl;
+  using op2::OP_ID;
+  using op2::OP_INC;
+  using op2::OP_READ;
+  using op2::OP_RW;
+  using op2::OP_WRITE;
+
+  run_result out;
+  out.rms_history.reserve(static_cast<std::size_t>(niter));
+  const auto t0 = std::chrono::steady_clock::now();
+
+  for (int iter = 0; iter < niter; ++iter) {
+    exchange_q(d);
+    for (auto& rank : d.ranks) {
+      auto& s = rank.local;
+      op2::op_par_loop(save_soln, "save_soln", s.cells,
+                       op_arg_dat<double>(s.p_q, -1, OP_ID, 4, OP_READ),
+                       op_arg_dat<double>(s.p_qold, -1, OP_ID, 4, OP_WRITE));
+    }
+
+    double rms = 0.0;
+    for (int k = 0; k < 2; ++k) {
+      if (k == 1) {
+        exchange_q(d);
+      }
+      for (auto& rank : d.ranks) {
+        auto& s = rank.local;
+        op2::op_par_loop(adt_calc, "adt_calc", s.cells,
+                         op_arg_dat<double>(s.p_x, 0, s.pcell, 2, OP_READ),
+                         op_arg_dat<double>(s.p_x, 1, s.pcell, 2, OP_READ),
+                         op_arg_dat<double>(s.p_x, 2, s.pcell, 2, OP_READ),
+                         op_arg_dat<double>(s.p_x, 3, s.pcell, 2, OP_READ),
+                         op_arg_dat<double>(s.p_q, -1, OP_ID, 4, OP_READ),
+                         op_arg_dat<double>(s.p_adt, -1, OP_ID, 1, OP_WRITE));
+        op2::op_par_loop(res_calc, "res_calc", s.edges,
+                         op_arg_dat<double>(s.p_x, 0, s.pedge, 2, OP_READ),
+                         op_arg_dat<double>(s.p_x, 1, s.pedge, 2, OP_READ),
+                         op_arg_dat<double>(s.p_q, 0, s.pecell, 4, OP_READ),
+                         op_arg_dat<double>(s.p_q, 1, s.pecell, 4, OP_READ),
+                         op_arg_dat<double>(s.p_adt, 0, s.pecell, 1, OP_READ),
+                         op_arg_dat<double>(s.p_adt, 1, s.pecell, 1, OP_READ),
+                         op_arg_dat<double>(s.p_res, 0, s.pecell, 4, OP_INC),
+                         op_arg_dat<double>(s.p_res, 1, s.pecell, 4, OP_INC));
+        op2::op_par_loop(bres_calc, "bres_calc", s.bedges,
+                         op_arg_dat<double>(s.p_x, 0, s.pbedge, 2, OP_READ),
+                         op_arg_dat<double>(s.p_x, 1, s.pbedge, 2, OP_READ),
+                         op_arg_dat<double>(s.p_q, 0, s.pbecell, 4, OP_READ),
+                         op_arg_dat<double>(s.p_adt, 0, s.pbecell, 1,
+                                            OP_READ),
+                         op_arg_dat<double>(s.p_res, 0, s.pbecell, 4, OP_INC),
+                         op_arg_dat<int>(s.p_bound, -1, OP_ID, 1, OP_READ));
+      }
+      reduce_res(d);
+      rms = 0.0;
+      for (auto& rank : d.ranks) {
+        auto& s = rank.local;
+        // Ghost cells see zero residual after the reduction, so they
+        // contribute nothing to rms and their q is refreshed by the
+        // next exchange.
+        op2::op_par_loop(update, "update", s.cells,
+                         op_arg_dat<double>(s.p_qold, -1, OP_ID, 4, OP_READ),
+                         op_arg_dat<double>(s.p_q, -1, OP_ID, 4, OP_WRITE),
+                         op_arg_dat<double>(s.p_res, -1, OP_ID, 4, OP_RW),
+                         op_arg_dat<double>(s.p_adt, -1, OP_ID, 1, OP_READ),
+                         op_arg_gbl<double>(&rms, 1, OP_INC));
+      }
+    }
+    out.rms_history.push_back(
+        std::sqrt(rms / static_cast<double>(d.global_cells)));
+  }
+
+  out.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  return out;
+}
+
+std::vector<double> gather_q(const dist_sim& d) {
+  std::vector<double> q(static_cast<std::size_t>(d.global_cells) * 4, 0.0);
+  for (const auto& rank : d.ranks) {
+    const auto lq = rank.local.p_q.data<double>();
+    for (int c = 0; c < rank.nowned; ++c) {
+      const auto g = static_cast<std::size_t>(
+          rank.global_cell[static_cast<std::size_t>(c)]);
+      for (int n = 0; n < 4; ++n) {
+        q[4 * g + static_cast<std::size_t>(n)] =
+            lq[static_cast<std::size_t>(4 * c + n)];
+      }
+    }
+  }
+  return q;
+}
+
+}  // namespace airfoil

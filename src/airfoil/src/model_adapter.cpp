@@ -1,0 +1,182 @@
+#include "airfoil/model_adapter.hpp"
+
+#include <chrono>
+
+#include "airfoil/kernels.hpp"
+
+namespace airfoil {
+
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+double us_between(clock::time_point a, clock::time_point b, long n) {
+  return std::chrono::duration<double, std::micro>(b - a).count() /
+         static_cast<double>(n);
+}
+
+}  // namespace
+
+kernel_costs measure_kernel_costs(sim& s, int repeats) {
+  kernel_costs out;
+  const int ncell = s.cells.size();
+  const int nedge = s.edges.size();
+  const int nbedge = s.bedges.size();
+
+  auto x = s.p_x.data<double>();
+  auto q = s.p_q.data<double>();
+  auto qold = s.p_qold.data<double>();
+  auto adt = s.p_adt.data<double>();
+  auto res = s.p_res.data<double>();
+  auto bound = s.p_bound.data<int>();
+  const auto pcell = s.pcell.table();
+  const auto pedge = s.pedge.table();
+  const auto pecell = s.pecell.table();
+  const auto pbedge = s.pbedge.table();
+  const auto pbecell = s.pbecell.table();
+
+  auto t0 = clock::now();
+  for (int r = 0; r < repeats; ++r) {
+    for (int c = 0; c < ncell; ++c) {
+      save_soln(&q[4 * static_cast<std::size_t>(c)],
+                &qold[4 * static_cast<std::size_t>(c)]);
+    }
+  }
+  auto t1 = clock::now();
+  out.save = us_between(t0, t1, static_cast<long>(ncell) * repeats);
+
+  t0 = clock::now();
+  for (int r = 0; r < repeats; ++r) {
+    for (int c = 0; c < ncell; ++c) {
+      const auto ci = static_cast<std::size_t>(c);
+      adt_calc(&x[2 * static_cast<std::size_t>(pcell[4 * ci + 0])],
+               &x[2 * static_cast<std::size_t>(pcell[4 * ci + 1])],
+               &x[2 * static_cast<std::size_t>(pcell[4 * ci + 2])],
+               &x[2 * static_cast<std::size_t>(pcell[4 * ci + 3])],
+               &q[4 * ci], &adt[ci]);
+    }
+  }
+  t1 = clock::now();
+  out.adt = us_between(t0, t1, static_cast<long>(ncell) * repeats);
+
+  t0 = clock::now();
+  for (int r = 0; r < repeats; ++r) {
+    for (int e = 0; e < nedge; ++e) {
+      const auto ei = static_cast<std::size_t>(e);
+      res_calc(&x[2 * static_cast<std::size_t>(pedge[2 * ei + 0])],
+               &x[2 * static_cast<std::size_t>(pedge[2 * ei + 1])],
+               &q[4 * static_cast<std::size_t>(pecell[2 * ei + 0])],
+               &q[4 * static_cast<std::size_t>(pecell[2 * ei + 1])],
+               &adt[static_cast<std::size_t>(pecell[2 * ei + 0])],
+               &adt[static_cast<std::size_t>(pecell[2 * ei + 1])],
+               &res[4 * static_cast<std::size_t>(pecell[2 * ei + 0])],
+               &res[4 * static_cast<std::size_t>(pecell[2 * ei + 1])]);
+    }
+  }
+  t1 = clock::now();
+  out.res = us_between(t0, t1, static_cast<long>(nedge) * repeats);
+
+  t0 = clock::now();
+  for (int r = 0; r < repeats; ++r) {
+    for (int e = 0; e < nbedge; ++e) {
+      const auto ei = static_cast<std::size_t>(e);
+      bres_calc(&x[2 * static_cast<std::size_t>(pbedge[2 * ei + 0])],
+                &x[2 * static_cast<std::size_t>(pbedge[2 * ei + 1])],
+                &q[4 * static_cast<std::size_t>(pbecell[ei])],
+                &adt[static_cast<std::size_t>(pbecell[ei])],
+                &res[4 * static_cast<std::size_t>(pbecell[ei])],
+                &bound[ei]);
+    }
+  }
+  t1 = clock::now();
+  out.bres = us_between(t0, t1, static_cast<long>(nbedge) * repeats);
+
+  double rms = 0.0;
+  t0 = clock::now();
+  for (int r = 0; r < repeats; ++r) {
+    for (int c = 0; c < ncell; ++c) {
+      const auto ci = static_cast<std::size_t>(c);
+      update(&qold[4 * ci], &q[4 * ci], &res[4 * ci], &adt[ci], &rms);
+    }
+  }
+  t1 = clock::now();
+  out.update = us_between(t0, t1, static_cast<long>(ncell) * repeats);
+  return out;
+}
+
+kernel_costs nominal_kernel_costs() {
+  return kernel_costs{0.02, 0.08, 0.12, 0.10, 0.04};
+}
+
+kernel_costs measure_loop_costs(sim& s, int iters) {
+  const bool was_enabled = op2::profiling::enabled();
+  op2::profiling::reset();
+  op2::profiling::enable(true);
+  run_classic(s, iters);
+  const auto snap = op2::profiling::snapshot();
+  op2::profiling::enable(was_enabled);
+  op2::profiling::reset();
+  reset_solution(s);
+
+  const auto per_element = [&](const char* name, int set_size) {
+    const auto it = snap.find(name);
+    if (it == snap.end() || it->second.invocations == 0 || set_size == 0) {
+      return 0.0;
+    }
+    return 1e6 * it->second.total_seconds /
+           static_cast<double>(it->second.invocations) /
+           static_cast<double>(set_size);
+  };
+  kernel_costs out;
+  out.save = per_element("save_soln", s.cells.size());
+  out.adt = per_element("adt_calc", s.cells.size());
+  out.res = per_element("res_calc", s.edges.size());
+  out.bres = per_element("bres_calc", s.bedges.size());
+  out.update = per_element("update", s.cells.size());
+  return out;
+}
+
+simsched::airfoil_shape extract_shape(const sim& s, const kernel_costs& costs,
+                                      int block_size, int niter) {
+  using simsched::airfoil_dat;
+
+  // Real plans, identical to what op_par_loop would build.
+  const auto direct_plan = [&](const op2::op_set& set) {
+    return op2::build_plan(set, block_size, {});
+  };
+  const op2::op_plan save_plan = direct_plan(s.cells);
+  const op2::op_plan adt_plan = direct_plan(s.cells);
+  std::vector<op2::plan_indirection> res_conf = {
+      {s.pecell, 0, s.p_res.id()}, {s.pecell, 1, s.p_res.id()}};
+  const op2::op_plan res_plan = op2::build_plan(s.edges, block_size, res_conf);
+  std::vector<op2::plan_indirection> bres_conf = {
+      {s.pbecell, 0, s.p_res.id()}};
+  const op2::op_plan bres_plan =
+      op2::build_plan(s.bedges, block_size, bres_conf);
+  const op2::op_plan update_plan = direct_plan(s.cells);
+
+  simsched::airfoil_shape shape;
+  shape.niter = niter;
+  shape.save = simsched::make_loop_shape(
+      "save_soln", save_plan, costs.save, /*direct=*/true,
+      {airfoil_dat::dat_q}, {airfoil_dat::dat_qold});
+  shape.adt = simsched::make_loop_shape(
+      "adt_calc", adt_plan, costs.adt, /*direct=*/false,
+      {airfoil_dat::dat_x, airfoil_dat::dat_q}, {airfoil_dat::dat_adt});
+  shape.res = simsched::make_loop_shape(
+      "res_calc", res_plan, costs.res, /*direct=*/false,
+      {airfoil_dat::dat_x, airfoil_dat::dat_q, airfoil_dat::dat_adt},
+      {airfoil_dat::dat_res});
+  shape.bres = simsched::make_loop_shape(
+      "bres_calc", bres_plan, costs.bres, /*direct=*/false,
+      {airfoil_dat::dat_x, airfoil_dat::dat_q, airfoil_dat::dat_adt,
+       airfoil_dat::dat_bound},
+      {airfoil_dat::dat_res});
+  shape.update = simsched::make_loop_shape(
+      "update", update_plan, costs.update, /*direct=*/true,
+      {airfoil_dat::dat_qold, airfoil_dat::dat_adt, airfoil_dat::dat_res},
+      {airfoil_dat::dat_q, airfoil_dat::dat_res});
+  return shape;
+}
+
+}  // namespace airfoil

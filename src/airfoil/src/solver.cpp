@@ -1,0 +1,294 @@
+#include "airfoil/solver.hpp"
+
+#include <chrono>
+#include <cmath>
+
+#include "airfoil/kernels.hpp"
+
+namespace airfoil {
+
+using op2::op_arg_dat;
+using op2::op_arg_dat1;
+using op2::op_arg_gbl;
+using op2::op_arg_gbl1;
+using op2::OP_ID;
+using op2::OP_INC;
+using op2::OP_READ;
+using op2::OP_RW;
+using op2::OP_WRITE;
+
+sim make_sim(op2::mesh m) {
+  sim s;
+  s.nodes = m.set("nodes");
+  s.cells = m.set("cells");
+  s.edges = m.set("edges");
+  s.bedges = m.set("bedges");
+  s.pcell = m.map("pcell");
+  s.pedge = m.map("pedge");
+  s.pecell = m.map("pecell");
+  s.pbedge = m.map("pbedge");
+  s.pbecell = m.map("pbecell");
+  s.p_x = m.dat("p_x");
+  s.p_bound = m.dat("p_bound");
+  s.mesh = std::move(m);
+
+  s.p_q = op2::op_decl_dat<double>(s.cells, 4, "double", "p_q");
+  s.p_qold = op2::op_decl_dat<double>(s.cells, 4, "double", "p_qold");
+  s.p_adt = op2::op_decl_dat<double>(s.cells, 1, "double", "p_adt");
+  s.p_res = op2::op_decl_dat<double>(s.cells, 4, "double", "p_res");
+  reset_solution(s);
+  return s;
+}
+
+void reset_solution(sim& s) {
+  const auto& qinf = constants().qinf;
+  auto q = s.p_q.data<double>();
+  for (int c = 0; c < s.cells.size(); ++c) {
+    for (int n = 0; n < 4; ++n) {
+      q[static_cast<std::size_t>(4 * c + n)] = qinf[static_cast<std::size_t>(n)];
+    }
+  }
+  auto qold = s.p_qold.data<double>();
+  std::fill(qold.begin(), qold.end(), 0.0);
+  auto adt = s.p_adt.data<double>();
+  std::fill(adt.begin(), adt.end(), 0.0);
+  auto res = s.p_res.data<double>();
+  std::fill(res.begin(), res.end(), 0.0);
+}
+
+namespace {
+
+double finish_rms(double rms, int ncell) {
+  return std::sqrt(rms / static_cast<double>(ncell));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Classic API (unchanged Airfoil.cpp, Fig 4): synchronous loops.
+
+run_result run_classic(sim& s, int niter) {
+  run_result out;
+  out.rms_history.reserve(static_cast<std::size_t>(niter));
+  const auto t0 = std::chrono::steady_clock::now();
+
+  for (int iter = 0; iter < niter; ++iter) {
+    op2::op_par_loop(save_soln, "save_soln", s.cells,
+                     op_arg_dat<double>(s.p_q, -1, OP_ID, 4, OP_READ),
+                     op_arg_dat<double>(s.p_qold, -1, OP_ID, 4, OP_WRITE));
+
+    double rms = 0.0;
+    for (int k = 0; k < 2; ++k) {
+      rms = 0.0;
+      op2::op_par_loop(adt_calc, "adt_calc", s.cells,
+                       op_arg_dat<double>(s.p_x, 0, s.pcell, 2, OP_READ),
+                       op_arg_dat<double>(s.p_x, 1, s.pcell, 2, OP_READ),
+                       op_arg_dat<double>(s.p_x, 2, s.pcell, 2, OP_READ),
+                       op_arg_dat<double>(s.p_x, 3, s.pcell, 2, OP_READ),
+                       op_arg_dat<double>(s.p_q, -1, OP_ID, 4, OP_READ),
+                       op_arg_dat<double>(s.p_adt, -1, OP_ID, 1, OP_WRITE));
+
+      op2::op_par_loop(res_calc, "res_calc", s.edges,
+                       op_arg_dat<double>(s.p_x, 0, s.pedge, 2, OP_READ),
+                       op_arg_dat<double>(s.p_x, 1, s.pedge, 2, OP_READ),
+                       op_arg_dat<double>(s.p_q, 0, s.pecell, 4, OP_READ),
+                       op_arg_dat<double>(s.p_q, 1, s.pecell, 4, OP_READ),
+                       op_arg_dat<double>(s.p_adt, 0, s.pecell, 1, OP_READ),
+                       op_arg_dat<double>(s.p_adt, 1, s.pecell, 1, OP_READ),
+                       op_arg_dat<double>(s.p_res, 0, s.pecell, 4, OP_INC),
+                       op_arg_dat<double>(s.p_res, 1, s.pecell, 4, OP_INC));
+
+      op2::op_par_loop(bres_calc, "bres_calc", s.bedges,
+                       op_arg_dat<double>(s.p_x, 0, s.pbedge, 2, OP_READ),
+                       op_arg_dat<double>(s.p_x, 1, s.pbedge, 2, OP_READ),
+                       op_arg_dat<double>(s.p_q, 0, s.pbecell, 4, OP_READ),
+                       op_arg_dat<double>(s.p_adt, 0, s.pbecell, 1, OP_READ),
+                       op_arg_dat<double>(s.p_res, 0, s.pbecell, 4, OP_INC),
+                       op_arg_dat<int>(s.p_bound, -1, OP_ID, 1, OP_READ));
+
+      op2::op_par_loop(update, "update", s.cells,
+                       op_arg_dat<double>(s.p_qold, -1, OP_ID, 4, OP_READ),
+                       op_arg_dat<double>(s.p_q, -1, OP_ID, 4, OP_WRITE),
+                       op_arg_dat<double>(s.p_res, -1, OP_ID, 4, OP_RW),
+                       op_arg_dat<double>(s.p_adt, -1, OP_ID, 1, OP_READ),
+                       op_arg_gbl<double>(&rms, 1, OP_INC));
+    }
+    out.rms_history.push_back(finish_rms(rms, s.cells.size()));
+  }
+
+  out.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// §III-A2 (Fig 10): loops return futures; the driver places the .get()
+// calls required by the data dependencies.  save_soln overlaps with the
+// first adt_calc; res/bres serialise on their shared OP_INC target.
+
+run_result run_async(sim& s, int niter) {
+  run_result out;
+  out.rms_history.reserve(static_cast<std::size_t>(niter));
+  const auto t0 = std::chrono::steady_clock::now();
+
+  for (int iter = 0; iter < niter; ++iter) {
+    // new_data1: save_soln — direct loop wrapped in async (Fig 8);
+    // nothing in stage k=0 before update needs qold, so it overlaps
+    // with adt_calc and the flux loops.
+    auto f_save = op2::op_par_loop_async(
+        save_soln, "save_soln", s.cells,
+        op_arg_dat<double>(s.p_q, -1, OP_ID, 4, OP_READ),
+        op_arg_dat<double>(s.p_qold, -1, OP_ID, 4, OP_WRITE));
+
+    double rms = 0.0;
+    for (int k = 0; k < 2; ++k) {
+      rms = 0.0;
+      // new_data2: adt_calc — indirect loop via for_each(par(task)).
+      auto f_adt = op2::op_par_loop_async(
+          adt_calc, "adt_calc", s.cells,
+          op_arg_dat<double>(s.p_x, 0, s.pcell, 2, OP_READ),
+          op_arg_dat<double>(s.p_x, 1, s.pcell, 2, OP_READ),
+          op_arg_dat<double>(s.p_x, 2, s.pcell, 2, OP_READ),
+          op_arg_dat<double>(s.p_x, 3, s.pcell, 2, OP_READ),
+          op_arg_dat<double>(s.p_q, -1, OP_ID, 4, OP_READ),
+          op_arg_dat<double>(s.p_adt, -1, OP_ID, 1, OP_WRITE));
+      f_adt.get();  // res_calc reads p_adt (Fig 10's new_data2.get())
+
+      auto f_res = op2::op_par_loop_async(
+          res_calc, "res_calc", s.edges,
+          op_arg_dat<double>(s.p_x, 0, s.pedge, 2, OP_READ),
+          op_arg_dat<double>(s.p_x, 1, s.pedge, 2, OP_READ),
+          op_arg_dat<double>(s.p_q, 0, s.pecell, 4, OP_READ),
+          op_arg_dat<double>(s.p_q, 1, s.pecell, 4, OP_READ),
+          op_arg_dat<double>(s.p_adt, 0, s.pecell, 1, OP_READ),
+          op_arg_dat<double>(s.p_adt, 1, s.pecell, 1, OP_READ),
+          op_arg_dat<double>(s.p_res, 0, s.pecell, 4, OP_INC),
+          op_arg_dat<double>(s.p_res, 1, s.pecell, 4, OP_INC));
+      // bres_calc also increments p_res: unlike the paper's Fig 10 we
+      // serialise the two flux loops (launching both concurrently races
+      // on the boundary cells' residuals).
+      f_res.get();
+
+      auto f_bres = op2::op_par_loop_async(
+          bres_calc, "bres_calc", s.bedges,
+          op_arg_dat<double>(s.p_x, 0, s.pbedge, 2, OP_READ),
+          op_arg_dat<double>(s.p_x, 1, s.pbedge, 2, OP_READ),
+          op_arg_dat<double>(s.p_q, 0, s.pbecell, 4, OP_READ),
+          op_arg_dat<double>(s.p_adt, 0, s.pbecell, 1, OP_READ),
+          op_arg_dat<double>(s.p_res, 0, s.pbecell, 4, OP_INC),
+          op_arg_dat<int>(s.p_bound, -1, OP_ID, 1, OP_READ));
+      f_bres.get();
+      if (k == 0) {
+        f_save.get();  // update reads p_qold (Fig 10's new_data1.get())
+      }
+
+      auto f_update = op2::op_par_loop_async(
+          update, "update", s.cells,
+          op_arg_dat<double>(s.p_qold, -1, OP_ID, 4, OP_READ),
+          op_arg_dat<double>(s.p_q, -1, OP_ID, 4, OP_WRITE),
+          op_arg_dat<double>(s.p_res, -1, OP_ID, 4, OP_RW),
+          op_arg_dat<double>(s.p_adt, -1, OP_ID, 1, OP_READ),
+          op_arg_gbl<double>(&rms, 1, OP_INC));
+      f_update.get();  // next adt_calc reads p_q; rms needed below
+    }
+    out.rms_history.push_back(finish_rms(rms, s.cells.size()));
+  }
+
+  out.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// §III-B (Fig 14): modified API.  The driver launches every loop of
+// every iteration without blocking; dependencies (including the
+// res/bres write-after-write on p_res) are derived automatically from
+// the argument futures.  rms gets one slot per stage so the driver
+// never has to wait just to reset an accumulator.
+
+run_result run_dataflow(sim& s, int niter) {
+  run_result out;
+  out.rms_history.reserve(static_cast<std::size_t>(niter));
+  const auto t0 = std::chrono::steady_clock::now();
+
+  op2::op_dat_df q(s.p_q), qold(s.p_qold), adt(s.p_adt), res(s.p_res);
+  op2::op_dat_df x(s.p_x), bound(s.p_bound);
+
+  // One rms accumulator per (iteration, stage): the paper's data[t]
+  // pattern applied to the reduction target.
+  std::vector<double> rms(static_cast<std::size_t>(niter) * 2, 0.0);
+  std::vector<hpxlite::shared_future<void>> stage_done(
+      static_cast<std::size_t>(niter) * 2);
+
+  for (int iter = 0; iter < niter; ++iter) {
+    op2::op_par_loop(save_soln, "save_soln", s.cells,
+                     op_arg_dat1<double>(q, -1, OP_ID, 4, OP_READ),
+                     op_arg_dat1<double>(qold, -1, OP_ID, 4, OP_WRITE));
+
+    for (int k = 0; k < 2; ++k) {
+      op2::op_par_loop(adt_calc, "adt_calc", s.cells,
+                       op_arg_dat1<double>(x, 0, s.pcell, 2, OP_READ),
+                       op_arg_dat1<double>(x, 1, s.pcell, 2, OP_READ),
+                       op_arg_dat1<double>(x, 2, s.pcell, 2, OP_READ),
+                       op_arg_dat1<double>(x, 3, s.pcell, 2, OP_READ),
+                       op_arg_dat1<double>(q, -1, OP_ID, 4, OP_READ),
+                       op_arg_dat1<double>(adt, -1, OP_ID, 1, OP_WRITE));
+
+      op2::op_par_loop(res_calc, "res_calc", s.edges,
+                       op_arg_dat1<double>(x, 0, s.pedge, 2, OP_READ),
+                       op_arg_dat1<double>(x, 1, s.pedge, 2, OP_READ),
+                       op_arg_dat1<double>(q, 0, s.pecell, 4, OP_READ),
+                       op_arg_dat1<double>(q, 1, s.pecell, 4, OP_READ),
+                       op_arg_dat1<double>(adt, 0, s.pecell, 1, OP_READ),
+                       op_arg_dat1<double>(adt, 1, s.pecell, 1, OP_READ),
+                       op_arg_dat1<double>(res, 0, s.pecell, 4, OP_INC),
+                       op_arg_dat1<double>(res, 1, s.pecell, 4, OP_INC));
+
+      op2::op_par_loop(bres_calc, "bres_calc", s.bedges,
+                       op_arg_dat1<double>(x, 0, s.pbedge, 2, OP_READ),
+                       op_arg_dat1<double>(x, 1, s.pbedge, 2, OP_READ),
+                       op_arg_dat1<double>(q, 0, s.pbecell, 4, OP_READ),
+                       op_arg_dat1<double>(adt, 0, s.pbecell, 1, OP_READ),
+                       op_arg_dat1<double>(res, 0, s.pbecell, 4, OP_INC),
+                       op_arg_dat1<int>(bound, -1, OP_ID, 1, OP_READ));
+
+      const auto slot = static_cast<std::size_t>(2 * iter + k);
+      stage_done[slot] = op2::op_par_loop(
+          update, "update", s.cells,
+          op_arg_dat1<double>(qold, -1, OP_ID, 4, OP_READ),
+          op_arg_dat1<double>(q, -1, OP_ID, 4, OP_WRITE),
+          op_arg_dat1<double>(res, -1, OP_ID, 4, OP_RW),
+          op_arg_dat1<double>(adt, -1, OP_ID, 1, OP_READ),
+          op_arg_gbl1<double>(&rms[slot], 1, OP_INC));
+    }
+  }
+
+  // Drain the tree: the final get()s of the application driver.
+  q.wait();
+  qold.wait();
+  adt.wait();
+  res.wait();
+  for (int iter = 0; iter < niter; ++iter) {
+    const auto slot = static_cast<std::size_t>(2 * iter + 1);
+    stage_done[slot].wait();
+    out.rms_history.push_back(
+        finish_rms(rms[slot], s.cells.size()));
+  }
+
+  out.seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  return out;
+}
+
+double solution_checksum(const sim& s) {
+  double sum = 0.0;
+  for (const double v : s.p_q.data<double>()) {
+    sum += v;
+  }
+  return sum;
+}
+
+}  // namespace airfoil

@@ -1,0 +1,49 @@
+#include "airfoil/state_io.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "op2/mesh_io.hpp"
+
+namespace airfoil {
+
+void save_state(const sim& s, const std::string& path) {
+  op2::mesh snapshot = s.mesh;  // sets/maps/geometry dats (shared handles)
+  snapshot.dats.insert_or_assign("p_q", s.p_q);
+  snapshot.dats.insert_or_assign("p_qold", s.p_qold);
+  snapshot.dats.insert_or_assign("p_adt", s.p_adt);
+  snapshot.dats.insert_or_assign("p_res", s.p_res);
+  op2::write_mesh_file(path, snapshot);
+}
+
+sim load_state(const std::string& path) {
+  op2::mesh snapshot = op2::read_mesh_file(path);
+  // make_sim zero-initialises the solution dats; restore them from the
+  // checkpoint afterwards.
+  const op2::op_dat q = snapshot.dat("p_q");
+  const op2::op_dat qold = snapshot.dat("p_qold");
+  const op2::op_dat adt = snapshot.dat("p_adt");
+  const op2::op_dat res = snapshot.dat("p_res");
+  snapshot.dats.erase("p_q");
+  snapshot.dats.erase("p_qold");
+  snapshot.dats.erase("p_adt");
+  snapshot.dats.erase("p_res");
+
+  sim s = make_sim(std::move(snapshot));
+  const auto restore = [](op2::op_dat& dst, const op2::op_dat& src) {
+    auto d = dst.data<double>();
+    const auto v = src.data<double>();
+    if (d.size() != v.size()) {
+      throw std::runtime_error("load_state: checkpoint dat '" + src.name() +
+                               "' has wrong size");
+    }
+    std::copy(v.begin(), v.end(), d.begin());
+  };
+  restore(s.p_q, q);
+  restore(s.p_qold, qold);
+  restore(s.p_adt, adt);
+  restore(s.p_res, res);
+  return s;
+}
+
+}  // namespace airfoil

@@ -1,0 +1,91 @@
+// op2hpx-translate: command-line front end of the source-to-source
+// translator.  Usage:
+//
+//   op2hpx-translate --target=hpx_dataflow Airfoil.cpp > kernels.cpp
+//
+// Mirrors invoking OP2's Python translator on an application source.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "codegen/translator.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: op2hpx-translate [--list] --target=<t> <source.cpp>\n"
+         "  targets: openmp, hpx_foreach, hpx_foreach_chunked, hpx_async,\n"
+         "           hpx_dataflow, op2hpx\n"
+         "  --list: print a summary of the op_par_loop call sites instead\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string target_name;
+  std::string path;
+  bool list_only = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--target=", 0) == 0) {
+      target_name = arg.substr(9);
+    } else if (arg == "--list") {
+      list_only = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty() || (target_name.empty() && !list_only)) {
+    return usage();
+  }
+
+  codegen::target t = codegen::target::openmp;
+  if (list_only) {
+    // target unused in list mode
+  } else if (target_name == "openmp") {
+    t = codegen::target::openmp;
+  } else if (target_name == "hpx_foreach") {
+    t = codegen::target::hpx_foreach;
+  } else if (target_name == "hpx_foreach_chunked") {
+    t = codegen::target::hpx_foreach_chunked;
+  } else if (target_name == "hpx_async") {
+    t = codegen::target::hpx_async;
+  } else if (target_name == "hpx_dataflow") {
+    t = codegen::target::hpx_dataflow;
+  } else if (target_name == "op2hpx") {
+    t = codegen::target::op2hpx;
+  } else {
+    std::cerr << "unknown target '" << target_name << "'\n";
+    return usage();
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open '" << path << "'\n";
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  try {
+    const auto loops = codegen::parse_loops(buffer.str());
+    if (loops.empty()) {
+      std::cerr << "warning: no op_par_loop call sites found in " << path
+                << "\n";
+    }
+    if (list_only) {
+      std::cout << codegen::summarize_loops(loops);
+    } else {
+      std::cout << codegen::emit_translation_unit(loops, t);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,505 @@
+#include "codegen/translator.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+namespace codegen {
+
+const char* to_string(target t) {
+  switch (t) {
+    case target::openmp:
+      return "openmp";
+    case target::hpx_foreach:
+      return "hpx_foreach";
+    case target::hpx_foreach_chunked:
+      return "hpx_foreach_chunked";
+    case target::hpx_async:
+      return "hpx_async";
+    case target::hpx_dataflow:
+      return "hpx_dataflow";
+    case target::op2hpx:
+      return "op2hpx";
+  }
+  return "?";
+}
+
+bool parsed_loop::is_direct() const {
+  return std::none_of(args.begin(), args.end(),
+                      [](const loop_arg& a) { return a.is_indirect(); });
+}
+
+bool parsed_loop::needs_coloring() const {
+  return std::any_of(args.begin(), args.end(), [](const loop_arg& a) {
+    return a.is_indirect() && a.writes();
+  });
+}
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("codegen: " + what);
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) {
+    ++b;
+  }
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+/// Finds the matching ')' for the '(' at `open`, respecting nesting,
+/// string literals and angle brackets in template arguments.
+std::size_t match_paren(const std::string& s, std::size_t open) {
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = open; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '(') {
+      ++depth;
+    } else if (c == ')') {
+      if (--depth == 0) {
+        return i;
+      }
+    }
+  }
+  fail("unbalanced parentheses in op_par_loop call");
+}
+
+/// Splits `s` at top-level commas (not inside parens/strings/<>).
+std::vector<std::string> split_args(const std::string& s) {
+  std::vector<std::string> out;
+  int paren = 0;
+  int angle = 0;
+  bool in_string = false;
+  std::string cur;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      cur += c;
+      if (c == '\\' && i + 1 < s.size()) {
+        cur += s[++i];
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        break;
+      case '(':
+        ++paren;
+        break;
+      case ')':
+        --paren;
+        break;
+      case '<':
+        ++angle;
+        break;
+      case '>':
+        if (angle > 0) {
+          --angle;
+        }
+        break;
+      case ',':
+        if (paren == 0 && angle == 0) {
+          out.push_back(trim(cur));
+          cur.clear();
+          continue;
+        }
+        break;
+      default:
+        break;
+    }
+    cur += c;
+  }
+  if (!trim(cur).empty()) {
+    out.push_back(trim(cur));
+  }
+  return out;
+}
+
+/// Drops a leading "op2::" qualifier so both the classic C spelling
+/// and this library's namespaced spelling parse identically.
+std::string strip_ns(const std::string& s) {
+  constexpr const char* ns = "op2::";
+  if (s.rfind(ns, 0) == 0) {
+    return s.substr(5);
+  }
+  return s;
+}
+
+std::string strip_quotes(const std::string& s) {
+  if (s.size() >= 2 && s.front() == '"' && s.back() == '"') {
+    return s.substr(1, s.size() - 2);
+  }
+  return s;
+}
+
+int parse_int(const std::string& s, const std::string& context) {
+  try {
+    std::size_t pos = 0;
+    const int v = std::stoi(s, &pos);
+    if (pos != s.size()) {
+      fail("trailing characters in integer '" + s + "' in " + context);
+    }
+    return v;
+  } catch (const std::invalid_argument&) {
+    fail("expected integer, got '" + s + "' in " + context);
+  } catch (const std::out_of_range&) {
+    fail("integer out of range: '" + s + "' in " + context);
+  }
+}
+
+/// Parses one op_arg_dat / op_arg_dat1 / op_arg_gbl expression.
+loop_arg parse_arg(const std::string& expr) {
+  const auto open = expr.find('(');
+  if (open == std::string::npos) {
+    fail("malformed op_arg expression: " + expr);
+  }
+  std::string fn = strip_ns(trim(expr.substr(0, open)));
+  // Drop an explicit template argument list: op_arg_dat<double>.
+  const auto lt = fn.find('<');
+  std::string template_type;
+  if (lt != std::string::npos) {
+    const auto gt = fn.rfind('>');
+    if (gt == std::string::npos || gt < lt) {
+      fail("malformed template argument in: " + expr);
+    }
+    template_type = trim(fn.substr(lt + 1, gt - lt - 1));
+    fn = trim(fn.substr(0, lt));
+  }
+  const auto close = match_paren(expr, open);
+  const auto parts = split_args(expr.substr(open + 1, close - open - 1));
+
+  loop_arg arg;
+  if (fn == "op_arg_gbl" || fn == "op_arg_gbl1") {
+    // op_arg_gbl(&rms, 1, "double", OP_INC)  (classic)
+    // op_arg_gbl<double>(&rms, 1, OP_INC)    (typed)
+    arg.is_global = true;
+    if (parts.size() == 4) {
+      arg.dat = parts[0];
+      arg.dim = parse_int(parts[1], expr);
+      arg.type = strip_quotes(parts[2]);
+      arg.access = strip_ns(parts[3]);
+    } else if (parts.size() == 3 && !template_type.empty()) {
+      arg.dat = parts[0];
+      arg.dim = parse_int(parts[1], expr);
+      arg.type = template_type;
+      arg.access = strip_ns(parts[2]);
+    } else {
+      fail("op_arg_gbl expects 3 or 4 arguments: " + expr);
+    }
+    return arg;
+  }
+  if (fn != "op_arg_dat" && fn != "op_arg_dat1") {
+    fail("expected op_arg_dat/op_arg_gbl, got '" + fn + "'");
+  }
+  // op_arg_dat(p_x, 0, pcell, 2, "double", OP_READ)  (classic)
+  // op_arg_dat<double>(p_x, 0, pcell, 2, OP_READ)    (typed)
+  if (parts.size() == 6) {
+    arg.dat = parts[0];
+    arg.idx = parse_int(parts[1], expr);
+    arg.map = strip_ns(parts[2]);
+    arg.dim = parse_int(parts[3], expr);
+    arg.type = strip_quotes(parts[4]);
+    arg.access = strip_ns(parts[5]);
+  } else if (parts.size() == 5 && !template_type.empty()) {
+    arg.dat = parts[0];
+    arg.idx = parse_int(parts[1], expr);
+    arg.map = strip_ns(parts[2]);
+    arg.dim = parse_int(parts[3], expr);
+    arg.type = template_type;
+    arg.access = strip_ns(parts[4]);
+  } else {
+    fail("op_arg_dat expects 5 or 6 arguments: " + expr);
+  }
+  if (arg.idx < 0) {
+    arg.map = "OP_ID";
+  }
+  return arg;
+}
+
+}  // namespace
+
+std::vector<parsed_loop> parse_loops(const std::string& source) {
+  std::vector<parsed_loop> loops;
+  std::size_t pos = 0;
+  while ((pos = source.find("op_par_loop", pos)) != std::string::npos) {
+    // Skip identifiers that merely contain the prefix, e.g. a comment
+    // word boundary check on the left.
+    if (pos > 0 &&
+        (std::isalnum(static_cast<unsigned char>(source[pos - 1])) != 0 ||
+         source[pos - 1] == '_')) {
+      pos += 11;
+      continue;
+    }
+    std::size_t cursor = pos + 11;  // after "op_par_loop"
+    // Optional suffix: op_par_loop_save_soln / op_par_loop_async.
+    std::string suffix;
+    while (cursor < source.size() &&
+           (std::isalnum(static_cast<unsigned char>(source[cursor])) != 0 ||
+            source[cursor] == '_')) {
+      suffix += source[cursor];
+      ++cursor;
+    }
+    while (cursor < source.size() &&
+           std::isspace(static_cast<unsigned char>(source[cursor])) != 0) {
+      ++cursor;
+    }
+    if (cursor >= source.size() || source[cursor] != '(') {
+      pos = cursor;
+      continue;  // a mention, not a call
+    }
+    const std::size_t close = match_paren(source, cursor);
+    auto parts = split_args(source.substr(cursor + 1, close - cursor - 1));
+    pos = close;
+
+    parsed_loop loop;
+    std::size_t arg_begin = 0;
+    if (!suffix.empty() && suffix != "_async") {
+      // op_par_loop_adt_calc("adt_calc", cells, args...)
+      loop.kernel = suffix.substr(suffix.front() == '_' ? 1 : 0);
+      if (parts.size() < 2) {
+        fail("op_par_loop" + suffix + " needs name and set");
+      }
+      loop.name = strip_quotes(parts[0]);
+      loop.set = parts[1];
+      arg_begin = 2;
+    } else {
+      // op_par_loop(kernel, "name", set, args...)
+      if (parts.size() < 3) {
+        fail("op_par_loop needs kernel, name and set");
+      }
+      loop.kernel = parts[0];
+      loop.name = strip_quotes(parts[1]);
+      loop.set = parts[2];
+      arg_begin = 3;
+    }
+    for (std::size_t i = arg_begin; i < parts.size(); ++i) {
+      loop.args.push_back(parse_arg(parts[i]));
+    }
+    if (loop.args.empty()) {
+      fail("op_par_loop '" + loop.name + "' has no arguments");
+    }
+    loops.push_back(std::move(loop));
+  }
+  return loops;
+}
+
+namespace {
+
+/// The expression the kernel receives for argument `a` at element `n`.
+std::string arg_expr(const loop_arg& a, std::size_t i) {
+  std::ostringstream os;
+  if (a.is_global) {
+    return a.dat;
+  }
+  if (a.is_direct()) {
+    os << "&((" << a.type << "*)" << a.dat << "->data)[" << a.dim << " * n]";
+  } else {
+    os << "&((" << a.type << "*)" << a.dat << "->data)[" << a.dim << " * "
+       << a.map << "->map[" << a.map << "->dim * n + " << a.idx << "]]";
+  }
+  (void)i;
+  return os.str();
+}
+
+std::string kernel_call(const parsed_loop& loop, int indent) {
+  std::ostringstream os;
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  os << pad << loop.kernel << "(";
+  for (std::size_t i = 0; i < loop.args.size(); ++i) {
+    if (i != 0) {
+      os << ",\n" << pad << std::string(loop.kernel.size() + 1, ' ');
+    }
+    os << arg_expr(loop.args[i], i);
+  }
+  os << ");\n";
+  return os.str();
+}
+
+/// The shared inner block body: resolve block extents, loop elements.
+std::string block_body(const parsed_loop& loop, int indent) {
+  std::ostringstream os;
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  os << pad << "int blockId = plan->blkmap[blockIdx + block_offset];\n"
+     << pad << "int nelem = plan->nelems[blockId];\n"
+     << pad << "int offset_b = plan->offset[blockId];\n"
+     << pad << "for (int n = offset_b; n < offset_b + nelem; n++) {\n"
+     << kernel_call(loop, indent + 2) << pad << "}\n";
+  return os.str();
+}
+
+std::string color_prologue(const parsed_loop& loop) {
+  std::ostringstream os;
+  os << "  op_plan* plan = op_plan_get(\"" << loop.name
+     << "\", set, part_size, nargs, args, ninds, inds);\n"
+     << "  int block_offset = 0;\n"
+     << "  for (int col = 0; col < plan->ncolors; col++) {\n"
+     << "    int nblocks = plan->ncolblk[col];\n";
+  return os.str();
+}
+
+}  // namespace
+
+std::string emit_loop(const parsed_loop& loop, target t) {
+  std::ostringstream os;
+  os << "// generated by op2hpx codegen: loop '" << loop.name << "' ("
+     << (loop.is_direct() ? "direct" : "indirect")
+     << (loop.needs_coloring() ? ", coloured" : "") << ") -> "
+     << to_string(t) << "\n";
+  os << "void op_par_loop_" << loop.kernel
+     << "(const char* name, op_set set, ...) {\n";
+
+  switch (t) {
+    case target::openmp:
+      // Fig 5: #pragma omp parallel for over the plan's blocks.
+      os << color_prologue(loop)
+         << "    #pragma omp parallel for\n"
+         << "    for (int blockIdx = 0; blockIdx < nblocks; blockIdx++) {\n"
+         << block_body(loop, 6) << "    }\n"
+         << "    block_offset += nblocks;\n"
+         << "  }\n";
+      break;
+
+    case target::hpx_foreach:
+      // Fig 6: for_each(par, ...) — fork-join, auto grain size.
+      os << color_prologue(loop)
+         << "    auto r = boost::irange(0, nblocks);\n"
+         << "    hpx::parallel::for_each(par, r.begin(), r.end(),\n"
+         << "        [&](std::size_t blockIdx) {\n"
+         << block_body(loop, 6) << "    });\n"
+         << "    block_offset += nblocks;\n"
+         << "  }\n";
+      break;
+
+    case target::hpx_foreach_chunked:
+      // Fig 7: static chunk size for large loops.
+      os << color_prologue(loop)
+         << "    static_chunk_size scs(chunk_size);\n"
+         << "    auto r = boost::irange(0, nblocks);\n"
+         << "    hpx::parallel::for_each(par.with(scs), r.begin(), "
+            "r.end(),\n"
+         << "        [&](std::size_t blockIdx) {\n"
+         << block_body(loop, 6) << "    });\n"
+         << "    block_offset += nblocks;\n"
+         << "  }\n";
+      break;
+
+    case target::hpx_async:
+      if (loop.is_direct()) {
+        // Fig 8: direct loops wrapped in async, returning a future.
+        os << "  return async(hpx::launch::async, [=]() {\n"
+           << "    auto r = boost::irange(0, nthreads);\n"
+           << "    hpx::parallel::for_each(par, r.begin(), r.end(),\n"
+           << "        [&](std::size_t thr) {\n"
+           << "      int start = (set->size * thr) / nthreads;\n"
+           << "      int finish = (set->size * (thr + 1)) / nthreads;\n"
+           << "      for (int n = start; n < finish; n++) {\n"
+           << kernel_call(loop, 8) << "      }\n"
+           << "    });\n"
+           << "  });\n";
+      } else {
+        // Fig 9: indirect loops via for_each(par(task)) -> future.
+        os << color_prologue(loop)
+           << "    auto r = boost::irange(0, nblocks);\n"
+           << "    new_data = hpx::parallel::for_each(par(task), "
+              "r.begin(), r.end(),\n"
+           << "        [&](std::size_t blockIdx) {\n"
+           << block_body(loop, 6) << "    });\n"
+           << "    block_offset += nblocks;\n"
+           << "  }\n"
+           << "  return new_data;\n";
+      }
+      break;
+
+    case target::op2hpx: {
+      // This repository's typed API: a ready-to-compile call site.
+      os << "  op2::op_par_loop(" << loop.kernel << ", \"" << loop.name
+         << "\", " << loop.set;
+      for (const auto& a : loop.args) {
+        os << ",\n      ";
+        if (a.is_global) {
+          os << "op2::op_arg_gbl<" << a.type << ">(" << a.dat << ", "
+             << a.dim << ", op2::" << a.access << ")";
+        } else {
+          os << "op2::op_arg_dat<" << a.type << ">(" << a.dat << ", "
+             << a.idx << ", "
+             << (a.is_direct() ? std::string("op2::OP_ID") : a.map) << ", "
+             << a.dim << ", op2::" << a.access << ")";
+        }
+      }
+      os << ");\n";
+      break;
+    }
+
+    case target::hpx_dataflow:
+      // Fig 13: dataflow over future arguments, for_each(par) inside.
+      os << "  using hpx::lcos::local::dataflow;\n"
+         << "  using hpx::util::unwrapped;\n"
+         << "  return dataflow(unwrapped([=](op_set set, op_args args) {\n"
+         << color_prologue(loop)
+         << "    auto r = boost::irange(0, nblocks);\n"
+         << "    hpx::parallel::for_each(par, r.begin(), r.end(),\n"
+         << "        [&](std::size_t blockIdx) {\n"
+         << block_body(loop, 6) << "    });\n"
+         << "    block_offset += nblocks;\n"
+         << "  }\n"
+         << "    return arg" << loop.args.size() - 1 << ".dat;\n"
+         << "  }), args...);\n";
+      break;
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string summarize_loops(const std::vector<parsed_loop>& loops) {
+  std::ostringstream os;
+  os << "loops: " << loops.size() << "\n";
+  for (const auto& loop : loops) {
+    os << "  " << loop.name << " over " << loop.set << " ["
+       << (loop.is_direct() ? "direct" : "indirect")
+       << (loop.needs_coloring() ? ", coloured" : "") << "] kernel="
+       << loop.kernel << "\n";
+    for (const auto& a : loop.args) {
+      os << "    " << (a.is_global ? "gbl " : "dat ") << a.dat << " dim="
+         << a.dim << " " << a.type << " " << a.access;
+      if (a.is_indirect()) {
+        os << " via " << a.map << "[" << a.idx << "]";
+      }
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string emit_translation_unit(const std::vector<parsed_loop>& loops,
+                                  target t) {
+  std::ostringstream os;
+  os << "// Auto-generated by the op2hpx source-to-source translator.\n"
+     << "// Target: " << to_string(t) << ". Do not edit.\n\n";
+  for (const auto& loop : loops) {
+    os << emit_loop(loop, t) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace codegen

@@ -1,0 +1,28 @@
+// Lightweight assertion macro that stays active in release builds for
+// cheap checks guarding runtime invariants (task-queue integrity,
+// future state transitions).  Unlike <cassert> it is not compiled out
+// by NDEBUG, because scheduler bugs are timing-dependent and release
+// builds are where they surface.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hpxlite::detail {
+
+[[noreturn]] inline void assertion_failure(const char* expr, const char* file,
+                                           int line, const char* msg) {
+  std::fprintf(stderr, "hpxlite assertion failed: %s (%s:%d): %s\n", expr,
+               file, line, msg);
+  std::abort();
+}
+
+}  // namespace hpxlite::detail
+
+#define HPXLITE_ASSERT(expr, msg)                                       \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::hpxlite::detail::assertion_failure(#expr, __FILE__, __LINE__,   \
+                                           msg);                        \
+    }                                                                   \
+  } while (false)

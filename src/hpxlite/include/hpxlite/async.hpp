@@ -1,0 +1,93 @@
+// hpxlite::async — asynchronous function invocation returning a future,
+// matching the paper's usage:
+//
+//   return async(hpx::launch::async, [...]{ ... });
+//
+// Launch policies:
+//   launch::async     schedule on the runtime's worker pool
+//   launch::sync      invoke immediately in the calling thread
+//   launch::deferred  invoke lazily on the first wait()/get()
+#pragma once
+
+#include <memory>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+
+#include "hpxlite/future.hpp"
+#include "hpxlite/scheduler.hpp"
+
+namespace hpxlite {
+
+enum class launch {
+  async,
+  sync,
+  deferred,
+};
+
+namespace detail {
+
+template <typename F, typename... Args>
+using async_result_t =
+    std::invoke_result_t<std::decay_t<F>, std::decay_t<Args>&...>;
+
+}  // namespace detail
+
+/// Invokes f(args...) under `policy`, returning a future for the result.
+template <typename F, typename... Args>
+auto async(launch policy, F&& f, Args&&... args)
+    -> future<detail::async_result_t<F, Args...>> {
+  using R = detail::async_result_t<F, Args...>;
+  auto state = std::make_shared<detail::shared_state<R>>();
+
+  auto bound = [fn = std::decay_t<F>(std::forward<F>(f)),
+                tup = std::tuple<std::decay_t<Args>...>(
+                    std::forward<Args>(args)...)]() mutable -> R {
+    return std::apply(fn, tup);
+  };
+
+  switch (policy) {
+    case launch::sync: {
+      detail::fulfil_from_invoke(state, std::move(bound));
+      break;
+    }
+    case launch::deferred: {
+      // Captures a raw pointer: the closure is stored inside the state
+      // itself, so the state strictly outlives it (and a shared_ptr
+      // capture would create a reference cycle).
+      state->set_deferred([s = state.get(), work = std::move(bound)]() mutable {
+        detail::fulfil_from_invoke(s, std::move(work));
+      });
+      break;
+    }
+    case launch::async: {
+      runtime::get().submit(
+          [state, work = std::move(bound)]() mutable {
+            detail::fulfil_from_invoke(state, std::move(work));
+          });
+      break;
+    }
+  }
+  return future<R>(std::move(state));
+}
+
+/// Convenience overload defaulting to launch::async.
+template <typename F, typename... Args,
+          typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, launch>>>
+auto async(F&& f, Args&&... args) {
+  return async(launch::async, std::forward<F>(f), std::forward<Args>(args)...);
+}
+
+/// Runs f(args...) on the pool without producing a future ("apply" in
+/// HPX terminology) — fire-and-forget.
+template <typename F, typename... Args>
+void post(F&& f, Args&&... args) {
+  runtime::get().submit(
+      [fn = std::decay_t<F>(std::forward<F>(f)),
+       tup = std::tuple<std::decay_t<Args>...>(
+           std::forward<Args>(args)...)]() mutable {
+        std::apply(fn, tup);
+      });
+}
+
+}  // namespace hpxlite

@@ -1,0 +1,113 @@
+// hpxlite::channel<T> — HPX's local channel LCO: an unbounded FIFO of
+// values where receives are futures.  The producer/consumer sides are
+// fully asynchronous: get() before set() yields a pending future that
+// the matching set() fulfils; set() before get() queues the value.
+//
+// close() drains nothing: queued values can still be received, but
+// pending and future receives beyond the queue fail with
+// channel_closed, and further set() calls throw.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "hpxlite/future.hpp"
+#include "hpxlite/spinlock.hpp"
+
+namespace hpxlite {
+
+class channel_closed : public std::runtime_error {
+ public:
+  channel_closed() : std::runtime_error("hpxlite: channel closed") {}
+};
+
+template <typename T>
+class channel {
+ public:
+  channel() : state_(std::make_shared<state>()) {}
+
+  // Copyable handle: both ends may be shared across tasks.
+  channel(const channel&) = default;
+  channel& operator=(const channel&) = default;
+  channel(channel&&) noexcept = default;
+  channel& operator=(channel&&) noexcept = default;
+
+  /// Sends a value; fulfils the oldest pending receive if any.
+  void set(T value) {
+    shared_state_ptr waiter;
+    {
+      std::lock_guard<spinlock> lock(state_->mutex);
+      if (state_->closed) {
+        throw channel_closed();
+      }
+      if (!state_->receivers.empty()) {
+        waiter = std::move(state_->receivers.front());
+        state_->receivers.pop_front();
+      } else {
+        state_->values.push_back(std::move(value));
+        return;
+      }
+    }
+    waiter->set_value(std::move(value));
+  }
+
+  /// A future for the next value, in FIFO order across both queued
+  /// values and pending receives.
+  future<T> get() {
+    std::lock_guard<spinlock> lock(state_->mutex);
+    auto fstate = std::make_shared<detail::shared_state<T>>();
+    if (!state_->values.empty()) {
+      fstate->set_value(std::move(state_->values.front()));
+      state_->values.pop_front();
+    } else if (state_->closed) {
+      fstate->set_exception(std::make_exception_ptr(channel_closed()));
+    } else {
+      state_->receivers.push_back(fstate);
+    }
+    return future<T>(std::move(fstate));
+  }
+
+  /// Closes the channel: pending receives fail, queued values remain
+  /// receivable, further set() throws.
+  void close() {
+    std::deque<shared_state_ptr> pending;
+    {
+      std::lock_guard<spinlock> lock(state_->mutex);
+      if (state_->closed) {
+        return;
+      }
+      state_->closed = true;
+      pending.swap(state_->receivers);
+    }
+    for (auto& r : pending) {
+      r->set_exception(std::make_exception_ptr(channel_closed()));
+    }
+  }
+
+  bool closed() const {
+    std::lock_guard<spinlock> lock(state_->mutex);
+    return state_->closed;
+  }
+
+  /// Number of values queued and not yet received.
+  std::size_t queued() const {
+    std::lock_guard<spinlock> lock(state_->mutex);
+    return state_->values.size();
+  }
+
+ private:
+  using shared_state_ptr = std::shared_ptr<detail::shared_state<T>>;
+
+  struct state {
+    mutable spinlock mutex;
+    std::deque<T> values;
+    std::deque<shared_state_ptr> receivers;
+    bool closed = false;
+  };
+
+  std::shared_ptr<state> state_;
+};
+
+}  // namespace hpxlite

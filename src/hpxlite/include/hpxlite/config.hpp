@@ -1,0 +1,32 @@
+// hpxlite: a compact, from-scratch reproduction of the HPX programming
+// model used in Khatami/Kaiser/Ramanujam (ICPP 2016): futures with
+// continuations, async task execution, dataflow with future-unwrapping,
+// and parallel algorithms with pluggable execution policies and grain
+// size (chunk size) control.
+//
+// This header centralises build-time configuration knobs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hpxlite {
+
+/// Library version, kept in sync with the top-level CMake project().
+inline constexpr int version_major = 1;
+inline constexpr int version_minor = 0;
+inline constexpr int version_patch = 0;
+
+/// Assumed cache line size used to pad per-worker state against false
+/// sharing.  64 bytes covers x86-64 and most AArch64 parts.
+inline constexpr std::size_t cache_line_size = 64;
+
+/// Default small-buffer size for unique_function: enough for a lambda
+/// capturing a few pointers/references without a heap allocation.
+inline constexpr std::size_t sbo_size = 6 * sizeof(void*);
+
+/// Environment variable consulted by the default runtime for its worker
+/// count (mirrors HPX's --hpx:threads).
+inline constexpr const char* threads_env_var = "HPXLITE_THREADS";
+
+}  // namespace hpxlite

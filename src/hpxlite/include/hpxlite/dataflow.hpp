@@ -1,0 +1,241 @@
+// hpxlite::dataflow — delayed function invocation gated on future
+// arguments, the mechanism behind the paper's Section III-B (modified
+// OP2 API):
+//
+//   return dataflow(unwrapping([&](op_dat dat){ ... }), dat_future);
+//
+// Semantics (matching hpx::dataflow / hpx::lcos::local::dataflow):
+//   - any argument that is a future/shared_future delays the call until
+//     it is ready; non-future arguments pass straight through
+//   - the callable receives the *futures themselves*; wrap it in
+//     unwrapping(f) to receive the contained values instead
+//   - the call is scheduled as a runtime task once the last input
+//     arrives ("As soon as the last input argument has been received,
+//     the function F is scheduled for execution", Fig 11)
+//   - if the callable itself returns a future, the result is unwrapped
+//     one level, so chains of dataflow nodes compose without nesting
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+
+#include "hpxlite/async.hpp"
+#include "hpxlite/future.hpp"
+
+namespace hpxlite {
+
+namespace detail {
+
+/// unwrapping(f) adaptor: replaces future arguments by their values at
+/// invocation time.  shared_future yields a copy of the value, future
+/// is consumed via get().
+template <typename F>
+struct unwrapping_adaptor {
+  F fn;
+
+  template <typename Arg>
+  static decltype(auto) unwrap_one(Arg&& arg) {
+    if constexpr (is_future_v<Arg>) {
+      if constexpr (std::is_void_v<future_value_t<Arg>>) {
+        // Void futures contribute no argument; callers use a tag.
+        std::forward<Arg>(arg).get();
+        return unit{};
+      } else {
+        return std::forward<Arg>(arg).get();
+      }
+    } else {
+      return std::forward<Arg>(arg);
+    }
+  }
+
+  template <typename... Args>
+  decltype(auto) operator()(Args&&... args) {
+    return invoke_filtered(std::forward_as_tuple(std::forward<Args>(args)...),
+                           std::index_sequence_for<Args...>{});
+  }
+
+ private:
+  // Void-future arguments are awaited but dropped from the call, so an
+  // unwrapped callable never has to accept placeholder parameters.
+  template <typename Tuple, std::size_t... Is>
+  decltype(auto) invoke_filtered(Tuple&& tup, std::index_sequence<Is...>) {
+    return invoke_drop_units(
+        std::tuple_cat(keep_or_drop<Is>(std::forward<Tuple>(tup))...));
+  }
+
+  template <std::size_t I, typename Tuple>
+  auto keep_or_drop(Tuple&& tup) {
+    using elem_t = std::tuple_element_t<I, std::decay_t<Tuple>>;
+    if constexpr (is_future_v<elem_t> &&
+                  std::is_void_v<future_value_t<elem_t>>) {
+      std::get<I>(std::forward<Tuple>(tup)).get();
+      return std::tuple<>{};
+    } else if constexpr (is_future_v<elem_t>) {
+      return std::make_tuple(std::get<I>(std::forward<Tuple>(tup)).get());
+    } else {
+      return std::forward_as_tuple(std::get<I>(std::forward<Tuple>(tup)));
+    }
+  }
+
+  template <typename Tuple>
+  decltype(auto) invoke_drop_units(Tuple&& tup) {
+    return std::apply(fn, std::forward<Tuple>(tup));
+  }
+};
+
+/// Result type of invoking F on the decayed dataflow arguments.  The
+/// stored arguments are MOVED into the call (futures are move-only), so
+/// invocability is checked against rvalues.
+template <typename F, typename... Ts>
+using dataflow_result_t = std::invoke_result_t<F&, std::decay_t<Ts>&&...>;
+
+/// future<future<U>> collapses to future<U>; everything else maps to
+/// future<R> (R possibly void).
+template <typename R>
+struct unwrap_result {
+  using type = future<R>;
+  template <typename State, typename F, typename Tuple>
+  static void fulfil(State& state, F& fn, Tuple& tup) {
+    fulfil_from_invoke(state, [&] { return std::apply(fn, std::move(tup)); });
+  }
+};
+
+template <typename U>
+struct unwrap_result<future<U>> {
+  using type = future<U>;
+  template <typename State, typename F, typename Tuple>
+  static void fulfil(State& state, F& fn, Tuple& tup) {
+    try {
+      future<U> inner = std::apply(fn, std::move(tup));
+      if (!inner.valid()) {
+        throw no_state();
+      }
+      auto inner_state = inner.release_state();
+      inner_state->add_continuation(
+          [state, inner_state] {
+            try {
+              if constexpr (std::is_void_v<U>) {
+                inner_state->throw_if_exceptional();
+                state->set_value(unit{});
+              } else {
+                state->set_value(inner_state->take_value());
+              }
+            } catch (...) {
+              state->set_exception(std::current_exception());
+            }
+          },
+          continuation_mode::inline_);
+    } catch (...) {
+      state->set_exception(std::current_exception());
+    }
+  }
+};
+
+template <typename R>
+struct dataflow_value {
+  using type = R;
+};
+template <typename U>
+struct dataflow_value<future<U>> {
+  using type = U;
+};
+
+/// Counts the future-typed arguments in Ts.
+template <typename... Ts>
+inline constexpr std::size_t future_arg_count_v =
+    (0 + ... + (is_future_v<Ts> ? 1 : 0));
+
+}  // namespace detail
+
+/// Wraps `f` so that future arguments are passed as their values.
+template <typename F>
+auto unwrapping(F&& f) {
+  return detail::unwrapping_adaptor<std::decay_t<F>>{std::forward<F>(f)};
+}
+
+/// Alias matching hpx::util::unwrapped from the paper's listings.
+template <typename F>
+auto unwrapped(F&& f) {
+  return unwrapping(std::forward<F>(f));
+}
+
+/// Schedules f(args...) to run once every future among args is ready.
+template <typename F, typename... Ts>
+auto dataflow(launch policy, F&& f, Ts&&... args) ->
+    typename detail::unwrap_result<detail::dataflow_result_t<F, Ts...>>::type {
+  using R = detail::dataflow_result_t<F, Ts...>;
+  using unwrapper = detail::unwrap_result<R>;
+  using V = typename detail::dataflow_value<R>::type;
+
+  auto state = std::make_shared<detail::shared_state<V>>();
+
+  struct frame {
+    std::decay_t<F> fn;
+    std::tuple<std::decay_t<Ts>...> args;
+    std::atomic<std::size_t> remaining;
+    std::shared_ptr<detail::shared_state<V>> state;
+    launch policy;
+
+    frame(F&& f_, Ts&&... args_,
+          std::shared_ptr<detail::shared_state<V>> state_, launch policy_)
+        : fn(std::forward<F>(f_)),
+          args(std::forward<Ts>(args_)...),
+          remaining(0),
+          state(std::move(state_)),
+          policy(policy_) {}
+
+    void run() {
+      if (policy == launch::async && runtime::exists()) {
+        auto self = this->shared_from_this_hack;
+        runtime::get().submit([self] { unwrapper::fulfil(self->state, self->fn, self->args); });
+      } else {
+        unwrapper::fulfil(state, fn, args);
+      }
+    }
+
+    std::shared_ptr<frame> shared_from_this_hack;
+  };
+
+  auto fr = std::make_shared<frame>(std::forward<F>(f),
+                                    std::forward<Ts>(args)..., state, policy);
+  fr->shared_from_this_hack = fr;
+
+  constexpr std::size_t nfutures = detail::future_arg_count_v<Ts...>;
+  if constexpr (nfutures == 0) {
+    fr->run();
+    fr->shared_from_this_hack.reset();
+    return typename unwrapper::type(std::move(state));
+  } else {
+    fr->remaining.store(nfutures, std::memory_order_relaxed);
+    const auto arm = [&fr](auto& arg) {
+      if constexpr (detail::is_future_v<decltype(arg)>) {
+        HPXLITE_ASSERT(arg.valid(), "dataflow over an invalid future");
+        auto keep = fr;
+        arg.state()->add_continuation(
+            [keep] {
+              if (keep->remaining.fetch_sub(1, std::memory_order_acq_rel) ==
+                  1) {
+                keep->run();
+                keep->shared_from_this_hack.reset();
+              }
+            },
+            detail::continuation_mode::inline_);
+      }
+    };
+    std::apply([&](auto&... as) { (arm(as), ...); }, fr->args);
+    return typename unwrapper::type(std::move(state));
+  }
+}
+
+/// Default policy: async (scheduled on the pool once inputs are ready).
+template <typename F, typename... Ts,
+          typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, launch>>>
+auto dataflow(F&& f, Ts&&... args) {
+  return dataflow(launch::async, std::forward<F>(f), std::forward<Ts>(args)...);
+}
+
+}  // namespace hpxlite

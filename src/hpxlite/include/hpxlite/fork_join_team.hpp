@@ -1,0 +1,90 @@
+// fork_join_team — a faithful stand-in for OpenMP's
+// `#pragma omp parallel for` on platforms where OpenMP is unavailable,
+// and the *baseline* of every experiment in the paper.
+//
+// Semantics reproduced deliberately:
+//   - a persistent team of N threads (like an OpenMP thread pool)
+//   - parallel_for statically splits [0, n) into N contiguous ranges
+//     (OpenMP's default static schedule)
+//   - an IMPLICIT GLOBAL BARRIER at the end of every loop: the calling
+//     thread does not return until every team member has finished its
+//     range — precisely the fork-join property the paper identifies as
+//     the scalability limiter ("#pragma omp parallel for has an
+//     implicit global barrier that avoids extracting optimal
+//     parallelism").
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hpxlite {
+
+class fork_join_team {
+ public:
+  /// Spawns `num_threads - 1` team members; the calling thread acts as
+  /// team member 0 during parallel_for (as OpenMP's master thread does).
+  explicit fork_join_team(unsigned num_threads);
+  ~fork_join_team();
+
+  fork_join_team(const fork_join_team&) = delete;
+  fork_join_team& operator=(const fork_join_team&) = delete;
+
+  unsigned size() const noexcept { return num_threads_; }
+
+  /// Executes body(begin, end) across the team with a static schedule
+  /// and joins at an implicit barrier before returning.
+  /// `body` must be callable as body(std::size_t begin, std::size_t end).
+  /// If any member's body throws, the first exception is rethrown on
+  /// the calling thread after the barrier.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// Static-schedule variant with an explicit chunk size: ranges are
+  /// dealt round-robin in `chunk`-sized pieces (OpenMP schedule(static,
+  /// chunk)).
+  void parallel_for_chunked(
+      std::size_t n, std::size_t chunk,
+      const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// Number of fork-join episodes executed (each one = one implicit
+  /// global barrier) — used by the benchmarks to report barrier counts.
+  std::uint64_t barrier_count() const noexcept {
+    return barriers_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct work_item {
+    std::size_t n = 0;
+    std::size_t chunk = 0;  // 0 = plain static split
+    const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+  };
+
+  void member_loop(unsigned rank);
+  void run_range(unsigned rank, const work_item& item) noexcept;
+
+  unsigned num_threads_;
+  std::vector<std::thread> members_;
+
+  // Epoch-based dissemination: master publishes a work item and bumps
+  // epoch_; members run their share and count into done_; master waits
+  // for done_ == num_threads_ - 1 (it runs its own share meanwhile).
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  work_item current_;
+  std::uint64_t epoch_ = 0;
+  unsigned done_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;  // guarded by mutex_
+
+  std::atomic<std::uint64_t> barriers_{0};
+};
+
+}  // namespace hpxlite

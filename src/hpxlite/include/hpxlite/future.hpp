@@ -1,0 +1,686 @@
+// future/promise with continuations — the mechanism the paper credits
+// for removing global barriers: "a future is a computational result
+// that is initially unknown but becomes available at a later time", and
+// only consumers of that value ever suspend.
+//
+// Semantics follow HPX/std::experimental::future:
+//   - future<T> is move-only; shared_future<T> is copyable
+//   - future<T>::then(f) attaches a continuation receiving the ready
+//     future; it runs as a scheduled task by default (launch::sync runs
+//     it inline in the completing thread)
+//   - wait() on a runtime worker thread *helps*: it executes queued
+//     tasks while the value is pending, so nested waits cannot deadlock
+//     the pool (Section III-A2's async-wrapped direct loops rely on it)
+//   - when_all composes readiness without blocking
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "hpxlite/assert.hpp"
+#include "hpxlite/scheduler.hpp"
+#include "hpxlite/spinlock.hpp"
+#include "hpxlite/unique_function.hpp"
+
+namespace hpxlite {
+
+template <typename T>
+class future;
+template <typename T>
+class shared_future;
+template <typename T>
+class promise;
+
+/// Result of a timed wait (std::future_status without `deferred`:
+/// hpxlite executes deferred work on the first timed wait).
+enum class future_status {
+  ready,
+  timeout,
+};
+
+/// Thrown when a promise is destroyed without supplying a value.
+class broken_promise : public std::runtime_error {
+ public:
+  broken_promise() : std::runtime_error("hpxlite: broken promise") {}
+};
+
+/// Thrown when get()/then() is called on an invalid (moved-from) future.
+class no_state : public std::runtime_error {
+ public:
+  no_state() : std::runtime_error("hpxlite: future has no shared state") {}
+};
+
+namespace detail {
+
+/// Maps void to an empty tag so the shared-state storage stays uniform.
+struct unit {};
+template <typename T>
+struct payload_of {
+  using type = T;
+};
+template <>
+struct payload_of<void> {
+  using type = unit;
+};
+template <typename T>
+using payload_t = typename payload_of<T>::type;
+
+/// How a continuation attached to a shared state should run once the
+/// state becomes ready.
+enum class continuation_mode {
+  scheduled,  // submit to the runtime (default for .then/dataflow)
+  inline_,    // run in the completing thread (cheap adapters only)
+};
+
+template <typename T>
+class shared_state {
+ public:
+  using payload = payload_t<T>;
+
+  shared_state() = default;
+  shared_state(const shared_state&) = delete;
+  shared_state& operator=(const shared_state&) = delete;
+
+  bool is_ready() const noexcept {
+    return ready_.load(std::memory_order_acquire);
+  }
+
+  template <typename... Args>
+  void set_value(Args&&... args) {
+    std::vector<pending_continuation> conts;
+    {
+      std::lock_guard<spinlock> lock(mutex_);
+      HPXLITE_ASSERT(!ready_.load(std::memory_order_relaxed),
+                     "value set twice on shared state");
+      value_.emplace(std::forward<Args>(args)...);
+      ready_.store(true, std::memory_order_release);
+      conts.swap(continuations_);
+    }
+    wake_waiters();
+    run_continuations(std::move(conts));
+  }
+
+  void set_exception(std::exception_ptr ex) {
+    std::vector<pending_continuation> conts;
+    {
+      std::lock_guard<spinlock> lock(mutex_);
+      HPXLITE_ASSERT(!ready_.load(std::memory_order_relaxed),
+                     "value set twice on shared state");
+      exception_ = std::move(ex);
+      ready_.store(true, std::memory_order_release);
+      conts.swap(continuations_);
+    }
+    wake_waiters();
+    run_continuations(std::move(conts));
+  }
+
+  /// Registers `cont` to run once ready; runs it immediately (per mode)
+  /// if the state is already ready.
+  void add_continuation(task_function cont, continuation_mode mode) {
+    {
+      std::lock_guard<spinlock> lock(mutex_);
+      if (!ready_.load(std::memory_order_relaxed)) {
+        continuations_.push_back({std::move(cont), mode});
+        return;
+      }
+    }
+    dispatch(std::move(cont), mode);
+  }
+
+  /// Installs work to be executed lazily by the first wait()/get()
+  /// (launch::deferred).  Must be called before any wait.
+  void set_deferred(task_function work) {
+    std::lock_guard<spinlock> lock(mutex_);
+    deferred_work_ = std::move(work);
+  }
+
+  /// Blocks until ready.  A runtime worker thread executes queued tasks
+  /// while waiting instead of sleeping.
+  void wait() {
+    if (is_ready()) {
+      return;
+    }
+    // Deferred state: the first waiter runs the work inline.
+    {
+      task_function work;
+      {
+        std::lock_guard<spinlock> lock(mutex_);
+        work = std::move(deferred_work_);
+        deferred_work_.reset();
+      }
+      if (work) {
+        work();  // fulfils this state via promise/fulfil_from_invoke
+        HPXLITE_ASSERT(is_ready(), "deferred work did not fulfil its state");
+        return;
+      }
+    }
+    if (runtime::exists() && runtime::on_worker_thread()) {
+      runtime& rt = runtime::get();
+      while (!is_ready()) {
+        if (!rt.try_execute_one()) {
+          std::this_thread::yield();
+        }
+      }
+      return;
+    }
+    std::unique_lock<std::mutex> lock(waiter_mutex());
+    waiters_ += 1;
+    waiter_cv().wait(lock, [this] { return is_ready(); });
+    waiters_ -= 1;
+  }
+
+  /// Timed wait: like wait(), but gives up after `timeout`.  Returns
+  /// whether the state became ready.  Worker threads help while
+  /// waiting; deferred work is executed as in wait().
+  bool wait_for(std::chrono::nanoseconds timeout) {
+    if (is_ready()) {
+      return true;
+    }
+    {
+      task_function work;
+      {
+        std::lock_guard<spinlock> lock(mutex_);
+        work = std::move(deferred_work_);
+        deferred_work_.reset();
+      }
+      if (work) {
+        work();
+        return true;
+      }
+    }
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    if (runtime::exists() && runtime::on_worker_thread()) {
+      runtime& rt = runtime::get();
+      while (!is_ready()) {
+        if (std::chrono::steady_clock::now() >= deadline) {
+          return is_ready();
+        }
+        if (!rt.try_execute_one()) {
+          std::this_thread::yield();
+        }
+      }
+      return true;
+    }
+    std::unique_lock<std::mutex> lock(waiter_mutex());
+    waiters_ += 1;
+    const bool ready =
+        waiter_cv().wait_until(lock, deadline, [this] { return is_ready(); });
+    waiters_ -= 1;
+    return ready;
+  }
+
+  /// Pre: is_ready().  Throws the stored exception, if any.
+  void throw_if_exceptional() {
+    if (exception_) {
+      std::rethrow_exception(exception_);
+    }
+  }
+
+  /// Pre: is_ready() and no exception.  Moves the payload out.
+  payload take_value() {
+    throw_if_exceptional();
+    HPXLITE_ASSERT(value_.has_value(), "shared state ready without value");
+    payload v = std::move(*value_);
+    value_.reset();
+    return v;
+  }
+
+  /// Pre: is_ready() and no exception.  Const access (shared_future).
+  const payload& peek_value() {
+    throw_if_exceptional();
+    HPXLITE_ASSERT(value_.has_value(), "shared state ready without value");
+    return *value_;
+  }
+
+  bool has_exception() const noexcept {
+    return is_ready() && exception_ != nullptr;
+  }
+
+ private:
+  struct pending_continuation {
+    task_function fn;
+    continuation_mode mode;
+  };
+
+  static void dispatch(task_function fn, continuation_mode mode) {
+    if (mode == continuation_mode::scheduled && runtime::exists()) {
+      runtime::get().submit(std::move(fn));
+    } else {
+      fn();
+    }
+  }
+
+  void run_continuations(std::vector<pending_continuation> conts) {
+    for (auto& c : conts) {
+      dispatch(std::move(c.fn), c.mode);
+    }
+  }
+
+  void wake_waiters() {
+    // The waiter mutex/cv pair is shared process-wide (keyed by state
+    // address) to keep shared_state small; waits are rare because
+    // worker threads help instead.
+    std::unique_lock<std::mutex> lock(waiter_mutex());
+    const bool any = waiters_ > 0;
+    lock.unlock();
+    if (any) {
+      waiter_cv().notify_all();
+    }
+  }
+
+  static std::mutex& waiter_mutex() {
+    static std::mutex m;
+    return m;
+  }
+  static std::condition_variable& waiter_cv() {
+    static std::condition_variable cv;
+    return cv;
+  }
+
+  spinlock mutex_;
+  std::atomic<bool> ready_{false};
+  std::optional<payload> value_;
+  std::exception_ptr exception_;
+  std::vector<pending_continuation> continuations_;
+  task_function deferred_work_;
+  int waiters_ = 0;  // guarded by waiter_mutex()
+};
+
+template <typename T>
+using shared_state_ptr = std::shared_ptr<shared_state<T>>;
+
+/// Trait: is X a (possibly cv/ref-qualified) hpxlite future?
+template <typename X>
+struct is_future : std::false_type {};
+template <typename T>
+struct is_future<future<T>> : std::true_type {};
+template <typename T>
+struct is_future<shared_future<T>> : std::true_type {};
+template <typename X>
+inline constexpr bool is_future_v = is_future<std::decay_t<X>>::value;
+
+template <typename X>
+struct future_value {
+  using type = void;
+};
+template <typename T>
+struct future_value<future<T>> {
+  using type = T;
+};
+template <typename T>
+struct future_value<shared_future<T>> {
+  using type = T;
+};
+template <typename X>
+using future_value_t = typename future_value<std::decay_t<X>>::type;
+
+}  // namespace detail
+
+template <typename T>
+class future {
+ public:
+  using value_type = T;
+
+  future() noexcept = default;
+  explicit future(detail::shared_state_ptr<T> state)
+      : state_(std::move(state)) {}
+
+  future(future&&) noexcept = default;
+  future& operator=(future&&) noexcept = default;
+  future(const future&) = delete;
+  future& operator=(const future&) = delete;
+
+  /// True if this future refers to a shared state (not moved-from).
+  bool valid() const noexcept { return state_ != nullptr; }
+
+  /// True if the value or exception is already available.
+  bool is_ready() const {
+    return state_ != nullptr && state_->is_ready();
+  }
+
+  /// Blocks (helping, on worker threads) until ready.
+  void wait() const {
+    ensure_valid();
+    state_->wait();
+  }
+
+  /// Timed wait; never consumes the state.
+  template <typename Rep, typename Period>
+  future_status wait_for(std::chrono::duration<Rep, Period> timeout) const {
+    ensure_valid();
+    return state_->wait_for(
+               std::chrono::duration_cast<std::chrono::nanoseconds>(timeout))
+               ? future_status::ready
+               : future_status::timeout;
+  }
+
+  /// Waits, then returns the value (moving it out) or rethrows the
+  /// stored exception.  Consumes the future's state.
+  T get() {
+    ensure_valid();
+    state_->wait();
+    auto state = std::move(state_);
+    if constexpr (std::is_void_v<T>) {
+      state->take_value();
+      return;
+    } else {
+      return state->take_value();
+    }
+  }
+
+  /// Attaches a continuation `f(future<T>&&)`; returns a future for its
+  /// result.  `mode` selects scheduled (default) or inline execution.
+  template <typename F>
+  auto then(F&& f, detail::continuation_mode mode =
+                       detail::continuation_mode::scheduled)
+      -> future<std::invoke_result_t<std::decay_t<F>, future<T>&&>>;
+
+  /// Converts to a copyable shared_future, consuming this future.
+  shared_future<T> share();
+
+  /// Internal: access to the shared state (used by when_all/dataflow).
+  const detail::shared_state_ptr<T>& state() const { return state_; }
+  detail::shared_state_ptr<T> release_state() { return std::move(state_); }
+
+ private:
+  void ensure_valid() const {
+    if (!state_) {
+      throw no_state();
+    }
+  }
+
+  detail::shared_state_ptr<T> state_;
+};
+
+template <typename T>
+class shared_future {
+ public:
+  using value_type = T;
+
+  shared_future() noexcept = default;
+  explicit shared_future(detail::shared_state_ptr<T> state)
+      : state_(std::move(state)) {}
+  shared_future(future<T>&& f) : state_(f.release_state()) {}  // NOLINT
+
+  shared_future(const shared_future&) = default;
+  shared_future& operator=(const shared_future&) = default;
+  shared_future(shared_future&&) noexcept = default;
+  shared_future& operator=(shared_future&&) noexcept = default;
+
+  bool valid() const noexcept { return state_ != nullptr; }
+  bool is_ready() const { return state_ != nullptr && state_->is_ready(); }
+
+  void wait() const {
+    ensure_valid();
+    state_->wait();
+  }
+
+  /// Timed wait.
+  template <typename Rep, typename Period>
+  future_status wait_for(std::chrono::duration<Rep, Period> timeout) const {
+    ensure_valid();
+    return state_->wait_for(
+               std::chrono::duration_cast<std::chrono::nanoseconds>(timeout))
+               ? future_status::ready
+               : future_status::timeout;
+  }
+
+  /// Waits, then returns a const reference to the value (void: returns
+  /// nothing).  Does not consume the state; get() may be called again.
+  decltype(auto) get() const {
+    ensure_valid();
+    state_->wait();
+    if constexpr (std::is_void_v<T>) {
+      state_->peek_value();
+      return;
+    } else {
+      return static_cast<const T&>(state_->peek_value());
+    }
+  }
+
+  template <typename F>
+  auto then(F&& f, detail::continuation_mode mode =
+                       detail::continuation_mode::scheduled)
+      -> future<std::invoke_result_t<std::decay_t<F>, shared_future<T>>>;
+
+  const detail::shared_state_ptr<T>& state() const { return state_; }
+
+ private:
+  void ensure_valid() const {
+    if (!state_) {
+      throw no_state();
+    }
+  }
+
+  detail::shared_state_ptr<T> state_;
+};
+
+template <typename T>
+class promise {
+ public:
+  promise() : state_(std::make_shared<detail::shared_state<T>>()) {}
+  promise(promise&&) noexcept = default;
+  promise& operator=(promise&&) noexcept = default;
+  promise(const promise&) = delete;
+  promise& operator=(const promise&) = delete;
+
+  ~promise() {
+    if (state_ && !retrieved_future_ready_checked() && !state_->is_ready()) {
+      state_->set_exception(std::make_exception_ptr(broken_promise()));
+    }
+  }
+
+  future<T> get_future() {
+    HPXLITE_ASSERT(state_ != nullptr, "promise has no state");
+    HPXLITE_ASSERT(!future_retrieved_, "future retrieved twice");
+    future_retrieved_ = true;
+    return future<T>(state_);
+  }
+
+  template <typename... Args>
+  void set_value(Args&&... args) {
+    HPXLITE_ASSERT(state_ != nullptr, "promise has no state");
+    if constexpr (std::is_void_v<T>) {
+      static_assert(sizeof...(Args) == 0,
+                    "promise<void>::set_value takes no arguments");
+      state_->set_value(detail::unit{});
+    } else {
+      state_->set_value(std::forward<Args>(args)...);
+    }
+  }
+
+  void set_exception(std::exception_ptr ex) {
+    HPXLITE_ASSERT(state_ != nullptr, "promise has no state");
+    state_->set_exception(std::move(ex));
+  }
+
+ private:
+  bool retrieved_future_ready_checked() const { return false; }
+
+  detail::shared_state_ptr<T> state_;
+  bool future_retrieved_ = false;
+};
+
+/// A future that is already ready, holding `value`.
+template <typename T>
+future<std::decay_t<T>> make_ready_future(T&& value) {
+  auto state = std::make_shared<detail::shared_state<std::decay_t<T>>>();
+  state->set_value(std::forward<T>(value));
+  return future<std::decay_t<T>>(std::move(state));
+}
+
+/// A ready future<void>.
+inline future<void> make_ready_future() {
+  auto state = std::make_shared<detail::shared_state<void>>();
+  state->set_value(detail::unit{});
+  return future<void>(std::move(state));
+}
+
+/// A ready future carrying an exception.
+template <typename T>
+future<T> make_exceptional_future(std::exception_ptr ex) {
+  auto state = std::make_shared<detail::shared_state<T>>();
+  state->set_exception(std::move(ex));
+  return future<T>(std::move(state));
+}
+
+namespace detail {
+
+/// Invokes `f(arg)` and fulfils `state` with the result, routing any
+/// exception into the state.  Handles void results uniformly.
+template <typename State, typename F, typename... Arg>
+void fulfil_from_invoke(State& state, F&& f, Arg&&... arg) {
+  try {
+    if constexpr (std::is_void_v<
+                      std::invoke_result_t<F&&, Arg&&...>>) {
+      std::forward<F>(f)(std::forward<Arg>(arg)...);
+      state->set_value(unit{});
+    } else {
+      state->set_value(std::forward<F>(f)(std::forward<Arg>(arg)...));
+    }
+  } catch (...) {
+    state->set_exception(std::current_exception());
+  }
+}
+
+}  // namespace detail
+
+template <typename T>
+template <typename F>
+auto future<T>::then(F&& f, detail::continuation_mode mode)
+    -> future<std::invoke_result_t<std::decay_t<F>, future<T>&&>> {
+  using R = std::invoke_result_t<std::decay_t<F>, future<T>&&>;
+  ensure_valid();
+  auto next = std::make_shared<detail::shared_state<R>>();
+  auto self = std::move(state_);
+  // The continuation owns the predecessor state and re-wraps it in a
+  // ready future for the callback, matching HPX's then() signature.
+  self->add_continuation(
+      [next, self, fn = std::forward<F>(f)]() mutable {
+        detail::fulfil_from_invoke(next, std::move(fn),
+                                   future<T>(std::move(self)));
+      },
+      mode);
+  return future<R>(std::move(next));
+}
+
+template <typename T>
+shared_future<T> future<T>::share() {
+  ensure_valid();
+  return shared_future<T>(std::move(state_));
+}
+
+template <typename T>
+template <typename F>
+auto shared_future<T>::then(F&& f, detail::continuation_mode mode)
+    -> future<std::invoke_result_t<std::decay_t<F>, shared_future<T>>> {
+  using R = std::invoke_result_t<std::decay_t<F>, shared_future<T>>;
+  ensure_valid();
+  auto next = std::make_shared<detail::shared_state<R>>();
+  auto self = state_;
+  self->add_continuation(
+      [next, self, fn = std::forward<F>(f)]() mutable {
+        detail::fulfil_from_invoke(next, std::move(fn),
+                                   shared_future<T>(std::move(self)));
+      },
+      mode);
+  return future<R>(std::move(next));
+}
+
+// ---------------------------------------------------------------------
+// when_all
+
+/// when_all over a vector: the result future becomes ready when every
+/// input is ready and yields the (now-ready) inputs back.
+template <typename T>
+future<std::vector<future<T>>> when_all(std::vector<future<T>> futures) {
+  using result_t = std::vector<future<T>>;
+  auto next = std::make_shared<detail::shared_state<result_t>>();
+  if (futures.empty()) {
+    next->set_value(result_t{});
+    return future<result_t>(std::move(next));
+  }
+  struct join_block {
+    std::atomic<std::size_t> remaining;
+    result_t held;
+    std::shared_ptr<detail::shared_state<result_t>> next;
+  };
+  auto block = std::make_shared<join_block>();
+  block->remaining.store(futures.size(), std::memory_order_relaxed);
+  block->held = std::move(futures);
+  block->next = next;
+  for (auto& f : block->held) {
+    HPXLITE_ASSERT(f.valid(), "when_all over an invalid future");
+    f.state()->add_continuation(
+        [block] {
+          if (block->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            block->next->set_value(std::move(block->held));
+          }
+        },
+        detail::continuation_mode::inline_);
+  }
+  return future<result_t>(std::move(next));
+}
+
+/// when_all over shared futures: the result becomes ready when every
+/// input is ready; the inputs themselves remain usable by the caller.
+template <typename T>
+future<void> when_all(const std::vector<shared_future<T>>& futures) {
+  auto next = std::make_shared<detail::shared_state<void>>();
+  if (futures.empty()) {
+    next->set_value(detail::unit{});
+    return future<void>(std::move(next));
+  }
+  auto remaining = std::make_shared<std::atomic<std::size_t>>(futures.size());
+  for (const auto& f : futures) {
+    HPXLITE_ASSERT(f.valid(), "when_all over an invalid shared_future");
+    f.state()->add_continuation(
+        [next, remaining] {
+          if (remaining->fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            next->set_value(detail::unit{});
+          }
+        },
+        detail::continuation_mode::inline_);
+  }
+  return future<void>(std::move(next));
+}
+
+/// Variadic when_all: yields a tuple of the ready inputs.
+template <typename... Ts,
+          typename = std::enable_if_t<(detail::is_future_v<Ts> && ...)>>
+future<std::tuple<std::decay_t<Ts>...>> when_all(Ts&&... futures) {
+  using tuple_t = std::tuple<std::decay_t<Ts>...>;
+  auto next = std::make_shared<detail::shared_state<tuple_t>>();
+  struct join_block {
+    std::atomic<std::size_t> remaining;
+    std::optional<tuple_t> held;
+    std::shared_ptr<detail::shared_state<tuple_t>> next;
+  };
+  auto block = std::make_shared<join_block>();
+  block->remaining.store(sizeof...(Ts), std::memory_order_relaxed);
+  block->held.emplace(std::forward<Ts>(futures)...);
+  block->next = next;
+  const auto arm = [&block](auto& f) {
+    HPXLITE_ASSERT(f.valid(), "when_all over an invalid future");
+    f.state()->add_continuation(
+        [block] {
+          if (block->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            block->next->set_value(std::move(*block->held));
+          }
+        },
+        detail::continuation_mode::inline_);
+  };
+  std::apply([&](auto&... fs) { (arm(fs), ...); }, *block->held);
+  return future<tuple_t>(std::move(next));
+}
+
+}  // namespace hpxlite

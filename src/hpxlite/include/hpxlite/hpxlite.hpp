@@ -1,0 +1,30 @@
+// Umbrella header for hpxlite — the HPX-style task runtime reproduced
+// for the ICPP 2016 OP2+HPX study.
+//
+// Quick tour (mirrors the paper's listings):
+//
+//   hpxlite::runtime::reset(16);                       // 16 workers
+//   auto r = hpxlite::irange(0, nblocks);
+//   hpxlite::parallel::for_each(hpxlite::par, r.begin(), r.end(), body);
+//   auto f = hpxlite::parallel::for_each(hpxlite::par(hpxlite::task),
+//                                        r.begin(), r.end(), body);
+//   auto g = hpxlite::async(hpxlite::launch::async, work);
+//   auto h = hpxlite::dataflow(hpxlite::unwrapping(fn), f, g);
+//   h.get();
+#pragma once
+
+#include "hpxlite/async.hpp"
+#include "hpxlite/channel.hpp"
+#include "hpxlite/config.hpp"
+#include "hpxlite/dataflow.hpp"
+#include "hpxlite/execution.hpp"
+#include "hpxlite/fork_join_team.hpp"
+#include "hpxlite/future.hpp"
+#include "hpxlite/irange.hpp"
+#include "hpxlite/parallel_algorithm.hpp"
+#include "hpxlite/parallel_scan.hpp"
+#include "hpxlite/scheduler.hpp"
+#include "hpxlite/spinlock.hpp"
+#include "hpxlite/sync.hpp"
+#include "hpxlite/unique_function.hpp"
+#include "hpxlite/when_any.hpp"

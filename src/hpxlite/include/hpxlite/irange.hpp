@@ -1,0 +1,103 @@
+// Integer range, mirroring boost::irange which the paper's listings use
+// to drive hpx::parallel::for_each over block indices:
+//
+//   auto r = boost::irange(0, nblocks);
+//   hpx::parallel::for_each(par, r.begin(), r.end(), ...);
+//
+// The iterator is a random-access iterator over a value sequence
+// [first, last), so the parallel algorithms can split it into chunks.
+#pragma once
+
+#include <cstddef>
+#include <iterator>
+#include <type_traits>
+
+namespace hpxlite {
+
+template <typename Int>
+class integer_iterator {
+ public:
+  static_assert(std::is_integral_v<Int>);
+  using iterator_category = std::random_access_iterator_tag;
+  using value_type = Int;
+  using difference_type = std::ptrdiff_t;
+  using pointer = const Int*;
+  using reference = Int;
+
+  integer_iterator() = default;
+  explicit integer_iterator(Int value) : value_(value) {}
+
+  reference operator*() const { return value_; }
+  reference operator[](difference_type n) const {
+    return static_cast<Int>(value_ + n);
+  }
+
+  integer_iterator& operator++() { ++value_; return *this; }
+  integer_iterator operator++(int) { auto t = *this; ++value_; return t; }
+  integer_iterator& operator--() { --value_; return *this; }
+  integer_iterator operator--(int) { auto t = *this; --value_; return t; }
+
+  integer_iterator& operator+=(difference_type n) {
+    value_ = static_cast<Int>(value_ + n);
+    return *this;
+  }
+  integer_iterator& operator-=(difference_type n) {
+    value_ = static_cast<Int>(value_ - n);
+    return *this;
+  }
+
+  friend integer_iterator operator+(integer_iterator it, difference_type n) {
+    it += n;
+    return it;
+  }
+  friend integer_iterator operator+(difference_type n, integer_iterator it) {
+    it += n;
+    return it;
+  }
+  friend integer_iterator operator-(integer_iterator it, difference_type n) {
+    it -= n;
+    return it;
+  }
+  friend difference_type operator-(integer_iterator a, integer_iterator b) {
+    return static_cast<difference_type>(a.value_) -
+           static_cast<difference_type>(b.value_);
+  }
+
+  friend bool operator==(integer_iterator a, integer_iterator b) {
+    return a.value_ == b.value_;
+  }
+  friend auto operator<=>(integer_iterator a, integer_iterator b) {
+    return a.value_ <=> b.value_;
+  }
+
+ private:
+  Int value_{};
+};
+
+/// Half-open integer range [first, last); empty when last <= first.
+template <typename Int>
+class integer_range {
+ public:
+  using iterator = integer_iterator<Int>;
+  using const_iterator = iterator;
+
+  integer_range(Int first, Int last)
+      : first_(first), last_(last < first ? first : last) {}
+
+  iterator begin() const { return iterator(first_); }
+  iterator end() const { return iterator(last_); }
+  std::size_t size() const { return static_cast<std::size_t>(last_ - first_); }
+  bool empty() const { return first_ == last_; }
+
+ private:
+  Int first_;
+  Int last_;
+};
+
+/// Factory matching boost::irange(first, last).
+template <typename Int>
+integer_range<Int> irange(Int first, Int last) {
+  return integer_range<Int>(first, last);
+}
+
+}  // namespace hpxlite

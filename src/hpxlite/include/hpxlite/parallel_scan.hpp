@@ -1,0 +1,125 @@
+// Parallel prefix sums: inclusive_scan / exclusive_scan with the
+// standard two-pass algorithm (per-chunk partial reduction, sequential
+// combine of chunk offsets, parallel rescan).  Used by mesh tooling
+// (offset-array construction from counts) and part of the parallel-
+// algorithm surface a runtime of this kind is expected to provide.
+#pragma once
+
+#include <iterator>
+#include <vector>
+
+#include "hpxlite/execution.hpp"
+#include "hpxlite/future.hpp"
+#include "hpxlite/parallel_algorithm.hpp"
+#include "hpxlite/scheduler.hpp"
+
+namespace hpxlite::parallel {
+
+template <typename It, typename Out, typename T, typename Op>
+Out inclusive_scan(sequenced_policy, It first, It last, Out out, T init,
+                   Op op) {
+  T acc = init;
+  for (; first != last; ++first, ++out) {
+    acc = op(std::move(acc), *first);
+    *out = acc;
+  }
+  return out;
+}
+
+template <typename It, typename Out, typename T, typename Op>
+Out exclusive_scan(sequenced_policy, It first, It last, Out out, T init,
+                   Op op) {
+  T acc = init;
+  for (; first != last; ++first, ++out) {
+    *out = acc;
+    acc = op(std::move(acc), *first);
+  }
+  return out;
+}
+
+namespace detail {
+
+using hpxlite::parallel::detail::run_chunked;
+
+/// Two-pass scan engine.  inclusive selects the variant.
+template <typename It, typename Out, typename T, typename Op>
+Out scan_impl(const chunk_spec& spec, It first, It last, Out out, T init,
+              Op op, bool inclusive) {
+  const auto n = static_cast<std::size_t>(std::distance(first, last));
+  if (n == 0) {
+    return out;
+  }
+  runtime& rt = runtime::get();
+  const unsigned workers = rt.concurrency();
+
+  // Fixed chunking (scan needs chunk boundaries known up front).
+  std::size_t chunk;
+  if (const auto* st = std::get_if<static_chunk_size>(&spec)) {
+    chunk = st->size;
+  } else {
+    chunk = n / (4 * static_cast<std::size_t>(workers));
+    if (chunk == 0) {
+      chunk = 1;
+    }
+  }
+  const std::size_t nchunks = (n + chunk - 1) / chunk;
+
+  // Pass 1: per-chunk reductions (parallel).
+  std::vector<T> partials(nchunks, init);
+  run_chunked(static_chunk_size(chunk), n,
+              [&](std::size_t b, std::size_t e) {
+                const std::size_t c = b / chunk;
+                T acc = first[static_cast<std::ptrdiff_t>(b)];
+                for (std::size_t i = b + 1; i != e; ++i) {
+                  acc = op(std::move(acc),
+                           first[static_cast<std::ptrdiff_t>(i)]);
+                }
+                partials[c] = std::move(acc);
+              })
+      .get();
+
+  // Sequential combine: offsets[c] = init op partials[0..c).
+  std::vector<T> offsets(nchunks, init);
+  T running = init;
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    offsets[c] = running;
+    running = op(std::move(running), partials[c]);
+  }
+
+  // Pass 2: rescan each chunk from its offset (parallel).
+  run_chunked(static_chunk_size(chunk), n,
+              [&](std::size_t b, std::size_t e) {
+                const std::size_t c = b / chunk;
+                T acc = offsets[c];
+                for (std::size_t i = b; i != e; ++i) {
+                  const auto d = static_cast<std::ptrdiff_t>(i);
+                  if (inclusive) {
+                    acc = op(std::move(acc), first[d]);
+                    out[d] = acc;
+                  } else {
+                    out[d] = acc;
+                    acc = op(std::move(acc), first[d]);
+                  }
+                }
+              })
+      .get();
+  return out + static_cast<std::ptrdiff_t>(n);
+}
+
+}  // namespace detail
+
+template <typename It, typename Out, typename T, typename Op>
+Out inclusive_scan(const parallel_policy& policy, It first, It last, Out out,
+                   T init, Op op) {
+  return detail::scan_impl(policy.chunk(), first, last, out, std::move(init),
+                           op, /*inclusive=*/true);
+}
+
+template <typename It, typename Out, typename T, typename Op>
+Out exclusive_scan(const parallel_policy& policy, It first, It last, Out out,
+                   T init, Op op) {
+  return detail::scan_impl(policy.chunk(), first, last, out, std::move(init),
+                           op, /*inclusive=*/false);
+}
+
+}  // namespace hpxlite::parallel

@@ -1,0 +1,138 @@
+// The hpxlite runtime: a work-stealing task scheduler over a fixed pool
+// of OS worker threads.
+//
+// This reproduces the scheduling substrate the paper attributes HPX's
+// advantages to: lightweight tasks with short scheduling latency, no
+// implicit global barrier between submissions, and a worker that never
+// idles while ready work exists ("helping" execution while waiting on a
+// future, which also makes nested async+for_each deadlock-free).
+//
+// Structure
+//   - one injection queue for tasks submitted from non-worker threads
+//   - one LIFO/FIFO deque per worker: owner pushes/pops at the back
+//     (LIFO, cache-warm), thieves steal from the front (FIFO, oldest)
+//   - idle workers sleep on a condition variable; submissions wake them
+//
+// Lifetime: a default runtime is created lazily (worker count from
+// HPXLITE_THREADS or std::thread::hardware_concurrency) and can be
+// re-initialised by tests/benchmarks via runtime::reset().
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "hpxlite/config.hpp"
+#include "hpxlite/spinlock.hpp"
+#include "hpxlite/unique_function.hpp"
+
+namespace hpxlite {
+
+/// Aggregate scheduler counters, readable at any time (approximate under
+/// concurrency; exact once the runtime is quiescent).
+struct scheduler_stats {
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t tasks_stolen = 0;
+  std::uint64_t helped_while_waiting = 0;
+};
+
+class runtime {
+ public:
+  /// Starts `num_workers` OS threads (at least 1).
+  explicit runtime(unsigned num_workers);
+
+  /// Drains all queued work, then stops and joins the workers.
+  ~runtime();
+
+  runtime(const runtime&) = delete;
+  runtime& operator=(const runtime&) = delete;
+
+  /// The process-wide default instance, created on first use.
+  static runtime& get();
+
+  /// True if a default instance currently exists.
+  static bool exists();
+
+  /// Replaces the default instance with a fresh pool of `num_workers`
+  /// threads.  Blocks until the old pool (if any) has drained.
+  static void reset(unsigned num_workers);
+
+  /// Destroys the default instance (drains it first).
+  static void shutdown();
+
+  /// Number of worker threads in this pool.
+  unsigned concurrency() const noexcept { return num_workers_; }
+
+  /// Enqueues a task.  From a worker thread the task goes to that
+  /// worker's local deque; otherwise to the injection queue.
+  void submit(task_function task);
+
+  /// Runs one pending task if any is available to the calling thread
+  /// (local deque, injection queue, or theft).  Returns whether a task
+  /// ran.  Safe to call from any thread; this is the "helping" hook
+  /// used by future::wait and the parallel algorithms.
+  bool try_execute_one();
+
+  /// Blocks until no queued or running tasks remain.
+  void wait_idle();
+
+  /// True when the calling thread is one of this runtime's workers.
+  static bool on_worker_thread() noexcept;
+
+  /// Index of the calling worker thread, or unsigned(-1).
+  static unsigned worker_index() noexcept;
+
+  scheduler_stats stats() const;
+
+ private:
+  struct worker_queue {
+    spinlock lock;
+    std::deque<task_function> tasks;
+    // Pad to a cache line so neighbouring queues do not false-share.
+    char pad[cache_line_size];
+  };
+
+  void worker_loop(unsigned index);
+  bool try_pop_local(unsigned index, task_function& out);
+  bool try_pop_injected(task_function& out);
+  bool try_steal(unsigned thief, task_function& out);
+  void execute(task_function task);
+  void notify_one_worker();
+
+  unsigned num_workers_;
+  std::vector<std::unique_ptr<worker_queue>> queues_;
+  spinlock inject_lock_;
+  std::deque<task_function> injected_;
+
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+  std::condition_variable idle_cv_;
+
+  std::atomic<std::uint64_t> pending_{0};   // queued, not yet popped
+  std::atomic<std::uint64_t> running_{0};   // popped, still executing
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> executed_{0};
+  std::atomic<std::uint64_t> stolen_{0};
+  std::atomic<std::uint64_t> helped_{0};
+  std::atomic<unsigned> next_victim_{0};
+
+  std::vector<std::thread> threads_;
+};
+
+/// RAII helper for tests/benchmarks: replaces the default runtime with
+/// an N-worker pool for the scope, restoring nothing on exit (the next
+/// user re-initialises as needed).
+class runtime_guard {
+ public:
+  explicit runtime_guard(unsigned num_workers) { runtime::reset(num_workers); }
+  ~runtime_guard() { runtime::shutdown(); }
+  runtime_guard(const runtime_guard&) = delete;
+  runtime_guard& operator=(const runtime_guard&) = delete;
+};
+
+}  // namespace hpxlite

@@ -1,0 +1,49 @@
+// Test-and-test-and-set spinlock with exponential backoff.
+//
+// Used to protect the very short critical sections inside shared future
+// state and the per-worker task queues, where a std::mutex would cost a
+// syscall on contention.  Satisfies the C++ Lockable requirements so it
+// composes with std::lock_guard / std::unique_lock.
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+namespace hpxlite {
+
+class spinlock {
+ public:
+  spinlock() = default;
+  spinlock(const spinlock&) = delete;
+  spinlock& operator=(const spinlock&) = delete;
+
+  void lock() noexcept {
+    int spins = 0;
+    for (;;) {
+      // First try the cheap exchange; on failure spin on a plain load so
+      // the cache line stays shared until it is released.
+      if (!flag_.exchange(true, std::memory_order_acquire)) {
+        return;
+      }
+      while (flag_.load(std::memory_order_relaxed)) {
+        if (++spins > spin_limit) {
+          std::this_thread::yield();
+          spins = 0;
+        }
+      }
+    }
+  }
+
+  bool try_lock() noexcept {
+    return !flag_.load(std::memory_order_relaxed) &&
+           !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+
+ private:
+  static constexpr int spin_limit = 64;
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace hpxlite

@@ -1,0 +1,126 @@
+// Synchronisation primitives over the hpxlite runtime: a count-down
+// latch and a cyclic barrier whose waits HELP (execute queued tasks)
+// when called from a worker thread, like future::wait — so user code
+// can coordinate tasks without risking pool deadlock.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <thread>
+
+#include "hpxlite/assert.hpp"
+#include "hpxlite/scheduler.hpp"
+
+namespace hpxlite {
+
+/// Single-use count-down latch (std::latch semantics + helping wait).
+class latch {
+ public:
+  explicit latch(std::ptrdiff_t count) : count_(count) {
+    HPXLITE_ASSERT(count >= 0, "latch: negative count");
+  }
+
+  latch(const latch&) = delete;
+  latch& operator=(const latch&) = delete;
+
+  /// Decrements by n; the latch releases at zero.
+  void count_down(std::ptrdiff_t n = 1) {
+    std::ptrdiff_t left;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      HPXLITE_ASSERT(count_ >= n, "latch: count_down below zero");
+      count_ -= n;
+      left = count_;
+    }
+    if (left == 0) {
+      cv_.notify_all();
+    }
+  }
+
+  bool try_wait() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_ == 0;
+  }
+
+  /// Blocks until the count reaches zero; worker threads execute queued
+  /// tasks while waiting.
+  void wait() const {
+    if (runtime::exists() && runtime::on_worker_thread()) {
+      runtime& rt = runtime::get();
+      while (!try_wait()) {
+        if (!rt.try_execute_one()) {
+          std::this_thread::yield();
+        }
+      }
+      return;
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return count_ == 0; });
+  }
+
+  void arrive_and_wait(std::ptrdiff_t n = 1) {
+    count_down(n);
+    wait();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  mutable std::condition_variable cv_;
+  std::ptrdiff_t count_;
+};
+
+/// Reusable barrier for a fixed party count (std::barrier semantics
+/// without completion functions), with helping waits.
+class barrier {
+ public:
+  explicit barrier(std::ptrdiff_t parties) : parties_(parties) {
+    HPXLITE_ASSERT(parties > 0, "barrier: needs at least one party");
+  }
+
+  barrier(const barrier&) = delete;
+  barrier& operator=(const barrier&) = delete;
+
+  /// Arrives and waits for the rest of the current generation.
+  void arrive_and_wait() {
+    std::uint64_t my_generation;
+    bool last;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      my_generation = generation_;
+      last = ++arrived_ == parties_;
+      if (last) {
+        arrived_ = 0;
+        ++generation_;
+      }
+    }
+    if (last) {
+      cv_.notify_all();
+      return;
+    }
+    const auto passed = [&] {
+      std::lock_guard<std::mutex> lock(mutex_);
+      return generation_ != my_generation;
+    };
+    if (runtime::exists() && runtime::on_worker_thread()) {
+      runtime& rt = runtime::get();
+      while (!passed()) {
+        if (!rt.try_execute_one()) {
+          std::this_thread::yield();
+        }
+      }
+      return;
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return generation_ != my_generation; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::ptrdiff_t parties_;
+  std::ptrdiff_t arrived_ = 0;
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace hpxlite

@@ -1,0 +1,137 @@
+// Move-only type-erased callable with small-buffer optimisation.
+//
+// std::function requires copyability, which forces tasks that capture
+// promises or other move-only state through shared_ptr indirections.
+// unique_function is the standard remedy (HPX carries its own, as does
+// every task runtime); ours stores callables up to sbo_size inline and
+// heap-allocates larger ones.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "hpxlite/assert.hpp"
+#include "hpxlite/config.hpp"
+
+namespace hpxlite {
+
+template <typename Signature>
+class unique_function;
+
+template <typename R, typename... Args>
+class unique_function<R(Args...)> {
+ public:
+  unique_function() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, unique_function> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  unique_function(F&& f) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(f));
+  }
+
+  unique_function(unique_function&& other) noexcept { move_from(other); }
+
+  unique_function& operator=(unique_function&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  unique_function(const unique_function&) = delete;
+  unique_function& operator=(const unique_function&) = delete;
+
+  ~unique_function() { reset(); }
+
+  /// Destroys the held callable, leaving the function empty.
+  void reset() noexcept {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(storage());
+      vtable_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const noexcept { return vtable_ != nullptr; }
+
+  R operator()(Args... args) {
+    HPXLITE_ASSERT(vtable_ != nullptr, "calling an empty unique_function");
+    return vtable_->invoke(storage(), std::forward<Args>(args)...);
+  }
+
+ private:
+  struct vtable {
+    R (*invoke)(void*, Args&&...);
+    void (*destroy)(void*) noexcept;
+    void (*move)(void* dst, void* src) noexcept;
+    bool inline_stored;
+  };
+
+  template <typename F, bool Inline>
+  static const vtable* vtable_for() {
+    static constexpr vtable table{
+        // invoke
+        [](void* p, Args&&... args) -> R {
+          F& f = Inline ? *static_cast<F*>(p) : **static_cast<F**>(p);
+          return f(std::forward<Args>(args)...);
+        },
+        // destroy
+        [](void* p) noexcept {
+          if constexpr (Inline) {
+            static_cast<F*>(p)->~F();
+          } else {
+            delete *static_cast<F**>(p);
+          }
+        },
+        // move (src storage -> dst storage; src left destroyed/empty)
+        [](void* dst, void* src) noexcept {
+          if constexpr (Inline) {
+            F* s = static_cast<F*>(src);
+            ::new (dst) F(std::move(*s));
+            s->~F();
+          } else {
+            *static_cast<F**>(dst) = *static_cast<F**>(src);
+            *static_cast<F**>(src) = nullptr;
+          }
+        },
+        Inline};
+    return &table;
+  }
+
+  template <typename F>
+  void emplace(F&& f) {
+    using D = std::decay_t<F>;
+    constexpr bool fits = sizeof(D) <= sbo_size &&
+                          alignof(D) <= alignof(std::max_align_t) &&
+                          std::is_nothrow_move_constructible_v<D>;
+    if constexpr (fits) {
+      ::new (storage()) D(std::forward<F>(f));
+      vtable_ = vtable_for<D, true>();
+    } else {
+      *static_cast<D**>(storage()) = new D(std::forward<F>(f));
+      vtable_ = vtable_for<D, false>();
+    }
+  }
+
+  void move_from(unique_function& other) noexcept {
+    vtable_ = other.vtable_;
+    if (vtable_ != nullptr) {
+      vtable_->move(storage(), other.storage());
+      other.vtable_ = nullptr;
+    }
+  }
+
+  void* storage() noexcept { return &buffer_; }
+
+  alignas(std::max_align_t) std::byte buffer_[sbo_size];
+  const vtable* vtable_ = nullptr;
+};
+
+/// The task type circulated through the scheduler.
+using task_function = unique_function<void()>;
+
+}  // namespace hpxlite

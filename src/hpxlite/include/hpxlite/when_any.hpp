@@ -1,0 +1,106 @@
+// when_any / when_some — readiness composition beyond when_all,
+// completing the future-combinator surface of the HPX model.
+//
+//   when_any(futures)  -> future<any_result<T>>: ready as soon as ONE
+//                         input is ready; yields all inputs back plus
+//                         the index of the first-ready one
+//   when_some(k, fs)   -> ready once k inputs are ready
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "hpxlite/future.hpp"
+
+namespace hpxlite {
+
+/// Result of when_any: the (possibly still-pending) inputs and the
+/// index of the input whose completion fired the combinator.
+template <typename T>
+struct any_result {
+  std::size_t index = 0;
+  std::vector<future<T>> futures;
+};
+
+/// Result of when_some: the inputs plus the indices of the first `k`
+/// completions, in completion order.
+template <typename T>
+struct some_result {
+  std::vector<std::size_t> indices;
+  std::vector<future<T>> futures;
+};
+
+/// Ready once at least `count` of `futures` are ready.  count == 0 is
+/// immediately ready; count > size is clamped.
+template <typename T>
+future<some_result<T>> when_some(std::size_t count,
+                                 std::vector<future<T>> futures) {
+  using result_t = some_result<T>;
+  auto next = std::make_shared<detail::shared_state<result_t>>();
+  if (count > futures.size()) {
+    count = futures.size();
+  }
+  if (count == 0) {
+    result_t r;
+    r.futures = std::move(futures);
+    next->set_value(std::move(r));
+    return future<result_t>(std::move(next));
+  }
+
+  struct wait_block {
+    std::atomic<std::size_t> ready{0};
+    std::atomic<bool> fired{false};
+    spinlock index_lock;
+    std::vector<std::size_t> indices;
+    std::vector<future<T>> held;
+    std::size_t threshold = 0;
+    std::shared_ptr<detail::shared_state<result_t>> next;
+  };
+  auto block = std::make_shared<wait_block>();
+  block->threshold = count;
+  block->held = std::move(futures);
+  block->next = next;
+
+  for (std::size_t i = 0; i < block->held.size(); ++i) {
+    HPXLITE_ASSERT(block->held[i].valid(),
+                   "when_some over an invalid future");
+    block->held[i].state()->add_continuation(
+        [block, i] {
+          {
+            std::lock_guard<spinlock> lock(block->index_lock);
+            if (block->indices.size() < block->threshold) {
+              block->indices.push_back(i);
+            }
+          }
+          if (block->ready.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+                  block->threshold &&
+              !block->fired.exchange(true)) {
+            result_t r;
+            r.indices = std::move(block->indices);
+            r.futures = std::move(block->held);
+            block->next->set_value(std::move(r));
+          }
+        },
+        detail::continuation_mode::inline_);
+  }
+  return future<result_t>(std::move(next));
+}
+
+/// Ready as soon as any one input is ready.
+template <typename T>
+future<any_result<T>> when_any(std::vector<future<T>> futures) {
+  auto some = when_some(1, std::move(futures));
+  return some.then(
+      [](future<some_result<T>>&& r) {
+        some_result<T> s = r.get();
+        any_result<T> a;
+        a.index = s.indices.empty() ? 0 : s.indices.front();
+        a.futures = std::move(s.futures);
+        return a;
+      },
+      detail::continuation_mode::inline_);
+}
+
+}  // namespace hpxlite

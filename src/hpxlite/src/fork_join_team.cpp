@@ -1,0 +1,126 @@
+#include "hpxlite/fork_join_team.hpp"
+
+#include <utility>
+
+#include "hpxlite/assert.hpp"
+
+namespace hpxlite {
+
+fork_join_team::fork_join_team(unsigned num_threads)
+    : num_threads_(num_threads == 0 ? 1 : num_threads) {
+  members_.reserve(num_threads_ - 1);
+  for (unsigned rank = 1; rank < num_threads_; ++rank) {
+    members_.emplace_back([this, rank] { member_loop(rank); });
+  }
+}
+
+fork_join_team::~fork_join_team() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : members_) {
+    t.join();
+  }
+}
+
+void fork_join_team::run_range(unsigned rank,
+                               const work_item& item) noexcept {
+  // A member's exception is captured (first one wins) and rethrown by
+  // the master after the barrier — matching how an OpenMP runtime must
+  // not let exceptions escape a worker thread.
+  try {
+    if (item.n == 0) {
+      return;
+    }
+    if (item.chunk == 0) {
+      // Plain static split: contiguous near-equal ranges, like OpenMP's
+      // default schedule(static).
+      const std::size_t per =
+          (item.n + num_threads_ - 1) / num_threads_;
+      const std::size_t begin = static_cast<std::size_t>(rank) * per;
+      if (begin >= item.n) {
+        return;
+      }
+      const std::size_t end = begin + per < item.n ? begin + per : item.n;
+      (*item.body)(begin, end);
+      return;
+    }
+    // schedule(static, chunk): chunks dealt round-robin by rank.
+    for (std::size_t begin = static_cast<std::size_t>(rank) * item.chunk;
+         begin < item.n; begin += static_cast<std::size_t>(num_threads_) *
+                                  item.chunk) {
+      const std::size_t end =
+          begin + item.chunk < item.n ? begin + item.chunk : item.n;
+      (*item.body)(begin, end);
+    }
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!first_error_) {
+      first_error_ = std::current_exception();
+    }
+  }
+}
+
+void fork_join_team::member_loop(unsigned rank) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    work_item item;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return epoch_ != seen_epoch || stopping_; });
+      if (stopping_ && epoch_ == seen_epoch) {
+        return;
+      }
+      seen_epoch = epoch_;
+      item = current_;
+    }
+    run_range(rank, item);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++done_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void fork_join_team::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) {
+  parallel_for_chunked(n, 0, body);
+}
+
+void fork_join_team::parallel_for_chunked(
+    std::size_t n, std::size_t chunk,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  if (num_threads_ == 1) {
+    if (n != 0) {
+      body(0, n);  // single thread: exceptions propagate directly
+    }
+    barriers_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  work_item item{n, chunk, &body};
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    HPXLITE_ASSERT(done_ == 0, "overlapping parallel_for on one team");
+    current_ = item;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  // Master executes rank 0's share, then joins the implicit barrier.
+  run_range(0, item);
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return done_ == num_threads_ - 1; });
+    done_ = 0;
+    error = std::exchange(first_error_, nullptr);
+  }
+  barriers_.fetch_add(1, std::memory_order_relaxed);
+  if (error) {
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace hpxlite

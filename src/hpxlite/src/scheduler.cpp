@@ -1,0 +1,232 @@
+#include "hpxlite/scheduler.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <string>
+
+#include "hpxlite/assert.hpp"
+
+namespace hpxlite {
+
+namespace {
+
+// Thread-local identity of a worker thread: which runtime it belongs to
+// and its index in that runtime's pool.
+thread_local runtime* tls_runtime = nullptr;
+thread_local unsigned tls_worker_index = static_cast<unsigned>(-1);
+
+// The default instance.  Guarded by a plain mutex; creation/reset are
+// rare control-plane operations.
+std::mutex g_instance_mutex;
+std::unique_ptr<runtime> g_instance;
+
+unsigned default_worker_count() {
+  if (const char* env = std::getenv(threads_env_var)) {
+    const int n = std::atoi(env);
+    if (n > 0) {
+      return static_cast<unsigned>(n);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+runtime::runtime(unsigned num_workers)
+    : num_workers_(num_workers == 0 ? 1 : num_workers) {
+  queues_.reserve(num_workers_);
+  for (unsigned i = 0; i < num_workers_; ++i) {
+    queues_.push_back(std::make_unique<worker_queue>());
+  }
+  threads_.reserve(num_workers_);
+  for (unsigned i = 0; i < num_workers_; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+runtime::~runtime() {
+  wait_idle();
+  stopping_.store(true, std::memory_order_release);
+  sleep_cv_.notify_all();
+  for (auto& t : threads_) {
+    t.join();
+  }
+}
+
+runtime& runtime::get() {
+  std::lock_guard<std::mutex> lock(g_instance_mutex);
+  if (!g_instance) {
+    g_instance = std::make_unique<runtime>(default_worker_count());
+  }
+  return *g_instance;
+}
+
+bool runtime::exists() {
+  std::lock_guard<std::mutex> lock(g_instance_mutex);
+  return g_instance != nullptr;
+}
+
+void runtime::reset(unsigned num_workers) {
+  std::lock_guard<std::mutex> lock(g_instance_mutex);
+  g_instance.reset();  // drains and joins the old pool first
+  g_instance = std::make_unique<runtime>(num_workers);
+}
+
+void runtime::shutdown() {
+  std::lock_guard<std::mutex> lock(g_instance_mutex);
+  g_instance.reset();
+}
+
+void runtime::submit(task_function task) {
+  HPXLITE_ASSERT(static_cast<bool>(task), "submitting an empty task");
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  if (tls_runtime == this) {
+    worker_queue& q = *queues_[tls_worker_index];
+    std::lock_guard<spinlock> lock(q.lock);
+    q.tasks.push_back(std::move(task));
+  } else {
+    std::lock_guard<spinlock> lock(inject_lock_);
+    injected_.push_back(std::move(task));
+  }
+  notify_one_worker();
+}
+
+void runtime::notify_one_worker() {
+  // Pairs with the sleep in worker_loop.  Taking the mutex briefly
+  // closes the check-then-sleep window (a worker holding sleep_mutex_
+  // between its predicate check and the wait cannot miss this signal).
+  { std::lock_guard<std::mutex> lock(sleep_mutex_); }
+  sleep_cv_.notify_one();
+}
+
+bool runtime::try_pop_local(unsigned index, task_function& out) {
+  worker_queue& q = *queues_[index];
+  std::lock_guard<spinlock> lock(q.lock);
+  if (q.tasks.empty()) {
+    return false;
+  }
+  out = std::move(q.tasks.back());
+  q.tasks.pop_back();
+  return true;
+}
+
+bool runtime::try_pop_injected(task_function& out) {
+  std::lock_guard<spinlock> lock(inject_lock_);
+  if (injected_.empty()) {
+    return false;
+  }
+  out = std::move(injected_.front());
+  injected_.pop_front();
+  return true;
+}
+
+bool runtime::try_steal(unsigned thief, task_function& out) {
+  // Rotate the starting victim so thieves spread out instead of all
+  // hammering worker 0.
+  const unsigned start =
+      next_victim_.fetch_add(1, std::memory_order_relaxed) % num_workers_;
+  for (unsigned k = 0; k < num_workers_; ++k) {
+    const unsigned victim = (start + k) % num_workers_;
+    if (victim == thief) {
+      continue;
+    }
+    worker_queue& q = *queues_[victim];
+    std::lock_guard<spinlock> lock(q.lock);
+    if (!q.tasks.empty()) {
+      out = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      stolen_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void runtime::execute(task_function task) {
+  running_.fetch_add(1, std::memory_order_relaxed);
+  pending_.fetch_sub(1, std::memory_order_relaxed);
+  task();
+  running_.fetch_sub(1, std::memory_order_release);
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  if (pending_.load(std::memory_order_acquire) == 0 &&
+      running_.load(std::memory_order_acquire) == 0) {
+    // Lock/unlock closes the race against a wait_idle() caller that has
+    // checked the predicate but not yet gone to sleep.
+    { std::lock_guard<std::mutex> lock(sleep_mutex_); }
+    idle_cv_.notify_all();
+  }
+}
+
+bool runtime::try_execute_one() {
+  task_function task;
+  if (tls_runtime == this) {
+    if (try_pop_local(tls_worker_index, task) || try_pop_injected(task) ||
+        try_steal(tls_worker_index, task)) {
+      execute(std::move(task));
+      return true;
+    }
+    return false;
+  }
+  // Non-worker thread helping out: it may only take injected work or
+  // steal; it has no local deque.
+  if (try_pop_injected(task) || try_steal(num_workers_, task)) {
+    helped_.fetch_add(1, std::memory_order_relaxed);
+    execute(std::move(task));
+    return true;
+  }
+  return false;
+}
+
+void runtime::wait_idle() {
+  std::unique_lock<std::mutex> lock(sleep_mutex_);
+  idle_cv_.wait(lock, [this] {
+    return pending_.load(std::memory_order_acquire) == 0 &&
+           running_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void runtime::worker_loop(unsigned index) {
+  tls_runtime = this;
+  tls_worker_index = index;
+  for (;;) {
+    task_function task;
+    if (try_pop_local(index, task) || try_pop_injected(task) ||
+        try_steal(index, task)) {
+      execute(std::move(task));
+      continue;
+    }
+    if (stopping_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_acquire) == 0) {
+      break;
+    }
+    // Nothing runnable: notify a potential wait_idle() caller, then
+    // sleep until new work arrives or shutdown begins.  The timeout is
+    // a safety net against lost wakeups under exotic schedulers.
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    if (pending_.load(std::memory_order_acquire) == 0 &&
+        running_.load(std::memory_order_acquire) == 0) {
+      idle_cv_.notify_all();
+    }
+    sleep_cv_.wait_for(lock, std::chrono::milliseconds(1), [this] {
+      return pending_.load(std::memory_order_acquire) != 0 ||
+             stopping_.load(std::memory_order_acquire);
+    });
+  }
+  tls_runtime = nullptr;
+  tls_worker_index = static_cast<unsigned>(-1);
+}
+
+bool runtime::on_worker_thread() noexcept { return tls_runtime != nullptr; }
+
+unsigned runtime::worker_index() noexcept { return tls_worker_index; }
+
+scheduler_stats runtime::stats() const {
+  scheduler_stats s;
+  s.tasks_executed = executed_.load(std::memory_order_relaxed);
+  s.tasks_stolen = stolen_.load(std::memory_order_relaxed);
+  s.helped_while_waiting = helped_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace hpxlite

@@ -1,0 +1,56 @@
+// Access descriptors for op_par_loop arguments.
+//
+// These mirror OP2's OP_READ / OP_WRITE / OP_RW / OP_INC markers, which
+// "explicitly indicate how each of the underlying data can be accessed
+// inside a loop".  The planner uses them to decide whether an indirect
+// loop needs conflict-free colouring (INC/WRITE/RW through a map) and
+// the dataflow API uses them to wire the dependency tree.
+#pragma once
+
+namespace op2 {
+
+enum class access {
+  read,       // OP_READ: read only
+  write,      // OP_WRITE: overwritten, old value not read
+  rw,         // OP_RW: read and written
+  inc,        // OP_INC: incremented (commutative accumulation)
+  min,        // OP_MIN: global minimum reduction (op_arg_gbl only)
+  max,        // OP_MAX: global maximum reduction (op_arg_gbl only)
+};
+
+// OP2-style spellings used throughout the paper's listings.
+inline constexpr access OP_READ = access::read;
+inline constexpr access OP_WRITE = access::write;
+inline constexpr access OP_RW = access::rw;
+inline constexpr access OP_INC = access::inc;
+inline constexpr access OP_MIN = access::min;
+inline constexpr access OP_MAX = access::max;
+
+/// True for the global-reduction accesses (OP_INC/OP_MIN/OP_MAX).
+constexpr bool is_reduction(access a) {
+  return a == access::inc || a == access::min || a == access::max;
+}
+
+/// True when the access may modify the data.
+constexpr bool writes(access a) { return a != access::read; }
+
+/// Human-readable name, for diagnostics and the code generator.
+constexpr const char* to_string(access a) {
+  switch (a) {
+    case access::read:
+      return "OP_READ";
+    case access::write:
+      return "OP_WRITE";
+    case access::rw:
+      return "OP_RW";
+    case access::inc:
+      return "OP_INC";
+    case access::min:
+      return "OP_MIN";
+    case access::max:
+      return "OP_MAX";
+  }
+  return "?";
+}
+
+}  // namespace op2

@@ -1,0 +1,111 @@
+// op_arg — a typed loop-argument descriptor, created by op_arg_dat /
+// op_arg_gbl exactly as in the paper's listings:
+//
+//   op_arg_dat<double>(p_x, 0, pcell, 2, OP_READ)   // indirect read
+//   op_arg_dat<double>(p_q, -1, OP_ID, 4, OP_READ)  // direct read
+//   op_arg_gbl<double>(&rms, 1, OP_INC)             // global reduction
+//
+// The string type tag of classic OP2 ("double") lives on the op_dat;
+// arg creation cross-checks it against T, which is what the "2,
+// "double", OP_READ" triple in the C API verified.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "op2/access.hpp"
+#include "op2/dat.hpp"
+#include "op2/map.hpp"
+
+namespace op2 {
+
+/// Direct-access index marker (OP2 passes idx = -1 with OP_ID).
+inline constexpr int OP_NONE = -1;
+
+template <typename T>
+struct op_arg {
+  op_dat dat;          // invalid for global args
+  op_map map;          // invalid for direct args
+  int idx = OP_NONE;   // which map column; OP_NONE for direct/global
+  int dim = 0;         // components per element (or global width)
+  access acc = OP_READ;
+  T* gbl = nullptr;    // global argument storage (caller-owned)
+
+  bool is_global() const noexcept { return gbl != nullptr; }
+  bool is_direct() const noexcept { return !is_global() && !map.valid(); }
+  bool is_indirect() const noexcept { return !is_global() && map.valid(); }
+};
+
+/// Builds a dat argument.  `idx` selects the map column for indirect
+/// access; pass OP_NONE (or -1) with OP_ID for direct access.
+template <typename T>
+op_arg<T> op_arg_dat(op_dat dat, int idx, op_map map, int dim, access acc) {
+  if (!dat.valid()) {
+    throw std::invalid_argument("op_arg_dat: invalid dat");
+  }
+  if (!dat.holds<T>()) {
+    throw std::invalid_argument("op_arg_dat: dat '" + dat.name() +
+                                "' element type is " + dat.type_name() +
+                                ", argument declared differently");
+  }
+  if (dim != dat.dim()) {
+    throw std::invalid_argument(
+        "op_arg_dat: dat '" + dat.name() + "' has dim " +
+        std::to_string(dat.dim()) + ", argument declared dim " +
+        std::to_string(dim));
+  }
+  if (acc == OP_MIN || acc == OP_MAX) {
+    throw std::invalid_argument(
+        "op_arg_dat: OP_MIN/OP_MAX are reductions over op_arg_gbl only");
+  }
+  op_arg<T> a;
+  a.dat = std::move(dat);
+  a.dim = dim;
+  a.acc = acc;
+  if (map.valid()) {
+    if (idx < 0 || idx >= map.dim()) {
+      throw std::out_of_range("op_arg_dat: map index " + std::to_string(idx) +
+                              " outside map '" + map.name() + "' of dim " +
+                              std::to_string(map.dim()));
+    }
+    if (map.to() != a.dat.set()) {
+      throw std::invalid_argument("op_arg_dat: map '" + map.name() +
+                                  "' does not target the set of dat '" +
+                                  a.dat.name() + "'");
+    }
+    a.map = std::move(map);
+    a.idx = idx;
+  } else {
+    if (idx != OP_NONE) {
+      throw std::invalid_argument(
+          "op_arg_dat: direct argument must use idx = -1 (OP_ID)");
+    }
+  }
+  return a;
+}
+
+/// Builds a global argument over caller-owned storage of `dim` values.
+/// OP_INC/OP_MIN/OP_MAX make it a reduction (each parallel block
+/// accumulates privately; partials combine at loop end); OP_READ
+/// broadcasts.
+template <typename T>
+op_arg<T> op_arg_gbl(T* data, int dim, access acc) {
+  if (data == nullptr) {
+    throw std::invalid_argument("op_arg_gbl: null data");
+  }
+  if (dim <= 0) {
+    throw std::invalid_argument("op_arg_gbl: dim must be > 0");
+  }
+  if (acc == OP_RW || acc == OP_WRITE) {
+    throw std::invalid_argument(
+        "op_arg_gbl: globals must be OP_READ or a reduction "
+        "(OP_INC/OP_MIN/OP_MAX)");
+  }
+  op_arg<T> a;
+  a.dim = dim;
+  a.acc = acc;
+  a.gbl = data;
+  return a;
+}
+
+}  // namespace op2

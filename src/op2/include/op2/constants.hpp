@@ -1,0 +1,78 @@
+// op_decl_const — OP2's global-constant registry.  On shared memory the
+// constants live wherever the application put them; the registry
+// records name/type/dim/location so tooling (code generator, state
+// dumps, device backends in real OP2) can find and propagate them.
+#pragma once
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <typeinfo>
+
+namespace op2 {
+
+struct const_entry {
+  const std::type_info* type = nullptr;
+  std::string type_name;
+  int dim = 0;
+  void* data = nullptr;
+};
+
+namespace detail {
+std::map<std::string, const_entry>& const_registry();
+}  // namespace detail
+
+/// Registers `dim` values of T at `data` under `name`.  Re-declaring a
+/// name with the same shape updates the location; with a different
+/// shape it throws.
+template <typename T>
+void op_decl_const(int dim, std::string type_name, T* data,
+                   const std::string& name) {
+  if (data == nullptr) {
+    throw std::invalid_argument("op_decl_const: null data for '" + name +
+                                "'");
+  }
+  if (dim <= 0) {
+    throw std::invalid_argument("op_decl_const: dim must be > 0 for '" +
+                                name + "'");
+  }
+  auto& reg = detail::const_registry();
+  auto it = reg.find(name);
+  if (it != reg.end()) {
+    if (*it->second.type != typeid(T) || it->second.dim != dim) {
+      throw std::invalid_argument(
+          "op_decl_const: '" + name + "' re-declared with a different shape");
+    }
+    it->second.data = data;
+    return;
+  }
+  reg.emplace(name,
+              const_entry{&typeid(T), std::move(type_name), dim, data});
+}
+
+/// Typed lookup; throws on unknown name or type mismatch.
+template <typename T>
+T* op_get_const(const std::string& name, int* dim = nullptr) {
+  auto& reg = detail::const_registry();
+  auto it = reg.find(name);
+  if (it == reg.end()) {
+    throw std::out_of_range("op_get_const: no constant named '" + name +
+                            "'");
+  }
+  if (*it->second.type != typeid(T)) {
+    throw std::invalid_argument("op_get_const: '" + name + "' is of type " +
+                                it->second.type_name);
+  }
+  if (dim != nullptr) {
+    *dim = it->second.dim;
+  }
+  return static_cast<T*>(it->second.data);
+}
+
+/// All registered constants (for tooling/introspection).
+std::map<std::string, const_entry> op_const_snapshot();
+
+/// Clears the registry (tests).
+void op_clear_consts();
+
+}  // namespace op2

@@ -1,0 +1,163 @@
+// op_dat — data on a set: `dim` values of element type T per set
+// element.  Storage is type-erased (like OP2's char* + type-name
+// strings) so sets of dats can live in uniform containers and the mesh
+// I/O layer stays generic; typed access goes through data<T>() which
+// verifies the declared element type.
+#pragma once
+
+#include <cstring>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <typeinfo>
+#include <vector>
+
+#include "op2/set.hpp"
+
+namespace op2 {
+
+namespace detail {
+
+/// Minimal run-time element-type tag.  OP2 itself keys on the type
+/// string ("double", "float", "int"); we key on typeid for safety and
+/// keep the string for diagnostics and the code generator.
+struct type_tag {
+  const std::type_info* info = nullptr;
+  std::size_t size = 0;
+  std::string name;
+};
+
+template <typename T>
+type_tag make_type_tag(std::string name) {
+  return type_tag{&typeid(T), sizeof(T), std::move(name)};
+}
+
+struct dat_impl {
+  op_set set;
+  int dim = 0;
+  std::string name;
+  type_tag type;
+  std::vector<std::byte> bytes;
+};
+
+}  // namespace detail
+
+class op_dat {
+ public:
+  op_dat() = default;
+
+  bool valid() const noexcept { return impl_ != nullptr; }
+  const op_set& set() const { return impl_->set; }
+  int dim() const { return impl_->dim; }
+  const std::string& name() const { return impl_->name; }
+  const std::string& type_name() const { return impl_->type.name; }
+  std::size_t element_size() const { return impl_->type.size; }
+
+  /// Total number of scalar entries (set size × dim).
+  std::size_t entries() const {
+    return static_cast<std::size_t>(impl_->set.size()) *
+           static_cast<std::size_t>(impl_->dim);
+  }
+
+  /// Typed access to the full storage.  Throws if T does not match the
+  /// declared element type.
+  template <typename T>
+  std::span<T> data() {
+    check_type<T>();
+    return {reinterpret_cast<T*>(impl_->bytes.data()), entries()};
+  }
+
+  template <typename T>
+  std::span<const T> data() const {
+    check_type<T>();
+    return {reinterpret_cast<const T*>(impl_->bytes.data()), entries()};
+  }
+
+  /// Raw pointer to element `e`'s first component (type-checked).
+  template <typename T>
+  T* element(int e) {
+    check_type<T>();
+    return reinterpret_cast<T*>(impl_->bytes.data()) +
+           static_cast<std::size_t>(e) * static_cast<std::size_t>(impl_->dim);
+  }
+
+  /// True if T matches the declared element type.
+  template <typename T>
+  bool holds() const {
+    return impl_ != nullptr && *impl_->type.info == typeid(T);
+  }
+
+  friend bool operator==(const op_dat& a, const op_dat& b) {
+    return a.impl_ == b.impl_;
+  }
+  friend bool operator!=(const op_dat& a, const op_dat& b) {
+    return !(a == b);
+  }
+
+  const void* id() const noexcept { return impl_.get(); }
+
+  /// Factory used by op_decl_dat below.
+  template <typename T>
+  static op_dat declare(op_set set, int dim, std::string type_name,
+                        std::span<const T> init, std::string name) {
+    if (!set.valid()) {
+      throw std::invalid_argument("op_dat '" + name + "': invalid set");
+    }
+    if (dim <= 0) {
+      throw std::invalid_argument("op_dat '" + name + "': dim must be > 0");
+    }
+    const auto expected =
+        static_cast<std::size_t>(set.size()) * static_cast<std::size_t>(dim);
+    if (!init.empty() && init.size() != expected) {
+      throw std::invalid_argument(
+          "op_dat '" + name + "': expected " + std::to_string(expected) +
+          " values, got " + std::to_string(init.size()));
+    }
+    op_dat d;
+    d.impl_ = std::make_shared<detail::dat_impl>();
+    d.impl_->set = std::move(set);
+    d.impl_->dim = dim;
+    d.impl_->name = std::move(name);
+    d.impl_->type = detail::make_type_tag<T>(std::move(type_name));
+    d.impl_->bytes.resize(expected * sizeof(T));
+    if (!init.empty()) {
+      std::memcpy(d.impl_->bytes.data(), init.data(), expected * sizeof(T));
+    }
+    return d;
+  }
+
+ private:
+  template <typename T>
+  void check_type() const {
+    if (!impl_) {
+      throw std::logic_error("op_dat: access to an undeclared dat");
+    }
+    if (*impl_->type.info != typeid(T)) {
+      throw std::invalid_argument("op_dat '" + impl_->name +
+                                  "': element type mismatch (declared " +
+                                  impl_->type.name + ")");
+    }
+  }
+
+  std::shared_ptr<detail::dat_impl> impl_;
+};
+
+/// OP2-spelling factory: op_decl_dat(set, dim, "double", data, name).
+/// Pass an empty span to zero-initialise.
+template <typename T>
+op_dat op_decl_dat(op_set set, int dim, std::string type_name,
+                   std::span<const T> init, std::string name) {
+  return op_dat::declare<T>(std::move(set), dim, std::move(type_name), init,
+                            std::move(name));
+}
+
+/// Zero-initialising overload.
+template <typename T>
+op_dat op_decl_dat(op_set set, int dim, std::string type_name,
+                   std::string name) {
+  return op_dat::declare<T>(std::move(set), dim, std::move(type_name),
+                            std::span<const T>{}, std::move(name));
+}
+
+}  // namespace op2

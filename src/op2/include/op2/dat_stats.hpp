@@ -1,0 +1,99 @@
+// Field statistics over op_dats — the op_print_dat/monitoring utilities
+// applications use for convergence checks and sanity output.  Computed
+// with the hpxlite parallel reduction when a runtime is up, serially
+// otherwise.
+#pragma once
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "hpxlite/parallel_algorithm.hpp"
+#include "op2/dat.hpp"
+
+namespace op2 {
+
+/// Summary of one component (or all entries) of a dat.
+struct dat_summary {
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+  double l2 = 0.0;  // sqrt(sum of squares)
+  std::size_t count = 0;
+};
+
+namespace detail {
+
+struct summary_acc {
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  double sum = 0.0;
+  double sumsq = 0.0;
+  std::size_t count = 0;
+};
+
+inline summary_acc combine(summary_acc a, const summary_acc& b) {
+  a.min = b.min < a.min ? b.min : a.min;
+  a.max = b.max > a.max ? b.max : a.max;
+  a.sum += b.sum;
+  a.sumsq += b.sumsq;
+  a.count += b.count;
+  return a;
+}
+
+inline summary_acc leaf(double v) {
+  return summary_acc{v, v, v, v * v, 1};
+}
+
+}  // namespace detail
+
+/// Statistics over component `component` of every element of `d`
+/// (component = -1 aggregates all components).  T must be the dat's
+/// element type.
+template <typename T>
+dat_summary summarize_dat(const op_dat& d, int component = -1) {
+  if (!d.valid()) {
+    throw std::invalid_argument("summarize_dat: invalid dat");
+  }
+  if (component >= d.dim()) {
+    throw std::out_of_range("summarize_dat: component out of range");
+  }
+  const auto values = d.data<T>();
+
+  detail::summary_acc acc;
+  const auto dim = static_cast<std::size_t>(d.dim());
+  if (component < 0) {
+    if (hpxlite::runtime::exists()) {
+      acc = hpxlite::parallel::transform_reduce(
+          hpxlite::par, values.begin(), values.end(), detail::summary_acc{},
+          [](detail::summary_acc a, const detail::summary_acc& b) {
+            return detail::combine(std::move(a), b);
+          },
+          [](const T& v) { return detail::leaf(static_cast<double>(v)); });
+    } else {
+      for (const T& v : values) {
+        acc = detail::combine(acc, detail::leaf(static_cast<double>(v)));
+      }
+    }
+  } else {
+    for (std::size_t e = static_cast<std::size_t>(component);
+         e < values.size(); e += dim) {
+      acc = detail::combine(acc, detail::leaf(static_cast<double>(values[e])));
+    }
+  }
+
+  dat_summary out;
+  out.count = acc.count;
+  if (acc.count != 0) {
+    out.min = acc.min;
+    out.max = acc.max;
+    out.sum = acc.sum;
+    out.l2 = std::sqrt(acc.sumsq);
+  } else {
+    out.min = 0.0;
+    out.max = 0.0;
+  }
+  return out;
+}
+
+}  // namespace op2

@@ -1,0 +1,163 @@
+// The modified OP2 API of Section III-B: op_dat handles carry futures,
+// op_arg_dat1 snapshots them, and op_par_loop becomes a dataflow node
+// that fires once every argument future is ready — "dataflow allows
+// automatically creating the execution graph which represents a
+// dependency tree" (Fig 13/14).
+//
+// Dependency rules (read/write future chaining):
+//   - every loop waits for the last writer of each of its args (RAW)
+//   - a writer additionally waits for all readers since that write
+//     (WAR), then becomes the new last writer and clears the readers
+//   - readers since the last write accumulate, so independent readers
+//     overlap freely
+//
+// This removes the hand-placed new_data.get() calls of §III-A2: the
+// paper's Fig 10 problem ("the programmer should put them manually in
+// correct place") is solved by the bookkeeping below.
+//
+// Thread-safety: like OP2 itself, loops are launched from one
+// application driver thread; the launched loops execute concurrently.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hpxlite/dataflow.hpp"
+#include "hpxlite/future.hpp"
+#include "op2/par_loop.hpp"
+
+namespace op2 {
+
+namespace detail {
+
+/// Future bookkeeping attached to a dat used through the modified API.
+struct df_sync {
+  hpxlite::shared_future<void> last_write =
+      hpxlite::make_ready_future().share();
+  std::vector<hpxlite::shared_future<void>> reads_since_write;
+};
+
+}  // namespace detail
+
+/// A dat handle for the modified API: the paper's p_q[t] — "each kernel
+/// function returns an output argument as a future stored in data[t]".
+/// Copying shares both the data and the future bookkeeping.
+class op_dat_df {
+ public:
+  op_dat_df() = default;
+  explicit op_dat_df(op_dat dat)
+      : dat_(std::move(dat)), sync_(std::make_shared<detail::df_sync>()) {}
+
+  bool valid() const noexcept { return sync_ != nullptr; }
+  op_dat& dat() { return dat_; }
+  const op_dat& dat() const { return dat_; }
+
+  /// Blocks until every loop launched against this dat has completed
+  /// (the final new_data.get() of the application driver).
+  void wait() const {
+    if (!sync_) {
+      return;
+    }
+    sync_->last_write.wait();
+    for (const auto& r : sync_->reads_since_write) {
+      r.wait();
+    }
+  }
+
+  /// Future that is ready once all currently-launched uses complete.
+  hpxlite::future<void> ready_future() const {
+    std::vector<hpxlite::shared_future<void>> deps;
+    if (sync_) {
+      deps.push_back(sync_->last_write);
+      deps.insert(deps.end(), sync_->reads_since_write.begin(),
+                  sync_->reads_since_write.end());
+    }
+    return hpxlite::when_all(deps);
+  }
+
+  const std::shared_ptr<detail::df_sync>& sync() const { return sync_; }
+
+ private:
+  op_dat dat_;
+  std::shared_ptr<detail::df_sync> sync_;
+};
+
+/// Argument of the modified API: the classic descriptor plus the dat's
+/// future bookkeeping (absent for globals).
+template <typename T>
+struct op_arg_df {
+  op_arg<T> arg;
+  std::shared_ptr<detail::df_sync> sync;
+};
+
+/// Modified op_arg_dat — the paper names it op_arg_dat1 (Fig 14):
+/// "op_arg_dat is modified to create an argument as a future, which is
+/// passed to a function through op_par_loop".
+template <typename T>
+op_arg_df<T> op_arg_dat1(const op_dat_df& dat, int idx, const op_map& map,
+                         int dim, access acc) {
+  if (!dat.valid()) {
+    throw std::invalid_argument("op_arg_dat1: invalid dat handle");
+  }
+  return {op_arg_dat<T>(dat.dat(), idx, map, dim, acc), dat.sync()};
+}
+
+/// Global argument in the modified API (reductions still supported).
+template <typename T>
+op_arg_df<T> op_arg_gbl1(T* data, int dim, access acc) {
+  return {op_arg_gbl<T>(data, dim, acc), nullptr};
+}
+
+/// Modified-API op_par_loop: schedules the loop as a dataflow node and
+/// returns a shared future for its completion.  Never blocks; the loop
+/// dependency tree is derived from the argument futures.
+template <typename Kernel, typename... T>
+hpxlite::shared_future<void> op_par_loop(Kernel kernel, const char* name,
+                                         const op_set& set,
+                                         op_arg_df<T>... args) {
+  // Collect dependency futures per the chaining rules.
+  std::vector<hpxlite::shared_future<void>> deps;
+  std::vector<std::pair<std::shared_ptr<detail::df_sync>, bool>> installs;
+  const auto collect = [&](const auto& a) {
+    if (!a.sync) {
+      return;
+    }
+    deps.push_back(a.sync->last_write);
+    if (writes(a.arg.acc)) {
+      deps.insert(deps.end(), a.sync->reads_since_write.begin(),
+                  a.sync->reads_since_write.end());
+    }
+    installs.emplace_back(a.sync, writes(a.arg.acc));
+  };
+  (collect(args), ...);
+
+  auto frame = detail::make_frame(name, set, std::move(kernel),
+                                  std::move(args.arg)...);
+
+  // The node body is the paper's Fig 13: for_each(par) inside dataflow.
+  hpxlite::future<void> gate = hpxlite::when_all(deps);
+  hpxlite::future<void> done = hpxlite::dataflow(
+      hpxlite::launch::async,
+      [frame](hpxlite::future<void> ready) {
+        ready.get();  // propagate upstream failures
+        detail::run_foreach(*frame, detail::configured_chunk());
+      },
+      std::move(gate));
+  hpxlite::shared_future<void> shared = done.share();
+
+  // Install the completion future into every dat argument's
+  // bookkeeping: writers replace last_write (and clear readers),
+  // readers accumulate.
+  for (auto& [sync, is_writer] : installs) {
+    if (is_writer) {
+      sync->last_write = shared;
+      sync->reads_since_write.clear();
+    } else {
+      sync->reads_since_write.push_back(shared);
+    }
+  }
+
+  return shared;
+}
+
+}  // namespace op2

@@ -1,0 +1,104 @@
+// op_map — connectivity between two sets: for every element of `from`,
+// `dim` indices into `to`.  This is how OP2 represents the mesh: e.g.
+// pecell maps each edge to its two adjacent cells.
+//
+// Indirect op_par_loop arguments reach their data through a map; the
+// planner inspects maps to colour blocks conflict-free.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "op2/set.hpp"
+
+namespace op2 {
+
+namespace detail {
+struct map_impl {
+  op_set from;
+  op_set to;
+  int dim = 0;
+  std::string name;
+  std::vector<int> data;  // row-major: data[e*dim + j]
+};
+}  // namespace detail
+
+class op_map {
+ public:
+  op_map() = default;
+
+  /// Declares a map; validates every index against the target set.
+  /// Matches op_decl_map(from, to, dim, imap, name).
+  op_map(op_set from, op_set to, int dim, std::span<const int> data,
+         std::string name) {
+    if (!from.valid() || !to.valid()) {
+      throw std::invalid_argument("op_map '" + name + "': invalid set");
+    }
+    if (dim <= 0) {
+      throw std::invalid_argument("op_map '" + name + "': dim must be > 0");
+    }
+    const auto expected =
+        static_cast<std::size_t>(from.size()) * static_cast<std::size_t>(dim);
+    if (data.size() != expected) {
+      throw std::invalid_argument(
+          "op_map '" + name + "': expected " + std::to_string(expected) +
+          " indices, got " + std::to_string(data.size()));
+    }
+    for (const int idx : data) {
+      if (idx < 0 || idx >= to.size()) {
+        throw std::out_of_range("op_map '" + name + "': index " +
+                                std::to_string(idx) + " outside target set '" +
+                                to.name() + "' of size " +
+                                std::to_string(to.size()));
+      }
+    }
+    impl_ = std::make_shared<detail::map_impl>();
+    impl_->from = std::move(from);
+    impl_->to = std::move(to);
+    impl_->dim = dim;
+    impl_->name = std::move(name);
+    impl_->data.assign(data.begin(), data.end());
+  }
+
+  bool valid() const noexcept { return impl_ != nullptr; }
+  const op_set& from() const { return impl_->from; }
+  const op_set& to() const { return impl_->to; }
+  int dim() const { return impl_->dim; }
+  const std::string& name() const { return impl_->name; }
+
+  /// Index of the `j`-th target of element `e`.
+  int at(int e, int j) const {
+    return impl_->data[static_cast<std::size_t>(e) *
+                           static_cast<std::size_t>(impl_->dim) +
+                       static_cast<std::size_t>(j)];
+  }
+
+  /// Raw row-major index table.
+  std::span<const int> table() const { return impl_->data; }
+
+  friend bool operator==(const op_map& a, const op_map& b) {
+    return a.impl_ == b.impl_;
+  }
+  friend bool operator!=(const op_map& a, const op_map& b) {
+    return !(a == b);
+  }
+
+  const void* id() const noexcept { return impl_.get(); }
+
+ private:
+  std::shared_ptr<detail::map_impl> impl_;
+};
+
+/// Sentinel for "no map" in direct op_arg_dat calls (OP2's OP_ID).
+inline const op_map OP_ID{};
+
+/// OP2-spelling factory.
+inline op_map op_decl_map(op_set from, op_set to, int dim,
+                          std::span<const int> data, std::string name) {
+  return op_map(std::move(from), std::move(to), dim, data, std::move(name));
+}
+
+}  // namespace op2

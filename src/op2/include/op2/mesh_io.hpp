@@ -1,0 +1,53 @@
+// Plain-text unstructured-mesh container, standing in for OP2's HDF5
+// mesh files (op_decl_*_hdf5).  The format is line-oriented:
+//
+//   op2mesh 1
+//   set   <name> <size>
+//   map   <name> <from-set> <to-set> <dim>
+//         ... from*dim whitespace-separated indices ...
+//   dat   <name> <set> <dim> <double|float|int>
+//         ... size*dim whitespace-separated values ...
+//   end
+//
+// Sections may repeat and appear in any order, except that maps/dats
+// must follow the sets they reference.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "op2/dat.hpp"
+#include "op2/map.hpp"
+#include "op2/set.hpp"
+
+namespace op2 {
+
+/// A named bundle of declared sets, maps and dats, as read from or
+/// written to a mesh file.
+struct mesh {
+  std::map<std::string, op_set> sets;
+  std::map<std::string, op_map> maps;
+  std::map<std::string, op_dat> dats;
+
+  const op_set& set(const std::string& name) const;
+  const op_map& map(const std::string& name) const;
+  const op_dat& dat(const std::string& name) const;
+};
+
+/// Parses a mesh from a stream.  Throws std::runtime_error with a
+/// line-numbered message on malformed input.
+mesh read_mesh(std::istream& in);
+
+/// Reads a mesh file from disk.
+mesh read_mesh_file(const std::string& path);
+
+/// Serialises `m` in the format above (doubles at full round-trip
+/// precision).
+void write_mesh(std::ostream& out, const mesh& m);
+
+/// Writes a mesh file to disk.
+void write_mesh_file(const std::string& path, const mesh& m);
+
+}  // namespace op2

@@ -1,0 +1,32 @@
+// Umbrella header for the OP2 reproduction.
+//
+// Typical use (classic API, the paper's Fig 2/4):
+//
+//   op2::init({op2::backend::hpx_foreach, /*threads=*/16});
+//   auto cells = op2::op_decl_set(ncell, "cells");
+//   auto p_q   = op2::op_decl_dat<double>(cells, 4, "double", q, "p_q");
+//   op2::op_par_loop(save_soln, "save_soln", cells,
+//       op2::op_arg_dat<double>(p_q,   -1, op2::OP_ID, 4, op2::OP_READ),
+//       op2::op_arg_dat<double>(p_qold,-1, op2::OP_ID, 4, op2::OP_WRITE));
+//
+// Futures API (§III-A2): op_par_loop_async returns hpxlite::future<void>.
+// Modified API (§III-B): wrap dats in op_dat_df, build args with
+// op_arg_dat1, and op_par_loop returns a shared future gated on the
+// automatically-derived dependency tree.
+#pragma once
+
+#include "op2/access.hpp"
+#include "op2/arg.hpp"
+#include "op2/constants.hpp"
+#include "op2/dat.hpp"
+#include "op2/dat_stats.hpp"
+#include "op2/dataflow_api.hpp"
+#include "op2/map.hpp"
+#include "op2/mesh_io.hpp"
+#include "op2/par_loop.hpp"
+#include "op2/partition.hpp"
+#include "op2/plan.hpp"
+#include "op2/profiling.hpp"
+#include "op2/renumber.hpp"
+#include "op2/runtime.hpp"
+#include "op2/set.hpp"

@@ -1,0 +1,405 @@
+// op_par_loop — the OP2 parallel-loop engine, over all backends.
+//
+// Every backend executes the same block-structured schedule the paper's
+// Fig 5/6 show (the generated `blockIdx` loop):
+//
+//   for each colour c:                    (one colour if conflict-free)
+//     parallel over blocks of colour c:
+//       for each element in block: kernel(arg pointers...)
+//
+// and they differ only in *how* the "parallel over blocks" runs:
+//   seq           plain loop (test oracle)
+//   forkjoin      fork_join_team::parallel_for — implicit global
+//                 barrier per colour (the OpenMP baseline)
+//   hpx_foreach   hpxlite::parallel::for_each(par[.with(chunk)]) — same
+//                 barrier shape, HPX grain-size control (§III-A1)
+//   (async)       op_par_loop_async: async/for_each(par(task)) returns
+//                 a future; no barrier (§III-A2)
+//   (dataflow)    op_par_loop in dataflow_api.hpp gates the same body
+//                 on argument futures (§III-B)
+//
+// Global OP_INC arguments reduce block-privately and merge under a lock
+// at block end, matching OP2's thread-private reduction buffers.
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <type_traits>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include <chrono>
+
+#include "hpxlite/async.hpp"
+#include "hpxlite/dataflow.hpp"
+#include "hpxlite/parallel_algorithm.hpp"
+#include "op2/arg.hpp"
+#include "op2/plan.hpp"
+#include "op2/profiling.hpp"
+#include "op2/runtime.hpp"
+
+namespace op2 {
+
+namespace detail {
+
+/// Raw-pointer view of one op_arg, precomputed once per loop launch.
+template <typename T>
+struct bound_arg {
+  T* base = nullptr;          // dat storage
+  const int* map_table = nullptr;
+  int map_dim = 0;
+  int idx = 0;
+  int dim = 0;
+  access acc = OP_READ;
+  T* gbl = nullptr;           // global argument storage
+};
+
+template <typename T>
+bound_arg<T> bind_arg(op_arg<T>& a) {
+  bound_arg<T> b;
+  b.dim = a.dim;
+  b.acc = a.acc;
+  if (a.is_global()) {
+    b.gbl = a.gbl;
+    return b;
+  }
+  b.base = a.dat.template data<T>().data();
+  if (a.is_indirect()) {
+    b.map_table = a.map.table().data();
+    b.map_dim = a.map.dim();
+    b.idx = a.idx;
+  }
+  return b;
+}
+
+/// Block-private accumulation buffer for a global OP_INC argument
+/// (empty for every other argument kind).
+template <typename T>
+struct block_scratch {
+  std::vector<T> buf;
+};
+
+template <typename T>
+block_scratch<T> make_scratch(const bound_arg<T>& b) {
+  block_scratch<T> s;
+  if (b.gbl != nullptr && is_reduction(b.acc)) {
+    T init{};
+    if constexpr (std::is_arithmetic_v<T>) {
+      if (b.acc == access::min) {
+        init = std::numeric_limits<T>::max();
+      } else if (b.acc == access::max) {
+        init = std::numeric_limits<T>::lowest();
+      }
+    }
+    s.buf.assign(static_cast<std::size_t>(b.dim), init);
+  }
+  return s;
+}
+
+inline hpxlite::spinlock& global_reduction_lock() {
+  static hpxlite::spinlock lock;
+  return lock;
+}
+
+template <typename T>
+void flush_scratch(const bound_arg<T>& b, block_scratch<T>& s) {
+  if (s.buf.empty()) {
+    return;
+  }
+  std::lock_guard<hpxlite::spinlock> lock(global_reduction_lock());
+  for (int d = 0; d < b.dim; ++d) {
+    const T& v = s.buf[static_cast<std::size_t>(d)];
+    switch (b.acc) {
+      case access::min:
+        b.gbl[d] = v < b.gbl[d] ? v : b.gbl[d];
+        break;
+      case access::max:
+        b.gbl[d] = v > b.gbl[d] ? v : b.gbl[d];
+        break;
+      default:  // OP_INC
+        b.gbl[d] += v;
+        break;
+    }
+  }
+}
+
+/// The pointer the kernel sees for argument `b` at iteration-set
+/// element `i`: direct args index by i, indirect args go through the
+/// map, globals pass their (or the scratch) buffer.
+template <typename T>
+T* arg_pointer(const bound_arg<T>& b, block_scratch<T>& s, int i) {
+  if (b.gbl != nullptr) {
+    return is_reduction(b.acc) ? s.buf.data() : b.gbl;
+  }
+  const int e = b.map_table != nullptr
+                    ? b.map_table[static_cast<std::size_t>(i) *
+                                      static_cast<std::size_t>(b.map_dim) +
+                                  static_cast<std::size_t>(b.idx)]
+                    : i;
+  return b.base + static_cast<std::size_t>(e) * static_cast<std::size_t>(b.dim);
+}
+
+/// Everything one loop launch needs, bundled so the async/dataflow
+/// backends can keep it alive beyond the call site.  The op_arg tuple
+/// holds the op_dat shared handles; bound_ holds the raw views.
+template <typename Kernel, typename... T>
+struct loop_frame {
+  std::string name;
+  op_set set;
+  Kernel kernel;
+  std::tuple<op_arg<T>...> args;
+  std::tuple<bound_arg<T>...> bound;
+  std::shared_ptr<const op_plan> plan;
+  bool direct_loop = false;  // no indirect argument at all
+
+  void run_block(int block) const {
+    const auto bi = static_cast<std::size_t>(block);
+    run_range(plan->offset[bi], plan->offset[bi] + plan->nelems[bi]);
+  }
+
+  void run_range(int begin, int end) const {
+    auto scratch = std::apply(
+        [](const auto&... b) { return std::make_tuple(make_scratch(b)...); },
+        bound);
+    for (int i = begin; i < end; ++i) {
+      invoke(i, scratch, std::index_sequence_for<T...>{});
+    }
+    flush(scratch, std::index_sequence_for<T...>{});
+  }
+
+ private:
+  template <typename Scratch, std::size_t... Is>
+  void invoke(int i, Scratch& scratch, std::index_sequence<Is...>) const {
+    kernel(arg_pointer(std::get<Is>(bound), std::get<Is>(scratch), i)...);
+  }
+
+  template <typename Scratch, std::size_t... Is>
+  void flush(Scratch& scratch, std::index_sequence<Is...>) const {
+    (flush_scratch(std::get<Is>(bound), std::get<Is>(scratch)), ...);
+  }
+};
+
+/// Validates args against the iteration set, collects conflicting
+/// indirections, and builds/fetches the plan.
+template <typename Kernel, typename... T>
+std::shared_ptr<loop_frame<Kernel, T...>> make_frame(const char* name,
+                                                     const op_set& set,
+                                                     Kernel kernel,
+                                                     op_arg<T>... args) {
+  if (!set.valid()) {
+    throw std::invalid_argument(std::string("op_par_loop '") + name +
+                                "': invalid iteration set");
+  }
+  auto arg_tuple = std::make_tuple(std::move(args)...);
+
+  std::vector<plan_indirection> conflicts;
+  bool any_indirect = false;
+  std::apply(
+      [&](auto&... a) {
+        const auto check = [&](auto& arg) {
+          if (arg.is_global()) {
+            return;
+          }
+          if (arg.is_indirect()) {
+            any_indirect = true;
+            if (arg.map.from() != set) {
+              throw std::invalid_argument(
+                  std::string("op_par_loop '") + name + "': map '" +
+                  arg.map.name() + "' is not from the iteration set");
+            }
+            if (writes(arg.acc)) {
+              conflicts.push_back({arg.map, arg.idx, arg.dat.id()});
+            }
+          } else if (arg.dat.set() != set) {
+            throw std::invalid_argument(
+                std::string("op_par_loop '") + name + "': direct dat '" +
+                arg.dat.name() + "' does not live on the iteration set");
+          }
+        };
+        (check(a), ...);
+      },
+      arg_tuple);
+
+  // Bind raw views before moving the tuple: the pointers target the
+  // dats' shared heap storage, so they stay valid across the move.
+  auto bound = std::apply(
+      [](auto&... a) { return std::make_tuple(bind_arg(a)...); }, arg_tuple);
+  auto plan = get_plan(set, current_config().block_size, conflicts);
+
+  // Aggregate construction keeps capturing-lambda kernels usable (no
+  // default-constructible requirement).
+  return std::shared_ptr<loop_frame<Kernel, T...>>(
+      new loop_frame<Kernel, T...>{std::string(name), set, std::move(kernel),
+                                   std::move(arg_tuple), std::move(bound),
+                                   std::move(plan), !any_indirect});
+}
+
+/// The chunk spec the hpx backends hand to for_each: the configured
+/// static chunk, or the paper's auto-partitioner.
+inline hpxlite::chunk_spec configured_chunk() {
+  const auto& cfg = current_config();
+  if (cfg.static_chunk > 0) {
+    return hpxlite::static_chunk_size(cfg.static_chunk);
+  }
+  return hpxlite::auto_chunk_size{};
+}
+
+// --- backend drivers -------------------------------------------------
+
+template <typename Frame>
+void run_seq(const Frame& frame) {
+  frame.run_range(0, frame.set.size());
+}
+
+template <typename Frame>
+void run_forkjoin(const Frame& frame) {
+  auto& tm = team();
+  for (const auto& blocks : frame.plan->color_blocks) {
+    // One fork-join episode (== one implicit global barrier) per colour,
+    // exactly like the OpenMP-generated code.
+    tm.parallel_for(blocks.size(), [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t k = lo; k != hi; ++k) {
+        frame.run_block(blocks[k]);
+      }
+    });
+  }
+}
+
+template <typename Frame>
+void run_foreach(const Frame& frame, const hpxlite::chunk_spec& chunk) {
+  const auto policy = hpxlite::par.with(chunk);
+  for (const auto& blocks : frame.plan->color_blocks) {
+    hpxlite::parallel::for_each(policy, blocks.begin(), blocks.end(),
+                                [&](int b) { frame.run_block(b); });
+  }
+}
+
+/// §III-A2: direct loops run inside async() (Fig 8); conflict-free
+/// indirect loops are one for_each(par(task)) (Fig 9); multi-colour
+/// loops chain one par(task) sweep per colour through dataflow, which
+/// keeps colour boundaries but never blocks the caller.
+template <typename FramePtr>
+hpxlite::future<void> run_async(FramePtr frame) {
+  using hpxlite::launch;
+  const auto chunk = configured_chunk();
+  if (frame->plan->nblocks == 0) {
+    return hpxlite::make_ready_future();  // empty iteration set
+  }
+  if (frame->direct_loop) {
+    return hpxlite::async(launch::async, [frame, chunk] {
+      const auto& blocks = frame->plan->color_blocks.front();
+      hpxlite::parallel::for_each(hpxlite::par.with(chunk), blocks.begin(),
+                                  blocks.end(),
+                                  [&](int b) { frame->run_block(b); });
+    });
+  }
+  if (frame->plan->ncolors == 0) {
+    return hpxlite::make_ready_future();
+  }
+  const auto sweep = [frame, chunk](std::size_t color) {
+    const auto& blocks = frame->plan->color_blocks[color];
+    return hpxlite::parallel::for_each(
+        hpxlite::par(hpxlite::task).with(chunk), blocks.begin(), blocks.end(),
+        [frame](int b) { frame->run_block(b); });
+  };
+  hpxlite::future<void> chain = sweep(0);
+  for (std::size_t c = 1;
+       c < static_cast<std::size_t>(frame->plan->ncolors); ++c) {
+    chain = hpxlite::dataflow(
+        launch::async,
+        [sweep, c](hpxlite::future<void> prev) {
+          prev.get();  // propagate exceptions between colours
+          return sweep(c);
+        },
+        std::move(chain));
+  }
+  return chain;
+}
+
+}  // namespace detail
+
+/// Classic OP2 API (unchanged Airfoil.cpp): synchronous parallel loop
+/// under the configured backend.  For the hpx_async / hpx_dataflow
+/// backends this degenerates to launch-then-wait; use
+/// op_par_loop_async / the dataflow API to actually overlap loops.
+namespace detail {
+
+/// RAII profiling scope for the synchronous entry points.
+class profile_scope {
+ public:
+  explicit profile_scope(const char* name) {
+    if (profiling::enabled()) {
+      name_ = name;
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~profile_scope() {
+    if (name_ != nullptr) {
+      profiling::record(
+          name_, std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start_)
+                     .count());
+    }
+  }
+  profile_scope(const profile_scope&) = delete;
+  profile_scope& operator=(const profile_scope&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace detail
+
+template <typename Kernel, typename... T>
+void op_par_loop(Kernel kernel, const char* name, const op_set& set,
+                 op_arg<T>... args) {
+  detail::profile_scope profile(name);
+  auto frame =
+      detail::make_frame(name, set, std::move(kernel), std::move(args)...);
+  switch (current_config().bk) {
+    case backend::seq:
+      detail::run_seq(*frame);
+      return;
+    case backend::forkjoin:
+      detail::run_forkjoin(*frame);
+      return;
+    case backend::hpx_foreach:
+      detail::run_foreach(*frame, detail::configured_chunk());
+      return;
+    case backend::hpx_async:
+    case backend::hpx_dataflow:
+      detail::run_async(std::move(frame)).get();
+      return;
+  }
+}
+
+/// §III-A2 API: returns a future for the loop's completion; the caller
+/// is responsible for placing .get() before dependent loops (the
+/// paper's Fig 10 shows the hand-placed new_data.get() calls).
+template <typename Kernel, typename... T>
+hpxlite::future<void> op_par_loop_async(Kernel kernel, const char* name,
+                                        const op_set& set, op_arg<T>... args) {
+  auto frame =
+      detail::make_frame(name, set, std::move(kernel), std::move(args)...);
+  if (!profiling::enabled()) {
+    return detail::run_async(std::move(frame));
+  }
+  // Asynchronous loops record launch-to-completion span.
+  const auto t0 = std::chrono::steady_clock::now();
+  std::string loop_name(name);
+  return detail::run_async(std::move(frame))
+      .then([t0, loop_name = std::move(loop_name)](
+                hpxlite::future<void>&& done) {
+        profiling::record(loop_name,
+                          std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count());
+        done.get();
+      });
+}
+
+}  // namespace op2

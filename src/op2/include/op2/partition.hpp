@@ -1,0 +1,57 @@
+// Mesh partitioning — the substrate OP2's distributed (MPI) execution
+// rests on ("Originally, OpenMP is used for loop parallelization in
+// OP2 on a single node and on distributed nodes, where it is used in
+// conjunction with MPI").  The paper's evaluation is single-node, so
+// partitioning is not benchmarked against it, but a credible OP2
+// reproduction ships it: geometric recursive coordinate bisection,
+// partition quality metrics, partition-grouping renumbering, and halo
+// (ghost-element) construction.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "op2/map.hpp"
+
+namespace op2 {
+
+/// A partitioning of a set's elements into `nparts` parts.
+struct partitioning {
+  int nparts = 0;
+  std::vector<int> part_of;  // part index per element
+
+  int size() const { return static_cast<int>(part_of.size()); }
+};
+
+/// Recursive coordinate bisection over 2D element coordinates
+/// (xy[2*e], xy[2*e+1]): recursively split the widest axis at the
+/// median, distributing parts proportionally.  nparts need not be a
+/// power of two.  Balanced to within one element per split.
+partitioning partition_rcb(std::span<const double> xy, int nparts);
+
+/// Trivial block partitioning (contiguous ranges) — the baseline RCB
+/// is compared against.
+partitioning partition_block(int nelem, int nparts);
+
+/// Number of map rows whose targets span more than one part — the
+/// communication volume proxy (edge cut) for a map into a partitioned
+/// set.
+int edge_cut(const op_map& m, const partitioning& parts);
+
+/// Load balance: max part size / ideal part size (1.0 = perfect).
+double imbalance(const partitioning& parts);
+
+/// Permutation (perm[old] = new) grouping elements by part, preserving
+/// relative order inside each part — the renumbering that makes each
+/// part's data contiguous.
+std::vector<int> partition_order(const partitioning& parts);
+
+/// Halo lists: for each part, the foreign elements of `m.to()` that
+/// rows owned by that part (per `row_parts`) reference.  Sorted,
+/// deduplicated.  halo[p] never contains elements owned by p (per
+/// `target_parts`).
+std::vector<std::vector<int>> build_halos(const op_map& m,
+                                          const partitioning& row_parts,
+                                          const partitioning& target_parts);
+
+}  // namespace op2

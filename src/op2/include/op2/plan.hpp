@@ -1,0 +1,70 @@
+// Execution plans for indirect loops.
+//
+// OP2 executes an indirect loop block-wise: the iteration set is split
+// into blocks ("blockIdx" in the paper's Fig 5/6), and blocks are
+// greedily coloured so that no two blocks of the same colour increment
+// or write the same target element through a map.  Blocks of one colour
+// then run in parallel without atomics; colours execute in sequence.
+//
+// A plan is pure schedule metadata — it never touches user data — and
+// is cached keyed by (iteration set, block size, conflicting
+// indirections), since Airfoil executes the same five loops every
+// iteration ("the plan is constructed once and reused", per the OP2
+// papers).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "op2/access.hpp"
+#include "op2/map.hpp"
+
+namespace op2 {
+
+/// One potentially-conflicting indirection: loop elements write/increment
+/// the `idx`-th target of `map`.
+struct plan_indirection {
+  op_map map;
+  int idx = 0;
+  const void* target_id = nullptr;  // identity of the written dat
+};
+
+struct op_plan {
+  int block_size = 0;
+  int nblocks = 0;
+
+  /// Block b covers set elements [offset[b], offset[b] + nelems[b]).
+  std::vector<int> offset;
+  std::vector<int> nelems;
+
+  int ncolors = 0;
+  /// Colour of each block.
+  std::vector<int> block_color;
+  /// Blocks grouped by colour, in execution order.
+  std::vector<std::vector<int>> color_blocks;
+
+  /// True when the loop has no conflicting indirections — every block
+  /// got colour 0 and the whole loop may run in one parallel sweep.
+  bool conflict_free() const { return ncolors <= 1; }
+};
+
+/// Builds (or materialises) a plan for iterating `set` in blocks of
+/// `block_size`, colouring against `conflicts`.  An empty conflict list
+/// yields a single-colour plan.
+op_plan build_plan(const op_set& set, int block_size,
+                   std::span<const plan_indirection> conflicts);
+
+/// Cached variant: returns a shared plan, building it on first use.
+/// Thread-safe.
+std::shared_ptr<const op_plan> get_plan(
+    const op_set& set, int block_size,
+    std::span<const plan_indirection> conflicts);
+
+/// Drops all cached plans (used by tests and between benchmark configs).
+void clear_plan_cache();
+
+/// Number of plans currently cached.
+std::size_t plan_cache_size();
+
+}  // namespace op2

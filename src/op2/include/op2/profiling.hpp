@@ -1,0 +1,42 @@
+// Per-loop profiling — OP2's op_timing_output facility: when enabled,
+// every op_par_loop records wall time and invocation count under its
+// loop name; report() prints the classic per-loop table.
+//
+// Disabled by default (zero overhead beyond one branch per launch).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+namespace op2 {
+
+struct loop_profile {
+  std::uint64_t invocations = 0;
+  double total_seconds = 0.0;
+  double max_seconds = 0.0;
+};
+
+namespace profiling {
+
+/// Enables/disables recording (also clears nothing; see reset()).
+void enable(bool on);
+bool enabled();
+
+/// Drops all recorded data.
+void reset();
+
+/// Internal hook used by op_par_loop: records one execution.
+void record(const std::string& loop_name, double seconds);
+
+/// Snapshot of all recorded loops.
+std::map<std::string, loop_profile> snapshot();
+
+/// Prints the per-loop table (name, count, total ms, avg µs, max ms),
+/// sorted by total time descending — op_timing_output.
+void report(std::ostream& out);
+
+}  // namespace profiling
+
+}  // namespace op2

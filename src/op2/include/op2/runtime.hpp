@@ -1,0 +1,74 @@
+// OP2 runtime configuration: which parallel backend executes
+// op_par_loop, with how many threads, and with what plan block size.
+//
+// The backends are the paper's four parallelisation methods:
+//   forkjoin      — the OpenMP `#pragma omp parallel for` baseline
+//                   (static schedule, implicit global barrier per loop)
+//   hpx_foreach   — Section III-A1: for_each(par), fork-join shaped,
+//                   grain size from the auto-partitioner or a static
+//                   chunk size
+//   hpx_async     — Section III-A2: async + for_each(par(task)),
+//                   loops return futures, caller places .get()
+//   hpx_dataflow  — Section III-B: modified OP2 API, argument futures,
+//                   loop dependency tree built automatically
+// plus `seq`, the single-threaded reference used as a test oracle.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "hpxlite/fork_join_team.hpp"
+
+namespace op2 {
+
+enum class backend {
+  seq,
+  forkjoin,
+  hpx_foreach,
+  hpx_async,
+  hpx_dataflow,
+};
+
+constexpr const char* to_string(backend b) {
+  switch (b) {
+    case backend::seq:
+      return "seq";
+    case backend::forkjoin:
+      return "forkjoin";
+    case backend::hpx_foreach:
+      return "hpx_foreach";
+    case backend::hpx_async:
+      return "hpx_async";
+    case backend::hpx_dataflow:
+      return "hpx_dataflow";
+  }
+  return "?";
+}
+
+struct config {
+  backend bk = backend::seq;
+  unsigned threads = 1;
+  /// Elements per plan block (the paper's blockIdx granule).
+  int block_size = 128;
+  /// Blocks per for_each chunk for the hpx backends; 0 selects the
+  /// auto-partitioner (Section III-A1's default).
+  std::size_t static_chunk = 0;
+};
+
+/// Initialises the OP2 runtime: records `cfg`, spins up the fork-join
+/// team (forkjoin backend) or resets the hpxlite worker pool (hpx
+/// backends) to cfg.threads.  Callable repeatedly; each call drains and
+/// replaces the previous worker pool.  Also clears the plan cache.
+void init(const config& cfg);
+
+/// Tears down worker pools and clears the plan cache.
+void finalize();
+
+/// The active configuration (init() must have been called; a default
+/// seq/1-thread config is active otherwise).
+const config& current_config();
+
+/// The fork-join team for the forkjoin backend (created by init()).
+hpxlite::fork_join_team& team();
+
+}  // namespace op2

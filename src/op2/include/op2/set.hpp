@@ -1,0 +1,61 @@
+// op_set — a named collection of mesh elements (nodes, edges, cells,
+// boundary edges...), the first of OP2's four unstructured-grid
+// concepts (sets, data on sets, mappings between sets, computation over
+// sets).
+//
+// Sets are lightweight shared handles, mirroring OP2's op_set pointer
+// semantics: copying an op_set aliases the same underlying set.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace op2 {
+
+namespace detail {
+struct set_impl {
+  std::string name;
+  int size = 0;
+};
+}  // namespace detail
+
+class op_set {
+ public:
+  op_set() = default;
+
+  /// Declares a set of `size` elements.  Matches op_decl_set(size, name).
+  op_set(int size, std::string name) {
+    if (size < 0) {
+      throw std::invalid_argument("op_set: negative size for '" + name + "'");
+    }
+    impl_ = std::make_shared<detail::set_impl>();
+    impl_->name = std::move(name);
+    impl_->size = size;
+  }
+
+  bool valid() const noexcept { return impl_ != nullptr; }
+  int size() const { return impl_->size; }
+  const std::string& name() const { return impl_->name; }
+
+  /// Identity comparison: two handles to the same declared set.
+  friend bool operator==(const op_set& a, const op_set& b) {
+    return a.impl_ == b.impl_;
+  }
+  friend bool operator!=(const op_set& a, const op_set& b) {
+    return !(a == b);
+  }
+
+  /// Stable identity for plan caching.
+  const void* id() const noexcept { return impl_.get(); }
+
+ private:
+  std::shared_ptr<detail::set_impl> impl_;
+};
+
+/// OP2-spelling factory.
+inline op_set op_decl_set(int size, std::string name) {
+  return op_set(size, std::move(name));
+}
+
+}  // namespace op2

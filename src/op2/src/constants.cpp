@@ -1,0 +1,20 @@
+#include "op2/constants.hpp"
+
+namespace op2 {
+
+namespace detail {
+
+std::map<std::string, const_entry>& const_registry() {
+  static std::map<std::string, const_entry> registry;
+  return registry;
+}
+
+}  // namespace detail
+
+std::map<std::string, const_entry> op_const_snapshot() {
+  return detail::const_registry();
+}
+
+void op_clear_consts() { detail::const_registry().clear(); }
+
+}  // namespace op2

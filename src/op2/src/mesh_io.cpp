@@ -1,0 +1,230 @@
+#include "op2/mesh_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace op2 {
+
+const op_set& mesh::set(const std::string& name) const {
+  auto it = sets.find(name);
+  if (it == sets.end()) {
+    throw std::out_of_range("mesh: no set named '" + name + "'");
+  }
+  return it->second;
+}
+
+const op_map& mesh::map(const std::string& name) const {
+  auto it = maps.find(name);
+  if (it == maps.end()) {
+    throw std::out_of_range("mesh: no map named '" + name + "'");
+  }
+  return it->second;
+}
+
+const op_dat& mesh::dat(const std::string& name) const {
+  auto it = dats.find(name);
+  if (it == dats.end()) {
+    throw std::out_of_range("mesh: no dat named '" + name + "'");
+  }
+  return it->second;
+}
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw std::runtime_error("mesh parse error at line " + std::to_string(line) +
+                           ": " + what);
+}
+
+/// Reads `count` whitespace-separated values of V, tracking line count.
+template <typename V>
+std::vector<V> read_values(std::istream& in, std::size_t count, int& line) {
+  std::vector<V> values;
+  values.reserve(count);
+  V v;
+  while (values.size() < count && (in >> v)) {
+    values.push_back(v);
+  }
+  if (values.size() != count) {
+    fail(line, "expected " + std::to_string(count) + " values, got " +
+                   std::to_string(values.size()));
+  }
+  return values;
+}
+
+}  // namespace
+
+mesh read_mesh(std::istream& in) {
+  mesh m;
+  int line = 1;
+  std::string word;
+  if (!(in >> word) || word != "op2mesh") {
+    fail(line, "missing 'op2mesh' header");
+  }
+  int version = 0;
+  if (!(in >> version) || version != 1) {
+    fail(line, "unsupported mesh version");
+  }
+
+  while (in >> word) {
+    if (word == "end") {
+      return m;
+    }
+    if (word == "set") {
+      std::string name;
+      int size = 0;
+      if (!(in >> name >> size)) {
+        fail(line, "malformed set declaration");
+      }
+      if (m.sets.count(name) != 0) {
+        fail(line, "duplicate set '" + name + "'");
+      }
+      m.sets.emplace(name, op_set(size, name));
+    } else if (word == "map") {
+      std::string name, from, to;
+      int dim = 0;
+      if (!(in >> name >> from >> to >> dim)) {
+        fail(line, "malformed map declaration");
+      }
+      if (m.sets.count(from) == 0) {
+        fail(line, "map '" + name + "' references unknown set '" + from + "'");
+      }
+      if (m.sets.count(to) == 0) {
+        fail(line, "map '" + name + "' references unknown set '" + to + "'");
+      }
+      if (dim <= 0) {
+        fail(line, "map '" + name + "' has non-positive dim");
+      }
+      const auto count = static_cast<std::size_t>(m.sets.at(from).size()) *
+                         static_cast<std::size_t>(dim);
+      auto data = read_values<int>(in, count, line);
+      if (m.maps.count(name) != 0) {
+        fail(line, "duplicate map '" + name + "'");
+      }
+      m.maps.emplace(name, op_map(m.sets.at(from), m.sets.at(to), dim, data,
+                                  name));
+    } else if (word == "dat") {
+      std::string name, set_name, type;
+      int dim = 0;
+      if (!(in >> name >> set_name >> dim >> type)) {
+        fail(line, "malformed dat declaration");
+      }
+      if (m.sets.count(set_name) == 0) {
+        fail(line,
+             "dat '" + name + "' references unknown set '" + set_name + "'");
+      }
+      if (dim <= 0) {
+        fail(line, "dat '" + name + "' has non-positive dim");
+      }
+      const auto count = static_cast<std::size_t>(m.sets.at(set_name).size()) *
+                         static_cast<std::size_t>(dim);
+      if (m.dats.count(name) != 0) {
+        fail(line, "duplicate dat '" + name + "'");
+      }
+      const op_set& s = m.sets.at(set_name);
+      if (type == "double") {
+        auto data = read_values<double>(in, count, line);
+        m.dats.emplace(name, op_decl_dat<double>(s, dim, type,
+                                                 std::span<const double>(data),
+                                                 name));
+      } else if (type == "float") {
+        auto data = read_values<float>(in, count, line);
+        m.dats.emplace(name, op_decl_dat<float>(s, dim, type,
+                                                std::span<const float>(data),
+                                                name));
+      } else if (type == "int") {
+        auto data = read_values<int>(in, count, line);
+        m.dats.emplace(name, op_decl_dat<int>(s, dim, type,
+                                              std::span<const int>(data),
+                                              name));
+      } else {
+        fail(line, "dat '" + name + "' has unsupported type '" + type + "'");
+      }
+    } else {
+      fail(line, "unknown section '" + word + "'");
+    }
+  }
+  fail(line, "missing 'end' marker");
+}
+
+mesh read_mesh_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open mesh file '" + path + "'");
+  }
+  return read_mesh(in);
+}
+
+namespace {
+
+template <typename T>
+void write_dat_values(std::ostream& out, const op_dat& d) {
+  const auto values = d.data<T>();
+  const int dim = d.dim();
+  int col = 0;
+  for (const T& v : values) {
+    out << v;
+    if (++col == dim) {
+      out << '\n';
+      col = 0;
+    } else {
+      out << ' ';
+    }
+  }
+  if (col != 0) {
+    out << '\n';
+  }
+}
+
+}  // namespace
+
+void write_mesh(std::ostream& out, const mesh& m) {
+  out << "op2mesh 1\n";
+  for (const auto& [name, s] : m.sets) {
+    out << "set " << name << ' ' << s.size() << '\n';
+  }
+  for (const auto& [name, mp] : m.maps) {
+    out << "map " << name << ' ' << mp.from().name() << ' ' << mp.to().name()
+        << ' ' << mp.dim() << '\n';
+    const auto table = mp.table();
+    for (int e = 0; e < mp.from().size(); ++e) {
+      for (int j = 0; j < mp.dim(); ++j) {
+        out << table[static_cast<std::size_t>(e * mp.dim() + j)]
+            << (j + 1 == mp.dim() ? '\n' : ' ');
+      }
+    }
+  }
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  for (const auto& [name, d] : m.dats) {
+    out << "dat " << name << ' ' << d.set().name() << ' ' << d.dim() << ' '
+        << d.type_name() << '\n';
+    if (d.holds<double>()) {
+      write_dat_values<double>(out, d);
+    } else if (d.holds<float>()) {
+      write_dat_values<float>(out, d);
+    } else if (d.holds<int>()) {
+      write_dat_values<int>(out, d);
+    } else {
+      throw std::runtime_error("write_mesh: dat '" + name +
+                               "' has unsupported type '" + d.type_name() +
+                               "'");
+    }
+  }
+  out << "end\n";
+}
+
+void write_mesh_file(const std::string& path, const mesh& m) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open mesh file '" + path +
+                             "' for writing");
+  }
+  write_mesh(out, m);
+}
+
+}  // namespace op2

@@ -1,0 +1,189 @@
+#include "op2/plan.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <tuple>
+
+namespace op2 {
+
+namespace {
+
+/// Conflicting indirections grouped by written target dat: colouring
+/// must avoid two same-colour blocks touching one element of that dat
+/// through any of its access columns.
+struct conflict_group {
+  const void* target_id;
+  int target_size;
+  std::vector<std::pair<op_map, int>> columns;  // (map, idx) pairs
+};
+
+std::vector<conflict_group> group_conflicts(
+    std::span<const plan_indirection> conflicts) {
+  std::vector<conflict_group> groups;
+  for (const auto& c : conflicts) {
+    auto it = std::find_if(groups.begin(), groups.end(), [&](const auto& g) {
+      return g.target_id == c.target_id;
+    });
+    if (it == groups.end()) {
+      groups.push_back(
+          {c.target_id, c.map.to().size(), {{c.map, c.idx}}});
+    } else {
+      it->columns.emplace_back(c.map, c.idx);
+    }
+  }
+  return groups;
+}
+
+}  // namespace
+
+op_plan build_plan(const op_set& set, int block_size,
+                   std::span<const plan_indirection> conflicts) {
+  if (!set.valid()) {
+    throw std::invalid_argument("build_plan: invalid set");
+  }
+  if (block_size <= 0) {
+    throw std::invalid_argument("build_plan: block size must be > 0");
+  }
+  op_plan plan;
+  plan.block_size = block_size;
+  const int n = set.size();
+  plan.nblocks = (n + block_size - 1) / block_size;
+  plan.offset.resize(static_cast<std::size_t>(plan.nblocks));
+  plan.nelems.resize(static_cast<std::size_t>(plan.nblocks));
+  for (int b = 0; b < plan.nblocks; ++b) {
+    plan.offset[static_cast<std::size_t>(b)] = b * block_size;
+    plan.nelems[static_cast<std::size_t>(b)] =
+        std::min(block_size, n - b * block_size);
+  }
+  plan.block_color.assign(static_cast<std::size_t>(plan.nblocks), -1);
+
+  auto groups = group_conflicts(conflicts);
+  if (groups.empty() || plan.nblocks == 0) {
+    // Conflict-free: single colour holding every block.
+    plan.ncolors = plan.nblocks == 0 ? 0 : 1;
+    if (plan.nblocks > 0) {
+      plan.color_blocks.emplace_back(plan.nblocks);
+      for (int b = 0; b < plan.nblocks; ++b) {
+        plan.color_blocks[0][static_cast<std::size_t>(b)] = b;
+        plan.block_color[static_cast<std::size_t>(b)] = 0;
+      }
+    }
+    return plan;
+  }
+
+  // Greedy block colouring with 64-colour bitmasks per target element,
+  // in passes (pass p hands out colours [64p, 64p+64)) — the classic
+  // OP2 plan construction.
+  std::vector<std::vector<std::uint64_t>> masks;
+  masks.reserve(groups.size());
+  for (const auto& g : groups) {
+    masks.emplace_back(static_cast<std::size_t>(g.target_size), 0);
+  }
+
+  int remaining = plan.nblocks;
+  int base_color = 0;
+  int max_color = -1;
+  while (remaining > 0) {
+    for (auto& m : masks) {
+      std::fill(m.begin(), m.end(), 0);
+    }
+    for (int b = 0; b < plan.nblocks; ++b) {
+      if (plan.block_color[static_cast<std::size_t>(b)] >= 0) {
+        continue;
+      }
+      const int begin = plan.offset[static_cast<std::size_t>(b)];
+      const int end = begin + plan.nelems[static_cast<std::size_t>(b)];
+      std::uint64_t used = 0;
+      for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+        for (const auto& [map, idx] : groups[gi].columns) {
+          for (int e = begin; e < end; ++e) {
+            used |= masks[gi][static_cast<std::size_t>(map.at(e, idx))];
+          }
+        }
+      }
+      if (~used == 0) {
+        continue;  // all 64 colours of this pass conflict; next pass
+      }
+      int color = 0;
+      while ((used >> color) & 1u) {
+        ++color;
+      }
+      const std::uint64_t bit = std::uint64_t{1} << color;
+      for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+        for (const auto& [map, idx] : groups[gi].columns) {
+          for (int e = begin; e < end; ++e) {
+            masks[gi][static_cast<std::size_t>(map.at(e, idx))] |= bit;
+          }
+        }
+      }
+      plan.block_color[static_cast<std::size_t>(b)] = base_color + color;
+      max_color = std::max(max_color, base_color + color);
+      --remaining;
+    }
+    base_color += 64;
+  }
+
+  plan.ncolors = max_color + 1;
+  plan.color_blocks.assign(static_cast<std::size_t>(plan.ncolors), {});
+  for (int b = 0; b < plan.nblocks; ++b) {
+    plan.color_blocks[static_cast<std::size_t>(
+                          plan.block_color[static_cast<std::size_t>(b)])]
+        .push_back(b);
+  }
+  return plan;
+}
+
+namespace {
+
+using plan_key =
+    std::tuple<const void*, int,
+               std::vector<std::tuple<const void*, const void*, int>>>;
+
+std::mutex g_cache_mutex;
+std::map<plan_key, std::shared_ptr<const op_plan>> g_cache;
+
+plan_key make_key(const op_set& set, int block_size,
+                  std::span<const plan_indirection> conflicts) {
+  std::vector<std::tuple<const void*, const void*, int>> cols;
+  cols.reserve(conflicts.size());
+  for (const auto& c : conflicts) {
+    cols.emplace_back(c.target_id, c.map.id(), c.idx);
+  }
+  std::sort(cols.begin(), cols.end());
+  return {set.id(), block_size, std::move(cols)};
+}
+
+}  // namespace
+
+std::shared_ptr<const op_plan> get_plan(
+    const op_set& set, int block_size,
+    std::span<const plan_indirection> conflicts) {
+  auto key = make_key(set, block_size, conflicts);
+  {
+    std::lock_guard<std::mutex> lock(g_cache_mutex);
+    auto it = g_cache.find(key);
+    if (it != g_cache.end()) {
+      return it->second;
+    }
+  }
+  auto plan = std::make_shared<const op_plan>(
+      build_plan(set, block_size, conflicts));
+  std::lock_guard<std::mutex> lock(g_cache_mutex);
+  auto [it, inserted] = g_cache.emplace(std::move(key), std::move(plan));
+  return it->second;
+}
+
+void clear_plan_cache() {
+  std::lock_guard<std::mutex> lock(g_cache_mutex);
+  g_cache.clear();
+}
+
+std::size_t plan_cache_size() {
+  std::lock_guard<std::mutex> lock(g_cache_mutex);
+  return g_cache.size();
+}
+
+}  // namespace op2

@@ -1,0 +1,66 @@
+#include "op2/profiling.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <iomanip>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+namespace op2::profiling {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+std::mutex g_mutex;
+std::map<std::string, loop_profile> g_profiles;
+
+}  // namespace
+
+void enable(bool on) { g_enabled.store(on, std::memory_order_release); }
+
+bool enabled() { return g_enabled.load(std::memory_order_acquire); }
+
+void reset() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_profiles.clear();
+}
+
+void record(const std::string& loop_name, double seconds) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  auto& p = g_profiles[loop_name];
+  p.invocations += 1;
+  p.total_seconds += seconds;
+  p.max_seconds = std::max(p.max_seconds, seconds);
+}
+
+std::map<std::string, loop_profile> snapshot() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return g_profiles;
+}
+
+void report(std::ostream& out) {
+  const auto profiles = snapshot();
+  std::vector<std::pair<std::string, loop_profile>> rows(profiles.begin(),
+                                                         profiles.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.total_seconds > b.second.total_seconds;
+  });
+  out << "op_timing_output: " << rows.size() << " loops\n";
+  out << std::left << std::setw(20) << "  loop" << std::right
+      << std::setw(10) << "count" << std::setw(12) << "total_ms"
+      << std::setw(12) << "avg_us" << std::setw(12) << "max_ms" << "\n";
+  for (const auto& [name, p] : rows) {
+    const double avg_us = p.invocations != 0
+                              ? 1e6 * p.total_seconds /
+                                    static_cast<double>(p.invocations)
+                              : 0.0;
+    out << "  " << std::left << std::setw(18) << name << std::right
+        << std::setw(10) << p.invocations << std::setw(12) << std::fixed
+        << std::setprecision(3) << 1e3 * p.total_seconds << std::setw(12)
+        << std::setprecision(1) << avg_us << std::setw(12)
+        << std::setprecision(3) << 1e3 * p.max_seconds << "\n";
+  }
+}
+
+}  // namespace op2::profiling

@@ -1,0 +1,221 @@
+#include "op2/renumber.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <deque>
+#include <numeric>
+#include <stdexcept>
+
+namespace op2 {
+
+adjacency adjacency_from_map(const op_map& m) {
+  if (!m.valid()) {
+    throw std::invalid_argument("adjacency_from_map: invalid map");
+  }
+  adjacency adj;
+  adj.size = m.to().size();
+  adj.neighbors.assign(static_cast<std::size_t>(adj.size), {});
+  const int dim = m.dim();
+  for (int e = 0; e < m.from().size(); ++e) {
+    for (int i = 0; i < dim; ++i) {
+      const int a = m.at(e, i);
+      for (int j = i + 1; j < dim; ++j) {
+        const int b = m.at(e, j);
+        if (a == b) {
+          continue;
+        }
+        adj.neighbors[static_cast<std::size_t>(a)].push_back(b);
+        adj.neighbors[static_cast<std::size_t>(b)].push_back(a);
+      }
+    }
+  }
+  for (auto& list : adj.neighbors) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+  return adj;
+}
+
+std::vector<int> rcm_order(const adjacency& adj) {
+  const int n = adj.size;
+  std::vector<int> order;  // order[k] = old index visited k-th
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<bool> visited(static_cast<std::size_t>(n), false);
+
+  const auto degree = [&](int v) {
+    return adj.neighbors[static_cast<std::size_t>(v)].size();
+  };
+
+  // Vertices sorted by degree: component seeds are taken in this order
+  // (classic pseudo-peripheral heuristic: start from low degree).
+  std::vector<int> by_degree(static_cast<std::size_t>(n));
+  std::iota(by_degree.begin(), by_degree.end(), 0);
+  std::stable_sort(by_degree.begin(), by_degree.end(),
+                   [&](int a, int b) { return degree(a) < degree(b); });
+
+  std::vector<int> scratch;
+  for (const int seed : by_degree) {
+    if (visited[static_cast<std::size_t>(seed)]) {
+      continue;
+    }
+    // BFS from the seed, neighbours enqueued in increasing degree.
+    std::deque<int> queue{seed};
+    visited[static_cast<std::size_t>(seed)] = true;
+    while (!queue.empty()) {
+      const int v = queue.front();
+      queue.pop_front();
+      order.push_back(v);
+      scratch.clear();
+      for (const int w : adj.neighbors[static_cast<std::size_t>(v)]) {
+        if (!visited[static_cast<std::size_t>(w)]) {
+          visited[static_cast<std::size_t>(w)] = true;
+          scratch.push_back(w);
+        }
+      }
+      std::stable_sort(scratch.begin(), scratch.end(), [&](int a, int b) {
+        return degree(a) < degree(b);
+      });
+      queue.insert(queue.end(), scratch.begin(), scratch.end());
+    }
+  }
+
+  // Reverse (the R in RCM), then convert visit order to perm[old]=new.
+  std::reverse(order.begin(), order.end());
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    perm[static_cast<std::size_t>(order[static_cast<std::size_t>(k)])] = k;
+  }
+  return perm;
+}
+
+std::vector<int> identity_order(int n) {
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  return perm;
+}
+
+bool is_permutation(std::span<const int> perm) {
+  std::vector<bool> seen(perm.size(), false);
+  for (const int p : perm) {
+    if (p < 0 || static_cast<std::size_t>(p) >= perm.size() ||
+        seen[static_cast<std::size_t>(p)]) {
+      return false;
+    }
+    seen[static_cast<std::size_t>(p)] = true;
+  }
+  return true;
+}
+
+int map_bandwidth(const op_map& m) {
+  int bw = 0;
+  for (int e = 0; e < m.from().size(); ++e) {
+    int lo = m.at(e, 0);
+    int hi = lo;
+    for (int j = 1; j < m.dim(); ++j) {
+      lo = std::min(lo, m.at(e, j));
+      hi = std::max(hi, m.at(e, j));
+    }
+    bw = std::max(bw, hi - lo);
+  }
+  return bw;
+}
+
+namespace {
+
+void check_perm(std::span<const int> perm, int expected,
+                const char* what) {
+  if (static_cast<int>(perm.size()) != expected || !is_permutation(perm)) {
+    throw std::invalid_argument(std::string(what) +
+                                ": not a valid permutation of the set");
+  }
+}
+
+}  // namespace
+
+op_map renumber_map_targets(const op_map& m, std::span<const int> perm) {
+  check_perm(perm, m.to().size(), "renumber_map_targets");
+  std::vector<int> table;
+  table.reserve(static_cast<std::size_t>(m.from().size()) *
+                static_cast<std::size_t>(m.dim()));
+  for (int e = 0; e < m.from().size(); ++e) {
+    for (int j = 0; j < m.dim(); ++j) {
+      table.push_back(perm[static_cast<std::size_t>(m.at(e, j))]);
+    }
+  }
+  return op_map(m.from(), m.to(), m.dim(), table, m.name() + "_renumbered");
+}
+
+op_map reorder_map_rows(const op_map& m, std::span<const int> perm) {
+  check_perm(perm, m.from().size(), "reorder_map_rows");
+  std::vector<int> table(static_cast<std::size_t>(m.from().size()) *
+                         static_cast<std::size_t>(m.dim()));
+  for (int e = 0; e < m.from().size(); ++e) {
+    const auto target_row = static_cast<std::size_t>(
+        perm[static_cast<std::size_t>(e)]);
+    for (int j = 0; j < m.dim(); ++j) {
+      table[target_row * static_cast<std::size_t>(m.dim()) +
+            static_cast<std::size_t>(j)] = m.at(e, j);
+    }
+  }
+  return op_map(m.from(), m.to(), m.dim(), table, m.name() + "_reordered");
+}
+
+namespace {
+
+template <typename T>
+op_dat permute_typed(const op_dat& d, std::span<const int> perm) {
+  const auto src = d.data<T>();
+  std::vector<T> dst(src.size());
+  const auto dim = static_cast<std::size_t>(d.dim());
+  for (int e = 0; e < d.set().size(); ++e) {
+    const auto to = static_cast<std::size_t>(perm[static_cast<std::size_t>(e)]);
+    for (std::size_t k = 0; k < dim; ++k) {
+      dst[to * dim + k] = src[static_cast<std::size_t>(e) * dim + k];
+    }
+  }
+  return op_dat::declare<T>(d.set(), d.dim(), d.type_name(),
+                            std::span<const T>(dst),
+                            d.name() + "_permuted");
+}
+
+}  // namespace
+
+op_dat permute_dat(const op_dat& d, std::span<const int> perm) {
+  if (!d.valid()) {
+    throw std::invalid_argument("permute_dat: invalid dat");
+  }
+  check_perm(perm, d.set().size(), "permute_dat");
+  if (d.holds<double>()) {
+    return permute_typed<double>(d, perm);
+  }
+  if (d.holds<float>()) {
+    return permute_typed<float>(d, perm);
+  }
+  if (d.holds<int>()) {
+    return permute_typed<int>(d, perm);
+  }
+  throw std::invalid_argument("permute_dat: unsupported element type '" +
+                              d.type_name() + "'");
+}
+
+std::vector<int> order_rows_by_min_target(const op_map& m) {
+  const int n = m.from().size();
+  std::vector<int> rows(static_cast<std::size_t>(n));
+  std::iota(rows.begin(), rows.end(), 0);
+  std::stable_sort(rows.begin(), rows.end(), [&](int a, int b) {
+    int ma = m.at(a, 0);
+    int mb = m.at(b, 0);
+    for (int j = 1; j < m.dim(); ++j) {
+      ma = std::min(ma, m.at(a, j));
+      mb = std::min(mb, m.at(b, j));
+    }
+    return ma < mb;
+  });
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    perm[static_cast<std::size_t>(rows[static_cast<std::size_t>(k)])] = k;
+  }
+  return perm;
+}
+
+}  // namespace op2

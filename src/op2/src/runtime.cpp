@@ -1,0 +1,57 @@
+#include "op2/runtime.hpp"
+
+#include <stdexcept>
+
+#include "hpxlite/scheduler.hpp"
+#include "op2/plan.hpp"
+
+namespace op2 {
+
+namespace {
+config g_config;
+std::unique_ptr<hpxlite::fork_join_team> g_team;
+}  // namespace
+
+void init(const config& cfg) {
+  if (cfg.threads == 0) {
+    throw std::invalid_argument("op2::init: threads must be >= 1");
+  }
+  if (cfg.block_size <= 0) {
+    throw std::invalid_argument("op2::init: block_size must be >= 1");
+  }
+  finalize();
+  g_config = cfg;
+  switch (cfg.bk) {
+    case backend::forkjoin:
+      g_team = std::make_unique<hpxlite::fork_join_team>(cfg.threads);
+      break;
+    case backend::hpx_foreach:
+    case backend::hpx_async:
+    case backend::hpx_dataflow:
+      hpxlite::runtime::reset(cfg.threads);
+      break;
+    case backend::seq:
+      break;
+  }
+}
+
+void finalize() {
+  g_team.reset();
+  if (hpxlite::runtime::exists()) {
+    hpxlite::runtime::shutdown();
+  }
+  clear_plan_cache();
+  g_config = config{};
+}
+
+const config& current_config() { return g_config; }
+
+hpxlite::fork_join_team& team() {
+  if (!g_team) {
+    throw std::logic_error(
+        "op2::team: forkjoin backend not initialised (call op2::init)");
+  }
+  return *g_team;
+}
+
+}  // namespace op2

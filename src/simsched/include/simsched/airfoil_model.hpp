@@ -1,0 +1,129 @@
+// Builds the Airfoil task graphs — one per parallelisation method —
+// for the scheduling simulator.
+//
+// This module encodes *why* the methods differ, as the paper describes:
+//
+//   omp_forkjoin       one fork (serial master cost) + one barrier
+//                      (cost grows with log2 threads) per parallel
+//                      region, one region per colour; loops strictly
+//                      sequential
+//   hpx_foreach_auto   same fork-join shape, but chunked by the
+//                      auto-partitioner — which executes ~1% of every
+//                      loop SERIALLY to size the chunks (the paper's
+//                      explanation for why auto chunking hurts large
+//                      loops)
+//   hpx_foreach_static same without the probe, chunk size given
+//   hpx_async          no barriers; loop-to-loop ordering follows the
+//                      §III-A2 driver's .get() placement, each get
+//                      costing one driver wake-up on the master lane;
+//                      save_soln overlaps the flux computation
+//   hpx_dataflow       no barriers, no driver wake-ups (every loop of
+//                      every iteration is launched up front); loop
+//                      dependencies are the precise per-dat
+//                      read/write-chaining of the modified API, so
+//                      independent loops from different stages and
+//                      iterations interleave freely
+//
+// Block structure and per-block costs come from the *real* OP2 plans
+// and measured kernel timings, so the simulated machine executes the
+// actual schedule shape of the application.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "op2/plan.hpp"
+#include "simsched/machine.hpp"
+#include "simsched/task_graph.hpp"
+
+namespace simsched {
+
+/// Overhead constants, in microseconds of single-core work.  Defaults
+/// are calibrated to commodity-Xeon magnitudes (OpenMP fork+barrier a
+/// few µs, HPX task spawn sub-µs — cf. Bull's OpenMP overhead
+/// measurements and the HPX task-size study the paper cites).
+struct overhead_model {
+  double omp_fork_us = 4.0;         // serial master cost per region
+  double omp_barrier_us = 1.5;      // × log2(threads) per region
+  double hpx_spawn_us = 3.5;        // per chunk task (calibrated)
+  double hpx_join_us = 0.8;         // × log2(threads) per for_each join
+  double auto_probe_fraction = 0.01;  // serial fraction for auto chunks
+  double auto_chunk_target_us = 200.0;
+  double driver_wakeup_us = 10.0;   // master wake-up per .get()/join
+  double dataflow_node_us = 0.6;    // dataflow-node activation
+  /// Serial cost of launching one op_par_loop from the driver (argument
+  /// marshalling, plan-cache lookup, frame setup).  Paid inline between
+  /// loops by the synchronous and async drivers; the dataflow driver
+  /// launches every loop up front, overlapping this cost with execution.
+  double loop_launch_us = 20.0;
+};
+
+/// One parallel loop: blocks grouped by colour with per-block costs,
+/// plus its dat-access signature for dependency derivation.
+struct loop_shape {
+  std::string name;
+  /// color_block_costs[c][k]: cost (µs) of the k-th block of colour c.
+  std::vector<std::vector<double>> color_block_costs;
+  std::vector<int> reads;   // dat ids read
+  std::vector<int> writes;  // dat ids written (INC/WRITE/RW)
+  bool direct = false;
+
+  double total_cost_us() const;
+};
+
+/// Derives a loop_shape from a real OP2 execution plan and a measured
+/// per-element kernel cost.  `noise_cv` adds deterministic (hash-
+/// seeded) per-block cost variation with the given coefficient of
+/// variation, modelling the cache-miss / OS-jitter imbalance that makes
+/// real fork-join barriers wait on stragglers — with cv = 0 every block
+/// is identical and barriers are artificially free.
+loop_shape make_loop_shape(std::string name, const op2::op_plan& plan,
+                           double us_per_element, bool direct,
+                           std::vector<int> reads, std::vector<int> writes,
+                           double noise_cv = 0.20,
+                           std::uint64_t noise_seed = 0x9e3779b97f4a7c15ULL);
+
+/// Dat ids used in the Airfoil access signatures.
+enum airfoil_dat : int {
+  dat_x = 0,
+  dat_q,
+  dat_qold,
+  dat_adt,
+  dat_res,
+  dat_bound,
+  dat_count,
+};
+
+/// The Airfoil program: five loops, executed as
+///   per iteration: save_soln; 2 × (adt_calc; res_calc; bres_calc;
+///   update)
+struct airfoil_shape {
+  loop_shape save, adt, res, bres, update;
+  int niter = 1;
+};
+
+enum class method {
+  omp_forkjoin,
+  hpx_foreach_auto,
+  hpx_foreach_static,
+  hpx_async,
+  hpx_dataflow,
+};
+
+const char* to_string(method m);
+
+/// Builds the full task graph for `m` on `threads` workers.
+/// `static_chunk_blocks` sizes the chunks for the static-chunk and
+/// async/dataflow methods (blocks per chunk; 0 = one chunk per ~4
+/// blocks per thread).
+task_graph build_airfoil_graph(const airfoil_shape& shape, method m,
+                               unsigned threads, const overhead_model& ov,
+                               std::size_t static_chunk_blocks = 0);
+
+/// Convenience: build + simulate, returning the makespan in µs.
+double simulate_airfoil(const airfoil_shape& shape, method m,
+                        unsigned threads, const machine_model& machine,
+                        const overhead_model& ov,
+                        std::size_t static_chunk_blocks = 0);
+
+}  // namespace simsched

@@ -1,0 +1,43 @@
+// Discrete-event list scheduler: executes a task_graph on a virtual
+// machine of N workers and reports the makespan.
+//
+// Scheduling discipline: greedy work-conserving list scheduling — when
+// a worker is free and ready tasks exist, it takes the oldest one
+// (FIFO).  Tasks marked `serial` are pinned to worker 0 (the
+// driver/master lane), modelling sequential segments such as the
+// auto-chunker's timing probe and driver wakeups after a future.get().
+#pragma once
+
+#include <vector>
+
+#include "simsched/machine.hpp"
+#include "simsched/task_graph.hpp"
+
+namespace simsched {
+
+struct schedule_stats {
+  double makespan_us = 0.0;
+  double total_work_us = 0.0;
+  /// Fraction of worker-time spent executing tasks (1 = perfect).
+  double efficiency = 0.0;
+  /// Peak number of simultaneously-busy workers observed.
+  unsigned peak_parallelism = 0;
+};
+
+/// One executed task in the schedule trace.
+struct task_interval {
+  task_id task = 0;
+  unsigned worker = 0;
+  double start_us = 0.0;
+  double end_us = 0.0;
+};
+
+/// Simulates `graph` on `threads` workers of `machine`.  Throws if the
+/// graph has a dependency cycle (tasks never become ready).  When
+/// `trace` is non-null it receives one interval per task, in start
+/// order — the full Gantt chart of the schedule.
+schedule_stats simulate(const task_graph& graph, unsigned threads,
+                        const machine_model& machine,
+                        std::vector<task_interval>* trace = nullptr);
+
+}  // namespace simsched

@@ -1,0 +1,9 @@
+// Umbrella header for simsched — the virtual-multicore scheduling
+// simulator used to reproduce the paper's 32-thread scaling figures on
+// hardware that lacks 32 threads (see DESIGN.md, substitution table).
+#pragma once
+
+#include "simsched/airfoil_model.hpp"
+#include "simsched/engine.hpp"
+#include "simsched/machine.hpp"
+#include "simsched/task_graph.hpp"

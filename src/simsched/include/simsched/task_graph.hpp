@@ -1,0 +1,71 @@
+// Task DAG for the scheduling simulator: nodes carry a cost in
+// microseconds of single-core work; edges are completion dependencies.
+//
+// The Airfoil model (airfoil_model.hpp) builds one graph per
+// parallelisation method — the graphs differ exactly where the methods
+// differ (barrier nodes, driver round-trips, loop-level dependency
+// precision) — and the engine (engine.hpp) list-schedules them onto a
+// virtual machine.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace simsched {
+
+using task_id = std::uint32_t;
+
+struct task_node {
+  double cost_us = 0.0;
+  std::uint32_t unmet_deps = 0;
+  /// True for tasks that must run on the dedicated driver/master lane
+  /// (sequential segments: auto-chunker probes, driver wakeups).
+  bool serial = false;
+  std::vector<task_id> dependents;
+};
+
+class task_graph {
+ public:
+  /// Adds a task; `deps` must all be previously-added ids.
+  task_id add_task(double cost_us, const std::vector<task_id>& deps = {},
+                   bool serial = false) {
+    const auto id = static_cast<task_id>(nodes_.size());
+    nodes_.push_back(task_node{cost_us, 0, serial, {}});
+    for (const task_id d : deps) {
+      add_edge(d, id);
+    }
+    return id;
+  }
+
+  /// Adds an edge d -> t (t waits for d).
+  void add_edge(task_id d, task_id t) {
+    if (d >= nodes_.size() || t >= nodes_.size()) {
+      throw std::out_of_range("task_graph: edge endpoint out of range");
+    }
+    if (d == t) {
+      throw std::invalid_argument("task_graph: self edge");
+    }
+    nodes_[d].dependents.push_back(t);
+    nodes_[t].unmet_deps += 1;
+  }
+
+  std::size_t size() const { return nodes_.size(); }
+  const task_node& node(task_id id) const { return nodes_[id]; }
+  const std::vector<task_node>& nodes() const { return nodes_; }
+
+  /// Sum of all task costs — the sequential work content.
+  double total_work_us() const {
+    double sum = 0.0;
+    for (const auto& n : nodes_) {
+      sum += n.cost_us;
+    }
+    return sum;
+  }
+
+ private:
+  std::vector<task_node> nodes_;
+};
+
+}  // namespace simsched

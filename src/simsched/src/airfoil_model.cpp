@@ -1,0 +1,429 @@
+#include "simsched/airfoil_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "simsched/engine.hpp"
+
+namespace simsched {
+
+double loop_shape::total_cost_us() const {
+  double sum = 0.0;
+  for (const auto& color : color_block_costs) {
+    for (const double c : color) {
+      sum += c;
+    }
+  }
+  return sum;
+}
+
+namespace {
+
+/// splitmix64: deterministic per-block hash for the cost noise.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Multiplicative noise factor with unit mean and standard deviation
+/// `cv` (uniform over [1 - cv√3, 1 + cv√3]).
+double noise_factor(std::uint64_t seed, std::uint64_t index, double cv) {
+  if (cv <= 0.0) {
+    return 1.0;
+  }
+  const double u = static_cast<double>(splitmix64(seed ^ index) >> 11) /
+                   static_cast<double>(1ULL << 53);
+  constexpr double sqrt3 = 1.7320508075688772;
+  return 1.0 + cv * sqrt3 * (2.0 * u - 1.0);
+}
+
+}  // namespace
+
+loop_shape make_loop_shape(std::string name, const op2::op_plan& plan,
+                           double us_per_element, bool direct,
+                           std::vector<int> reads, std::vector<int> writes,
+                           double noise_cv, std::uint64_t noise_seed) {
+  loop_shape shape;
+  // Mix the loop name into the seed so different loops see different
+  // (but reproducible) noise streams.
+  for (const char c : name) {
+    noise_seed = splitmix64(noise_seed ^ static_cast<std::uint64_t>(c));
+  }
+  shape.name = std::move(name);
+  shape.direct = direct;
+  shape.reads = std::move(reads);
+  shape.writes = std::move(writes);
+  shape.color_block_costs.reserve(plan.color_blocks.size());
+  for (const auto& blocks : plan.color_blocks) {
+    std::vector<double> costs;
+    costs.reserve(blocks.size());
+    for (const int b : blocks) {
+      const double base =
+          us_per_element *
+          static_cast<double>(plan.nelems[static_cast<std::size_t>(b)]);
+      costs.push_back(base * noise_factor(noise_seed,
+                                          static_cast<std::uint64_t>(b),
+                                          noise_cv));
+    }
+    shape.color_block_costs.push_back(std::move(costs));
+  }
+  return shape;
+}
+
+const char* to_string(method m) {
+  switch (m) {
+    case method::omp_forkjoin:
+      return "omp_forkjoin";
+    case method::hpx_foreach_auto:
+      return "hpx_foreach_auto";
+    case method::hpx_foreach_static:
+      return "hpx_foreach_static";
+    case method::hpx_async:
+      return "hpx_async";
+    case method::hpx_dataflow:
+      return "hpx_dataflow";
+  }
+  return "?";
+}
+
+namespace {
+
+double log2_threads(unsigned threads) {
+  return std::log2(static_cast<double>(threads) + 1.0);
+}
+
+/// Groups per-block costs into chunk costs of `blocks_per_chunk`.
+std::vector<double> chunk_up(const std::vector<double>& blocks,
+                             std::size_t blocks_per_chunk) {
+  if (blocks_per_chunk == 0) {
+    blocks_per_chunk = 1;
+  }
+  std::vector<double> chunks;
+  for (std::size_t i = 0; i < blocks.size(); i += blocks_per_chunk) {
+    double c = 0.0;
+    const std::size_t end = std::min(i + blocks_per_chunk, blocks.size());
+    for (std::size_t k = i; k < end; ++k) {
+      c += blocks[k];
+    }
+    chunks.push_back(c);
+  }
+  return chunks;
+}
+
+/// OpenMP static schedule: one contiguous chunk per thread.
+std::vector<double> omp_split(const std::vector<double>& blocks,
+                              unsigned threads) {
+  const std::size_t per =
+      (blocks.size() + threads - 1) / static_cast<std::size_t>(threads);
+  return chunk_up(blocks, per == 0 ? 1 : per);
+}
+
+/// Default chunk size for the task-based methods: ~4 chunks per thread
+/// per colour, so stealing has something to balance with.
+std::size_t default_task_chunk(std::size_t nblocks, unsigned threads) {
+  const std::size_t chunk =
+      nblocks / (4 * static_cast<std::size_t>(threads));
+  return chunk == 0 ? 1 : chunk;
+}
+
+/// Chunk size the auto-partitioner would pick: enough blocks to reach
+/// the target task time, capped so each worker still gets work.
+std::size_t auto_chunk(const std::vector<double>& blocks, unsigned threads,
+                       const overhead_model& ov) {
+  if (blocks.empty()) {
+    return 1;
+  }
+  double total = 0.0;
+  for (const double b : blocks) {
+    total += b;
+  }
+  const double avg = total / static_cast<double>(blocks.size());
+  std::size_t chunk =
+      avg > 0.0
+          ? static_cast<std::size_t>(ov.auto_chunk_target_us / avg)
+          : blocks.size();
+  if (chunk == 0) {
+    chunk = 1;
+  }
+  std::size_t per_worker =
+      blocks.size() / static_cast<std::size_t>(threads);
+  if (per_worker == 0) {
+    per_worker = 1;
+  }
+  if (chunk > per_worker) {
+    chunk = per_worker;
+  }
+  return chunk;
+}
+
+struct emitted {
+  task_id entry;  // first node of the loop (deps attach here)
+  task_id exit;   // completion join (dependents attach here)
+};
+
+/// Emits one loop in fork-join style (OpenMP or for_each(par)): per
+/// colour a serial fork, the chunk tasks, and a barrier join; colours
+/// chain through the barriers.
+emitted emit_forkjoin(task_graph& g, const loop_shape& L, unsigned threads,
+                      const overhead_model& ov,
+                      const std::vector<task_id>& deps, bool omp_style,
+                      bool auto_probe, std::size_t static_chunk) {
+  std::vector<task_id> prev = deps;
+  task_id entry = 0;
+  bool first = true;
+  // With more than one thread the master sleeps at each region's
+  // implicit barrier and must wake (condition-variable latency + next
+  // region launch) before anything further runs — the per-region serial
+  // round trip that the future-based methods avoid.
+  const double wake = threads > 1 ? ov.driver_wakeup_us : 0.0;
+  for (const auto& color : L.color_block_costs) {
+    // Fork: the master's serial cost to start the region.
+    const double fork_cost =
+        wake + (omp_style ? ov.omp_fork_us : ov.hpx_spawn_us);
+    const task_id fork = g.add_task(fork_cost, prev, /*serial=*/true);
+    if (first) {
+      entry = fork;
+      first = false;
+    }
+    std::vector<task_id> pieces;
+    task_id after_fork = fork;
+    std::vector<double> chunks;
+    if (omp_style) {
+      chunks = omp_split(color, threads);
+    } else if (auto_probe) {
+      // The auto-partitioner's serial probe: ~1% of the colour runs on
+      // the master before anything parallel starts.
+      double total = 0.0;
+      for (const double b : color) {
+        total += b;
+      }
+      const task_id probe = g.add_task(total * ov.auto_probe_fraction,
+                                       {fork}, /*serial=*/true);
+      after_fork = probe;
+      chunks = chunk_up(color, auto_chunk(color, threads, ov));
+      // The probed fraction is already executed.
+      for (double& c : chunks) {
+        c *= (1.0 - ov.auto_probe_fraction);
+      }
+    } else {
+      chunks = chunk_up(color, static_chunk != 0
+                                   ? static_chunk
+                                   : default_task_chunk(color.size(),
+                                                        threads));
+    }
+    pieces.reserve(chunks.size());
+    for (const double c : chunks) {
+      const double spawn = omp_style ? 0.0 : ov.hpx_spawn_us;
+      pieces.push_back(g.add_task(c + spawn, {after_fork}));
+    }
+    // Barrier: every worker synchronises before the next region.
+    const double barrier_cost =
+        (omp_style ? ov.omp_barrier_us : ov.hpx_join_us) *
+        log2_threads(threads);
+    const task_id barrier = g.add_task(barrier_cost, pieces);
+    prev = {barrier};
+  }
+  if (first) {
+    // Empty loop: a zero-cost pass-through.
+    const task_id nop = g.add_task(0.0, deps);
+    return {nop, nop};
+  }
+  return {entry, prev.front()};
+}
+
+/// Emits one loop in task style (async / dataflow): a cheap activation
+/// node, chunk tasks per colour, colours chained through lightweight
+/// joins (continuations, not barriers).
+emitted emit_tasked(task_graph& g, const loop_shape& L, unsigned threads,
+                    const overhead_model& ov, const std::vector<task_id>& deps,
+                    std::size_t static_chunk) {
+  const task_id entry = g.add_task(ov.dataflow_node_us, deps);
+  std::vector<task_id> prev = {entry};
+  for (const auto& color : L.color_block_costs) {
+    const std::size_t chunk =
+        static_chunk != 0 ? static_chunk
+                          : default_task_chunk(color.size(), threads);
+    auto chunks = chunk_up(color, chunk);
+    std::vector<task_id> pieces;
+    pieces.reserve(chunks.size());
+    for (const double c : chunks) {
+      pieces.push_back(g.add_task(c + ov.hpx_spawn_us, prev));
+    }
+    // Colour boundary: a continuation, not a full barrier.
+    prev = {g.add_task(ov.dataflow_node_us, pieces)};
+  }
+  return {entry, prev.front()};
+}
+
+/// Read/write future chaining, mirroring op2::op_dat_df bookkeeping.
+struct df_tracker {
+  std::vector<task_id> last_write;
+  std::vector<bool> has_write;
+  std::vector<std::vector<task_id>> readers;
+
+  explicit df_tracker(int ndats)
+      : last_write(static_cast<std::size_t>(ndats), 0),
+        has_write(static_cast<std::size_t>(ndats), false),
+        readers(static_cast<std::size_t>(ndats)) {}
+
+  std::vector<task_id> deps_for(const loop_shape& L) const {
+    std::vector<task_id> deps;
+    const auto add_write_dep = [&](int dat) {
+      const auto d = static_cast<std::size_t>(dat);
+      if (has_write[d]) {
+        deps.push_back(last_write[d]);
+      }
+    };
+    for (const int dat : L.reads) {
+      add_write_dep(dat);
+    }
+    for (const int dat : L.writes) {
+      add_write_dep(dat);
+      const auto d = static_cast<std::size_t>(dat);
+      deps.insert(deps.end(), readers[d].begin(), readers[d].end());
+    }
+    std::sort(deps.begin(), deps.end());
+    deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+    return deps;
+  }
+
+  void record(const loop_shape& L, task_id exit) {
+    for (const int dat : L.writes) {
+      const auto d = static_cast<std::size_t>(dat);
+      last_write[d] = exit;
+      has_write[d] = true;
+      readers[d].clear();
+    }
+    for (const int dat : L.reads) {
+      readers[static_cast<std::size_t>(dat)].push_back(exit);
+    }
+  }
+};
+
+}  // namespace
+
+task_graph build_airfoil_graph(const airfoil_shape& shape, method m,
+                               unsigned threads, const overhead_model& ov,
+                               std::size_t static_chunk_blocks) {
+  if (threads == 0) {
+    throw std::invalid_argument("build_airfoil_graph: zero threads");
+  }
+  task_graph g;
+
+  const bool fork_join = m == method::omp_forkjoin ||
+                         m == method::hpx_foreach_auto ||
+                         m == method::hpx_foreach_static;
+
+  if (fork_join) {
+    // Strict program order: each loop starts after the previous loop's
+    // final barrier.
+    const bool omp = m == method::omp_forkjoin;
+    const bool probe = m == method::hpx_foreach_auto;
+    std::vector<task_id> prev;
+    const auto run = [&](const loop_shape& L) {
+      // The driver marshals arguments and looks up the plan before the
+      // region can fork.
+      prev = {g.add_task(ov.loop_launch_us, prev, /*serial=*/true)};
+      const emitted e = emit_forkjoin(g, L, threads, ov, prev, omp, probe,
+                                      static_chunk_blocks);
+      prev = {e.exit};
+    };
+    for (int iter = 0; iter < shape.niter; ++iter) {
+      run(shape.save);
+      for (int k = 0; k < 2; ++k) {
+        run(shape.adt);
+        run(shape.res);
+        run(shape.bres);
+        run(shape.update);
+      }
+    }
+    return g;
+  }
+
+  if (m == method::hpx_async) {
+    // §III-A2 driver: after every .get() the master wakes up (serial
+    // cost) and launches the next loop; save_soln is launched together
+    // with the first adt_calc and only joins before update.
+    const double wake = threads > 1 ? ov.driver_wakeup_us : 0.0;
+    std::vector<task_id> iter_start;  // empty on the first iteration
+    for (int iter = 0; iter < shape.niter; ++iter) {
+      const task_id launch_save =
+          g.add_task(ov.loop_launch_us, iter_start, /*serial=*/true);
+      const emitted save = emit_tasked(g, shape.save, threads, ov,
+                                       {launch_save}, static_chunk_blocks);
+      std::vector<task_id> stage_start = iter_start;
+      task_id last_update = 0;
+      for (int k = 0; k < 2; ++k) {
+        const task_id launch_adt =
+            g.add_task(ov.loop_launch_us, stage_start, /*serial=*/true);
+        const emitted adt = emit_tasked(g, shape.adt, threads, ov,
+                                        {launch_adt}, static_chunk_blocks);
+        const task_id wake_adt =
+            g.add_task(wake, {adt.exit}, /*serial=*/true);
+        const task_id launch_res =
+            g.add_task(ov.loop_launch_us, {wake_adt}, /*serial=*/true);
+        const emitted res = emit_tasked(g, shape.res, threads, ov,
+                                        {launch_res}, static_chunk_blocks);
+        const task_id wake_res =
+            g.add_task(wake, {res.exit}, /*serial=*/true);
+        const task_id launch_bres =
+            g.add_task(ov.loop_launch_us, {wake_res}, /*serial=*/true);
+        const emitted bres = emit_tasked(g, shape.bres, threads, ov,
+                                         {launch_bres}, static_chunk_blocks);
+        const task_id wake_bres =
+            g.add_task(wake, {bres.exit}, /*serial=*/true);
+        std::vector<task_id> update_deps = {wake_bres};
+        if (k == 0) {
+          // The driver also blocks in f_save.get() before launching
+          // update — one more master round trip.
+          update_deps.push_back(
+              g.add_task(wake, {save.exit, wake_bres}, /*serial=*/true));
+        }
+        update_deps = {g.add_task(ov.loop_launch_us, update_deps,
+                                  /*serial=*/true)};
+        const emitted upd = emit_tasked(g, shape.update, threads, ov,
+                                        update_deps, static_chunk_blocks);
+        const task_id wake_upd =
+            g.add_task(wake, {upd.exit}, /*serial=*/true);
+        stage_start = {wake_upd};
+        last_update = wake_upd;
+      }
+      iter_start = {last_update};
+    }
+    return g;
+  }
+
+  // hpx_dataflow: everything launched up front; dependencies are the
+  // per-dat read/write chaining of the modified API.
+  df_tracker tracker(dat_count);
+  const auto run_df = [&](const loop_shape& L) {
+    const auto deps = tracker.deps_for(L);
+    const emitted e =
+        emit_tasked(g, L, threads, ov, deps, static_chunk_blocks);
+    tracker.record(L, e.exit);
+  };
+  for (int iter = 0; iter < shape.niter; ++iter) {
+    run_df(shape.save);
+    for (int k = 0; k < 2; ++k) {
+      run_df(shape.adt);
+      run_df(shape.res);
+      run_df(shape.bres);
+      run_df(shape.update);
+    }
+  }
+  return g;
+}
+
+double simulate_airfoil(const airfoil_shape& shape, method m,
+                        unsigned threads, const machine_model& machine,
+                        const overhead_model& ov,
+                        std::size_t static_chunk_blocks) {
+  const task_graph g =
+      build_airfoil_graph(shape, m, threads, ov, static_chunk_blocks);
+  return simulate(g, threads, machine).makespan_us;
+}
+
+}  // namespace simsched

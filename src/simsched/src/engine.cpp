@@ -1,0 +1,116 @@
+#include "simsched/engine.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace simsched {
+
+namespace {
+
+struct completion {
+  double time;
+  unsigned worker;
+  task_id task;
+  bool operator>(const completion& o) const { return time > o.time; }
+};
+
+}  // namespace
+
+schedule_stats simulate(const task_graph& graph, unsigned threads,
+                        const machine_model& machine,
+                        std::vector<task_interval>* trace) {
+  if (trace != nullptr) {
+    trace->clear();
+    trace->reserve(graph.size());
+  }
+  if (threads == 0) {
+    throw std::invalid_argument("simulate: zero threads");
+  }
+  const double speed = machine.per_thread_speed(threads);
+  const auto n = graph.size();
+
+  std::vector<std::uint32_t> unmet(n);
+  std::deque<task_id> ready_any;     // runnable on any worker
+  std::deque<task_id> ready_serial;  // pinned to worker 0
+  for (task_id t = 0; t < n; ++t) {
+    unmet[t] = graph.node(t).unmet_deps;
+    if (unmet[t] == 0) {
+      (graph.node(t).serial ? ready_serial : ready_any).push_back(t);
+    }
+  }
+
+  std::vector<bool> busy(threads, false);
+  std::priority_queue<completion, std::vector<completion>,
+                      std::greater<completion>>
+      running;
+  double now = 0.0;
+  std::size_t completed = 0;
+  schedule_stats stats;
+  stats.total_work_us = graph.total_work_us();
+
+  const auto dispatch = [&] {
+    // Worker 0 prefers serial tasks; other workers take general ones.
+    // Serial (master-lane) tasks run at full core speed: a thread
+    // executing alone is not sharing its core with a hyper-thread.
+    while (!ready_serial.empty() && !busy[0]) {
+      const task_id t = ready_serial.front();
+      ready_serial.pop_front();
+      busy[0] = true;
+      const double end = now + graph.node(t).cost_us;
+      if (trace != nullptr) {
+        trace->push_back({t, 0, now, end});
+      }
+      running.push({end, 0, t});
+    }
+    for (unsigned w = 0; w < threads && !ready_any.empty(); ++w) {
+      if (busy[w]) {
+        continue;
+      }
+      const task_id t = ready_any.front();
+      ready_any.pop_front();
+      busy[w] = true;
+      const double end = now + graph.node(t).cost_us / speed;
+      if (trace != nullptr) {
+        trace->push_back({t, w, now, end});
+      }
+      running.push({end, w, t});
+    }
+    stats.peak_parallelism = std::max(
+        stats.peak_parallelism,
+        static_cast<unsigned>(std::count(busy.begin(), busy.end(), true)));
+  };
+
+  dispatch();
+  while (!running.empty()) {
+    // Complete every task finishing at the next event time before
+    // re-dispatching, so simultaneous completions release work together.
+    now = running.top().time;
+    while (!running.empty() && running.top().time <= now) {
+      const completion c = running.top();
+      running.pop();
+      busy[c.worker] = false;
+      ++completed;
+      for (const task_id d : graph.node(c.task).dependents) {
+        if (--unmet[d] == 0) {
+          (graph.node(d).serial ? ready_serial : ready_any).push_back(d);
+        }
+      }
+    }
+    dispatch();
+  }
+
+  if (completed != n) {
+    throw std::logic_error("simulate: dependency cycle (" +
+                           std::to_string(n - completed) +
+                           " tasks never became ready)");
+  }
+  stats.makespan_us = now;
+  const double capacity = now * machine.total_throughput(threads);
+  stats.efficiency = capacity > 0.0 ? stats.total_work_us / capacity : 1.0;
+  return stats;
+}
+
+}  // namespace simsched

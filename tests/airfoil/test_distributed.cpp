@@ -1,0 +1,155 @@
+// Distributed (simulated-MPI) Airfoil: decomposition correctness and
+// agreement with the single-domain solver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "airfoil/airfoil.hpp"
+
+namespace {
+
+using airfoil::dist_sim;
+using airfoil::gather_q;
+using airfoil::generate_mesh;
+using airfoil::make_dist_sim;
+using airfoil::make_sim;
+using airfoil::mesh_params;
+using airfoil::run_classic;
+using airfoil::run_distributed;
+
+mesh_params small_mesh() {
+  mesh_params p;
+  p.imax = 20;
+  p.jmax = 10;
+  return p;
+}
+
+class DistributedTest : public ::testing::Test {
+ protected:
+  void SetUp() override { op2::init({op2::backend::seq, 1, 32, 0}); }
+  void TearDown() override { op2::finalize(); }
+};
+
+TEST_F(DistributedTest, DecompositionCoversEveryCellOnce) {
+  const auto mesh = generate_mesh(small_mesh());
+  const int ncell = mesh.set("cells").size();
+  const auto d = make_dist_sim(mesh, 4);
+  ASSERT_EQ(d.ranks.size(), 4u);
+  std::vector<int> owner_count(static_cast<std::size_t>(ncell), 0);
+  for (const auto& rank : d.ranks) {
+    for (int c = 0; c < rank.nowned; ++c) {
+      owner_count[static_cast<std::size_t>(
+          rank.global_cell[static_cast<std::size_t>(c)])] += 1;
+    }
+  }
+  for (int c = 0; c < ncell; ++c) {
+    ASSERT_EQ(owner_count[static_cast<std::size_t>(c)], 1) << "cell " << c;
+  }
+}
+
+TEST_F(DistributedTest, EveryEdgeAssignedToExactlyOneRank) {
+  const auto mesh = generate_mesh(small_mesh());
+  const auto d = make_dist_sim(mesh, 4);
+  int total_edges = 0;
+  int total_bedges = 0;
+  for (const auto& rank : d.ranks) {
+    total_edges += rank.local.edges.size();
+    total_bedges += rank.local.bedges.size();
+  }
+  EXPECT_EQ(total_edges, mesh.set("edges").size());
+  EXPECT_EQ(total_bedges, mesh.set("bedges").size());
+}
+
+TEST_F(DistributedTest, GhostLinksPointAtOwners) {
+  const auto mesh = generate_mesh(small_mesh());
+  const auto d = make_dist_sim(mesh, 4);
+  for (std::size_t r = 0; r < d.ranks.size(); ++r) {
+    for (const auto& g : d.ranks[r].ghosts) {
+      ASSERT_NE(g.owner_rank, static_cast<int>(r));
+      const auto& owner = d.ranks[static_cast<std::size_t>(g.owner_rank)];
+      ASSERT_LT(g.owner_local_cell, owner.nowned);
+      // The link connects the same global cell on both sides.
+      EXPECT_EQ(owner.global_cell[static_cast<std::size_t>(
+                    g.owner_local_cell)],
+                d.ranks[r].global_cell[static_cast<std::size_t>(
+                    g.local_cell)]);
+      // Ghosts live after the owned range.
+      EXPECT_GE(g.local_cell, d.ranks[r].nowned);
+    }
+  }
+}
+
+TEST_F(DistributedTest, SingleRankMatchesReferenceExactly) {
+  const auto mesh = generate_mesh(small_mesh());
+  auto ref = make_sim(mesh);
+  const auto ref_result = run_classic(ref, 6);
+
+  auto d = make_dist_sim(mesh, 1);
+  const auto dist_result = run_distributed(d, 6);
+
+  ASSERT_EQ(dist_result.rms_history.size(), ref_result.rms_history.size());
+  for (std::size_t i = 0; i < ref_result.rms_history.size(); ++i) {
+    EXPECT_DOUBLE_EQ(dist_result.rms_history[i], ref_result.rms_history[i]);
+  }
+  const auto q = gather_q(d);
+  const auto ref_q = ref.p_q.data<double>();
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    ASSERT_EQ(q[i], ref_q[i]) << "entry " << i;
+  }
+}
+
+class DistributedRankCount : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override { op2::init({op2::backend::seq, 1, 32, 0}); }
+  void TearDown() override { op2::finalize(); }
+};
+
+TEST_P(DistributedRankCount, MatchesReferenceUpToRounding) {
+  const int nranks = GetParam();
+  const auto mesh = generate_mesh(small_mesh());
+  auto ref = make_sim(mesh);
+  const auto ref_result = run_classic(ref, 8);
+  const auto ref_q = ref.p_q.data<double>();
+
+  auto d = make_dist_sim(mesh, nranks);
+  const auto dist_result = run_distributed(d, 8);
+
+  // q agrees up to halo-reduction reassociation.
+  const auto q = gather_q(d);
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    ASSERT_NEAR(q[i], ref_q[i], 1e-11 * std::max(1.0, std::fabs(ref_q[i])))
+        << "entry " << i;
+  }
+  // rms histories agree to the same tolerance.
+  for (std::size_t i = 0; i < ref_result.rms_history.size(); ++i) {
+    EXPECT_NEAR(dist_result.rms_history[i], ref_result.rms_history[i],
+                1e-10 * std::max(1.0, ref_result.rms_history[i]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, DistributedRankCount,
+                         ::testing::Values(2, 3, 4, 7));
+
+TEST_F(DistributedTest, WorksUnderParallelBackend) {
+  op2::init({op2::backend::forkjoin, 3, 16, 0});
+  const auto mesh = generate_mesh(small_mesh());
+  auto ref = make_sim(mesh);
+  run_classic(ref, 5);
+  const auto ref_q = ref.p_q.data<double>();
+
+  auto d = make_dist_sim(mesh, 3);
+  run_distributed(d, 5);
+  const auto q = gather_q(d);
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    ASSERT_NEAR(q[i], ref_q[i], 1e-11 * std::max(1.0, std::fabs(ref_q[i])));
+  }
+}
+
+TEST_F(DistributedTest, InvalidRankCountRejected) {
+  const auto mesh = generate_mesh(small_mesh());
+  EXPECT_THROW(make_dist_sim(mesh, 0), std::invalid_argument);
+}
+
+}  // namespace

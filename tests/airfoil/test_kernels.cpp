@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "airfoil/kernels.hpp"
+
+namespace {
+
+using airfoil::constants;
+
+TEST(Constants, FreeStreamStateConsistent) {
+  const auto& c = constants();
+  EXPECT_DOUBLE_EQ(c.gm1, c.gam - 1.0);
+  EXPECT_GT(c.qinf[0], 0.0);
+  EXPECT_GT(c.qinf[1], 0.0);  // flow in +x (small positive alpha)
+  EXPECT_GT(c.qinf[3], 0.0);
+  // Pressure recovered from the conservative state must be ~1.
+  const double ri = 1.0 / c.qinf[0];
+  const double p = c.gm1 * (c.qinf[3] - 0.5 * ri * (c.qinf[1] * c.qinf[1] +
+                                                    c.qinf[2] * c.qinf[2]));
+  EXPECT_NEAR(p, 1.0, 1e-12);
+  // Mach number recovered from the velocity must match.
+  const double u = std::hypot(c.qinf[1], c.qinf[2]) * ri;
+  const double a = std::sqrt(c.gam * p / c.qinf[0]);
+  EXPECT_NEAR(u / a, c.mach, 1e-12);
+}
+
+TEST(SaveSoln, CopiesAllFourComponents) {
+  const double q[4] = {1.0, 2.0, 3.0, 4.0};
+  double qold[4] = {0.0, 0.0, 0.0, 0.0};
+  airfoil::save_soln(q, qold);
+  for (int n = 0; n < 4; ++n) {
+    EXPECT_EQ(qold[n], q[n]);
+  }
+}
+
+TEST(AdtCalc, PositiveForFreeStreamOnUnitSquare) {
+  const auto& c = constants();
+  const double x1[2] = {0.0, 0.0};
+  const double x2[2] = {1.0, 0.0};
+  const double x3[2] = {1.0, 1.0};
+  const double x4[2] = {0.0, 1.0};
+  double adt = -1.0;
+  airfoil::adt_calc(x1, x2, x3, x4, c.qinf.data(), &adt);
+  EXPECT_GT(adt, 0.0);
+  EXPECT_TRUE(std::isfinite(adt));
+}
+
+TEST(AdtCalc, ScalesWithCellSize) {
+  // A smaller cell must produce a smaller (more restrictive dt⁻¹-like)
+  // measure; adt sums |face| terms so it shrinks with the cell.
+  const auto& c = constants();
+  const double x1[2] = {0.0, 0.0};
+  const double x2[2] = {1.0, 0.0};
+  const double x3[2] = {1.0, 1.0};
+  const double x4[2] = {0.0, 1.0};
+  double adt_big = 0.0;
+  airfoil::adt_calc(x1, x2, x3, x4, c.qinf.data(), &adt_big);
+  const double y1[2] = {0.0, 0.0};
+  const double y2[2] = {0.5, 0.0};
+  const double y3[2] = {0.5, 0.5};
+  const double y4[2] = {0.0, 0.5};
+  double adt_small = 0.0;
+  airfoil::adt_calc(y1, y2, y3, y4, c.qinf.data(), &adt_small);
+  EXPECT_LT(adt_small, adt_big);
+  EXPECT_NEAR(adt_small, 0.5 * adt_big, 1e-12);
+}
+
+TEST(ResCalc, UniformFlowFluxesCancelAntisymmetrically) {
+  // For equal states on both sides the dissipation term vanishes and
+  // whatever flux leaves cell 1 enters cell 2 exactly.
+  const auto& c = constants();
+  const double x1[2] = {0.0, 1.0};
+  const double x2[2] = {0.0, 0.0};
+  const double adt = 1.0;
+  double res1[4] = {0, 0, 0, 0};
+  double res2[4] = {0, 0, 0, 0};
+  airfoil::res_calc(x1, x2, c.qinf.data(), c.qinf.data(), &adt, &adt, res1,
+                    res2);
+  for (int n = 0; n < 4; ++n) {
+    EXPECT_NEAR(res1[n], -res2[n], 1e-14) << "component " << n;
+  }
+  // Mass flux through a unit vertical face equals the x-momentum.
+  EXPECT_NEAR(res1[0], c.qinf[1], 1e-14);
+}
+
+TEST(ResCalc, DissipationDampsStateDifferences) {
+  const auto& c = constants();
+  const double x1[2] = {0.0, 1.0};
+  const double x2[2] = {0.0, 0.0};
+  const double adt = 2.0;
+  std::array<double, 4> qa = c.qinf;
+  std::array<double, 4> qb = c.qinf;
+  qb[0] += 0.1;  // density jump
+  double res1[4] = {0, 0, 0, 0};
+  double res2[4] = {0, 0, 0, 0};
+  airfoil::res_calc(x1, x2, qa.data(), qb.data(), &adt, &adt, res1, res2);
+  // Compare against the no-jump case: the mu*(q1-q2) term must pull
+  // res1[0] down (q1[0] < q2[0]).
+  double ref1[4] = {0, 0, 0, 0};
+  double ref2[4] = {0, 0, 0, 0};
+  airfoil::res_calc(x1, x2, qa.data(), qa.data(), &adt, &adt, ref1, ref2);
+  EXPECT_LT(res1[0], ref1[0]);
+}
+
+TEST(ResCalc, AccumulatesIntoExistingResidual) {
+  const auto& c = constants();
+  const double x1[2] = {0.0, 1.0};
+  const double x2[2] = {0.0, 0.0};
+  const double adt = 1.0;
+  double res1[4] = {10, 10, 10, 10};
+  double res2[4] = {10, 10, 10, 10};
+  airfoil::res_calc(x1, x2, c.qinf.data(), c.qinf.data(), &adt, &adt, res1,
+                    res2);
+  EXPECT_NEAR(res1[0] + res2[0], 20.0, 1e-12);  // += f and -= f
+}
+
+TEST(BresCalc, WallAppliesOnlyPressure) {
+  const auto& c = constants();
+  const double x1[2] = {1.0, 0.0};
+  const double x2[2] = {0.0, 0.0};  // bottom wall, outward normal -y
+  const double adt = 1.0;
+  double res[4] = {0, 0, 0, 0};
+  const int wall = airfoil::bound_wall;
+  airfoil::bres_calc(x1, x2, c.qinf.data(), &adt, res, &wall);
+  EXPECT_EQ(res[0], 0.0);  // no mass flux through a wall
+  EXPECT_EQ(res[3], 0.0);  // no energy flux through a wall
+  // Pressure ~1 acting on outward normal (0,-1): res[2] = -p*dx with
+  // dx = +1 → negative y-momentum contribution.
+  EXPECT_NEAR(res[2], -1.0, 1e-9);
+  EXPECT_EQ(res[1], 0.0);  // dy = 0 on this face
+}
+
+TEST(BresCalc, FarFieldAtFreeStreamMatchesInteriorFlux) {
+  // A far-field face with the cell at free stream behaves like an
+  // interior face between two free-stream cells (zero dissipation).
+  const auto& c = constants();
+  const double x1[2] = {0.0, 0.0};
+  const double x2[2] = {0.0, 1.0};  // left boundary, outward -x
+  const double adt = 1.0;
+  double bres[4] = {0, 0, 0, 0};
+  const int far = airfoil::bound_farfield;
+  airfoil::bres_calc(x1, x2, c.qinf.data(), &adt, bres, &far);
+  double res1[4] = {0, 0, 0, 0};
+  double res2[4] = {0, 0, 0, 0};
+  airfoil::res_calc(x1, x2, c.qinf.data(), c.qinf.data(), &adt, &adt, res1,
+                    res2);
+  for (int n = 0; n < 4; ++n) {
+    EXPECT_NEAR(bres[n], res1[n], 1e-13) << "component " << n;
+  }
+}
+
+TEST(Update, AppliesExplicitStepAndResetsResidual) {
+  const double qold[4] = {1.0, 0.5, 0.0, 2.0};
+  double q[4] = {9, 9, 9, 9};
+  double res[4] = {0.2, -0.4, 0.0, 1.0};
+  const double adt = 2.0;
+  double rms = 0.0;
+  airfoil::update(qold, q, res, &adt, &rms);
+  EXPECT_DOUBLE_EQ(q[0], 1.0 - 0.1);
+  EXPECT_DOUBLE_EQ(q[1], 0.5 + 0.2);
+  EXPECT_DOUBLE_EQ(q[2], 0.0);
+  EXPECT_DOUBLE_EQ(q[3], 2.0 - 0.5);
+  for (int n = 0; n < 4; ++n) {
+    EXPECT_EQ(res[n], 0.0);
+  }
+  EXPECT_DOUBLE_EQ(rms, 0.01 + 0.04 + 0.0 + 0.25);
+}
+
+TEST(Update, RmsAccumulatesAcrossCalls) {
+  const double qold[4] = {1, 1, 1, 1};
+  double q[4];
+  double res[4] = {1, 0, 0, 0};
+  const double adt = 1.0;
+  double rms = 0.0;
+  airfoil::update(qold, q, res, &adt, &rms);
+  res[0] = 1.0;
+  airfoil::update(qold, q, res, &adt, &rms);
+  EXPECT_DOUBLE_EQ(rms, 2.0);
+}
+
+}  // namespace

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "airfoil/mesh.hpp"
+#include "airfoil/constants.hpp"
+
+namespace {
+
+using airfoil::generate_mesh;
+using airfoil::generate_mesh_with_cells;
+using airfoil::mesh_params;
+
+mesh_params small_params() {
+  mesh_params p;
+  p.imax = 12;
+  p.jmax = 5;
+  return p;
+}
+
+TEST(AirfoilMesh, SetSizesMatchStructuredGrid) {
+  const auto p = small_params();
+  const auto m = generate_mesh(p);
+  EXPECT_EQ(m.set("nodes").size(), (p.imax + 1) * (p.jmax + 1));
+  EXPECT_EQ(m.set("cells").size(), p.imax * p.jmax);
+  EXPECT_EQ(m.set("edges").size(),
+            (p.imax - 1) * p.jmax + p.imax * (p.jmax - 1));
+  EXPECT_EQ(m.set("bedges").size(), 2 * p.imax + 2 * p.jmax);
+}
+
+TEST(AirfoilMesh, MapsHaveExpectedShapes) {
+  const auto m = generate_mesh(small_params());
+  EXPECT_EQ(m.map("pcell").dim(), 4);
+  EXPECT_EQ(m.map("pedge").dim(), 2);
+  EXPECT_EQ(m.map("pecell").dim(), 2);
+  EXPECT_EQ(m.map("pbedge").dim(), 2);
+  EXPECT_EQ(m.map("pbecell").dim(), 1);
+  EXPECT_EQ(m.map("pcell").from(), m.set("cells"));
+  EXPECT_EQ(m.map("pcell").to(), m.set("nodes"));
+  EXPECT_EQ(m.map("pecell").to(), m.set("cells"));
+}
+
+TEST(AirfoilMesh, RejectsTinyGrids) {
+  mesh_params p;
+  p.imax = 1;
+  p.jmax = 5;
+  EXPECT_THROW(generate_mesh(p), std::invalid_argument);
+}
+
+TEST(AirfoilMesh, CellCornersAreCounterClockwise) {
+  const auto p = small_params();
+  const auto m = generate_mesh(p);
+  const auto& pcell = m.map("pcell");
+  const auto x = m.dat("p_x").data<double>();
+  // Shoelace area of every quad must be positive (CCW orientation).
+  for (int c = 0; c < m.set("cells").size(); ++c) {
+    double area = 0.0;
+    for (int k = 0; k < 4; ++k) {
+      const auto a = static_cast<std::size_t>(pcell.at(c, k));
+      const auto b = static_cast<std::size_t>(pcell.at(c, (k + 1) % 4));
+      area += x[2 * a] * x[2 * b + 1] - x[2 * b] * x[2 * a + 1];
+    }
+    ASSERT_GT(area, 0.0) << "cell " << c;
+  }
+}
+
+TEST(AirfoilMesh, InteriorEdgeNormalsPointFromCell1ToCell2) {
+  // The res_calc convention: with d = x1 - x2, the normal (dy, -dx)
+  // must point from pecell[0] toward pecell[1].
+  const auto p = small_params();
+  const auto m = generate_mesh(p);
+  const auto& pedge = m.map("pedge");
+  const auto& pecell = m.map("pecell");
+  const auto& pcell = m.map("pcell");
+  const auto x = m.dat("p_x").data<double>();
+
+  const auto centroid = [&](int cell, double* out) {
+    out[0] = out[1] = 0.0;
+    for (int k = 0; k < 4; ++k) {
+      const auto n = static_cast<std::size_t>(pcell.at(cell, k));
+      out[0] += 0.25 * x[2 * n];
+      out[1] += 0.25 * x[2 * n + 1];
+    }
+  };
+
+  for (int e = 0; e < m.set("edges").size(); ++e) {
+    const auto n1 = static_cast<std::size_t>(pedge.at(e, 0));
+    const auto n2 = static_cast<std::size_t>(pedge.at(e, 1));
+    const double dx = x[2 * n1] - x[2 * n2];
+    const double dy = x[2 * n1 + 1] - x[2 * n2 + 1];
+    double c1[2];
+    double c2[2];
+    centroid(pecell.at(e, 0), c1);
+    centroid(pecell.at(e, 1), c2);
+    // Vector from cell1 centroid to cell2 centroid.
+    const double vx = c2[0] - c1[0];
+    const double vy = c2[1] - c1[1];
+    const double dot = dy * vx - dx * vy;
+    ASSERT_GT(dot, 0.0) << "edge " << e;
+  }
+}
+
+TEST(AirfoilMesh, BoundaryEdgeNormalsPointOutward) {
+  const auto p = small_params();
+  const auto m = generate_mesh(p);
+  const auto& pbedge = m.map("pbedge");
+  const auto& pbecell = m.map("pbecell");
+  const auto& pcell = m.map("pcell");
+  const auto x = m.dat("p_x").data<double>();
+
+  for (int e = 0; e < m.set("bedges").size(); ++e) {
+    const auto n1 = static_cast<std::size_t>(pbedge.at(e, 0));
+    const auto n2 = static_cast<std::size_t>(pbedge.at(e, 1));
+    const double dx = x[2 * n1] - x[2 * n2];
+    const double dy = x[2 * n1 + 1] - x[2 * n2 + 1];
+    // Midpoint of the edge minus adjacent-cell centroid ~ outward dir.
+    double cx = 0.0;
+    double cy = 0.0;
+    for (int k = 0; k < 4; ++k) {
+      const auto n = static_cast<std::size_t>(pcell.at(pbecell.at(e, 0), k));
+      cx += 0.25 * x[2 * n];
+      cy += 0.25 * x[2 * n + 1];
+    }
+    const double mx = 0.5 * (x[2 * n1] + x[2 * n2]) - cx;
+    const double my = 0.5 * (x[2 * n1 + 1] + x[2 * n2 + 1]) - cy;
+    const double dot = dy * mx - dx * my;
+    ASSERT_GT(dot, 0.0) << "boundary edge " << e;
+  }
+}
+
+TEST(AirfoilMesh, BoundMarkersWallOnBottomFarfieldElsewhere) {
+  const auto p = small_params();
+  const auto m = generate_mesh(p);
+  const auto bound = m.dat("p_bound").data<int>();
+  int walls = 0;
+  int farfields = 0;
+  for (const int b : bound) {
+    if (b == airfoil::bound_wall) {
+      ++walls;
+    } else if (b == airfoil::bound_farfield) {
+      ++farfields;
+    } else {
+      FAIL() << "unexpected bound marker " << b;
+    }
+  }
+  EXPECT_EQ(walls, p.imax);                   // entire bottom wall
+  EXPECT_EQ(farfields, p.imax + 2 * p.jmax);  // top + left + right
+}
+
+TEST(AirfoilMesh, BumpDeformsOnlyInteriorOfBottomWall) {
+  mesh_params p = small_params();
+  p.imax = 40;
+  p.bump_height = 0.1;
+  const auto m = generate_mesh(p);
+  const auto x = m.dat("p_x").data<double>();
+  double max_y0 = 0.0;
+  for (int i = 0; i <= p.imax; ++i) {
+    const auto n = static_cast<std::size_t>(i);  // j = 0 row
+    max_y0 = std::max(max_y0, x[2 * n + 1]);
+  }
+  EXPECT_GT(max_y0, 0.05);   // the bump is present
+  EXPECT_LE(max_y0, 0.1001);  // and bounded by bump_height
+  // Corners stay on y = 0.
+  EXPECT_EQ(x[1], 0.0);
+  const auto last = static_cast<std::size_t>(p.imax);
+  EXPECT_EQ(x[2 * last + 1], 0.0);
+}
+
+TEST(AirfoilMesh, TargetCellCountApproximatelyHonoured) {
+  const auto m = generate_mesh_with_cells(10000);
+  const int n = m.set("cells").size();
+  EXPECT_GT(n, 5000);
+  EXPECT_LT(n, 20000);
+  EXPECT_THROW(generate_mesh_with_cells(1), std::invalid_argument);
+}
+
+TEST(AirfoilMesh, EveryCellReachedByExactlyFourEdgesOrBedges) {
+  // Each quad cell has 4 faces; every face appears exactly once as an
+  // interior edge side or a boundary edge.
+  const auto p = small_params();
+  const auto m = generate_mesh(p);
+  std::vector<int> face_count(static_cast<std::size_t>(m.set("cells").size()),
+                              0);
+  const auto& pecell = m.map("pecell");
+  for (int e = 0; e < m.set("edges").size(); ++e) {
+    face_count[static_cast<std::size_t>(pecell.at(e, 0))] += 1;
+    face_count[static_cast<std::size_t>(pecell.at(e, 1))] += 1;
+  }
+  const auto& pbecell = m.map("pbecell");
+  for (int e = 0; e < m.set("bedges").size(); ++e) {
+    face_count[static_cast<std::size_t>(pbecell.at(e, 0))] += 1;
+  }
+  for (std::size_t c = 0; c < face_count.size(); ++c) {
+    ASSERT_EQ(face_count[c], 4) << "cell " << c;
+  }
+}
+
+}  // namespace

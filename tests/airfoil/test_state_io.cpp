@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "airfoil/airfoil.hpp"
+
+namespace {
+
+using airfoil::generate_mesh;
+using airfoil::load_state;
+using airfoil::make_sim;
+using airfoil::run_classic;
+using airfoil::save_state;
+using airfoil::solution_checksum;
+
+airfoil::mesh_params tiny() {
+  airfoil::mesh_params p;
+  p.imax = 16;
+  p.jmax = 6;
+  return p;
+}
+
+TEST(StateIo, RoundTripPreservesSolution) {
+  op2::init({op2::backend::seq, 1, 32, 0});
+  auto s = make_sim(generate_mesh(tiny()));
+  run_classic(s, 5);
+  const double checksum = solution_checksum(s);
+
+  const std::string path = ::testing::TempDir() + "/airfoil_state_rt.txt";
+  save_state(s, path);
+  auto restored = load_state(path);
+  EXPECT_EQ(solution_checksum(restored), checksum);
+  EXPECT_EQ(restored.cells.size(), s.cells.size());
+  EXPECT_EQ(restored.edges.size(), s.edges.size());
+
+  const auto orig = s.p_adt.data<double>();
+  const auto back = restored.p_adt.data<double>();
+  for (std::size_t i = 0; i < orig.size(); ++i) {
+    ASSERT_EQ(back[i], orig[i]);
+  }
+  op2::finalize();
+}
+
+TEST(StateIo, ResumeContinuesIdenticallyToUnbrokenRun) {
+  op2::init({op2::backend::seq, 1, 32, 0});
+  // Unbroken 10-iteration run.
+  auto full = make_sim(generate_mesh(tiny()));
+  const auto full_result = run_classic(full, 10);
+
+  // 5 iterations, checkpoint, restore, 5 more.
+  auto first = make_sim(generate_mesh(tiny()));
+  run_classic(first, 5);
+  const std::string path = ::testing::TempDir() + "/airfoil_state_resume.txt";
+  save_state(first, path);
+  auto resumed = load_state(path);
+  const auto tail = run_classic(resumed, 5);
+
+  EXPECT_EQ(solution_checksum(resumed), solution_checksum(full));
+  // The resumed run's residual history continues the original's.
+  ASSERT_EQ(tail.rms_history.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(tail.rms_history[i], full_result.rms_history[i + 5]);
+  }
+  op2::finalize();
+}
+
+TEST(StateIo, MissingFileThrows) {
+  EXPECT_THROW(load_state("/nonexistent/airfoil_state.txt"),
+               std::runtime_error);
+}
+
+TEST(StateIo, LoadAcrossBackends) {
+  // Checkpoint under seq, continue under dataflow: identical physics.
+  op2::init({op2::backend::seq, 1, 32, 0});
+  auto a = make_sim(generate_mesh(tiny()));
+  run_classic(a, 4);
+  const std::string path = ::testing::TempDir() + "/airfoil_state_xbk.txt";
+  save_state(a, path);
+  const auto cont_seq = run_classic(a, 3);
+
+  op2::init({op2::backend::hpx_dataflow, 3, 32, 0});
+  auto b = load_state(path);
+  const auto cont_df = airfoil::run_dataflow(b, 3);
+  op2::finalize();
+
+  ASSERT_EQ(cont_df.rms_history.size(), cont_seq.rms_history.size());
+  for (std::size_t i = 0; i < cont_seq.rms_history.size(); ++i) {
+    EXPECT_NEAR(cont_df.rms_history[i], cont_seq.rms_history[i],
+                1e-12 * std::max(1.0, cont_seq.rms_history[i]));
+  }
+  EXPECT_NEAR(solution_checksum(b), solution_checksum(a),
+              1e-9 * std::abs(solution_checksum(a)));
+}
+
+}  // namespace

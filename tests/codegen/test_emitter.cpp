@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "codegen/translator.hpp"
+
+namespace {
+
+using codegen::emit_loop;
+using codegen::emit_translation_unit;
+using codegen::parse_loops;
+using codegen::target;
+
+codegen::parsed_loop direct_loop() {
+  const auto loops = parse_loops(R"(
+    op_par_loop(save_soln, "save_soln", cells,
+        op_arg_dat(p_q, -1, OP_ID, 4, "double", OP_READ),
+        op_arg_dat(p_qold, -1, OP_ID, 4, "double", OP_WRITE));
+  )");
+  return loops.at(0);
+}
+
+codegen::parsed_loop indirect_loop() {
+  const auto loops = parse_loops(R"(
+    op_par_loop(adt_calc, "adt_calc", cells,
+        op_arg_dat(p_x, 0, pcell, 2, "double", OP_READ),
+        op_arg_dat(p_adt, -1, OP_ID, 1, "double", OP_WRITE));
+  )");
+  return loops.at(0);
+}
+
+TEST(Emitter, OpenMPTargetUsesPragma) {
+  const auto code = emit_loop(indirect_loop(), target::openmp);
+  EXPECT_NE(code.find("#pragma omp parallel for"), std::string::npos);
+  EXPECT_NE(code.find("for (int blockIdx = 0"), std::string::npos);
+  EXPECT_NE(code.find("adt_calc("), std::string::npos);
+  EXPECT_EQ(code.find("hpx::"), std::string::npos);
+}
+
+TEST(Emitter, ForEachTargetMatchesFig6) {
+  const auto code = emit_loop(indirect_loop(), target::hpx_foreach);
+  EXPECT_NE(code.find("boost::irange(0, nblocks)"), std::string::npos);
+  EXPECT_NE(code.find("hpx::parallel::for_each(par,"), std::string::npos);
+  EXPECT_EQ(code.find("#pragma"), std::string::npos);
+}
+
+TEST(Emitter, ChunkedTargetMatchesFig7) {
+  const auto code = emit_loop(indirect_loop(), target::hpx_foreach_chunked);
+  EXPECT_NE(code.find("static_chunk_size scs"), std::string::npos);
+  EXPECT_NE(code.find("par.with(scs)"), std::string::npos);
+}
+
+TEST(Emitter, AsyncDirectLoopMatchesFig8) {
+  const auto code = emit_loop(direct_loop(), target::hpx_async);
+  EXPECT_NE(code.find("async(hpx::launch::async"), std::string::npos);
+  EXPECT_NE(code.find("return async"), std::string::npos);
+  EXPECT_NE(code.find("save_soln("), std::string::npos);
+}
+
+TEST(Emitter, AsyncIndirectLoopMatchesFig9) {
+  const auto code = emit_loop(indirect_loop(), target::hpx_async);
+  EXPECT_NE(code.find("par(task)"), std::string::npos);
+  EXPECT_NE(code.find("return new_data"), std::string::npos);
+}
+
+TEST(Emitter, DataflowTargetMatchesFig13) {
+  const auto code = emit_loop(indirect_loop(), target::hpx_dataflow);
+  EXPECT_NE(code.find("hpx::lcos::local::dataflow"), std::string::npos);
+  EXPECT_NE(code.find("unwrapped"), std::string::npos);
+  EXPECT_NE(code.find("hpx::parallel::for_each(par,"), std::string::npos);
+}
+
+TEST(Emitter, IndirectArgumentsIndexThroughMap) {
+  const auto code = emit_loop(indirect_loop(), target::openmp);
+  // p_x is reached through pcell with index 0.
+  EXPECT_NE(code.find("pcell->map[pcell->dim * n + 0]"), std::string::npos);
+  // p_adt is direct.
+  EXPECT_NE(code.find("p_adt->data)[1 * n]"), std::string::npos);
+}
+
+TEST(Emitter, HeaderIdentifiesLoopKind) {
+  EXPECT_NE(emit_loop(direct_loop(), target::openmp).find("(direct)"),
+            std::string::npos);
+  const auto loops = parse_loops(R"(
+    op_par_loop(res_calc, "res_calc", edges,
+        op_arg_dat(p_res, 0, pecell, 4, "double", OP_INC));
+  )");
+  EXPECT_NE(emit_loop(loops.at(0), target::openmp).find("coloured"),
+            std::string::npos);
+}
+
+TEST(Emitter, TranslationUnitContainsAllLoops) {
+  const auto loops = parse_loops(R"(
+    op_par_loop(a, "a", s, op_arg_dat(d, -1, OP_ID, 1, "double", OP_READ));
+    op_par_loop(b, "b", s, op_arg_dat(d, -1, OP_ID, 1, "double", OP_WRITE));
+  )");
+  const auto tu = emit_translation_unit(loops, target::hpx_foreach);
+  EXPECT_NE(tu.find("op_par_loop_a"), std::string::npos);
+  EXPECT_NE(tu.find("op_par_loop_b"), std::string::npos);
+  EXPECT_NE(tu.find("Auto-generated"), std::string::npos);
+  EXPECT_NE(tu.find("hpx_foreach"), std::string::npos);
+}
+
+TEST(Emitter, AllTargetsProduceNonEmptyCode) {
+  for (const auto t : {target::openmp, target::hpx_foreach,
+                       target::hpx_foreach_chunked, target::hpx_async,
+                       target::hpx_dataflow}) {
+    EXPECT_GT(emit_loop(direct_loop(), t).size(), 100u) << to_string(t);
+    EXPECT_GT(emit_loop(indirect_loop(), t).size(), 100u) << to_string(t);
+  }
+}
+
+TEST(Emitter, TargetNames) {
+  EXPECT_STREQ(to_string(target::openmp), "openmp");
+  EXPECT_STREQ(to_string(target::hpx_dataflow), "hpx_dataflow");
+}
+
+}  // namespace

@@ -1,0 +1,94 @@
+// The op2hpx codegen target emits call sites against THIS repository's
+// typed API.  The golden string below is kept in lockstep with a
+// compiled-and-executed copy, proving the emitted code is valid C++
+// for the library (if the emitter drifts, the golden comparison fails;
+// if the API drifts, the executed copy stops compiling).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "codegen/translator.hpp"
+#include "op2/op2.hpp"
+
+namespace {
+
+const char* kClassicSource = R"(
+  op_par_loop(scale_kernel, "scale", cells,
+      op_arg_dat(p_in, -1, OP_ID, 1, "double", OP_READ),
+      op_arg_dat(p_out, -1, OP_ID, 1, "double", OP_WRITE),
+      op_arg_gbl(&total, 1, "double", OP_INC));
+)";
+
+const char* kGoldenBody =
+    "  op2::op_par_loop(scale_kernel, \"scale\", cells,\n"
+    "      op2::op_arg_dat<double>(p_in, -1, op2::OP_ID, 1, op2::OP_READ),\n"
+    "      op2::op_arg_dat<double>(p_out, -1, op2::OP_ID, 1, "
+    "op2::OP_WRITE),\n"
+    "      op2::op_arg_gbl<double>(&total, 1, op2::OP_INC));\n";
+
+TEST(Op2hpxTarget, EmitsGoldenCallSite) {
+  const auto loops = codegen::parse_loops(kClassicSource);
+  ASSERT_EQ(loops.size(), 1u);
+  const auto code = codegen::emit_loop(loops[0], codegen::target::op2hpx);
+  EXPECT_NE(code.find(kGoldenBody), std::string::npos)
+      << "emitted:\n"
+      << code;
+}
+
+// The kernel the generated call site names.
+void scale_kernel(const double* in, double* out, double* acc) {
+  out[0] = 2.0 * in[0];
+  acc[0] += in[0];
+}
+
+TEST(Op2hpxTarget, GoldenCallSiteExecutes) {
+  op2::init({op2::backend::hpx_foreach, 2, 16, 0});
+  auto cells = op2::op_decl_set(100, "cells");
+  std::vector<double> init(100, 3.0);
+  auto p_in = op2::op_decl_dat<double>(cells, 1, "double",
+                                       std::span<const double>(init), "in");
+  auto p_out = op2::op_decl_dat<double>(cells, 1, "double", "out");
+  double total = 0.0;
+
+  // --- exactly the golden body, verbatim ---
+  op2::op_par_loop(scale_kernel, "scale", cells,
+      op2::op_arg_dat<double>(p_in, -1, op2::OP_ID, 1, op2::OP_READ),
+      op2::op_arg_dat<double>(p_out, -1, op2::OP_ID, 1, op2::OP_WRITE),
+      op2::op_arg_gbl<double>(&total, 1, op2::OP_INC));
+  // -----------------------------------------
+
+  EXPECT_DOUBLE_EQ(total, 300.0);
+  EXPECT_DOUBLE_EQ(p_out.data<double>()[7], 6.0);
+  op2::finalize();
+}
+
+TEST(Op2hpxTarget, IndirectArgumentsKeepMapNames) {
+  const auto loops = codegen::parse_loops(R"(
+    op_par_loop(res_calc, "res_calc", edges,
+        op_arg_dat(p_res, 0, pecell, 4, "double", OP_INC));
+  )");
+  const auto code = codegen::emit_loop(loops.at(0), codegen::target::op2hpx);
+  EXPECT_NE(
+      code.find("op2::op_arg_dat<double>(p_res, 0, pecell, 4, op2::OP_INC)"),
+      std::string::npos)
+      << code;
+}
+
+TEST(Op2hpxTarget, SummaryListsLoops) {
+  const auto loops = codegen::parse_loops(R"(
+    op_par_loop(a, "first", s,
+        op_arg_dat(d, 0, m, 2, "double", OP_INC));
+    op_par_loop(b, "second", s,
+        op_arg_dat(d2, -1, OP_ID, 1, "int", OP_READ),
+        op_arg_gbl(&acc, 1, "double", OP_INC));
+  )");
+  const auto summary = codegen::summarize_loops(loops);
+  EXPECT_NE(summary.find("loops: 2"), std::string::npos);
+  EXPECT_NE(summary.find("first over s [indirect, coloured]"),
+            std::string::npos);
+  EXPECT_NE(summary.find("second over s [direct]"), std::string::npos);
+  EXPECT_NE(summary.find("via m[0]"), std::string::npos);
+  EXPECT_NE(summary.find("gbl &acc"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "codegen/translator.hpp"
+
+namespace {
+
+using codegen::parse_loops;
+
+TEST(Parser, ParsesClassicCallSite) {
+  const std::string src = R"(
+    op_par_loop(save_soln, "save_soln", cells,
+        op_arg_dat(p_q, -1, OP_ID, 4, "double", OP_READ),
+        op_arg_dat(p_qold, -1, OP_ID, 4, "double", OP_WRITE));
+  )";
+  const auto loops = parse_loops(src);
+  ASSERT_EQ(loops.size(), 1u);
+  const auto& l = loops[0];
+  EXPECT_EQ(l.kernel, "save_soln");
+  EXPECT_EQ(l.name, "save_soln");
+  EXPECT_EQ(l.set, "cells");
+  ASSERT_EQ(l.args.size(), 2u);
+  EXPECT_EQ(l.args[0].dat, "p_q");
+  EXPECT_EQ(l.args[0].idx, -1);
+  EXPECT_TRUE(l.args[0].is_direct());
+  EXPECT_EQ(l.args[0].type, "double");
+  EXPECT_EQ(l.args[0].access, "OP_READ");
+  EXPECT_EQ(l.args[1].access, "OP_WRITE");
+  EXPECT_TRUE(l.is_direct());
+  EXPECT_FALSE(l.needs_coloring());
+}
+
+TEST(Parser, ParsesPerLoopFormFromThePaper) {
+  // The exact shape of the paper's Fig 2.
+  const std::string src = R"(
+    op_par_loop_adt_calc("adt_calc",cells,
+        op_arg_dat(p_x,0,pcell,2,"double",OP_READ),
+        op_arg_dat(p_x,1,pcell,2,"double",OP_READ),
+        op_arg_dat(p_x,2,pcell,2,"double",OP_READ),
+        op_arg_dat(p_x,3,pcell,2,"double",OP_READ),
+        op_arg_dat(p_q,-1,OP_ID,4,"double",OP_READ),
+        op_arg_dat(p_adt,-1,OP_ID,1,"double",OP_WRITE));
+  )";
+  const auto loops = parse_loops(src);
+  ASSERT_EQ(loops.size(), 1u);
+  const auto& l = loops[0];
+  EXPECT_EQ(l.kernel, "adt_calc");
+  EXPECT_EQ(l.set, "cells");
+  ASSERT_EQ(l.args.size(), 6u);
+  EXPECT_TRUE(l.args[0].is_indirect());
+  EXPECT_EQ(l.args[0].map, "pcell");
+  EXPECT_EQ(l.args[3].idx, 3);
+  EXPECT_FALSE(l.is_direct());
+  EXPECT_FALSE(l.needs_coloring());  // indirect reads only
+}
+
+TEST(Parser, DetectsColoringNeedForIncrementLoops) {
+  const std::string src = R"(
+    op_par_loop(res_calc, "res_calc", edges,
+        op_arg_dat(p_x, 0, pedge, 2, "double", OP_READ),
+        op_arg_dat(p_res, 0, pecell, 4, "double", OP_INC),
+        op_arg_dat(p_res, 1, pecell, 4, "double", OP_INC));
+  )";
+  const auto loops = parse_loops(src);
+  ASSERT_EQ(loops.size(), 1u);
+  EXPECT_TRUE(loops[0].needs_coloring());
+}
+
+TEST(Parser, ParsesGlobalArgument) {
+  const std::string src = R"(
+    op_par_loop(update, "update", cells,
+        op_arg_dat(p_res, -1, OP_ID, 4, "double", OP_RW),
+        op_arg_gbl(&rms, 1, "double", OP_INC));
+  )";
+  const auto loops = parse_loops(src);
+  ASSERT_EQ(loops.size(), 1u);
+  const auto& g = loops[0].args[1];
+  EXPECT_TRUE(g.is_global);
+  EXPECT_EQ(g.dat, "&rms");
+  EXPECT_EQ(g.dim, 1);
+  EXPECT_EQ(g.access, "OP_INC");
+}
+
+TEST(Parser, ParsesTypedTemplateForm) {
+  const std::string src = R"(
+    op_par_loop(update, "update", cells,
+        op_arg_dat<double>(p_q, -1, OP_ID, 4, OP_WRITE),
+        op_arg_gbl<double>(&rms, 1, OP_INC));
+  )";
+  const auto loops = parse_loops(src);
+  ASSERT_EQ(loops.size(), 1u);
+  EXPECT_EQ(loops[0].args[0].type, "double");
+  EXPECT_EQ(loops[0].args[1].type, "double");
+  EXPECT_TRUE(loops[0].args[1].is_global);
+}
+
+TEST(Parser, ParsesMultipleLoops) {
+  const std::string src = R"(
+    op_par_loop(a, "a", s, op_arg_dat(d, -1, OP_ID, 1, "double", OP_READ));
+    some_other_code();
+    op_par_loop(b, "b", s, op_arg_dat(d, -1, OP_ID, 1, "double", OP_WRITE));
+  )";
+  const auto loops = parse_loops(src);
+  ASSERT_EQ(loops.size(), 2u);
+  EXPECT_EQ(loops[0].kernel, "a");
+  EXPECT_EQ(loops[1].kernel, "b");
+}
+
+TEST(Parser, IgnoresMentionsWithoutCall) {
+  const std::string src = "// the op_par_loop API is nice\nint x = 0;";
+  EXPECT_TRUE(parse_loops(src).empty());
+  const std::string src2 = "int my_op_par_loop_count = 3;";
+  EXPECT_TRUE(parse_loops(src2).empty());
+}
+
+TEST(Parser, HandlesNewlinesAndSpacesInsideCall) {
+  const std::string src =
+      "op_par_loop ( k , \"n\" ,\n  s ,\n"
+      "  op_arg_dat( d , -1 , OP_ID , 2 , \"double\" , OP_READ ) );";
+  const auto loops = parse_loops(src);
+  ASSERT_EQ(loops.size(), 1u);
+  EXPECT_EQ(loops[0].kernel, "k");
+  EXPECT_EQ(loops[0].args[0].dim, 2);
+}
+
+TEST(Parser, AsyncSuffixTreatedAsGenericForm) {
+  const std::string src = R"(
+    op_par_loop_async(save, "save", cells,
+        op_arg_dat(p_q, -1, OP_ID, 4, "double", OP_READ));
+  )";
+  const auto loops = parse_loops(src);
+  ASSERT_EQ(loops.size(), 1u);
+  EXPECT_EQ(loops[0].kernel, "save");
+}
+
+TEST(Parser, MalformedArgThrows) {
+  EXPECT_THROW(
+      parse_loops("op_par_loop(k, \"n\", s, op_arg_dat(p, -1, OP_ID));"),
+      std::runtime_error);
+  EXPECT_THROW(parse_loops("op_par_loop(k, \"n\", s, not_an_arg(p));"),
+               std::runtime_error);
+  EXPECT_THROW(parse_loops("op_par_loop(k);"), std::runtime_error);
+}
+
+TEST(Parser, UnbalancedParensThrow) {
+  EXPECT_THROW(parse_loops("op_par_loop(k, \"n\", s,"), std::runtime_error);
+}
+
+TEST(Parser, FullAirfoilProgram) {
+  // All five loops of the paper's Fig 4 in one source.
+  const std::string src = R"(
+    op_par_loop_save_soln("save_soln", cells,
+        op_arg_dat(p_q,-1,OP_ID,4,"double",OP_READ),
+        op_arg_dat(p_qold,-1,OP_ID,4,"double",OP_WRITE));
+    op_par_loop_adt_calc("adt_calc",cells,
+        op_arg_dat(p_x,0,pcell,2,"double",OP_READ),
+        op_arg_dat(p_q,-1,OP_ID,4,"double",OP_READ),
+        op_arg_dat(p_adt,-1,OP_ID,1,"double",OP_WRITE));
+    op_par_loop_res_calc("res_calc",edges,
+        op_arg_dat(p_x,0,pedge,2,"double",OP_READ),
+        op_arg_dat(p_res,0,pecell,4,"double",OP_INC),
+        op_arg_dat(p_res,1,pecell,4,"double",OP_INC));
+    op_par_loop_bres_calc("bres_calc",bedges,
+        op_arg_dat(p_q,0,pbecell,4,"double",OP_READ),
+        op_arg_dat(p_res,0,pbecell,4,"double",OP_INC),
+        op_arg_dat(p_bound,-1,OP_ID,1,"int",OP_READ));
+    op_par_loop_update("update",cells,
+        op_arg_dat(p_qold,-1,OP_ID,4,"double",OP_READ),
+        op_arg_dat(p_q,-1,OP_ID,4,"double",OP_WRITE),
+        op_arg_gbl(&rms,1,"double",OP_INC));
+  )";
+  const auto loops = parse_loops(src);
+  ASSERT_EQ(loops.size(), 5u);
+  EXPECT_EQ(loops[0].kernel, "save_soln");
+  EXPECT_EQ(loops[2].kernel, "res_calc");
+  EXPECT_TRUE(loops[2].needs_coloring());
+  EXPECT_TRUE(loops[3].needs_coloring());
+  EXPECT_TRUE(loops[4].is_direct());
+  EXPECT_EQ(loops[4].args[2].dat, "&rms");
+}
+
+}  // namespace
+
+namespace namespaced_form {
+
+TEST(Parser, ParsesNamespaceQualifiedForm) {
+  // This repository's own spelling (op2::...), as in examples/.
+  const auto loops = codegen::parse_loops(R"(
+    op2::op_par_loop(double_it, "double_it", edges,
+        op2::op_arg_dat<double>(length, -1, op2::OP_ID, 1, op2::OP_READ),
+        op2::op_arg_dat<double>(doubled, 0, e2n, 1, op2::OP_INC),
+        op2::op_arg_gbl<double>(&total, 1, op2::OP_INC));
+  )");
+  ASSERT_EQ(loops.size(), 1u);
+  const auto& l = loops[0];
+  EXPECT_EQ(l.kernel, "double_it");
+  ASSERT_EQ(l.args.size(), 3u);
+  EXPECT_TRUE(l.args[0].is_direct());
+  EXPECT_EQ(l.args[0].access, "OP_READ");
+  EXPECT_FALSE(l.args[0].writes());
+  EXPECT_TRUE(l.args[1].is_indirect());
+  EXPECT_EQ(l.args[1].map, "e2n");
+  EXPECT_TRUE(l.needs_coloring());
+  EXPECT_TRUE(l.args[2].is_global);
+}
+
+}  // namespace namespaced_form

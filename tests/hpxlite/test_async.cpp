@@ -1,0 +1,127 @@
+#include "hpxlite/async.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace {
+
+using hpxlite::async;
+using hpxlite::launch;
+using hpxlite::runtime;
+
+class AsyncTest : public ::testing::Test {
+ protected:
+  void SetUp() override { runtime::reset(2); }
+  void TearDown() override { runtime::shutdown(); }
+};
+
+TEST_F(AsyncTest, AsyncReturnsValue) {
+  auto f = async(launch::async, [] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST_F(AsyncTest, DefaultPolicyIsAsync) {
+  auto f = async([] { return std::string("hello"); });
+  EXPECT_EQ(f.get(), "hello");
+}
+
+TEST_F(AsyncTest, AsyncForwardsArguments) {
+  auto f = async(launch::async, [](int a, int b) { return a - b; }, 10, 4);
+  EXPECT_EQ(f.get(), 6);
+}
+
+TEST_F(AsyncTest, AsyncVoidResult) {
+  std::atomic<bool> ran{false};
+  auto f = async(launch::async, [&ran] { ran = true; });
+  f.get();
+  EXPECT_TRUE(ran);
+}
+
+TEST_F(AsyncTest, SyncPolicyRunsInline) {
+  std::atomic<bool> ran{false};
+  auto f = async(launch::sync, [&ran] { ran = true; return 1; });
+  // With launch::sync the work completed before async returned.
+  EXPECT_TRUE(ran);
+  EXPECT_TRUE(f.is_ready());
+  EXPECT_EQ(f.get(), 1);
+}
+
+TEST_F(AsyncTest, DeferredRunsOnlyOnGet) {
+  std::atomic<bool> ran{false};
+  auto f = async(launch::deferred, [&ran] { ran = true; return 2; });
+  EXPECT_FALSE(ran);
+  EXPECT_FALSE(f.is_ready());
+  EXPECT_EQ(f.get(), 2);
+  EXPECT_TRUE(ran);
+}
+
+TEST_F(AsyncTest, DeferredRunsOnWait) {
+  std::atomic<bool> ran{false};
+  auto f = async(launch::deferred, [&ran] { ran = true; });
+  f.wait();
+  EXPECT_TRUE(ran);
+  EXPECT_TRUE(f.is_ready());
+}
+
+TEST_F(AsyncTest, ExceptionPropagates) {
+  auto f = async(launch::async, []() -> int {
+    throw std::runtime_error("async failure");
+  });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST_F(AsyncTest, SyncExceptionPropagates) {
+  auto f = async(launch::sync, []() -> int {
+    throw std::logic_error("sync failure");
+  });
+  EXPECT_THROW(f.get(), std::logic_error);
+}
+
+TEST_F(AsyncTest, DeferredExceptionPropagates) {
+  auto f = async(launch::deferred, []() -> int {
+    throw std::runtime_error("deferred failure");
+  });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST_F(AsyncTest, NestedAsync) {
+  auto f = async(launch::async, [] {
+    auto inner = async(launch::async, [] { return 20; });
+    return inner.get() + 1;
+  });
+  EXPECT_EQ(f.get(), 21);
+}
+
+TEST_F(AsyncTest, ManyConcurrentAsyncs) {
+  std::atomic<long> sum{0};
+  std::vector<hpxlite::future<void>> fs;
+  fs.reserve(200);
+  for (int i = 0; i < 200; ++i) {
+    fs.push_back(async(launch::async, [&sum, i] { sum.fetch_add(i); }));
+  }
+  for (auto& f : fs) {
+    f.get();
+  }
+  EXPECT_EQ(sum.load(), 199L * 200 / 2);
+}
+
+TEST_F(AsyncTest, PostFireAndForget) {
+  std::atomic<bool> ran{false};
+  hpxlite::post([&ran] { ran = true; });
+  runtime::get().wait_idle();
+  EXPECT_TRUE(ran);
+}
+
+TEST_F(AsyncTest, AsyncWithMoveOnlyResult) {
+  auto f = async(launch::async, [] { return std::make_unique<int>(9); });
+  auto p = f.get();
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(*p, 9);
+}
+
+}  // namespace

@@ -1,0 +1,163 @@
+#include "hpxlite/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hpxlite/async.hpp"
+
+namespace {
+
+using hpxlite::channel;
+using hpxlite::channel_closed;
+using hpxlite::runtime;
+
+class ChannelTest : public ::testing::Test {
+ protected:
+  void SetUp() override { runtime::reset(2); }
+  void TearDown() override { runtime::shutdown(); }
+};
+
+TEST_F(ChannelTest, SetThenGet) {
+  channel<int> ch;
+  ch.set(7);
+  EXPECT_EQ(ch.queued(), 1u);
+  EXPECT_EQ(ch.get().get(), 7);
+  EXPECT_EQ(ch.queued(), 0u);
+}
+
+TEST_F(ChannelTest, GetThenSet) {
+  channel<int> ch;
+  auto f = ch.get();
+  EXPECT_FALSE(f.is_ready());
+  ch.set(11);
+  EXPECT_TRUE(f.is_ready());
+  EXPECT_EQ(f.get(), 11);
+}
+
+TEST_F(ChannelTest, FifoOrder) {
+  channel<int> ch;
+  ch.set(1);
+  ch.set(2);
+  ch.set(3);
+  EXPECT_EQ(ch.get().get(), 1);
+  EXPECT_EQ(ch.get().get(), 2);
+  EXPECT_EQ(ch.get().get(), 3);
+}
+
+TEST_F(ChannelTest, PendingReceiversServedInOrder) {
+  channel<int> ch;
+  auto a = ch.get();
+  auto b = ch.get();
+  ch.set(10);
+  ch.set(20);
+  EXPECT_EQ(a.get(), 10);
+  EXPECT_EQ(b.get(), 20);
+}
+
+TEST_F(ChannelTest, MoveOnlyValues) {
+  channel<std::unique_ptr<int>> ch;
+  ch.set(std::make_unique<int>(5));
+  auto p = ch.get().get();
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(*p, 5);
+}
+
+TEST_F(ChannelTest, CloseFailsPendingReceives) {
+  channel<int> ch;
+  auto f = ch.get();
+  ch.close();
+  EXPECT_THROW(f.get(), channel_closed);
+  EXPECT_TRUE(ch.closed());
+}
+
+TEST_F(ChannelTest, CloseKeepsQueuedValuesReceivable) {
+  channel<int> ch;
+  ch.set(1);
+  ch.set(2);
+  ch.close();
+  EXPECT_EQ(ch.get().get(), 1);
+  EXPECT_EQ(ch.get().get(), 2);
+  EXPECT_THROW(ch.get().get(), channel_closed);
+}
+
+TEST_F(ChannelTest, SetAfterCloseThrows) {
+  channel<int> ch;
+  ch.close();
+  EXPECT_THROW(ch.set(1), channel_closed);
+  ch.close();  // idempotent
+}
+
+TEST_F(ChannelTest, HandleSharesState) {
+  channel<int> a;
+  channel<int> b = a;
+  a.set(99);
+  EXPECT_EQ(b.get().get(), 99);
+}
+
+TEST_F(ChannelTest, ProducerConsumerAcrossTasks) {
+  channel<int> ch;
+  constexpr int n = 200;
+  auto producer = hpxlite::async([ch]() mutable {
+    for (int i = 0; i < n; ++i) {
+      ch.set(i);
+    }
+    ch.close();
+  });
+  long sum = 0;
+  int received = 0;
+  for (;;) {
+    auto f = ch.get();
+    try {
+      sum += f.get();
+      ++received;
+    } catch (const channel_closed&) {
+      break;
+    }
+  }
+  producer.get();
+  EXPECT_EQ(received, n);
+  EXPECT_EQ(sum, static_cast<long>(n) * (n - 1) / 2);
+}
+
+TEST_F(ChannelTest, PipelineStagesThroughChannels) {
+  // stage1 -> ch1 -> stage2 -> ch2, the HPX channel pipeline idiom.
+  channel<int> ch1;
+  channel<int> ch2;
+  auto stage1 = hpxlite::async([ch1]() mutable {
+    for (int i = 1; i <= 10; ++i) {
+      ch1.set(i);
+    }
+    ch1.close();
+  });
+  auto stage2 = hpxlite::async([ch1, ch2]() mutable {
+    for (;;) {
+      auto f = ch1.get();
+      try {
+        const int v = f.get();
+        ch2.set(v * v);
+      } catch (const channel_closed&) {
+        ch2.close();
+        return;
+      }
+    }
+  });
+  std::vector<int> out;
+  for (;;) {
+    auto f = ch2.get();
+    try {
+      out.push_back(f.get());
+    } catch (const channel_closed&) {
+      break;
+    }
+  }
+  stage1.get();
+  stage2.get();
+  ASSERT_EQ(out.size(), 10u);
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[9], 100);
+}
+
+}  // namespace

@@ -1,0 +1,175 @@
+#include "hpxlite/dataflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
+namespace {
+
+using hpxlite::dataflow;
+using hpxlite::future;
+using hpxlite::launch;
+using hpxlite::make_ready_future;
+using hpxlite::promise;
+using hpxlite::runtime;
+using hpxlite::shared_future;
+using hpxlite::unwrapping;
+
+class DataflowTest : public ::testing::Test {
+ protected:
+  void SetUp() override { runtime::reset(2); }
+  void TearDown() override { runtime::shutdown(); }
+};
+
+TEST_F(DataflowTest, RunsImmediatelyWithoutFutureArgs) {
+  auto f = dataflow(launch::async, [](int a, int b) { return a + b; }, 2, 3);
+  EXPECT_EQ(f.get(), 5);
+}
+
+TEST_F(DataflowTest, DelaysUntilFutureReady) {
+  promise<int> p;
+  std::atomic<bool> invoked{false};
+  auto f = dataflow(
+      launch::async,
+      [&invoked](future<int> x) {
+        invoked = true;
+        return x.get() * 2;
+      },
+      p.get_future());
+  EXPECT_FALSE(invoked);
+  EXPECT_FALSE(f.is_ready());
+  p.set_value(8);
+  EXPECT_EQ(f.get(), 16);
+  EXPECT_TRUE(invoked);
+}
+
+TEST_F(DataflowTest, WaitsForAllFutureArguments) {
+  promise<int> p1;
+  promise<int> p2;
+  auto f = dataflow(
+      launch::async,
+      [](future<int> a, future<int> b) { return a.get() + b.get(); },
+      p1.get_future(), p2.get_future());
+  p1.set_value(1);
+  EXPECT_FALSE(f.is_ready());
+  p2.set_value(2);
+  EXPECT_EQ(f.get(), 3);
+}
+
+TEST_F(DataflowTest, MixedFutureAndPlainArguments) {
+  promise<int> p;
+  auto f = dataflow(
+      launch::async,
+      [](future<int> a, int b, const std::string& s) {
+        return a.get() + b + static_cast<int>(s.size());
+      },
+      p.get_future(), 10, std::string("abc"));
+  p.set_value(1);
+  EXPECT_EQ(f.get(), 14);
+}
+
+TEST_F(DataflowTest, UnwrappingPassesValues) {
+  promise<int> p;
+  auto f = dataflow(unwrapping([](int v, int c) { return v + c; }),
+                    p.get_future(), 5);
+  p.set_value(37);
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST_F(DataflowTest, UnwrappingDropsVoidFutures) {
+  promise<void> gate;
+  promise<int> p;
+  // The void future is awaited but contributes no parameter.
+  auto f = dataflow(unwrapping([](int v) { return v + 1; }),
+                    gate.get_future(), p.get_future());
+  p.set_value(10);
+  EXPECT_FALSE(f.is_ready());
+  gate.set_value();
+  EXPECT_EQ(f.get(), 11);
+}
+
+TEST_F(DataflowTest, UnwrappedAliasWorks) {
+  auto f = dataflow(hpxlite::unwrapped([](int v) { return v * 3; }),
+                    make_ready_future(4));
+  EXPECT_EQ(f.get(), 12);
+}
+
+TEST_F(DataflowTest, SharedFutureArgumentsAreCopied) {
+  promise<int> p;
+  shared_future<int> s = p.get_future().share();
+  auto a = dataflow(unwrapping([](int v) { return v + 1; }), s);
+  auto b = dataflow(unwrapping([](int v) { return v + 2; }), s);
+  p.set_value(100);
+  EXPECT_EQ(a.get(), 101);
+  EXPECT_EQ(b.get(), 102);
+  EXPECT_EQ(s.get(), 100);  // still usable
+}
+
+TEST_F(DataflowTest, ReturnedFutureIsUnwrapped) {
+  // A dataflow callable returning future<int> yields future<int>, not
+  // future<future<int>>.
+  promise<int> p;
+  future<int> f = dataflow(
+      launch::async,
+      [](future<int> v) {
+        const int x = v.get();
+        return hpxlite::async([x] { return x * 2; });
+      },
+      p.get_future());
+  p.set_value(50);
+  EXPECT_EQ(f.get(), 100);
+}
+
+TEST_F(DataflowTest, VoidResult) {
+  promise<int> p;
+  std::atomic<int> seen{0};
+  future<void> f = dataflow(unwrapping([&seen](int v) { seen = v; }),
+                            p.get_future());
+  p.set_value(33);
+  f.get();
+  EXPECT_EQ(seen.load(), 33);
+}
+
+TEST_F(DataflowTest, ExceptionInCallablePropagates) {
+  auto f = dataflow(
+      launch::async, [](future<int>) -> int { throw std::runtime_error("x"); },
+      make_ready_future(1));
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST_F(DataflowTest, ExceptionInInputPropagatesThroughUnwrapping) {
+  promise<int> p;
+  auto f = dataflow(unwrapping([](int v) { return v; }), p.get_future());
+  p.set_exception(std::make_exception_ptr(std::logic_error("input dead")));
+  EXPECT_THROW(f.get(), std::logic_error);
+}
+
+TEST_F(DataflowTest, ChainBuildsExecutionTree) {
+  // The paper's data[t] pattern: each step consumes the previous future.
+  future<int> v = make_ready_future(1);
+  for (int i = 0; i < 10; ++i) {
+    v = dataflow(unwrapping([](int x) { return x * 2; }), std::move(v));
+  }
+  EXPECT_EQ(v.get(), 1024);
+}
+
+TEST_F(DataflowTest, DiamondDependency) {
+  promise<int> root;
+  shared_future<int> r = root.get_future().share();
+  auto left = dataflow(unwrapping([](int x) { return x + 1; }), r);
+  auto right = dataflow(unwrapping([](int x) { return x + 2; }), r);
+  auto join = dataflow(unwrapping([](int a, int b) { return a * b; }),
+                       std::move(left), std::move(right));
+  root.set_value(10);
+  EXPECT_EQ(join.get(), 11 * 12);
+}
+
+TEST_F(DataflowTest, DefaultPolicyOverload) {
+  auto f = dataflow(unwrapping([](int a) { return a + 1; }),
+                    make_ready_future(41));
+  EXPECT_EQ(f.get(), 42);
+}
+
+}  // namespace

@@ -1,0 +1,123 @@
+#include "hpxlite/fork_join_team.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace {
+
+using hpxlite::fork_join_team;
+
+TEST(ForkJoinTeam, SingleThreadRunsWholeRange) {
+  fork_join_team team(1);
+  std::vector<int> hits(100, 0);
+  team.parallel_for(hits.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i != e; ++i) {
+      hits[i] += 1;
+    }
+  });
+  for (const int h : hits) {
+    ASSERT_EQ(h, 1);
+  }
+}
+
+TEST(ForkJoinTeam, CoversRangeExactlyOnceMultiThread) {
+  fork_join_team team(4);
+  constexpr std::size_t n = 10001;
+  std::vector<std::atomic<int>> hits(n);
+  team.parallel_for(n, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i != e; ++i) {
+      hits[i].fetch_add(1);
+    }
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ForkJoinTeam, EmptyRange) {
+  fork_join_team team(3);
+  int hits = 0;
+  team.parallel_for(0, [&](std::size_t, std::size_t) { ++hits; });
+  EXPECT_EQ(hits, 0);
+}
+
+TEST(ForkJoinTeam, RangeSmallerThanTeam) {
+  fork_join_team team(8);
+  std::vector<std::atomic<int>> hits(3);
+  team.parallel_for(3, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i != e; ++i) {
+      hits[i].fetch_add(1);
+    }
+  });
+  for (auto& h : hits) {
+    ASSERT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ForkJoinTeam, ImplicitBarrierOrdersEpisodes) {
+  // Episode 2 reads what episode 1 wrote: only correct if parallel_for
+  // returns strictly after all members finished (the implicit barrier).
+  fork_join_team team(4);
+  constexpr std::size_t n = 4096;
+  std::vector<int> a(n, 1);
+  std::vector<int> b(n, 0);
+  team.parallel_for(n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i != hi; ++i) {
+      a[i] = static_cast<int>(i);
+    }
+  });
+  team.parallel_for(n, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i != hi; ++i) {
+      // Reads a[n-1-i], very likely another member's write.
+      b[i] = a[n - 1 - i];
+    }
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(b[i], static_cast<int>(n - 1 - i));
+  }
+}
+
+TEST(ForkJoinTeam, ChunkedScheduleCoversRange) {
+  fork_join_team team(3);
+  constexpr std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  team.parallel_for_chunked(n, 7, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i != e; ++i) {
+      hits[i].fetch_add(1);
+    }
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1);
+  }
+}
+
+TEST(ForkJoinTeam, BarrierCountIncrements) {
+  fork_join_team team(2);
+  const auto before = team.barrier_count();
+  team.parallel_for(10, [](std::size_t, std::size_t) {});
+  team.parallel_for(10, [](std::size_t, std::size_t) {});
+  EXPECT_EQ(team.barrier_count(), before + 2);
+}
+
+TEST(ForkJoinTeam, ManySequentialEpisodes) {
+  fork_join_team team(4);
+  std::atomic<long> total{0};
+  for (int round = 0; round < 200; ++round) {
+    team.parallel_for(64, [&](std::size_t b, std::size_t e) {
+      total.fetch_add(static_cast<long>(e - b));
+    });
+  }
+  EXPECT_EQ(total.load(), 200L * 64);
+}
+
+TEST(ForkJoinTeam, SizeReportsThreads) {
+  fork_join_team team(5);
+  EXPECT_EQ(team.size(), 5u);
+  fork_join_team one(0);
+  EXPECT_EQ(one.size(), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,239 @@
+#include "hpxlite/future.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using hpxlite::future;
+using hpxlite::make_exceptional_future;
+using hpxlite::make_ready_future;
+using hpxlite::promise;
+using hpxlite::runtime;
+using hpxlite::shared_future;
+using hpxlite::when_all;
+
+class FutureTest : public ::testing::Test {
+ protected:
+  void SetUp() override { runtime::reset(2); }
+  void TearDown() override { runtime::shutdown(); }
+};
+
+TEST_F(FutureTest, DefaultFutureIsInvalid) {
+  future<int> f;
+  EXPECT_FALSE(f.valid());
+  EXPECT_THROW(f.get(), hpxlite::no_state);
+}
+
+TEST_F(FutureTest, PromiseDeliversValue) {
+  promise<int> p;
+  future<int> f = p.get_future();
+  EXPECT_TRUE(f.valid());
+  EXPECT_FALSE(f.is_ready());
+  p.set_value(17);
+  EXPECT_TRUE(f.is_ready());
+  EXPECT_EQ(f.get(), 17);
+  EXPECT_FALSE(f.valid());  // get() consumes the state
+}
+
+TEST_F(FutureTest, PromiseDeliversVoid) {
+  promise<void> p;
+  future<void> f = p.get_future();
+  p.set_value();
+  EXPECT_TRUE(f.is_ready());
+  EXPECT_NO_THROW(f.get());
+}
+
+TEST_F(FutureTest, PromiseDeliversMoveOnlyValue) {
+  promise<std::unique_ptr<int>> p;
+  auto f = p.get_future();
+  p.set_value(std::make_unique<int>(99));
+  auto v = f.get();
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(*v, 99);
+}
+
+TEST_F(FutureTest, GetRethrowsException) {
+  promise<int> p;
+  auto f = p.get_future();
+  p.set_exception(std::make_exception_ptr(std::runtime_error("boom")));
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST_F(FutureTest, BrokenPromiseSignalled) {
+  future<int> f;
+  {
+    promise<int> p;
+    f = p.get_future();
+  }  // destroyed without a value
+  ASSERT_TRUE(f.is_ready());
+  EXPECT_THROW(f.get(), hpxlite::broken_promise);
+}
+
+TEST_F(FutureTest, MakeReadyFuture) {
+  auto f = make_ready_future(std::string("hi"));
+  EXPECT_TRUE(f.is_ready());
+  EXPECT_EQ(f.get(), "hi");
+  auto v = make_ready_future();
+  EXPECT_TRUE(v.is_ready());
+}
+
+TEST_F(FutureTest, MakeExceptionalFuture) {
+  auto f = make_exceptional_future<int>(
+      std::make_exception_ptr(std::logic_error("x")));
+  EXPECT_TRUE(f.is_ready());
+  EXPECT_THROW(f.get(), std::logic_error);
+}
+
+TEST_F(FutureTest, WaitBlocksUntilValueFromAnotherThread) {
+  promise<int> p;
+  auto f = p.get_future();
+  std::thread producer([&p] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    p.set_value(5);
+  });
+  EXPECT_EQ(f.get(), 5);
+  producer.join();
+}
+
+TEST_F(FutureTest, ThenRunsContinuationWithReadyFuture) {
+  promise<int> p;
+  auto f = p.get_future();
+  auto g = f.then([](future<int>&& ready) { return ready.get() * 2; });
+  EXPECT_FALSE(g.is_ready());
+  p.set_value(21);
+  EXPECT_EQ(g.get(), 42);
+}
+
+TEST_F(FutureTest, ThenOnReadyFutureRunsImmediately) {
+  auto g = make_ready_future(10).then(
+      [](future<int>&& ready) { return ready.get() + 1; });
+  EXPECT_EQ(g.get(), 11);
+}
+
+TEST_F(FutureTest, ThenChains) {
+  promise<int> p;
+  auto f = p.get_future()
+               .then([](future<int>&& r) { return r.get() + 1; })
+               .then([](future<int>&& r) { return r.get() * 10; });
+  p.set_value(4);
+  EXPECT_EQ(f.get(), 50);
+}
+
+TEST_F(FutureTest, ThenPropagatesException) {
+  promise<int> p;
+  auto g = p.get_future().then([](future<int>&& r) { return r.get(); });
+  p.set_exception(std::make_exception_ptr(std::runtime_error("dead")));
+  EXPECT_THROW(g.get(), std::runtime_error);
+}
+
+TEST_F(FutureTest, ThenReturningVoid) {
+  std::atomic<int> hits{0};
+  promise<int> p;
+  auto g = p.get_future().then([&hits](future<int>&& r) {
+    r.get();
+    hits.fetch_add(1);
+  });
+  p.set_value(1);
+  g.get();
+  EXPECT_EQ(hits.load(), 1);
+}
+
+TEST_F(FutureTest, SharedFutureMultipleGets) {
+  promise<int> p;
+  shared_future<int> s = p.get_future().share();
+  shared_future<int> s2 = s;  // copyable
+  p.set_value(7);
+  EXPECT_EQ(s.get(), 7);
+  EXPECT_EQ(s.get(), 7);
+  EXPECT_EQ(s2.get(), 7);
+}
+
+TEST_F(FutureTest, SharedFutureThen) {
+  promise<int> p;
+  auto s = p.get_future().share();
+  auto a = s.then([](shared_future<int> r) { return r.get() + 1; });
+  auto b = s.then([](shared_future<int> r) { return r.get() + 2; });
+  p.set_value(10);
+  EXPECT_EQ(a.get(), 11);
+  EXPECT_EQ(b.get(), 12);
+}
+
+TEST_F(FutureTest, WhenAllVector) {
+  std::vector<promise<int>> ps(3);
+  std::vector<future<int>> fs;
+  fs.reserve(3);
+  for (auto& p : ps) {
+    fs.push_back(p.get_future());
+  }
+  auto all = when_all(std::move(fs));
+  EXPECT_FALSE(all.is_ready());
+  ps[1].set_value(1);
+  ps[0].set_value(0);
+  EXPECT_FALSE(all.is_ready());
+  ps[2].set_value(2);
+  auto ready = all.get();
+  ASSERT_EQ(ready.size(), 3u);
+  EXPECT_EQ(ready[0].get(), 0);
+  EXPECT_EQ(ready[1].get(), 1);
+  EXPECT_EQ(ready[2].get(), 2);
+}
+
+TEST_F(FutureTest, WhenAllEmptyVectorIsReady) {
+  auto all = when_all(std::vector<future<int>>{});
+  EXPECT_TRUE(all.is_ready());
+  EXPECT_TRUE(all.get().empty());
+}
+
+TEST_F(FutureTest, WhenAllVariadicTuple) {
+  promise<int> pi;
+  promise<std::string> ps;
+  auto all = when_all(pi.get_future(), ps.get_future());
+  pi.set_value(3);
+  ps.set_value(std::string("x"));
+  auto [fi, fs2] = all.get();
+  EXPECT_EQ(fi.get(), 3);
+  EXPECT_EQ(fs2.get(), "x");
+}
+
+TEST_F(FutureTest, WhenAllSharedVector) {
+  std::vector<promise<void>> ps(4);
+  std::vector<shared_future<void>> fs;
+  for (auto& p : ps) {
+    fs.push_back(p.get_future().share());
+  }
+  auto all = when_all(fs);
+  EXPECT_FALSE(all.is_ready());
+  for (auto& p : ps) {
+    p.set_value();
+  }
+  EXPECT_NO_THROW(all.get());
+  // Inputs remain usable.
+  for (auto& f : fs) {
+    EXPECT_TRUE(f.is_ready());
+  }
+}
+
+TEST_F(FutureTest, WaitInsideWorkerHelpsInsteadOfDeadlocking) {
+  // One worker only: the outer task waits on a future produced by a
+  // second task that sits in the queue.  Without helping this deadlocks.
+  runtime::reset(1);
+  promise<int> p;
+  auto inner = p.get_future();
+  std::atomic<int> result{0};
+  runtime::get().submit([&] {
+    runtime::get().submit([&p] { p.set_value(123); });
+    result = inner.get();  // must execute the queued task itself
+  });
+  runtime::get().wait_idle();
+  EXPECT_EQ(result.load(), 123);
+}
+
+}  // namespace

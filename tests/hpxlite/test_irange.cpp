@@ -1,0 +1,82 @@
+#include "hpxlite/irange.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <iterator>
+#include <numeric>
+#include <vector>
+
+namespace {
+
+using hpxlite::irange;
+
+TEST(IRange, IteratesHalfOpenInterval) {
+  std::vector<int> seen;
+  for (const int v : irange(2, 6)) {
+    seen.push_back(v);
+  }
+  EXPECT_EQ(seen, (std::vector<int>{2, 3, 4, 5}));
+}
+
+TEST(IRange, EmptyWhenLastNotGreater) {
+  EXPECT_TRUE(irange(5, 5).empty());
+  EXPECT_TRUE(irange(7, 3).empty());
+  EXPECT_EQ(irange(7, 3).size(), 0u);
+}
+
+TEST(IRange, SizeMatchesDistance) {
+  auto r = irange(0, 100);
+  EXPECT_EQ(r.size(), 100u);
+  EXPECT_EQ(std::distance(r.begin(), r.end()), 100);
+}
+
+TEST(IRange, RandomAccessArithmetic) {
+  auto r = irange(10, 20);
+  auto it = r.begin();
+  EXPECT_EQ(*(it + 5), 15);
+  EXPECT_EQ(*(5 + it), 15);
+  EXPECT_EQ(it[7], 17);
+  auto jt = it + 8;
+  EXPECT_EQ(jt - it, 8);
+  EXPECT_EQ(*(jt - 3), 15);
+}
+
+TEST(IRange, ComparisonsOrderIterators) {
+  auto r = irange(0, 10);
+  auto a = r.begin();
+  auto b = a + 4;
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b > a);
+  EXPECT_TRUE(a <= a);
+  EXPECT_TRUE(a == r.begin());
+  EXPECT_TRUE(a != b);
+}
+
+TEST(IRange, IncrementDecrement) {
+  auto it = irange(0, 10).begin();
+  ++it;
+  EXPECT_EQ(*it, 1);
+  it++;
+  EXPECT_EQ(*it, 2);
+  --it;
+  EXPECT_EQ(*it, 1);
+  it--;
+  EXPECT_EQ(*it, 0);
+}
+
+TEST(IRange, WorksWithStdAlgorithms) {
+  auto r = irange(1, 11);
+  const long sum = std::accumulate(r.begin(), r.end(), 0L);
+  EXPECT_EQ(sum, 55);
+  EXPECT_TRUE(std::is_sorted(r.begin(), r.end()));
+  EXPECT_EQ(*std::lower_bound(r.begin(), r.end(), 7), 7);
+}
+
+TEST(IRange, SupportsLongValues) {
+  auto r = irange<long>(1000000000L, 1000000005L);
+  EXPECT_EQ(r.size(), 5u);
+  EXPECT_EQ(*r.begin(), 1000000000L);
+}
+
+}  // namespace

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <numeric>
+#include <vector>
+
+#include "hpxlite/hpxlite.hpp"
+
+namespace {
+
+using hpxlite::par;
+using hpxlite::runtime;
+using hpxlite::seq;
+using hpxlite::static_chunk_size;
+using hpxlite::task;
+
+class ReduceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { runtime::reset(3); }
+  void TearDown() override { runtime::shutdown(); }
+};
+
+TEST_F(ReduceTest, SequencedMatchesAccumulate) {
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 1);
+  const int got = hpxlite::parallel::reduce(seq, v.begin(), v.end(), 0,
+                                            std::plus<int>{});
+  EXPECT_EQ(got, std::accumulate(v.begin(), v.end(), 0));
+}
+
+TEST_F(ReduceTest, ParallelSumMatchesSequential) {
+  std::vector<long> v(10007);
+  std::iota(v.begin(), v.end(), 0L);
+  const long got =
+      hpxlite::parallel::reduce(par, v.begin(), v.end(), 0L, std::plus<>{});
+  EXPECT_EQ(got, 10006L * 10007 / 2);
+}
+
+TEST_F(ReduceTest, ParallelSumWithInitialValue) {
+  std::vector<int> v(10, 1);
+  const int got =
+      hpxlite::parallel::reduce(par, v.begin(), v.end(), 100, std::plus<>{});
+  EXPECT_EQ(got, 110);
+}
+
+TEST_F(ReduceTest, EmptyRangeYieldsInit) {
+  std::vector<int> v;
+  const int got =
+      hpxlite::parallel::reduce(par, v.begin(), v.end(), 42, std::plus<>{});
+  EXPECT_EQ(got, 42);
+}
+
+TEST_F(ReduceTest, MaxReduction) {
+  std::vector<int> v{3, 9, 1, 45, 7, 45, 2};
+  const int got = hpxlite::parallel::reduce(
+      par, v.begin(), v.end(), 0, [](int a, int b) { return a > b ? a : b; });
+  EXPECT_EQ(got, 45);
+}
+
+TEST_F(ReduceTest, TaskPolicyReturnsFuture) {
+  std::vector<int> v(5000, 2);
+  auto f = hpxlite::parallel::reduce(par(task), v.begin(), v.end(), 0,
+                                     std::plus<>{});
+  EXPECT_EQ(f.get(), 10000);
+}
+
+TEST_F(ReduceTest, StaticChunkDeterministicFloatingPoint) {
+  // With a fixed chunking, the combination order is fixed, so two runs
+  // produce bit-identical floating-point results.
+  std::vector<double> v(4097);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = 1.0 / static_cast<double>(i + 1);
+  }
+  const auto policy = par.with(static_chunk_size(64));
+  const double a = hpxlite::parallel::reduce(policy, v.begin(), v.end(), 0.0,
+                                             std::plus<>{});
+  const double b = hpxlite::parallel::reduce(policy, v.begin(), v.end(), 0.0,
+                                             std::plus<>{});
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(ReduceTest, TransformReduceSequenced) {
+  std::vector<int> v{1, 2, 3, 4};
+  const int got = hpxlite::parallel::transform_reduce(
+      seq, v.begin(), v.end(), 0, std::plus<>{}, [](int x) { return x * x; });
+  EXPECT_EQ(got, 30);
+}
+
+TEST_F(ReduceTest, TransformReduceParallel) {
+  std::vector<int> v(3000);
+  std::iota(v.begin(), v.end(), 1);
+  const long got = hpxlite::parallel::transform_reduce(
+      par, v.begin(), v.end(), 0L, std::plus<>{},
+      [](int x) { return static_cast<long>(x) * 2; });
+  EXPECT_EQ(got, 2L * 3000 * 3001 / 2);
+}
+
+TEST_F(ReduceTest, TransformReduceTaskPolicy) {
+  std::vector<int> v(128, 3);
+  auto f = hpxlite::parallel::transform_reduce(
+      par(task), v.begin(), v.end(), 0, std::plus<>{},
+      [](int x) { return x - 1; });
+  EXPECT_EQ(f.get(), 256);
+}
+
+TEST_F(ReduceTest, ExceptionPropagates) {
+  std::vector<int> v(100, 1);
+  EXPECT_THROW(hpxlite::parallel::transform_reduce(
+                   par, v.begin(), v.end(), 0, std::plus<>{},
+                   [](int) -> int { throw std::runtime_error("conv"); }),
+               std::runtime_error);
+}
+
+}  // namespace

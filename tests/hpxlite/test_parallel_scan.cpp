@@ -1,0 +1,124 @@
+#include "hpxlite/parallel_scan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <numeric>
+#include <vector>
+
+#include "hpxlite/scheduler.hpp"
+
+namespace {
+
+using hpxlite::par;
+using hpxlite::runtime;
+using hpxlite::seq;
+using hpxlite::static_chunk_size;
+
+class ScanTest : public ::testing::Test {
+ protected:
+  void SetUp() override { runtime::reset(3); }
+  void TearDown() override { runtime::shutdown(); }
+};
+
+TEST_F(ScanTest, SequencedInclusiveMatchesStd) {
+  std::vector<int> v{1, 2, 3, 4, 5};
+  std::vector<int> got(v.size());
+  hpxlite::parallel::inclusive_scan(seq, v.begin(), v.end(), got.begin(), 0,
+                                    std::plus<>{});
+  EXPECT_EQ(got, (std::vector<int>{1, 3, 6, 10, 15}));
+}
+
+TEST_F(ScanTest, SequencedExclusiveMatchesStd) {
+  std::vector<int> v{1, 2, 3, 4, 5};
+  std::vector<int> got(v.size());
+  hpxlite::parallel::exclusive_scan(seq, v.begin(), v.end(), got.begin(), 100,
+                                    std::plus<>{});
+  EXPECT_EQ(got, (std::vector<int>{100, 101, 103, 106, 110}));
+}
+
+TEST_F(ScanTest, ParallelInclusiveMatchesSequential) {
+  std::vector<long> v(10007);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<long>(i % 17) - 8;
+  }
+  std::vector<long> expect(v.size());
+  hpxlite::parallel::inclusive_scan(seq, v.begin(), v.end(), expect.begin(),
+                                    0L, std::plus<>{});
+  std::vector<long> got(v.size());
+  hpxlite::parallel::inclusive_scan(par, v.begin(), v.end(), got.begin(), 0L,
+                                    std::plus<>{});
+  EXPECT_EQ(got, expect);
+}
+
+TEST_F(ScanTest, ParallelExclusiveMatchesSequential) {
+  std::vector<long> v(4099);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<long>(3 * i + 1);
+  }
+  std::vector<long> expect(v.size());
+  hpxlite::parallel::exclusive_scan(seq, v.begin(), v.end(), expect.begin(),
+                                    7L, std::plus<>{});
+  std::vector<long> got(v.size());
+  hpxlite::parallel::exclusive_scan(par, v.begin(), v.end(), got.begin(), 7L,
+                                    std::plus<>{});
+  EXPECT_EQ(got, expect);
+}
+
+TEST_F(ScanTest, ExplicitChunkSizes) {
+  std::vector<int> v(1000, 1);
+  for (const std::size_t chunk : {1ul, 3ul, 64ul, 10000ul}) {
+    std::vector<int> got(v.size());
+    hpxlite::parallel::inclusive_scan(par.with(static_chunk_size(chunk)),
+                                      v.begin(), v.end(), got.begin(), 0,
+                                      std::plus<>{});
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i], static_cast<int>(i + 1)) << "chunk " << chunk;
+    }
+  }
+}
+
+TEST_F(ScanTest, EmptyRange) {
+  std::vector<int> v;
+  std::vector<int> got;
+  auto end = hpxlite::parallel::inclusive_scan(par, v.begin(), v.end(),
+                                               got.begin(), 0, std::plus<>{});
+  EXPECT_EQ(end, got.begin());
+}
+
+TEST_F(ScanTest, SingleElement) {
+  std::vector<int> v{42};
+  std::vector<int> got(1);
+  hpxlite::parallel::inclusive_scan(par, v.begin(), v.end(), got.begin(), 1,
+                                    std::plus<>{});
+  EXPECT_EQ(got[0], 43);
+  hpxlite::parallel::exclusive_scan(par, v.begin(), v.end(), got.begin(), 1,
+                                    std::plus<>{});
+  EXPECT_EQ(got[0], 1);
+}
+
+TEST_F(ScanTest, NonCommutativeAssociativeOpPreservesOrder) {
+  // String concatenation is associative but not commutative: a correct
+  // parallel scan must keep element order across chunk boundaries.
+  std::vector<std::string> v{"a", "b", "c", "d", "e", "f", "g", "h"};
+  const auto op = [](std::string a, const std::string& b) { return a + b; };
+  std::vector<std::string> expect(v.size());
+  hpxlite::parallel::inclusive_scan(seq, v.begin(), v.end(), expect.begin(),
+                                    std::string(), op);
+  std::vector<std::string> got(v.size());
+  hpxlite::parallel::inclusive_scan(par.with(static_chunk_size(3)), v.begin(),
+                                    v.end(), got.begin(), std::string(), op);
+  EXPECT_EQ(got, expect);
+  EXPECT_EQ(got.back(), "abcdefgh");
+}
+
+TEST_F(ScanTest, OffsetsFromCounts) {
+  // The mesh-tooling use case: CSR offsets from per-row counts.
+  std::vector<int> counts{3, 0, 5, 2, 1};
+  std::vector<int> offsets(counts.size());
+  hpxlite::parallel::exclusive_scan(par, counts.begin(), counts.end(),
+                                    offsets.begin(), 0, std::plus<>{});
+  EXPECT_EQ(offsets, (std::vector<int>{0, 3, 3, 8, 10}));
+}
+
+}  // namespace

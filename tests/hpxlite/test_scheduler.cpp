@@ -1,0 +1,164 @@
+#include "hpxlite/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <thread>
+
+namespace {
+
+using hpxlite::runtime;
+
+TEST(Scheduler, ExecutesSubmittedTask) {
+  runtime rt(2);
+  std::atomic<bool> ran{false};
+  rt.submit([&] { ran = true; });
+  rt.wait_idle();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Scheduler, ExecutesManyTasks) {
+  runtime rt(4);
+  std::atomic<int> count{0};
+  constexpr int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    rt.submit([&] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  rt.wait_idle();
+  EXPECT_EQ(count.load(), n);
+}
+
+TEST(Scheduler, TasksCanSubmitTasks) {
+  runtime rt(2);
+  std::atomic<int> count{0};
+  rt.submit([&] {
+    for (int i = 0; i < 100; ++i) {
+      rt.submit([&] { count.fetch_add(1); });
+    }
+  });
+  rt.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(Scheduler, DeepRecursiveSubmission) {
+  runtime rt(2);
+  std::atomic<int> count{0};
+  // Each task spawns the next: exercises local queues and stealing.
+  std::function<void(int)> chain = [&](int depth) {
+    count.fetch_add(1);
+    if (depth > 0) {
+      rt.submit([&chain, depth] { chain(depth - 1); });
+    }
+  };
+  rt.submit([&] { chain(999); });
+  rt.wait_idle();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(Scheduler, ConcurrencyReportsWorkerCount) {
+  runtime rt(3);
+  EXPECT_EQ(rt.concurrency(), 3u);
+}
+
+TEST(Scheduler, ZeroWorkersClampedToOne) {
+  runtime rt(0);
+  EXPECT_EQ(rt.concurrency(), 1u);
+  std::atomic<bool> ran{false};
+  rt.submit([&] { ran = true; });
+  rt.wait_idle();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Scheduler, OnWorkerThreadDetection) {
+  runtime rt(1);
+  EXPECT_FALSE(runtime::on_worker_thread());
+  std::atomic<bool> inside{false};
+  rt.submit([&] { inside = runtime::on_worker_thread(); });
+  rt.wait_idle();
+  EXPECT_TRUE(inside);
+}
+
+TEST(Scheduler, WorkerIndexValidInsideTask) {
+  runtime rt(2);
+  std::atomic<int> seen_index{-1};
+  rt.submit([&] { seen_index = static_cast<int>(runtime::worker_index()); });
+  rt.wait_idle();
+  EXPECT_GE(seen_index.load(), 0);
+  EXPECT_LT(seen_index.load(), 2);
+  EXPECT_EQ(runtime::worker_index(), static_cast<unsigned>(-1));
+}
+
+TEST(Scheduler, TryExecuteOneFromExternalThread) {
+  runtime rt(1);
+  // Saturate the single worker with a long task, then help from here.
+  // Wait until the worker has actually started the blocker, so this
+  // thread cannot pop it itself (and then spin on a flag it controls).
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  std::atomic<int> count{0};
+  rt.submit([&] {
+    started = true;
+    while (!release.load()) {
+      std::this_thread::yield();
+    }
+  });
+  while (!started.load()) {
+    std::this_thread::yield();
+  }
+  for (int i = 0; i < 10; ++i) {
+    rt.submit([&] { count.fetch_add(1); });
+  }
+  // The worker is busy; this thread executes the queued tasks.
+  int helped = 0;
+  while (rt.try_execute_one()) {
+    ++helped;
+  }
+  EXPECT_EQ(helped, 10);
+  EXPECT_EQ(count.load(), 10);
+  release = true;
+  rt.wait_idle();
+}
+
+TEST(Scheduler, StatsCountExecutions) {
+  runtime rt(2);
+  for (int i = 0; i < 50; ++i) {
+    rt.submit([] {});
+  }
+  rt.wait_idle();
+  EXPECT_EQ(rt.stats().tasks_executed, 50u);
+}
+
+TEST(Scheduler, DestructorDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    runtime rt(2);
+    for (int i = 0; i < 500; ++i) {
+      rt.submit([&] { count.fetch_add(1); });
+    }
+    // No wait_idle: the destructor must finish the queue.
+  }
+  EXPECT_EQ(count.load(), 500);
+}
+
+TEST(Scheduler, DefaultInstanceResetAndShutdown) {
+  runtime::reset(2);
+  EXPECT_TRUE(runtime::exists());
+  EXPECT_EQ(runtime::get().concurrency(), 2u);
+  runtime::reset(3);
+  EXPECT_EQ(runtime::get().concurrency(), 3u);
+  runtime::shutdown();
+  EXPECT_FALSE(runtime::exists());
+}
+
+TEST(Scheduler, WaitIdleReturnsImmediatelyWhenEmpty) {
+  runtime rt(2);
+  const auto t0 = std::chrono::steady_clock::now();
+  rt.wait_idle();
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(dt).count(),
+            500);
+}
+
+}  // namespace

@@ -1,0 +1,64 @@
+#include "hpxlite/spinlock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace {
+
+TEST(Spinlock, LockUnlockSingleThread) {
+  hpxlite::spinlock lock;
+  lock.lock();
+  lock.unlock();
+  lock.lock();
+  lock.unlock();
+}
+
+TEST(Spinlock, TryLockSucceedsWhenFree) {
+  hpxlite::spinlock lock;
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(Spinlock, TryLockFailsWhenHeld) {
+  hpxlite::spinlock lock;
+  lock.lock();
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(Spinlock, WorksWithLockGuard) {
+  hpxlite::spinlock lock;
+  {
+    std::lock_guard<hpxlite::spinlock> guard(lock);
+    EXPECT_FALSE(lock.try_lock());
+  }
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(Spinlock, MutualExclusionUnderContention) {
+  hpxlite::spinlock lock;
+  long counter = 0;
+  constexpr int threads = 4;
+  constexpr int per_thread = 20000;
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&] {
+      for (int i = 0; i < per_thread; ++i) {
+        std::lock_guard<hpxlite::spinlock> guard(lock);
+        ++counter;  // data race unless the lock is correct
+      }
+    });
+  }
+  for (auto& th : pool) {
+    th.join();
+  }
+  EXPECT_EQ(counter, static_cast<long>(threads) * per_thread);
+}
+
+}  // namespace

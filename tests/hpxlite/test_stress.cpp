@@ -1,0 +1,119 @@
+// Stress/regression scenarios for the runtime: heavy contention,
+// many-producer submission, deep dataflow graphs, and repeated pool
+// reconfiguration — the situations where scheduler races surface.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "hpxlite/hpxlite.hpp"
+
+namespace {
+
+using hpxlite::runtime;
+
+TEST(Stress, ManyExternalProducers) {
+  runtime::reset(3);
+  std::atomic<long> count{0};
+  constexpr int producers = 6;
+  constexpr int per = 2000;
+  std::vector<std::thread> threads;
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < per; ++i) {
+        runtime::get().submit([&count] { count.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  runtime::get().wait_idle();
+  EXPECT_EQ(count.load(), static_cast<long>(producers) * per);
+  runtime::shutdown();
+}
+
+TEST(Stress, DeepDataflowFanInFanOut) {
+  runtime::reset(2);
+  // Layered graph: each layer's nodes consume two nodes of the layer
+  // below, 12 layers deep.
+  std::vector<hpxlite::future<long>> layer;
+  for (int i = 0; i < 64; ++i) {
+    layer.push_back(hpxlite::make_ready_future<long>(1));
+  }
+  while (layer.size() > 1) {
+    std::vector<hpxlite::future<long>> next;
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+      next.push_back(hpxlite::dataflow(
+          hpxlite::unwrapping([](long a, long b) { return a + b; }),
+          std::move(layer[i]), std::move(layer[i + 1])));
+    }
+    layer = std::move(next);
+  }
+  EXPECT_EQ(layer[0].get(), 64);
+  runtime::shutdown();
+}
+
+TEST(Stress, RepeatedPoolReset) {
+  for (int round = 0; round < 10; ++round) {
+    runtime::reset(1 + round % 4);
+    std::atomic<int> hits{0};
+    for (int i = 0; i < 100; ++i) {
+      runtime::get().submit([&hits] { hits.fetch_add(1); });
+    }
+    runtime::get().wait_idle();
+    EXPECT_EQ(hits.load(), 100) << "round " << round;
+  }
+  runtime::shutdown();
+}
+
+TEST(Stress, NestedParallelLoopsSingleWorker) {
+  // Pathological nesting on one worker: outer par loop bodies run
+  // inner par loops; helping waits must keep everything moving.
+  runtime::reset(1);
+  std::atomic<long> total{0};
+  auto outer = hpxlite::irange(0, 8);
+  hpxlite::parallel::for_each(hpxlite::par, outer.begin(), outer.end(),
+                              [&](int) {
+                                auto inner = hpxlite::irange(0, 50);
+                                hpxlite::parallel::for_each(
+                                    hpxlite::par, inner.begin(), inner.end(),
+                                    [&](int) { total.fetch_add(1); });
+                              });
+  EXPECT_EQ(total.load(), 400);
+  runtime::shutdown();
+}
+
+TEST(Stress, ChannelManyProducersManyConsumers) {
+  runtime::reset(3);
+  hpxlite::channel<int> ch;
+  constexpr int items = 3000;
+  std::vector<hpxlite::future<void>> producers;
+  for (int p = 0; p < 3; ++p) {
+    producers.push_back(hpxlite::async([ch, p]() mutable {
+      for (int i = p; i < items; i += 3) {
+        ch.set(i);
+      }
+    }));
+  }
+  std::atomic<long> sum{0};
+  std::vector<hpxlite::future<void>> consumers;
+  for (int c = 0; c < 2; ++c) {
+    consumers.push_back(hpxlite::async([ch, &sum]() mutable {
+      for (int i = 0; i < items / 2; ++i) {
+        sum.fetch_add(ch.get().get());
+      }
+    }));
+  }
+  for (auto& f : producers) {
+    f.get();
+  }
+  for (auto& f : consumers) {
+    f.get();
+  }
+  EXPECT_EQ(sum.load(), static_cast<long>(items) * (items - 1) / 2);
+  runtime::shutdown();
+}
+
+}  // namespace

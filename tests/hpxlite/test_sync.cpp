@@ -1,0 +1,139 @@
+#include "hpxlite/sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "hpxlite/scheduler.hpp"
+
+namespace {
+
+using hpxlite::barrier;
+using hpxlite::latch;
+using hpxlite::runtime;
+
+TEST(Latch, ZeroCountImmediatelyReleased) {
+  latch l(0);
+  EXPECT_TRUE(l.try_wait());
+  l.wait();  // returns immediately
+}
+
+TEST(Latch, ReleasesAtZero) {
+  latch l(3);
+  EXPECT_FALSE(l.try_wait());
+  l.count_down();
+  l.count_down(2);
+  EXPECT_TRUE(l.try_wait());
+  l.wait();
+}
+
+TEST(Latch, WaitBlocksUntilCountedDown) {
+  latch l(1);
+  std::atomic<bool> released{false};
+  std::thread waiter([&] {
+    l.wait();
+    released = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(released.load());
+  l.count_down();
+  waiter.join();
+  EXPECT_TRUE(released.load());
+}
+
+TEST(Latch, TasksCountDownWorkerWaits) {
+  runtime::reset(2);
+  latch l(10);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 10; ++i) {
+    runtime::get().submit([&] {
+      done.fetch_add(1);
+      l.count_down();
+    });
+  }
+  l.wait();  // non-worker wait
+  EXPECT_EQ(done.load(), 10);
+  runtime::shutdown();
+}
+
+TEST(Latch, HelpingWaitOnSingleWorker) {
+  // One worker submits subtasks and waits on the latch; without
+  // helping the pool would deadlock.
+  runtime::reset(1);
+  std::atomic<int> total{0};
+  latch outer(1);
+  runtime::get().submit([&] {
+    latch inner(5);
+    for (int i = 0; i < 5; ++i) {
+      runtime::get().submit([&] {
+        total.fetch_add(1);
+        inner.count_down();
+      });
+    }
+    inner.wait();  // executes the 5 subtasks itself
+    outer.count_down();
+  });
+  outer.wait();
+  EXPECT_EQ(total.load(), 5);
+  runtime::shutdown();
+}
+
+TEST(Latch, ArriveAndWait) {
+  latch l(2);
+  std::thread other([&] { l.arrive_and_wait(); });
+  l.arrive_and_wait();
+  other.join();
+  EXPECT_TRUE(l.try_wait());
+}
+
+TEST(Barrier, SingleParty) {
+  barrier b(1);
+  b.arrive_and_wait();  // trivially passes
+  b.arrive_and_wait();
+}
+
+TEST(Barrier, SynchronisesGenerations) {
+  constexpr int parties = 4;
+  constexpr int rounds = 50;
+  barrier b(parties);
+  std::atomic<int> counter{0};
+  std::vector<int> observed(parties, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < parties; ++t) {
+    threads.emplace_back([&, t] {
+      for (int r = 0; r < rounds; ++r) {
+        counter.fetch_add(1);
+        b.arrive_and_wait();
+        // Between barriers every thread must observe the full round.
+        const int c = counter.load();
+        EXPECT_EQ(c % parties, 0) << "thread " << t << " round " << r;
+        b.arrive_and_wait();
+      }
+      observed[static_cast<std::size_t>(t)] = counter.load();
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(counter.load(), parties * rounds);
+}
+
+TEST(Barrier, ReusableAcrossManyRounds) {
+  barrier b(2);
+  std::atomic<int> step{0};
+  std::thread partner([&] {
+    for (int i = 0; i < 100; ++i) {
+      b.arrive_and_wait();
+    }
+    step.fetch_add(1);
+  });
+  for (int i = 0; i < 100; ++i) {
+    b.arrive_and_wait();
+  }
+  partner.join();
+  EXPECT_EQ(step.load(), 1);
+}
+
+}  // namespace

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "hpxlite/async.hpp"
+#include "hpxlite/future.hpp"
+
+namespace {
+
+using namespace std::chrono_literals;
+using hpxlite::future_status;
+using hpxlite::promise;
+using hpxlite::runtime;
+
+class TimedWaitTest : public ::testing::Test {
+ protected:
+  void SetUp() override { runtime::reset(2); }
+  void TearDown() override { runtime::shutdown(); }
+};
+
+TEST_F(TimedWaitTest, ReadyFutureReturnsImmediately) {
+  auto f = hpxlite::make_ready_future(1);
+  EXPECT_EQ(f.wait_for(0ms), future_status::ready);
+  EXPECT_EQ(f.wait_for(1h), future_status::ready);  // no actual wait
+}
+
+TEST_F(TimedWaitTest, TimesOutOnPendingPromise) {
+  promise<int> p;
+  auto f = p.get_future();
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(f.wait_for(20ms), future_status::timeout);
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(waited, 15ms);
+  EXPECT_LT(waited, 2s);
+  p.set_value(1);
+  EXPECT_EQ(f.wait_for(0ms), future_status::ready);
+  EXPECT_EQ(f.get(), 1);
+}
+
+TEST_F(TimedWaitTest, BecomesReadyDuringWait) {
+  promise<int> p;
+  auto f = p.get_future();
+  std::thread producer([&p] {
+    std::this_thread::sleep_for(10ms);
+    p.set_value(9);
+  });
+  EXPECT_EQ(f.wait_for(5s), future_status::ready);
+  EXPECT_EQ(f.get(), 9);
+  producer.join();
+}
+
+TEST_F(TimedWaitTest, DeferredRunsOnTimedWait) {
+  bool ran = false;
+  auto f = hpxlite::async(hpxlite::launch::deferred, [&ran] {
+    ran = true;
+    return 3;
+  });
+  EXPECT_EQ(f.wait_for(1ms), future_status::ready);
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(f.get(), 3);
+}
+
+TEST_F(TimedWaitTest, SharedFutureTimedWait) {
+  promise<void> p;
+  auto s = p.get_future().share();
+  EXPECT_EQ(s.wait_for(5ms), future_status::timeout);
+  p.set_value();
+  EXPECT_EQ(s.wait_for(0ms), future_status::ready);
+}
+
+TEST_F(TimedWaitTest, WorkerThreadHelpsDuringTimedWait) {
+  // A worker doing a timed wait must still execute queued tasks.
+  runtime::reset(1);
+  promise<int> inner_p;
+  auto inner = inner_p.get_future();
+  std::atomic<bool> helped{false};
+  std::atomic<int> got{-1};
+  runtime::get().submit([&] {
+    runtime::get().submit([&] {
+      helped = true;
+      inner_p.set_value(77);
+    });
+    // The nested task can only run if this wait helps.
+    if (inner.wait_for(std::chrono::seconds(30)) == future_status::ready) {
+      got = inner.get();
+    }
+  });
+  runtime::get().wait_idle();
+  EXPECT_TRUE(helped.load());
+  EXPECT_EQ(got.load(), 77);
+}
+
+TEST_F(TimedWaitTest, InvalidFutureThrows) {
+  hpxlite::future<int> f;
+  EXPECT_THROW((void)f.wait_for(1ms), hpxlite::no_state);
+}
+
+}  // namespace

@@ -1,0 +1,104 @@
+#include "hpxlite/unique_function.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <string>
+
+namespace {
+
+using hpxlite::unique_function;
+
+TEST(UniqueFunction, DefaultConstructedIsEmpty) {
+  unique_function<void()> f;
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(UniqueFunction, InvokesLambda) {
+  int hits = 0;
+  unique_function<void()> f([&hits] { ++hits; });
+  ASSERT_TRUE(static_cast<bool>(f));
+  f();
+  f();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(UniqueFunction, ReturnsValue) {
+  unique_function<int(int)> f([](int x) { return x * 3; });
+  EXPECT_EQ(f(7), 21);
+}
+
+TEST(UniqueFunction, HoldsMoveOnlyCapture) {
+  auto p = std::make_unique<int>(42);
+  unique_function<int()> f([q = std::move(p)] { return *q; });
+  EXPECT_EQ(f(), 42);
+}
+
+TEST(UniqueFunction, MoveTransfersOwnership) {
+  int hits = 0;
+  unique_function<void()> f([&hits] { ++hits; });
+  unique_function<void()> g(std::move(f));
+  EXPECT_FALSE(static_cast<bool>(f));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(g));
+  g();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(UniqueFunction, MoveAssignReplacesTarget) {
+  int a = 0;
+  int b = 0;
+  unique_function<void()> f([&a] { ++a; });
+  unique_function<void()> g([&b] { ++b; });
+  f = std::move(g);
+  f();
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+}
+
+TEST(UniqueFunction, LargeCaptureHeapAllocates) {
+  // A capture well beyond the SBO buffer still works.
+  std::array<double, 64> big{};
+  big[0] = 1.5;
+  big[63] = 2.5;
+  unique_function<double()> f([big] { return big[0] + big[63]; });
+  EXPECT_DOUBLE_EQ(f(), 4.0);
+  unique_function<double()> g(std::move(f));
+  EXPECT_DOUBLE_EQ(g(), 4.0);
+}
+
+TEST(UniqueFunction, ResetDestroysCallable) {
+  auto counter = std::make_shared<int>(0);
+  std::weak_ptr<int> weak = counter;
+  unique_function<void()> f([counter] { (void)counter; });
+  counter.reset();
+  EXPECT_FALSE(weak.expired());
+  f.reset();
+  EXPECT_TRUE(weak.expired());
+  EXPECT_FALSE(static_cast<bool>(f));
+}
+
+TEST(UniqueFunction, DestructorReleasesCapture) {
+  auto counter = std::make_shared<int>(0);
+  std::weak_ptr<int> weak = counter;
+  {
+    unique_function<void()> f([counter] { (void)counter; });
+    counter.reset();
+    EXPECT_FALSE(weak.expired());
+  }
+  EXPECT_TRUE(weak.expired());
+}
+
+TEST(UniqueFunction, ForwardsArguments) {
+  unique_function<std::string(const std::string&, int)> f(
+      [](const std::string& s, int n) {
+        std::string out;
+        for (int i = 0; i < n; ++i) {
+          out += s;
+        }
+        return out;
+      });
+  EXPECT_EQ(f("ab", 3), "ababab");
+}
+
+}  // namespace

@@ -1,0 +1,112 @@
+#include "hpxlite/when_any.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hpxlite/async.hpp"
+
+namespace {
+
+using hpxlite::future;
+using hpxlite::promise;
+using hpxlite::runtime;
+using hpxlite::when_any;
+using hpxlite::when_some;
+
+class WhenAnyTest : public ::testing::Test {
+ protected:
+  void SetUp() override { runtime::reset(2); }
+  void TearDown() override { runtime::shutdown(); }
+};
+
+TEST_F(WhenAnyTest, FiresOnFirstCompletion) {
+  std::vector<promise<int>> ps(3);
+  std::vector<future<int>> fs;
+  for (auto& p : ps) {
+    fs.push_back(p.get_future());
+  }
+  auto any = when_any(std::move(fs));
+  EXPECT_FALSE(any.is_ready());
+  ps[1].set_value(11);
+  auto r = any.get();
+  EXPECT_EQ(r.index, 1u);
+  ASSERT_EQ(r.futures.size(), 3u);
+  EXPECT_TRUE(r.futures[1].is_ready());
+  EXPECT_EQ(r.futures[1].get(), 11);
+  // The others are returned un-consumed and still pending.
+  EXPECT_FALSE(r.futures[0].is_ready());
+  ps[0].set_value(0);
+  EXPECT_EQ(r.futures[0].get(), 0);
+  ps[2].set_value(2);
+}
+
+TEST_F(WhenAnyTest, AlreadyReadyInput) {
+  std::vector<future<int>> fs;
+  fs.push_back(hpxlite::make_ready_future(5));
+  promise<int> p;
+  fs.push_back(p.get_future());
+  auto r = when_any(std::move(fs)).get();
+  EXPECT_EQ(r.index, 0u);
+  p.set_value(1);
+}
+
+TEST_F(WhenAnyTest, WhenSomeWaitsForK) {
+  std::vector<promise<int>> ps(4);
+  std::vector<future<int>> fs;
+  for (auto& p : ps) {
+    fs.push_back(p.get_future());
+  }
+  auto some = when_some(2, std::move(fs));
+  ps[3].set_value(3);
+  EXPECT_FALSE(some.is_ready());
+  ps[0].set_value(0);
+  auto r = some.get();
+  ASSERT_EQ(r.indices.size(), 2u);
+  EXPECT_EQ(r.indices[0], 3u);
+  EXPECT_EQ(r.indices[1], 0u);
+  ps[1].set_value(1);
+  ps[2].set_value(2);
+}
+
+TEST_F(WhenAnyTest, WhenSomeZeroIsImmediatelyReady) {
+  std::vector<promise<int>> ps(2);
+  std::vector<future<int>> fs;
+  for (auto& p : ps) {
+    fs.push_back(p.get_future());
+  }
+  auto some = when_some(0, std::move(fs));
+  EXPECT_TRUE(some.is_ready());
+  ps[0].set_value(0);
+  ps[1].set_value(1);
+}
+
+TEST_F(WhenAnyTest, WhenSomeClampsAboveSize) {
+  std::vector<promise<int>> ps(2);
+  std::vector<future<int>> fs;
+  for (auto& p : ps) {
+    fs.push_back(p.get_future());
+  }
+  auto some = when_some(10, std::move(fs));
+  ps[0].set_value(0);
+  EXPECT_FALSE(some.is_ready());
+  ps[1].set_value(1);
+  auto r = some.get();
+  EXPECT_EQ(r.indices.size(), 2u);
+}
+
+TEST_F(WhenAnyTest, RacesAgainstAsyncTasks) {
+  // Several async producers; when_any must fire exactly once and pick
+  // a valid index.
+  std::vector<future<int>> fs;
+  for (int i = 0; i < 8; ++i) {
+    fs.push_back(hpxlite::async([i] { return i; }));
+  }
+  auto r = when_any(std::move(fs)).get();
+  EXPECT_LT(r.index, 8u);
+  for (auto& f : r.futures) {
+    f.get();  // all eventually complete
+  }
+}
+
+}  // namespace

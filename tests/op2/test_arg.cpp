@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "op2/arg.hpp"
+
+namespace {
+
+using namespace op2;
+
+class ArgTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cells = op_decl_set(4, "cells");
+    nodes = op_decl_set(6, "nodes");
+    const std::vector<int> table{0, 1, 1, 2, 2, 3, 3, 4};
+    c2n = op_decl_map(cells, nodes, 2, table, "c2n");
+    q = op_decl_dat<double>(cells, 4, "double", "q");
+    x = op_decl_dat<double>(nodes, 2, "double", "x");
+    b = op_decl_dat<int>(cells, 1, "int", "b");
+  }
+
+  op_set cells, nodes;
+  op_map c2n;
+  op_dat q, x, b;
+};
+
+TEST_F(ArgTest, DirectArg) {
+  auto a = op_arg_dat<double>(q, -1, OP_ID, 4, OP_READ);
+  EXPECT_TRUE(a.is_direct());
+  EXPECT_FALSE(a.is_indirect());
+  EXPECT_FALSE(a.is_global());
+  EXPECT_EQ(a.dim, 4);
+  EXPECT_EQ(a.acc, OP_READ);
+}
+
+TEST_F(ArgTest, IndirectArg) {
+  auto a = op_arg_dat<double>(x, 1, c2n, 2, OP_READ);
+  EXPECT_TRUE(a.is_indirect());
+  EXPECT_EQ(a.idx, 1);
+  EXPECT_EQ(a.map, c2n);
+}
+
+TEST_F(ArgTest, GlobalArg) {
+  double rms = 0.0;
+  auto a = op_arg_gbl<double>(&rms, 1, OP_INC);
+  EXPECT_TRUE(a.is_global());
+  EXPECT_EQ(a.gbl, &rms);
+}
+
+TEST_F(ArgTest, TypeMismatchRejected) {
+  EXPECT_THROW(op_arg_dat<float>(q, -1, OP_ID, 4, OP_READ),
+               std::invalid_argument);
+  EXPECT_THROW(op_arg_dat<double>(b, -1, OP_ID, 1, OP_READ),
+               std::invalid_argument);
+}
+
+TEST_F(ArgTest, DimMismatchRejected) {
+  EXPECT_THROW(op_arg_dat<double>(q, -1, OP_ID, 3, OP_READ),
+               std::invalid_argument);
+}
+
+TEST_F(ArgTest, MapIndexOutOfRangeRejected) {
+  EXPECT_THROW(op_arg_dat<double>(x, 2, c2n, 2, OP_READ), std::out_of_range);
+  EXPECT_THROW(op_arg_dat<double>(x, -1, c2n, 2, OP_READ), std::out_of_range);
+}
+
+TEST_F(ArgTest, MapTargetMismatchRejected) {
+  // c2n targets nodes; q lives on cells.
+  EXPECT_THROW(op_arg_dat<double>(q, 0, c2n, 4, OP_READ),
+               std::invalid_argument);
+}
+
+TEST_F(ArgTest, DirectWithNonNegativeIdxRejected) {
+  EXPECT_THROW(op_arg_dat<double>(q, 0, OP_ID, 4, OP_READ),
+               std::invalid_argument);
+}
+
+TEST_F(ArgTest, InvalidDatRejected) {
+  op_dat none;
+  EXPECT_THROW(op_arg_dat<double>(none, -1, OP_ID, 1, OP_READ),
+               std::invalid_argument);
+}
+
+TEST_F(ArgTest, GlobalValidation) {
+  double v = 0.0;
+  EXPECT_THROW(op_arg_gbl<double>(nullptr, 1, OP_INC), std::invalid_argument);
+  EXPECT_THROW(op_arg_gbl<double>(&v, 0, OP_INC), std::invalid_argument);
+  EXPECT_THROW(op_arg_gbl<double>(&v, 1, OP_RW), std::invalid_argument);
+  EXPECT_NO_THROW(op_arg_gbl<double>(&v, 1, OP_READ));
+}
+
+TEST_F(ArgTest, AccessPredicates) {
+  EXPECT_FALSE(writes(OP_READ));
+  EXPECT_TRUE(writes(OP_WRITE));
+  EXPECT_TRUE(writes(OP_RW));
+  EXPECT_TRUE(writes(OP_INC));
+  EXPECT_STREQ(to_string(OP_INC), "OP_INC");
+  EXPECT_STREQ(to_string(OP_READ), "OP_READ");
+}
+
+}  // namespace

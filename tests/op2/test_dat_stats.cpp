@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "hpxlite/scheduler.hpp"
+#include "op2/dat_stats.hpp"
+#include "op2/set.hpp"
+
+namespace {
+
+using op2::dat_summary;
+using op2::op_decl_dat;
+using op2::op_decl_set;
+using op2::summarize_dat;
+
+TEST(DatStats, AllComponentsSerial) {
+  auto s = op_decl_set(3, "s");
+  const std::vector<double> init{1.0, -2.0, 3.0, 4.0, 0.0, -6.0};
+  auto d = op_decl_dat<double>(s, 2, "double",
+                               std::span<const double>(init), "d");
+  const dat_summary sum = summarize_dat<double>(d);
+  EXPECT_EQ(sum.count, 6u);
+  EXPECT_DOUBLE_EQ(sum.min, -6.0);
+  EXPECT_DOUBLE_EQ(sum.max, 4.0);
+  EXPECT_DOUBLE_EQ(sum.sum, 0.0);
+  EXPECT_DOUBLE_EQ(sum.l2, std::sqrt(1 + 4 + 9 + 16 + 0 + 36));
+}
+
+TEST(DatStats, SingleComponent) {
+  auto s = op_decl_set(3, "s");
+  const std::vector<double> init{1.0, 10.0, 2.0, 20.0, 3.0, 30.0};
+  auto d = op_decl_dat<double>(s, 2, "double",
+                               std::span<const double>(init), "d");
+  const dat_summary c0 = summarize_dat<double>(d, 0);
+  EXPECT_EQ(c0.count, 3u);
+  EXPECT_DOUBLE_EQ(c0.min, 1.0);
+  EXPECT_DOUBLE_EQ(c0.max, 3.0);
+  EXPECT_DOUBLE_EQ(c0.sum, 6.0);
+  const dat_summary c1 = summarize_dat<double>(d, 1);
+  EXPECT_DOUBLE_EQ(c1.sum, 60.0);
+}
+
+TEST(DatStats, ParallelMatchesSerial) {
+  auto s = op_decl_set(4096, "s");
+  std::vector<double> init(4096 * 2);
+  for (std::size_t i = 0; i < init.size(); ++i) {
+    init[i] = std::sin(static_cast<double>(i));
+  }
+  auto d = op_decl_dat<double>(s, 2, "double",
+                               std::span<const double>(init), "d");
+  const dat_summary serial = summarize_dat<double>(d);
+  hpxlite::runtime::reset(3);
+  const dat_summary parallel = summarize_dat<double>(d);
+  hpxlite::runtime::shutdown();
+  EXPECT_EQ(parallel.count, serial.count);
+  EXPECT_DOUBLE_EQ(parallel.min, serial.min);
+  EXPECT_DOUBLE_EQ(parallel.max, serial.max);
+  EXPECT_NEAR(parallel.sum, serial.sum, 1e-9);
+  EXPECT_NEAR(parallel.l2, serial.l2, 1e-9);
+}
+
+TEST(DatStats, IntDats) {
+  auto s = op_decl_set(4, "s");
+  const std::vector<int> init{-3, 1, 4, 1};
+  auto d = op_decl_dat<int>(s, 1, "int", std::span<const int>(init), "d");
+  const dat_summary sum = summarize_dat<int>(d);
+  EXPECT_DOUBLE_EQ(sum.min, -3.0);
+  EXPECT_DOUBLE_EQ(sum.max, 4.0);
+  EXPECT_DOUBLE_EQ(sum.sum, 3.0);
+}
+
+TEST(DatStats, EmptySet) {
+  auto s = op_decl_set(0, "empty");
+  auto d = op_decl_dat<double>(s, 2, "double", "d");
+  const dat_summary sum = summarize_dat<double>(d);
+  EXPECT_EQ(sum.count, 0u);
+  EXPECT_DOUBLE_EQ(sum.min, 0.0);
+  EXPECT_DOUBLE_EQ(sum.max, 0.0);
+}
+
+TEST(DatStats, Validation) {
+  auto s = op_decl_set(2, "s");
+  auto d = op_decl_dat<double>(s, 2, "double", "d");
+  EXPECT_THROW(summarize_dat<double>(d, 5), std::out_of_range);
+  op2::op_dat none;
+  EXPECT_THROW(summarize_dat<double>(none), std::invalid_argument);
+  EXPECT_THROW(summarize_dat<int>(d), std::invalid_argument);  // wrong T
+}
+
+}  // namespace

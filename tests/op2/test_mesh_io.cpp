@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "op2/mesh_io.hpp"
+
+namespace {
+
+using op2::mesh;
+using op2::read_mesh;
+using op2::write_mesh;
+
+mesh tiny_mesh() {
+  mesh m;
+  m.sets.emplace("cells", op2::op_decl_set(2, "cells"));
+  m.sets.emplace("nodes", op2::op_decl_set(4, "nodes"));
+  const std::vector<int> table{0, 1, 2, 3};
+  m.maps.emplace("c2n", op2::op_decl_map(m.sets.at("cells"),
+                                         m.sets.at("nodes"), 2, table,
+                                         "c2n"));
+  const std::vector<double> x{0.5, 1.5, 2.25, 3.125};
+  m.dats.emplace("x", op2::op_decl_dat<double>(m.sets.at("nodes"), 1,
+                                               "double",
+                                               std::span<const double>(x),
+                                               "x"));
+  const std::vector<int> flag{7, 9};
+  m.dats.emplace("flag", op2::op_decl_dat<int>(m.sets.at("cells"), 1, "int",
+                                               std::span<const int>(flag),
+                                               "flag"));
+  return m;
+}
+
+TEST(MeshIo, RoundTripPreservesEverything) {
+  const mesh original = tiny_mesh();
+  std::stringstream buffer;
+  write_mesh(buffer, original);
+  const mesh loaded = read_mesh(buffer);
+
+  EXPECT_EQ(loaded.set("cells").size(), 2);
+  EXPECT_EQ(loaded.set("nodes").size(), 4);
+  const auto& m = loaded.map("c2n");
+  EXPECT_EQ(m.dim(), 2);
+  EXPECT_EQ(m.at(0, 0), 0);
+  EXPECT_EQ(m.at(1, 1), 3);
+  auto x = loaded.dat("x").data<double>();
+  EXPECT_DOUBLE_EQ(x[0], 0.5);
+  EXPECT_DOUBLE_EQ(x[3], 3.125);
+  auto f = loaded.dat("flag").data<int>();
+  EXPECT_EQ(f[0], 7);
+  EXPECT_EQ(f[1], 9);
+}
+
+TEST(MeshIo, DoubleRoundTripIsExact) {
+  // Full-precision doubles survive two write/read cycles bit-exactly.
+  const mesh original = tiny_mesh();
+  std::stringstream b1;
+  write_mesh(b1, original);
+  const mesh once = read_mesh(b1);
+  std::stringstream b2;
+  write_mesh(b2, once);
+  const mesh twice = read_mesh(b2);
+  auto a = once.dat("x").data<double>();
+  auto b = twice.dat("x").data<double>();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(MeshIo, MissingHeaderRejected) {
+  std::stringstream in("set cells 4\nend\n");
+  EXPECT_THROW(read_mesh(in), std::runtime_error);
+}
+
+TEST(MeshIo, WrongVersionRejected) {
+  std::stringstream in("op2mesh 99\nend\n");
+  EXPECT_THROW(read_mesh(in), std::runtime_error);
+}
+
+TEST(MeshIo, MissingEndRejected) {
+  std::stringstream in("op2mesh 1\nset cells 4\n");
+  EXPECT_THROW(read_mesh(in), std::runtime_error);
+}
+
+TEST(MeshIo, UnknownSectionRejected) {
+  std::stringstream in("op2mesh 1\nblob x 1\nend\n");
+  EXPECT_THROW(read_mesh(in), std::runtime_error);
+}
+
+TEST(MeshIo, MapBeforeSetRejected) {
+  std::stringstream in("op2mesh 1\nmap m a b 1\n0\nend\n");
+  EXPECT_THROW(read_mesh(in), std::runtime_error);
+}
+
+TEST(MeshIo, TruncatedMapDataRejected) {
+  std::stringstream in(
+      "op2mesh 1\nset a 2\nset b 2\nmap m a b 2\n0 1 1\nend\n");
+  EXPECT_THROW(read_mesh(in), std::runtime_error);
+}
+
+TEST(MeshIo, OutOfRangeMapIndexRejected) {
+  std::stringstream in(
+      "op2mesh 1\nset a 2\nset b 2\nmap m a b 1\n0 5\nend\n");
+  EXPECT_THROW(read_mesh(in), std::out_of_range);
+}
+
+TEST(MeshIo, DuplicateSetRejected) {
+  std::stringstream in("op2mesh 1\nset a 2\nset a 3\nend\n");
+  EXPECT_THROW(read_mesh(in), std::runtime_error);
+}
+
+TEST(MeshIo, UnsupportedDatTypeRejected) {
+  std::stringstream in(
+      "op2mesh 1\nset a 1\ndat d a 1 quaternion\n0\nend\n");
+  EXPECT_THROW(read_mesh(in), std::runtime_error);
+}
+
+TEST(MeshIo, DatLookupMissingNameThrows) {
+  const mesh m = tiny_mesh();
+  EXPECT_THROW(m.set("nope"), std::out_of_range);
+  EXPECT_THROW(m.map("nope"), std::out_of_range);
+  EXPECT_THROW(m.dat("nope"), std::out_of_range);
+}
+
+TEST(MeshIo, FloatDatsSupported) {
+  std::stringstream in(
+      "op2mesh 1\nset s 2\ndat f s 2 float\n1.5 2.5\n3.5 4.5\nend\n");
+  const mesh m = read_mesh(in);
+  auto f = m.dat("f").data<float>();
+  EXPECT_FLOAT_EQ(f[0], 1.5f);
+  EXPECT_FLOAT_EQ(f[3], 4.5f);
+}
+
+TEST(MeshIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/op2hpx_mesh_test.txt";
+  op2::write_mesh_file(path, tiny_mesh());
+  const mesh loaded = op2::read_mesh_file(path);
+  EXPECT_EQ(loaded.set("cells").size(), 2);
+  EXPECT_THROW(op2::read_mesh_file(path + ".missing"), std::runtime_error);
+}
+
+}  // namespace

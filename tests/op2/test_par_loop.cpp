@@ -1,0 +1,461 @@
+// op_par_loop behaviour across every backend, parameterised so each
+// test runs under seq, forkjoin, hpx_foreach, hpx_async and
+// hpx_dataflow with multiple thread counts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "op2/op2.hpp"
+
+namespace {
+
+using namespace op2;
+
+struct backend_param {
+  backend bk;
+  unsigned threads;
+};
+
+std::string param_name(const ::testing::TestParamInfo<backend_param>& info) {
+  return std::string(to_string(info.param.bk)) + "_t" +
+         std::to_string(info.param.threads);
+}
+
+class ParLoopTest : public ::testing::TestWithParam<backend_param> {
+ protected:
+  void SetUp() override {
+    const auto p = GetParam();
+    op2::init({p.bk, p.threads, 16, 0});
+  }
+  void TearDown() override { op2::finalize(); }
+};
+
+// Kernels used by the tests (OP2 style: pointer per argument).
+void copy_kernel(const double* in, double* out) { out[0] = in[0]; }
+void scale2_kernel(const double* in, double* out) { out[0] = 2.0 * in[0]; }
+
+TEST_P(ParLoopTest, DirectCopy) {
+  auto s = op_decl_set(1000, "s");
+  std::vector<double> init(1000);
+  std::iota(init.begin(), init.end(), 1.0);
+  auto a = op_decl_dat<double>(s, 1, "double",
+                               std::span<const double>(init), "a");
+  auto b = op_decl_dat<double>(s, 1, "double", "b");
+  op_par_loop(copy_kernel, "copy", s,
+              op_arg_dat<double>(a, -1, OP_ID, 1, OP_READ),
+              op_arg_dat<double>(b, -1, OP_ID, 1, OP_WRITE));
+  auto bv = b.data<double>();
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(bv[static_cast<std::size_t>(i)], init[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST_P(ParLoopTest, DirectMultiComponent) {
+  auto s = op_decl_set(321, "s");
+  auto a = op_decl_dat<double>(s, 4, "double", "a");
+  {
+    auto av = a.data<double>();
+    for (std::size_t i = 0; i < av.size(); ++i) {
+      av[i] = static_cast<double>(i);
+    }
+  }
+  auto b = op_decl_dat<double>(s, 4, "double", "b");
+  op_par_loop([](const double* q, double* qold) {
+                for (int n = 0; n < 4; ++n) {
+                  qold[n] = q[n];
+                }
+              },
+              "save_soln", s, op_arg_dat<double>(a, -1, OP_ID, 4, OP_READ),
+              op_arg_dat<double>(b, -1, OP_ID, 4, OP_WRITE));
+  auto av = a.data<double>();
+  auto bv = b.data<double>();
+  for (std::size_t i = 0; i < av.size(); ++i) {
+    ASSERT_EQ(bv[i], av[i]);
+  }
+}
+
+TEST_P(ParLoopTest, IndirectRead) {
+  // Gather: cell value = sum of its two node values.
+  const int ncell = 500;
+  auto cells = op_decl_set(ncell, "cells");
+  auto nodes = op_decl_set(ncell + 1, "nodes");
+  std::vector<int> table;
+  for (int c = 0; c < ncell; ++c) {
+    table.push_back(c);
+    table.push_back(c + 1);
+  }
+  auto c2n = op_decl_map(cells, nodes, 2, table, "c2n");
+  std::vector<double> nval(static_cast<std::size_t>(ncell + 1));
+  std::iota(nval.begin(), nval.end(), 0.0);
+  auto xn = op_decl_dat<double>(nodes, 1, "double",
+                                std::span<const double>(nval), "xn");
+  auto out = op_decl_dat<double>(cells, 1, "double", "out");
+  op_par_loop([](const double* n0, const double* n1, double* o) {
+                o[0] = n0[0] + n1[0];
+              },
+              "gather", cells, op_arg_dat<double>(xn, 0, c2n, 1, OP_READ),
+              op_arg_dat<double>(xn, 1, c2n, 1, OP_READ),
+              op_arg_dat<double>(out, -1, OP_ID, 1, OP_WRITE));
+  auto ov = out.data<double>();
+  for (int c = 0; c < ncell; ++c) {
+    ASSERT_EQ(ov[static_cast<std::size_t>(c)], 2.0 * c + 1.0);
+  }
+}
+
+TEST_P(ParLoopTest, IndirectIncrementChain) {
+  // Scatter-add over a chain: node degree accumulates 1 per incident
+  // edge; interior nodes end at 2, boundary nodes at 1.
+  const int nedge = 777;
+  auto edges = op_decl_set(nedge, "edges");
+  auto nodes = op_decl_set(nedge + 1, "nodes");
+  std::vector<int> table;
+  for (int e = 0; e < nedge; ++e) {
+    table.push_back(e);
+    table.push_back(e + 1);
+  }
+  auto e2n = op_decl_map(edges, nodes, 2, table, "e2n");
+  auto degree = op_decl_dat<double>(nodes, 1, "double", "degree");
+  op_par_loop([](double* a, double* b) {
+                a[0] += 1.0;
+                b[0] += 1.0;
+              },
+              "count", edges, op_arg_dat<double>(degree, 0, e2n, 1, OP_INC),
+              op_arg_dat<double>(degree, 1, e2n, 1, OP_INC));
+  auto dv = degree.data<double>();
+  EXPECT_EQ(dv[0], 1.0);
+  EXPECT_EQ(dv[static_cast<std::size_t>(nedge)], 1.0);
+  for (int n = 1; n < nedge; ++n) {
+    ASSERT_EQ(dv[static_cast<std::size_t>(n)], 2.0) << "node " << n;
+  }
+}
+
+TEST_P(ParLoopTest, GlobalReductionSum) {
+  auto s = op_decl_set(2048, "s");
+  std::vector<double> init(2048, 0.5);
+  auto a = op_decl_dat<double>(s, 1, "double",
+                               std::span<const double>(init), "a");
+  double total = 0.0;
+  op_par_loop([](const double* v, double* acc) { acc[0] += v[0]; }, "sum", s,
+              op_arg_dat<double>(a, -1, OP_ID, 1, OP_READ),
+              op_arg_gbl<double>(&total, 1, OP_INC));
+  EXPECT_DOUBLE_EQ(total, 1024.0);
+}
+
+TEST_P(ParLoopTest, GlobalReadBroadcast) {
+  auto s = op_decl_set(100, "s");
+  auto a = op_decl_dat<double>(s, 1, "double", "a");
+  double factor = 4.0;
+  op_par_loop([](double* v, const double* f) { v[0] = f[0]; }, "bcast", s,
+              op_arg_dat<double>(a, -1, OP_ID, 1, OP_WRITE),
+              op_arg_gbl<double>(&factor, 1, OP_READ));
+  for (const double v : a.data<double>()) {
+    ASSERT_EQ(v, 4.0);
+  }
+}
+
+TEST_P(ParLoopTest, MultiDimGlobalReduction) {
+  auto s = op_decl_set(600, "s");
+  auto a = op_decl_dat<double>(s, 2, "double", "a");
+  {
+    auto av = a.data<double>();
+    for (int i = 0; i < 600; ++i) {
+      av[static_cast<std::size_t>(2 * i)] = 1.0;
+      av[static_cast<std::size_t>(2 * i + 1)] = 2.0;
+    }
+  }
+  double acc[2] = {0.0, 0.0};
+  op_par_loop([](const double* v, double* g) {
+                g[0] += v[0];
+                g[1] += v[1];
+              },
+              "sum2", s, op_arg_dat<double>(a, -1, OP_ID, 2, OP_READ),
+              op_arg_gbl<double>(acc, 2, OP_INC));
+  EXPECT_DOUBLE_EQ(acc[0], 600.0);
+  EXPECT_DOUBLE_EQ(acc[1], 1200.0);
+}
+
+TEST_P(ParLoopTest, EmptySetIsNoop) {
+  auto s = op_decl_set(0, "empty");
+  auto a = op_decl_dat<double>(s, 1, "double", "a");
+  double total = 0.0;
+  op_par_loop([](const double* v, double* acc) { acc[0] += v[0]; }, "sum", s,
+              op_arg_dat<double>(a, -1, OP_ID, 1, OP_READ),
+              op_arg_gbl<double>(&total, 1, OP_INC));
+  EXPECT_EQ(total, 0.0);
+}
+
+TEST_P(ParLoopTest, RwAccessReadsAndWrites) {
+  auto s = op_decl_set(256, "s");
+  std::vector<double> init(256, 3.0);
+  auto a = op_decl_dat<double>(s, 1, "double",
+                               std::span<const double>(init), "a");
+  op_par_loop([](double* v) { v[0] = v[0] * v[0]; }, "square", s,
+              op_arg_dat<double>(a, -1, OP_ID, 1, OP_RW));
+  for (const double v : a.data<double>()) {
+    ASSERT_EQ(v, 9.0);
+  }
+}
+
+TEST_P(ParLoopTest, SequentialLoopDependencyChain) {
+  // Two loops where the second consumes the first's output — the
+  // backend must order them correctly even when asynchronous.
+  auto s = op_decl_set(400, "s");
+  std::vector<double> init(400, 1.0);
+  auto a = op_decl_dat<double>(s, 1, "double",
+                               std::span<const double>(init), "a");
+  auto b = op_decl_dat<double>(s, 1, "double", "b");
+  auto c = op_decl_dat<double>(s, 1, "double", "c");
+  op_par_loop(scale2_kernel, "x2", s,
+              op_arg_dat<double>(a, -1, OP_ID, 1, OP_READ),
+              op_arg_dat<double>(b, -1, OP_ID, 1, OP_WRITE));
+  op_par_loop(scale2_kernel, "x2", s,
+              op_arg_dat<double>(b, -1, OP_ID, 1, OP_READ),
+              op_arg_dat<double>(c, -1, OP_ID, 1, OP_WRITE));
+  for (const double v : c.data<double>()) {
+    ASSERT_EQ(v, 4.0);
+  }
+}
+
+TEST_P(ParLoopTest, WrongIterationSetRejected) {
+  auto s = op_decl_set(10, "s");
+  auto t = op_decl_set(10, "t");
+  auto a = op_decl_dat<double>(t, 1, "double", "a");
+  EXPECT_THROW(op_par_loop(copy_kernel, "bad", s,
+                           op_arg_dat<double>(a, -1, OP_ID, 1, OP_READ),
+                           op_arg_dat<double>(a, -1, OP_ID, 1, OP_WRITE)),
+               std::invalid_argument);
+}
+
+TEST_P(ParLoopTest, MapFromWrongSetRejected) {
+  auto s = op_decl_set(10, "s");
+  auto t = op_decl_set(10, "t");
+  auto u = op_decl_set(10, "u");
+  std::vector<int> table(10, 0);
+  auto m = op_decl_map(t, u, 1, table, "m");  // from t, not s
+  auto a = op_decl_dat<double>(u, 1, "double", "a");
+  auto out = op_decl_dat<double>(s, 1, "double", "out");
+  EXPECT_THROW(op_par_loop(copy_kernel, "bad", s,
+                           op_arg_dat<double>(a, 0, m, 1, OP_READ),
+                           op_arg_dat<double>(out, -1, OP_ID, 1, OP_WRITE)),
+               std::invalid_argument);
+}
+
+TEST_P(ParLoopTest, AsyncVariantCompletesOnGet) {
+  auto s = op_decl_set(512, "s");
+  std::vector<double> init(512, 5.0);
+  auto a = op_decl_dat<double>(s, 1, "double",
+                               std::span<const double>(init), "a");
+  auto b = op_decl_dat<double>(s, 1, "double", "b");
+  auto f = op_par_loop_async(scale2_kernel, "x2", s,
+                             op_arg_dat<double>(a, -1, OP_ID, 1, OP_READ),
+                             op_arg_dat<double>(b, -1, OP_ID, 1, OP_WRITE));
+  f.get();
+  for (const double v : b.data<double>()) {
+    ASSERT_EQ(v, 10.0);
+  }
+}
+
+TEST_P(ParLoopTest, AsyncIndirectIncrement) {
+  const int nedge = 300;
+  auto edges = op_decl_set(nedge, "edges");
+  auto nodes = op_decl_set(nedge + 1, "nodes");
+  std::vector<int> table;
+  for (int e = 0; e < nedge; ++e) {
+    table.push_back(e);
+    table.push_back(e + 1);
+  }
+  auto e2n = op_decl_map(edges, nodes, 2, table, "e2n");
+  auto degree = op_decl_dat<double>(nodes, 1, "double", "degree");
+  auto f = op_par_loop_async(
+      [](double* a, double* b) {
+        a[0] += 1.0;
+        b[0] += 1.0;
+      },
+      "count", edges, op_arg_dat<double>(degree, 0, e2n, 1, OP_INC),
+      op_arg_dat<double>(degree, 1, e2n, 1, OP_INC));
+  f.get();
+  auto dv = degree.data<double>();
+  for (int n = 1; n < nedge; ++n) {
+    ASSERT_EQ(dv[static_cast<std::size_t>(n)], 2.0);
+  }
+}
+
+TEST_P(ParLoopTest, GlobalMinReduction) {
+  auto s = op_decl_set(777, "s");
+  auto a = op_decl_dat<double>(s, 1, "double", "a");
+  {
+    auto av = a.data<double>();
+    for (int i = 0; i < 777; ++i) {
+      av[static_cast<std::size_t>(i)] = 100.0 + i;
+    }
+    av[400] = -5.5;  // the global minimum, mid-set
+  }
+  double lowest = 1e300;
+  op_par_loop([](const double* v, double* m) {
+                if (v[0] < m[0]) {
+                  m[0] = v[0];
+                }
+              },
+              "min", s, op_arg_dat<double>(a, -1, OP_ID, 1, OP_READ),
+              op_arg_gbl<double>(&lowest, 1, OP_MIN));
+  EXPECT_DOUBLE_EQ(lowest, -5.5);
+}
+
+TEST_P(ParLoopTest, GlobalMaxReduction) {
+  auto s = op_decl_set(555, "s");
+  auto a = op_decl_dat<double>(s, 1, "double", "a");
+  {
+    auto av = a.data<double>();
+    for (int i = 0; i < 555; ++i) {
+      av[static_cast<std::size_t>(i)] = -static_cast<double>(i);
+    }
+    av[123] = 42.0;
+  }
+  double highest = -1e300;
+  op_par_loop([](const double* v, double* m) {
+                if (v[0] > m[0]) {
+                  m[0] = v[0];
+                }
+              },
+              "max", s, op_arg_dat<double>(a, -1, OP_ID, 1, OP_READ),
+              op_arg_gbl<double>(&highest, 1, OP_MAX));
+  EXPECT_DOUBLE_EQ(highest, 42.0);
+}
+
+TEST_P(ParLoopTest, MinAndMaxRespectPriorValue) {
+  // The reduction combines with the caller's existing value, like
+  // OP_INC does: a tighter prior bound survives.
+  auto s = op_decl_set(64, "s");
+  std::vector<double> init(64, 10.0);
+  auto a = op_decl_dat<double>(s, 1, "double",
+                               std::span<const double>(init), "a");
+  double lo = 3.0;   // tighter than any element
+  double hi = 99.0;  // higher than any element
+  op_par_loop([](const double* v, double* m) {
+                if (v[0] < m[0]) {
+                  m[0] = v[0];
+                }
+              },
+              "min", s, op_arg_dat<double>(a, -1, OP_ID, 1, OP_READ),
+              op_arg_gbl<double>(&lo, 1, OP_MIN));
+  op_par_loop([](const double* v, double* m) {
+                if (v[0] > m[0]) {
+                  m[0] = v[0];
+                }
+              },
+              "max", s, op_arg_dat<double>(a, -1, OP_ID, 1, OP_READ),
+              op_arg_gbl<double>(&hi, 1, OP_MAX));
+  EXPECT_DOUBLE_EQ(lo, 3.0);
+  EXPECT_DOUBLE_EQ(hi, 99.0);
+}
+
+TEST_P(ParLoopTest, IntMinMaxReduction) {
+  auto s = op_decl_set(200, "s");
+  auto a = op_decl_dat<int>(s, 1, "int", "a");
+  {
+    auto av = a.data<int>();
+    for (int i = 0; i < 200; ++i) {
+      av[static_cast<std::size_t>(i)] = (i * 37) % 199;
+    }
+  }
+  int lo = 1 << 30;
+  int hi = -(1 << 30);
+  op_par_loop([](const int* v, int* mn, int* mx) {
+                if (v[0] < mn[0]) {
+                  mn[0] = v[0];
+                }
+                if (v[0] > mx[0]) {
+                  mx[0] = v[0];
+                }
+              },
+              "minmax", s, op_arg_dat<int>(a, -1, OP_ID, 1, OP_READ),
+              op_arg_gbl<int>(&lo, 1, OP_MIN),
+              op_arg_gbl<int>(&hi, 1, OP_MAX));
+  EXPECT_EQ(lo, 0);
+  EXPECT_EQ(hi, 198);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, ParLoopTest,
+    ::testing::Values(backend_param{backend::seq, 1},
+                      backend_param{backend::forkjoin, 1},
+                      backend_param{backend::forkjoin, 4},
+                      backend_param{backend::hpx_foreach, 1},
+                      backend_param{backend::hpx_foreach, 4},
+                      backend_param{backend::hpx_async, 4},
+                      backend_param{backend::hpx_dataflow, 4}),
+    param_name);
+
+// Backend-independent checks of loop-time validation.
+TEST(ParLoopValidation, MinMaxOnDatArgsRejected) {
+  op2::init({backend::seq, 1, 16, 0});
+  auto s = op_decl_set(4, "s");
+  auto a = op_decl_dat<double>(s, 1, "double", "a");
+  EXPECT_THROW(op_arg_dat<double>(a, -1, OP_ID, 1, OP_MIN),
+               std::invalid_argument);
+  EXPECT_THROW(op_arg_dat<double>(a, -1, OP_ID, 1, OP_MAX),
+               std::invalid_argument);
+  double g = 0.0;
+  EXPECT_THROW(op_arg_gbl<double>(&g, 1, OP_WRITE), std::invalid_argument);
+  EXPECT_NO_THROW(op_arg_gbl<double>(&g, 1, OP_MIN));
+  EXPECT_NO_THROW(op_arg_gbl<double>(&g, 1, OP_MAX));
+  op2::finalize();
+}
+
+TEST(ParLoopValidation, ThrowingKernelPropagatesAcrossBackends) {
+  // Failure injection: a kernel that throws mid-loop must surface the
+  // exception at the op_par_loop call on every backend.
+  for (const auto bk : {backend::seq, backend::forkjoin,
+                        backend::hpx_foreach}) {
+    op2::init({bk, 3, 8, 0});
+    auto s = op_decl_set(200, "s");
+    auto a = op_decl_dat<double>(s, 1, "double", "a");
+    EXPECT_THROW(
+        op_par_loop(
+            [](double* v) {
+              if (v == nullptr) {
+                return;
+              }
+              throw std::runtime_error("kernel failure");
+            },
+            "boom", s, op_arg_dat<double>(a, -1, OP_ID, 1, OP_RW)),
+        std::runtime_error)
+        << to_string(bk);
+    // The backend survives for the next loop.
+    EXPECT_NO_THROW(op_par_loop([](double* v) { v[0] = 1.0; }, "ok", s,
+                                op_arg_dat<double>(a, -1, OP_ID, 1,
+                                                   OP_WRITE)));
+    op2::finalize();
+  }
+}
+
+TEST(ParLoopValidation, ThrowingKernelPropagatesThroughAsyncFuture) {
+  op2::init({backend::hpx_async, 2, 8, 0});
+  auto s = op_decl_set(100, "s");
+  auto a = op_decl_dat<double>(s, 1, "double", "a");
+  auto f = op_par_loop_async(
+      [](double* v) {
+        (void)v;
+        throw std::logic_error("async kernel failure");
+      },
+      "boom", s, op_arg_dat<double>(a, -1, OP_ID, 1, OP_RW));
+  EXPECT_THROW(f.get(), std::logic_error);
+  op2::finalize();
+}
+
+TEST(ParLoopValidation, InvalidSetRejected) {
+  op2::init({backend::seq, 1, 16, 0});
+  op_set none;
+  auto s = op_decl_set(4, "s");
+  auto a = op_decl_dat<double>(s, 1, "double", "a");
+  EXPECT_THROW(
+      op_par_loop([](const double*) {}, "bad", none,
+                  op_arg_dat<double>(a, -1, OP_ID, 1, OP_READ)),
+      std::invalid_argument);
+  op2::finalize();
+}
+
+}  // namespace

@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "op2/plan.hpp"
+
+namespace {
+
+using op2::build_plan;
+using op2::clear_plan_cache;
+using op2::get_plan;
+using op2::op_decl_map;
+using op2::op_decl_set;
+using op2::op_map;
+using op2::op_plan;
+using op2::op_set;
+using op2::plan_indirection;
+
+/// Checks the fundamental plan invariants: blocks tile the set, colours
+/// partition the blocks, and no two same-colour blocks touch one target
+/// element through any conflict column.
+void check_plan_invariants(const op_plan& plan, const op_set& set,
+                           const std::vector<plan_indirection>& conflicts) {
+  // Blocks tile [0, set.size()) contiguously.
+  int covered = 0;
+  for (int b = 0; b < plan.nblocks; ++b) {
+    EXPECT_EQ(plan.offset[static_cast<std::size_t>(b)], covered);
+    EXPECT_GT(plan.nelems[static_cast<std::size_t>(b)], 0);
+    EXPECT_LE(plan.nelems[static_cast<std::size_t>(b)], plan.block_size);
+    covered += plan.nelems[static_cast<std::size_t>(b)];
+  }
+  EXPECT_EQ(covered, set.size());
+
+  // Colours partition blocks.
+  std::vector<int> seen(static_cast<std::size_t>(plan.nblocks), 0);
+  for (int c = 0; c < plan.ncolors; ++c) {
+    for (const int b : plan.color_blocks[static_cast<std::size_t>(c)]) {
+      EXPECT_EQ(plan.block_color[static_cast<std::size_t>(b)], c);
+      seen[static_cast<std::size_t>(b)] += 1;
+    }
+  }
+  for (const int s : seen) {
+    EXPECT_EQ(s, 1);
+  }
+
+  // Conflict-freedom within each colour: a target element of one
+  // written dat may be touched repeatedly by ONE block (sequential
+  // inside the block) but never by two different blocks of the same
+  // colour — through ANY of that dat's access columns.
+  std::set<const void*> targets;
+  for (const auto& conf : conflicts) {
+    targets.insert(conf.target_id);
+  }
+  for (const void* target_dat : targets) {
+    for (int c = 0; c < plan.ncolors; ++c) {
+      std::map<int, int> owner;  // target element -> owning block
+      for (const int b : plan.color_blocks[static_cast<std::size_t>(c)]) {
+        const int begin = plan.offset[static_cast<std::size_t>(b)];
+        const int end = begin + plan.nelems[static_cast<std::size_t>(b)];
+        for (const auto& conf : conflicts) {
+          if (conf.target_id != target_dat) {
+            continue;
+          }
+          for (int e = begin; e < end; ++e) {
+            const int target = conf.map.at(e, conf.idx);
+            auto [it, inserted] = owner.emplace(target, b);
+            EXPECT_TRUE(inserted || it->second == b)
+                << "colour " << c << " touches element " << target
+                << " from blocks " << it->second << " and " << b;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Plan, DirectPlanSingleColor) {
+  auto s = op_decl_set(1000, "s");
+  auto plan = build_plan(s, 128, {});
+  EXPECT_EQ(plan.nblocks, 8);
+  EXPECT_EQ(plan.ncolors, 1);
+  check_plan_invariants(plan, s, {});
+}
+
+TEST(Plan, EmptySetZeroBlocks) {
+  auto s = op_decl_set(0, "empty");
+  auto plan = build_plan(s, 64, {});
+  EXPECT_EQ(plan.nblocks, 0);
+  EXPECT_EQ(plan.ncolors, 0);
+  EXPECT_TRUE(plan.conflict_free());
+}
+
+TEST(Plan, LastBlockPartial) {
+  auto s = op_decl_set(100, "s");
+  auto plan = build_plan(s, 30, {});
+  EXPECT_EQ(plan.nblocks, 4);
+  EXPECT_EQ(plan.nelems[3], 10);
+  check_plan_invariants(plan, s, {});
+}
+
+TEST(Plan, InvalidBlockSizeRejected) {
+  auto s = op_decl_set(10, "s");
+  EXPECT_THROW(build_plan(s, 0, {}), std::invalid_argument);
+  EXPECT_THROW(build_plan(s, -5, {}), std::invalid_argument);
+}
+
+TEST(Plan, ChainConflictNeedsTwoColors) {
+  // Edges of a 1D chain: edge e touches nodes e and e+1.  Adjacent
+  // blocks share a node, so at least two colours are required.
+  const int nedge = 64;
+  auto edges = op_decl_set(nedge, "edges");
+  auto nodes = op_decl_set(nedge + 1, "nodes");
+  std::vector<int> table;
+  for (int e = 0; e < nedge; ++e) {
+    table.push_back(e);
+    table.push_back(e + 1);
+  }
+  auto e2n = op_decl_map(edges, nodes, 2, table, "e2n");
+  const std::vector<plan_indirection> conflicts{{e2n, 0, nodes.id()},
+                                                {e2n, 1, nodes.id()}};
+  auto plan = build_plan(edges, 8, conflicts);
+  EXPECT_GE(plan.ncolors, 2);
+  check_plan_invariants(plan, edges, conflicts);
+}
+
+TEST(Plan, AllToOneConflictSerialisesBlocks) {
+  // Every element increments one shared target: every block conflicts
+  // with every other, so ncolors == nblocks.
+  const int n = 40;
+  auto from = op_decl_set(n, "from");
+  auto to = op_decl_set(1, "to");
+  const std::vector<int> table(static_cast<std::size_t>(n), 0);
+  auto m = op_decl_map(from, to, 1, table, "all2one");
+  const std::vector<plan_indirection> conflicts{{m, 0, to.id()}};
+  auto plan = build_plan(from, 10, conflicts);
+  EXPECT_EQ(plan.ncolors, plan.nblocks);
+  check_plan_invariants(plan, from, conflicts);
+}
+
+TEST(Plan, ManyColorsBeyondOnePass) {
+  // More than 64 mutually-conflicting blocks exercises the multi-pass
+  // (>64 colour) path.
+  const int n = 70 * 4;
+  auto from = op_decl_set(n, "from");
+  auto to = op_decl_set(1, "to");
+  const std::vector<int> table(static_cast<std::size_t>(n), 0);
+  auto m = op_decl_map(from, to, 1, table, "all2one");
+  const std::vector<plan_indirection> conflicts{{m, 0, to.id()}};
+  auto plan = build_plan(from, 4, conflicts);
+  EXPECT_EQ(plan.nblocks, 70);
+  EXPECT_EQ(plan.ncolors, 70);
+  check_plan_invariants(plan, from, conflicts);
+}
+
+TEST(Plan, DisjointTargetsSingleColor) {
+  // Each element touches its own private target: no conflicts at all.
+  const int n = 100;
+  auto from = op_decl_set(n, "from");
+  auto to = op_decl_set(n, "to");
+  std::vector<int> table(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    table[static_cast<std::size_t>(i)] = i;
+  }
+  auto m = op_decl_map(from, to, 1, table, "identity");
+  const std::vector<plan_indirection> conflicts{{m, 0, to.id()}};
+  auto plan = build_plan(from, 10, conflicts);
+  EXPECT_EQ(plan.ncolors, 1);
+  check_plan_invariants(plan, from, conflicts);
+}
+
+// Property sweep: random-ish meshes across block sizes stay valid.
+class PlanPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlanPropertyTest, InvariantsHoldOnQuadMeshEdges) {
+  const int block_size = GetParam();
+  // 2D grid edges like the Airfoil mesh: imax*jmax cells.
+  const int imax = 17;
+  const int jmax = 9;
+  auto cells = op_decl_set(imax * jmax, "cells");
+  std::vector<int> table;
+  std::vector<int> edge_count;
+  // vertical interior faces
+  for (int j = 0; j < jmax; ++j) {
+    for (int i = 1; i < imax; ++i) {
+      table.push_back((j * imax) + i - 1);
+      table.push_back((j * imax) + i);
+    }
+  }
+  // horizontal interior faces
+  for (int j = 1; j < jmax; ++j) {
+    for (int i = 0; i < imax; ++i) {
+      table.push_back(((j - 1) * imax) + i);
+      table.push_back((j * imax) + i);
+    }
+  }
+  const int nedge = static_cast<int>(table.size() / 2);
+  auto edges = op_decl_set(nedge, "edges");
+  auto e2c = op_decl_map(edges, cells, 2, table, "e2c");
+  const std::vector<plan_indirection> conflicts{{e2c, 0, cells.id()},
+                                                {e2c, 1, cells.id()}};
+  auto plan = build_plan(edges, block_size, conflicts);
+  check_plan_invariants(plan, edges, conflicts);
+  if (plan.nblocks > 1) {
+    // Adjacent blocks share cells, so more than one colour is needed —
+    // except in the degenerate single-block case.
+    EXPECT_GE(plan.ncolors, 2);
+  } else {
+    EXPECT_EQ(plan.ncolors, 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, PlanPropertyTest,
+                         ::testing::Values(1, 2, 3, 7, 16, 64, 256, 10000));
+
+TEST(PlanCache, ReturnsSameInstanceForSameKey) {
+  clear_plan_cache();
+  auto s = op_decl_set(100, "s");
+  auto p1 = get_plan(s, 16, {});
+  auto p2 = get_plan(s, 16, {});
+  EXPECT_EQ(p1.get(), p2.get());
+  EXPECT_EQ(op2::plan_cache_size(), 1u);
+}
+
+TEST(PlanCache, DifferentBlockSizeDifferentPlan) {
+  clear_plan_cache();
+  auto s = op_decl_set(100, "s");
+  auto p1 = get_plan(s, 16, {});
+  auto p2 = get_plan(s, 32, {});
+  EXPECT_NE(p1.get(), p2.get());
+  EXPECT_EQ(op2::plan_cache_size(), 2u);
+}
+
+TEST(PlanCache, ConflictSignatureDistinguishes) {
+  clear_plan_cache();
+  const int n = 10;
+  auto from = op_decl_set(n, "from");
+  auto to = op_decl_set(n, "to");
+  std::vector<int> table(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    table[static_cast<std::size_t>(i)] = i;
+  }
+  auto m = op_decl_map(from, to, 1, table, "m");
+  std::vector<plan_indirection> conflicts{{m, 0, to.id()}};
+  auto p1 = get_plan(from, 4, {});
+  auto p2 = get_plan(from, 4, conflicts);
+  EXPECT_NE(p1.get(), p2.get());
+}
+
+TEST(PlanCache, ClearEmptiesCache) {
+  clear_plan_cache();
+  auto s = op_decl_set(10, "s");
+  (void)get_plan(s, 4, {});
+  EXPECT_GT(op2::plan_cache_size(), 0u);
+  clear_plan_cache();
+  EXPECT_EQ(op2::plan_cache_size(), 0u);
+}
+
+}  // namespace

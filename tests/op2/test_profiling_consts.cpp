@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "op2/constants.hpp"
+#include "op2/op2.hpp"
+#include "op2/profiling.hpp"
+
+namespace {
+
+using namespace op2;
+
+// --- profiling --------------------------------------------------------
+
+class ProfilingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    profiling::reset();
+    profiling::enable(true);
+    op2::init({backend::seq, 1, 16, 0});
+  }
+  void TearDown() override {
+    profiling::enable(false);
+    profiling::reset();
+    op2::finalize();
+  }
+};
+
+void noop_kernel(const double* in, double* out) { out[0] = in[0]; }
+
+TEST_F(ProfilingTest, RecordsLoopInvocations) {
+  auto s = op_decl_set(64, "s");
+  auto a = op_decl_dat<double>(s, 1, "double", "a");
+  auto b = op_decl_dat<double>(s, 1, "double", "b");
+  for (int i = 0; i < 5; ++i) {
+    op_par_loop(noop_kernel, "copy_loop", s,
+                op_arg_dat<double>(a, -1, OP_ID, 1, OP_READ),
+                op_arg_dat<double>(b, -1, OP_ID, 1, OP_WRITE));
+  }
+  const auto snap = profiling::snapshot();
+  ASSERT_EQ(snap.count("copy_loop"), 1u);
+  const auto& p = snap.at("copy_loop");
+  EXPECT_EQ(p.invocations, 5u);
+  EXPECT_GT(p.total_seconds, 0.0);
+  EXPECT_GE(p.max_seconds, p.total_seconds / 5.0);
+}
+
+TEST_F(ProfilingTest, DistinguishesLoopNames) {
+  auto s = op_decl_set(8, "s");
+  auto a = op_decl_dat<double>(s, 1, "double", "a");
+  auto b = op_decl_dat<double>(s, 1, "double", "b");
+  op_par_loop(noop_kernel, "first", s,
+              op_arg_dat<double>(a, -1, OP_ID, 1, OP_READ),
+              op_arg_dat<double>(b, -1, OP_ID, 1, OP_WRITE));
+  op_par_loop(noop_kernel, "second", s,
+              op_arg_dat<double>(a, -1, OP_ID, 1, OP_READ),
+              op_arg_dat<double>(b, -1, OP_ID, 1, OP_WRITE));
+  const auto snap = profiling::snapshot();
+  EXPECT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap.at("first").invocations, 1u);
+  EXPECT_EQ(snap.at("second").invocations, 1u);
+}
+
+TEST_F(ProfilingTest, DisabledRecordsNothing) {
+  profiling::enable(false);
+  auto s = op_decl_set(8, "s");
+  auto a = op_decl_dat<double>(s, 1, "double", "a");
+  auto b = op_decl_dat<double>(s, 1, "double", "b");
+  op_par_loop(noop_kernel, "silent", s,
+              op_arg_dat<double>(a, -1, OP_ID, 1, OP_READ),
+              op_arg_dat<double>(b, -1, OP_ID, 1, OP_WRITE));
+  EXPECT_TRUE(profiling::snapshot().empty());
+}
+
+TEST_F(ProfilingTest, AsyncLoopsRecordOnCompletion) {
+  op2::init({backend::hpx_async, 2, 16, 0});
+  auto s = op_decl_set(256, "s");
+  auto a = op_decl_dat<double>(s, 1, "double", "a");
+  auto b = op_decl_dat<double>(s, 1, "double", "b");
+  auto f = op_par_loop_async(noop_kernel, "async_loop", s,
+                             op_arg_dat<double>(a, -1, OP_ID, 1, OP_READ),
+                             op_arg_dat<double>(b, -1, OP_ID, 1, OP_WRITE));
+  f.get();
+  const auto snap = profiling::snapshot();
+  ASSERT_EQ(snap.count("async_loop"), 1u);
+  EXPECT_EQ(snap.at("async_loop").invocations, 1u);
+}
+
+TEST_F(ProfilingTest, ReportPrintsTable) {
+  auto s = op_decl_set(8, "s");
+  auto a = op_decl_dat<double>(s, 1, "double", "a");
+  auto b = op_decl_dat<double>(s, 1, "double", "b");
+  op_par_loop(noop_kernel, "tabled", s,
+              op_arg_dat<double>(a, -1, OP_ID, 1, OP_READ),
+              op_arg_dat<double>(b, -1, OP_ID, 1, OP_WRITE));
+  std::ostringstream out;
+  profiling::report(out);
+  EXPECT_NE(out.str().find("op_timing_output"), std::string::npos);
+  EXPECT_NE(out.str().find("tabled"), std::string::npos);
+}
+
+TEST_F(ProfilingTest, ResetClears) {
+  profiling::record("ghost", 0.1);
+  EXPECT_FALSE(profiling::snapshot().empty());
+  profiling::reset();
+  EXPECT_TRUE(profiling::snapshot().empty());
+}
+
+// --- op_decl_const ----------------------------------------------------
+
+class ConstTest : public ::testing::Test {
+ protected:
+  void SetUp() override { op_clear_consts(); }
+  void TearDown() override { op_clear_consts(); }
+};
+
+TEST_F(ConstTest, DeclareAndLookup) {
+  double gam = 1.4;
+  op_decl_const(1, "double", &gam, "gam");
+  int dim = 0;
+  double* p = op_get_const<double>("gam", &dim);
+  EXPECT_EQ(p, &gam);
+  EXPECT_EQ(dim, 1);
+  EXPECT_DOUBLE_EQ(*p, 1.4);
+}
+
+TEST_F(ConstTest, ArrayConstant) {
+  double qinf[4] = {1, 2, 3, 4};
+  op_decl_const(4, "double", qinf, "qinf");
+  int dim = 0;
+  double* p = op_get_const<double>("qinf", &dim);
+  EXPECT_EQ(dim, 4);
+  EXPECT_DOUBLE_EQ(p[3], 4.0);
+}
+
+TEST_F(ConstTest, RedeclareSameShapeUpdatesLocation) {
+  double a = 1.0;
+  double b = 2.0;
+  op_decl_const(1, "double", &a, "c");
+  op_decl_const(1, "double", &b, "c");
+  EXPECT_EQ(op_get_const<double>("c"), &b);
+}
+
+TEST_F(ConstTest, RedeclareDifferentShapeThrows) {
+  double a = 1.0;
+  int i = 2;
+  op_decl_const(1, "double", &a, "c");
+  EXPECT_THROW(op_decl_const(1, "int", &i, "c"), std::invalid_argument);
+  double arr[2];
+  EXPECT_THROW(op_decl_const(2, "double", arr, "c"), std::invalid_argument);
+}
+
+TEST_F(ConstTest, LookupValidation) {
+  double a = 1.0;
+  op_decl_const(1, "double", &a, "c");
+  EXPECT_THROW(op_get_const<double>("missing"), std::out_of_range);
+  EXPECT_THROW(op_get_const<int>("c"), std::invalid_argument);
+}
+
+TEST_F(ConstTest, DeclValidation) {
+  double a = 1.0;
+  EXPECT_THROW(op_decl_const<double>(1, "double", nullptr, "x"),
+               std::invalid_argument);
+  EXPECT_THROW(op_decl_const(0, "double", &a, "x"), std::invalid_argument);
+}
+
+TEST_F(ConstTest, SnapshotListsAll) {
+  double a = 1.0;
+  int b[3] = {1, 2, 3};
+  op_decl_const(1, "double", &a, "alpha");
+  op_decl_const(3, "int", b, "beta");
+  const auto snap = op_const_snapshot();
+  EXPECT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap.at("beta").dim, 3);
+  EXPECT_EQ(snap.at("alpha").type_name, "double");
+}
+
+}  // namespace

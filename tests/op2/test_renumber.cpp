@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "op2/renumber.hpp"
+
+namespace {
+
+using namespace op2;
+
+/// A chain of nedge edges over nedge+1 nodes, with the node identities
+/// scrambled by a fixed pseudo-random permutation — RCM should undo the
+/// scramble's bandwidth damage.
+struct scrambled_chain {
+  op_set edges, nodes;
+  op_map e2n;
+};
+
+scrambled_chain make_scrambled_chain(int nedge, unsigned seed) {
+  scrambled_chain m;
+  m.edges = op_decl_set(nedge, "edges");
+  m.nodes = op_decl_set(nedge + 1, "nodes");
+  std::vector<int> label(static_cast<std::size_t>(nedge + 1));
+  std::iota(label.begin(), label.end(), 0);
+  std::mt19937 rng(seed);
+  std::shuffle(label.begin(), label.end(), rng);
+  std::vector<int> table;
+  for (int e = 0; e < nedge; ++e) {
+    table.push_back(label[static_cast<std::size_t>(e)]);
+    table.push_back(label[static_cast<std::size_t>(e + 1)]);
+  }
+  m.e2n = op_decl_map(m.edges, m.nodes, 2, table, "e2n");
+  return m;
+}
+
+TEST(Adjacency, ChainNeighbours) {
+  const int nedge = 10;
+  auto edges = op_decl_set(nedge, "edges");
+  auto nodes = op_decl_set(nedge + 1, "nodes");
+  std::vector<int> table;
+  for (int e = 0; e < nedge; ++e) {
+    table.push_back(e);
+    table.push_back(e + 1);
+  }
+  auto e2n = op_decl_map(edges, nodes, 2, table, "e2n");
+  const auto adj = adjacency_from_map(e2n);
+  ASSERT_EQ(adj.size, nedge + 1);
+  EXPECT_EQ(adj.neighbors[0], (std::vector<int>{1}));
+  EXPECT_EQ(adj.neighbors[5], (std::vector<int>{4, 6}));
+  EXPECT_EQ(adj.neighbors[10], (std::vector<int>{9}));
+}
+
+TEST(Adjacency, DeduplicatesAndDropsSelfLoops) {
+  auto from = op_decl_set(3, "from");
+  auto to = op_decl_set(2, "to");
+  const std::vector<int> table{0, 1, 0, 1, 1, 1};  // repeated pair + self
+  auto m = op_decl_map(from, to, 2, table, "m");
+  const auto adj = adjacency_from_map(m);
+  EXPECT_EQ(adj.neighbors[0], (std::vector<int>{1}));
+  EXPECT_EQ(adj.neighbors[1], (std::vector<int>{0}));
+}
+
+TEST(Rcm, ProducesValidPermutation) {
+  const auto m = make_scrambled_chain(200, 42);
+  const auto perm = rcm_order(adjacency_from_map(m.e2n));
+  EXPECT_EQ(perm.size(), 201u);
+  EXPECT_TRUE(is_permutation(perm));
+}
+
+TEST(Rcm, RestoresChainBandwidthToOne) {
+  // A chain has optimal bandwidth 1; RCM on a path graph achieves it.
+  const auto m = make_scrambled_chain(300, 7);
+  const int before = map_bandwidth(m.e2n);
+  const auto perm = rcm_order(adjacency_from_map(m.e2n));
+  const auto renumbered = renumber_map_targets(m.e2n, perm);
+  const int after = map_bandwidth(renumbered);
+  EXPECT_GT(before, 10);  // the scramble really did damage
+  EXPECT_EQ(after, 1);
+}
+
+TEST(Rcm, HandlesDisconnectedComponents) {
+  // Two disjoint chains in one map.
+  auto edges = op_decl_set(4, "edges");
+  auto nodes = op_decl_set(6, "nodes");
+  const std::vector<int> table{0, 1, 1, 2, 3, 4, 4, 5};
+  auto e2n = op_decl_map(edges, nodes, 2, table, "e2n");
+  const auto perm = rcm_order(adjacency_from_map(e2n));
+  EXPECT_TRUE(is_permutation(perm));
+  EXPECT_LE(map_bandwidth(renumber_map_targets(e2n, perm)), 1);
+}
+
+TEST(Rcm, IsolatedVerticesIncluded) {
+  adjacency adj;
+  adj.size = 3;
+  adj.neighbors = {{}, {}, {}};
+  const auto perm = rcm_order(adj);
+  EXPECT_EQ(perm.size(), 3u);
+  EXPECT_TRUE(is_permutation(perm));
+}
+
+TEST(Permutation, IdentityAndValidation) {
+  const auto id = identity_order(5);
+  EXPECT_EQ(id, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_TRUE(is_permutation(id));
+  EXPECT_FALSE(is_permutation(std::vector<int>{0, 0, 1}));
+  EXPECT_FALSE(is_permutation(std::vector<int>{0, 3, 1}));
+  EXPECT_FALSE(is_permutation(std::vector<int>{-1, 0, 1}));
+}
+
+TEST(Permutation, PermuteDatMovesRows) {
+  auto s = op_decl_set(3, "s");
+  const std::vector<double> init{10, 11, 20, 21, 30, 31};
+  auto d = op_decl_dat<double>(s, 2, "double",
+                               std::span<const double>(init), "d");
+  const std::vector<int> perm{2, 0, 1};  // element 0 -> slot 2, etc.
+  auto p = permute_dat(d, perm);
+  const auto v = p.data<double>();
+  EXPECT_EQ(v[0], 20.0);  // old element 1
+  EXPECT_EQ(v[2], 30.0);  // old element 2
+  EXPECT_EQ(v[4], 10.0);  // old element 0
+  EXPECT_EQ(v[5], 11.0);
+}
+
+TEST(Permutation, PermuteDatRejectsBadPerm) {
+  auto s = op_decl_set(3, "s");
+  auto d = op_decl_dat<double>(s, 1, "double", "d");
+  EXPECT_THROW(permute_dat(d, std::vector<int>{0, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(permute_dat(d, std::vector<int>{0, 0, 1}),
+               std::invalid_argument);
+}
+
+TEST(Permutation, RenumberTargetsConsistentWithPermuteDat) {
+  // Golden consistency: gather through (renumbered map, permuted dat)
+  // equals gather through (original map, original dat).
+  const auto m = make_scrambled_chain(50, 3);
+  std::vector<double> vals(static_cast<std::size_t>(m.nodes.size()));
+  std::iota(vals.begin(), vals.end(), 0.0);
+  auto d = op_decl_dat<double>(m.nodes, 1, "double",
+                               std::span<const double>(vals), "d");
+  const auto perm = rcm_order(adjacency_from_map(m.e2n));
+  const auto new_map = renumber_map_targets(m.e2n, perm);
+  const auto new_dat = permute_dat(d, perm);
+  const auto old_vals = d.data<double>();
+  const auto new_vals = new_dat.data<double>();
+  for (int e = 0; e < m.edges.size(); ++e) {
+    for (int j = 0; j < 2; ++j) {
+      EXPECT_EQ(new_vals[static_cast<std::size_t>(new_map.at(e, j))],
+                old_vals[static_cast<std::size_t>(m.e2n.at(e, j))]);
+    }
+  }
+}
+
+TEST(Permutation, ReorderMapRows) {
+  auto from = op_decl_set(3, "from");
+  auto to = op_decl_set(5, "to");
+  const std::vector<int> table{0, 1, 2, 3, 4, 0};
+  auto m = op_decl_map(from, to, 2, table, "m");
+  const std::vector<int> perm{1, 2, 0};  // row 0 moves to position 1
+  auto r = reorder_map_rows(m, perm);
+  EXPECT_EQ(r.at(1, 0), 0);
+  EXPECT_EQ(r.at(1, 1), 1);
+  EXPECT_EQ(r.at(2, 0), 2);
+  EXPECT_EQ(r.at(0, 0), 4);
+}
+
+TEST(Permutation, OrderRowsByMinTargetSorts) {
+  auto from = op_decl_set(3, "from");
+  auto to = op_decl_set(10, "to");
+  const std::vector<int> table{8, 9, 0, 1, 4, 5};
+  auto m = op_decl_map(from, to, 2, table, "m");
+  const auto perm = order_rows_by_min_target(m);
+  // Row 1 (min target 0) should come first, then row 2, then row 0.
+  EXPECT_EQ(perm, (std::vector<int>{2, 0, 1}));
+  auto r = reorder_map_rows(m, perm);
+  EXPECT_EQ(r.at(0, 0), 0);
+  EXPECT_EQ(r.at(1, 0), 4);
+  EXPECT_EQ(r.at(2, 0), 8);
+}
+
+TEST(Bandwidth, SingleColumnMapIsZero) {
+  auto from = op_decl_set(4, "from");
+  auto to = op_decl_set(4, "to");
+  const std::vector<int> table{3, 1, 0, 2};
+  auto m = op_decl_map(from, to, 1, table, "m");
+  EXPECT_EQ(map_bandwidth(m), 0);
+}
+
+}  // namespace

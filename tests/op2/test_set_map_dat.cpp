@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "op2/dat.hpp"
+#include "op2/map.hpp"
+#include "op2/set.hpp"
+
+namespace {
+
+using op2::op_dat;
+using op2::op_decl_dat;
+using op2::op_decl_map;
+using op2::op_decl_set;
+using op2::op_map;
+using op2::op_set;
+
+TEST(OpSet, DeclStoresNameAndSize) {
+  auto s = op_decl_set(42, "cells");
+  EXPECT_TRUE(s.valid());
+  EXPECT_EQ(s.size(), 42);
+  EXPECT_EQ(s.name(), "cells");
+}
+
+TEST(OpSet, NegativeSizeRejected) {
+  EXPECT_THROW(op_decl_set(-1, "bad"), std::invalid_argument);
+}
+
+TEST(OpSet, ZeroSizeAllowed) {
+  auto s = op_decl_set(0, "empty");
+  EXPECT_EQ(s.size(), 0);
+}
+
+TEST(OpSet, HandleIdentity) {
+  auto a = op_decl_set(5, "a");
+  auto b = a;  // same set
+  auto c = op_decl_set(5, "a");  // different declaration, same shape
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.id(), b.id());
+  EXPECT_NE(a.id(), c.id());
+}
+
+TEST(OpMap, DeclValidatesAndIndexes) {
+  auto from = op_decl_set(3, "edges");
+  auto to = op_decl_set(4, "nodes");
+  const std::vector<int> table{0, 1, 1, 2, 2, 3};
+  auto m = op_decl_map(from, to, 2, table, "e2n");
+  EXPECT_EQ(m.dim(), 2);
+  EXPECT_EQ(m.at(0, 0), 0);
+  EXPECT_EQ(m.at(0, 1), 1);
+  EXPECT_EQ(m.at(2, 1), 3);
+  EXPECT_EQ(m.from(), from);
+  EXPECT_EQ(m.to(), to);
+}
+
+TEST(OpMap, RejectsOutOfRangeTarget) {
+  auto from = op_decl_set(2, "edges");
+  auto to = op_decl_set(2, "nodes");
+  const std::vector<int> bad{0, 1, 1, 2};  // 2 is out of range
+  EXPECT_THROW(op_decl_map(from, to, 2, bad, "bad"), std::out_of_range);
+  const std::vector<int> neg{0, 1, -1, 0};
+  EXPECT_THROW(op_decl_map(from, to, 2, neg, "neg"), std::out_of_range);
+}
+
+TEST(OpMap, RejectsWrongTableSize) {
+  auto from = op_decl_set(2, "edges");
+  auto to = op_decl_set(2, "nodes");
+  const std::vector<int> short_table{0, 1, 1};
+  EXPECT_THROW(op_decl_map(from, to, 2, short_table, "short"),
+               std::invalid_argument);
+}
+
+TEST(OpMap, RejectsNonPositiveDim) {
+  auto from = op_decl_set(2, "edges");
+  auto to = op_decl_set(2, "nodes");
+  const std::vector<int> empty;
+  EXPECT_THROW(op_decl_map(from, to, 0, empty, "dim0"),
+               std::invalid_argument);
+}
+
+TEST(OpDat, ZeroInitialisedByDefault) {
+  auto s = op_decl_set(4, "s");
+  auto d = op_decl_dat<double>(s, 3, "double", "d");
+  auto view = d.data<double>();
+  ASSERT_EQ(view.size(), 12u);
+  for (const double v : view) {
+    ASSERT_EQ(v, 0.0);
+  }
+}
+
+TEST(OpDat, InitialisedFromSpan) {
+  auto s = op_decl_set(2, "s");
+  const std::vector<int> init{1, 2, 3, 4};
+  auto d = op_decl_dat<int>(s, 2, "int", std::span<const int>(init), "d");
+  auto view = d.data<int>();
+  EXPECT_EQ(view[0], 1);
+  EXPECT_EQ(view[3], 4);
+}
+
+TEST(OpDat, ElementPointerAddressesRow) {
+  auto s = op_decl_set(3, "s");
+  std::vector<double> init{0, 1, 10, 11, 20, 21};
+  auto d = op_decl_dat<double>(s, 2, "double",
+                               std::span<const double>(init), "d");
+  EXPECT_EQ(d.element<double>(1)[0], 10.0);
+  EXPECT_EQ(d.element<double>(2)[1], 21.0);
+}
+
+TEST(OpDat, TypeMismatchThrows) {
+  auto s = op_decl_set(2, "s");
+  auto d = op_decl_dat<double>(s, 1, "double", "d");
+  EXPECT_TRUE(d.holds<double>());
+  EXPECT_FALSE(d.holds<float>());
+  EXPECT_THROW(d.data<float>(), std::invalid_argument);
+  EXPECT_THROW(d.element<int>(0), std::invalid_argument);
+}
+
+TEST(OpDat, WrongInitSizeThrows) {
+  auto s = op_decl_set(2, "s");
+  const std::vector<double> wrong{1.0, 2.0, 3.0};
+  EXPECT_THROW(op_decl_dat<double>(s, 2, "double",
+                                   std::span<const double>(wrong), "d"),
+               std::invalid_argument);
+}
+
+TEST(OpDat, SharedHandleAliasesStorage) {
+  auto s = op_decl_set(2, "s");
+  auto d = op_decl_dat<double>(s, 1, "double", "d");
+  op_dat alias = d;
+  alias.data<double>()[0] = 3.5;
+  EXPECT_EQ(d.data<double>()[0], 3.5);
+  EXPECT_EQ(d, alias);
+}
+
+TEST(OpDat, MetadataAccessors) {
+  auto s = op_decl_set(5, "cells");
+  auto d = op_decl_dat<double>(s, 4, "double", "p_q");
+  EXPECT_EQ(d.name(), "p_q");
+  EXPECT_EQ(d.dim(), 4);
+  EXPECT_EQ(d.type_name(), "double");
+  EXPECT_EQ(d.element_size(), sizeof(double));
+  EXPECT_EQ(d.entries(), 20u);
+  EXPECT_EQ(d.set(), s);
+}
+
+}  // namespace

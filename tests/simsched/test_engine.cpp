@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "simsched/engine.hpp"
+
+namespace {
+
+using simsched::machine_model;
+using simsched::simulate;
+using simsched::task_graph;
+using simsched::task_id;
+
+machine_model flat_machine(unsigned cores = 64) {
+  machine_model m;
+  m.physical_cores = cores;  // no HT effects unless asked
+  return m;
+}
+
+TEST(Engine, SingleTaskMakespanEqualsCost) {
+  task_graph g;
+  g.add_task(100.0);
+  const auto st = simulate(g, 1, flat_machine());
+  EXPECT_DOUBLE_EQ(st.makespan_us, 100.0);
+  EXPECT_DOUBLE_EQ(st.total_work_us, 100.0);
+}
+
+TEST(Engine, IndependentTasksRunInParallel) {
+  task_graph g;
+  for (int i = 0; i < 4; ++i) {
+    g.add_task(50.0);
+  }
+  EXPECT_DOUBLE_EQ(simulate(g, 4, flat_machine()).makespan_us, 50.0);
+  EXPECT_DOUBLE_EQ(simulate(g, 1, flat_machine()).makespan_us, 200.0);
+  EXPECT_DOUBLE_EQ(simulate(g, 2, flat_machine()).makespan_us, 100.0);
+}
+
+TEST(Engine, ChainSerialisesRegardlessOfThreads) {
+  task_graph g;
+  task_id prev = g.add_task(10.0);
+  for (int i = 0; i < 9; ++i) {
+    prev = g.add_task(10.0, {prev});
+  }
+  EXPECT_DOUBLE_EQ(simulate(g, 8, flat_machine()).makespan_us, 100.0);
+}
+
+TEST(Engine, DiamondCriticalPath) {
+  task_graph g;
+  const auto a = g.add_task(10.0);
+  const auto b = g.add_task(30.0, {a});
+  const auto c = g.add_task(5.0, {a});
+  g.add_task(10.0, {b, c});
+  // Critical path: a -> b -> join = 10 + 30 + 10.
+  EXPECT_DOUBLE_EQ(simulate(g, 2, flat_machine()).makespan_us, 50.0);
+}
+
+TEST(Engine, BarrierWaitsForSlowestChunk) {
+  task_graph g;
+  const auto fork = g.add_task(0.0);
+  std::vector<task_id> chunks;
+  chunks.push_back(g.add_task(10.0, {fork}));
+  chunks.push_back(g.add_task(40.0, {fork}));  // the straggler
+  chunks.push_back(g.add_task(10.0, {fork}));
+  const auto barrier = g.add_task(0.0, chunks);
+  g.add_task(10.0, {barrier});
+  EXPECT_DOUBLE_EQ(simulate(g, 4, flat_machine()).makespan_us, 50.0);
+}
+
+TEST(Engine, HyperThreadingSlowsParallelTasks) {
+  machine_model m;
+  m.physical_cores = 2;
+  m.ht_throughput = 0.5;
+  task_graph g;
+  for (int i = 0; i < 4; ++i) {
+    g.add_task(30.0);
+  }
+  // 4 threads on 2 physical cores: speed (2+0.5*2)/4 = 0.75 each.
+  const auto st = simulate(g, 4, m);
+  EXPECT_DOUBLE_EQ(st.makespan_us, 40.0);
+}
+
+TEST(Engine, SerialTasksPinnedToMasterAtFullSpeed) {
+  machine_model m;
+  m.physical_cores = 1;
+  m.ht_throughput = 0.5;  // 4 threads on 1 core: parallel speed 0.625
+  task_graph g;
+  g.add_task(10.0, {}, /*serial=*/true);
+  g.add_task(10.0, {}, /*serial=*/true);
+  // Serial tasks run at full speed, one after another on worker 0.
+  EXPECT_DOUBLE_EQ(simulate(g, 4, m).makespan_us, 20.0);
+}
+
+TEST(Engine, EfficiencyPerfectForEmbarrassinglyParallel) {
+  task_graph g;
+  for (int i = 0; i < 64; ++i) {
+    g.add_task(10.0);
+  }
+  const auto st = simulate(g, 8, flat_machine(8));
+  EXPECT_NEAR(st.efficiency, 1.0, 1e-9);
+  EXPECT_EQ(st.peak_parallelism, 8u);
+}
+
+TEST(Engine, EfficiencyLowForChain) {
+  task_graph g;
+  task_id prev = g.add_task(10.0);
+  for (int i = 0; i < 7; ++i) {
+    prev = g.add_task(10.0, {prev});
+  }
+  const auto st = simulate(g, 8, flat_machine(8));
+  EXPECT_NEAR(st.efficiency, 1.0 / 8.0, 1e-9);
+}
+
+TEST(Engine, EmptyGraph) {
+  task_graph g;
+  const auto st = simulate(g, 4, flat_machine());
+  EXPECT_DOUBLE_EQ(st.makespan_us, 0.0);
+}
+
+TEST(Engine, ZeroThreadsRejected) {
+  task_graph g;
+  g.add_task(1.0);
+  EXPECT_THROW(simulate(g, 0, flat_machine()), std::invalid_argument);
+}
+
+TEST(TaskGraph, EdgeValidation) {
+  task_graph g;
+  const auto a = g.add_task(1.0);
+  EXPECT_THROW(g.add_edge(a, a), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(a, 99), std::out_of_range);
+  EXPECT_THROW(g.add_task(1.0, {42}), std::out_of_range);
+}
+
+TEST(TaskGraph, TotalWorkSums) {
+  task_graph g;
+  g.add_task(1.5);
+  g.add_task(2.5);
+  EXPECT_DOUBLE_EQ(g.total_work_us(), 4.0);
+}
+
+TEST(Engine, FifoKeepsWorkConserving) {
+  // Many small tasks + one long task: list scheduling should finish in
+  // close to total/threads when the long task starts early.
+  task_graph g;
+  g.add_task(100.0);
+  for (int i = 0; i < 100; ++i) {
+    g.add_task(1.0);
+  }
+  const auto st = simulate(g, 2, flat_machine(2));
+  EXPECT_DOUBLE_EQ(st.makespan_us, 100.0);  // 100 || (100 x 1.0)
+}
+
+}  // namespace

@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include "simsched/machine.hpp"
+
+namespace {
+
+using simsched::machine_model;
+
+TEST(MachineModel, FullSpeedUpToPhysicalCores) {
+  machine_model m;
+  m.physical_cores = 16;
+  for (unsigned t = 1; t <= 16; ++t) {
+    EXPECT_DOUBLE_EQ(m.per_thread_speed(t), 1.0) << t;
+    EXPECT_DOUBLE_EQ(m.total_throughput(t), static_cast<double>(t));
+  }
+}
+
+TEST(MachineModel, HyperThreadingDegradesPerThreadSpeed) {
+  machine_model m;
+  m.physical_cores = 16;
+  m.ht_throughput = 0.3;
+  EXPECT_LT(m.per_thread_speed(17), 1.0);
+  EXPECT_LT(m.per_thread_speed(32), m.per_thread_speed(17));
+  // 32 threads: (16 + 0.3*16)/32 = 0.65.
+  EXPECT_DOUBLE_EQ(m.per_thread_speed(32), 0.65);
+}
+
+TEST(MachineModel, TotalThroughputKeepsGrowingWithHT) {
+  machine_model m;
+  m.physical_cores = 16;
+  m.ht_throughput = 0.3;
+  // More HT threads give more aggregate throughput, just sub-linearly.
+  EXPECT_GT(m.total_throughput(20), m.total_throughput(16));
+  EXPECT_GT(m.total_throughput(32), m.total_throughput(20));
+  EXPECT_LT(m.total_throughput(32), 32.0);
+  EXPECT_DOUBLE_EQ(m.total_throughput(32), 16.0 + 0.3 * 16.0);
+}
+
+TEST(MachineModel, ZeroHtThroughputCapsAtPhysical) {
+  machine_model m;
+  m.physical_cores = 8;
+  m.ht_throughput = 0.0;
+  EXPECT_DOUBLE_EQ(m.total_throughput(16), 8.0);
+}
+
+TEST(MachineModel, ZeroThreadsRejected) {
+  machine_model m;
+  EXPECT_THROW(m.per_thread_speed(0), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,171 @@
+// Mechanism-level checks of the overhead model: each calibrated
+// constant must move the simulated results in its documented direction
+// (DESIGN.md §6), so a future retune cannot silently invert a
+// mechanism.
+#include <gtest/gtest.h>
+
+#include "airfoil/model_adapter.hpp"
+#include "simsched/engine.hpp"
+
+namespace {
+
+using simsched::machine_model;
+using simsched::method;
+using simsched::overhead_model;
+using simsched::simulate_airfoil;
+
+const simsched::airfoil_shape& shape() {
+  static simsched::airfoil_shape s = [] {
+    op2::init({op2::backend::seq, 1, 128, 0});
+    auto sim = airfoil::make_sim(airfoil::generate_mesh({200, 50}));
+    auto sh = airfoil::extract_shape(sim, airfoil::nominal_kernel_costs(),
+                                     128, 2);
+    op2::finalize();
+    return sh;
+  }();
+  return s;
+}
+
+const machine_model kMachine{};
+
+TEST(OverheadModel, WakeupCostSlowsForkJoinNotDataflow) {
+  overhead_model cheap;
+  cheap.driver_wakeup_us = 0.0;
+  overhead_model costly;
+  costly.driver_wakeup_us = 40.0;
+  const double omp_cheap =
+      simulate_airfoil(shape(), method::omp_forkjoin, 16, kMachine, cheap);
+  const double omp_costly =
+      simulate_airfoil(shape(), method::omp_forkjoin, 16, kMachine, costly);
+  EXPECT_GT(omp_costly, omp_cheap * 1.05);  // omp pays per region
+  const double df_cheap =
+      simulate_airfoil(shape(), method::hpx_dataflow, 16, kMachine, cheap);
+  const double df_costly =
+      simulate_airfoil(shape(), method::hpx_dataflow, 16, kMachine, costly);
+  EXPECT_NEAR(df_costly, df_cheap, df_cheap * 0.01);  // dataflow pays none
+}
+
+TEST(OverheadModel, LaunchCostSparesOnlyDataflow) {
+  overhead_model cheap;
+  cheap.loop_launch_us = 0.0;
+  overhead_model costly;
+  costly.loop_launch_us = 60.0;
+  for (const auto m : {method::omp_forkjoin, method::hpx_async}) {
+    const double a = simulate_airfoil(shape(), m, 16, kMachine, cheap);
+    const double b = simulate_airfoil(shape(), m, 16, kMachine, costly);
+    EXPECT_GT(b, a * 1.02) << to_string(m);
+  }
+  const double a =
+      simulate_airfoil(shape(), method::hpx_dataflow, 16, kMachine, cheap);
+  const double b =
+      simulate_airfoil(shape(), method::hpx_dataflow, 16, kMachine, costly);
+  EXPECT_NEAR(b, a, a * 0.01);
+}
+
+TEST(OverheadModel, SpawnCostHitsTaskMethodsOnly) {
+  overhead_model cheap;
+  cheap.hpx_spawn_us = 0.0;
+  overhead_model costly;
+  costly.hpx_spawn_us = 10.0;
+  const double fe_cheap = simulate_airfoil(
+      shape(), method::hpx_foreach_static, 16, kMachine, cheap);
+  const double fe_costly = simulate_airfoil(
+      shape(), method::hpx_foreach_static, 16, kMachine, costly);
+  EXPECT_GT(fe_costly, fe_cheap * 1.05);
+  const double omp_cheap =
+      simulate_airfoil(shape(), method::omp_forkjoin, 16, kMachine, cheap);
+  const double omp_costly =
+      simulate_airfoil(shape(), method::omp_forkjoin, 16, kMachine, costly);
+  EXPECT_NEAR(omp_costly, omp_cheap, omp_cheap * 0.01);
+}
+
+TEST(OverheadModel, ProbeFractionHurtsOnlyAutoChunking) {
+  overhead_model none;
+  none.auto_probe_fraction = 0.0;
+  overhead_model heavy;
+  heavy.auto_probe_fraction = 0.05;
+  const double auto_none = simulate_airfoil(
+      shape(), method::hpx_foreach_auto, 32, kMachine, none);
+  const double auto_heavy = simulate_airfoil(
+      shape(), method::hpx_foreach_auto, 32, kMachine, heavy);
+  EXPECT_GT(auto_heavy, auto_none * 1.10);
+  const double static_none = simulate_airfoil(
+      shape(), method::hpx_foreach_static, 32, kMachine, none);
+  const double static_heavy = simulate_airfoil(
+      shape(), method::hpx_foreach_static, 32, kMachine, heavy);
+  EXPECT_NEAR(static_heavy, static_none, static_none * 0.01);
+}
+
+TEST(OverheadModel, ZeroOverheadsNearPerfectScaling) {
+  overhead_model free_of_cost;
+  free_of_cost.omp_fork_us = 0.0;
+  free_of_cost.omp_barrier_us = 0.0;
+  free_of_cost.hpx_spawn_us = 0.0;
+  free_of_cost.hpx_join_us = 0.0;
+  free_of_cost.driver_wakeup_us = 0.0;
+  free_of_cost.dataflow_node_us = 0.0;
+  free_of_cost.loop_launch_us = 0.0;
+  const double t1 = simulate_airfoil(shape(), method::hpx_dataflow, 1,
+                                     kMachine, free_of_cost);
+  const double t16 = simulate_airfoil(shape(), method::hpx_dataflow, 16,
+                                      kMachine, free_of_cost);
+  // Only block-cost noise (cv 0.2) and ~21 colour-boundary joins per
+  // iteration remain; they cost ~30% at 16 threads on this mesh.
+  EXPECT_GT(t1 / t16, 10.0);
+}
+
+TEST(OverheadModel, NoiseDrivesTheForkJoinPenalty) {
+  // With zero noise (identical block costs) fork-join and dataflow
+  // should nearly tie; the paper's gap needs the imbalance.
+  op2::init({op2::backend::seq, 1, 128, 0});
+  auto sim = airfoil::make_sim(airfoil::generate_mesh({200, 50}));
+
+  const auto make = [&](double cv) {
+    const auto costs = airfoil::nominal_kernel_costs();
+    simsched::airfoil_shape sh;
+    sh.niter = 2;
+    const auto dplan = op2::build_plan(sim.cells, 128, {});
+    std::vector<op2::plan_indirection> conf{{sim.pecell, 0, sim.p_res.id()},
+                                            {sim.pecell, 1, sim.p_res.id()}};
+    const auto rplan = op2::build_plan(sim.edges, 128, conf);
+    std::vector<op2::plan_indirection> bconf{{sim.pbecell, 0,
+                                              sim.p_res.id()}};
+    const auto bplan = op2::build_plan(sim.bedges, 128, bconf);
+    using simsched::airfoil_dat;
+    sh.save = simsched::make_loop_shape("save_soln", dplan, costs.save, true,
+                                        {airfoil_dat::dat_q},
+                                        {airfoil_dat::dat_qold}, cv);
+    sh.adt = simsched::make_loop_shape(
+        "adt_calc", dplan, costs.adt, false,
+        {airfoil_dat::dat_x, airfoil_dat::dat_q}, {airfoil_dat::dat_adt},
+        cv);
+    sh.res = simsched::make_loop_shape(
+        "res_calc", rplan, costs.res, false,
+        {airfoil_dat::dat_x, airfoil_dat::dat_q, airfoil_dat::dat_adt},
+        {airfoil_dat::dat_res}, cv);
+    sh.bres = simsched::make_loop_shape(
+        "bres_calc", bplan, costs.bres, false,
+        {airfoil_dat::dat_x, airfoil_dat::dat_q, airfoil_dat::dat_adt,
+         airfoil_dat::dat_bound},
+        {airfoil_dat::dat_res}, cv);
+    sh.update = simsched::make_loop_shape(
+        "update", dplan, costs.update, true,
+        {airfoil_dat::dat_qold, airfoil_dat::dat_adt, airfoil_dat::dat_res},
+        {airfoil_dat::dat_q, airfoil_dat::dat_res}, cv);
+    return sh;
+  };
+
+  const overhead_model ov{};
+  const auto quiet = make(0.0);
+  const auto noisy = make(0.25);
+  const double gap_quiet =
+      simulate_airfoil(quiet, method::omp_forkjoin, 32, kMachine, ov) /
+      simulate_airfoil(quiet, method::hpx_dataflow, 32, kMachine, ov);
+  const double gap_noisy =
+      simulate_airfoil(noisy, method::omp_forkjoin, 32, kMachine, ov) /
+      simulate_airfoil(noisy, method::hpx_dataflow, 32, kMachine, ov);
+  op2::finalize();
+  EXPECT_GT(gap_noisy, gap_quiet + 0.03);  // noise widens the gap
+}
+
+}  // namespace

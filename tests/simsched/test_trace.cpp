@@ -1,0 +1,141 @@
+// Schedule-trace validity: the engine's Gantt output must be a legal
+// schedule — workers never overlap themselves, dependencies are
+// respected, every task appears exactly once — across random DAGs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <vector>
+
+#include "simsched/engine.hpp"
+
+namespace {
+
+using simsched::machine_model;
+using simsched::simulate;
+using simsched::task_graph;
+using simsched::task_id;
+using simsched::task_interval;
+
+machine_model flat() {
+  machine_model m;
+  m.physical_cores = 64;
+  return m;
+}
+
+/// A random DAG: each task depends on a random subset of earlier tasks.
+task_graph random_dag(unsigned seed, int n) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> cost(0.5, 20.0);
+  std::uniform_int_distribution<int> fanin(0, 3);
+  std::bernoulli_distribution serial(0.1);
+  task_graph g;
+  for (int i = 0; i < n; ++i) {
+    std::vector<task_id> deps;
+    if (i > 0) {
+      const int k = fanin(rng);
+      std::uniform_int_distribution<int> pick(0, i - 1);
+      for (int j = 0; j < k; ++j) {
+        deps.push_back(static_cast<task_id>(pick(rng)));
+      }
+    }
+    g.add_task(cost(rng), deps, serial(rng));
+  }
+  return g;
+}
+
+void check_trace_validity(const task_graph& g,
+                          const std::vector<task_interval>& trace,
+                          unsigned threads) {
+  ASSERT_EQ(trace.size(), g.size());
+
+  // Every task exactly once; record its interval.
+  std::vector<const task_interval*> by_task(g.size(), nullptr);
+  for (const auto& iv : trace) {
+    ASSERT_LT(iv.task, g.size());
+    ASSERT_LT(iv.worker, threads);
+    ASSERT_LE(iv.start_us, iv.end_us);
+    ASSERT_EQ(by_task[iv.task], nullptr) << "task scheduled twice";
+    by_task[iv.task] = &iv;
+  }
+
+  // Workers never run two tasks at once.
+  std::map<unsigned, std::vector<const task_interval*>> per_worker;
+  for (const auto& iv : trace) {
+    per_worker[iv.worker].push_back(&iv);
+  }
+  for (auto& [worker, ivs] : per_worker) {
+    std::sort(ivs.begin(), ivs.end(),
+              [](const auto* a, const auto* b) {
+                return a->start_us < b->start_us;
+              });
+    for (std::size_t i = 1; i < ivs.size(); ++i) {
+      ASSERT_GE(ivs[i]->start_us, ivs[i - 1]->end_us - 1e-9)
+          << "worker " << worker << " overlaps itself";
+    }
+  }
+
+  // Dependencies respected: a dependent starts no earlier than every
+  // predecessor's end.
+  for (task_id t = 0; t < g.size(); ++t) {
+    for (const task_id d : g.node(t).dependents) {
+      ASSERT_GE(by_task[d]->start_us, by_task[t]->end_us - 1e-9)
+          << "task " << d << " started before its dependency " << t;
+    }
+  }
+
+  // Serial tasks pinned to worker 0.
+  for (task_id t = 0; t < g.size(); ++t) {
+    if (g.node(t).serial) {
+      ASSERT_EQ(by_task[t]->worker, 0u);
+    }
+  }
+}
+
+class TraceTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(TraceTest, RandomDagsProduceLegalSchedules) {
+  const unsigned seed = GetParam();
+  const task_graph g = random_dag(seed, 300);
+  for (const unsigned threads : {1u, 2u, 5u, 16u}) {
+    std::vector<task_interval> trace;
+    const auto stats = simulate(g, threads, flat(), &trace);
+    check_trace_validity(g, trace, threads);
+    // Makespan equals the last interval's end.
+    double last = 0.0;
+    for (const auto& iv : trace) {
+      last = std::max(last, iv.end_us);
+    }
+    EXPECT_DOUBLE_EQ(stats.makespan_us, last);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceTest,
+                         ::testing::Values(11u, 23u, 37u, 59u, 71u));
+
+TEST(TraceTest2, TraceMatchesKnownSchedule) {
+  task_graph g;
+  const auto a = g.add_task(10.0);
+  const auto b = g.add_task(5.0, {a});
+  g.add_task(5.0, {a});
+  std::vector<task_interval> trace;
+  simulate(g, 2, flat(), &trace);
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace[0].task, a);
+  EXPECT_DOUBLE_EQ(trace[0].start_us, 0.0);
+  EXPECT_DOUBLE_EQ(trace[0].end_us, 10.0);
+  // b and c start together after a.
+  EXPECT_DOUBLE_EQ(trace[1].start_us, 10.0);
+  EXPECT_DOUBLE_EQ(trace[2].start_us, 10.0);
+  EXPECT_NE(trace[1].worker, trace[2].worker);
+  (void)b;
+}
+
+TEST(TraceTest2, NullTraceStillWorks) {
+  task_graph g;
+  g.add_task(1.0);
+  EXPECT_NO_THROW(simulate(g, 2, flat(), nullptr));
+}
+
+}  // namespace
