@@ -1,0 +1,59 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "Release".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "op2hpx::hpxlite" for configuration "Release"
+set_property(TARGET op2hpx::hpxlite APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(op2hpx::hpxlite PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libhpxlite.a"
+  )
+
+list(APPEND _cmake_import_check_targets op2hpx::hpxlite )
+list(APPEND _cmake_import_check_files_for_op2hpx::hpxlite "${_IMPORT_PREFIX}/lib/libhpxlite.a" )
+
+# Import target "op2hpx::op2" for configuration "Release"
+set_property(TARGET op2hpx::op2 APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(op2hpx::op2 PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libop2.a"
+  )
+
+list(APPEND _cmake_import_check_targets op2hpx::op2 )
+list(APPEND _cmake_import_check_files_for_op2hpx::op2 "${_IMPORT_PREFIX}/lib/libop2.a" )
+
+# Import target "op2hpx::airfoil" for configuration "Release"
+set_property(TARGET op2hpx::airfoil APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(op2hpx::airfoil PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libairfoil.a"
+  )
+
+list(APPEND _cmake_import_check_targets op2hpx::airfoil )
+list(APPEND _cmake_import_check_files_for_op2hpx::airfoil "${_IMPORT_PREFIX}/lib/libairfoil.a" )
+
+# Import target "op2hpx::simsched" for configuration "Release"
+set_property(TARGET op2hpx::simsched APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(op2hpx::simsched PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libsimsched.a"
+  )
+
+list(APPEND _cmake_import_check_targets op2hpx::simsched )
+list(APPEND _cmake_import_check_files_for_op2hpx::simsched "${_IMPORT_PREFIX}/lib/libsimsched.a" )
+
+# Import target "op2hpx::codegen" for configuration "Release"
+set_property(TARGET op2hpx::codegen APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(op2hpx::codegen PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libcodegen.a"
+  )
+
+list(APPEND _cmake_import_check_targets op2hpx::codegen )
+list(APPEND _cmake_import_check_files_for_op2hpx::codegen "${_IMPORT_PREFIX}/lib/libcodegen.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

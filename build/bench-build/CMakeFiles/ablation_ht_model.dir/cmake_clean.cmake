@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_ht_model"
+  "../bench/ablation_ht_model.pdb"
+  "CMakeFiles/ablation_ht_model.dir/ablations/ablation_ht_model.cpp.o"
+  "CMakeFiles/ablation_ht_model.dir/ablations/ablation_ht_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ht_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_partition"
+  "../bench/ablation_partition.pdb"
+  "CMakeFiles/ablation_partition.dir/ablations/ablation_partition.cpp.o"
+  "CMakeFiles/ablation_partition.dir/ablations/ablation_partition.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

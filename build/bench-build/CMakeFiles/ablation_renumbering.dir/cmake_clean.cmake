@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_renumbering"
+  "../bench/ablation_renumbering.pdb"
+  "CMakeFiles/ablation_renumbering.dir/ablations/ablation_renumbering.cpp.o"
+  "CMakeFiles/ablation_renumbering.dir/ablations/ablation_renumbering.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_renumbering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_exec_time"
+  "../bench/fig15_exec_time.pdb"
+  "CMakeFiles/fig15_exec_time.dir/figures/fig15_exec_time.cpp.o"
+  "CMakeFiles/fig15_exec_time.dir/figures/fig15_exec_time.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_exec_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

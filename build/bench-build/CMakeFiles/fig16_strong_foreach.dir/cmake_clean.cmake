@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_strong_foreach"
+  "../bench/fig16_strong_foreach.pdb"
+  "CMakeFiles/fig16_strong_foreach.dir/figures/fig16_strong_foreach.cpp.o"
+  "CMakeFiles/fig16_strong_foreach.dir/figures/fig16_strong_foreach.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_strong_foreach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

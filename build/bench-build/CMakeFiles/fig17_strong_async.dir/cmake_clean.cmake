@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_strong_async"
+  "../bench/fig17_strong_async.pdb"
+  "CMakeFiles/fig17_strong_async.dir/figures/fig17_strong_async.cpp.o"
+  "CMakeFiles/fig17_strong_async.dir/figures/fig17_strong_async.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_strong_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig18_strong_dataflow"
+  "../bench/fig18_strong_dataflow.pdb"
+  "CMakeFiles/fig18_strong_dataflow.dir/figures/fig18_strong_dataflow.cpp.o"
+  "CMakeFiles/fig18_strong_dataflow.dir/figures/fig18_strong_dataflow.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_strong_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig19_weak_scaling"
+  "../bench/fig19_weak_scaling.pdb"
+  "CMakeFiles/fig19_weak_scaling.dir/figures/fig19_weak_scaling.cpp.o"
+  "CMakeFiles/fig19_weak_scaling.dir/figures/fig19_weak_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_weak_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

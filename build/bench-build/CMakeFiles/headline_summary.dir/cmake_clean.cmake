@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/headline_summary"
+  "../bench/headline_summary.pdb"
+  "CMakeFiles/headline_summary.dir/figures/headline_summary.cpp.o"
+  "CMakeFiles/headline_summary.dir/figures/headline_summary.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headline_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/loop_breakdown"
+  "../bench/loop_breakdown.pdb"
+  "CMakeFiles/loop_breakdown.dir/figures/loop_breakdown.cpp.o"
+  "CMakeFiles/loop_breakdown.dir/figures/loop_breakdown.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loop_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

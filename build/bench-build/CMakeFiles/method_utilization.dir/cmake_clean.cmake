@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/method_utilization"
+  "../bench/method_utilization.pdb"
+  "CMakeFiles/method_utilization.dir/figures/method_utilization.cpp.o"
+  "CMakeFiles/method_utilization.dir/figures/method_utilization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/method_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

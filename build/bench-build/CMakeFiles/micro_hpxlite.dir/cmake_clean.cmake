@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_hpxlite"
+  "../bench/micro_hpxlite.pdb"
+  "CMakeFiles/micro_hpxlite.dir/micro/micro_hpxlite.cpp.o"
+  "CMakeFiles/micro_hpxlite.dir/micro/micro_hpxlite.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_hpxlite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

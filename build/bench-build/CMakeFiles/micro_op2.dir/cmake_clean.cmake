@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_op2"
+  "../bench/micro_op2.pdb"
+  "CMakeFiles/micro_op2.dir/micro/micro_op2.cpp.o"
+  "CMakeFiles/micro_op2.dir/micro/micro_op2.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_op2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/model_validation"
+  "../bench/model_validation.pdb"
+  "CMakeFiles/model_validation.dir/figures/model_validation.cpp.o"
+  "CMakeFiles/model_validation.dir/figures/model_validation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

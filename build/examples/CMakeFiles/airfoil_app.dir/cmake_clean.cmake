@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airfoil_app.dir/airfoil_app.cpp.o"
+  "CMakeFiles/airfoil_app.dir/airfoil_app.cpp.o.d"
+  "airfoil_app"
+  "airfoil_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airfoil_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

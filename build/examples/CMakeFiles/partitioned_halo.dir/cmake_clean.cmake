@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partitioned_halo.dir/partitioned_halo.cpp.o"
+  "CMakeFiles/partitioned_halo.dir/partitioned_halo.cpp.o.d"
+  "partitioned_halo"
+  "partitioned_halo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partitioned_halo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_airfoil_app "/root/repo/build/examples/airfoil_app" "--backend=dataflow" "--threads=2" "--imax=48" "--jmax=12" "--iters=20")
+set_tests_properties(example_airfoil_app PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_shallow_water "/root/repo/build/examples/shallow_water" "20")
+set_tests_properties(example_shallow_water PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dataflow_pipeline "/root/repo/build/examples/dataflow_pipeline" "20")
+set_tests_properties(example_dataflow_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_partitioned_halo "/root/repo/build/examples/partitioned_halo" "5")
+set_tests_properties(example_partitioned_halo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_translator_cli "/root/repo/build/src/codegen/op2hpx-translate" "--list" "/root/repo/examples/quickstart.cpp")
+set_tests_properties(example_translator_cli PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airfoil.dir/src/distributed.cpp.o"
+  "CMakeFiles/airfoil.dir/src/distributed.cpp.o.d"
+  "CMakeFiles/airfoil.dir/src/mesh.cpp.o"
+  "CMakeFiles/airfoil.dir/src/mesh.cpp.o.d"
+  "CMakeFiles/airfoil.dir/src/model_adapter.cpp.o"
+  "CMakeFiles/airfoil.dir/src/model_adapter.cpp.o.d"
+  "CMakeFiles/airfoil.dir/src/solver.cpp.o"
+  "CMakeFiles/airfoil.dir/src/solver.cpp.o.d"
+  "CMakeFiles/airfoil.dir/src/state_io.cpp.o"
+  "CMakeFiles/airfoil.dir/src/state_io.cpp.o.d"
+  "libairfoil.a"
+  "libairfoil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airfoil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

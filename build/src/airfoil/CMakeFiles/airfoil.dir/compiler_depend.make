@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for airfoil.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codegen.dir/src/translator.cpp.o"
+  "CMakeFiles/codegen.dir/src/translator.cpp.o.d"
+  "libcodegen.a"
+  "libcodegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/op2hpx-translate.dir/src/translate_main.cpp.o"
+  "CMakeFiles/op2hpx-translate.dir/src/translate_main.cpp.o.d"
+  "op2hpx-translate"
+  "op2hpx-translate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/op2hpx-translate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

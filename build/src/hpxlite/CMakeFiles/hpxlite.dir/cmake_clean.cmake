@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpxlite.dir/src/fork_join_team.cpp.o"
+  "CMakeFiles/hpxlite.dir/src/fork_join_team.cpp.o.d"
+  "CMakeFiles/hpxlite.dir/src/scheduler.cpp.o"
+  "CMakeFiles/hpxlite.dir/src/scheduler.cpp.o.d"
+  "libhpxlite.a"
+  "libhpxlite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpxlite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

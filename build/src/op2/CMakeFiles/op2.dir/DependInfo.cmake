@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/op2/src/constants.cpp" "src/op2/CMakeFiles/op2.dir/src/constants.cpp.o" "gcc" "src/op2/CMakeFiles/op2.dir/src/constants.cpp.o.d"
+  "/root/repo/src/op2/src/mesh_io.cpp" "src/op2/CMakeFiles/op2.dir/src/mesh_io.cpp.o" "gcc" "src/op2/CMakeFiles/op2.dir/src/mesh_io.cpp.o.d"
+  "/root/repo/src/op2/src/partition.cpp" "src/op2/CMakeFiles/op2.dir/src/partition.cpp.o" "gcc" "src/op2/CMakeFiles/op2.dir/src/partition.cpp.o.d"
+  "/root/repo/src/op2/src/plan.cpp" "src/op2/CMakeFiles/op2.dir/src/plan.cpp.o" "gcc" "src/op2/CMakeFiles/op2.dir/src/plan.cpp.o.d"
+  "/root/repo/src/op2/src/profiling.cpp" "src/op2/CMakeFiles/op2.dir/src/profiling.cpp.o" "gcc" "src/op2/CMakeFiles/op2.dir/src/profiling.cpp.o.d"
+  "/root/repo/src/op2/src/renumber.cpp" "src/op2/CMakeFiles/op2.dir/src/renumber.cpp.o" "gcc" "src/op2/CMakeFiles/op2.dir/src/renumber.cpp.o.d"
+  "/root/repo/src/op2/src/runtime.cpp" "src/op2/CMakeFiles/op2.dir/src/runtime.cpp.o" "gcc" "src/op2/CMakeFiles/op2.dir/src/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hpxlite/CMakeFiles/hpxlite.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

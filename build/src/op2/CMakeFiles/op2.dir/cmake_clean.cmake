@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/op2.dir/src/constants.cpp.o"
+  "CMakeFiles/op2.dir/src/constants.cpp.o.d"
+  "CMakeFiles/op2.dir/src/mesh_io.cpp.o"
+  "CMakeFiles/op2.dir/src/mesh_io.cpp.o.d"
+  "CMakeFiles/op2.dir/src/partition.cpp.o"
+  "CMakeFiles/op2.dir/src/partition.cpp.o.d"
+  "CMakeFiles/op2.dir/src/plan.cpp.o"
+  "CMakeFiles/op2.dir/src/plan.cpp.o.d"
+  "CMakeFiles/op2.dir/src/profiling.cpp.o"
+  "CMakeFiles/op2.dir/src/profiling.cpp.o.d"
+  "CMakeFiles/op2.dir/src/renumber.cpp.o"
+  "CMakeFiles/op2.dir/src/renumber.cpp.o.d"
+  "CMakeFiles/op2.dir/src/runtime.cpp.o"
+  "CMakeFiles/op2.dir/src/runtime.cpp.o.d"
+  "libop2.a"
+  "libop2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/op2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

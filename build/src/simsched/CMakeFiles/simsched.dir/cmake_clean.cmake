@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simsched.dir/src/airfoil_model.cpp.o"
+  "CMakeFiles/simsched.dir/src/airfoil_model.cpp.o.d"
+  "CMakeFiles/simsched.dir/src/engine.cpp.o"
+  "CMakeFiles/simsched.dir/src/engine.cpp.o.d"
+  "libsimsched.a"
+  "libsimsched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simsched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

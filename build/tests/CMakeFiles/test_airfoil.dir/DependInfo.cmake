@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/airfoil/test_distributed.cpp" "tests/CMakeFiles/test_airfoil.dir/airfoil/test_distributed.cpp.o" "gcc" "tests/CMakeFiles/test_airfoil.dir/airfoil/test_distributed.cpp.o.d"
+  "/root/repo/tests/airfoil/test_kernels.cpp" "tests/CMakeFiles/test_airfoil.dir/airfoil/test_kernels.cpp.o" "gcc" "tests/CMakeFiles/test_airfoil.dir/airfoil/test_kernels.cpp.o.d"
+  "/root/repo/tests/airfoil/test_mesh.cpp" "tests/CMakeFiles/test_airfoil.dir/airfoil/test_mesh.cpp.o" "gcc" "tests/CMakeFiles/test_airfoil.dir/airfoil/test_mesh.cpp.o.d"
+  "/root/repo/tests/airfoil/test_solver.cpp" "tests/CMakeFiles/test_airfoil.dir/airfoil/test_solver.cpp.o" "gcc" "tests/CMakeFiles/test_airfoil.dir/airfoil/test_solver.cpp.o.d"
+  "/root/repo/tests/airfoil/test_state_io.cpp" "tests/CMakeFiles/test_airfoil.dir/airfoil/test_state_io.cpp.o" "gcc" "tests/CMakeFiles/test_airfoil.dir/airfoil/test_state_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hpxlite/CMakeFiles/hpxlite.dir/DependInfo.cmake"
+  "/root/repo/build/src/op2/CMakeFiles/op2.dir/DependInfo.cmake"
+  "/root/repo/build/src/airfoil/CMakeFiles/airfoil.dir/DependInfo.cmake"
+  "/root/repo/build/src/simsched/CMakeFiles/simsched.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/codegen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

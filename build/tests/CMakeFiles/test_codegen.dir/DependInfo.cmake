@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/codegen/test_emitter.cpp" "tests/CMakeFiles/test_codegen.dir/codegen/test_emitter.cpp.o" "gcc" "tests/CMakeFiles/test_codegen.dir/codegen/test_emitter.cpp.o.d"
+  "/root/repo/tests/codegen/test_op2hpx_target.cpp" "tests/CMakeFiles/test_codegen.dir/codegen/test_op2hpx_target.cpp.o" "gcc" "tests/CMakeFiles/test_codegen.dir/codegen/test_op2hpx_target.cpp.o.d"
+  "/root/repo/tests/codegen/test_parser.cpp" "tests/CMakeFiles/test_codegen.dir/codegen/test_parser.cpp.o" "gcc" "tests/CMakeFiles/test_codegen.dir/codegen/test_parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hpxlite/CMakeFiles/hpxlite.dir/DependInfo.cmake"
+  "/root/repo/build/src/op2/CMakeFiles/op2.dir/DependInfo.cmake"
+  "/root/repo/build/src/airfoil/CMakeFiles/airfoil.dir/DependInfo.cmake"
+  "/root/repo/build/src/simsched/CMakeFiles/simsched.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/codegen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_codegen.dir/codegen/test_emitter.cpp.o"
+  "CMakeFiles/test_codegen.dir/codegen/test_emitter.cpp.o.d"
+  "CMakeFiles/test_codegen.dir/codegen/test_op2hpx_target.cpp.o"
+  "CMakeFiles/test_codegen.dir/codegen/test_op2hpx_target.cpp.o.d"
+  "CMakeFiles/test_codegen.dir/codegen/test_parser.cpp.o"
+  "CMakeFiles/test_codegen.dir/codegen/test_parser.cpp.o.d"
+  "test_codegen"
+  "test_codegen.pdb"
+  "test_codegen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

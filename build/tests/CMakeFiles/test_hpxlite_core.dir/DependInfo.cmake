@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hpxlite/test_irange.cpp" "tests/CMakeFiles/test_hpxlite_core.dir/hpxlite/test_irange.cpp.o" "gcc" "tests/CMakeFiles/test_hpxlite_core.dir/hpxlite/test_irange.cpp.o.d"
+  "/root/repo/tests/hpxlite/test_scheduler.cpp" "tests/CMakeFiles/test_hpxlite_core.dir/hpxlite/test_scheduler.cpp.o" "gcc" "tests/CMakeFiles/test_hpxlite_core.dir/hpxlite/test_scheduler.cpp.o.d"
+  "/root/repo/tests/hpxlite/test_spinlock.cpp" "tests/CMakeFiles/test_hpxlite_core.dir/hpxlite/test_spinlock.cpp.o" "gcc" "tests/CMakeFiles/test_hpxlite_core.dir/hpxlite/test_spinlock.cpp.o.d"
+  "/root/repo/tests/hpxlite/test_unique_function.cpp" "tests/CMakeFiles/test_hpxlite_core.dir/hpxlite/test_unique_function.cpp.o" "gcc" "tests/CMakeFiles/test_hpxlite_core.dir/hpxlite/test_unique_function.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hpxlite/CMakeFiles/hpxlite.dir/DependInfo.cmake"
+  "/root/repo/build/src/op2/CMakeFiles/op2.dir/DependInfo.cmake"
+  "/root/repo/build/src/airfoil/CMakeFiles/airfoil.dir/DependInfo.cmake"
+  "/root/repo/build/src/simsched/CMakeFiles/simsched.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/codegen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hpxlite_core.dir/hpxlite/test_irange.cpp.o"
+  "CMakeFiles/test_hpxlite_core.dir/hpxlite/test_irange.cpp.o.d"
+  "CMakeFiles/test_hpxlite_core.dir/hpxlite/test_scheduler.cpp.o"
+  "CMakeFiles/test_hpxlite_core.dir/hpxlite/test_scheduler.cpp.o.d"
+  "CMakeFiles/test_hpxlite_core.dir/hpxlite/test_spinlock.cpp.o"
+  "CMakeFiles/test_hpxlite_core.dir/hpxlite/test_spinlock.cpp.o.d"
+  "CMakeFiles/test_hpxlite_core.dir/hpxlite/test_unique_function.cpp.o"
+  "CMakeFiles/test_hpxlite_core.dir/hpxlite/test_unique_function.cpp.o.d"
+  "test_hpxlite_core"
+  "test_hpxlite_core.pdb"
+  "test_hpxlite_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hpxlite_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

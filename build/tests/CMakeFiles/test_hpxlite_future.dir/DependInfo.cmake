@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hpxlite/test_async.cpp" "tests/CMakeFiles/test_hpxlite_future.dir/hpxlite/test_async.cpp.o" "gcc" "tests/CMakeFiles/test_hpxlite_future.dir/hpxlite/test_async.cpp.o.d"
+  "/root/repo/tests/hpxlite/test_channel.cpp" "tests/CMakeFiles/test_hpxlite_future.dir/hpxlite/test_channel.cpp.o" "gcc" "tests/CMakeFiles/test_hpxlite_future.dir/hpxlite/test_channel.cpp.o.d"
+  "/root/repo/tests/hpxlite/test_dataflow.cpp" "tests/CMakeFiles/test_hpxlite_future.dir/hpxlite/test_dataflow.cpp.o" "gcc" "tests/CMakeFiles/test_hpxlite_future.dir/hpxlite/test_dataflow.cpp.o.d"
+  "/root/repo/tests/hpxlite/test_future.cpp" "tests/CMakeFiles/test_hpxlite_future.dir/hpxlite/test_future.cpp.o" "gcc" "tests/CMakeFiles/test_hpxlite_future.dir/hpxlite/test_future.cpp.o.d"
+  "/root/repo/tests/hpxlite/test_timed_wait.cpp" "tests/CMakeFiles/test_hpxlite_future.dir/hpxlite/test_timed_wait.cpp.o" "gcc" "tests/CMakeFiles/test_hpxlite_future.dir/hpxlite/test_timed_wait.cpp.o.d"
+  "/root/repo/tests/hpxlite/test_when_any.cpp" "tests/CMakeFiles/test_hpxlite_future.dir/hpxlite/test_when_any.cpp.o" "gcc" "tests/CMakeFiles/test_hpxlite_future.dir/hpxlite/test_when_any.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hpxlite/CMakeFiles/hpxlite.dir/DependInfo.cmake"
+  "/root/repo/build/src/op2/CMakeFiles/op2.dir/DependInfo.cmake"
+  "/root/repo/build/src/airfoil/CMakeFiles/airfoil.dir/DependInfo.cmake"
+  "/root/repo/build/src/simsched/CMakeFiles/simsched.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/codegen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hpxlite_future.dir/hpxlite/test_async.cpp.o"
+  "CMakeFiles/test_hpxlite_future.dir/hpxlite/test_async.cpp.o.d"
+  "CMakeFiles/test_hpxlite_future.dir/hpxlite/test_channel.cpp.o"
+  "CMakeFiles/test_hpxlite_future.dir/hpxlite/test_channel.cpp.o.d"
+  "CMakeFiles/test_hpxlite_future.dir/hpxlite/test_dataflow.cpp.o"
+  "CMakeFiles/test_hpxlite_future.dir/hpxlite/test_dataflow.cpp.o.d"
+  "CMakeFiles/test_hpxlite_future.dir/hpxlite/test_future.cpp.o"
+  "CMakeFiles/test_hpxlite_future.dir/hpxlite/test_future.cpp.o.d"
+  "CMakeFiles/test_hpxlite_future.dir/hpxlite/test_timed_wait.cpp.o"
+  "CMakeFiles/test_hpxlite_future.dir/hpxlite/test_timed_wait.cpp.o.d"
+  "CMakeFiles/test_hpxlite_future.dir/hpxlite/test_when_any.cpp.o"
+  "CMakeFiles/test_hpxlite_future.dir/hpxlite/test_when_any.cpp.o.d"
+  "test_hpxlite_future"
+  "test_hpxlite_future.pdb"
+  "test_hpxlite_future[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hpxlite_future.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hpxlite/test_fork_join_team.cpp" "tests/CMakeFiles/test_hpxlite_parallel.dir/hpxlite/test_fork_join_team.cpp.o" "gcc" "tests/CMakeFiles/test_hpxlite_parallel.dir/hpxlite/test_fork_join_team.cpp.o.d"
+  "/root/repo/tests/hpxlite/test_parallel_foreach.cpp" "tests/CMakeFiles/test_hpxlite_parallel.dir/hpxlite/test_parallel_foreach.cpp.o" "gcc" "tests/CMakeFiles/test_hpxlite_parallel.dir/hpxlite/test_parallel_foreach.cpp.o.d"
+  "/root/repo/tests/hpxlite/test_parallel_reduce.cpp" "tests/CMakeFiles/test_hpxlite_parallel.dir/hpxlite/test_parallel_reduce.cpp.o" "gcc" "tests/CMakeFiles/test_hpxlite_parallel.dir/hpxlite/test_parallel_reduce.cpp.o.d"
+  "/root/repo/tests/hpxlite/test_parallel_scan.cpp" "tests/CMakeFiles/test_hpxlite_parallel.dir/hpxlite/test_parallel_scan.cpp.o" "gcc" "tests/CMakeFiles/test_hpxlite_parallel.dir/hpxlite/test_parallel_scan.cpp.o.d"
+  "/root/repo/tests/hpxlite/test_stress.cpp" "tests/CMakeFiles/test_hpxlite_parallel.dir/hpxlite/test_stress.cpp.o" "gcc" "tests/CMakeFiles/test_hpxlite_parallel.dir/hpxlite/test_stress.cpp.o.d"
+  "/root/repo/tests/hpxlite/test_sync.cpp" "tests/CMakeFiles/test_hpxlite_parallel.dir/hpxlite/test_sync.cpp.o" "gcc" "tests/CMakeFiles/test_hpxlite_parallel.dir/hpxlite/test_sync.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hpxlite/CMakeFiles/hpxlite.dir/DependInfo.cmake"
+  "/root/repo/build/src/op2/CMakeFiles/op2.dir/DependInfo.cmake"
+  "/root/repo/build/src/airfoil/CMakeFiles/airfoil.dir/DependInfo.cmake"
+  "/root/repo/build/src/simsched/CMakeFiles/simsched.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/codegen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

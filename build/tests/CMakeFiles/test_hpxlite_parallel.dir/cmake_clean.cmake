@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hpxlite_parallel.dir/hpxlite/test_fork_join_team.cpp.o"
+  "CMakeFiles/test_hpxlite_parallel.dir/hpxlite/test_fork_join_team.cpp.o.d"
+  "CMakeFiles/test_hpxlite_parallel.dir/hpxlite/test_parallel_foreach.cpp.o"
+  "CMakeFiles/test_hpxlite_parallel.dir/hpxlite/test_parallel_foreach.cpp.o.d"
+  "CMakeFiles/test_hpxlite_parallel.dir/hpxlite/test_parallel_reduce.cpp.o"
+  "CMakeFiles/test_hpxlite_parallel.dir/hpxlite/test_parallel_reduce.cpp.o.d"
+  "CMakeFiles/test_hpxlite_parallel.dir/hpxlite/test_parallel_scan.cpp.o"
+  "CMakeFiles/test_hpxlite_parallel.dir/hpxlite/test_parallel_scan.cpp.o.d"
+  "CMakeFiles/test_hpxlite_parallel.dir/hpxlite/test_stress.cpp.o"
+  "CMakeFiles/test_hpxlite_parallel.dir/hpxlite/test_stress.cpp.o.d"
+  "CMakeFiles/test_hpxlite_parallel.dir/hpxlite/test_sync.cpp.o"
+  "CMakeFiles/test_hpxlite_parallel.dir/hpxlite/test_sync.cpp.o.d"
+  "test_hpxlite_parallel"
+  "test_hpxlite_parallel.pdb"
+  "test_hpxlite_parallel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hpxlite_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/op2/test_arg.cpp" "tests/CMakeFiles/test_op2.dir/op2/test_arg.cpp.o" "gcc" "tests/CMakeFiles/test_op2.dir/op2/test_arg.cpp.o.d"
+  "/root/repo/tests/op2/test_dat_stats.cpp" "tests/CMakeFiles/test_op2.dir/op2/test_dat_stats.cpp.o" "gcc" "tests/CMakeFiles/test_op2.dir/op2/test_dat_stats.cpp.o.d"
+  "/root/repo/tests/op2/test_dataflow_api.cpp" "tests/CMakeFiles/test_op2.dir/op2/test_dataflow_api.cpp.o" "gcc" "tests/CMakeFiles/test_op2.dir/op2/test_dataflow_api.cpp.o.d"
+  "/root/repo/tests/op2/test_dataflow_random.cpp" "tests/CMakeFiles/test_op2.dir/op2/test_dataflow_random.cpp.o" "gcc" "tests/CMakeFiles/test_op2.dir/op2/test_dataflow_random.cpp.o.d"
+  "/root/repo/tests/op2/test_mesh_io.cpp" "tests/CMakeFiles/test_op2.dir/op2/test_mesh_io.cpp.o" "gcc" "tests/CMakeFiles/test_op2.dir/op2/test_mesh_io.cpp.o.d"
+  "/root/repo/tests/op2/test_par_loop.cpp" "tests/CMakeFiles/test_op2.dir/op2/test_par_loop.cpp.o" "gcc" "tests/CMakeFiles/test_op2.dir/op2/test_par_loop.cpp.o.d"
+  "/root/repo/tests/op2/test_partition.cpp" "tests/CMakeFiles/test_op2.dir/op2/test_partition.cpp.o" "gcc" "tests/CMakeFiles/test_op2.dir/op2/test_partition.cpp.o.d"
+  "/root/repo/tests/op2/test_plan.cpp" "tests/CMakeFiles/test_op2.dir/op2/test_plan.cpp.o" "gcc" "tests/CMakeFiles/test_op2.dir/op2/test_plan.cpp.o.d"
+  "/root/repo/tests/op2/test_profiling_consts.cpp" "tests/CMakeFiles/test_op2.dir/op2/test_profiling_consts.cpp.o" "gcc" "tests/CMakeFiles/test_op2.dir/op2/test_profiling_consts.cpp.o.d"
+  "/root/repo/tests/op2/test_renumber.cpp" "tests/CMakeFiles/test_op2.dir/op2/test_renumber.cpp.o" "gcc" "tests/CMakeFiles/test_op2.dir/op2/test_renumber.cpp.o.d"
+  "/root/repo/tests/op2/test_set_map_dat.cpp" "tests/CMakeFiles/test_op2.dir/op2/test_set_map_dat.cpp.o" "gcc" "tests/CMakeFiles/test_op2.dir/op2/test_set_map_dat.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hpxlite/CMakeFiles/hpxlite.dir/DependInfo.cmake"
+  "/root/repo/build/src/op2/CMakeFiles/op2.dir/DependInfo.cmake"
+  "/root/repo/build/src/airfoil/CMakeFiles/airfoil.dir/DependInfo.cmake"
+  "/root/repo/build/src/simsched/CMakeFiles/simsched.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/codegen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

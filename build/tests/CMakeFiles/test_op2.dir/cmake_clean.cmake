@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_op2.dir/op2/test_arg.cpp.o"
+  "CMakeFiles/test_op2.dir/op2/test_arg.cpp.o.d"
+  "CMakeFiles/test_op2.dir/op2/test_dat_stats.cpp.o"
+  "CMakeFiles/test_op2.dir/op2/test_dat_stats.cpp.o.d"
+  "CMakeFiles/test_op2.dir/op2/test_dataflow_api.cpp.o"
+  "CMakeFiles/test_op2.dir/op2/test_dataflow_api.cpp.o.d"
+  "CMakeFiles/test_op2.dir/op2/test_dataflow_random.cpp.o"
+  "CMakeFiles/test_op2.dir/op2/test_dataflow_random.cpp.o.d"
+  "CMakeFiles/test_op2.dir/op2/test_mesh_io.cpp.o"
+  "CMakeFiles/test_op2.dir/op2/test_mesh_io.cpp.o.d"
+  "CMakeFiles/test_op2.dir/op2/test_par_loop.cpp.o"
+  "CMakeFiles/test_op2.dir/op2/test_par_loop.cpp.o.d"
+  "CMakeFiles/test_op2.dir/op2/test_partition.cpp.o"
+  "CMakeFiles/test_op2.dir/op2/test_partition.cpp.o.d"
+  "CMakeFiles/test_op2.dir/op2/test_plan.cpp.o"
+  "CMakeFiles/test_op2.dir/op2/test_plan.cpp.o.d"
+  "CMakeFiles/test_op2.dir/op2/test_profiling_consts.cpp.o"
+  "CMakeFiles/test_op2.dir/op2/test_profiling_consts.cpp.o.d"
+  "CMakeFiles/test_op2.dir/op2/test_renumber.cpp.o"
+  "CMakeFiles/test_op2.dir/op2/test_renumber.cpp.o.d"
+  "CMakeFiles/test_op2.dir/op2/test_set_map_dat.cpp.o"
+  "CMakeFiles/test_op2.dir/op2/test_set_map_dat.cpp.o.d"
+  "test_op2"
+  "test_op2.pdb"
+  "test_op2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_op2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/simsched/test_airfoil_model.cpp" "tests/CMakeFiles/test_simsched.dir/simsched/test_airfoil_model.cpp.o" "gcc" "tests/CMakeFiles/test_simsched.dir/simsched/test_airfoil_model.cpp.o.d"
+  "/root/repo/tests/simsched/test_engine.cpp" "tests/CMakeFiles/test_simsched.dir/simsched/test_engine.cpp.o" "gcc" "tests/CMakeFiles/test_simsched.dir/simsched/test_engine.cpp.o.d"
+  "/root/repo/tests/simsched/test_machine.cpp" "tests/CMakeFiles/test_simsched.dir/simsched/test_machine.cpp.o" "gcc" "tests/CMakeFiles/test_simsched.dir/simsched/test_machine.cpp.o.d"
+  "/root/repo/tests/simsched/test_overheads.cpp" "tests/CMakeFiles/test_simsched.dir/simsched/test_overheads.cpp.o" "gcc" "tests/CMakeFiles/test_simsched.dir/simsched/test_overheads.cpp.o.d"
+  "/root/repo/tests/simsched/test_trace.cpp" "tests/CMakeFiles/test_simsched.dir/simsched/test_trace.cpp.o" "gcc" "tests/CMakeFiles/test_simsched.dir/simsched/test_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hpxlite/CMakeFiles/hpxlite.dir/DependInfo.cmake"
+  "/root/repo/build/src/op2/CMakeFiles/op2.dir/DependInfo.cmake"
+  "/root/repo/build/src/airfoil/CMakeFiles/airfoil.dir/DependInfo.cmake"
+  "/root/repo/build/src/simsched/CMakeFiles/simsched.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/codegen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

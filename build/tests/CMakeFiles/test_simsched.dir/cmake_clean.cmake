@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simsched.dir/simsched/test_airfoil_model.cpp.o"
+  "CMakeFiles/test_simsched.dir/simsched/test_airfoil_model.cpp.o.d"
+  "CMakeFiles/test_simsched.dir/simsched/test_engine.cpp.o"
+  "CMakeFiles/test_simsched.dir/simsched/test_engine.cpp.o.d"
+  "CMakeFiles/test_simsched.dir/simsched/test_machine.cpp.o"
+  "CMakeFiles/test_simsched.dir/simsched/test_machine.cpp.o.d"
+  "CMakeFiles/test_simsched.dir/simsched/test_overheads.cpp.o"
+  "CMakeFiles/test_simsched.dir/simsched/test_overheads.cpp.o.d"
+  "CMakeFiles/test_simsched.dir/simsched/test_trace.cpp.o"
+  "CMakeFiles/test_simsched.dir/simsched/test_trace.cpp.o.d"
+  "test_simsched"
+  "test_simsched.pdb"
+  "test_simsched[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simsched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_hpxlite_core[1]_include.cmake")
+include("/root/repo/build/tests/test_hpxlite_future[1]_include.cmake")
+include("/root/repo/build/tests/test_hpxlite_parallel[1]_include.cmake")
+include("/root/repo/build/tests/test_op2[1]_include.cmake")
+include("/root/repo/build/tests/test_airfoil[1]_include.cmake")
+include("/root/repo/build/tests/test_simsched[1]_include.cmake")
+include("/root/repo/build/tests/test_codegen[1]_include.cmake")
