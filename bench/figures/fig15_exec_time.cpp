@@ -3,49 +3,54 @@
 // thread count.  The paper's observation: all methods tie at 1 thread;
 // async and dataflow pull ahead as threads grow.
 //
+// The method list is not hard-coded: both tables enumerate
+// op2::backend_registry and include every executor the simulator can
+// model (capabilities().sim_method non-empty), so a newly registered
+// backend shows up as an extra column automatically.
+//
 // Output: one row per thread count, simulated ms/iteration per method,
 // followed by a real-execution cross-check on this machine.
+#include <utility>
+
 #include "figure_common.hpp"
 
 namespace {
 
-void real_execution_check() {
+/// Registered backends the virtual node can model, with their simsched
+/// methods, in registration order (the paper's column order).
+std::vector<std::pair<std::string, simsched::method>> simulated_backends() {
+  std::vector<std::pair<std::string, simsched::method>> out;
+  for (const auto& name : op2::backend_registry::names()) {
+    const auto caps = op2::backend_registry::shared(name).capabilities();
+    if (caps.sim_method[0] != '\0') {
+      out.emplace_back(name, simsched::method_from_name(caps.sim_method));
+    }
+  }
+  return out;
+}
+
+void real_execution_check(
+    const std::vector<std::pair<std::string, simsched::method>>& methods) {
   std::printf("\n[real] Airfoil on this machine (small mesh, wall ms/iter; "
               "thread counts beyond the local core count oversubscribe)\n");
   const airfoil::mesh_params mp{96, 24};
   constexpr int iters = 5;
-  std::printf("%8s %16s %16s %16s %16s\n", "threads", "omp(forkjoin)",
-              "for_each", "async", "dataflow");
-  for (const unsigned t : {1u, 2u, 4u}) {
-    double fj = 0.0;
-    double fe = 0.0;
-    double as = 0.0;
-    double df = 0.0;
-    {
-      op2::init({op2::backend::forkjoin, t, 128, 0});
-      auto s = airfoil::make_sim(airfoil::generate_mesh(mp));
-      fj = airfoil::run_classic(s, iters).seconds;
-    }
-    {
-      op2::init({op2::backend::hpx_foreach, t, 128, 0});
-      auto s = airfoil::make_sim(airfoil::generate_mesh(mp));
-      fe = airfoil::run_classic(s, iters).seconds;
-    }
-    {
-      op2::init({op2::backend::hpx_async, t, 128, 0});
-      auto s = airfoil::make_sim(airfoil::generate_mesh(mp));
-      as = airfoil::run_async(s, iters).seconds;
-    }
-    {
-      op2::init({op2::backend::hpx_dataflow, t, 128, 0});
-      auto s = airfoil::make_sim(airfoil::generate_mesh(mp));
-      df = airfoil::run_dataflow(s, iters).seconds;
-    }
-    op2::finalize();
-    const double scale = 1000.0 / iters;
-    std::printf("%8u %16.2f %16.2f %16.2f %16.2f\n", t, fj * scale,
-                fe * scale, as * scale, df * scale);
+  std::printf("%8s", "threads");
+  for (const auto& [name, m] : methods) {
+    std::printf(" %16s", name.c_str());
   }
+  std::printf("\n");
+  for (const unsigned t : {1u, 2u, 4u}) {
+    std::printf("%8u", t);
+    for (const auto& [name, m] : methods) {
+      op2::init(op2::make_config(name, t, 128));
+      auto s = airfoil::make_sim(airfoil::generate_mesh(mp));
+      const double secs = airfoil::run_with_backend(s, iters, name).seconds;
+      std::printf(" %16.2f", secs * 1000.0 / iters);
+    }
+    std::printf("\n");
+  }
+  op2::finalize();
 }
 
 }  // namespace
@@ -54,20 +59,20 @@ int main() {
   figures::print_header(
       "Figure 15: Airfoil execution time vs threads",
       "[sim] virtual 16-core+HT node, ms per iteration (lower is better)");
+  const auto methods = simulated_backends();
   const auto shape = figures::make_shape({});
-  figures::print_series_header(
-      {"omp", "for_each", "async", "dataflow"});
-  for (const unsigned t : figures::paper_threads) {
-    std::printf("%8u %16.3f %16.3f %16.3f %16.3f\n", t,
-                figures::sim_ms_per_iter(shape,
-                                         simsched::method::omp_forkjoin, t),
-                figures::sim_ms_per_iter(
-                    shape, simsched::method::hpx_foreach_auto, t),
-                figures::sim_ms_per_iter(shape, simsched::method::hpx_async,
-                                         t),
-                figures::sim_ms_per_iter(shape,
-                                         simsched::method::hpx_dataflow, t));
+  std::vector<std::string> labels;
+  for (const auto& [name, m] : methods) {
+    labels.push_back(name);
   }
-  real_execution_check();
+  figures::print_series_header(labels);
+  for (const unsigned t : figures::paper_threads) {
+    std::printf("%8u", t);
+    for (const auto& [name, m] : methods) {
+      std::printf(" %16.3f", figures::sim_ms_per_iter(shape, m, t));
+    }
+    std::printf("\n");
+  }
+  real_execution_check(methods);
   return 0;
 }

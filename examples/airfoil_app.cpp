@@ -2,10 +2,13 @@
 // reproduction's equivalent of OP2's airfoil binary reading
 // new_grid.dat (we generate the mesh; see airfoil/mesh.hpp).
 //
-//   ./examples/airfoil_app [--backend=seq|forkjoin|foreach|async|dataflow]
-//                          [--threads=N] [--imax=N] [--jmax=N]
-//                          [--iters=N] [--block=N] [--chunk=N]
-//                          [--save-mesh=path] [--profile]
+//   ./examples/airfoil_app [--backend=<name>] [--threads=N]
+//                          [--imax=N] [--jmax=N] [--iters=N]
+//                          [--block=N] [--chunk=N]
+//                          [--save-mesh=path] [--profile] [--help]
+//
+// --backend accepts any name (or alias) registered in
+// op2::backend_registry; --help lists what is available in this build.
 //
 // Prints the RMS residual every 100 iterations, like the original.
 #include <cstdio>
@@ -30,14 +33,19 @@ struct options {
   bool profile = false;
 };
 
-int usage() {
-  std::fprintf(stderr,
-               "usage: airfoil_app [--backend=seq|forkjoin|foreach|async|"
-               "dataflow] [--threads=N]\n"
+int usage(std::FILE* out = stderr, int code = 2) {
+  std::fprintf(out,
+               "usage: airfoil_app [--backend=<name>] [--threads=N]\n"
                "                   [--imax=N] [--jmax=N] [--iters=N] "
                "[--block=N] [--chunk=N]\n"
-               "                   [--save-mesh=path] [--profile]\n");
-  return 2;
+               "                   [--save-mesh=path] [--profile] "
+               "[--help]\n"
+               "registered backends:");
+  for (const auto& name : op2::backend_registry::names()) {
+    std::fprintf(out, " %s", name.c_str());
+  }
+  std::fprintf(out, "\n");
+  return code;
 }
 
 bool parse_flag(const char* arg, const char* name, std::string& out) {
@@ -73,32 +81,29 @@ int main(int argc, char** argv) {
       opt.save_mesh = value;
     } else if (std::string(argv[i]) == "--profile") {
       opt.profile = true;
+    } else if (std::string(argv[i]) == "--help") {
+      return usage(stdout, 0);
     } else {
       return usage();
     }
   }
 
-  op2::backend bk;
-  if (opt.backend == "seq") {
-    bk = op2::backend::seq;
-  } else if (opt.backend == "forkjoin") {
-    bk = op2::backend::forkjoin;
-  } else if (opt.backend == "foreach") {
-    bk = op2::backend::hpx_foreach;
-  } else if (opt.backend == "async") {
-    bk = op2::backend::hpx_async;
-  } else if (opt.backend == "dataflow") {
-    bk = op2::backend::hpx_dataflow;
-  } else {
+  // Resolve through the registry: aliases canonicalise, typos get the
+  // "unknown backend ... available: ..." message.
+  op2::config cfg;
+  try {
+    cfg = op2::make_config(opt.backend, opt.threads, opt.block, opt.chunk);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
     return usage();
   }
 
   std::printf("airfoil: %dx%d cells, %d iterations, backend=%s, "
               "threads=%u, block=%d\n",
-              opt.imax, opt.jmax, opt.iters, opt.backend.c_str(),
+              opt.imax, opt.jmax, opt.iters, cfg.backend_name.c_str(),
               opt.threads, opt.block);
 
-  op2::init({bk, opt.threads, opt.block, opt.chunk});
+  op2::init(cfg);
   if (opt.profile) {
     op2::profiling::enable(true);
   }
@@ -109,18 +114,10 @@ int main(int argc, char** argv) {
   }
   auto sim = airfoil::make_sim(std::move(mesh));
 
-  airfoil::run_result result;
-  switch (bk) {
-    case op2::backend::hpx_async:
-      result = airfoil::run_async(sim, opt.iters);
-      break;
-    case op2::backend::hpx_dataflow:
-      result = airfoil::run_dataflow(sim, opt.iters);
-      break;
-    default:
-      result = airfoil::run_classic(sim, opt.iters);
-      break;
-  }
+  // Driver selection follows the executor's capabilities (dataflow API,
+  // async futures, or the classic synchronous loop nest).
+  airfoil::run_result result =
+      airfoil::run_with_backend(sim, opt.iters, cfg.backend_name);
 
   for (std::size_t i = 99; i < result.rms_history.size(); i += 100) {
     std::printf("  iter %5zu  rms = %.6e\n", i + 1, result.rms_history[i]);

@@ -17,6 +17,7 @@
 // benchmark does; `rms` is the convergence monitor.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "airfoil/mesh.hpp"
@@ -50,6 +51,18 @@ struct run_result {
 run_result run_classic(sim& s, int niter);
 run_result run_async(sim& s, int niter);
 run_result run_dataflow(sim& s, int niter);
+
+/// Runs the driver matching `backend_name`'s executor capabilities:
+/// dataflow_api -> run_dataflow, asynchronous -> run_async, else
+/// run_classic.  `backend_name` may be a canonical registry name or an
+/// alias; throws the registry's "unknown backend ... available: ..."
+/// error for mistyped names.  The caller must already have configured
+/// the runtime for this backend (op2::init).
+run_result run_with_backend(sim& s, int niter,
+                            const std::string& backend_name);
+
+/// Same, for the currently-configured backend.
+run_result run_with_backend(sim& s, int niter);
 
 /// Sum over all conservative variables — a cheap fingerprint used by
 /// tests to confirm every backend computes the same flow field.

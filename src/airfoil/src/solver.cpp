@@ -283,6 +283,23 @@ run_result run_dataflow(sim& s, int niter) {
   return out;
 }
 
+run_result run_with_backend(sim& s, int niter,
+                            const std::string& backend_name) {
+  const auto caps =
+      op2::backend_registry::shared(backend_name).capabilities();
+  if (caps.dataflow_api) {
+    return run_dataflow(s, niter);
+  }
+  if (caps.asynchronous) {
+    return run_async(s, niter);
+  }
+  return run_classic(s, niter);
+}
+
+run_result run_with_backend(sim& s, int niter) {
+  return run_with_backend(s, niter, op2::current_backend_name());
+}
+
 double solution_checksum(const sim& s) {
   double sum = 0.0;
   for (const double v : s.p_q.data<double>()) {

@@ -2,22 +2,33 @@
 // translator.  Usage:
 //
 //   op2hpx-translate --target=hpx_dataflow Airfoil.cpp > kernels.cpp
+//   op2hpx-translate --target=op2hpx --backend=hpx_async Airfoil.cpp
 //
 // Mirrors invoking OP2's Python translator on an application source.
+// --backend names any executor registered in op2::backend_registry and
+// is threaded into the generated translation unit.
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 
 #include "codegen/translator.hpp"
+#include "op2/loop_executor.hpp"
 
 namespace {
 
 int usage() {
   std::cerr
-      << "usage: op2hpx-translate [--list] --target=<t> <source.cpp>\n"
+      << "usage: op2hpx-translate [--list] --target=<t> [--backend=<b>] "
+         "<source.cpp>\n"
          "  targets: openmp, hpx_foreach, hpx_foreach_chunked, hpx_async,\n"
          "           hpx_dataflow, op2hpx\n"
+         "  backends:";
+  for (const auto& name : op2::backend_registry::names()) {
+    std::cerr << " " << name;
+  }
+  std::cerr
+      << "\n  --backend: runtime backend the generated code selects\n"
          "  --list: print a summary of the op_par_loop call sites instead\n";
   return 2;
 }
@@ -27,11 +38,14 @@ int usage() {
 int main(int argc, char** argv) {
   std::string target_name;
   std::string path;
+  codegen::emit_options opts;
   bool list_only = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--target=", 0) == 0) {
       target_name = arg.substr(9);
+    } else if (arg.rfind("--backend=", 0) == 0) {
+      opts.backend = arg.substr(10);
     } else if (arg == "--list") {
       list_only = true;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -64,6 +78,17 @@ int main(int argc, char** argv) {
     return usage();
   }
 
+  if (!opts.backend.empty()) {
+    try {
+      // Canonicalise ("dataflow" -> "hpx_dataflow"); throws with the
+      // registered-backend list on a mistyped name.
+      opts.backend = op2::backend_registry::resolve(opts.backend);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return usage();
+    }
+  }
+
   std::ifstream in(path);
   if (!in) {
     std::cerr << "cannot open '" << path << "'\n";
@@ -81,7 +106,7 @@ int main(int argc, char** argv) {
     if (list_only) {
       std::cout << codegen::summarize_loops(loops);
     } else {
-      std::cout << codegen::emit_translation_unit(loops, t);
+      std::cout << codegen::emit_translation_unit(loops, t, opts);
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -493,9 +493,28 @@ std::string summarize_loops(const std::vector<parsed_loop>& loops) {
 
 std::string emit_translation_unit(const std::vector<parsed_loop>& loops,
                                   target t) {
+  return emit_translation_unit(loops, t, emit_options{});
+}
+
+std::string emit_translation_unit(const std::vector<parsed_loop>& loops,
+                                  target t, const emit_options& opts) {
   std::ostringstream os;
   os << "// Auto-generated by the op2hpx source-to-source translator.\n"
-     << "// Target: " << to_string(t) << ". Do not edit.\n\n";
+     << "// Target: " << to_string(t) << ". Do not edit.\n";
+  if (!opts.backend.empty()) {
+    os << "// Backend: " << opts.backend << ".\n";
+  }
+  os << "\n";
+  if (t == target::op2hpx && !opts.backend.empty()) {
+    // Runtime bootstrap for the generated call sites: selection is by
+    // registry name, so --backend works for any registered executor.
+    os << "// Selects the runtime backend the generated loops run "
+          "under.\n"
+       << "static void op2_select_backend(unsigned threads) {\n"
+       << "  op2::init(op2::make_config(\"" << opts.backend
+       << "\", threads));\n"
+       << "}\n\n";
+  }
   for (const auto& loop : loops) {
     os << emit_loop(loop, t) << "\n";
   }

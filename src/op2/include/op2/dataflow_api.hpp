@@ -133,14 +133,18 @@ hpxlite::shared_future<void> op_par_loop(Kernel kernel, const char* name,
 
   auto frame = detail::make_frame(name, set, std::move(kernel),
                                   std::move(args.arg)...);
+  auto launch = detail::erase_frame(std::move(frame));
 
   // The node body is the paper's Fig 13: for_each(par) inside dataflow.
+  // The synchronous hpx_foreach executor runs the colour sweep; the
+  // dataflow gating above already provides the asynchrony.  Capturing
+  // the launch by value keeps the loop frame alive until the node runs.
   hpxlite::future<void> gate = hpxlite::when_all(deps);
   hpxlite::future<void> done = hpxlite::dataflow(
       hpxlite::launch::async,
-      [frame](hpxlite::future<void> ready) {
+      [launch = std::move(launch)](hpxlite::future<void> ready) {
         ready.get();  // propagate upstream failures
-        detail::run_foreach(*frame, detail::configured_chunk());
+        run_loop(backend_registry::shared("hpx_foreach"), launch);
       },
       std::move(gate));
   hpxlite::shared_future<void> shared = done.share();

@@ -1,0 +1,159 @@
+// The pluggable backend layer: op_par_loop hands a type-erased
+// `loop_launch` to a `loop_executor`, and executors are looked up by
+// name in the `backend_registry`.
+//
+// This is the seam the paper's contribution lives on: the OP2 API is
+// fixed, and the way "parallel over blocks of one colour" actually runs
+// (OpenMP fork-join, for_each(par), async/for_each(par(task)),
+// dataflow) is a swappable object.  The five built-in executors live in
+// src/op2/src/backends/*.cpp, one translation unit each, and register
+// themselves; a new backend is one more translation unit containing a
+// `backend_registry::registrar` — no core file changes.
+//
+// Dispatch contract:
+//   - run_direct / run_indirect execute the loop synchronously
+//     (direct = no indirect argument; the plan has a single colour)
+//   - launch() returns a completion future; asynchronous executors
+//     overlap the loop with the caller, synchronous ones (the default
+//     implementation) run inline and return a ready future
+//   - loop_begin / loop_end are the profiling hooks: run_loop /
+//     launch_loop invoke them around every execution when profiling is
+//     enabled, so op_timing_output attributes time to the right
+//     backend (and its chunk decision) for any executor, including
+//     ones registered after this library was built.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hpxlite/execution.hpp"
+#include "hpxlite/future.hpp"
+#include "op2/plan.hpp"
+
+namespace op2 {
+
+/// Static properties of an executor, consulted by op2::init (worker
+/// pools), the synchronous dispatch path, and the bench/model layers.
+struct executor_caps {
+  /// launch() genuinely overlaps with the caller; the synchronous
+  /// op_par_loop entry point must wait on the returned future.
+  bool asynchronous = false;
+  /// The natural Airfoil driver is the §III-B modified API
+  /// (airfoil::run_with_backend selects run_dataflow over run_async).
+  bool dataflow_api = false;
+  /// op2::init must spin up the persistent fork-join team.
+  bool needs_forkjoin_team = false;
+  /// op2::init must reset the hpxlite worker pool to config::threads.
+  bool needs_hpx_runtime = false;
+  /// simsched method name modelling this backend on the virtual node
+  /// ("" = not modelled; the figure harnesses skip the sim column).
+  const char* sim_method = "";
+};
+
+/// One type-erased loop launch: everything an executor needs, with the
+/// templated kernel/argument frame hidden behind run_block/run_range.
+/// The two closures share ownership of the frame, so copies of a
+/// loop_launch keep the loop's data alive — asynchronous executors
+/// simply capture the launch by value.
+struct loop_launch {
+  std::string name;                    // loop name (profiling key)
+  std::shared_ptr<const op_plan> plan; // block/colour schedule
+  int set_size = 0;                    // iteration-set size
+  bool direct = false;                 // no indirect argument at all
+  hpxlite::chunk_spec chunk = hpxlite::auto_chunk_size{};
+  std::function<void(int)> run_block;        // execute one plan block
+  std::function<void(int, int)> run_range;   // execute elements [b, e)
+};
+
+/// Human-readable form of a chunk decision ("auto", "static:16", ...),
+/// recorded by the default loop_end hook.
+std::string describe(const hpxlite::chunk_spec& chunk);
+
+/// A backend: how the block-structured schedule of a loop_launch runs.
+class loop_executor {
+ public:
+  virtual ~loop_executor() = default;
+
+  /// Registry key this executor was created under.
+  virtual std::string_view name() const noexcept = 0;
+  virtual executor_caps capabilities() const noexcept = 0;
+
+  /// Synchronous execution of a direct (single-colour) loop.
+  virtual void run_direct(const loop_launch& loop) = 0;
+  /// Synchronous execution of an indirect (coloured) loop.
+  virtual void run_indirect(const loop_launch& loop) = 0;
+
+  /// Asynchronous launch: returns a future for the loop's completion.
+  /// Default implementation runs synchronously and returns a ready (or
+  /// exceptional) future — correct for any fork-join style executor.
+  virtual hpxlite::future<void> launch(loop_launch loop);
+
+  /// Profiling hooks, invoked by run_loop/launch_loop when
+  /// op2::profiling is enabled.  The default loop_end records the
+  /// execution under (loop name, backend name, chunk decision);
+  /// loop_begin is a no-op.  Override to emit extra per-backend events.
+  virtual void loop_begin(const loop_launch& loop);
+  virtual void loop_end(const loop_launch& loop, double seconds);
+};
+
+/// String-keyed executor factory registry.  Thread-safe.  The five
+/// built-in backends are registered on first use; additional backends
+/// register at static-initialisation time via `registrar` (or any time
+/// before they are named in a config).
+class backend_registry {
+ public:
+  using factory = std::function<std::unique_ptr<loop_executor>()>;
+
+  /// Registers `name` (throws std::invalid_argument on duplicates or
+  /// empty names).  `aliases` are alternate lookup spellings (e.g.
+  /// "foreach" for "hpx_foreach"); they resolve to the canonical name
+  /// and collide with other names/aliases like names do.
+  static void register_backend(std::string name, factory make,
+                               std::vector<std::string> aliases = {});
+
+  /// True when `name` (canonical or alias) is registered.
+  static bool contains(const std::string& name);
+
+  /// Canonical name for `name` (which may be an alias).  Throws
+  /// std::invalid_argument listing the registered backends when
+  /// unknown — the error users see for a mistyped --backend flag.
+  static std::string resolve(const std::string& name);
+
+  /// Canonical backend names, in registration order (the built-ins
+  /// first: seq, forkjoin, hpx_foreach, hpx_async, hpx_dataflow).
+  static std::vector<std::string> names();
+
+  /// A fresh executor instance (caller owns).  Throws like resolve().
+  static std::unique_ptr<loop_executor> make(const std::string& name);
+
+  /// The process-wide shared instance for `name`, created on first use
+  /// and never destroyed (safe to capture by reference in
+  /// continuations).  Throws like resolve().
+  static loop_executor& shared(const std::string& name);
+
+  /// Self-registration helper: a namespace-scope
+  ///   static backend_registry::registrar reg{"mine", [] {...}};
+  /// in any translation unit linked into the program adds a backend
+  /// with zero changes to op2/codegen/airfoil/simsched core files.
+  struct registrar {
+    registrar(std::string name, factory make,
+              std::vector<std::string> aliases = {}) {
+      register_backend(std::move(name), std::move(make),
+                       std::move(aliases));
+    }
+  };
+};
+
+/// Synchronous dispatch with profiling hooks: what the classic
+/// op_par_loop entry point calls.  Asynchronous executors are launched
+/// and waited on; synchronous ones run inline.
+void run_loop(loop_executor& exec, const loop_launch& loop);
+
+/// Asynchronous dispatch with profiling hooks: what op_par_loop_async
+/// calls.  Records launch-to-completion time via a continuation.
+hpxlite::future<void> launch_loop(loop_executor& exec, loop_launch loop);
+
+}  // namespace op2

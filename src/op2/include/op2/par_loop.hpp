@@ -1,4 +1,4 @@
-// op_par_loop — the OP2 parallel-loop engine, over all backends.
+// op_par_loop — the OP2 parallel-loop engine.
 //
 // Every backend executes the same block-structured schedule the paper's
 // Fig 5/6 show (the generated `blockIdx` loop):
@@ -7,15 +7,19 @@
 //     parallel over blocks of colour c:
 //       for each element in block: kernel(arg pointers...)
 //
-// and they differ only in *how* the "parallel over blocks" runs:
+// and they differ only in *how* the "parallel over blocks" runs.  That
+// "how" is a pluggable op2::loop_executor (see op2/loop_executor.hpp):
+// this header builds the typed loop frame, erases it into a
+// loop_launch, and hands it to the executor the active configuration
+// names.  The built-in executors live in src/op2/src/backends/:
 //   seq           plain loop (test oracle)
 //   forkjoin      fork_join_team::parallel_for — implicit global
 //                 barrier per colour (the OpenMP baseline)
 //   hpx_foreach   hpxlite::parallel::for_each(par[.with(chunk)]) — same
 //                 barrier shape, HPX grain-size control (§III-A1)
-//   (async)       op_par_loop_async: async/for_each(par(task)) returns
+//   hpx_async     async/for_each(par(task)); op_par_loop_async returns
 //                 a future; no barrier (§III-A2)
-//   (dataflow)    op_par_loop in dataflow_api.hpp gates the same body
+//   hpx_dataflow  op_par_loop in dataflow_api.hpp gates the same body
 //                 on argument futures (§III-B)
 //
 // Global OP_INC arguments reduce block-privately and merge under a lock
@@ -31,14 +35,10 @@
 #include <utility>
 #include <vector>
 
-#include <chrono>
-
-#include "hpxlite/async.hpp"
-#include "hpxlite/dataflow.hpp"
-#include "hpxlite/parallel_algorithm.hpp"
+#include "hpxlite/future.hpp"
 #include "op2/arg.hpp"
+#include "op2/loop_executor.hpp"
 #include "op2/plan.hpp"
-#include "op2/profiling.hpp"
 #include "op2/runtime.hpp"
 
 namespace op2 {
@@ -247,159 +247,47 @@ inline hpxlite::chunk_spec configured_chunk() {
   return hpxlite::auto_chunk_size{};
 }
 
-// --- backend drivers -------------------------------------------------
-
-template <typename Frame>
-void run_seq(const Frame& frame) {
-  frame.run_range(0, frame.set.size());
-}
-
-template <typename Frame>
-void run_forkjoin(const Frame& frame) {
-  auto& tm = team();
-  for (const auto& blocks : frame.plan->color_blocks) {
-    // One fork-join episode (== one implicit global barrier) per colour,
-    // exactly like the OpenMP-generated code.
-    tm.parallel_for(blocks.size(), [&](std::size_t lo, std::size_t hi) {
-      for (std::size_t k = lo; k != hi; ++k) {
-        frame.run_block(blocks[k]);
-      }
-    });
-  }
-}
-
-template <typename Frame>
-void run_foreach(const Frame& frame, const hpxlite::chunk_spec& chunk) {
-  const auto policy = hpxlite::par.with(chunk);
-  for (const auto& blocks : frame.plan->color_blocks) {
-    hpxlite::parallel::for_each(policy, blocks.begin(), blocks.end(),
-                                [&](int b) { frame.run_block(b); });
-  }
-}
-
-/// §III-A2: direct loops run inside async() (Fig 8); conflict-free
-/// indirect loops are one for_each(par(task)) (Fig 9); multi-colour
-/// loops chain one par(task) sweep per colour through dataflow, which
-/// keeps colour boundaries but never blocks the caller.
-template <typename FramePtr>
-hpxlite::future<void> run_async(FramePtr frame) {
-  using hpxlite::launch;
-  const auto chunk = configured_chunk();
-  if (frame->plan->nblocks == 0) {
-    return hpxlite::make_ready_future();  // empty iteration set
-  }
-  if (frame->direct_loop) {
-    return hpxlite::async(launch::async, [frame, chunk] {
-      const auto& blocks = frame->plan->color_blocks.front();
-      hpxlite::parallel::for_each(hpxlite::par.with(chunk), blocks.begin(),
-                                  blocks.end(),
-                                  [&](int b) { frame->run_block(b); });
-    });
-  }
-  if (frame->plan->ncolors == 0) {
-    return hpxlite::make_ready_future();
-  }
-  const auto sweep = [frame, chunk](std::size_t color) {
-    const auto& blocks = frame->plan->color_blocks[color];
-    return hpxlite::parallel::for_each(
-        hpxlite::par(hpxlite::task).with(chunk), blocks.begin(), blocks.end(),
-        [frame](int b) { frame->run_block(b); });
-  };
-  hpxlite::future<void> chain = sweep(0);
-  for (std::size_t c = 1;
-       c < static_cast<std::size_t>(frame->plan->ncolors); ++c) {
-    chain = hpxlite::dataflow(
-        launch::async,
-        [sweep, c](hpxlite::future<void> prev) {
-          prev.get();  // propagate exceptions between colours
-          return sweep(c);
-        },
-        std::move(chain));
-  }
-  return chain;
+/// Erases the typed frame into the launch descriptor executors consume.
+/// The run_block/run_range closures share ownership of the frame, so
+/// any copy of the launch keeps the loop's data (dats, plan, kernel)
+/// alive — asynchronous executors just capture the launch by value.
+template <typename Kernel, typename... T>
+loop_launch erase_frame(std::shared_ptr<loop_frame<Kernel, T...>> frame) {
+  loop_launch d;
+  d.name = frame->name;
+  d.plan = frame->plan;
+  d.set_size = frame->set.size();
+  d.direct = frame->direct_loop;
+  d.chunk = configured_chunk();
+  d.run_block = [frame](int b) { frame->run_block(b); };
+  d.run_range = [frame](int b, int e) { frame->run_range(b, e); };
+  return d;
 }
 
 }  // namespace detail
 
 /// Classic OP2 API (unchanged Airfoil.cpp): synchronous parallel loop
-/// under the configured backend.  For the hpx_async / hpx_dataflow
-/// backends this degenerates to launch-then-wait; use
+/// under the configured backend.  For asynchronous executors
+/// (hpx_async / hpx_dataflow) this degenerates to launch-then-wait; use
 /// op_par_loop_async / the dataflow API to actually overlap loops.
-namespace detail {
-
-/// RAII profiling scope for the synchronous entry points.
-class profile_scope {
- public:
-  explicit profile_scope(const char* name) {
-    if (profiling::enabled()) {
-      name_ = name;
-      start_ = std::chrono::steady_clock::now();
-    }
-  }
-  ~profile_scope() {
-    if (name_ != nullptr) {
-      profiling::record(
-          name_, std::chrono::duration<double>(
-                     std::chrono::steady_clock::now() - start_)
-                     .count());
-    }
-  }
-  profile_scope(const profile_scope&) = delete;
-  profile_scope& operator=(const profile_scope&) = delete;
-
- private:
-  const char* name_ = nullptr;
-  std::chrono::steady_clock::time_point start_;
-};
-
-}  // namespace detail
-
 template <typename Kernel, typename... T>
 void op_par_loop(Kernel kernel, const char* name, const op_set& set,
                  op_arg<T>... args) {
-  detail::profile_scope profile(name);
   auto frame =
       detail::make_frame(name, set, std::move(kernel), std::move(args)...);
-  switch (current_config().bk) {
-    case backend::seq:
-      detail::run_seq(*frame);
-      return;
-    case backend::forkjoin:
-      detail::run_forkjoin(*frame);
-      return;
-    case backend::hpx_foreach:
-      detail::run_foreach(*frame, detail::configured_chunk());
-      return;
-    case backend::hpx_async:
-    case backend::hpx_dataflow:
-      detail::run_async(std::move(frame)).get();
-      return;
-  }
+  run_loop(current_executor(), detail::erase_frame(std::move(frame)));
 }
 
 /// §III-A2 API: returns a future for the loop's completion; the caller
 /// is responsible for placing .get() before dependent loops (the
-/// paper's Fig 10 shows the hand-placed new_data.get() calls).
+/// paper's Fig 10 shows the hand-placed new_data.get() calls).  Under a
+/// synchronous executor the loop runs inline and the future is ready.
 template <typename Kernel, typename... T>
 hpxlite::future<void> op_par_loop_async(Kernel kernel, const char* name,
                                         const op_set& set, op_arg<T>... args) {
   auto frame =
       detail::make_frame(name, set, std::move(kernel), std::move(args)...);
-  if (!profiling::enabled()) {
-    return detail::run_async(std::move(frame));
-  }
-  // Asynchronous loops record launch-to-completion span.
-  const auto t0 = std::chrono::steady_clock::now();
-  std::string loop_name(name);
-  return detail::run_async(std::move(frame))
-      .then([t0, loop_name = std::move(loop_name)](
-                hpxlite::future<void>&& done) {
-        profiling::record(loop_name,
-                          std::chrono::duration<double>(
-                              std::chrono::steady_clock::now() - t0)
-                              .count());
-        done.get();
-      });
+  return launch_loop(current_executor(), detail::erase_frame(std::move(frame)));
 }
 
 }  // namespace op2

@@ -16,6 +16,10 @@ struct loop_profile {
   std::uint64_t invocations = 0;
   double total_seconds = 0.0;
   double max_seconds = 0.0;
+  /// Executor that ran the loop and its chunk decision, fed by the
+  /// loop_executor::loop_end hook (most recent execution wins).
+  std::string backend;
+  std::string chunk;
 };
 
 namespace profiling {
@@ -29,6 +33,11 @@ void reset();
 
 /// Internal hook used by op_par_loop: records one execution.
 void record(const std::string& loop_name, double seconds);
+
+/// Executor-hook flavour: also records which backend ran the loop and
+/// the chunk decision it used ("auto", "static:16", ...).
+void record(const std::string& loop_name, double seconds,
+            const std::string& backend, const std::string& chunk);
 
 /// Snapshot of all recorded loops.
 std::map<std::string, loop_profile> snapshot();

@@ -16,11 +16,19 @@
 
 #include <cstddef>
 #include <memory>
+#include <string>
 
 #include "hpxlite/fork_join_team.hpp"
 
 namespace op2 {
 
+class loop_executor;
+
+/// Legacy closed enumeration of the built-in backends.  Kept for the
+/// compact `op2::init({op2::backend::seq, ...})` spelling; dispatch is
+/// by name through the backend_registry, so backends registered at
+/// runtime need no enum value — name them via config::backend_name or
+/// make_config().
 enum class backend {
   seq,
   forkjoin,
@@ -30,19 +38,10 @@ enum class backend {
 };
 
 constexpr const char* to_string(backend b) {
-  switch (b) {
-    case backend::seq:
-      return "seq";
-    case backend::forkjoin:
-      return "forkjoin";
-    case backend::hpx_foreach:
-      return "hpx_foreach";
-    case backend::hpx_async:
-      return "hpx_async";
-    case backend::hpx_dataflow:
-      return "hpx_dataflow";
-  }
-  return "?";
+  constexpr const char* names[] = {"seq", "forkjoin", "hpx_foreach",
+                                   "hpx_async", "hpx_dataflow"};
+  const auto i = static_cast<unsigned>(b);
+  return i < sizeof(names) / sizeof(names[0]) ? names[i] : "?";
 }
 
 struct config {
@@ -53,7 +52,18 @@ struct config {
   /// Blocks per for_each chunk for the hpx backends; 0 selects the
   /// auto-partitioner (Section III-A1's default).
   std::size_t static_chunk = 0;
+  /// Registry name of the backend to run (canonical or alias).  When
+  /// non-empty this takes precedence over `bk`, and may name any
+  /// registered backend, including ones the enum has no value for.
+  std::string backend_name;
 };
+
+/// Convenience constructor for string-selected backends: validates
+/// `backend_name` against the registry (throwing the "unknown backend
+/// ... available: ..." error) and fills in the matching enum value for
+/// built-ins so legacy `.bk` readers stay coherent.
+config make_config(const std::string& backend_name, unsigned threads = 1,
+                   int block_size = 128, std::size_t static_chunk = 0);
 
 /// Initialises the OP2 runtime: records `cfg`, spins up the fork-join
 /// team (forkjoin backend) or resets the hpxlite worker pool (hpx
@@ -67,6 +77,14 @@ void finalize();
 /// The active configuration (init() must have been called; a default
 /// seq/1-thread config is active otherwise).
 const config& current_config();
+
+/// Canonical registry name of the active backend ("seq" before init).
+const std::string& current_backend_name();
+
+/// The executor op_par_loop dispatches to — the registry's shared
+/// instance for current_backend_name() (never destroyed, so references
+/// stay valid in asynchronous continuations).
+loop_executor& current_executor();
 
 /// The fork-join team for the forkjoin backend (created by init()).
 hpxlite::fork_join_team& team();

@@ -1,0 +1,59 @@
+// Shared launch shape for the hpx_async and hpx_dataflow executors
+// (§III-A2): direct loops run inside async() (the paper's Fig 8);
+// conflict-free indirect loops are one for_each(par(task)) (Fig 9);
+// multi-colour loops chain one par(task) sweep per colour through
+// dataflow, keeping colour boundaries without ever blocking the caller.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+#include "hpxlite/async.hpp"
+#include "hpxlite/dataflow.hpp"
+#include "hpxlite/parallel_algorithm.hpp"
+#include "op2/loop_executor.hpp"
+
+namespace op2::backends {
+
+inline hpxlite::future<void> launch_colored(loop_launch loop) {
+  using hpxlite::launch;
+  if (loop.plan->nblocks == 0) {
+    return hpxlite::make_ready_future();  // empty iteration set
+  }
+  if (loop.direct) {
+    // run_block shares ownership of the loop frame, so capturing the
+    // closure (plus the plan) keeps the loop's data alive.
+    return hpxlite::async(
+        launch::async,
+        [plan = loop.plan, run = loop.run_block, chunk = loop.chunk] {
+          const auto& blocks = plan->color_blocks.front();
+          hpxlite::parallel::for_each(hpxlite::par.with(chunk),
+                                      blocks.begin(), blocks.end(),
+                                      [&](int b) { run(b); });
+        });
+  }
+  if (loop.plan->ncolors == 0) {
+    return hpxlite::make_ready_future();
+  }
+  const auto sweep = [plan = loop.plan, run = loop.run_block,
+                      chunk = loop.chunk](std::size_t color) {
+    const auto& blocks = plan->color_blocks[color];
+    return hpxlite::parallel::for_each(
+        hpxlite::par(hpxlite::task).with(chunk), blocks.begin(),
+        blocks.end(), [run](int b) { run(b); });
+  };
+  hpxlite::future<void> chain = sweep(0);
+  for (std::size_t c = 1;
+       c < static_cast<std::size_t>(loop.plan->ncolors); ++c) {
+    chain = hpxlite::dataflow(
+        launch::async,
+        [sweep, c](hpxlite::future<void> prev) {
+          prev.get();  // propagate exceptions between colours
+          return sweep(c);
+        },
+        std::move(chain));
+  }
+  return chain;
+}
+
+}  // namespace op2::backends

@@ -1,0 +1,16 @@
+// Registration entry points for the five built-in executors, one per
+// translation unit under src/op2/src/backends/.  The registry calls
+// these lazily (backend_registry's ensure_builtin) so the backend TUs
+// are never dead-stripped from the static library: a direct function
+// call is a strong reference, unlike a self-registering static.
+#pragma once
+
+namespace op2::backends {
+
+void register_seq_backend();
+void register_forkjoin_backend();
+void register_hpx_foreach_backend();
+void register_hpx_async_backend();
+void register_hpx_dataflow_backend();
+
+}  // namespace op2::backends

@@ -1,0 +1,50 @@
+// forkjoin — the OpenMP `#pragma omp parallel for` baseline: one
+// fork-join episode (== one implicit global barrier) per colour,
+// executed on the persistent team op2::init creates.
+#include <cstddef>
+#include <memory>
+
+#include "backends/builtin.hpp"
+#include "op2/loop_executor.hpp"
+#include "op2/runtime.hpp"
+
+namespace op2::backends {
+
+namespace {
+
+class forkjoin_executor final : public loop_executor {
+ public:
+  std::string_view name() const noexcept override { return "forkjoin"; }
+
+  executor_caps capabilities() const noexcept override {
+    executor_caps caps;
+    caps.needs_forkjoin_team = true;
+    caps.sim_method = "omp_forkjoin";
+    return caps;
+  }
+
+  void run_direct(const loop_launch& loop) override { run_colored(loop); }
+
+  void run_indirect(const loop_launch& loop) override { run_colored(loop); }
+
+ private:
+  static void run_colored(const loop_launch& loop) {
+    auto& tm = team();
+    for (const auto& blocks : loop.plan->color_blocks) {
+      tm.parallel_for(blocks.size(), [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t k = lo; k != hi; ++k) {
+          loop.run_block(blocks[k]);
+        }
+      });
+    }
+  }
+};
+
+}  // namespace
+
+void register_forkjoin_backend() {
+  backend_registry::register_backend(
+      "forkjoin", [] { return std::make_unique<forkjoin_executor>(); });
+}
+
+}  // namespace op2::backends

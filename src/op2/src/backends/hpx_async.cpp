@@ -1,0 +1,48 @@
+// hpx_async — §III-A2: loops are launched, not run; op_par_loop_async
+// returns the completion future and the caller places .get() before
+// dependent loops (the paper's Fig 10 driver).
+#include <memory>
+#include <utility>
+
+#include "async_common.hpp"
+#include "backends/builtin.hpp"
+#include "op2/loop_executor.hpp"
+
+namespace op2::backends {
+
+namespace {
+
+class hpx_async_executor final : public loop_executor {
+ public:
+  std::string_view name() const noexcept override { return "hpx_async"; }
+
+  executor_caps capabilities() const noexcept override {
+    executor_caps caps;
+    caps.asynchronous = true;
+    caps.needs_hpx_runtime = true;
+    caps.sim_method = "hpx_async";
+    return caps;
+  }
+
+  void run_direct(const loop_launch& loop) override {
+    launch_colored(loop).get();
+  }
+
+  void run_indirect(const loop_launch& loop) override {
+    launch_colored(loop).get();
+  }
+
+  hpxlite::future<void> launch(loop_launch loop) override {
+    return launch_colored(std::move(loop));
+  }
+};
+
+}  // namespace
+
+void register_hpx_async_backend() {
+  backend_registry::register_backend(
+      "hpx_async", [] { return std::make_unique<hpx_async_executor>(); },
+      {"async"});
+}
+
+}  // namespace op2::backends

@@ -1,0 +1,52 @@
+// hpx_dataflow — §III-B: the modified-API driver (op2/dataflow_api.hpp)
+// gates every loop on its arguments' futures.  The per-loop execution
+// shape is the same colour-chained par(task) launch as hpx_async; what
+// differs is who decides the ordering (argument futures instead of
+// hand-placed .get() calls), which lives in the dataflow API layer.
+#include <memory>
+#include <utility>
+
+#include "async_common.hpp"
+#include "backends/builtin.hpp"
+#include "op2/loop_executor.hpp"
+
+namespace op2::backends {
+
+namespace {
+
+class hpx_dataflow_executor final : public loop_executor {
+ public:
+  std::string_view name() const noexcept override { return "hpx_dataflow"; }
+
+  executor_caps capabilities() const noexcept override {
+    executor_caps caps;
+    caps.asynchronous = true;
+    caps.dataflow_api = true;
+    caps.needs_hpx_runtime = true;
+    caps.sim_method = "hpx_dataflow";
+    return caps;
+  }
+
+  void run_direct(const loop_launch& loop) override {
+    launch_colored(loop).get();
+  }
+
+  void run_indirect(const loop_launch& loop) override {
+    launch_colored(loop).get();
+  }
+
+  hpxlite::future<void> launch(loop_launch loop) override {
+    return launch_colored(std::move(loop));
+  }
+};
+
+}  // namespace
+
+void register_hpx_dataflow_backend() {
+  backend_registry::register_backend(
+      "hpx_dataflow",
+      [] { return std::make_unique<hpx_dataflow_executor>(); },
+      {"dataflow"});
+}
+
+}  // namespace op2::backends

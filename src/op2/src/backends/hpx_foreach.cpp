@@ -1,0 +1,47 @@
+// hpx_foreach — §III-A1: for_each(par) over the blocks of each colour.
+// Same barrier shape as forkjoin, but the grain size comes from the
+// launch's chunk_spec (the auto-partitioner or a static chunk).
+#include <memory>
+
+#include "backends/builtin.hpp"
+#include "hpxlite/parallel_algorithm.hpp"
+#include "op2/loop_executor.hpp"
+
+namespace op2::backends {
+
+namespace {
+
+class hpx_foreach_executor final : public loop_executor {
+ public:
+  std::string_view name() const noexcept override { return "hpx_foreach"; }
+
+  executor_caps capabilities() const noexcept override {
+    executor_caps caps;
+    caps.needs_hpx_runtime = true;
+    caps.sim_method = "hpx_foreach_auto";
+    return caps;
+  }
+
+  void run_direct(const loop_launch& loop) override { run_colored(loop); }
+
+  void run_indirect(const loop_launch& loop) override { run_colored(loop); }
+
+ private:
+  static void run_colored(const loop_launch& loop) {
+    const auto policy = hpxlite::par.with(loop.chunk);
+    for (const auto& blocks : loop.plan->color_blocks) {
+      hpxlite::parallel::for_each(policy, blocks.begin(), blocks.end(),
+                                  [&](int b) { loop.run_block(b); });
+    }
+  }
+};
+
+}  // namespace
+
+void register_hpx_foreach_backend() {
+  backend_registry::register_backend(
+      "hpx_foreach", [] { return std::make_unique<hpx_foreach_executor>(); },
+      {"foreach"});
+}
+
+}  // namespace op2::backends

@@ -1,0 +1,38 @@
+// seq — single-threaded reference executor (the test oracle).  Runs
+// the raw iteration range in element order, ignoring the block/colour
+// schedule entirely, so its floating-point reduction order is the
+// textbook sequential one.
+#include <memory>
+
+#include "backends/builtin.hpp"
+#include "op2/loop_executor.hpp"
+
+namespace op2::backends {
+
+namespace {
+
+class seq_executor final : public loop_executor {
+ public:
+  std::string_view name() const noexcept override { return "seq"; }
+
+  executor_caps capabilities() const noexcept override {
+    return executor_caps{};  // synchronous, no pools, not simulated
+  }
+
+  void run_direct(const loop_launch& loop) override {
+    loop.run_range(0, loop.set_size);
+  }
+
+  void run_indirect(const loop_launch& loop) override {
+    loop.run_range(0, loop.set_size);
+  }
+};
+
+}  // namespace
+
+void register_seq_backend() {
+  backend_registry::register_backend(
+      "seq", [] { return std::make_unique<seq_executor>(); });
+}
+
+}  // namespace op2::backends

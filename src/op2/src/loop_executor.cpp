@@ -1,0 +1,283 @@
+#include "op2/loop_executor.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "backends/builtin.hpp"
+#include "op2/profiling.hpp"
+
+namespace op2 {
+
+namespace {
+
+struct registry_state {
+  std::mutex mutex;
+  std::vector<std::string> order;                      // canonical names
+  std::map<std::string, backend_registry::factory> factories;
+  std::map<std::string, std::string> alias_to_name;
+  std::map<std::string, std::unique_ptr<loop_executor>> shared_instances;
+};
+
+/// Function-local so that backends self-registering from static
+/// initialisers (in any translation unit) always find a live registry.
+registry_state& state() {
+  static registry_state s;
+  return s;
+}
+
+/// Links and registers the five built-in backends exactly once.  The
+/// direct function calls are strong references, so the backend TUs are
+/// never dead-stripped from the static library.  Re-entrancy guard: the
+/// register_*_backend calls below go through register_backend, which
+/// itself calls ensure_builtin (so user registrations always collide
+/// with builtin names, whatever the call order) — the thread_local flag
+/// breaks that cycle.
+void ensure_builtin() {
+  static std::atomic<bool> done{false};
+  thread_local bool in_progress = false;
+  if (done.load(std::memory_order_acquire) || in_progress) {
+    return;
+  }
+  static std::mutex once_mutex;
+  std::lock_guard<std::mutex> lock(once_mutex);
+  if (done.load(std::memory_order_relaxed)) {
+    return;
+  }
+  in_progress = true;
+  backends::register_seq_backend();
+  backends::register_forkjoin_backend();
+  backends::register_hpx_foreach_backend();
+  backends::register_hpx_async_backend();
+  backends::register_hpx_dataflow_backend();
+  in_progress = false;
+  done.store(true, std::memory_order_release);
+}
+
+/// Requires the lock.  Canonicalises `name`, throwing the "available:"
+/// error for unknown spellings.
+const std::string& resolve_locked(registry_state& s,
+                                  const std::string& name) {
+  if (s.factories.count(name) != 0) {
+    // Canonical names are stored in `order`; return the stable copy.
+    for (const auto& n : s.order) {
+      if (n == name) {
+        return n;
+      }
+    }
+  }
+  const auto alias = s.alias_to_name.find(name);
+  if (alias != s.alias_to_name.end()) {
+    return alias->second;
+  }
+  std::ostringstream msg;
+  msg << "op2: unknown backend '" << name << "'; available:";
+  for (const auto& n : s.order) {
+    msg << ' ' << n;
+  }
+  throw std::invalid_argument(msg.str());
+}
+
+}  // namespace
+
+void backend_registry::register_backend(std::string name, factory make,
+                                        std::vector<std::string> aliases) {
+  ensure_builtin();
+  if (name.empty()) {
+    throw std::invalid_argument("op2: backend name must not be empty");
+  }
+  if (!make) {
+    throw std::invalid_argument("op2: backend '" + name +
+                                "' registered without a factory");
+  }
+  auto& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  const auto taken = [&s](const std::string& key) {
+    return s.factories.count(key) != 0 || s.alias_to_name.count(key) != 0;
+  };
+  if (taken(name)) {
+    throw std::invalid_argument("op2: backend '" + name +
+                                "' is already registered");
+  }
+  for (const auto& a : aliases) {
+    if (a.empty() || taken(a) || a == name) {
+      throw std::invalid_argument("op2: backend alias '" + a + "' for '" +
+                                  name + "' collides or is empty");
+    }
+  }
+  s.order.push_back(name);
+  for (auto& a : aliases) {
+    s.alias_to_name.emplace(std::move(a), name);
+  }
+  s.factories.emplace(std::move(name), std::move(make));
+}
+
+bool backend_registry::contains(const std::string& name) {
+  ensure_builtin();
+  auto& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.factories.count(name) != 0 || s.alias_to_name.count(name) != 0;
+}
+
+std::string backend_registry::resolve(const std::string& name) {
+  ensure_builtin();
+  auto& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return resolve_locked(s, name);
+}
+
+std::vector<std::string> backend_registry::names() {
+  ensure_builtin();
+  auto& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.order;
+}
+
+std::unique_ptr<loop_executor> backend_registry::make(
+    const std::string& name) {
+  ensure_builtin();
+  auto& s = state();
+  backend_registry::factory make_fn;
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    make_fn = s.factories.at(resolve_locked(s, name));
+  }
+  auto exec = make_fn();
+  if (!exec) {
+    throw std::runtime_error("op2: backend '" + name +
+                             "' factory returned null");
+  }
+  return exec;
+}
+
+loop_executor& backend_registry::shared(const std::string& name) {
+  ensure_builtin();
+  auto& s = state();
+  backend_registry::factory make_fn;
+  std::string canonical;
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    canonical = resolve_locked(s, name);
+    const auto it = s.shared_instances.find(canonical);
+    if (it != s.shared_instances.end()) {
+      return *it->second;
+    }
+    make_fn = s.factories.at(canonical);
+  }
+  // Construct outside the lock (factories may touch the registry).
+  auto exec = make_fn();
+  if (!exec) {
+    throw std::runtime_error("op2: backend '" + name +
+                             "' factory returned null");
+  }
+  std::lock_guard<std::mutex> lock(s.mutex);
+  auto [it, inserted] = s.shared_instances.emplace(std::move(canonical),
+                                                   std::move(exec));
+  (void)inserted;  // lost race: keep the first instance
+  return *it->second;
+}
+
+// --- chunk description ------------------------------------------------
+
+std::string describe(const hpxlite::chunk_spec& chunk) {
+  struct visitor {
+    std::string operator()(const hpxlite::auto_chunk_size&) const {
+      return "auto";
+    }
+    std::string operator()(const hpxlite::static_chunk_size& c) const {
+      return "static:" + std::to_string(c.size);
+    }
+    std::string operator()(const hpxlite::dynamic_chunk_size& c) const {
+      return "dynamic:" + std::to_string(c.size);
+    }
+    std::string operator()(const hpxlite::guided_chunk_size& c) const {
+      return "guided:" + std::to_string(c.min_size);
+    }
+  };
+  return std::visit(visitor{}, chunk);
+}
+
+// --- loop_executor defaults -------------------------------------------
+
+hpxlite::future<void> loop_executor::launch(loop_launch loop) {
+  // Fork-join executors complete the loop before returning; the future
+  // carries the kernel's exception, if any, like a real async launch.
+  try {
+    if (loop.direct) {
+      run_direct(loop);
+    } else {
+      run_indirect(loop);
+    }
+  } catch (...) {
+    return hpxlite::make_exceptional_future<void>(std::current_exception());
+  }
+  return hpxlite::make_ready_future();
+}
+
+void loop_executor::loop_begin(const loop_launch&) {}
+
+void loop_executor::loop_end(const loop_launch& loop, double seconds) {
+  profiling::record(loop.name, seconds, std::string(name()),
+                    describe(loop.chunk));
+}
+
+// --- dispatch with profiling hooks ------------------------------------
+
+namespace {
+
+void run_now(loop_executor& exec, const loop_launch& loop) {
+  if (exec.capabilities().asynchronous) {
+    exec.launch(loop).get();
+  } else if (loop.direct) {
+    exec.run_direct(loop);
+  } else {
+    exec.run_indirect(loop);
+  }
+}
+
+}  // namespace
+
+void run_loop(loop_executor& exec, const loop_launch& loop) {
+  if (!profiling::enabled()) {
+    run_now(exec, loop);
+    return;
+  }
+  exec.loop_begin(loop);
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    run_now(exec, loop);
+  } catch (...) {
+    exec.loop_end(loop, std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count());
+    throw;
+  }
+  exec.loop_end(loop, std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count());
+}
+
+hpxlite::future<void> launch_loop(loop_executor& exec, loop_launch loop) {
+  if (!profiling::enabled()) {
+    return exec.launch(std::move(loop));
+  }
+  exec.loop_begin(loop);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto done = exec.launch(loop);
+  // Record launch-to-completion time.  Capturing `exec` is safe: the
+  // runtime dispatches through backend_registry::shared instances,
+  // which are never destroyed.
+  return done.then(
+      [&exec, loop = std::move(loop), t0](hpxlite::future<void>&& f) {
+        exec.loop_end(loop, std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count());
+        f.get();  // propagate the loop's exception to the caller
+      });
+}
+
+}  // namespace op2

@@ -34,6 +34,17 @@ void record(const std::string& loop_name, double seconds) {
   p.max_seconds = std::max(p.max_seconds, seconds);
 }
 
+void record(const std::string& loop_name, double seconds,
+            const std::string& backend, const std::string& chunk) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  auto& p = g_profiles[loop_name];
+  p.invocations += 1;
+  p.total_seconds += seconds;
+  p.max_seconds = std::max(p.max_seconds, seconds);
+  p.backend = backend;
+  p.chunk = chunk;
+}
+
 std::map<std::string, loop_profile> snapshot() {
   std::lock_guard<std::mutex> lock(g_mutex);
   return g_profiles;
@@ -47,15 +58,17 @@ void report(std::ostream& out) {
     return a.second.total_seconds > b.second.total_seconds;
   });
   out << "op_timing_output: " << rows.size() << " loops\n";
-  out << std::left << std::setw(20) << "  loop" << std::right
-      << std::setw(10) << "count" << std::setw(12) << "total_ms"
-      << std::setw(12) << "avg_us" << std::setw(12) << "max_ms" << "\n";
+  out << std::left << std::setw(20) << "  loop" << std::setw(14)
+      << "backend" << std::right << std::setw(10) << "count"
+      << std::setw(12) << "total_ms" << std::setw(12) << "avg_us"
+      << std::setw(12) << "max_ms" << "\n";
   for (const auto& [name, p] : rows) {
     const double avg_us = p.invocations != 0
                               ? 1e6 * p.total_seconds /
                                     static_cast<double>(p.invocations)
                               : 0.0;
-    out << "  " << std::left << std::setw(18) << name << std::right
+    out << "  " << std::left << std::setw(18) << name << std::setw(14)
+        << (p.backend.empty() ? "-" : p.backend) << std::right
         << std::setw(10) << p.invocations << std::setw(12) << std::fixed
         << std::setprecision(3) << 1e3 * p.total_seconds << std::setw(12)
         << std::setprecision(1) << avg_us << std::setw(12)

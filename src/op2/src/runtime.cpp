@@ -3,14 +3,43 @@
 #include <stdexcept>
 
 #include "hpxlite/scheduler.hpp"
+#include "op2/loop_executor.hpp"
 #include "op2/plan.hpp"
 
 namespace op2 {
 
 namespace {
+
 config g_config;
+std::string g_backend_name = "seq";
+loop_executor* g_executor = nullptr;
 std::unique_ptr<hpxlite::fork_join_team> g_team;
+
+/// Enum value matching a canonical registry name, for legacy `.bk`
+/// readers; built-in names only, anything else keeps the default.
+backend enum_for(const std::string& name) {
+  for (const backend b : {backend::seq, backend::forkjoin,
+                          backend::hpx_foreach, backend::hpx_async,
+                          backend::hpx_dataflow}) {
+    if (name == to_string(b)) {
+      return b;
+    }
+  }
+  return backend::seq;
+}
+
 }  // namespace
+
+config make_config(const std::string& backend_name, unsigned threads,
+                   int block_size, std::size_t static_chunk) {
+  config cfg;
+  cfg.backend_name = backend_registry::resolve(backend_name);
+  cfg.bk = enum_for(cfg.backend_name);
+  cfg.threads = threads;
+  cfg.block_size = block_size;
+  cfg.static_chunk = static_chunk;
+  return cfg;
+}
 
 void init(const config& cfg) {
   if (cfg.threads == 0) {
@@ -19,19 +48,23 @@ void init(const config& cfg) {
   if (cfg.block_size <= 0) {
     throw std::invalid_argument("op2::init: block_size must be >= 1");
   }
+  // Resolve before finalize() so a bad name leaves the runtime intact.
+  const std::string name = backend_registry::resolve(
+      cfg.backend_name.empty() ? to_string(cfg.bk) : cfg.backend_name);
+  loop_executor& exec = backend_registry::shared(name);
+  const executor_caps caps = exec.capabilities();
+
   finalize();
   g_config = cfg;
-  switch (cfg.bk) {
-    case backend::forkjoin:
-      g_team = std::make_unique<hpxlite::fork_join_team>(cfg.threads);
-      break;
-    case backend::hpx_foreach:
-    case backend::hpx_async:
-    case backend::hpx_dataflow:
-      hpxlite::runtime::reset(cfg.threads);
-      break;
-    case backend::seq:
-      break;
+  g_config.backend_name = name;
+  g_config.bk = enum_for(name);
+  g_backend_name = name;
+  g_executor = &exec;
+  if (caps.needs_forkjoin_team) {
+    g_team = std::make_unique<hpxlite::fork_join_team>(cfg.threads);
+  }
+  if (caps.needs_hpx_runtime) {
+    hpxlite::runtime::reset(cfg.threads);
   }
 }
 
@@ -42,9 +75,21 @@ void finalize() {
   }
   clear_plan_cache();
   g_config = config{};
+  g_backend_name = "seq";
+  g_executor = nullptr;
 }
 
 const config& current_config() { return g_config; }
+
+const std::string& current_backend_name() { return g_backend_name; }
+
+loop_executor& current_executor() {
+  if (g_executor == nullptr) {
+    // Pre-init default: the seq oracle, matching the default config.
+    g_executor = &backend_registry::shared("seq");
+  }
+  return *g_executor;
+}
 
 hpxlite::fork_join_team& team() {
   if (!g_team) {

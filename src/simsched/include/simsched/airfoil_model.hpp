@@ -112,6 +112,15 @@ enum class method {
 
 const char* to_string(method m);
 
+/// Every simulated method, in enum order.  With method_from_name this
+/// lets harnesses bridge from op2::executor_caps::sim_method strings
+/// (the registry's view) to graph builders without a hard-coded table.
+std::vector<method> all_methods();
+
+/// Inverse of to_string; throws std::invalid_argument listing the
+/// available methods for an unknown name.
+method method_from_name(const std::string& name);
+
 /// Builds the full task graph for `m` on `threads` workers.
 /// `static_chunk_blocks` sizes the chunks for the static-chunk and
 /// async/dataflow methods (blocks per chunk; 0 = one chunk per ~4

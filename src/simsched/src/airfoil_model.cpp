@@ -89,6 +89,26 @@ const char* to_string(method m) {
   return "?";
 }
 
+std::vector<method> all_methods() {
+  return {method::omp_forkjoin, method::hpx_foreach_auto,
+          method::hpx_foreach_static, method::hpx_async,
+          method::hpx_dataflow};
+}
+
+method method_from_name(const std::string& name) {
+  for (const method m : all_methods()) {
+    if (name == to_string(m)) {
+      return m;
+    }
+  }
+  std::string msg = "simsched: unknown method '" + name + "'; available:";
+  for (const method m : all_methods()) {
+    msg += ' ';
+    msg += to_string(m);
+  }
+  throw std::invalid_argument(msg);
+}
+
 namespace {
 
 double log2_threads(unsigned threads) {

@@ -74,6 +74,37 @@ TEST(Op2hpxTarget, IndirectArgumentsKeepMapNames) {
       << code;
 }
 
+// The --backend passthrough: the op2hpx target emits a bootstrap that
+// selects the runtime backend by registry name.
+const char* kGoldenBootstrap =
+    "static void op2_select_backend(unsigned threads) {\n"
+    "  op2::init(op2::make_config(\"hpx_foreach\", threads));\n"
+    "}\n";
+
+TEST(Op2hpxTarget, BackendOptionEmitsGoldenBootstrap) {
+  const auto loops = codegen::parse_loops(kClassicSource);
+  codegen::emit_options opts;
+  opts.backend = "hpx_foreach";
+  const auto tu = codegen::emit_translation_unit(
+      loops, codegen::target::op2hpx, opts);
+  EXPECT_NE(tu.find(kGoldenBootstrap), std::string::npos) << tu;
+  EXPECT_NE(tu.find("// Backend: hpx_foreach."), std::string::npos);
+  // Without a backend option nothing backend-specific is emitted.
+  const auto plain = codegen::emit_translation_unit(
+      loops, codegen::target::op2hpx);
+  EXPECT_EQ(plain.find("op2_select_backend"), std::string::npos);
+}
+
+TEST(Op2hpxTarget, GoldenBootstrapExecutes) {
+  // Exactly the emitted bootstrap body, verbatim: selection by registry
+  // name must configure the runtime like the enum spelling does.
+  op2::init(op2::make_config("hpx_foreach", 2));
+  EXPECT_EQ(op2::current_backend_name(), "hpx_foreach");
+  EXPECT_EQ(op2::current_config().bk, op2::backend::hpx_foreach);
+  EXPECT_EQ(op2::current_config().threads, 2u);
+  op2::finalize();
+}
+
 TEST(Op2hpxTarget, SummaryListsLoops) {
   const auto loops = codegen::parse_loops(R"(
     op_par_loop(a, "first", s,
