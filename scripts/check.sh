@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# Pre-merge gate: tier-1 build + tests, the fault/resilience label on
+# its own, and a thread-sanitized build of the backend smoke harness.
+#
+#   scripts/check.sh [build-dir]
+#
+# The build dir defaults to ./build; the TSan configure goes to
+# <build-dir>-tsan.  Every step stops the script on failure.
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build=${1:-"$repo/build"}
+tsan_build="${build}-tsan"
+jobs=$(nproc 2>/dev/null || echo 2)
+
+step() {
+  printf '\n== %s ==\n' "$*"
+}
+
+step "tier 1: configure + build ($build)"
+cmake -S "$repo" -B "$build"
+cmake --build "$build" -j "$jobs"
+
+step "tier 1: full test suite"
+ctest --test-dir "$build" --output-on-failure
+
+step "resilience: ctest -L fault"
+ctest --test-dir "$build" -L fault --output-on-failure
+
+step "thread sanitizer: configure + build backend_smoke ($tsan_build)"
+cmake -S "$repo" -B "$tsan_build" -DOP2_SANITIZE=thread
+cmake --build "$tsan_build" -j "$jobs" --target backend_smoke
+
+printf '\nAll checks passed.\n'

@@ -5,5 +5,6 @@
 #include "airfoil/distributed.hpp"
 #include "airfoil/kernels.hpp"
 #include "airfoil/mesh.hpp"
+#include "airfoil/resilience.hpp"
 #include "airfoil/solver.hpp"
 #include "airfoil/state_io.hpp"

@@ -1,0 +1,53 @@
+// Solver-level self-healing: the last layer of the resilience stack.
+//
+// The op2 layers below handle failures a loop can recover from by
+// re-execution (run_loop_protected's rollback/retry/seq-fallback).
+// What they cannot catch is silent data corruption — a kernel that
+// completes but leaves NaN or garbage in the flow field.  run_resilient
+// closes that gap the way long-running CFD codes do in practice:
+//
+//   - checkpoint the simulation every `checkpoint_every` iterations
+//     (through state_io's verified save/load),
+//   - after each segment, check the health of the solution (finite RMS
+//     history, finite solution checksum, no divergence blow-up),
+//   - on a failed check, reload the last good checkpoint and replay the
+//     segment, up to `max_restarts` times.
+//
+// Restarts are recorded under the "airfoil" row of op_timing_output
+// (the restarts column), next to the loop-level retries/fallbacks.
+#pragma once
+
+#include <string>
+
+#include "airfoil/solver.hpp"
+
+namespace airfoil {
+
+struct resilience_options {
+  /// Checkpoint file the driver writes and restarts from (required).
+  std::string checkpoint_path;
+  /// Iterations per checkpointed segment.
+  int checkpoint_every = 10;
+  /// Segment replays before the driver gives up and throws.
+  int max_restarts = 3;
+  /// A segment is declared divergent when its final RMS exceeds the
+  /// previous healthy segment's by this factor.
+  double divergence_factor = 1e6;
+};
+
+struct resilient_result {
+  /// Accepted iterations only (replayed segments appear once).
+  run_result run;
+  /// Checkpoint restarts performed.
+  int restarts = 0;
+  /// Iterations that were rolled back and replayed.
+  int iterations_replayed = 0;
+};
+
+/// Runs `niter` iterations under the currently-configured backend with
+/// checkpoint/restart self-healing.  Throws std::runtime_error when the
+/// solution still fails its health check after `max_restarts` replays.
+resilient_result run_resilient(sim& s, int niter,
+                               const resilience_options& opts);
+
+}  // namespace airfoil

@@ -2,6 +2,19 @@
 // simulation (mesh + solution dats) through the op2 mesh container, so
 // long runs can resume and cross-backend bit-comparisons can be made
 // from identical snapshots.
+//
+// Checkpoint files carry an integrity envelope around the mesh payload:
+//
+//   airfoil-state 2
+//   bytes <payload size>
+//   fnv1a <hex checksum of the payload>
+//   <op2 mesh payload>
+//
+// load_state verifies the size and checksum before parsing, so a
+// truncated or bit-corrupted checkpoint fails with a clear error
+// instead of a confusing parse failure (or, worse, silently loading a
+// wrong flow field).  Bare op2 mesh files (the pre-envelope v1 format)
+// are still accepted, unverified.
 #pragma once
 
 #include <string>
@@ -10,11 +23,13 @@
 
 namespace airfoil {
 
-/// Writes mesh and solution state (q, qold, adt, res) to `path`.
+/// Writes mesh and solution state (q, qold, adt, res) to `path`,
+/// wrapped in the version + checksum envelope above.
 void save_state(const sim& s, const std::string& path);
 
 /// Reads a checkpoint written by save_state and reconstructs the
-/// simulation.  Throws std::runtime_error on malformed files.
+/// simulation.  Throws std::runtime_error naming the file and the
+/// defect on truncated, corrupted, or malformed checkpoints.
 sim load_state(const std::string& path);
 
 }  // namespace airfoil

@@ -1,0 +1,93 @@
+#include "airfoil/resilience.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+#include "airfoil/state_io.hpp"
+#include "op2/profiling.hpp"
+
+namespace airfoil {
+
+namespace {
+
+/// A segment is healthy when every RMS sample and the solution itself
+/// are finite, and the residual has not blown up relative to the last
+/// accepted segment.
+bool segment_healthy(const run_result& segment, const sim& s,
+                     double last_rms, double divergence_factor) {
+  for (const double r : segment.rms_history) {
+    if (!std::isfinite(r)) {
+      return false;
+    }
+  }
+  if (!std::isfinite(solution_checksum(s))) {
+    return false;
+  }
+  if (last_rms > 0.0 && !segment.rms_history.empty() &&
+      segment.rms_history.back() > divergence_factor * last_rms) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+resilient_result run_resilient(sim& s, int niter,
+                               const resilience_options& opts) {
+  if (opts.checkpoint_path.empty()) {
+    throw std::invalid_argument(
+        "airfoil: run_resilient needs a checkpoint_path");
+  }
+  if (opts.checkpoint_every < 1) {
+    throw std::invalid_argument(
+        "airfoil: run_resilient needs checkpoint_every >= 1");
+  }
+
+  resilient_result out;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // The initial checkpoint is the restart point for the first segment.
+  save_state(s, opts.checkpoint_path);
+
+  double last_rms = 0.0;
+  int completed = 0;
+  while (completed < niter) {
+    const int segment = std::min(opts.checkpoint_every, niter - completed);
+    run_result r = run_with_backend(s, segment);
+
+    if (segment_healthy(r, s, last_rms, opts.divergence_factor)) {
+      out.run.rms_history.insert(out.run.rms_history.end(),
+                                 r.rms_history.begin(),
+                                 r.rms_history.end());
+      completed += segment;
+      if (!r.rms_history.empty()) {
+        last_rms = r.rms_history.back();
+      }
+      save_state(s, opts.checkpoint_path);
+      continue;
+    }
+
+    if (out.restarts >= opts.max_restarts) {
+      throw std::runtime_error(
+          "airfoil: run_resilient gave up after " +
+          std::to_string(out.restarts) +
+          " restart(s): solution still non-finite or divergent at iteration " +
+          std::to_string(completed + segment));
+    }
+    // Unhealthy segment: discard it, reload the last good checkpoint,
+    // and replay.
+    s = load_state(opts.checkpoint_path);
+    op2::profiling::record_restart("airfoil");
+    out.restarts += 1;
+    out.iterations_replayed += segment;
+  }
+
+  out.run.seconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  return out;
+}
+
+}  // namespace airfoil

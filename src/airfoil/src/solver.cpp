@@ -265,14 +265,17 @@ run_result run_dataflow(sim& s, int niter) {
     }
   }
 
-  // Drain the tree: the final get()s of the application driver.
-  q.wait();
-  qold.wait();
-  adt.wait();
-  res.wait();
+  // Drain the tree: the final get()s of the application driver.  get()
+  // (not wait()) so a loop that exhausted its failure_policy surfaces
+  // its op2::loop_error here instead of vanishing into an abandoned
+  // future.
+  q.get();
+  qold.get();
+  adt.get();
+  res.get();
   for (int iter = 0; iter < niter; ++iter) {
     const auto slot = static_cast<std::size_t>(2 * iter + 1);
-    stage_done[slot].wait();
+    stage_done[slot].get();
     out.rms_history.push_back(
         finish_rms(rms[slot], s.cells.size()));
   }

@@ -1,23 +1,37 @@
 #include "airfoil/state_io.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 #include "op2/mesh_io.hpp"
 
 namespace airfoil {
 
-void save_state(const sim& s, const std::string& path) {
-  op2::mesh snapshot = s.mesh;  // sets/maps/geometry dats (shared handles)
-  snapshot.dats.insert_or_assign("p_q", s.p_q);
-  snapshot.dats.insert_or_assign("p_qold", s.p_qold);
-  snapshot.dats.insert_or_assign("p_adt", s.p_adt);
-  snapshot.dats.insert_or_assign("p_res", s.p_res);
-  op2::write_mesh_file(path, snapshot);
+namespace {
+
+constexpr const char* kMagic = "airfoil-state";
+constexpr int kVersion = 2;
+
+/// FNV-1a over the serialised mesh payload — cheap, dependency-free,
+/// and plenty to catch truncation and bit corruption of a checkpoint.
+std::uint64_t fnv1a(const std::string& bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
 }
 
-sim load_state(const std::string& path) {
-  op2::mesh snapshot = op2::read_mesh_file(path);
+[[noreturn]] void bad_checkpoint(const std::string& path,
+                                 const std::string& why) {
+  throw std::runtime_error("load_state: checkpoint '" + path + "' " + why);
+}
+
+sim sim_from_snapshot(op2::mesh snapshot, const std::string& path) {
   // make_sim zero-initialises the solution dats; restore them from the
   // checkpoint afterwards.
   const op2::op_dat q = snapshot.dat("p_q");
@@ -30,12 +44,11 @@ sim load_state(const std::string& path) {
   snapshot.dats.erase("p_res");
 
   sim s = make_sim(std::move(snapshot));
-  const auto restore = [](op2::op_dat& dst, const op2::op_dat& src) {
+  const auto restore = [&path](op2::op_dat& dst, const op2::op_dat& src) {
     auto d = dst.data<double>();
     const auto v = src.data<double>();
     if (d.size() != v.size()) {
-      throw std::runtime_error("load_state: checkpoint dat '" + src.name() +
-                               "' has wrong size");
+      bad_checkpoint(path, "dat '" + src.name() + "' has wrong size");
     }
     std::copy(v.begin(), v.end(), d.begin());
   };
@@ -44,6 +57,85 @@ sim load_state(const std::string& path) {
   restore(s.p_adt, adt);
   restore(s.p_res, res);
   return s;
+}
+
+}  // namespace
+
+void save_state(const sim& s, const std::string& path) {
+  op2::mesh snapshot = s.mesh;  // sets/maps/geometry dats (shared handles)
+  snapshot.dats.insert_or_assign("p_q", s.p_q);
+  snapshot.dats.insert_or_assign("p_qold", s.p_qold);
+  snapshot.dats.insert_or_assign("p_adt", s.p_adt);
+  snapshot.dats.insert_or_assign("p_res", s.p_res);
+
+  std::ostringstream payload;
+  op2::write_mesh(payload, snapshot);
+  const std::string body = payload.str();
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("save_state: cannot open '" + path +
+                             "' for writing");
+  }
+  out << kMagic << ' ' << kVersion << '\n'
+      << "bytes " << body.size() << '\n'
+      << "fnv1a " << std::hex << fnv1a(body) << std::dec << '\n'
+      << body;
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("save_state: write failed for '" + path + "'");
+  }
+}
+
+sim load_state(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    bad_checkpoint(path, "cannot be opened");
+  }
+
+  std::string magic;
+  in >> magic;
+  if (magic != kMagic) {
+    // Legacy v1 checkpoints are bare op2 mesh files; accept them
+    // (unverified) so pre-header snapshots keep loading.
+    in.clear();
+    in.seekg(0);
+    return sim_from_snapshot(op2::read_mesh(in), path);
+  }
+
+  int version = 0;
+  std::string key;
+  std::size_t expected_bytes = 0;
+  std::uint64_t expected_sum = 0;
+  in >> version;
+  if (!in || version != kVersion) {
+    bad_checkpoint(path, "has unsupported version " + std::to_string(version));
+  }
+  in >> key >> expected_bytes;
+  if (!in || key != "bytes") {
+    bad_checkpoint(path, "is missing the payload size header");
+  }
+  in >> key >> std::hex >> expected_sum >> std::dec;
+  if (!in || key != "fnv1a") {
+    bad_checkpoint(path, "is missing the checksum header");
+  }
+  in.ignore(1);  // the newline terminating the header
+
+  std::string body(expected_bytes, '\0');
+  in.read(body.data(), static_cast<std::streamsize>(expected_bytes));
+  const auto got = static_cast<std::size_t>(in.gcount());
+  if (got != expected_bytes) {
+    bad_checkpoint(path, "is truncated (expected " +
+                             std::to_string(expected_bytes) +
+                             " payload bytes, got " + std::to_string(got) +
+                             ")");
+  }
+  if (fnv1a(body) != expected_sum) {
+    bad_checkpoint(path, "failed checksum verification (corrupted)");
+  }
+
+  std::istringstream payload(body);
+  return sim_from_snapshot(op2::read_mesh(payload), path);
 }
 
 }  // namespace airfoil

@@ -14,8 +14,11 @@
 //   - when_all composes readiness without blocking
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
+#include <cstdio>
 #include <exception>
 #include <memory>
 #include <mutex>
@@ -74,6 +77,34 @@ struct payload_of<void> {
 template <typename T>
 using payload_t = typename payload_of<T>::type;
 
+/// Abandoned-exception accounting: a task whose exception is never
+/// observed (the future is dropped without get()) would otherwise
+/// vanish silently — exactly the failure mode a barrier-free dataflow
+/// runtime cannot afford.  Every such state bumps this counter at
+/// destruction, and debug builds print the exception's message.
+inline std::atomic<std::uint64_t>& abandoned_exception_counter() {
+  static std::atomic<std::uint64_t> count{0};
+  return count;
+}
+
+inline void note_abandoned_exception(
+    [[maybe_unused]] const std::exception_ptr& ex) {
+  abandoned_exception_counter().fetch_add(1, std::memory_order_relaxed);
+#ifndef NDEBUG
+  try {
+    std::rethrow_exception(ex);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr,
+                 "hpxlite: future destroyed with unobserved exception: %s\n",
+                 e.what());
+  } catch (...) {
+    std::fprintf(
+        stderr,
+        "hpxlite: future destroyed with unobserved exception (non-std)\n");
+  }
+#endif
+}
+
 /// How a continuation attached to a shared state should run once the
 /// state becomes ready.
 enum class continuation_mode {
@@ -89,6 +120,12 @@ class shared_state {
   shared_state() = default;
   shared_state(const shared_state&) = delete;
   shared_state& operator=(const shared_state&) = delete;
+
+  ~shared_state() {
+    if (exception_ && !exception_observed_.load(std::memory_order_relaxed)) {
+      note_abandoned_exception(exception_);
+    }
+  }
 
   bool is_ready() const noexcept {
     return ready_.load(std::memory_order_acquire);
@@ -218,9 +255,12 @@ class shared_state {
     return ready;
   }
 
-  /// Pre: is_ready().  Throws the stored exception, if any.
+  /// Pre: is_ready().  Throws the stored exception, if any, marking it
+  /// observed (get()/then() chains count as observation; a state that
+  /// dies with an unobserved exception is an abandoned failure).
   void throw_if_exceptional() {
     if (exception_) {
+      exception_observed_.store(true, std::memory_order_relaxed);
       std::rethrow_exception(exception_);
     }
   }
@@ -288,6 +328,7 @@ class shared_state {
 
   spinlock mutex_;
   std::atomic<bool> ready_{false};
+  std::atomic<bool> exception_observed_{false};
   std::optional<payload> value_;
   std::exception_ptr exception_;
   std::vector<pending_continuation> continuations_;
@@ -324,6 +365,12 @@ template <typename X>
 using future_value_t = typename future_value<std::decay_t<X>>::type;
 
 }  // namespace detail
+
+/// Number of shared states destroyed with an exception nobody observed
+/// (no get() anywhere downstream).  Monotonic; tests assert deltas.
+inline std::uint64_t abandoned_exception_count() {
+  return detail::abandoned_exception_counter().load(std::memory_order_relaxed);
+}
 
 template <typename T>
 class future {

@@ -27,4 +27,5 @@
 #include "hpxlite/spinlock.hpp"
 #include "hpxlite/sync.hpp"
 #include "hpxlite/unique_function.hpp"
+#include "hpxlite/watchdog.hpp"
 #include "hpxlite/when_any.hpp"

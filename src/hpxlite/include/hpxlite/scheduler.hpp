@@ -39,6 +39,9 @@ struct scheduler_stats {
   std::uint64_t tasks_executed = 0;
   std::uint64_t tasks_stolen = 0;
   std::uint64_t helped_while_waiting = 0;
+  /// Queue depth right now: tasks queued but not popped, plus tasks
+  /// currently executing.  The watchdog includes it in stall reports.
+  std::uint64_t tasks_pending = 0;
 };
 
 class runtime {

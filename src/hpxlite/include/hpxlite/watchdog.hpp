@@ -1,0 +1,81 @@
+// Runtime watchdog: a monitor thread that detects when in-flight work
+// stops making progress.
+//
+// The paper's dataflow execution (§III-B) removes the global barriers
+// at which a wedged kernel would otherwise fail loudly: a stalled chunk
+// just leaves a future unfulfilled and every dependent loop parks
+// behind it.  The watchdog closes that observability gap.  Work that
+// wants supervision brackets itself with begin_activity/end_activity
+// (op2's run_loop does this with "loop [backend, chunk]" descriptions)
+// and emits cheap pulse() heartbeats from inside the parallel region;
+// the monitor thread fires the stall handler when activities are in
+// flight but no heartbeat has arrived for the configured timeout.
+//
+// The default handler prints the diagnostic (stuck activities, pulse
+// count, scheduler queue depth) to stderr and aborts — a crash with a
+// name beats a silent hang.  Tests and supervisors install their own
+// handler to recover instead (e.g. releasing an injected stall).
+//
+// All hooks are safe to call whether or not the watchdog is running;
+// when stopped, pulse() is a single relaxed atomic load.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace hpxlite {
+
+/// Diagnostic snapshot handed to the stall handler.
+struct watchdog_report {
+  /// Descriptions of every in-flight activity, registration order.
+  std::vector<std::string> activities;
+  /// Total heartbeats observed since start().
+  std::uint64_t pulses = 0;
+  /// Scheduler queue depth (queued + running tasks) at detection time,
+  /// 0 when no runtime exists.
+  std::uint64_t pending_tasks = 0;
+  /// How long progress has been absent.
+  std::chrono::milliseconds stalled_for{0};
+};
+
+/// Renders the report as the multi-line diagnostic the default handler
+/// prints ("hpxlite watchdog: no progress for ...").
+std::string describe(const watchdog_report& report);
+
+class watchdog {
+ public:
+  using stall_handler = std::function<void(const watchdog_report&)>;
+
+  /// Starts the monitor thread.  `on_stall` runs (on the monitor
+  /// thread) each time a stall is detected; when empty, the default
+  /// handler prints describe(report) to stderr and calls std::abort().
+  /// Calling start() again re-configures timeout and handler in place.
+  static void start(std::chrono::milliseconds timeout,
+                    stall_handler on_stall = {});
+
+  /// Stops and joins the monitor thread.  Idempotent.
+  static void stop();
+
+  /// True between start() and stop().
+  static bool running();
+
+  /// Registers an in-flight activity; returns the token for
+  /// end_activity.  Counts as progress.
+  static std::uint64_t begin_activity(std::string description);
+
+  /// Unregisters an activity.  Counts as progress.  Unknown tokens are
+  /// ignored (the activity may have been registered before a restart).
+  static void end_activity(std::uint64_t token);
+
+  /// Heartbeat from inside a parallel region — one relaxed atomic
+  /// increment when running, one relaxed load when not.
+  static void pulse();
+
+  /// Number of stalls detected since the last start().
+  static std::uint64_t stalls_detected();
+};
+
+}  // namespace hpxlite

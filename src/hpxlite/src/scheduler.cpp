@@ -226,6 +226,8 @@ scheduler_stats runtime::stats() const {
   s.tasks_executed = executed_.load(std::memory_order_relaxed);
   s.tasks_stolen = stolen_.load(std::memory_order_relaxed);
   s.helped_while_waiting = helped_.load(std::memory_order_relaxed);
+  s.tasks_pending = pending_.load(std::memory_order_relaxed) +
+                    running_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -1,0 +1,179 @@
+#include "hpxlite/watchdog.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "hpxlite/scheduler.hpp"
+
+namespace hpxlite {
+
+namespace {
+
+struct watchdog_state {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::thread monitor;
+  bool stop_requested = false;
+
+  std::chrono::milliseconds timeout{0};
+  watchdog::stall_handler handler;
+
+  std::uint64_t next_token = 1;
+  std::map<std::uint64_t, std::string> activities;  // token -> description
+
+  // Progress tracking.  `pulses` is bumped lock-free from parallel
+  // regions; the monitor compares successive readings instead of
+  // timestamps so a heartbeat can never be lost to clock math.
+  std::atomic<std::uint64_t> pulses{0};
+  std::atomic<std::uint64_t> stalls{0};
+};
+
+watchdog_state& state() {
+  static watchdog_state s;
+  return s;
+}
+
+/// Cheap global flag so pulse() costs one relaxed load when stopped.
+std::atomic<bool> g_running{false};
+
+void default_handler(const watchdog_report& report) {
+  std::fputs(describe(report).c_str(), stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+void monitor_loop() {
+  auto& s = state();
+  std::unique_lock<std::mutex> lock(s.mutex);
+  std::uint64_t seen = s.pulses.load(std::memory_order_relaxed);
+  auto last_progress = std::chrono::steady_clock::now();
+  while (!s.stop_requested) {
+    const auto poll = std::max<std::chrono::milliseconds>(
+        s.timeout / 4, std::chrono::milliseconds(5));
+    s.cv.wait_for(lock, poll, [&s] { return s.stop_requested; });
+    if (s.stop_requested) {
+      return;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    const std::uint64_t current = s.pulses.load(std::memory_order_relaxed);
+    if (current != seen || s.activities.empty()) {
+      seen = current;
+      last_progress = now;
+      continue;
+    }
+    const auto stalled =
+        std::chrono::duration_cast<std::chrono::milliseconds>(now -
+                                                              last_progress);
+    if (stalled < s.timeout) {
+      continue;
+    }
+    watchdog_report report;
+    report.activities.reserve(s.activities.size());
+    for (const auto& [token, description] : s.activities) {
+      report.activities.push_back(description);
+    }
+    report.pulses = current;
+    report.pending_tasks =
+        runtime::exists() ? runtime::get().stats().tasks_pending : 0;
+    report.stalled_for = stalled;
+    s.stalls.fetch_add(1, std::memory_order_relaxed);
+    auto handler = s.handler ? s.handler : watchdog::stall_handler(
+                                               default_handler);
+    // Run the handler unlocked: it may call back into the watchdog
+    // (end_activity from a recovery path) or block.
+    lock.unlock();
+    handler(report);
+    lock.lock();
+    // Re-arm: don't fire again until the next full quiet period, so a
+    // recovering handler gets time to unstick the work.
+    seen = s.pulses.load(std::memory_order_relaxed);
+    last_progress = std::chrono::steady_clock::now();
+  }
+}
+
+}  // namespace
+
+std::string describe(const watchdog_report& report) {
+  std::ostringstream out;
+  out << "hpxlite watchdog: no progress for " << report.stalled_for.count()
+      << " ms (" << report.activities.size() << " activity(ies) in flight, "
+      << report.pulses << " pulses, " << report.pending_tasks
+      << " pending tasks)\n";
+  for (const auto& a : report.activities) {
+    out << "  stuck: " << a << "\n";
+  }
+  return out.str();
+}
+
+void watchdog::start(std::chrono::milliseconds timeout,
+                     stall_handler on_stall) {
+  if (timeout <= std::chrono::milliseconds(0)) {
+    timeout = std::chrono::milliseconds(1);
+  }
+  auto& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.timeout = timeout;
+  s.handler = std::move(on_stall);
+  s.stalls.store(0, std::memory_order_relaxed);
+  if (!s.monitor.joinable()) {
+    s.stop_requested = false;
+    s.monitor = std::thread(monitor_loop);
+  }
+  g_running.store(true, std::memory_order_release);
+}
+
+void watchdog::stop() {
+  auto& s = state();
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (!s.monitor.joinable()) {
+      return;
+    }
+    s.stop_requested = true;
+    to_join = std::move(s.monitor);
+  }
+  g_running.store(false, std::memory_order_release);
+  s.cv.notify_all();
+  to_join.join();
+}
+
+bool watchdog::running() {
+  return g_running.load(std::memory_order_acquire);
+}
+
+std::uint64_t watchdog::begin_activity(std::string description) {
+  auto& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  const std::uint64_t token = s.next_token++;
+  s.activities.emplace(token, std::move(description));
+  s.pulses.fetch_add(1, std::memory_order_relaxed);
+  return token;
+}
+
+void watchdog::end_activity(std::uint64_t token) {
+  auto& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.activities.erase(token);
+  s.pulses.fetch_add(1, std::memory_order_relaxed);
+}
+
+void watchdog::pulse() {
+  if (!g_running.load(std::memory_order_relaxed)) {
+    return;
+  }
+  state().pulses.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t watchdog::stalls_detected() {
+  return state().stalls.load(std::memory_order_relaxed);
+}
+
+}  // namespace hpxlite

@@ -82,6 +82,22 @@ class op_dat {
            static_cast<std::size_t>(e) * static_cast<std::size_t>(impl_->dim);
   }
 
+  /// Untyped view of the full storage, for machinery that treats dats
+  /// as opaque byte ranges (write-set snapshots, checkpoint I/O).
+  std::span<std::byte> raw_bytes() {
+    if (!impl_) {
+      throw std::logic_error("op_dat: access to an undeclared dat");
+    }
+    return {impl_->bytes.data(), impl_->bytes.size()};
+  }
+
+  std::span<const std::byte> raw_bytes() const {
+    if (!impl_) {
+      throw std::logic_error("op_dat: access to an undeclared dat");
+    }
+    return {impl_->bytes.data(), impl_->bytes.size()};
+  }
+
   /// True if T matches the declared element type.
   template <typename T>
   bool holds() const {

@@ -64,6 +64,19 @@ class op_dat_df {
     }
   }
 
+  /// Like wait(), but rethrows the failure of any loop launched against
+  /// this dat — a loop that exhausted its failure_policy surfaces its
+  /// op2::loop_error here, at the driver's synchronisation point.
+  void get() const {
+    if (!sync_) {
+      return;
+    }
+    sync_->last_write.get();
+    for (const auto& r : sync_->reads_since_write) {
+      r.get();
+    }
+  }
+
   /// Future that is ready once all currently-launched uses complete.
   hpxlite::future<void> ready_future() const {
     std::vector<hpxlite::shared_future<void>> deps;
@@ -142,9 +155,18 @@ hpxlite::shared_future<void> op_par_loop(Kernel kernel, const char* name,
   hpxlite::future<void> gate = hpxlite::when_all(deps);
   hpxlite::future<void> done = hpxlite::dataflow(
       hpxlite::launch::async,
-      [launch = std::move(launch)](hpxlite::future<void> ready) {
-        ready.get();  // propagate upstream failures
-        run_loop(backend_registry::shared("hpx_foreach"), launch);
+      [launch = std::move(launch), deps = std::move(deps),
+       policy = current_config().on_failure](hpxlite::future<void> ready) {
+        ready.get();
+        // when_all signals readiness but not failure: re-observe each
+        // dependency so an upstream loop's error propagates down the
+        // dependency tree unchanged instead of this loop running on
+        // (or retrying against) poisoned inputs.
+        for (const auto& d : deps) {
+          d.get();
+        }
+        run_loop_protected(backend_registry::shared("hpx_foreach"), launch,
+                           policy);
       },
       std::move(gate));
   hpxlite::shared_future<void> shared = done.share();

@@ -1,0 +1,165 @@
+// Deterministic fault injection — the test harness for the resilience
+// subsystem.  A configured fault targets one loop by name and fires
+// inside a kernel chunk (so every backend's real error path is
+// exercised, not a mock):
+//
+//   throw    the chunk throws fault_injected_error — drives the
+//            rollback/retry/fallback machinery in run_loop_protected
+//   stall    the chunk blocks (until release_stalls() or stall_ms
+//            elapses) — drives the hpxlite watchdog
+//   corrupt  the loop completes, then one output value is overwritten
+//            with NaN (fired at dispatch level so a later chunk cannot
+//            rewrite it) — drives the solver-level divergence detector
+//            and checkpoint restart
+//
+// Configuration comes from the OP2_FAULT environment variable (read by
+// op2::init) or the programmatic API.  Spec grammar:
+//
+//   <loop>:<kind>[:key=value[,key=value...]]
+//
+//   kind      throw | stall | corrupt
+//   at=N      fire on the Nth invocation of <loop> (1-based)
+//   prob=P    instead of at: fire each invocation with probability P
+//             (deterministic: seeded mt19937)
+//   seed=S    RNG seed for prob (default 12345)
+//   count=K   total number of fires before the fault disarms
+//             (default 1; each retry attempt can consume one fire)
+//   stall_ms=M  stall duration cap in milliseconds (default 60000)
+//
+// Examples:
+//   OP2_FAULT=res_calc:throw:at=10
+//   OP2_FAULT=update:corrupt:prob=0.05,seed=7
+//   OP2_FAULT=res_calc:stall:at=3,stall_ms=2000,count=1
+//
+// At most one fault is configured at a time (reconfiguring replaces and
+// resets the invocation counter).  All hooks are thread-safe; the hot
+// path for unconfigured runs is one relaxed atomic load per loop
+// launch.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace op2 {
+
+enum class fault_kind { none, throw_, stall, corrupt };
+
+const char* to_string(fault_kind k);
+
+/// A parsed fault specification.
+struct fault_spec {
+  std::string loop;            // target loop name (required)
+  fault_kind kind = fault_kind::none;
+  int at = 0;                  // 1-based invocation to fire on; 0 = use prob
+  double probability = 0.0;    // per-invocation firing probability
+  unsigned seed = 12345;       // RNG seed for probabilistic firing
+  int count = 1;               // total fires before disarming (-1 = unlimited)
+  int stall_ms = 60000;        // stall duration cap
+};
+
+/// Parses the OP2_FAULT grammar above; throws std::invalid_argument
+/// (with the grammar in the message) on malformed specs.
+fault_spec parse_fault_spec(const std::string& text);
+
+/// Thrown by an injected `throw` fault, from inside the kernel chunk.
+class fault_injected_error : public std::runtime_error {
+ public:
+  explicit fault_injected_error(const std::string& loop)
+      : std::runtime_error("op2: injected fault in loop '" + loop + "'") {}
+};
+
+namespace detail {
+
+/// Per-invocation arming handed to the loop launch when the injector
+/// decides this invocation of the target loop should fault.  Chunks
+/// race to claim the fire; at most one chunk per execution attempt
+/// fires, and each fire consumes one unit of the spec's `count` — so a
+/// count=3 throw fault fails the initial attempt plus two retries, and
+/// the fourth execution (or the seq fallback) runs clean.
+struct fault_arming {
+  fault_kind kind = fault_kind::none;
+  std::string loop;
+  int stall_ms = 0;
+  std::atomic<int> fires_remaining{0};
+  std::atomic<bool> fired_this_attempt{false};
+
+  /// Called by the retry machinery at the top of each execution
+  /// attempt (the initial attempt starts un-fired).
+  void begin_attempt() {
+    fired_this_attempt.store(false, std::memory_order_release);
+  }
+
+  /// True for exactly one caller per attempt while fires remain.
+  bool claim() {
+    if (fires_remaining.load(std::memory_order_acquire) <= 0) {
+      return false;
+    }
+    if (fired_this_attempt.exchange(true, std::memory_order_acq_rel)) {
+      return false;
+    }
+    fires_remaining.fetch_sub(1, std::memory_order_acq_rel);
+    return true;
+  }
+};
+
+}  // namespace detail
+
+class fault_injector {
+ public:
+  /// Installs `spec` (validated), resetting counters.
+  static void configure(const fault_spec& spec);
+
+  /// Parses and installs a textual spec.
+  static void configure(const std::string& text);
+
+  /// Installs the OP2_FAULT environment spec if the variable is set;
+  /// leaves any programmatic configuration alone otherwise.  Returns
+  /// whether a spec was installed.
+  static bool configure_from_env();
+
+  /// Removes any configured fault.
+  static void clear();
+
+  /// True when a fault is configured (fired out or not).
+  static bool active();
+
+  /// The configured spec (kind == none when inactive).
+  static fault_spec current();
+
+  /// Total fires so far under the current configuration.
+  static int fired_count();
+
+  /// Number of chunks currently blocked in an injected stall.
+  static int stalls_in_progress();
+
+  /// Wakes every chunk blocked in an injected stall (watchdog recovery
+  /// handlers call this).
+  static void release_stalls();
+
+  /// Internal: called once per op_par_loop invocation while binding the
+  /// launch.  Returns the arming for this invocation, or null when the
+  /// loop doesn't fault (the common case: one relaxed load).
+  static std::shared_ptr<detail::fault_arming> arm(const std::string& loop);
+
+  /// Internal: blocks for the armed stall (until release_stalls() or
+  /// the spec's stall_ms cap).
+  static void stall(int stall_ms);
+};
+
+namespace detail {
+
+/// Executed by the launch wrapper before the kernel chunk runs: fires
+/// an armed throw (raises fault_injected_error) or stall.
+void fire_fault_pre(fault_arming& arming);
+
+/// Executed by the dispatch layer after the whole loop completes;
+/// `target`/`bytes` is the loop's first write target.
+void fire_fault_post(fault_arming& arming, std::byte* target,
+                     std::size_t bytes);
+
+}  // namespace detail
+
+}  // namespace op2

@@ -23,15 +23,20 @@
 //     ones registered after this library was built.
 #pragma once
 
+#include <cstddef>
+#include <exception>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "hpxlite/execution.hpp"
 #include "hpxlite/future.hpp"
+#include "op2/fault.hpp"
 #include "op2/plan.hpp"
+#include "op2/runtime.hpp"
 
 namespace op2 {
 
@@ -53,6 +58,17 @@ struct executor_caps {
   const char* sim_method = "";
 };
 
+/// One region of memory a loop writes (OP_WRITE / OP_RW / OP_INC
+/// arguments, including global reduction targets).  run_loop_protected
+/// snapshots these before the first attempt and restores them before
+/// each retry, so a half-executed failing attempt cannot leak partial
+/// updates into the re-execution.
+struct write_target {
+  std::byte* data = nullptr;
+  std::size_t bytes = 0;
+  std::string name;  // dat/global name, for diagnostics
+};
+
 /// One type-erased loop launch: everything an executor needs, with the
 /// templated kernel/argument frame hidden behind run_block/run_range.
 /// The two closures share ownership of the frame, so copies of a
@@ -66,6 +82,32 @@ struct loop_launch {
   hpxlite::chunk_spec chunk = hpxlite::auto_chunk_size{};
   std::function<void(int)> run_block;        // execute one plan block
   std::function<void(int, int)> run_range;   // execute elements [b, e)
+  /// The loop's deduplicated write set (access-set rollback state).
+  std::vector<write_target> writes;
+  /// Non-null when the fault injector armed this invocation; the retry
+  /// machinery calls begin_attempt() on it before each execution.
+  std::shared_ptr<detail::fault_arming> fault;
+};
+
+/// Structured failure surfaced when a loop exhausts its failure_policy:
+/// every rollback/retry and the seq fallback (when enabled) failed too.
+/// Carries the loop name, the backend the loop was configured to run
+/// on, the total execution attempts, and the last underlying exception.
+class loop_error : public std::runtime_error {
+ public:
+  loop_error(std::string loop, std::string backend, int attempts,
+             std::exception_ptr cause);
+
+  const std::string& loop() const noexcept { return loop_; }
+  const std::string& backend() const noexcept { return backend_; }
+  int attempts() const noexcept { return attempts_; }
+  const std::exception_ptr& cause() const noexcept { return cause_; }
+
+ private:
+  std::string loop_;
+  std::string backend_;
+  int attempts_ = 0;
+  std::exception_ptr cause_;
 };
 
 /// Human-readable form of a chunk decision ("auto", "static:16", ...),
@@ -149,11 +191,32 @@ class backend_registry {
 
 /// Synchronous dispatch with profiling hooks: what the classic
 /// op_par_loop entry point calls.  Asynchronous executors are launched
-/// and waited on; synchronous ones run inline.
+/// and waited on; synchronous ones run inline.  When the hpxlite
+/// watchdog is running, the execution is bracketed as a supervised
+/// activity named "op_par_loop '<loop>' on <backend> [chunk <spec>]".
 void run_loop(loop_executor& exec, const loop_launch& loop);
 
 /// Asynchronous dispatch with profiling hooks: what op_par_loop_async
 /// calls.  Records launch-to-completion time via a continuation.
 hpxlite::future<void> launch_loop(loop_executor& exec, loop_launch loop);
+
+/// Resilient synchronous dispatch: with the default (disabled) policy
+/// this is exactly run_loop.  Otherwise the loop's write set is
+/// snapshotted first, and on a kernel exception the snapshot is
+/// restored and the loop retried up to policy.max_retries times on
+/// `exec`, then (policy.fallback_to_seq) once on the registry's "seq"
+/// executor; if everything fails the write set is left rolled back and
+/// an op2::loop_error surfaces.
+void run_loop_protected(loop_executor& exec, const loop_launch& loop,
+                        const failure_policy& policy);
+
+/// Resilient asynchronous dispatch: the first attempt overlaps with the
+/// caller exactly like launch_loop; rollback, retries and the seq
+/// fallback run in the completion continuation, so the returned future
+/// is ready only once the loop has genuinely succeeded (or carries the
+/// final op2::loop_error).
+hpxlite::future<void> launch_loop_protected(loop_executor& exec,
+                                            loop_launch loop,
+                                            failure_policy policy);
 
 }  // namespace op2

@@ -36,7 +36,9 @@
 #include <vector>
 
 #include "hpxlite/future.hpp"
+#include "hpxlite/watchdog.hpp"
 #include "op2/arg.hpp"
+#include "op2/fault.hpp"
 #include "op2/loop_executor.hpp"
 #include "op2/plan.hpp"
 #include "op2/runtime.hpp"
@@ -247,10 +249,51 @@ inline hpxlite::chunk_spec configured_chunk() {
   return hpxlite::auto_chunk_size{};
 }
 
+/// The loop's deduplicated write set: every dat a non-OP_READ dat
+/// argument targets, plus every global argument buffer the loop updates
+/// — exactly the state run_loop_protected must snapshot/restore.
+template <typename Kernel, typename... T>
+std::vector<write_target> collect_write_targets(
+    loop_frame<Kernel, T...>& frame) {
+  std::vector<write_target> targets;
+  std::apply(
+      [&targets](auto&... a) {
+        const auto add = [&targets](auto& arg) {
+          if (!writes(arg.acc)) {
+            return;
+          }
+          write_target t;
+          if (arg.is_global()) {
+            t.data = reinterpret_cast<std::byte*>(arg.gbl);
+            t.bytes = static_cast<std::size_t>(arg.dim) * sizeof(*arg.gbl);
+            t.name = "<global>";
+          } else {
+            const auto raw = arg.dat.raw_bytes();
+            t.data = raw.data();
+            t.bytes = raw.size();
+            t.name = arg.dat.name();
+          }
+          for (const auto& existing : targets) {
+            if (existing.data == t.data) {
+              return;  // same dat bound twice (e.g. two map indices)
+            }
+          }
+          targets.push_back(std::move(t));
+        };
+        (add(a), ...);
+      },
+      frame.args);
+  return targets;
+}
+
 /// Erases the typed frame into the launch descriptor executors consume.
 /// The run_block/run_range closures share ownership of the frame, so
 /// any copy of the launch keeps the loop's data (dats, plan, kernel)
 /// alive — asynchronous executors just capture the launch by value.
+/// The closures also carry the resilience hooks: a watchdog heartbeat
+/// per chunk, and the fault-injection fire points when this invocation
+/// is armed (so injected faults originate inside the backend's real
+/// parallel region).
 template <typename Kernel, typename... T>
 loop_launch erase_frame(std::shared_ptr<loop_frame<Kernel, T...>> frame) {
   loop_launch d;
@@ -259,8 +302,38 @@ loop_launch erase_frame(std::shared_ptr<loop_frame<Kernel, T...>> frame) {
   d.set_size = frame->set.size();
   d.direct = frame->direct_loop;
   d.chunk = configured_chunk();
-  d.run_block = [frame](int b) { frame->run_block(b); };
-  d.run_range = [frame](int b, int e) { frame->run_range(b, e); };
+  // Write targets feed the rollback snapshot and the corrupt fault;
+  // skip the collection entirely on the zero-cost default path.
+  if (current_config().on_failure.enabled() || fault_injector::active()) {
+    d.writes = collect_write_targets(*frame);
+  }
+  d.fault = fault_injector::arm(d.name);
+  if (!d.fault) {
+    d.run_block = [frame](int b) {
+      hpxlite::watchdog::pulse();
+      frame->run_block(b);
+    };
+    d.run_range = [frame](int b, int e) {
+      hpxlite::watchdog::pulse();
+      frame->run_range(b, e);
+    };
+    return d;
+  }
+  // Throw/stall faults fire inside the chunk (the backend's real
+  // parallel region); corrupt faults fire at dispatch level once the
+  // whole loop completes (run_loop / launch_loop), because a chunk-level
+  // fire races with later chunks that legitimately rewrite the target.
+  auto fault = d.fault;
+  d.run_block = [frame, fault](int b) {
+    hpxlite::watchdog::pulse();
+    fire_fault_pre(*fault);
+    frame->run_block(b);
+  };
+  d.run_range = [frame, fault](int b, int e) {
+    hpxlite::watchdog::pulse();
+    fire_fault_pre(*fault);
+    frame->run_range(b, e);
+  };
   return d;
 }
 
@@ -275,7 +348,8 @@ void op_par_loop(Kernel kernel, const char* name, const op_set& set,
                  op_arg<T>... args) {
   auto frame =
       detail::make_frame(name, set, std::move(kernel), std::move(args)...);
-  run_loop(current_executor(), detail::erase_frame(std::move(frame)));
+  run_loop_protected(current_executor(), detail::erase_frame(std::move(frame)),
+                     current_config().on_failure);
 }
 
 /// §III-A2 API: returns a future for the loop's completion; the caller
@@ -287,7 +361,9 @@ hpxlite::future<void> op_par_loop_async(Kernel kernel, const char* name,
                                         const op_set& set, op_arg<T>... args) {
   auto frame =
       detail::make_frame(name, set, std::move(kernel), std::move(args)...);
-  return launch_loop(current_executor(), detail::erase_frame(std::move(frame)));
+  return launch_loop_protected(current_executor(),
+                               detail::erase_frame(std::move(frame)),
+                               current_config().on_failure);
 }
 
 }  // namespace op2

@@ -20,6 +20,12 @@ struct loop_profile {
   /// loop_executor::loop_end hook (most recent execution wins).
   std::string backend;
   std::string chunk;
+  /// Resilience counters (all zero — and never touched — when the
+  /// failure policy is off): rollback/retry re-executions, degradations
+  /// to the seq executor, and solver restarts from a checkpoint.
+  std::uint64_t retries = 0;
+  std::uint64_t fallbacks = 0;
+  std::uint64_t restarts = 0;
 };
 
 namespace profiling {
@@ -38,6 +44,13 @@ void record(const std::string& loop_name, double seconds);
 /// the chunk decision it used ("auto", "static:16", ...).
 void record(const std::string& loop_name, double seconds,
             const std::string& backend, const std::string& chunk);
+
+/// Resilience hooks (no-ops while profiling is disabled): a write-set
+/// rollback + re-execution, a degradation to the seq executor, and a
+/// solver-level restart from a checkpoint.
+void record_retry(const std::string& loop_name);
+void record_fallback(const std::string& loop_name);
+void record_restart(const std::string& loop_name);
 
 /// Snapshot of all recorded loops.
 std::map<std::string, loop_profile> snapshot();

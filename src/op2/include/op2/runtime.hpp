@@ -44,6 +44,30 @@ constexpr const char* to_string(backend b) {
   return i < sizeof(names) / sizeof(names[0]) ? names[i] : "?";
 }
 
+/// What op_par_loop does when a kernel chunk throws.  With the default
+/// (disabled) policy the exception propagates unchanged and the loop's
+/// outputs are unspecified — exactly the pre-resilience behaviour, with
+/// zero overhead.  Enabling any knob routes execution through
+/// run_loop_protected: the loop's write set is snapshotted up front,
+/// restored on failure, and the loop is retried / degraded to the seq
+/// oracle before an op2::loop_error surfaces.
+struct failure_policy {
+  /// Re-executions on the configured backend after a failure (each
+  /// preceded by a write-set rollback).
+  int max_retries = 0;
+  /// After retries are exhausted, roll back once more and run the loop
+  /// on the registry's "seq" executor.
+  bool fallback_to_seq = false;
+
+  bool enabled() const { return max_retries > 0 || fallback_to_seq; }
+};
+
+/// Parses the OP2_FAILURE_POLICY grammar:
+///   off | retries=N[,fallback=on|off]
+/// e.g. "retries=2,fallback=on".  Throws std::invalid_argument on
+/// malformed specs.
+failure_policy parse_failure_policy(const std::string& text);
+
 struct config {
   backend bk = backend::seq;
   unsigned threads = 1;
@@ -56,6 +80,9 @@ struct config {
   /// non-empty this takes precedence over `bk`, and may name any
   /// registered backend, including ones the enum has no value for.
   std::string backend_name;
+  /// Rollback/retry/fallback behaviour for failing loops (off by
+  /// default; also settable via OP2_FAILURE_POLICY).
+  failure_policy on_failure;
 };
 
 /// Convenience constructor for string-selected backends: validates
@@ -68,7 +95,11 @@ config make_config(const std::string& backend_name, unsigned threads = 1,
 /// Initialises the OP2 runtime: records `cfg`, spins up the fork-join
 /// team (forkjoin backend) or resets the hpxlite worker pool (hpx
 /// backends) to cfg.threads.  Callable repeatedly; each call drains and
-/// replaces the previous worker pool.  Also clears the plan cache.
+/// replaces the previous worker pool.  Also clears the plan cache, and
+/// applies the resilience environment knobs: OP2_FAULT installs a
+/// fault-injection spec, OP2_FAILURE_POLICY overrides cfg.on_failure,
+/// and OP2_WATCHDOG_MS starts the hpxlite stall watchdog with that
+/// timeout (0 disables).
 void init(const config& cfg);
 
 /// Tears down worker pools and clears the plan cache.

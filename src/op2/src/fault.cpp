@@ -1,0 +1,292 @@
+#include "op2/fault.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <mutex>
+#include <random>
+#include <sstream>
+#include <vector>
+
+namespace op2 {
+
+const char* to_string(fault_kind k) {
+  switch (k) {
+    case fault_kind::throw_:
+      return "throw";
+    case fault_kind::stall:
+      return "stall";
+    case fault_kind::corrupt:
+      return "corrupt";
+    default:
+      return "none";
+  }
+}
+
+namespace {
+
+[[noreturn]] void bad_spec(const std::string& text, const std::string& why) {
+  throw std::invalid_argument(
+      "op2: bad OP2_FAULT spec '" + text + "': " + why +
+      " (grammar: <loop>:<kind>[:key=value[,key=value...]], kind = "
+      "throw|stall|corrupt, keys = at, prob, seed, count, stall_ms)");
+}
+
+struct injector_state {
+  std::mutex mutex;
+  bool configured = false;
+  fault_spec spec;
+  std::mt19937 rng;
+  int invocations = 0;  // of the target loop, since configure
+  std::shared_ptr<detail::fault_arming> arming;  // shared across fires
+  std::atomic<int> fired{0};
+
+  // Stall rendezvous.
+  std::mutex stall_mutex;
+  std::condition_variable stall_cv;
+  std::uint64_t release_generation = 0;
+  int stalled = 0;
+};
+
+injector_state& state() {
+  static injector_state s;
+  return s;
+}
+
+/// Fast-path flag: is any fault configured at all?
+std::atomic<bool> g_active{false};
+
+}  // namespace
+
+fault_spec parse_fault_spec(const std::string& text) {
+  fault_spec spec;
+  std::vector<std::string> parts;
+  std::string token;
+  std::istringstream in(text);
+  while (std::getline(in, token, ':')) {
+    parts.push_back(token);
+  }
+  if (parts.size() < 2 || parts.size() > 3) {
+    bad_spec(text, "expected <loop>:<kind>[:options]");
+  }
+  spec.loop = parts[0];
+  if (spec.loop.empty()) {
+    bad_spec(text, "loop name must not be empty");
+  }
+  if (parts[1] == "throw") {
+    spec.kind = fault_kind::throw_;
+  } else if (parts[1] == "stall") {
+    spec.kind = fault_kind::stall;
+  } else if (parts[1] == "corrupt") {
+    spec.kind = fault_kind::corrupt;
+  } else {
+    bad_spec(text, "unknown kind '" + parts[1] + "'");
+  }
+  spec.at = 1;  // default: first invocation
+  if (parts.size() == 3) {
+    std::istringstream opts(parts[2]);
+    std::string kv;
+    while (std::getline(opts, kv, ',')) {
+      const auto eq = kv.find('=');
+      if (eq == std::string::npos) {
+        bad_spec(text, "option '" + kv + "' is not key=value");
+      }
+      const std::string key = kv.substr(0, eq);
+      const std::string value = kv.substr(eq + 1);
+      try {
+        if (key == "at") {
+          spec.at = std::stoi(value);
+          if (spec.at < 1) {
+            bad_spec(text, "at must be >= 1");
+          }
+        } else if (key == "prob") {
+          spec.probability = std::stod(value);
+          spec.at = 0;
+          if (spec.probability < 0.0 || spec.probability > 1.0) {
+            bad_spec(text, "prob must be in [0, 1]");
+          }
+        } else if (key == "seed") {
+          spec.seed = static_cast<unsigned>(std::stoul(value));
+        } else if (key == "count") {
+          spec.count = std::stoi(value);
+          if (spec.count == 0 || spec.count < -1) {
+            bad_spec(text, "count must be >= 1 (or -1 for unlimited)");
+          }
+        } else if (key == "stall_ms") {
+          spec.stall_ms = std::stoi(value);
+          if (spec.stall_ms < 0) {
+            bad_spec(text, "stall_ms must be >= 0");
+          }
+        } else {
+          bad_spec(text, "unknown option '" + key + "'");
+        }
+      } catch (const std::invalid_argument&) {
+        throw;
+      } catch (const std::exception&) {
+        bad_spec(text, "malformed value in '" + kv + "'");
+      }
+    }
+  }
+  return spec;
+}
+
+void fault_injector::configure(const fault_spec& spec) {
+  if (spec.loop.empty() || spec.kind == fault_kind::none) {
+    throw std::invalid_argument(
+        "op2: fault_injector::configure needs a loop name and a kind");
+  }
+  auto& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.configured = true;
+  s.spec = spec;
+  s.rng.seed(spec.seed);
+  s.invocations = 0;
+  s.fired.store(0, std::memory_order_relaxed);
+  // One arming shared by every firing invocation: `count` is a global
+  // budget, not per-invocation.
+  s.arming = std::make_shared<detail::fault_arming>();
+  s.arming->kind = spec.kind;
+  s.arming->loop = spec.loop;
+  s.arming->stall_ms = spec.stall_ms;
+  s.arming->fires_remaining.store(
+      spec.count < 0 ? std::numeric_limits<int>::max() : spec.count,
+      std::memory_order_relaxed);
+  g_active.store(true, std::memory_order_release);
+}
+
+void fault_injector::configure(const std::string& text) {
+  configure(parse_fault_spec(text));
+}
+
+bool fault_injector::configure_from_env() {
+  const char* env = std::getenv("OP2_FAULT");
+  if (env == nullptr || *env == '\0') {
+    return false;
+  }
+  configure(std::string(env));
+  return true;
+}
+
+void fault_injector::clear() {
+  auto& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.configured = false;
+  s.spec = fault_spec{};
+  s.invocations = 0;
+  s.arming.reset();
+  g_active.store(false, std::memory_order_release);
+  release_stalls();
+}
+
+bool fault_injector::active() {
+  return g_active.load(std::memory_order_acquire);
+}
+
+fault_spec fault_injector::current() {
+  auto& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.configured ? s.spec : fault_spec{};
+}
+
+int fault_injector::fired_count() {
+  return state().fired.load(std::memory_order_acquire);
+}
+
+int fault_injector::stalls_in_progress() {
+  auto& s = state();
+  std::lock_guard<std::mutex> lock(s.stall_mutex);
+  return s.stalled;
+}
+
+void fault_injector::release_stalls() {
+  auto& s = state();
+  {
+    std::lock_guard<std::mutex> lock(s.stall_mutex);
+    ++s.release_generation;
+  }
+  s.stall_cv.notify_all();
+}
+
+std::shared_ptr<detail::fault_arming> fault_injector::arm(
+    const std::string& loop) {
+  if (!g_active.load(std::memory_order_acquire)) {
+    return nullptr;
+  }
+  auto& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (!s.configured || s.spec.loop != loop) {
+    return nullptr;
+  }
+  if (s.arming->fires_remaining.load(std::memory_order_acquire) <= 0) {
+    return nullptr;  // budget spent: the fault has disarmed
+  }
+  s.invocations += 1;
+  bool fire = false;
+  if (s.spec.at > 0) {
+    fire = s.invocations == s.spec.at ||
+           (s.spec.count != 1 && s.invocations > s.spec.at);
+  } else {
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    fire = dist(s.rng) < s.spec.probability;
+  }
+  if (fire) {
+    // Every armed invocation starts a fresh attempt (the retry
+    // machinery re-arms between retries of one invocation); the global
+    // `count` budget is still enforced by fires_remaining.
+    s.arming->begin_attempt();
+  }
+  return fire ? s.arming : nullptr;
+}
+
+void fault_injector::stall(int stall_ms) {
+  auto& s = state();
+  std::unique_lock<std::mutex> lock(s.stall_mutex);
+  const std::uint64_t entered = s.release_generation;
+  s.stalled += 1;
+  s.stall_cv.wait_for(lock, std::chrono::milliseconds(stall_ms),
+                      [&s, entered] {
+                        return s.release_generation != entered;
+                      });
+  s.stalled -= 1;
+}
+
+namespace detail {
+
+void fire_fault_pre(fault_arming& arming) {
+  switch (arming.kind) {
+    case fault_kind::throw_:
+      if (arming.claim()) {
+        state().fired.fetch_add(1, std::memory_order_acq_rel);
+        throw fault_injected_error(arming.loop);
+      }
+      break;
+    case fault_kind::stall:
+      if (arming.claim()) {
+        state().fired.fetch_add(1, std::memory_order_acq_rel);
+        fault_injector::stall(arming.stall_ms);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void fire_fault_post(fault_arming& arming, std::byte* target,
+                     std::size_t bytes) {
+  if (arming.kind != fault_kind::corrupt || target == nullptr ||
+      bytes < sizeof(double)) {
+    return;
+  }
+  if (!arming.claim()) {
+    return;
+  }
+  state().fired.fetch_add(1, std::memory_order_acq_rel);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::memcpy(target, &nan, sizeof(double));
+}
+
+}  // namespace detail
+
+}  // namespace op2

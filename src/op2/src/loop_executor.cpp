@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstring>
 #include <map>
 #include <mutex>
 #include <sstream>
@@ -9,6 +10,7 @@
 #include <utility>
 
 #include "backends/builtin.hpp"
+#include "hpxlite/watchdog.hpp"
 #include "op2/profiling.hpp"
 
 namespace op2 {
@@ -239,11 +241,53 @@ void run_now(loop_executor& exec, const loop_launch& loop) {
   }
 }
 
+/// Fires an armed corrupt fault against the loop's first write target.
+/// Corrupt faults fire once per completed execution, at dispatch level
+/// rather than inside a chunk: under fork-join executors the chunk that
+/// wins the per-attempt claim can finish before another chunk that
+/// legitimately rewrites the targeted bytes, which would silently heal
+/// the injected corruption.
+void fire_corrupt(const loop_launch& loop) {
+  if (loop.fault && !loop.writes.empty()) {
+    detail::fire_fault_post(*loop.fault, loop.writes[0].data,
+                            loop.writes[0].bytes);
+  }
+}
+
+/// Watchdog activity description for one loop execution.
+std::string activity_description(const loop_executor& exec,
+                                 const loop_launch& loop) {
+  return "op_par_loop '" + loop.name + "' on " + std::string(exec.name()) +
+         " [chunk " + describe(loop.chunk) + "]";
+}
+
+/// RAII registration of a supervised activity.  When the watchdog is
+/// stopped (the common case) the cost is one atomic load — the
+/// description string is never built.
+struct activity_guard {
+  activity_guard(const loop_executor& exec, const loop_launch& loop) {
+    if (hpxlite::watchdog::running()) {
+      token = hpxlite::watchdog::begin_activity(
+          activity_description(exec, loop));
+    }
+  }
+  ~activity_guard() {
+    if (token != 0) {
+      hpxlite::watchdog::end_activity(token);
+    }
+  }
+  activity_guard(const activity_guard&) = delete;
+  activity_guard& operator=(const activity_guard&) = delete;
+  std::uint64_t token = 0;
+};
+
 }  // namespace
 
 void run_loop(loop_executor& exec, const loop_launch& loop) {
+  activity_guard guard(exec, loop);
   if (!profiling::enabled()) {
     run_now(exec, loop);
+    fire_corrupt(loop);
     return;
   }
   exec.loop_begin(loop);
@@ -256,18 +300,36 @@ void run_loop(loop_executor& exec, const loop_launch& loop) {
                             .count());
     throw;
   }
+  fire_corrupt(loop);
   exec.loop_end(loop, std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - t0)
                           .count());
 }
 
-hpxlite::future<void> launch_loop(loop_executor& exec, loop_launch loop) {
-  if (!profiling::enabled()) {
+namespace {
+
+/// exec.launch can throw synchronously: the auto-chunk partitioner runs
+/// a sequential prefix of the first colour inline on the calling thread,
+/// so a kernel exception there escapes before any task is submitted.
+/// Folding it into the future gives callers (and the recovery
+/// continuation) a single failure path — and because nothing was
+/// submitted yet, no chunk is still writing when the caller rolls back.
+hpxlite::future<void> checked_launch(loop_executor& exec, loop_launch loop) {
+  try {
     return exec.launch(std::move(loop));
+  } catch (...) {
+    return hpxlite::make_exceptional_future<void>(std::current_exception());
+  }
+}
+
+hpxlite::future<void> launch_loop_impl(loop_executor& exec,
+                                       loop_launch loop) {
+  if (!profiling::enabled()) {
+    return checked_launch(exec, std::move(loop));
   }
   exec.loop_begin(loop);
   const auto t0 = std::chrono::steady_clock::now();
-  auto done = exec.launch(loop);
+  auto done = checked_launch(exec, loop);
   // Record launch-to-completion time.  Capturing `exec` is safe: the
   // runtime dispatches through backend_registry::shared instances,
   // which are never destroyed.
@@ -278,6 +340,180 @@ hpxlite::future<void> launch_loop(loop_executor& exec, loop_launch loop) {
                                 .count());
         f.get();  // propagate the loop's exception to the caller
       });
+}
+
+}  // namespace
+
+hpxlite::future<void> launch_loop(loop_executor& exec, loop_launch loop) {
+  // An armed corrupt fault fires in the completion continuation (see
+  // fire_corrupt); capture the target before the launch consumes `loop`.
+  const auto fault = loop.fault;
+  const bool corrupt_armed = fault && fault->kind == fault_kind::corrupt &&
+                             !loop.writes.empty();
+  std::byte* corrupt_data = corrupt_armed ? loop.writes[0].data : nullptr;
+  const std::size_t corrupt_bytes = corrupt_armed ? loop.writes[0].bytes : 0;
+
+  auto done = [&]() -> hpxlite::future<void> {
+    if (!hpxlite::watchdog::running()) {
+      return launch_loop_impl(exec, std::move(loop));
+    }
+    // Supervise launch-to-completion: the activity ends (and counts as
+    // progress) only when the loop's future becomes ready.
+    const std::uint64_t token =
+        hpxlite::watchdog::begin_activity(activity_description(exec, loop));
+    auto launched = launch_loop_impl(exec, std::move(loop));
+    return launched.then([token](hpxlite::future<void>&& f) {
+      hpxlite::watchdog::end_activity(token);
+      f.get();  // propagate the loop's exception to the caller
+    });
+  }();
+  if (!corrupt_armed) {
+    return done;
+  }
+  return done.then(
+      [fault, corrupt_data, corrupt_bytes](hpxlite::future<void>&& f) {
+        f.get();  // only a completed loop publishes the corruption
+        detail::fire_fault_post(*fault, corrupt_data, corrupt_bytes);
+      });
+}
+
+// --- resilient dispatch -----------------------------------------------
+
+loop_error::loop_error(std::string loop, std::string backend, int attempts,
+                       std::exception_ptr cause)
+    : std::runtime_error([&] {
+        std::string what = "op2: loop '" + loop + "' failed on backend '" +
+                           backend + "' after " + std::to_string(attempts) +
+                           " attempt(s)";
+        if (cause) {
+          try {
+            std::rethrow_exception(cause);
+          } catch (const std::exception& e) {
+            what += ": ";
+            what += e.what();
+          } catch (...) {
+            what += ": non-standard exception";
+          }
+        }
+        return what;
+      }()),
+      loop_(std::move(loop)),
+      backend_(std::move(backend)),
+      attempts_(attempts),
+      cause_(std::move(cause)) {}
+
+namespace {
+
+/// Byte copies of every write target, taken before the first attempt.
+std::vector<std::vector<std::byte>> take_snapshot(const loop_launch& loop) {
+  std::vector<std::vector<std::byte>> saved;
+  saved.reserve(loop.writes.size());
+  for (const auto& target : loop.writes) {
+    saved.emplace_back(target.data, target.data + target.bytes);
+  }
+  return saved;
+}
+
+void restore_snapshot(const loop_launch& loop,
+                      const std::vector<std::vector<std::byte>>& saved) {
+  for (std::size_t i = 0; i < loop.writes.size(); ++i) {
+    std::memcpy(loop.writes[i].data, saved[i].data(),
+                loop.writes[i].bytes);
+  }
+}
+
+/// Error path shared by the sync and async entry points: after a failed
+/// first attempt, roll back and retry on `exec`, then degrade to seq,
+/// then surface loop_error.  Runs synchronously (failures are rare;
+/// recovery needn't overlap).
+void recover(loop_executor& exec, const loop_launch& loop,
+             const failure_policy& policy,
+             const std::vector<std::vector<std::byte>>& snapshot,
+             std::exception_ptr error) {
+  int attempts = 1;
+  for (int retry = 0; retry < policy.max_retries; ++retry) {
+    restore_snapshot(loop, snapshot);
+    profiling::record_retry(loop.name);
+    if (loop.fault) {
+      loop.fault->begin_attempt();
+    }
+    ++attempts;
+    try {
+      run_loop(exec, loop);
+      return;
+    } catch (...) {
+      error = std::current_exception();
+    }
+  }
+  if (policy.fallback_to_seq && exec.name() != "seq") {
+    restore_snapshot(loop, snapshot);
+    profiling::record_fallback(loop.name);
+    if (loop.fault) {
+      loop.fault->begin_attempt();
+    }
+    ++attempts;
+    try {
+      run_loop(backend_registry::shared("seq"), loop);
+      return;
+    } catch (...) {
+      error = std::current_exception();
+    }
+  }
+  // Leave the write set in its pre-loop state: a failed loop must not
+  // publish partial updates.
+  restore_snapshot(loop, snapshot);
+  throw loop_error(loop.name, std::string(exec.name()), attempts,
+                   std::move(error));
+}
+
+}  // namespace
+
+void run_loop_protected(loop_executor& exec, const loop_launch& loop,
+                        const failure_policy& policy) {
+  if (!policy.enabled()) {
+    run_loop(exec, loop);
+    return;
+  }
+  auto snapshot = take_snapshot(loop);
+  if (loop.fault) {
+    loop.fault->begin_attempt();
+  }
+  std::exception_ptr error;
+  try {
+    run_loop(exec, loop);
+    return;
+  } catch (...) {
+    error = std::current_exception();
+  }
+  recover(exec, loop, policy, snapshot, std::move(error));
+}
+
+hpxlite::future<void> launch_loop_protected(loop_executor& exec,
+                                            loop_launch loop,
+                                            failure_policy policy) {
+  if (!policy.enabled()) {
+    return launch_loop(exec, std::move(loop));
+  }
+  auto snapshot = take_snapshot(loop);
+  if (loop.fault) {
+    loop.fault->begin_attempt();
+  }
+  auto first = launch_loop(exec, loop);
+  // Recovery runs in the completion continuation: the returned future
+  // becomes ready only once an attempt succeeded, or exceptional with
+  // the final loop_error.
+  return first.then([&exec, loop = std::move(loop), policy,
+                     snapshot = std::move(snapshot)](
+                        hpxlite::future<void>&& f) {
+    std::exception_ptr error;
+    try {
+      f.get();
+      return;
+    } catch (...) {
+      error = std::current_exception();
+    }
+    recover(exec, loop, policy, snapshot, std::move(error));
+  });
 }
 
 }  // namespace op2

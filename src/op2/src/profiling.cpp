@@ -45,6 +45,30 @@ void record(const std::string& loop_name, double seconds,
   p.chunk = chunk;
 }
 
+void record_retry(const std::string& loop_name) {
+  if (!enabled()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_profiles[loop_name].retries += 1;
+}
+
+void record_fallback(const std::string& loop_name) {
+  if (!enabled()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_profiles[loop_name].fallbacks += 1;
+}
+
+void record_restart(const std::string& loop_name) {
+  if (!enabled()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_profiles[loop_name].restarts += 1;
+}
+
 std::map<std::string, loop_profile> snapshot() {
   std::lock_guard<std::mutex> lock(g_mutex);
   return g_profiles;
@@ -61,7 +85,9 @@ void report(std::ostream& out) {
   out << std::left << std::setw(20) << "  loop" << std::setw(14)
       << "backend" << std::right << std::setw(10) << "count"
       << std::setw(12) << "total_ms" << std::setw(12) << "avg_us"
-      << std::setw(12) << "max_ms" << "\n";
+      << std::setw(12) << "max_ms" << std::setw(9) << "retries"
+      << std::setw(11) << "fallbacks" << std::setw(10) << "restarts"
+      << "\n";
   for (const auto& [name, p] : rows) {
     const double avg_us = p.invocations != 0
                               ? 1e6 * p.total_seconds /
@@ -72,7 +98,9 @@ void report(std::ostream& out) {
         << std::setw(10) << p.invocations << std::setw(12) << std::fixed
         << std::setprecision(3) << 1e3 * p.total_seconds << std::setw(12)
         << std::setprecision(1) << avg_us << std::setw(12)
-        << std::setprecision(3) << 1e3 * p.max_seconds << "\n";
+        << std::setprecision(3) << 1e3 * p.max_seconds << std::setw(9)
+        << p.retries << std::setw(11) << p.fallbacks << std::setw(10)
+        << p.restarts << "\n";
   }
 }
 

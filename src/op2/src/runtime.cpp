@@ -1,8 +1,13 @@
 #include "op2/runtime.hpp"
 
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
 #include <stdexcept>
 
 #include "hpxlite/scheduler.hpp"
+#include "hpxlite/watchdog.hpp"
+#include "op2/fault.hpp"
 #include "op2/loop_executor.hpp"
 #include "op2/plan.hpp"
 
@@ -28,7 +33,78 @@ backend enum_for(const std::string& name) {
   return backend::seq;
 }
 
+/// Applies the resilience environment knobs on top of `cfg`.
+void apply_resilience_env(config& cfg) {
+  fault_injector::configure_from_env();
+  if (const char* env = std::getenv("OP2_FAILURE_POLICY");
+      env != nullptr && *env != '\0') {
+    cfg.on_failure = parse_failure_policy(env);
+  }
+  if (const char* env = std::getenv("OP2_WATCHDOG_MS");
+      env != nullptr && *env != '\0') {
+    long ms = 0;
+    try {
+      ms = std::stol(env);
+    } catch (const std::exception&) {
+      throw std::invalid_argument(
+          std::string("op2: OP2_WATCHDOG_MS must be a non-negative "
+                      "millisecond count, got '") + env + "'");
+    }
+    if (ms < 0) {
+      throw std::invalid_argument(
+          "op2: OP2_WATCHDOG_MS must be a non-negative millisecond count");
+    }
+    if (ms == 0) {
+      hpxlite::watchdog::stop();
+    } else {
+      hpxlite::watchdog::start(std::chrono::milliseconds(ms));
+    }
+  }
+}
+
 }  // namespace
+
+failure_policy parse_failure_policy(const std::string& text) {
+  failure_policy policy;
+  if (text == "off" || text == "none") {
+    return policy;
+  }
+  std::istringstream in(text);
+  std::string kv;
+  while (std::getline(in, kv, ',')) {
+    const auto eq = kv.find('=');
+    const std::string key = kv.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? std::string() : kv.substr(eq + 1);
+    if (key == "retries" && !value.empty()) {
+      try {
+        policy.max_retries = std::stoi(value);
+      } catch (const std::exception&) {
+        policy.max_retries = -1;
+      }
+      if (policy.max_retries < 0) {
+        throw std::invalid_argument(
+            "op2: bad OP2_FAILURE_POLICY '" + text + "': retries must be "
+            "a non-negative integer");
+      }
+    } else if (key == "fallback") {
+      if (value == "on" || value == "seq" || value == "1") {
+        policy.fallback_to_seq = true;
+      } else if (value == "off" || value == "0") {
+        policy.fallback_to_seq = false;
+      } else {
+        throw std::invalid_argument(
+            "op2: bad OP2_FAILURE_POLICY '" + text + "': fallback must be "
+            "on or off");
+      }
+    } else {
+      throw std::invalid_argument(
+          "op2: bad OP2_FAILURE_POLICY '" + text + "' (grammar: off | "
+          "retries=N[,fallback=on|off])");
+    }
+  }
+  return policy;
+}
 
 config make_config(const std::string& backend_name, unsigned threads,
                    int block_size, std::size_t static_chunk) {
@@ -55,7 +131,9 @@ void init(const config& cfg) {
   const executor_caps caps = exec.capabilities();
 
   finalize();
-  g_config = cfg;
+  config effective = cfg;
+  apply_resilience_env(effective);
+  g_config = effective;
   g_config.backend_name = name;
   g_config.bk = enum_for(name);
   g_backend_name = name;

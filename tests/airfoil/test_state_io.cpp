@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
 #include <string>
 
 #include "airfoil/airfoil.hpp"
@@ -69,6 +72,94 @@ TEST(StateIo, ResumeContinuesIdenticallyToUnbrokenRun) {
 TEST(StateIo, MissingFileThrows) {
   EXPECT_THROW(load_state("/nonexistent/airfoil_state.txt"),
                std::runtime_error);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void spew(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+}
+
+/// A checkpoint to damage, plus its expected solution fingerprint.
+std::string write_reference_checkpoint(const std::string& name,
+                                       double* checksum) {
+  op2::init({op2::backend::seq, 1, 32, 0});
+  auto s = make_sim(generate_mesh(tiny()));
+  run_classic(s, 3);
+  *checksum = solution_checksum(s);
+  const std::string path = ::testing::TempDir() + "/" + name;
+  save_state(s, path);
+  op2::finalize();
+  return path;
+}
+
+TEST(StateIo, TruncatedCheckpointReportsTruncation) {
+  double checksum = 0.0;
+  const auto path =
+      write_reference_checkpoint("airfoil_state_trunc.txt", &checksum);
+  const std::string full = slurp(path);
+  spew(path, full.substr(0, full.size() - 16));
+  try {
+    load_state(path);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("truncated"), std::string::npos) << what;
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+  }
+}
+
+TEST(StateIo, CorruptedPayloadFailsChecksumVerification) {
+  double checksum = 0.0;
+  const auto path =
+      write_reference_checkpoint("airfoil_state_corrupt.txt", &checksum);
+  std::string full = slurp(path);
+  // Flip the final payload byte: same length, different content.
+  full.back() = full.back() == 'X' ? 'Y' : 'X';
+  spew(path, full);
+  try {
+    load_state(path);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("checksum"), std::string::npos) << what;
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+  }
+}
+
+TEST(StateIo, UnsupportedVersionIsRejected) {
+  const std::string path = ::testing::TempDir() + "/airfoil_state_v99.txt";
+  spew(path, "airfoil-state 99\nbytes 0\nfnv1a 0\n");
+  try {
+    load_state(path);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("unsupported version"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(StateIo, LegacyBareMeshCheckpointStillLoads) {
+  double checksum = 0.0;
+  const auto path =
+      write_reference_checkpoint("airfoil_state_legacy.txt", &checksum);
+  // Strip the three-line envelope, leaving the bare v1 mesh payload.
+  std::string full = slurp(path);
+  for (int line = 0; line < 3; ++line) {
+    full.erase(0, full.find('\n') + 1);
+  }
+  spew(path, full);
+  op2::init({op2::backend::seq, 1, 32, 0});
+  auto restored = load_state(path);
+  EXPECT_EQ(solution_checksum(restored), checksum);
+  op2::finalize();
 }
 
 TEST(StateIo, LoadAcrossBackends) {

@@ -1,0 +1,157 @@
+// Unit tests for the deterministic fault injector: spec grammar,
+// arming/claim semantics, fire budgets, stall release, corruption.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "op2/fault.hpp"
+
+namespace {
+
+using op2::fault_injector;
+using op2::fault_kind;
+using op2::fault_spec;
+using op2::parse_fault_spec;
+
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault_injector::clear(); }
+};
+
+TEST_F(FaultInjectorTest, ParsesMinimalSpec) {
+  const fault_spec s = parse_fault_spec("res_calc:throw");
+  EXPECT_EQ(s.loop, "res_calc");
+  EXPECT_EQ(s.kind, fault_kind::throw_);
+  EXPECT_EQ(s.at, 1);  // defaults to the first invocation
+  EXPECT_EQ(s.count, 1);
+}
+
+TEST_F(FaultInjectorTest, ParsesEveryOption) {
+  const fault_spec s =
+      parse_fault_spec("update:stall:at=7,seed=99,count=3,stall_ms=250");
+  EXPECT_EQ(s.loop, "update");
+  EXPECT_EQ(s.kind, fault_kind::stall);
+  EXPECT_EQ(s.at, 7);
+  EXPECT_EQ(s.seed, 99u);
+  EXPECT_EQ(s.count, 3);
+  EXPECT_EQ(s.stall_ms, 250);
+
+  const fault_spec p = parse_fault_spec("adt_calc:corrupt:prob=0.25");
+  EXPECT_EQ(p.kind, fault_kind::corrupt);
+  EXPECT_EQ(p.at, 0);  // prob mode
+  EXPECT_DOUBLE_EQ(p.probability, 0.25);
+}
+
+TEST_F(FaultInjectorTest, RejectsMalformedSpecs) {
+  for (const char* bad :
+       {"", "res_calc", ":throw", "res_calc:explode", "a:throw:b:c",
+        "res_calc:throw:at=0", "res_calc:throw:prob=1.5",
+        "res_calc:throw:count=0", "res_calc:throw:stall_ms=-1",
+        "res_calc:throw:bogus=1", "res_calc:throw:at"}) {
+    EXPECT_THROW(parse_fault_spec(bad), std::invalid_argument) << bad;
+  }
+}
+
+TEST_F(FaultInjectorTest, ErrorMessageTeachesTheGrammar) {
+  try {
+    parse_fault_spec("res_calc:explode");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("<loop>:<kind>"), std::string::npos);
+  }
+}
+
+TEST_F(FaultInjectorTest, ArmsTheTargetLoopAtTheConfiguredInvocation) {
+  fault_injector::configure("res_calc:throw:at=2");
+  EXPECT_TRUE(fault_injector::active());
+  EXPECT_EQ(fault_injector::arm("update"), nullptr);   // wrong loop
+  EXPECT_EQ(fault_injector::arm("res_calc"), nullptr); // invocation 1
+  auto arming = fault_injector::arm("res_calc");       // invocation 2
+  ASSERT_NE(arming, nullptr);
+  EXPECT_THROW(op2::detail::fire_fault_pre(*arming),
+               op2::fault_injected_error);
+  EXPECT_EQ(fault_injector::fired_count(), 1);
+  // Budget (count=1) spent: the fault has disarmed.
+  EXPECT_EQ(fault_injector::arm("res_calc"), nullptr);
+}
+
+TEST_F(FaultInjectorTest, OneFirePerAttemptAndBudgetSpansAttempts) {
+  fault_injector::configure("x:throw:at=1,count=2");
+  auto arming = fault_injector::arm("x");
+  ASSERT_NE(arming, nullptr);
+  EXPECT_TRUE(arming->claim());
+  EXPECT_FALSE(arming->claim());  // same attempt: already fired
+  arming->begin_attempt();        // the retry machinery re-arms
+  EXPECT_TRUE(arming->claim());
+  arming->begin_attempt();
+  EXPECT_FALSE(arming->claim());  // budget of 2 exhausted
+}
+
+TEST_F(FaultInjectorTest, CorruptOverwritesAnOutputWithNaN) {
+  fault_injector::configure("x:corrupt:at=1");
+  auto arming = fault_injector::arm("x");
+  ASSERT_NE(arming, nullptr);
+  double buf[2] = {1.0, 2.0};
+  op2::detail::fire_fault_post(*arming,
+                               reinterpret_cast<std::byte*>(buf),
+                               sizeof(buf));
+  EXPECT_TRUE(std::isnan(buf[0]));
+  EXPECT_EQ(buf[1], 2.0);
+  EXPECT_EQ(fault_injector::fired_count(), 1);
+}
+
+TEST_F(FaultInjectorTest, ProbabilisticFiringIsDeterministicForASeed) {
+  const auto pattern = [] {
+    std::vector<bool> fired;
+    fault_injector::configure("x:throw:prob=0.5,seed=42,count=-1");
+    for (int i = 0; i < 32; ++i) {
+      fired.push_back(fault_injector::arm("x") != nullptr);
+    }
+    return fired;
+  };
+  const auto first = pattern();
+  const auto second = pattern();
+  EXPECT_EQ(first, second);
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+}
+
+TEST_F(FaultInjectorTest, StallBlocksUntilReleased) {
+  fault_injector::configure("x:stall:at=1,stall_ms=30000");
+  auto arming = fault_injector::arm("x");
+  ASSERT_NE(arming, nullptr);
+  std::thread stuck([arming] { op2::detail::fire_fault_pre(*arming); });
+  while (fault_injector::stalls_in_progress() == 0) {
+    std::this_thread::yield();
+  }
+  fault_injector::release_stalls();
+  stuck.join();
+  EXPECT_EQ(fault_injector::stalls_in_progress(), 0);
+  EXPECT_EQ(fault_injector::fired_count(), 1);
+}
+
+TEST_F(FaultInjectorTest, ConfiguresFromEnvironment) {
+  ::setenv("OP2_FAULT", "update:corrupt:at=4,count=2", 1);
+  EXPECT_TRUE(fault_injector::configure_from_env());
+  const fault_spec s = fault_injector::current();
+  EXPECT_EQ(s.loop, "update");
+  EXPECT_EQ(s.kind, fault_kind::corrupt);
+  EXPECT_EQ(s.at, 4);
+  EXPECT_EQ(s.count, 2);
+  ::unsetenv("OP2_FAULT");
+  EXPECT_FALSE(fault_injector::configure_from_env());
+}
+
+TEST_F(FaultInjectorTest, ClearDisarms) {
+  fault_injector::configure("x:throw:at=1");
+  fault_injector::clear();
+  EXPECT_FALSE(fault_injector::active());
+  EXPECT_EQ(fault_injector::arm("x"), nullptr);
+  EXPECT_EQ(fault_injector::current().kind, fault_kind::none);
+}
+
+}  // namespace

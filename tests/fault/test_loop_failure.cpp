@@ -1,0 +1,226 @@
+// Failure-policy behaviour of op_par_loop across every registered
+// backend: write-set rollback, retry, seq fallback, structured
+// loop_error, error surfacing through the async and dataflow futures,
+// and the scheduler-hardening guarantees (throwing tasks surface via
+// .get(); abandoned exceptional futures are counted).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "hpxlite/hpxlite.hpp"
+#include "op2/op2.hpp"
+
+namespace {
+
+using namespace op2;
+
+/// b[0] += a[0] — detects missing rollback: after a failed attempt is
+/// rolled back and retried, each element must be incremented exactly
+/// once.
+void inc_kernel(const double* a, double* b) { b[0] += a[0]; }
+
+class LoopFailureTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void TearDown() override {
+    fault_injector::clear();
+    op2::finalize();
+  }
+
+  void start(int max_retries, bool fallback) {
+    auto cfg = make_config(GetParam(), 2, 16);
+    cfg.on_failure.max_retries = max_retries;
+    cfg.on_failure.fallback_to_seq = fallback;
+    op2::init(cfg);
+  }
+
+  /// One guarded accumulation loop over 96 elements.
+  struct fixture {
+    op_set s;
+    op_dat a, b;
+  };
+
+  fixture make_fixture() {
+    fixture f;
+    f.s = op_decl_set(96, "s");
+    std::vector<double> init(96);
+    std::iota(init.begin(), init.end(), 1.0);
+    f.a = op_decl_dat<double>(f.s, 1, "double",
+                              std::span<const double>(init), "a");
+    f.b = op_decl_dat<double>(f.s, 1, "double", "b");
+    return f;
+  }
+
+  void run_guarded(fixture& f) {
+    op_par_loop(inc_kernel, "guarded", f.s,
+                op_arg_dat<double>(f.a, -1, OP_ID, 1, OP_READ),
+                op_arg_dat<double>(f.b, -1, OP_ID, 1, OP_INC));
+  }
+
+  static void expect_incremented_once(fixture& f) {
+    const auto a = f.a.data<double>();
+    const auto b = f.b.data<double>();
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(b[i], a[i]) << "element " << i;
+    }
+  }
+};
+
+TEST_P(LoopFailureTest, RollbackAndRetryRecoverFromAnInjectedThrow) {
+  start(/*max_retries=*/1, /*fallback=*/false);
+  auto f = make_fixture();
+  fault_injector::configure("guarded:throw:at=1");
+  run_guarded(f);  // attempt 1 faults, rollback, attempt 2 succeeds
+  expect_incremented_once(f);
+  EXPECT_EQ(fault_injector::fired_count(), 1);
+}
+
+TEST_P(LoopFailureTest, ExhaustedRetriesDegradeToSeq) {
+  start(/*max_retries=*/1, /*fallback=*/true);
+  auto f = make_fixture();
+  // Budget of 2 fires: the initial attempt and the single retry both
+  // fail; the seq fallback runs clean.
+  fault_injector::configure("guarded:throw:at=1,count=2");
+  if (GetParam() == "seq") {
+    // Already on seq: the fallback is skipped and the loop fails for
+    // good, with the write set rolled back.
+    EXPECT_THROW(run_guarded(f), loop_error);
+    for (const double v : f.b.data<double>()) {
+      ASSERT_EQ(v, 0.0);
+    }
+  } else {
+    run_guarded(f);
+    expect_incremented_once(f);
+  }
+  EXPECT_EQ(fault_injector::fired_count(), 2);
+}
+
+TEST_P(LoopFailureTest, LoopErrorCarriesStructuredContext) {
+  start(/*max_retries=*/1, /*fallback=*/false);
+  auto f = make_fixture();
+  fault_injector::configure("guarded:throw:at=1,count=-1");  // never stops
+  try {
+    run_guarded(f);
+    FAIL() << "expected op2::loop_error";
+  } catch (const loop_error& e) {
+    EXPECT_EQ(e.loop(), "guarded");
+    EXPECT_EQ(e.backend(), backend_registry::resolve(GetParam()));
+    EXPECT_EQ(e.attempts(), 2);  // initial + one retry
+    ASSERT_NE(e.cause(), nullptr);
+    EXPECT_THROW(std::rethrow_exception(e.cause()), fault_injected_error);
+    EXPECT_NE(std::string(e.what()).find("guarded"), std::string::npos);
+  }
+  // The final rollback leaves the write set untouched.
+  for (const double v : f.b.data<double>()) {
+    ASSERT_EQ(v, 0.0);
+  }
+}
+
+TEST_P(LoopFailureTest, AsyncFutureCarriesTheFailure) {
+  start(/*max_retries=*/0, /*fallback=*/false);
+  auto f = make_fixture();
+  fault_injector::configure("guarded:throw:at=1");
+  auto done = op_par_loop_async(
+      inc_kernel, "guarded", f.s,
+      op_arg_dat<double>(f.a, -1, OP_ID, 1, OP_READ),
+      op_arg_dat<double>(f.b, -1, OP_ID, 1, OP_INC));
+  EXPECT_THROW(done.get(), fault_injected_error);
+}
+
+TEST_P(LoopFailureTest, UserKernelExceptionSurfacesViaAsyncGet) {
+  start(/*max_retries=*/0, /*fallback=*/false);
+  auto f = make_fixture();
+  auto done = op_par_loop_async(
+      [](const double* a, double* b) {
+        if (a[0] == 3.0) {
+          throw std::runtime_error("kernel blew up");
+        }
+        b[0] += a[0];
+      },
+      "explosive", f.s, op_arg_dat<double>(f.a, -1, OP_ID, 1, OP_READ),
+      op_arg_dat<double>(f.b, -1, OP_ID, 1, OP_INC));
+  EXPECT_THROW(done.get(), std::runtime_error);
+}
+
+TEST_P(LoopFailureTest, ThrowingTaskOnThePoolSurfacesViaGet) {
+  start(/*max_retries=*/0, /*fallback=*/false);
+  if (!backend_registry::shared(GetParam()).capabilities()
+           .needs_hpx_runtime) {
+    GTEST_SKIP() << GetParam() << " runs no hpxlite worker pool";
+  }
+  auto f = hpxlite::async(hpxlite::launch::async,
+                          [] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, LoopFailureTest,
+    ::testing::ValuesIn(op2::backend_registry::names()),
+    [](const ::testing::TestParamInfo<std::string>& pinfo) {
+      return pinfo.param;
+    });
+
+// --- dataflow dependency-failure propagation --------------------------
+
+class DataflowFailureTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    fault_injector::clear();
+    op2::finalize();
+  }
+};
+
+TEST_F(DataflowFailureTest, FailedLoopSurfacesAtDatGet) {
+  auto cfg = make_config("hpx_dataflow", 2, 16);
+  op2::init(cfg);  // no failure policy: the fault is fatal
+  auto s = op_decl_set(64, "s");
+  auto a = op_decl_dat<double>(s, 1, "double", "a");
+  op_dat_df da(a);
+  fault_injector::configure("writer:throw:at=1");
+  op_par_loop([](double* x) { x[0] = 1.0; }, "writer", s,
+              op_arg_dat1<double>(da, -1, OP_ID, 1, OP_WRITE));
+  // A dependent reader parks behind the failed writer; its node
+  // re-observes the dependency and propagates the same error.
+  op_par_loop([](const double* x) { (void)x; }, "reader", s,
+              op_arg_dat1<double>(da, -1, OP_ID, 1, OP_READ));
+  EXPECT_THROW(da.get(), fault_injected_error);
+}
+
+TEST_F(DataflowFailureTest, PolicyRecoversInsideTheNode) {
+  auto cfg = make_config("hpx_dataflow", 2, 16);
+  cfg.on_failure.max_retries = 1;
+  op2::init(cfg);
+  auto s = op_decl_set(64, "s");
+  auto a = op_decl_dat<double>(s, 1, "double", "a");
+  op_dat_df da(a);
+  fault_injector::configure("writer:throw:at=1");
+  op_par_loop([](double* x) { x[0] += 1.0; }, "writer", s,
+              op_arg_dat1<double>(da, -1, OP_ID, 1, OP_WRITE));
+  da.get();  // no error: the node rolled back and retried
+  for (const double v : a.data<double>()) {
+    ASSERT_EQ(v, 1.0);
+  }
+  EXPECT_EQ(fault_injector::fired_count(), 1);
+}
+
+// --- abandoned-future accounting --------------------------------------
+
+TEST(AbandonedFutures, UnobservedExceptionsAreCounted) {
+  const auto before = hpxlite::abandoned_exception_count();
+  {
+    auto dropped = hpxlite::make_exceptional_future<void>(
+        std::make_exception_ptr(std::runtime_error("dropped silently")));
+  }
+  EXPECT_EQ(hpxlite::abandoned_exception_count(), before + 1);
+  {
+    auto observed = hpxlite::make_exceptional_future<void>(
+        std::make_exception_ptr(std::runtime_error("observed")));
+    EXPECT_THROW(observed.get(), std::runtime_error);
+  }
+  // get() marked the exception observed: no new abandonment.
+  EXPECT_EQ(hpxlite::abandoned_exception_count(), before + 1);
+}
+
+}  // namespace

@@ -1,0 +1,105 @@
+// Solver-level self-healing: run_resilient's checkpoint/restart loop in
+// isolation (the cross-backend behaviour is covered by the matrix).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "airfoil/airfoil.hpp"
+
+namespace {
+
+using airfoil::generate_mesh;
+using airfoil::make_sim;
+using airfoil::mesh_params;
+using airfoil::resilience_options;
+using airfoil::run_resilient;
+using airfoil::run_with_backend;
+using op2::fault_injector;
+
+mesh_params tiny() {
+  mesh_params p;
+  p.imax = 16;
+  p.jmax = 6;
+  return p;
+}
+
+resilience_options options(const std::string& tag) {
+  resilience_options opts;
+  opts.checkpoint_path = ::testing::TempDir() + "resilience_" + tag + ".chk";
+  opts.checkpoint_every = 2;
+  return opts;
+}
+
+class ResilienceTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    fault_injector::clear();
+    op2::finalize();
+  }
+};
+
+TEST_F(ResilienceTest, HealthyRunMatchesThePlainDriver) {
+  op2::init(op2::make_config("seq", 1, 32));
+  auto plain = make_sim(generate_mesh(tiny()));
+  const auto want = run_with_backend(plain, 6, "seq");
+
+  auto s = make_sim(generate_mesh(tiny()));
+  const auto got = run_resilient(s, 6, options("healthy"));
+  EXPECT_EQ(got.restarts, 0);
+  EXPECT_EQ(got.iterations_replayed, 0);
+  ASSERT_EQ(got.run.rms_history.size(), want.rms_history.size());
+  for (std::size_t i = 0; i < want.rms_history.size(); ++i) {
+    EXPECT_EQ(got.run.rms_history[i], want.rms_history[i]) << i;
+  }
+  EXPECT_EQ(airfoil::solution_checksum(s),
+            airfoil::solution_checksum(plain));
+}
+
+TEST_F(ResilienceTest, NiterNotAMultipleOfSegmentLengthStillCompletes) {
+  op2::init(op2::make_config("seq", 1, 32));
+  auto s = make_sim(generate_mesh(tiny()));
+  const auto got = run_resilient(s, 5, options("ragged"));
+  EXPECT_EQ(got.run.rms_history.size(), 5u);
+}
+
+TEST_F(ResilienceTest, CorruptionIsRolledBackToTheLastCheckpoint) {
+  op2::init(op2::make_config("seq", 1, 32));
+  fault_injector::configure("update:corrupt:at=6");  // iteration 3
+  auto s = make_sim(generate_mesh(tiny()));
+  const auto got = run_resilient(s, 6, options("corrupt"));
+  EXPECT_EQ(got.restarts, 1);
+  EXPECT_EQ(got.iterations_replayed, 2);  // segment [3, 4] replayed
+  EXPECT_TRUE(std::isfinite(airfoil::solution_checksum(s)));
+  for (const double rms : got.run.rms_history) {
+    EXPECT_TRUE(std::isfinite(rms));
+  }
+}
+
+TEST_F(ResilienceTest, GivesUpAfterMaxRestarts) {
+  op2::init(op2::make_config("seq", 1, 32));
+  // Unlimited budget: every replay re-poisons the segment.
+  fault_injector::configure("update:corrupt:at=2,count=-1");
+  auto s = make_sim(generate_mesh(tiny()));
+  auto opts = options("give_up");
+  opts.max_restarts = 2;
+  try {
+    run_resilient(s, 6, opts);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("restart"), std::string::npos);
+  }
+}
+
+TEST_F(ResilienceTest, RejectsInvalidOptions) {
+  op2::init(op2::make_config("seq", 1, 32));
+  auto s = make_sim(generate_mesh(tiny()));
+  resilience_options no_path;
+  EXPECT_THROW(run_resilient(s, 2, no_path), std::invalid_argument);
+  auto bad_every = options("bad_every");
+  bad_every.checkpoint_every = 0;
+  EXPECT_THROW(run_resilient(s, 2, bad_every), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,106 @@
+// hpxlite watchdog: stall detection on heartbeat silence, diagnostic
+// reports, recovery handlers, and the cheap-when-stopped hooks.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "hpxlite/watchdog.hpp"
+
+namespace {
+
+using hpxlite::watchdog;
+using hpxlite::watchdog_report;
+using namespace std::chrono_literals;
+
+/// Collects the first stall report and signals the test thread.
+struct report_sink {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool fired = false;
+  watchdog_report report;
+
+  watchdog::stall_handler handler() {
+    return [this](const watchdog_report& r) {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (!fired) {
+        report = r;
+        fired = true;
+      }
+      cv.notify_all();
+    };
+  }
+
+  bool wait(std::chrono::milliseconds timeout) {
+    std::unique_lock<std::mutex> lock(mutex);
+    return cv.wait_for(lock, timeout, [this] { return fired; });
+  }
+};
+
+class WatchdogTest : public ::testing::Test {
+ protected:
+  void TearDown() override { watchdog::stop(); }
+};
+
+TEST_F(WatchdogTest, DetectsASilentActivityAndNamesIt) {
+  report_sink sink;
+  watchdog::start(50ms, sink.handler());
+  EXPECT_TRUE(watchdog::running());
+  const auto token =
+      watchdog::begin_activity("op_par_loop 'stuck_loop' on test_backend");
+  ASSERT_TRUE(sink.wait(5s)) << "watchdog never fired";
+  ASSERT_EQ(sink.report.activities.size(), 1u);
+  EXPECT_NE(sink.report.activities[0].find("stuck_loop"), std::string::npos);
+  EXPECT_NE(sink.report.activities[0].find("test_backend"),
+            std::string::npos);
+  EXPECT_GE(sink.report.stalled_for, 50ms);
+  EXPECT_GE(watchdog::stalls_detected(), 1u);
+  watchdog::end_activity(token);
+}
+
+TEST_F(WatchdogTest, StaysQuietWithNoActivities) {
+  report_sink sink;
+  watchdog::start(30ms, sink.handler());
+  std::this_thread::sleep_for(200ms);
+  EXPECT_FALSE(sink.fired);
+  EXPECT_EQ(watchdog::stalls_detected(), 0u);
+}
+
+TEST_F(WatchdogTest, HeartbeatsSuppressDetection) {
+  report_sink sink;
+  watchdog::start(250ms, sink.handler());
+  const auto token = watchdog::begin_activity("pulsing work");
+  for (int i = 0; i < 8; ++i) {
+    std::this_thread::sleep_for(40ms);
+    watchdog::pulse();
+  }
+  watchdog::end_activity(token);
+  EXPECT_FALSE(sink.fired);
+  EXPECT_EQ(watchdog::stalls_detected(), 0u);
+}
+
+TEST_F(WatchdogTest, DescribeRendersTheDiagnostic) {
+  watchdog_report report;
+  report.activities = {"op_par_loop 'res_calc' on hpx_dataflow"};
+  report.pulses = 17;
+  report.pending_tasks = 3;
+  report.stalled_for = 120ms;
+  const std::string text = describe(report);
+  EXPECT_NE(text.find("no progress for 120 ms"), std::string::npos);
+  EXPECT_NE(text.find("res_calc"), std::string::npos);
+  EXPECT_NE(text.find("3 pending tasks"), std::string::npos);
+}
+
+TEST_F(WatchdogTest, HooksAreSafeWhenStopped) {
+  watchdog::stop();  // idempotent
+  EXPECT_FALSE(watchdog::running());
+  watchdog::pulse();  // one relaxed load, no crash
+  const auto token = watchdog::begin_activity("unsupervised");
+  watchdog::end_activity(token);
+  watchdog::end_activity(9999);  // unknown token ignored
+}
+
+}  // namespace

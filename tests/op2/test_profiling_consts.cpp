@@ -100,6 +100,32 @@ TEST_F(ProfilingTest, ReportPrintsTable) {
   EXPECT_NE(out.str().find("tabled"), std::string::npos);
 }
 
+TEST_F(ProfilingTest, ResilienceCountersAppearInTheTimingTable) {
+  profiling::record("healed_loop", 0.001);
+  profiling::record_retry("healed_loop");
+  profiling::record_retry("healed_loop");
+  profiling::record_fallback("healed_loop");
+  profiling::record_restart("airfoil");
+  const auto snap = profiling::snapshot();
+  EXPECT_EQ(snap.at("healed_loop").retries, 2u);
+  EXPECT_EQ(snap.at("healed_loop").fallbacks, 1u);
+  EXPECT_EQ(snap.at("healed_loop").restarts, 0u);
+  EXPECT_EQ(snap.at("airfoil").restarts, 1u);
+  std::ostringstream out;
+  profiling::report(out);
+  for (const char* column : {"retries", "fallbacks", "restarts"}) {
+    EXPECT_NE(out.str().find(column), std::string::npos) << column;
+  }
+}
+
+TEST_F(ProfilingTest, ResilienceHooksAreNoOpsWhenDisabled) {
+  profiling::enable(false);
+  profiling::record_retry("ghost");
+  profiling::record_fallback("ghost");
+  profiling::record_restart("ghost");
+  EXPECT_TRUE(profiling::snapshot().empty());
+}
+
 TEST_F(ProfilingTest, ResetClears) {
   profiling::record("ghost", 0.1);
   EXPECT_FALSE(profiling::snapshot().empty());
