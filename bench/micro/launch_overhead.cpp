@@ -1,0 +1,194 @@
+// Launch-path cost microbenchmark and regression gate.
+//
+// Measures, on the seq backend, the cost of op_par_loop's two launch
+// paths:
+//   capture — first invocation at a call site (validation, plan
+//             lookup, binding, write-set scan, reduction-scratch
+//             allocation, closure erasure)
+//   replay  — repeat invocation of a prepared descriptor
+// and *gates* the two properties the prepared-loop pipeline promises
+// for a steady-state synchronous replay:
+//   1. zero heap allocations (counted by interposing operator new)
+//   2. zero plan-cache lookups (op2::plan_cache_lookups())
+//
+// scripts/check.sh runs this binary; a non-zero exit fails the gate.
+// Output is human-readable ns/loop so regressions are quantifiable.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "op2/op2.hpp"
+
+// --- operator new interposition ---------------------------------------
+// One process-wide counter, bumped by every allocation on any thread.
+// Zero-initialised static storage, so counting is valid from the very
+// first allocation (even before main).
+
+namespace {
+std::atomic<std::uint64_t> g_allocs;
+
+std::uint64_t alloc_count() {
+  return g_allocs.load(std::memory_order_relaxed);
+}
+
+void* counted_alloc(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+// --- the measured loops -----------------------------------------------
+
+namespace {
+
+void sum_kernel(const double* x, double* acc) { acc[0] += x[0]; }
+
+void edge_kernel(const double* a, double* b) { b[0] += 0.5 * a[0]; }
+
+constexpr int kCells = 1024;
+constexpr int kReplays = 2000;
+constexpr int kCaptures = 64;
+
+double now_ns() {
+  return std::chrono::duration<double, std::nano>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct mesh {
+  op2::op_set cells;
+  op2::op_set edges;
+  op2::op_map pedge;
+  op2::op_dat p_x;
+  op2::op_dat p_y;
+};
+
+mesh make_mesh() {
+  mesh m;
+  m.cells = op2::op_decl_set(kCells, "cells");
+  m.edges = op2::op_decl_set(kCells, "edges");
+  std::vector<int> e2c(static_cast<std::size_t>(kCells) * 2);
+  for (int i = 0; i < kCells; ++i) {
+    e2c[static_cast<std::size_t>(2 * i)] = i;
+    e2c[static_cast<std::size_t>(2 * i) + 1] = (i + 1) % kCells;
+  }
+  m.pedge = op2::op_decl_map(m.edges, m.cells, 2,
+                             std::span<const int>(e2c), "pedge");
+  std::vector<double> x(kCells, 1.0);
+  m.p_x = op2::op_decl_dat<double>(m.cells, 1, "double",
+                                   std::span<const double>(x), "p_x");
+  m.p_y = op2::op_decl_dat<double>(m.cells, 1, "double", "p_y");
+  return m;
+}
+
+/// One invocation of the measured loop pair: a direct loop with a
+/// global reduction (exercises the per-worker reduction slots) and an
+/// indirect coloured loop (exercises the plan path).
+void run_pair(op2::loop_handle& hd, op2::loop_handle& hi, mesh& m,
+              double* total) {
+  op2::op_par_loop(hd, sum_kernel, "lo_sum", m.cells,
+                   op2::op_arg_dat<double>(m.p_x, -1, op2::OP_ID, 1,
+                                           op2::OP_READ),
+                   op2::op_arg_gbl<double>(total, 1, op2::OP_INC));
+  op2::op_par_loop(hi, edge_kernel, "lo_edge", m.edges,
+                   op2::op_arg_dat<double>(m.p_x, 0, m.pedge, 1,
+                                           op2::OP_READ),
+                   op2::op_arg_dat<double>(m.p_y, 1, m.pedge, 1,
+                                           op2::OP_INC));
+}
+
+int fail(const char* what, std::uint64_t observed) {
+  std::fprintf(stderr,
+               "launch_overhead: GATE FAILED: %s (observed %llu, "
+               "expected 0)\n",
+               what, static_cast<unsigned long long>(observed));
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  op2::init(op2::make_config("seq", 1));
+  op2::profiling::set_alloc_counter(&alloc_count);
+
+  static op2::loop_handle h_direct;
+  static op2::loop_handle h_indirect;
+  mesh m = make_mesh();
+  double total = 0.0;
+
+  // Warm-up: the first invocation captures both descriptors.
+  run_pair(h_direct, h_indirect, m, &total);
+
+  // --- steady-state replay: timed AND gated ---------------------------
+  const std::uint64_t allocs_before = alloc_count();
+  const std::uint64_t lookups_before = op2::plan_cache_lookups();
+  const double t0 = now_ns();
+  for (int i = 0; i < kReplays; ++i) {
+    run_pair(h_direct, h_indirect, m, &total);
+  }
+  const double t1 = now_ns();
+  const std::uint64_t replay_allocs = alloc_count() - allocs_before;
+  const std::uint64_t replay_lookups =
+      op2::plan_cache_lookups() - lookups_before;
+  const double replay_ns = (t1 - t0) / (2.0 * kReplays);
+
+  // --- capture: fresh dats per round force a full rebuild -------------
+  double capture_ns_total = 0.0;
+  for (int i = 0; i < kCaptures; ++i) {
+    mesh fresh = make_mesh();
+    const double c0 = now_ns();
+    run_pair(h_direct, h_indirect, fresh, &total);
+    capture_ns_total += now_ns() - c0;
+  }
+  const double capture_ns = capture_ns_total / (2.0 * kCaptures);
+
+  std::printf("launch_overhead (seq backend, %d cells, block %d)\n",
+              kCells, op2::current_config().block_size);
+  std::printf("  %-28s %12.0f ns/loop\n", "capture (first invocation)",
+              capture_ns);
+  std::printf("  %-28s %12.0f ns/loop\n", "replay (steady state)",
+              replay_ns);
+  std::printf("  %-28s %12.2f x\n", "capture / replay",
+              replay_ns > 0.0 ? capture_ns / replay_ns : 0.0);
+  std::printf("  %-28s %12llu\n", "replay heap allocations",
+              static_cast<unsigned long long>(replay_allocs));
+  std::printf("  %-28s %12llu\n", "replay plan-cache lookups",
+              static_cast<unsigned long long>(replay_lookups));
+
+  int rc = 0;
+  if (replay_allocs != 0) {
+    rc = fail("steady-state replay heap-allocates", replay_allocs);
+  }
+  if (replay_lookups != 0) {
+    rc = fail("steady-state replay hits the plan cache", replay_lookups);
+  }
+  // Sanity: the reduction must have actually run every iteration.
+  const double expected =
+      static_cast<double>(kCells) *
+      (1.0 + kReplays + kCaptures);  // warm-up + replays + captures
+  if (total != expected) {
+    std::fprintf(stderr,
+                 "launch_overhead: reduction drift: got %f expected %f\n",
+                 total, expected);
+    rc = 1;
+  }
+  op2::finalize();
+  if (rc == 0) {
+    std::printf("  gate: OK (no allocations, no plan lookups)\n");
+  }
+  return rc;
+}

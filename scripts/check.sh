@@ -27,6 +27,9 @@ ctest --test-dir "$build" --output-on-failure
 step "resilience: ctest -L fault"
 ctest --test-dir "$build" -L fault --output-on-failure
 
+step "launch path: prepared-loop replay gate (zero allocs, no plan lookups)"
+"$build/bench/launch_overhead"
+
 step "thread sanitizer: configure + build backend_smoke ($tsan_build)"
 cmake -S "$repo" -B "$tsan_build" -DOP2_SANITIZE=thread
 cmake --build "$tsan_build" -j "$jobs" --target backend_smoke

@@ -110,6 +110,11 @@ kernel_costs nominal_kernel_costs() {
 
 kernel_costs measure_loop_costs(sim& s, int iters) {
   const bool was_enabled = op2::profiling::enabled();
+  // Warm the prepared-loop caches first: the measured window should see
+  // only steady-state replays, not the one-time capture (validation,
+  // plan build, scratch allocation) of each loop's first invocation.
+  run_classic(s, 1);
+  reset_solution(s);
   op2::profiling::reset();
   op2::profiling::enable(true);
   run_classic(s, iters);

@@ -432,9 +432,13 @@ std::string emit_loop(const parsed_loop& loop, target t) {
       break;
 
     case target::op2hpx: {
-      // This repository's typed API: a ready-to-compile call site.
-      os << "  op2::op_par_loop(" << loop.kernel << ", \"" << loop.name
-         << "\", " << loop.set;
+      // This repository's typed API: a ready-to-compile call site.  The
+      // static loop_handle makes it a prepared loop — the first call
+      // captures the launch descriptor, repeat calls replay it
+      // allocation-free (see op2/prepared_loop.hpp).
+      os << "  static op2::loop_handle op2_handle_" << loop.kernel << ";\n"
+         << "  op2::op_par_loop(op2_handle_" << loop.kernel << ", "
+         << loop.kernel << ", \"" << loop.name << "\", " << loop.set;
       for (const auto& a : loop.args) {
         os << ",\n      ";
         if (a.is_global) {

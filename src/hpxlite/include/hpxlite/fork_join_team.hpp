@@ -38,6 +38,14 @@ class fork_join_team {
 
   unsigned size() const noexcept { return num_threads_; }
 
+  /// Rank of the calling thread within the team region it is currently
+  /// executing (master = 0, members 1..N-1), or unsigned(-1) on any
+  /// thread that is not running team work right now.  This is the hook
+  /// op2's per-worker reduction slots use to index scratch without a
+  /// lock; the master's rank is only published while it executes its
+  /// own share of a parallel_for.
+  static unsigned this_worker_index() noexcept;
+
   /// Executes body(begin, end) across the team with a static schedule
   /// and joins at an implicit barrier before returning.
   /// `body` must be callable as body(std::size_t begin, std::size_t end).

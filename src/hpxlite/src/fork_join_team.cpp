@@ -6,6 +6,28 @@
 
 namespace hpxlite {
 
+namespace {
+
+/// Published rank of the calling thread while it executes team work.
+thread_local unsigned t_team_rank = static_cast<unsigned>(-1);
+
+/// RAII publication of a rank for the duration of one work share (the
+/// master thread is an application thread between loops, so its rank
+/// must not outlive the parallel region).
+struct rank_scope {
+  explicit rank_scope(unsigned rank) : saved(t_team_rank) {
+    t_team_rank = rank;
+  }
+  ~rank_scope() { t_team_rank = saved; }
+  rank_scope(const rank_scope&) = delete;
+  rank_scope& operator=(const rank_scope&) = delete;
+  unsigned saved;
+};
+
+}  // namespace
+
+unsigned fork_join_team::this_worker_index() noexcept { return t_team_rank; }
+
 fork_join_team::fork_join_team(unsigned num_threads)
     : num_threads_(num_threads == 0 ? 1 : num_threads) {
   members_.reserve(num_threads_ - 1);
@@ -31,6 +53,7 @@ void fork_join_team::run_range(unsigned rank,
   // the master after the barrier — matching how an OpenMP runtime must
   // not let exceptions escape a worker thread.
   try {
+    rank_scope scope(rank);
     if (item.n == 0) {
       return;
     }
@@ -95,6 +118,7 @@ void fork_join_team::parallel_for_chunked(
     const std::function<void(std::size_t, std::size_t)>& body) {
   if (num_threads_ == 1) {
     if (n != 0) {
+      rank_scope scope(0);
       body(0, n);  // single thread: exceptions propagate directly
     }
     barriers_.fetch_add(1, std::memory_order_relaxed);

@@ -5,6 +5,7 @@
 // verifies the declared element type.
 #pragma once
 
+#include <cstdint>
 #include <cstring>
 #include <memory>
 #include <span>
@@ -39,6 +40,9 @@ struct dat_impl {
   std::string name;
   type_tag type;
   std::vector<std::byte> bytes;
+  /// Bumped whenever the storage is reallocated (op_dat::resize), so
+  /// prepared loops holding raw views of `bytes` can detect staleness.
+  std::uint64_t version = 0;
 };
 
 }  // namespace detail
@@ -112,6 +116,29 @@ class op_dat {
   }
 
   const void* id() const noexcept { return impl_.get(); }
+
+  /// Number of times the storage has been reallocated; any raw pointer
+  /// obtained before the last bump is stale.
+  std::uint64_t version() const {
+    if (!impl_) {
+      throw std::logic_error("op_dat: access to an undeclared dat");
+    }
+    return impl_->version;
+  }
+
+  /// Refits the storage to the set's current size (call after
+  /// op_set::resize).  Existing element data is preserved up to the new
+  /// size; grown elements are zero-initialised.  Always bumps the
+  /// version: the storage may have moved, so raw views captured by
+  /// prepared loops must be rebuilt.
+  void resize() {
+    if (!impl_) {
+      throw std::logic_error("op_dat: access to an undeclared dat");
+    }
+    impl_->bytes.resize(entries() * impl_->type.size);
+    impl_->bytes.shrink_to_fit();
+    ++impl_->version;
+  }
 
   /// Factory used by op_decl_dat below.
   template <typename T>

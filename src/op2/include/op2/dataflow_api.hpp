@@ -124,10 +124,23 @@ op_arg_df<T> op_arg_gbl1(T* data, int dim, access acc) {
 /// Modified-API op_par_loop: schedules the loop as a dataflow node and
 /// returns a shared future for its completion.  Never blocks; the loop
 /// dependency tree is derived from the argument futures.
+///
+/// Validation runs here, synchronously — a malformed loop throws at the
+/// call site exactly like the classic API.  The launch descriptor,
+/// however, is captured (or replayed) only when the node *fires*: by
+/// then every upstream writer has completed, so the prepared-loop
+/// machinery observes current dat versions and can rebind the global
+/// reduction target this iteration passes (the driver rotates
+/// &rms[slot] per invocation) while still reusing the cached frame,
+/// plan and reduction scratch across iterations.
 template <typename Kernel, typename... T>
 hpxlite::shared_future<void> op_par_loop(Kernel kernel, const char* name,
                                          const op_set& set,
                                          op_arg_df<T>... args) {
+  {
+    auto probe = std::make_tuple(args.arg...);
+    detail::validate_args(name, set, probe);
+  }
   // Collect dependency futures per the chaining rules.
   std::vector<hpxlite::shared_future<void>> deps;
   std::vector<std::pair<std::shared_ptr<detail::df_sync>, bool>> installs;
@@ -144,18 +157,17 @@ hpxlite::shared_future<void> op_par_loop(Kernel kernel, const char* name,
   };
   (collect(args), ...);
 
-  auto frame = detail::make_frame(name, set, std::move(kernel),
-                                  std::move(args.arg)...);
-  auto launch = detail::erase_frame(std::move(frame));
-
   // The node body is the paper's Fig 13: for_each(par) inside dataflow.
   // The synchronous hpx_foreach executor runs the colour sweep; the
   // dataflow gating above already provides the asynchrony.  Capturing
-  // the launch by value keeps the loop frame alive until the node runs.
+  // the args by value keeps the dats alive until the node runs; the
+  // shared site cache carries the prepared descriptor across nodes.
+  auto cache = detail::site_cache<Kernel, T...>();
   hpxlite::future<void> gate = hpxlite::when_all(deps);
   hpxlite::future<void> done = hpxlite::dataflow(
       hpxlite::launch::async,
-      [launch = std::move(launch), deps = std::move(deps),
+      [cache, kernel, loop_name = std::string(name), set,
+       arg_pack = std::make_tuple(args.arg...), deps = std::move(deps),
        policy = current_config().on_failure](hpxlite::future<void> ready) {
         ready.get();
         // when_all signals readiness but not failure: re-observe each
@@ -165,8 +177,13 @@ hpxlite::shared_future<void> op_par_loop(Kernel kernel, const char* name,
         for (const auto& d : deps) {
           d.get();
         }
-        run_loop_protected(backend_registry::shared("hpx_foreach"), launch,
-                           policy);
+        std::apply(
+            [&](const auto&... a) {
+              detail::run_prepared_sync(
+                  cache, backend_registry::shared("hpx_foreach"), policy,
+                  kernel, loop_name.c_str(), set, a...);
+            },
+            arg_pack);
       },
       std::move(gate));
   hpxlite::shared_future<void> shared = done.share();

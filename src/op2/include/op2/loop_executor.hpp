@@ -40,6 +40,10 @@
 
 namespace op2 {
 
+namespace profiling {
+struct slot;
+}  // namespace profiling
+
 /// Static properties of an executor, consulted by op2::init (worker
 /// pools), the synchronous dispatch path, and the bench/model layers.
 struct executor_caps {
@@ -87,6 +91,18 @@ struct loop_launch {
   /// Non-null when the fault injector armed this invocation; the retry
   /// machinery calls begin_attempt() on it before each execution.
   std::shared_ptr<detail::fault_arming> fault;
+  /// Prepared-form hooks (may be empty).  begin_invocation resets the
+  /// frame's preallocated per-worker reduction slots to their identity
+  /// values; finalize merges them tree-style into the loop's global
+  /// reduction targets.  run_loop / launch_loop call begin before the
+  /// first chunk and finalize once every chunk has completed — and on
+  /// every retry re-execution, since retries re-enter run_loop.
+  std::function<void()> begin_invocation;
+  std::function<void()> finalize;
+  /// Stable profiling slot acquired at frame-build time (null when the
+  /// loop was built with profiling disabled); lets the replay path
+  /// record without a string-keyed map lookup.
+  profiling::slot* prof = nullptr;
 };
 
 /// Structured failure surfaced when a loop exhausts its failure_policy:

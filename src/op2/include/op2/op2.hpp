@@ -27,6 +27,7 @@
 #include "op2/par_loop.hpp"
 #include "op2/partition.hpp"
 #include "op2/plan.hpp"
+#include "op2/prepared_loop.hpp"
 #include "op2/profiling.hpp"
 #include "op2/renumber.hpp"
 #include "op2/runtime.hpp"

@@ -22,12 +22,25 @@
 //   hpx_dataflow  op_par_loop in dataflow_api.hpp gates the same body
 //                 on argument futures (§III-B)
 //
-// Global OP_INC arguments reduce block-privately and merge under a lock
-// at block end, matching OP2's thread-private reduction buffers.
+// Global reductions (OP_INC/OP_MIN/OP_MAX) accumulate into per-worker
+// slots preallocated in the frame — one cache-line-strided slot per
+// hpxlite worker, per fork-join team member, plus one lock-guarded
+// overflow slot for foreign threads — reset before each invocation and
+// tree-merged into the caller's global at loop end.  No global lock is
+// taken on the hot path, so two concurrently-launched reducing loops no
+// longer serialise against each other.
+//
+// The frame built here is the unit the prepared-loop layer
+// (op2/prepared_loop.hpp, included at the tail) caches: capture runs
+// make_frame + erase_frame once, replay re-runs only the erased
+// closures.  The public op_par_loop / op_par_loop_async entry points
+// live there.
 #pragma once
 
+#include <algorithm>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <type_traits>
 #include <string>
@@ -35,19 +48,24 @@
 #include <utility>
 #include <vector>
 
+#include "hpxlite/config.hpp"
+#include "hpxlite/fork_join_team.hpp"
 #include "hpxlite/future.hpp"
+#include "hpxlite/scheduler.hpp"
+#include "hpxlite/spinlock.hpp"
 #include "hpxlite/watchdog.hpp"
 #include "op2/arg.hpp"
 #include "op2/fault.hpp"
 #include "op2/loop_executor.hpp"
 #include "op2/plan.hpp"
+#include "op2/profiling.hpp"
 #include "op2/runtime.hpp"
 
 namespace op2 {
 
 namespace detail {
 
-/// Raw-pointer view of one op_arg, precomputed once per loop launch.
+/// Raw-pointer view of one op_arg, precomputed once per loop capture.
 template <typename T>
 struct bound_arg {
   T* base = nullptr;          // dat storage
@@ -77,64 +95,69 @@ bound_arg<T> bind_arg(op_arg<T>& a) {
   return b;
 }
 
-/// Block-private accumulation buffer for a global OP_INC argument
-/// (empty for every other argument kind).
+/// Identity element of a global reduction: 0 for OP_INC, +inf/-inf
+/// analogues for OP_MIN/OP_MAX.
 template <typename T>
-struct block_scratch {
+T reduction_identity(access acc) {
+  if constexpr (std::is_arithmetic_v<T>) {
+    if (acc == access::min) {
+      return std::numeric_limits<T>::max();
+    }
+    if (acc == access::max) {
+      return std::numeric_limits<T>::lowest();
+    }
+  }
+  return T{};
+}
+
+/// Combines one partial value into an accumulator under the reduction's
+/// access mode (the merge OP2 does from its thread-private buffers).
+template <typename T>
+T reduction_combine(access acc, T a, T v) {
+  switch (acc) {
+    case access::min:
+      return v < a ? v : a;
+    case access::max:
+      return v > a ? v : a;
+    default:  // OP_INC
+      return a + v;
+  }
+}
+
+/// Preallocated per-worker accumulation buffers for one global
+/// reduction argument (empty for every other argument kind).  Slot i
+/// occupies elements [i*stride, i*stride + dim); stride rounds dim up
+/// to whole cache lines so concurrent workers never false-share.
+template <typename T>
+struct reduction_slots {
   std::vector<T> buf;
+  std::size_t stride = 0;
 };
 
 template <typename T>
-block_scratch<T> make_scratch(const bound_arg<T>& b) {
-  block_scratch<T> s;
-  if (b.gbl != nullptr && is_reduction(b.acc)) {
-    T init{};
-    if constexpr (std::is_arithmetic_v<T>) {
-      if (b.acc == access::min) {
-        init = std::numeric_limits<T>::max();
-      } else if (b.acc == access::max) {
-        init = std::numeric_limits<T>::lowest();
-      }
-    }
-    s.buf.assign(static_cast<std::size_t>(b.dim), init);
+reduction_slots<T> make_reduction_slots(const op_arg<T>& a,
+                                        unsigned nslots) {
+  reduction_slots<T> s;
+  if (a.is_global() && is_reduction(a.acc)) {
+    const std::size_t bytes =
+        static_cast<std::size_t>(a.dim) * sizeof(T);
+    const std::size_t lines =
+        (bytes + hpxlite::cache_line_size - 1) / hpxlite::cache_line_size;
+    s.stride =
+        (lines * hpxlite::cache_line_size + sizeof(T) - 1) / sizeof(T);
+    s.buf.assign(s.stride * nslots, reduction_identity<T>(a.acc));
   }
   return s;
 }
 
-inline hpxlite::spinlock& global_reduction_lock() {
-  static hpxlite::spinlock lock;
-  return lock;
-}
-
-template <typename T>
-void flush_scratch(const bound_arg<T>& b, block_scratch<T>& s) {
-  if (s.buf.empty()) {
-    return;
-  }
-  std::lock_guard<hpxlite::spinlock> lock(global_reduction_lock());
-  for (int d = 0; d < b.dim; ++d) {
-    const T& v = s.buf[static_cast<std::size_t>(d)];
-    switch (b.acc) {
-      case access::min:
-        b.gbl[d] = v < b.gbl[d] ? v : b.gbl[d];
-        break;
-      case access::max:
-        b.gbl[d] = v > b.gbl[d] ? v : b.gbl[d];
-        break;
-      default:  // OP_INC
-        b.gbl[d] += v;
-        break;
-    }
-  }
-}
-
 /// The pointer the kernel sees for argument `b` at iteration-set
 /// element `i`: direct args index by i, indirect args go through the
-/// map, globals pass their (or the scratch) buffer.
+/// map, globals pass the caller's buffer — or the executing worker's
+/// reduction slot when `slot` is non-null.
 template <typename T>
-T* arg_pointer(const bound_arg<T>& b, block_scratch<T>& s, int i) {
+T* arg_pointer(const bound_arg<T>& b, T* slot, int i) {
   if (b.gbl != nullptr) {
-    return is_reduction(b.acc) ? s.buf.data() : b.gbl;
+    return slot != nullptr ? slot : b.gbl;
   }
   const int e = b.map_table != nullptr
                     ? b.map_table[static_cast<std::size_t>(i) *
@@ -144,18 +167,51 @@ T* arg_pointer(const bound_arg<T>& b, block_scratch<T>& s, int i) {
   return b.base + static_cast<std::size_t>(e) * static_cast<std::size_t>(b.dim);
 }
 
-/// Everything one loop launch needs, bundled so the async/dataflow
-/// backends can keep it alive beyond the call site.  The op_arg tuple
-/// holds the op_dat shared handles; bound_ holds the raw views.
+/// Everything one loop needs, bundled so the async/dataflow backends —
+/// and the prepared-loop cache — can keep it alive beyond the call
+/// site.  The op_arg tuple holds the op_dat shared handles; bound_
+/// holds the raw views; the reduction slots are allocated once here and
+/// reused (reset + merged) by every invocation.
 template <typename Kernel, typename... T>
 struct loop_frame {
   std::string name;
   op_set set;
-  Kernel kernel;
+  /// Engaged for the frame's whole life; replays re-emplace it so
+  /// capturing-lambda kernels (not copy-assignable) pick up fresh
+  /// by-value captures without rebuilding the frame.
+  std::optional<Kernel> kernel;
   std::tuple<op_arg<T>...> args;
   std::tuple<bound_arg<T>...> bound;
   std::shared_ptr<const op_plan> plan;
-  bool direct_loop = false;  // no indirect argument at all
+  bool direct_loop = false;   // no indirect argument at all
+  bool has_reduction = false; // any global OP_INC/OP_MIN/OP_MAX arg
+  /// Reduction-slot layout: hpxlite workers claim [0, hpx_slots),
+  /// fork-join team members claim [hpx_slots, hpx_slots + team_slots),
+  /// and any other thread shares the final lock-guarded slot.
+  unsigned hpx_slots = 0;
+  unsigned team_slots = 0;
+  unsigned nslots = 1;
+  mutable std::tuple<reduction_slots<T>...> scratch;
+  mutable hpxlite::spinlock external_lock;
+
+  loop_frame(std::string name_, op_set set_, std::optional<Kernel> kernel_,
+             std::tuple<op_arg<T>...> args_,
+             std::tuple<bound_arg<T>...> bound_,
+             std::shared_ptr<const op_plan> plan_, bool direct_loop_,
+             bool has_reduction_, unsigned hpx_slots_, unsigned team_slots_,
+             unsigned nslots_, std::tuple<reduction_slots<T>...> scratch_)
+      : name(std::move(name_)),
+        set(std::move(set_)),
+        kernel(std::move(kernel_)),
+        args(std::move(args_)),
+        bound(std::move(bound_)),
+        plan(std::move(plan_)),
+        direct_loop(direct_loop_),
+        has_reduction(has_reduction_),
+        hpx_slots(hpx_slots_),
+        team_slots(team_slots_),
+        nslots(nslots_),
+        scratch(std::move(scratch_)) {}
 
   void run_block(int block) const {
     const auto bi = static_cast<std::size_t>(block);
@@ -163,57 +219,159 @@ struct loop_frame {
   }
 
   void run_range(int begin, int end) const {
-    auto scratch = std::apply(
-        [](const auto&... b) { return std::make_tuple(make_scratch(b)...); },
-        bound);
+    slot_guard guard;
+    const unsigned slot = has_reduction ? acquire_slot(guard) : 0;
+    const auto ptrs = slot_ptrs(slot, std::index_sequence_for<T...>{});
     for (int i = begin; i < end; ++i) {
-      invoke(i, scratch, std::index_sequence_for<T...>{});
+      invoke(i, ptrs, std::index_sequence_for<T...>{});
     }
-    flush(scratch, std::index_sequence_for<T...>{});
+  }
+
+  /// Resets every reduction slot to its identity value (called by
+  /// loop_launch::begin_invocation before any chunk runs).
+  void reset_scratch() const {
+    std::apply(
+        [this](const auto&... b) {
+          std::apply([&](auto&... s) { (reset_one(b, s), ...); }, scratch);
+        },
+        bound);
+  }
+
+  /// Pairwise tree merge of the slots, then one combine of the result
+  /// into the caller's global (loop_launch::finalize, after the last
+  /// chunk).  On one slot this degenerates to the sequential
+  /// gbl = combine(gbl, partial) the seed performed.
+  void merge_scratch() const {
+    std::apply(
+        [this](const auto&... b) {
+          std::apply([&](auto&... s) { (merge_one(b, s), ...); }, scratch);
+        },
+        bound);
   }
 
  private:
-  template <typename Scratch, std::size_t... Is>
-  void invoke(int i, Scratch& scratch, std::index_sequence<Is...>) const {
-    kernel(arg_pointer(std::get<Is>(bound), std::get<Is>(scratch), i)...);
+  /// Unlocks the shared overflow slot on scope exit (exception-safe:
+  /// a throwing kernel must not leave the external slot locked).
+  struct slot_guard {
+    hpxlite::spinlock* lock = nullptr;
+    ~slot_guard() {
+      if (lock != nullptr) {
+        lock->unlock();
+      }
+    }
+  };
+
+  unsigned acquire_slot(slot_guard& guard) const {
+    if (const unsigned w = hpxlite::runtime::worker_index();
+        w < hpx_slots) {
+      return w;
+    }
+    if (const unsigned t = hpxlite::fork_join_team::this_worker_index();
+        t < team_slots) {
+      return hpx_slots + t;
+    }
+    // Foreign thread (e.g. the caller of a synchronous seq loop): the
+    // shared slot, serialised for the duration of this chunk.
+    external_lock.lock();
+    guard.lock = &external_lock;
+    return nslots - 1;
   }
 
-  template <typename Scratch, std::size_t... Is>
-  void flush(Scratch& scratch, std::index_sequence<Is...>) const {
-    (flush_scratch(std::get<Is>(bound), std::get<Is>(scratch)), ...);
+  template <std::size_t I>
+  auto slot_ptr(unsigned slot) const {
+    auto& s = std::get<I>(scratch);
+    return s.buf.empty() ? decltype(s.buf.data()){nullptr}
+                         : s.buf.data() + slot * s.stride;
+  }
+
+  template <std::size_t... Is>
+  auto slot_ptrs(unsigned slot, std::index_sequence<Is...>) const {
+    return std::make_tuple(slot_ptr<Is>(slot)...);
+  }
+
+  template <typename Ptrs, std::size_t... Is>
+  void invoke(int i, const Ptrs& ptrs, std::index_sequence<Is...>) const {
+    (*kernel)(arg_pointer(std::get<Is>(bound), std::get<Is>(ptrs), i)...);
+  }
+
+  template <typename U>
+  static void reset_one(const bound_arg<U>& b, reduction_slots<U>& s) {
+    if (!s.buf.empty()) {
+      std::fill(s.buf.begin(), s.buf.end(), reduction_identity<U>(b.acc));
+    }
+  }
+
+  template <typename U>
+  void merge_one(const bound_arg<U>& b, reduction_slots<U>& s) const {
+    if (s.buf.empty()) {
+      return;
+    }
+    for (unsigned step = 1; step < nslots; step *= 2) {
+      for (unsigned i = 0; i + step < nslots; i += 2 * step) {
+        U* dst = s.buf.data() + i * s.stride;
+        const U* src = s.buf.data() + (i + step) * s.stride;
+        for (int d = 0; d < b.dim; ++d) {
+          dst[d] = reduction_combine(b.acc, dst[d], src[d]);
+        }
+      }
+    }
+    for (int d = 0; d < b.dim; ++d) {
+      b.gbl[d] = reduction_combine(b.acc, b.gbl[d], s.buf[d]);
+    }
   }
 };
 
-/// Validates args against the iteration set, collects conflicting
-/// indirections, and builds/fetches the plan.
-template <typename Kernel, typename... T>
-std::shared_ptr<loop_frame<Kernel, T...>> make_frame(const char* name,
-                                                     const op_set& set,
-                                                     Kernel kernel,
-                                                     op_arg<T>... args) {
+/// What validation learns about a loop's argument list, shared by the
+/// one-shot path, the prepared capture, and the dataflow API (which
+/// validates synchronously at node-insertion time but builds the frame
+/// only when the node fires).
+struct loop_shape {
+  std::vector<plan_indirection> conflicts;
+  bool any_indirect = false;
+  bool has_reduction = false;
+};
+
+/// Validates args against the iteration set and collects the
+/// conflicting indirections the plan needs.  Throws
+/// std::invalid_argument on every malformed-loop case the classic API
+/// rejects.
+template <typename... T>
+loop_shape validate_args(const char* name, const op_set& set,
+                         std::tuple<op_arg<T>...>& arg_tuple) {
   if (!set.valid()) {
     throw std::invalid_argument(std::string("op_par_loop '") + name +
                                 "': invalid iteration set");
   }
-  auto arg_tuple = std::make_tuple(std::move(args)...);
-
-  std::vector<plan_indirection> conflicts;
-  bool any_indirect = false;
+  loop_shape shape;
   std::apply(
       [&](auto&... a) {
         const auto check = [&](auto& arg) {
           if (arg.is_global()) {
+            if (is_reduction(arg.acc)) {
+              shape.has_reduction = true;
+            }
             return;
           }
+          // A dat whose set was resized but whose storage was not
+          // refitted would hand the kernel out-of-bounds pointers.
+          if (arg.dat.raw_bytes().size() !=
+              arg.dat.entries() * arg.dat.element_size()) {
+            throw std::invalid_argument(
+                std::string("op_par_loop '") + name + "': dat '" +
+                arg.dat.name() +
+                "' storage does not match its set's size (after "
+                "op_set::resize, call op_dat::resize on every dat of "
+                "the set)");
+          }
           if (arg.is_indirect()) {
-            any_indirect = true;
+            shape.any_indirect = true;
             if (arg.map.from() != set) {
               throw std::invalid_argument(
                   std::string("op_par_loop '") + name + "': map '" +
                   arg.map.name() + "' is not from the iteration set");
             }
             if (writes(arg.acc)) {
-              conflicts.push_back({arg.map, arg.idx, arg.dat.id()});
+              shape.conflicts.push_back({arg.map, arg.idx, arg.dat.id()});
             }
           } else if (arg.dat.set() != set) {
             throw std::invalid_argument(
@@ -224,19 +382,49 @@ std::shared_ptr<loop_frame<Kernel, T...>> make_frame(const char* name,
         (check(a), ...);
       },
       arg_tuple);
+  return shape;
+}
+
+/// Validates args, builds/fetches the plan, binds raw views, and
+/// allocates the per-worker reduction slots — the whole capture cost.
+template <typename Kernel, typename... T>
+std::shared_ptr<loop_frame<Kernel, T...>> make_frame(const char* name,
+                                                     const op_set& set,
+                                                     Kernel kernel,
+                                                     op_arg<T>... args) {
+  auto arg_tuple = std::make_tuple(std::move(args)...);
+  const loop_shape shape = validate_args(name, set, arg_tuple);
 
   // Bind raw views before moving the tuple: the pointers target the
   // dats' shared heap storage, so they stay valid across the move.
   auto bound = std::apply(
       [](auto&... a) { return std::make_tuple(bind_arg(a)...); }, arg_tuple);
-  auto plan = get_plan(set, current_config().block_size, conflicts);
+  auto plan = get_plan(set, current_config().block_size, shape.conflicts);
 
-  // Aggregate construction keeps capturing-lambda kernels usable (no
-  // default-constructible requirement).
-  return std::shared_ptr<loop_frame<Kernel, T...>>(
-      new loop_frame<Kernel, T...>{std::string(name), set, std::move(kernel),
-                                   std::move(arg_tuple), std::move(bound),
-                                   std::move(plan), !any_indirect});
+  // Slot layout for this runtime configuration.  runtime::exists()
+  // first: runtime::get() would spin up a worker pool as a side effect.
+  const unsigned hpx_slots =
+      hpxlite::runtime::exists()
+          ? static_cast<unsigned>(hpxlite::runtime::get().concurrency())
+          : 0;
+  const hpxlite::fork_join_team* team = team_if_active();
+  const unsigned team_slots =
+      team != nullptr ? static_cast<unsigned>(team->size()) : 0;
+  const unsigned nslots = hpx_slots + team_slots + 1;
+
+  auto scratch = std::apply(
+      [nslots](const auto&... a) {
+        return std::make_tuple(make_reduction_slots(a, nslots)...);
+      },
+      arg_tuple);
+
+  // The optional wrapper keeps capturing-lambda kernels usable (no
+  // default-constructible requirement) while letting replays re-emplace.
+  return std::make_shared<loop_frame<Kernel, T...>>(
+      std::string(name), set, std::optional<Kernel>(std::move(kernel)),
+      std::move(arg_tuple), std::move(bound), std::move(plan),
+      !shape.any_indirect, shape.has_reduction, hpx_slots, team_slots,
+      nslots, std::move(scratch));
 }
 
 /// The chunk spec the hpx backends hand to for_each: the configured
@@ -252,6 +440,11 @@ inline hpxlite::chunk_spec configured_chunk() {
 /// The loop's deduplicated write set: every dat a non-OP_READ dat
 /// argument targets, plus every global argument buffer the loop updates
 /// — exactly the state run_loop_protected must snapshot/restore.
+/// Deduplication is on (base, extent): two arguments over the same base
+/// pointer collapse to one target covering the widest span, so a
+/// narrower alias (e.g. a global reduction into the first element of a
+/// buffer another argument writes in full) cannot shadow the full
+/// region out of the rollback snapshot.
 template <typename Kernel, typename... T>
 std::vector<write_target> collect_write_targets(
     loop_frame<Kernel, T...>& frame) {
@@ -273,9 +466,14 @@ std::vector<write_target> collect_write_targets(
             t.bytes = raw.size();
             t.name = arg.dat.name();
           }
-          for (const auto& existing : targets) {
+          for (auto& existing : targets) {
             if (existing.data == t.data) {
-              return;  // same dat bound twice (e.g. two map indices)
+              if (t.bytes > existing.bytes) {
+                // Keep the widest span over this base.
+                existing.bytes = t.bytes;
+                existing.name = t.name;
+              }
+              return;
             }
           }
           targets.push_back(std::move(t));
@@ -302,6 +500,13 @@ loop_launch erase_frame(std::shared_ptr<loop_frame<Kernel, T...>> frame) {
   d.set_size = frame->set.size();
   d.direct = frame->direct_loop;
   d.chunk = configured_chunk();
+  if (frame->has_reduction) {
+    d.begin_invocation = [frame] { frame->reset_scratch(); };
+    d.finalize = [frame] { frame->merge_scratch(); };
+  }
+  if (profiling::enabled()) {
+    d.prof = profiling::acquire_slot(d.name);
+  }
   // Write targets feed the rollback snapshot and the corrupt fault;
   // skip the collection entirely on the zero-cost default path.
   if (current_config().on_failure.enabled() || fault_injector::active()) {
@@ -339,31 +544,9 @@ loop_launch erase_frame(std::shared_ptr<loop_frame<Kernel, T...>> frame) {
 
 }  // namespace detail
 
-/// Classic OP2 API (unchanged Airfoil.cpp): synchronous parallel loop
-/// under the configured backend.  For asynchronous executors
-/// (hpx_async / hpx_dataflow) this degenerates to launch-then-wait; use
-/// op_par_loop_async / the dataflow API to actually overlap loops.
-template <typename Kernel, typename... T>
-void op_par_loop(Kernel kernel, const char* name, const op_set& set,
-                 op_arg<T>... args) {
-  auto frame =
-      detail::make_frame(name, set, std::move(kernel), std::move(args)...);
-  run_loop_protected(current_executor(), detail::erase_frame(std::move(frame)),
-                     current_config().on_failure);
-}
-
-/// §III-A2 API: returns a future for the loop's completion; the caller
-/// is responsible for placing .get() before dependent loops (the
-/// paper's Fig 10 shows the hand-placed new_data.get() calls).  Under a
-/// synchronous executor the loop runs inline and the future is ready.
-template <typename Kernel, typename... T>
-hpxlite::future<void> op_par_loop_async(Kernel kernel, const char* name,
-                                        const op_set& set, op_arg<T>... args) {
-  auto frame =
-      detail::make_frame(name, set, std::move(kernel), std::move(args)...);
-  return launch_loop_protected(current_executor(),
-                               detail::erase_frame(std::move(frame)),
-                               current_config().on_failure);
-}
-
 }  // namespace op2
+
+// The prepared-loop layer defines the public op_par_loop /
+// op_par_loop_async entry points on top of the frame machinery above.
+// Tail-included so either header can be included first.
+#include "op2/prepared_loop.hpp"

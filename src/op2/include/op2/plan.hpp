@@ -13,6 +13,7 @@
 // papers).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
@@ -66,5 +67,10 @@ void clear_plan_cache();
 
 /// Number of plans currently cached.
 std::size_t plan_cache_size();
+
+/// Total get_plan calls since process start.  A prepared loop replays
+/// without touching the plan cache at all, so the launch-overhead gate
+/// asserts this counter stays flat across the steady-state phase.
+std::uint64_t plan_cache_lookups();
 
 }  // namespace op2

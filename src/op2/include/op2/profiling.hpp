@@ -3,6 +3,12 @@
 // loop name; report() prints the classic per-loop table.
 //
 // Disabled by default (zero overhead beyond one branch per launch).
+//
+// Prepared loops record through a stable `slot` acquired once at
+// capture time, so the steady-state replay path never repeats the
+// string-keyed map lookup.  The capture/replay counters and the
+// loops/sec + allocs/loop report columns make the launch-path win
+// visible in every profiled run, not just the microbench.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +32,20 @@ struct loop_profile {
   std::uint64_t retries = 0;
   std::uint64_t fallbacks = 0;
   std::uint64_t restarts = 0;
+  /// Launch-path counters: full frame builds (validation + plan lookup
+  /// + binding + scratch allocation) vs cheap replays of a prepared
+  /// descriptor.  invocations ≈ captures + replays once a loop is warm.
+  std::uint64_t captures = 0;
+  std::uint64_t replays = 0;
+  /// Heap allocations observed across sampled invocations (requires an
+  /// installed alloc counter; see set_alloc_counter).
+  std::uint64_t allocs = 0;
+  std::uint64_t alloc_samples = 0;
+
+  bool empty() const {
+    return invocations == 0 && retries == 0 && fallbacks == 0 &&
+           restarts == 0 && captures == 0 && replays == 0;
+  }
 };
 
 namespace profiling {
@@ -34,8 +54,16 @@ namespace profiling {
 void enable(bool on);
 bool enabled();
 
-/// Drops all recorded data.
+/// Drops all recorded data.  Existing slots stay valid (their counters
+/// are zeroed in place), so prepared loops never hold a dangling slot.
 void reset();
+
+/// Stable per-loop recording handle.  Never invalidated — reset()
+/// zeroes the counters but keeps the slot alive for the process
+/// lifetime — so a prepared loop acquires it once at capture and
+/// records lookup-free on every replay.
+struct slot;
+slot* acquire_slot(const std::string& loop_name);
 
 /// Internal hook used by op_par_loop: records one execution.
 void record(const std::string& loop_name, double seconds);
@@ -45,6 +73,21 @@ void record(const std::string& loop_name, double seconds);
 void record(const std::string& loop_name, double seconds,
             const std::string& backend, const std::string& chunk);
 
+/// Slot flavour of the executor hook, used on the prepared replay path.
+void record(slot* s, double seconds, const std::string& backend,
+            const std::string& chunk);
+
+/// Launch-path hooks (no-ops while profiling is disabled): a full
+/// frame capture and a prepared-descriptor replay.
+void record_capture(const std::string& loop_name);
+void record_replay(slot* s);
+void record_replay(const std::string& loop_name);
+
+/// Attributes `n` heap allocations to one sampled invocation of the
+/// loop (fed by run_loop when an alloc counter is installed).
+void record_allocs(slot* s, std::uint64_t n);
+void record_allocs(const std::string& loop_name, std::uint64_t n);
+
 /// Resilience hooks (no-ops while profiling is disabled): a write-set
 /// rollback + re-execution, a degradation to the seq executor, and a
 /// solver-level restart from a checkpoint.
@@ -52,10 +95,20 @@ void record_retry(const std::string& loop_name);
 void record_fallback(const std::string& loop_name);
 void record_restart(const std::string& loop_name);
 
-/// Snapshot of all recorded loops.
+/// Process-wide heap-allocation counter, installed by a harness that
+/// interposes operator new (bench/micro/launch_overhead.cpp).  When
+/// set, run_loop samples it around each profiled execution and the
+/// report gains a real allocs/loop column; when unset the column shows
+/// "-".
+using alloc_counter_fn = std::uint64_t (*)();
+void set_alloc_counter(alloc_counter_fn fn);
+alloc_counter_fn alloc_counter();
+
+/// Snapshot of all recorded loops (rows with no activity are omitted).
 std::map<std::string, loop_profile> snapshot();
 
-/// Prints the per-loop table (name, count, total ms, avg µs, max ms),
+/// Prints the per-loop table (name, count, total ms, avg µs, max ms,
+/// loops/sec, allocs/loop, resilience counters, capture/replay split),
 /// sorted by total time descending — op_timing_output.
 void report(std::ostream& out);
 

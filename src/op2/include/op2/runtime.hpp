@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -83,6 +84,12 @@ struct config {
   /// Rollback/retry/fallback behaviour for failing loops (off by
   /// default; also settable via OP2_FAILURE_POLICY).
   failure_policy on_failure;
+  /// Capture-once/replay-many launch descriptors: op_par_loop caches
+  /// the validated frame, plan, bound views and reduction scratch per
+  /// call site and replays them allocation-free on repeat invocations.
+  /// Off (OP2_PREPARED=off) forces the one-shot path on every call —
+  /// the control arm of the equivalence tests.
+  bool prepared_loops = true;
 };
 
 /// Convenience constructor for string-selected backends: validates
@@ -119,5 +126,21 @@ loop_executor& current_executor();
 
 /// The fork-join team for the forkjoin backend (created by init()).
 hpxlite::fork_join_team& team();
+
+namespace detail {
+
+/// The fork-join team if one is active, else null — used by the
+/// prepared-loop capture to size per-worker reduction slots without
+/// triggering team()'s not-initialised error.
+hpxlite::fork_join_team* team_if_active() noexcept;
+
+/// Monotonic counter bumped by every init()/finalize(): a prepared
+/// loop captured under one runtime configuration (backend, threads,
+/// block_size, static_chunk, failure policy) must re-capture after any
+/// reconfiguration.  Defined in prepared_loop.cpp.
+std::uint64_t prepared_epoch() noexcept;
+void bump_prepared_epoch() noexcept;
+
+}  // namespace detail
 
 }  // namespace op2

@@ -7,6 +7,7 @@
 // semantics: copying an op_set aliases the same underlying set.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -17,6 +18,9 @@ namespace detail {
 struct set_impl {
   std::string name;
   int size = 0;
+  /// Bumped by op_set::resize; prepared loops captured against the old
+  /// size re-validate through it (and through the size itself).
+  std::uint64_t version = 0;
 };
 }  // namespace detail
 
@@ -37,6 +41,26 @@ class op_set {
   bool valid() const noexcept { return impl_ != nullptr; }
   int size() const { return impl_->size; }
   const std::string& name() const { return impl_->name; }
+
+  /// Number of times this set has been resized.
+  std::uint64_t version() const { return impl_->version; }
+
+  /// Changes the set's element count (e.g. after mesh adaptation).
+  /// Dats declared on the set must be refitted with op_dat::resize()
+  /// before the next loop over them; maps from/to the set are the
+  /// caller's responsibility.  Any prepared loop captured against the
+  /// old size re-captures on its next invocation.
+  void resize(int new_size) {
+    if (!impl_) {
+      throw std::logic_error("op_set::resize: invalid set");
+    }
+    if (new_size < 0) {
+      throw std::invalid_argument("op_set::resize: negative size for '" +
+                                  impl_->name + "'");
+    }
+    impl_->size = new_size;
+    ++impl_->version;
+  }
 
   /// Identity comparison: two handles to the same declared set.
   friend bool operator==(const op_set& a, const op_set& b) {

@@ -223,6 +223,12 @@ hpxlite::future<void> loop_executor::launch(loop_launch loop) {
 void loop_executor::loop_begin(const loop_launch&) {}
 
 void loop_executor::loop_end(const loop_launch& loop, double seconds) {
+  if (loop.prof != nullptr) {
+    // Prepared loops carry a stable slot: no string-keyed map lookup.
+    profiling::record(loop.prof, seconds, std::string(name()),
+                      describe(loop.chunk));
+    return;
+  }
   profiling::record(loop.name, seconds, std::string(name()),
                     describe(loop.chunk));
 }
@@ -286,24 +292,48 @@ struct activity_guard {
 void run_loop(loop_executor& exec, const loop_launch& loop) {
   activity_guard guard(exec, loop);
   if (!profiling::enabled()) {
+    if (loop.begin_invocation) {
+      loop.begin_invocation();
+    }
     run_now(exec, loop);
+    if (loop.finalize) {
+      loop.finalize();
+    }
     fire_corrupt(loop);
     return;
   }
   exec.loop_begin(loop);
+  // Sample the interposed allocation counter (when a harness installed
+  // one) around the execution proper, feeding the allocs/loop column.
+  const auto allocs = profiling::alloc_counter();
+  const std::uint64_t a0 = allocs != nullptr ? allocs() : 0;
   const auto t0 = std::chrono::steady_clock::now();
   try {
+    if (loop.begin_invocation) {
+      loop.begin_invocation();
+    }
     run_now(exec, loop);
+    if (loop.finalize) {
+      loop.finalize();
+    }
   } catch (...) {
     exec.loop_end(loop, std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - t0)
                             .count());
     throw;
   }
+  const double seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+  if (allocs != nullptr) {
+    if (loop.prof != nullptr) {
+      profiling::record_allocs(loop.prof, allocs() - a0);
+    } else {
+      profiling::record_allocs(loop.name, allocs() - a0);
+    }
+  }
   fire_corrupt(loop);
-  exec.loop_end(loop, std::chrono::duration<double>(
-                          std::chrono::steady_clock::now() - t0)
-                          .count());
+  exec.loop_end(loop, seconds);
 }
 
 namespace {
@@ -324,12 +354,32 @@ hpxlite::future<void> checked_launch(loop_executor& exec, loop_launch loop) {
 
 hpxlite::future<void> launch_loop_impl(loop_executor& exec,
                                        loop_launch loop) {
+  // Reduction slots are reset synchronously — before any chunk can run
+  // — and merged in a completion continuation, so the caller observes
+  // the merged global exactly when the returned future is ready.
+  if (loop.begin_invocation) {
+    loop.begin_invocation();
+  }
+  const auto finalize = loop.finalize;
   if (!profiling::enabled()) {
-    return checked_launch(exec, std::move(loop));
+    auto done = checked_launch(exec, std::move(loop));
+    if (!finalize) {
+      return done;
+    }
+    return done.then([finalize](hpxlite::future<void>&& f) {
+      f.get();  // a failed loop must not publish a partial reduction
+      finalize();
+    });
   }
   exec.loop_begin(loop);
   const auto t0 = std::chrono::steady_clock::now();
   auto done = checked_launch(exec, loop);
+  if (finalize) {
+    done = done.then([finalize](hpxlite::future<void>&& f) {
+      f.get();
+      finalize();
+    });
+  }
   // Record launch-to-completion time.  Capturing `exec` is safe: the
   // runtime dispatches through backend_registry::shared instances,
   // which are never destroyed.

@@ -1,6 +1,7 @@
 #include "op2/plan.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -138,12 +139,17 @@ op_plan build_plan(const op_set& set, int block_size,
 
 namespace {
 
+// The key includes the set's current size: op_set::resize keeps the
+// set identity (the impl pointer) but invalidates every block layout
+// computed for the old size, so a resized set must never hit a plan
+// cached before the resize.
 using plan_key =
-    std::tuple<const void*, int,
+    std::tuple<const void*, int, int,
                std::vector<std::tuple<const void*, const void*, int>>>;
 
 std::mutex g_cache_mutex;
 std::map<plan_key, std::shared_ptr<const op_plan>> g_cache;
+std::atomic<std::uint64_t> g_lookups{0};
 
 plan_key make_key(const op_set& set, int block_size,
                   std::span<const plan_indirection> conflicts) {
@@ -153,7 +159,7 @@ plan_key make_key(const op_set& set, int block_size,
     cols.emplace_back(c.target_id, c.map.id(), c.idx);
   }
   std::sort(cols.begin(), cols.end());
-  return {set.id(), block_size, std::move(cols)};
+  return {set.id(), set.size(), block_size, std::move(cols)};
 }
 
 }  // namespace
@@ -161,6 +167,7 @@ plan_key make_key(const op_set& set, int block_size,
 std::shared_ptr<const op_plan> get_plan(
     const op_set& set, int block_size,
     std::span<const plan_indirection> conflicts) {
+  g_lookups.fetch_add(1, std::memory_order_relaxed);
   auto key = make_key(set, block_size, conflicts);
   {
     std::lock_guard<std::mutex> lock(g_cache_mutex);
@@ -184,6 +191,10 @@ void clear_plan_cache() {
 std::size_t plan_cache_size() {
   std::lock_guard<std::mutex> lock(g_cache_mutex);
   return g_cache.size();
+}
+
+std::uint64_t plan_cache_lookups() {
+  return g_lookups.load(std::memory_order_relaxed);
 }
 
 }  // namespace op2

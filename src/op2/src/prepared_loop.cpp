@@ -1,0 +1,42 @@
+#include "op2/prepared_loop.hpp"
+
+#include <mutex>
+#include <vector>
+
+namespace op2::detail {
+
+namespace {
+
+std::atomic<std::uint64_t> g_epoch{0};
+
+std::mutex g_registry_mutex;
+std::vector<std::weak_ptr<prepared_cache_base>> g_caches;
+
+}  // namespace
+
+std::uint64_t prepared_epoch() noexcept {
+  return g_epoch.load(std::memory_order_acquire);
+}
+
+void bump_prepared_epoch() noexcept {
+  g_epoch.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void register_prepared_cache(std::shared_ptr<prepared_cache_base> cache) {
+  std::lock_guard<std::mutex> lock(g_registry_mutex);
+  g_caches.emplace_back(std::move(cache));
+}
+
+void clear_prepared_caches() {
+  std::lock_guard<std::mutex> lock(g_registry_mutex);
+  std::size_t live = 0;
+  for (auto& weak : g_caches) {
+    if (auto cache = weak.lock()) {
+      cache->clear();
+      g_caches[live++] = std::move(weak);  // prune expired registrations
+    }
+  }
+  g_caches.resize(live);
+}
+
+}  // namespace op2::detail

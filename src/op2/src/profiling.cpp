@@ -9,11 +9,28 @@
 
 namespace op2::profiling {
 
+/// A slot is the map node a loop's counters live in.  std::map node
+/// addresses are stable across inserts, and reset() zeroes values in
+/// place instead of erasing nodes, so a slot pointer acquired once is
+/// valid for the process lifetime.
+struct slot {
+  loop_profile p;
+};
+
 namespace {
 
 std::atomic<bool> g_enabled{false};
+std::atomic<alloc_counter_fn> g_alloc_counter{nullptr};
 std::mutex g_mutex;
-std::map<std::string, loop_profile> g_profiles;
+std::map<std::string, slot> g_profiles;
+
+slot& locked_slot(const std::string& name) { return g_profiles[name]; }
+
+void record_time(loop_profile& p, double seconds) {
+  p.invocations += 1;
+  p.total_seconds += seconds;
+  p.max_seconds = std::max(p.max_seconds, seconds);
+}
 
 }  // namespace
 
@@ -23,26 +40,83 @@ bool enabled() { return g_enabled.load(std::memory_order_acquire); }
 
 void reset() {
   std::lock_guard<std::mutex> lock(g_mutex);
-  g_profiles.clear();
+  // Keep the nodes: prepared loops hold slot pointers into them.
+  for (auto& [name, s] : g_profiles) {
+    s.p = loop_profile{};
+  }
+}
+
+slot* acquire_slot(const std::string& loop_name) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return &locked_slot(loop_name);
 }
 
 void record(const std::string& loop_name, double seconds) {
   std::lock_guard<std::mutex> lock(g_mutex);
-  auto& p = g_profiles[loop_name];
-  p.invocations += 1;
-  p.total_seconds += seconds;
-  p.max_seconds = std::max(p.max_seconds, seconds);
+  record_time(locked_slot(loop_name).p, seconds);
 }
 
 void record(const std::string& loop_name, double seconds,
             const std::string& backend, const std::string& chunk) {
   std::lock_guard<std::mutex> lock(g_mutex);
-  auto& p = g_profiles[loop_name];
-  p.invocations += 1;
-  p.total_seconds += seconds;
-  p.max_seconds = std::max(p.max_seconds, seconds);
+  auto& p = locked_slot(loop_name).p;
+  record_time(p, seconds);
   p.backend = backend;
   p.chunk = chunk;
+}
+
+void record(slot* s, double seconds, const std::string& backend,
+            const std::string& chunk) {
+  if (s == nullptr) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(g_mutex);
+  record_time(s->p, seconds);
+  s->p.backend = backend;
+  s->p.chunk = chunk;
+}
+
+void record_capture(const std::string& loop_name) {
+  if (!enabled()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(g_mutex);
+  locked_slot(loop_name).p.captures += 1;
+}
+
+void record_replay(slot* s) {
+  if (!enabled() || s == nullptr) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(g_mutex);
+  s->p.replays += 1;
+}
+
+void record_replay(const std::string& loop_name) {
+  if (!enabled()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(g_mutex);
+  locked_slot(loop_name).p.replays += 1;
+}
+
+void record_allocs(slot* s, std::uint64_t n) {
+  if (!enabled() || s == nullptr) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(g_mutex);
+  s->p.allocs += n;
+  s->p.alloc_samples += 1;
+}
+
+void record_allocs(const std::string& loop_name, std::uint64_t n) {
+  if (!enabled()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(g_mutex);
+  auto& p = locked_slot(loop_name).p;
+  p.allocs += n;
+  p.alloc_samples += 1;
 }
 
 void record_retry(const std::string& loop_name) {
@@ -50,7 +124,7 @@ void record_retry(const std::string& loop_name) {
     return;
   }
   std::lock_guard<std::mutex> lock(g_mutex);
-  g_profiles[loop_name].retries += 1;
+  locked_slot(loop_name).p.retries += 1;
 }
 
 void record_fallback(const std::string& loop_name) {
@@ -58,7 +132,7 @@ void record_fallback(const std::string& loop_name) {
     return;
   }
   std::lock_guard<std::mutex> lock(g_mutex);
-  g_profiles[loop_name].fallbacks += 1;
+  locked_slot(loop_name).p.fallbacks += 1;
 }
 
 void record_restart(const std::string& loop_name) {
@@ -66,12 +140,26 @@ void record_restart(const std::string& loop_name) {
     return;
   }
   std::lock_guard<std::mutex> lock(g_mutex);
-  g_profiles[loop_name].restarts += 1;
+  locked_slot(loop_name).p.restarts += 1;
+}
+
+void set_alloc_counter(alloc_counter_fn fn) {
+  g_alloc_counter.store(fn, std::memory_order_release);
+}
+
+alloc_counter_fn alloc_counter() {
+  return g_alloc_counter.load(std::memory_order_acquire);
 }
 
 std::map<std::string, loop_profile> snapshot() {
   std::lock_guard<std::mutex> lock(g_mutex);
-  return g_profiles;
+  std::map<std::string, loop_profile> out;
+  for (const auto& [name, s] : g_profiles) {
+    if (!s.p.empty()) {
+      out.emplace(name, s.p);
+    }
+  }
+  return out;
 }
 
 void report(std::ostream& out) {
@@ -85,22 +173,37 @@ void report(std::ostream& out) {
   out << std::left << std::setw(20) << "  loop" << std::setw(14)
       << "backend" << std::right << std::setw(10) << "count"
       << std::setw(12) << "total_ms" << std::setw(12) << "avg_us"
-      << std::setw(12) << "max_ms" << std::setw(9) << "retries"
+      << std::setw(12) << "max_ms" << std::setw(12) << "loops/sec"
+      << std::setw(12) << "allocs/loop" << std::setw(9) << "retries"
       << std::setw(11) << "fallbacks" << std::setw(10) << "restarts"
+      << std::setw(10) << "captures" << std::setw(9) << "replays"
       << "\n";
   for (const auto& [name, p] : rows) {
     const double avg_us = p.invocations != 0
                               ? 1e6 * p.total_seconds /
                                     static_cast<double>(p.invocations)
                               : 0.0;
+    const double loops_per_sec =
+        p.total_seconds > 0.0
+            ? static_cast<double>(p.invocations) / p.total_seconds
+            : 0.0;
     out << "  " << std::left << std::setw(18) << name << std::setw(14)
         << (p.backend.empty() ? "-" : p.backend) << std::right
         << std::setw(10) << p.invocations << std::setw(12) << std::fixed
         << std::setprecision(3) << 1e3 * p.total_seconds << std::setw(12)
         << std::setprecision(1) << avg_us << std::setw(12)
-        << std::setprecision(3) << 1e3 * p.max_seconds << std::setw(9)
-        << p.retries << std::setw(11) << p.fallbacks << std::setw(10)
-        << p.restarts << "\n";
+        << std::setprecision(3) << 1e3 * p.max_seconds << std::setw(12)
+        << std::setprecision(0) << loops_per_sec;
+    if (p.alloc_samples != 0) {
+      out << std::setw(12) << std::setprecision(1)
+          << static_cast<double>(p.allocs) /
+                 static_cast<double>(p.alloc_samples);
+    } else {
+      out << std::setw(12) << "-";
+    }
+    out << std::setw(9) << p.retries << std::setw(11) << p.fallbacks
+        << std::setw(10) << p.restarts << std::setw(10) << p.captures
+        << std::setw(9) << p.replays << "\n";
   }
 }
 

@@ -13,6 +13,12 @@
 
 namespace op2 {
 
+namespace detail {
+// Defined in prepared_loop.cpp: drops every cached prepared-loop
+// descriptor (and the dats/plans it pins).
+void clear_prepared_caches();
+}  // namespace detail
+
 namespace {
 
 config g_config;
@@ -36,6 +42,18 @@ backend enum_for(const std::string& name) {
 /// Applies the resilience environment knobs on top of `cfg`.
 void apply_resilience_env(config& cfg) {
   fault_injector::configure_from_env();
+  if (const char* env = std::getenv("OP2_PREPARED");
+      env != nullptr && *env != '\0') {
+    const std::string v = env;
+    if (v == "off" || v == "0" || v == "false") {
+      cfg.prepared_loops = false;
+    } else if (v == "on" || v == "1" || v == "true") {
+      cfg.prepared_loops = true;
+    } else {
+      throw std::invalid_argument("op2: OP2_PREPARED must be on or off, got '" +
+                                  v + "'");
+    }
+  }
   if (const char* env = std::getenv("OP2_FAILURE_POLICY");
       env != nullptr && *env != '\0') {
     cfg.on_failure = parse_failure_policy(env);
@@ -147,6 +165,11 @@ void init(const config& cfg) {
 }
 
 void finalize() {
+  // Invalidate before tearing down pools: a prepared frame sized for
+  // the outgoing worker pool must not replay against the next one, and
+  // clearing the caches releases the dats/plans they pin.
+  detail::bump_prepared_epoch();
+  detail::clear_prepared_caches();
   g_team.reset();
   if (hpxlite::runtime::exists()) {
     hpxlite::runtime::shutdown();
@@ -176,5 +199,11 @@ hpxlite::fork_join_team& team() {
   }
   return *g_team;
 }
+
+namespace detail {
+
+hpxlite::fork_join_team* team_if_active() noexcept { return g_team.get(); }
+
+}  // namespace detail
 
 }  // namespace op2

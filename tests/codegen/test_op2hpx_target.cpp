@@ -20,7 +20,9 @@ const char* kClassicSource = R"(
 )";
 
 const char* kGoldenBody =
-    "  op2::op_par_loop(scale_kernel, \"scale\", cells,\n"
+    "  static op2::loop_handle op2_handle_scale_kernel;\n"
+    "  op2::op_par_loop(op2_handle_scale_kernel, scale_kernel, \"scale\", "
+    "cells,\n"
     "      op2::op_arg_dat<double>(p_in, -1, op2::OP_ID, 1, op2::OP_READ),\n"
     "      op2::op_arg_dat<double>(p_out, -1, op2::OP_ID, 1, "
     "op2::OP_WRITE),\n"
@@ -51,7 +53,8 @@ TEST(Op2hpxTarget, GoldenCallSiteExecutes) {
   double total = 0.0;
 
   // --- exactly the golden body, verbatim ---
-  op2::op_par_loop(scale_kernel, "scale", cells,
+  static op2::loop_handle op2_handle_scale_kernel;
+  op2::op_par_loop(op2_handle_scale_kernel, scale_kernel, "scale", cells,
       op2::op_arg_dat<double>(p_in, -1, op2::OP_ID, 1, op2::OP_READ),
       op2::op_arg_dat<double>(p_out, -1, op2::OP_ID, 1, op2::OP_WRITE),
       op2::op_arg_gbl<double>(&total, 1, op2::OP_INC));

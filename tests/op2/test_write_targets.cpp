@@ -1,0 +1,85 @@
+// collect_write_targets builds the rollback snapshot's region list.
+// Deduplication must key on (base pointer, extent) keeping the widest
+// span — deduplicating on the base pointer alone let a narrow argument
+// (e.g. a global reduction aliasing a dat's first element) shadow the
+// dat's full storage out of the snapshot, so a rollback after a failed
+// attempt restored only the first few bytes.
+#include <gtest/gtest.h>
+
+#include "op2/op2.hpp"
+
+namespace {
+
+using op2::OP_ID;
+using op2::OP_INC;
+using op2::OP_READ;
+using op2::OP_WRITE;
+
+TEST(WriteTargets, SameDatViaTwoMapIndicesCollapsesToOne) {
+  auto cells = op2::op_decl_set(4, "cells");
+  auto edges = op2::op_decl_set(4, "edges");
+  const std::vector<int> table{0, 1, 1, 2, 2, 3, 3, 0};
+  auto pe = op2::op_decl_map(edges, cells, 2,
+                             std::span<const int>(table), "pe");
+  auto d = op2::op_decl_dat<double>(cells, 2, "double", "d");
+
+  auto frame = op2::detail::make_frame(
+      "two_idx", edges, [](double*, double*) {},
+      op2::op_arg_dat<double>(d, 0, pe, 2, OP_INC),
+      op2::op_arg_dat<double>(d, 1, pe, 2, OP_INC));
+  const auto targets = op2::detail::collect_write_targets(*frame);
+  ASSERT_EQ(targets.size(), 1u);
+  EXPECT_EQ(targets[0].bytes, d.raw_bytes().size());
+}
+
+TEST(WriteTargets, NarrowGlobalAliasingDatBaseKeepsWidestSpan) {
+  auto cells = op2::op_decl_set(8, "cells");
+  auto d = op2::op_decl_dat<double>(cells, 2, "double", "d");
+  double* aliased = d.data<double>().data();
+
+  // Narrow argument FIRST: the old base-pointer-only dedup kept the
+  // 8-byte global and silently dropped the dat's 128-byte storage.
+  auto frame = op2::detail::make_frame(
+      "alias_narrow_first", cells, [](double*, double*) {},
+      op2::op_arg_gbl<double>(aliased, 1, OP_INC),
+      op2::op_arg_dat<double>(d, -1, OP_ID, 2, OP_WRITE));
+  const auto targets = op2::detail::collect_write_targets(*frame);
+  ASSERT_EQ(targets.size(), 1u);
+  EXPECT_EQ(targets[0].bytes, d.raw_bytes().size());
+  EXPECT_EQ(static_cast<const void*>(targets[0].data),
+            static_cast<const void*>(aliased));
+}
+
+TEST(WriteTargets, WideFirstIsNotNarrowedByLaterAlias) {
+  auto cells = op2::op_decl_set(8, "cells");
+  auto d = op2::op_decl_dat<double>(cells, 2, "double", "d");
+  double* aliased = d.data<double>().data();
+
+  auto frame = op2::detail::make_frame(
+      "alias_wide_first", cells, [](double*, double*) {},
+      op2::op_arg_dat<double>(d, -1, OP_ID, 2, OP_WRITE),
+      op2::op_arg_gbl<double>(aliased, 1, OP_INC));
+  const auto targets = op2::detail::collect_write_targets(*frame);
+  ASSERT_EQ(targets.size(), 1u);
+  EXPECT_EQ(targets[0].bytes, d.raw_bytes().size());
+}
+
+TEST(WriteTargets, DistinctRegionsStaySeparateAndReadsAreSkipped) {
+  auto cells = op2::op_decl_set(4, "cells");
+  auto d1 = op2::op_decl_dat<double>(cells, 1, "double", "d1");
+  auto d2 = op2::op_decl_dat<double>(cells, 1, "double", "d2");
+  double g = 0.0;
+
+  auto frame = op2::detail::make_frame(
+      "distinct", cells, [](double*, double*, double*) {},
+      op2::op_arg_dat<double>(d1, -1, OP_ID, 1, OP_READ),
+      op2::op_arg_dat<double>(d2, -1, OP_ID, 1, OP_WRITE),
+      op2::op_arg_gbl<double>(&g, 1, OP_INC));
+  const auto targets = op2::detail::collect_write_targets(*frame);
+  ASSERT_EQ(targets.size(), 2u);  // d1 is read-only: not snapshotted
+  EXPECT_EQ(targets[0].name, "d2");
+  EXPECT_EQ(targets[1].name, "<global>");
+  EXPECT_EQ(targets[1].bytes, sizeof(double));
+}
+
+}  // namespace
