@@ -34,4 +34,10 @@ step "thread sanitizer: configure + build backend_smoke ($tsan_build)"
 cmake -S "$repo" -B "$tsan_build" -DOP2_SANITIZE=thread
 cmake --build "$tsan_build" -j "$jobs" --target backend_smoke
 
+step "thread sanitizer: reduction-merge contention (shared-global finalise)"
+# Lost-update stress cannot bite on a single-CPU host; TSan detects the
+# unsynchronised final combine deterministically regardless of core count.
+cmake --build "$tsan_build" -j "$jobs" --target test_op2
+"$tsan_build/tests/test_op2" --gtest_filter='PreparedContention.*'
+
 printf '\nAll checks passed.\n'

@@ -26,9 +26,12 @@
 // slots preallocated in the frame — one cache-line-strided slot per
 // hpxlite worker, per fork-join team member, plus one lock-guarded
 // overflow slot for foreign threads — reset before each invocation and
-// tree-merged into the caller's global at loop end.  No global lock is
-// taken on the hot path, so two concurrently-launched reducing loops no
-// longer serialise against each other.
+// tree-merged at loop end.  No global lock is taken on the hot
+// per-chunk path, so two concurrently-launched reducing loops no longer
+// serialise against each other; only the single final combine of the
+// merged partial into the caller's global buffer is serialised (see
+// global_merge_lock), because two loops may finalise into the same
+// global concurrently.
 //
 // The frame built here is the unit the prepared-loop layer
 // (op2/prepared_loop.hpp, included at the tail) caches: capture runs
@@ -40,6 +43,7 @@
 #include <algorithm>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <type_traits>
@@ -122,6 +126,19 @@ T reduction_combine(access acc, T a, T v) {
     default:  // OP_INC
       return a + v;
   }
+}
+
+/// Serialises the final combine of a loop's merged reduction partial
+/// into the caller's global buffer.  Per-worker slot accumulation and
+/// the tree merge are private to one frame and stay lock-free; only
+/// this last read-modify-write can race — an async replay overlapping
+/// a one-shot of the same call site, or two different loops reducing
+/// into one shared accumulator, both finalise into the same gbl
+/// pointer concurrently.  Taken once per reduction argument per loop
+/// completion, never per chunk, so it is not a throughput bottleneck.
+inline hpxlite::spinlock& global_merge_lock() {
+  static hpxlite::spinlock lock;
+  return lock;
 }
 
 /// Preallocated per-worker accumulation buffers for one global
@@ -239,8 +256,10 @@ struct loop_frame {
 
   /// Pairwise tree merge of the slots, then one combine of the result
   /// into the caller's global (loop_launch::finalize, after the last
-  /// chunk).  On one slot this degenerates to the sequential
-  /// gbl = combine(gbl, partial) the seed performed.
+  /// chunk); that final combine is serialised under global_merge_lock
+  /// against other loops finalising into the same global.  On one slot
+  /// this degenerates to the sequential gbl = combine(gbl, partial)
+  /// the seed performed.
   void merge_scratch() const {
     std::apply(
         [this](const auto&... b) {
@@ -315,6 +334,9 @@ struct loop_frame {
         }
       }
     }
+    // Another loop may be finalising into the same global right now;
+    // this read-modify-write must not lose its update.
+    std::lock_guard<hpxlite::spinlock> lock(global_merge_lock());
     for (int d = 0; d < b.dim; ++d) {
       b.gbl[d] = reduction_combine(b.acc, b.gbl[d], s.buf[d]);
     }

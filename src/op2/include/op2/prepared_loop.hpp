@@ -21,7 +21,9 @@
 //   - the runtime epoch matches (every op2::init/finalize bumps it —
 //     backend, threads, block_size, static_chunk, failure policy and
 //     worker-pool layout are all epoch-scoped),
-//   - the iteration set still has the size the plan was built for,
+//   - the iteration set still has the size and resize-version the
+//     plan was built for (op_set::resize bumps the version even when
+//     a later resize returns the set to its captured size),
 //   - every dat argument still has the storage version its raw views
 //     were bound against (op_dat::resize bumps it),
 //   - the same (name, set, dat/map/idx/dim/acc) argument identity is
@@ -103,6 +105,7 @@ template <typename Kernel, typename... T>
 struct prepared_entry {
   const void* set_id = nullptr;
   int set_size = 0;
+  std::uint64_t set_version = 0;
   std::uint64_t epoch = 0;
   std::array<arg_key, sizeof...(T)> keys{};
   std::array<std::uint64_t, sizeof...(T)> dat_versions{};
@@ -116,9 +119,12 @@ struct prepared_entry {
 };
 
 /// Releases an entry's in_flight flag on scope exit (exception-safe).
+/// release() disarms the guard once responsibility for clearing the
+/// flag has moved elsewhere (the async path's completion continuation).
 template <typename Entry>
 struct flight_guard {
   std::shared_ptr<Entry> entry;
+  void release() { entry.reset(); }
   ~flight_guard() {
     if (entry) {
       entry->in_flight.store(false, std::memory_order_release);
@@ -221,7 +227,7 @@ template <typename Kernel, typename... T>
 bool entry_valid(const prepared_entry<Kernel, T...>& e, const op_set& set,
                  const std::array<std::uint64_t, sizeof...(T)>& versions) {
   return e.epoch == prepared_epoch() && e.set_size == set.size() &&
-         e.dat_versions == versions;
+         e.set_version == set.version() && e.dat_versions == versions;
 }
 
 /// The classic one-shot build: always correct, used for cache misses,
@@ -246,10 +252,14 @@ std::shared_ptr<prepared_entry<Kernel, T...>> capture_entry(
   e->frame = make_frame(name, set, std::move(kernel), std::move(args)...);
   e->set_id = set.id();
   e->set_size = set.size();
+  e->set_version = set.version();
   e->epoch = prepared_epoch();
   e->launch = erase_frame(e->frame);
   // Replays must record without a string-keyed lookup, so the slot is
   // pinned at capture regardless of whether profiling is on right now.
+  // Deliberate: slots are never erased (stable addresses), so this is
+  // process-lifetime memory bounded by the number of distinct loop
+  // names — a handful of map nodes for any real application.
   e->launch.prof = profiling::acquire_slot(e->launch.name);
   profiling::record_capture(e->launch.name);
   return e;
@@ -323,33 +333,49 @@ hpxlite::future<void> run_prepared_async(
   if (auto found = cache->find(name, set.id(), keys);
       found && entry_valid(*found, set, versions)) {
     bool expected = false;
-    if (found->in_flight.compare_exchange_strong(expected, true,
-                                                 std::memory_order_acq_rel)) {
-      e = std::move(found);
-      e->frame->kernel.emplace(std::move(kernel));
-      rebind_globals_impl(*e->frame, std::forward_as_tuple(args...),
-                          std::index_sequence_for<T...>{});
-      if (policy.enabled()) {
-        e->launch.writes = collect_write_targets(*e->frame);
-      }
-      profiling::record_replay(e->launch.prof);
-    } else {
+    if (!found->in_flight.compare_exchange_strong(
+            expected, true, std::memory_order_acq_rel)) {
+      // The entry is mid-execution (async overlap with ourselves):
+      // run this invocation unshared.
       return launch_loop_protected(
           exec,
           one_shot_launch(std::move(kernel), name, set, std::move(args)...),
           policy);
     }
+    e = std::move(found);
+  }
+  // Armed from here until the clearing continuation is attached: a
+  // throw anywhere below (rebinding, write-target collection, a
+  // synchronously-failing launch, the continuation allocation) must
+  // not leave in_flight latched, or this entry would bounce every
+  // future invocation to the one-shot path for the rest of the run.
+  flight_guard<prepared_entry<Kernel, T...>> guard{e};
+  if (e) {
+    e->frame->kernel.emplace(std::move(kernel));
+    rebind_globals_impl(*e->frame, std::forward_as_tuple(args...),
+                        std::index_sequence_for<T...>{});
+    if (policy.enabled()) {
+      e->launch.writes = collect_write_targets(*e->frame);
+    }
+    profiling::record_replay(e->launch.prof);
   } else {
     e = capture_entry(keys, std::move(kernel), name, set,
                       std::move(args)...);
     e->in_flight.store(true, std::memory_order_release);
+    guard.entry = e;
     cache->store(e);
   }
   auto done = launch_loop_protected(exec, e->launch, policy);
-  return done.then([e](hpxlite::future<void>&& f) {
+  auto chained = done.then([e](hpxlite::future<void>&& f) {
     e->in_flight.store(false, std::memory_order_release);
     f.get();
   });
+  // The continuation now owns clearing in_flight; disarm the guard.
+  // (If the loop already finished and the continuation already ran,
+  // the guard would merely store false a second time — harmless —
+  // but disarming keeps the clear single-sourced.)
+  guard.release();
+  return chained;
 }
 
 }  // namespace detail

@@ -14,9 +14,16 @@
 //     async and dataflow APIs;
 //   - two concurrently replaying reduction loops don't corrupt each
 //     other's accumulators (the per-loop/per-worker slot design that
-//     replaced the global reduction lock).
+//     replaced the global reduction lock);
+//   - two loops finalising concurrently into the SAME global — two
+//     distinct loops sharing one accumulator, and an async replay
+//     overlapping its own call site (replay + one-shot fallback) —
+//     lose no updates (the serialised final combine).
 #include <gtest/gtest.h>
 
+#include <array>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <numeric>
@@ -42,6 +49,31 @@ void edge_gather(const double* a, const double* b, double* out) {
 void sum_to(const double* x, double* acc) { acc[0] += x[0]; }
 
 void sum_sq(const double* x, double* acc) { acc[0] += x[0] * x[0]; }
+
+void count_one(double* acc) { acc[0] += 1.0; }
+
+// Wide reduction with a rendezvous: each kernel invocation waits (with
+// a deadline, so an under-provisioned pool degrades instead of
+// hanging) until all loops of the round have started, so the loops
+// complete — and finalise into the shared global — at the same moment.
+// The wide combine gives concurrent finalises a real window to collide
+// in; without the serialised final combine this loses updates within a
+// few rounds.
+constexpr int kWideDim = 256;
+constexpr int kShareLoops = 4;  // == worker count: all can spin at once
+std::atomic<int> rendezvous_started{0};
+
+void sum_wide_rendezvous(const double* x, double* acc) {
+  rendezvous_started.fetch_add(1, std::memory_order_acq_rel);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(1);
+  while (rendezvous_started.load(std::memory_order_acquire) < kShareLoops &&
+         std::chrono::steady_clock::now() < deadline) {
+  }
+  for (int j = 0; j < kWideDim; ++j) {
+    acc[j] += x[0];
+  }
+}
 
 struct ring_mesh {
   op_set cells;
@@ -469,6 +501,108 @@ TEST(PreparedContention, TwoConcurrentReducingLoopsStayIndependent) {
     }
   }
   op2::finalize();
+}
+
+// Several *different* loops accumulating into ONE shared global: their
+// per-worker scratch is independent, but every finalize combines into
+// the same caller buffer from whichever worker completes the loop.
+// That last read-modify-write must be serialised (global_merge_lock)
+// or near-simultaneous completions lose updates.
+TEST(PreparedContention, ConcurrentLoopsSharingOneGlobalLoseNoUpdates) {
+  op2::init(make_config("hpx_async", kShareLoops, 16));
+  {
+    constexpr int kRounds = 100;
+    std::vector<op_set> sets;
+    std::vector<op_dat> dats;
+    const std::vector<double> one(1, 1.0);
+    for (int i = 0; i < kShareLoops; ++i) {
+      // One element per loop: the whole loop is one kernel call, so the
+      // rendezvous aligns the loops' completions exactly.
+      sets.push_back(op_decl_set(1, "s" + std::to_string(i)));
+      dats.push_back(op_decl_dat<double>(sets.back(), 1, "double",
+                                         std::span<const double>(one),
+                                         "d" + std::to_string(i)));
+    }
+    std::array<loop_handle, kShareLoops> handles;
+    for (int round = 0; round < kRounds; ++round) {
+      std::vector<double> total(kWideDim, 0.0);
+      rendezvous_started.store(0, std::memory_order_release);
+      std::vector<hpxlite::future<void>> fs;
+      fs.reserve(kShareLoops);
+      for (int i = 0; i < kShareLoops; ++i) {
+        fs.push_back(op_par_loop_async(
+            handles[static_cast<std::size_t>(i)], sum_wide_rendezvous,
+            "shared_gbl", sets[static_cast<std::size_t>(i)],
+            op_arg_dat<double>(dats[static_cast<std::size_t>(i)], -1, OP_ID,
+                               1, OP_READ),
+            op_arg_gbl<double>(total.data(), kWideDim, OP_INC)));
+      }
+      for (auto& f : fs) {
+        f.get();
+      }
+      // Integer-valued sums: exact regardless of merge order.
+      for (int j = 0; j < kWideDim; ++j) {
+        ASSERT_EQ(total[static_cast<std::size_t>(j)],
+                  static_cast<double>(kShareLoops))
+            << "round " << round << " component " << j;
+      }
+    }
+  }
+  op2::finalize();
+}
+
+// Async overlap of one call site with itself: the first invocation
+// replays the prepared entry, the second finds it in flight and runs
+// one-shot — two frames, one shared global, concurrent finalise.
+TEST(PreparedContention, OverlappingSameSiteInvocationsLoseNoUpdates) {
+  op2::init(make_config("hpx_async", 4, 16));
+  {
+    auto s1 = op_decl_set(4096, "s1");
+    std::vector<double> ones(4096, 1.0);
+    auto d1 = op_decl_dat<double>(s1, 1, "double",
+                                  std::span<const double>(ones), "d1");
+    loop_handle h;
+    constexpr int kRounds = 100;
+    for (int round = 0; round < kRounds; ++round) {
+      double total = 0.0;
+      auto f1 = op_par_loop_async(
+          h, sum_to, "overlap_gbl", s1,
+          op_arg_dat<double>(d1, -1, OP_ID, 1, OP_READ),
+          op_arg_gbl<double>(&total, 1, OP_INC));
+      auto f2 = op_par_loop_async(
+          h, sum_to, "overlap_gbl", s1,
+          op_arg_dat<double>(d1, -1, OP_ID, 1, OP_READ),
+          op_arg_gbl<double>(&total, 1, OP_INC));
+      f1.get();
+      f2.get();
+      ASSERT_EQ(total, 2.0 * 4096.0) << "round " << round;
+    }
+  }
+  op2::finalize();
+}
+
+// op_set::resize must force re-capture even when a later resize
+// returns the set to its captured size.  A global-only loop isolates
+// the check: no dat version changes, the size matches the captured
+// plan again, and only the set's resize-version says it went stale.
+TEST_F(PreparedLoopTest, SetResizeRoundTripStillForcesRecapture) {
+  auto cells = op_decl_set(64, "cells");
+  loop_handle h;
+  double total = 0.0;
+  const auto run = [&] {
+    op_par_loop(h, count_one, "pl_roundtrip", cells,
+                op_arg_gbl<double>(&total, 1, OP_INC));
+  };
+  run();
+  run();
+  EXPECT_EQ(profile_of("pl_roundtrip").captures, 1u);
+  // Shrink and grow back to 64: size matches the captured entry again,
+  // but the resize-version does not.
+  cells.resize(32);
+  cells.resize(64);
+  run();
+  EXPECT_EQ(profile_of("pl_roundtrip").captures, 2u);
+  EXPECT_EQ(total, 3.0 * 64.0);
 }
 
 }  // namespace
