@@ -17,8 +17,18 @@
 namespace {
 
 double real_airfoil_seconds(std::size_t static_chunk) {
-  op2::init({op2::backend::hpx_foreach, 2, 128, static_chunk});
+  op2::config cfg{op2::backend::hpx_foreach, 2, 128, static_chunk};
+  // This ablation compares *fixed* chunkers against the serial-probe
+  // auto-partitioner; keep the adaptive tuner out of the arms (it has
+  // its own ablation, ablation_tuner).
+  cfg.tuner = op2::tuner_mode::off;
+  op2::init(cfg);
   auto s = airfoil::make_sim(airfoil::generate_mesh({96, 24}));
+  // Warm the prepared handles first (mirrors model_adapter): the
+  // measured window compares steady-state replays across chunk sizes,
+  // not the one-time capture cost of a cold op_par_loop call site.
+  airfoil::run_classic(s, 1);
+  airfoil::reset_solution(s);
   const auto r = airfoil::run_classic(s, 4);
   op2::finalize();
   return r.seconds;

@@ -1,0 +1,130 @@
+// Ablation: adaptive grain tuner vs the serial-probe auto-partitioner
+// vs a fixed static chunk, on the real airfoil loops.
+//
+// The auto-partitioner (§III-A1) pays a sequential ~1% probe on every
+// for_each; the prepared-loop pipeline made replay the steady state, so
+// that probe is repeated pure overhead.  The adaptive arm replaces it
+// with a per-(loop × backend × threads) grain controller fed by replay
+// wall times: it explores a geometric chunk ladder for a bounded number
+// of replays, then locks.
+//
+// Three arms, same mesh and iteration count, each measured over a
+// warmed steady-state window:
+//   static:64  — fixed chunk, no probe, no adaptation
+//   auto-probe — OP2_TUNER=off + auto chunker (pre-PR behaviour)
+//   adaptive   — OP2_TUNER=on (this PR's default)
+//
+// Exit code: non-zero if the adaptive arm fails its *deterministic*
+// acceptance property — every tuned airfoil loop (res_calc and update
+// included) must reach a converged controller within 32 probing
+// replays.  Throughput is printed for comparison but not gated: this
+// may be a one-core box where wall-clock ratios are noise.
+#include <cstdio>
+#include <string>
+
+#include "figure_common.hpp"
+#include "op2/tuner.hpp"
+
+namespace {
+
+struct arm_result {
+  double seconds = 0.0;
+  double loops_per_sec = 0.0;
+};
+
+constexpr int kWarmupIters = 1;
+constexpr int kMeasuredIters = 40;
+// Airfoil runs 2 inner RK phases: 5 loop sites, some invoked twice per
+// outer iteration — the measured window replays each site 40..80 times,
+// comfortably past the controller's 32-feed convergence bound.
+constexpr double kLoopsPerIter = 9.0;  // save + 2*(adt+res+bres+update)
+
+arm_result run_arm(op2::tuner_mode mode, std::size_t static_chunk,
+                   std::vector<op2::tuner::entry_info>* controllers = nullptr) {
+  op2::config cfg{op2::backend::hpx_foreach, 2, 128, static_chunk};
+  cfg.tuner = mode;
+  op2::init(cfg);
+  auto s = airfoil::make_sim(airfoil::generate_mesh({96, 24}));
+  // Steady state: capture happens in the warmup, the measured window
+  // sees only replays (plus the adaptive arm's bounded exploration).
+  airfoil::run_classic(s, kWarmupIters);
+  airfoil::reset_solution(s);
+  const auto r = airfoil::run_classic(s, kMeasuredIters);
+  if (controllers != nullptr) {
+    // Before finalize: the epoch bump sends converged controllers back
+    // to probing for re-verification, which would mask what this run's
+    // exploration actually achieved.
+    *controllers = op2::tuner::snapshot();
+  }
+  op2::finalize();
+  arm_result out;
+  out.seconds = r.seconds;
+  out.loops_per_sec =
+      r.seconds > 0.0 ? kLoopsPerIter * kMeasuredIters / r.seconds : 0.0;
+  return out;
+}
+
+/// True once the controller has locked a chunk at least once this run.
+/// A drift re-probe may be in progress at snapshot time (wall-time
+/// noise on a loaded box); that still means "converged, re-verifying",
+/// not "failed to converge" — visible as this probing episode being
+/// younger than the controller's lifetime exploration count.
+bool converged_once(const op2::tuner::entry_info& e) {
+  return e.state == hpxlite::grain_controller::state::converged ||
+         e.total_probe_feeds > e.probe_feeds;
+}
+
+}  // namespace
+
+int main() {
+  figures::print_header(
+      "Ablation: adaptive grain tuner vs auto-probe vs static chunk",
+      "[real] Airfoil on this machine, hpx_foreach, 2 workers, 40 "
+      "steady-state iterations per arm");
+
+  std::printf("%12s %12s %14s\n", "arm", "seconds", "loops/sec");
+  const auto fixed = run_arm(op2::tuner_mode::off, 64);
+  std::printf("%12s %12.4f %14.0f\n", "static:64", fixed.seconds,
+              fixed.loops_per_sec);
+  const auto probe = run_arm(op2::tuner_mode::off, 0);
+  std::printf("%12s %12.4f %14.0f\n", "auto-probe", probe.seconds,
+              probe.loops_per_sec);
+
+  // Fresh controllers for the adaptive arm, so the convergence report
+  // below reflects exactly this run's exploration.
+  op2::tuner::reset();
+  std::vector<op2::tuner::entry_info> controllers;
+  const auto adaptive = run_arm(op2::tuner_mode::on, 0, &controllers);
+  std::printf("%12s %12.4f %14.0f\n", "adaptive", adaptive.seconds,
+              adaptive.loops_per_sec);
+  if (probe.seconds > 0.0 && adaptive.seconds > 0.0) {
+    std::printf("adaptive vs auto-probe steady-state speedup: %.3fx\n",
+                probe.seconds / adaptive.seconds);
+  }
+
+  std::printf("\nper-loop controllers (adaptive arm):\n");
+  std::printf("%12s %8s %12s %18s\n", "loop", "chunk", "state",
+              "convergence_iter");
+  bool saw_res_calc = false;
+  bool saw_update = false;
+  bool ok = true;
+  for (const auto& e : controllers) {
+    const bool good = converged_once(e) && e.probe_feeds <= 32;
+    std::printf("%12s %8zu %12s %18llu%s\n", e.loop.c_str(), e.chunk,
+                hpxlite::to_string(e.state),
+                static_cast<unsigned long long>(e.probe_feeds),
+                good ? "" : "   <- NOT CONVERGED");
+    saw_res_calc = saw_res_calc || e.loop == "res_calc";
+    saw_update = saw_update || e.loop == "update";
+    ok = ok && good;
+  }
+  ok = ok && saw_res_calc && saw_update;
+  if (!ok) {
+    std::printf("FAIL: adaptive controllers for the airfoil loops "
+                "(incl. res_calc, update) must converge within 32 "
+                "replays\n");
+    return 1;
+  }
+  std::printf("OK: all controllers converged within 32 replays\n");
+  return 0;
+}

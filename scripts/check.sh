@@ -27,8 +27,18 @@ ctest --test-dir "$build" --output-on-failure
 step "resilience: ctest -L fault"
 ctest --test-dir "$build" -L fault --output-on-failure
 
+step "adaptive grain tuner: ctest -L tuner"
+ctest --test-dir "$build" -L tuner --output-on-failure
+
 step "launch path: prepared-loop replay gate (zero allocs, no plan lookups)"
-"$build/bench/launch_overhead"
+# Both tuner arms: OP2_TUNER=off must reproduce the pre-tuner replay
+# sequence exactly, and the default (on) must keep the steady-state
+# gate clean too.
+OP2_TUNER=off "$build/bench/launch_overhead"
+OP2_TUNER=on "$build/bench/launch_overhead"
+
+step "adaptive grain tuner: convergence within 32 replays (ablation_tuner)"
+"$build/bench/ablation_tuner"
 
 step "thread sanitizer: configure + build backend_smoke ($tsan_build)"
 cmake -S "$repo" -B "$tsan_build" -DOP2_SANITIZE=thread

@@ -61,7 +61,7 @@ auto async(launch policy, F&& f, Args&&... args)
       break;
     }
     case launch::async: {
-      runtime::get().submit(
+      ambient_runtime().submit(
           [state, work = std::move(bound)]() mutable {
             detail::fulfil_from_invoke(state, std::move(work));
           });
@@ -82,7 +82,7 @@ auto async(F&& f, Args&&... args) {
 /// HPX terminology) — fire-and-forget.
 template <typename F, typename... Args>
 void post(F&& f, Args&&... args) {
-  runtime::get().submit(
+  ambient_runtime().submit(
       [fn = std::decay_t<F>(std::forward<F>(f)),
        tup = std::tuple<std::decay_t<Args>...>(
            std::forward<Args>(args)...)]() mutable {

@@ -189,12 +189,23 @@ auto dataflow(launch policy, F&& f, Ts&&... args) ->
           policy(policy_) {}
 
     void run() {
-      if (policy == launch::async && runtime::exists()) {
+      if (policy == launch::async) {
         auto self = this->shared_from_this_hack;
-        runtime::get().submit([self] { unwrapper::fulfil(self->state, self->fn, self->args); });
-      } else {
-        unwrapper::fulfil(state, fn, args);
+        // Prefer the arming worker's own pool (stays valid during a
+        // teardown drain); fall back to the default instance, or run
+        // inline when no runtime is up.
+        if (runtime* rt = runtime::current()) {
+          rt->submit(
+              [self] { unwrapper::fulfil(self->state, self->fn, self->args); });
+          return;
+        }
+        if (runtime::exists()) {
+          runtime::get().submit(
+              [self] { unwrapper::fulfil(self->state, self->fn, self->args); });
+          return;
+        }
       }
+      unwrapper::fulfil(state, fn, args);
     }
 
     std::shared_ptr<frame> shared_from_this_hack;

@@ -200,10 +200,13 @@ class shared_state {
         return;
       }
     }
-    if (runtime::exists() && runtime::on_worker_thread()) {
-      runtime& rt = runtime::get();
+    if (runtime* rt = runtime::current()) {
+      // Help on the calling worker's own pool — resolved via TLS, not
+      // the default-instance registry, so the no-deadlock invariant
+      // holds for tasks still executing while their pool drains for
+      // teardown (and for workers of non-default runtimes).
       while (!is_ready()) {
-        if (!rt.try_execute_one()) {
+        if (!rt->try_execute_one()) {
           std::this_thread::yield();
         }
       }
@@ -235,13 +238,12 @@ class shared_state {
       }
     }
     const auto deadline = std::chrono::steady_clock::now() + timeout;
-    if (runtime::exists() && runtime::on_worker_thread()) {
-      runtime& rt = runtime::get();
+    if (runtime* rt = runtime::current()) {
       while (!is_ready()) {
         if (std::chrono::steady_clock::now() >= deadline) {
           return is_ready();
         }
-        if (!rt.try_execute_one()) {
+        if (!rt->try_execute_one()) {
           std::this_thread::yield();
         }
       }
@@ -292,11 +294,20 @@ class shared_state {
   };
 
   static void dispatch(task_function fn, continuation_mode mode) {
-    if (mode == continuation_mode::scheduled && runtime::exists()) {
-      runtime::get().submit(std::move(fn));
-    } else {
-      fn();
+    if (mode == continuation_mode::scheduled) {
+      // Prefer the completing worker's own pool (valid even while that
+      // pool is draining for teardown); fall back to the default
+      // instance, and run inline when no runtime is available.
+      if (runtime* rt = runtime::current()) {
+        rt->submit(std::move(fn));
+        return;
+      }
+      if (runtime::exists()) {
+        runtime::get().submit(std::move(fn));
+        return;
+      }
     }
+    fn();
   }
 
   void run_continuations(std::vector<pending_continuation> conts) {

@@ -20,6 +20,7 @@
 #include "hpxlite/execution.hpp"
 #include "hpxlite/fork_join_team.hpp"
 #include "hpxlite/future.hpp"
+#include "hpxlite/grain_controller.hpp"
 #include "hpxlite/irange.hpp"
 #include "hpxlite/parallel_algorithm.hpp"
 #include "hpxlite/parallel_scan.hpp"

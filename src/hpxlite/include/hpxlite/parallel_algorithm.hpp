@@ -25,6 +25,7 @@
 
 #include "hpxlite/execution.hpp"
 #include "hpxlite/future.hpp"
+#include "hpxlite/grain_controller.hpp"
 #include "hpxlite/scheduler.hpp"
 
 namespace hpxlite::parallel {
@@ -80,16 +81,25 @@ std::pair<std::size_t, std::size_t> pick_static_chunk(
   if (const auto* st = std::get_if<static_chunk_size>(&spec)) {
     return {st->size, 0};
   }
+  if (const auto* ad = std::get_if<adaptive_chunk_size>(&spec)) {
+    if (ad->controller) {
+      return {ad->controller->chunk(n, workers), 0};
+    }
+    // No controller attached: behave like reduce's normalisation.
+    const std::size_t fallback =
+        n / (4 * static_cast<std::size_t>(workers));
+    return {fallback == 0 ? 1 : fallback, 0};
+  }
   const auto& ac = std::get<auto_chunk_size>(spec);
   // The paper: "the auto-partitioner algorithm ... estimates the chunk
   // size by sequentially executing 1% of the loop".
   std::size_t probe = static_cast<std::size_t>(
       static_cast<double>(n) * ac.measure_fraction);
-  if (probe == 0) {
-    probe = 1;
-  }
-  if (probe > n) {
-    probe = n;
+  if (probe == 0 || probe > n) {
+    // The set is too small for the probe fraction to cover even one
+    // iteration — a timed sample would be all overhead and no signal.
+    // Skip the probe entirely and run the whole range as one chunk.
+    return {n == 0 ? 1 : n, 0};
   }
   const auto t0 = std::chrono::steady_clock::now();
   run_prefix(probe);
@@ -128,7 +138,7 @@ future<void> run_chunked(const chunk_spec& spec, std::size_t n,
   if (n == 0) {
     return make_ready_future();
   }
-  runtime& rt = runtime::get();
+  runtime& rt = ambient_runtime();
   const unsigned workers = rt.concurrency();
 
   // Dynamic and guided chunkers share a pull model: `workers` tasks
@@ -354,11 +364,14 @@ future<T> reduce_chunked(const chunk_spec& spec, std::size_t n, T init, Op op,
   // chunk owns its slot.  We need the chunk count up front, so reduce
   // always uses an up-front static partition (auto/dynamic chunkers are
   // normalised to a static one sized for the worker count).
-  runtime& rt = runtime::get();
+  runtime& rt = ambient_runtime();
   const unsigned workers = rt.concurrency();
   std::size_t chunk;
   if (const auto* st = std::get_if<static_chunk_size>(&spec)) {
     chunk = st->size;
+  } else if (const auto* ad = std::get_if<adaptive_chunk_size>(&spec);
+             ad && ad->controller) {
+    chunk = ad->controller->chunk(n, workers);
   } else {
     chunk = n / (4 * static_cast<std::size_t>(workers));
     if (chunk == 0) {

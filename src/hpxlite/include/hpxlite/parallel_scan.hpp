@@ -49,7 +49,7 @@ Out scan_impl(const chunk_spec& spec, It first, It last, Out out, T init,
   if (n == 0) {
     return out;
   }
-  runtime& rt = runtime::get();
+  runtime& rt = ambient_runtime();
   const unsigned workers = rt.concurrency();
 
   // Fixed chunking (scan needs chunk boundaries known up front).

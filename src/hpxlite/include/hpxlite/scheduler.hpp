@@ -87,6 +87,13 @@ class runtime {
   /// True when the calling thread is one of this runtime's workers.
   static bool on_worker_thread() noexcept;
 
+  /// The runtime whose worker pool the calling thread belongs to, or
+  /// nullptr on non-worker threads.  Unlike get(), this never touches
+  /// the default-instance registry: it stays valid (and lock-free) for
+  /// tasks executing while their pool is being drained for teardown,
+  /// and it is the *right* pool for workers of a non-default runtime.
+  static runtime* current() noexcept;
+
   /// Index of the calling worker thread, or unsigned(-1).
   static unsigned worker_index() noexcept;
 
@@ -126,6 +133,19 @@ class runtime {
 
   std::vector<std::thread> threads_;
 };
+
+/// The pool ambient to the calling thread: a worker thread gets its own
+/// pool (even while that pool drains for teardown, and even when it is
+/// not the default instance); any other thread gets the default
+/// instance, created on demand.  Work spawned by a task thereby lands
+/// on the pool executing the task, never on a pool conjured up through
+/// the registry mid-teardown.
+inline runtime& ambient_runtime() {
+  if (runtime* rt = runtime::current()) {
+    return *rt;
+  }
+  return runtime::get();
+}
 
 /// RAII helper for tests/benchmarks: replaces the default runtime with
 /// an N-worker pool for the scope, restoring nothing on exit (the next

@@ -46,10 +46,11 @@ class latch {
   /// Blocks until the count reaches zero; worker threads execute queued
   /// tasks while waiting.
   void wait() const {
-    if (runtime::exists() && runtime::on_worker_thread()) {
-      runtime& rt = runtime::get();
+    if (runtime* rt = runtime::current()) {
+      // Help on the caller's own pool (TLS, registry-independent — see
+      // shared_state::wait for why this matters during teardown).
       while (!try_wait()) {
-        if (!rt.try_execute_one()) {
+        if (!rt->try_execute_one()) {
           std::this_thread::yield();
         }
       }
@@ -102,10 +103,9 @@ class barrier {
       std::lock_guard<std::mutex> lock(mutex_);
       return generation_ != my_generation;
     };
-    if (runtime::exists() && runtime::on_worker_thread()) {
-      runtime& rt = runtime::get();
+    if (runtime* rt = runtime::current()) {
       while (!passed()) {
-        if (!rt.try_execute_one()) {
+        if (!rt->try_execute_one()) {
           std::this_thread::yield();
         }
       }

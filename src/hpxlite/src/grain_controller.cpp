@@ -1,0 +1,240 @@
+#include "hpxlite/grain_controller.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+namespace hpxlite {
+
+namespace {
+
+std::size_t clamp_chunk(std::size_t chunk, std::size_t n) {
+  const std::size_t hi = n == 0 ? 1 : n;
+  return std::clamp<std::size_t>(chunk, 1, hi);
+}
+
+}  // namespace
+
+const char* to_string(grain_controller::state s) {
+  switch (s) {
+    case grain_controller::state::probing:
+      return "probing";
+    case grain_controller::state::converged:
+      return "converged";
+    default:
+      return "frozen";
+  }
+}
+
+std::shared_ptr<grain_controller> grain_controller::converged_at(
+    std::size_t chunk, options opt) {
+  auto c = std::make_shared<grain_controller>(opt);
+  std::lock_guard<spinlock> lock(c->lock_);
+  c->chunk_ = chunk == 0 ? 1 : chunk;
+  c->best_chunk_ = c->chunk_;
+  c->state_ = state::converged;
+  c->converged_time_ = -1.0;  // baseline learned from the first feed
+  return c;
+}
+
+std::size_t grain_controller::chunk(std::size_t n, unsigned workers) {
+  std::lock_guard<spinlock> lock(lock_);
+  if (chunk_ == 0) {
+    seed_locked(n, workers);
+  } else if (n_ref_ == 0) {
+    // Cache-seeded controller meeting its loop for the first time.
+    n_ref_ = n;
+    workers_ref_ = workers;
+  } else if (state_ != state::frozen &&
+             (n > n_ref_ + n_ref_ / 2 || n + n_ref_ / 2 < n_ref_)) {
+    // The iteration space moved by more than half: the learned chunk
+    // no longer partitions the same ladder — relearn for the new n.
+    seed_locked(n, workers);
+  }
+  chunk_ = clamp_chunk(chunk_, n);
+  return chunk_;
+}
+
+void grain_controller::feed(double seconds) {
+  std::lock_guard<spinlock> lock(lock_);
+  ++total_feeds_;
+  if (state_ == state::frozen || chunk_ == 0) {
+    return;
+  }
+  if (state_ == state::converged) {
+    if (converged_time_ <= 0.0) {
+      converged_time_ = seconds;  // warm start: first feed is baseline
+      return;
+    }
+    if (seconds >
+        converged_time_ * (1.0 + opt_.regression_threshold)) {
+      if (++strikes_ >= opt_.regression_strikes) {
+        state_ = state::probing;
+        if (best_chunk_ != 0) {
+          chunk_ = best_chunk_;
+        }
+        best_time_ = -1.0;
+        direction_ = +1;
+        reversed_ = false;
+        sample_count_ = 0;
+        probe_feeds_ = 0;
+        strikes_ = 0;
+      }
+      return;
+    }
+    strikes_ = 0;
+    converged_time_ = std::min(converged_time_, seconds);
+    return;
+  }
+  // Probing: accumulate samples for the current candidate.
+  ++probe_feeds_;
+  ++total_probe_feeds_;
+  sample_min_ =
+      sample_count_ == 0 ? seconds : std::min(sample_min_, seconds);
+  ++sample_count_;
+  if (probe_feeds_ >=
+      static_cast<std::uint64_t>(std::max(1, opt_.max_probe_feeds))) {
+    // Hard convergence bound: lock the best seen (the in-progress
+    // candidate counts if it beat it).
+    if (best_time_ < 0.0 || sample_min_ < best_time_) {
+      best_chunk_ = chunk_;
+      best_time_ = sample_min_;
+    }
+    converge_locked();
+    return;
+  }
+  if (sample_count_ < std::max(1, opt_.samples_per_candidate)) {
+    return;
+  }
+  const double candidate_time = sample_min_;
+  sample_count_ = 0;
+  advance_locked(candidate_time);
+}
+
+void grain_controller::advance_locked(double candidate_time) {
+  const std::size_t hi = n_ref_ == 0 ? chunk_ : n_ref_;
+  const auto step = [&](std::size_t from) -> std::size_t {
+    return direction_ > 0 ? from * 2 : from / 2;
+  };
+  const auto in_range = [&](std::size_t c) { return c >= 1 && c <= hi; };
+
+  const bool improved =
+      best_time_ < 0.0 ||
+      candidate_time < best_time_ * (1.0 - opt_.improve_margin);
+  if (improved) {
+    best_chunk_ = chunk_;
+    best_time_ = candidate_time;
+    const std::size_t next = step(chunk_);
+    if (in_range(next) && next != chunk_) {
+      chunk_ = next;
+      return;
+    }
+    // Ran off the ladder in this direction; fall through to reversal.
+  }
+  if (!reversed_) {
+    reversed_ = true;
+    direction_ = -direction_;
+    const std::size_t next = step(best_chunk_);
+    if (in_range(next) && next != best_chunk_ && next != chunk_) {
+      chunk_ = next;
+      return;
+    }
+  }
+  converge_locked();
+}
+
+void grain_controller::converge_locked() {
+  if (best_chunk_ != 0) {
+    chunk_ = best_chunk_;
+  }
+  state_ = state::converged;
+  converged_time_ = best_time_;
+  strikes_ = 0;
+  sample_count_ = 0;
+  // probe_feeds_ is left as the convergence iteration count.
+}
+
+void grain_controller::seed_locked(std::size_t n, unsigned workers) {
+  n_ref_ = n;
+  workers_ref_ = workers == 0 ? 1 : workers;
+  std::size_t seed = opt_.seed_chunk;
+  if (seed == 0) {
+    seed = n / (4 * static_cast<std::size_t>(workers_ref_));
+  }
+  chunk_ = clamp_chunk(seed, n);
+  if (state_ != state::frozen) {
+    state_ = state::probing;
+  }
+  best_chunk_ = 0;
+  best_time_ = -1.0;
+  direction_ = +1;
+  reversed_ = false;
+  sample_count_ = 0;
+  probe_feeds_ = 0;
+  strikes_ = 0;
+}
+
+void grain_controller::freeze() {
+  std::lock_guard<spinlock> lock(lock_);
+  state_ = state::frozen;
+}
+
+void grain_controller::reprobe() {
+  std::lock_guard<spinlock> lock(lock_);
+  if (state_ != state::converged) {
+    return;
+  }
+  state_ = state::probing;
+  if (best_chunk_ != 0) {
+    chunk_ = best_chunk_;
+  }
+  best_time_ = -1.0;
+  direction_ = +1;
+  reversed_ = false;
+  sample_count_ = 0;
+  probe_feeds_ = 0;
+  strikes_ = 0;
+}
+
+void grain_controller::reset() {
+  std::lock_guard<spinlock> lock(lock_);
+  state_ = state::probing;
+  chunk_ = 0;
+  n_ref_ = 0;
+  workers_ref_ = 1;
+  best_chunk_ = 0;
+  best_time_ = -1.0;
+  direction_ = +1;
+  reversed_ = false;
+  sample_count_ = 0;
+  sample_min_ = 0.0;
+  converged_time_ = 0.0;
+  strikes_ = 0;
+  probe_feeds_ = 0;
+}
+
+grain_controller::state grain_controller::current_state() const {
+  std::lock_guard<spinlock> lock(lock_);
+  return state_;
+}
+
+std::size_t grain_controller::current_chunk() const {
+  std::lock_guard<spinlock> lock(lock_);
+  return chunk_;
+}
+
+std::uint64_t grain_controller::probe_feeds() const {
+  std::lock_guard<spinlock> lock(lock_);
+  return probe_feeds_;
+}
+
+std::uint64_t grain_controller::total_probe_feeds() const {
+  std::lock_guard<spinlock> lock(lock_);
+  return total_probe_feeds_;
+}
+
+std::uint64_t grain_controller::total_feeds() const {
+  std::lock_guard<spinlock> lock(lock_);
+  return total_feeds_;
+}
+
+}  // namespace hpxlite

@@ -67,15 +67,34 @@ bool runtime::exists() {
   return g_instance != nullptr;
 }
 
+// Draining a pool must happen OUTSIDE g_instance_mutex: ~runtime blocks
+// in wait_idle() until every in-flight task finishes, and a finishing
+// task's continuation dispatch calls exists()/get() — which take the
+// same mutex.  Holding it across the drain deadlocks shutdown against
+// the very task it is waiting for.  Detaching the instance first keeps
+// the registry lookups cheap and safe during the drain: work spawned by
+// in-flight tasks lands back on the draining pool via the thread-local
+// runtime::current(), while non-worker threads see exists() == false
+// and run continuations inline.
+
 void runtime::reset(unsigned num_workers) {
+  std::unique_ptr<runtime> old;
+  {
+    std::lock_guard<std::mutex> lock(g_instance_mutex);
+    old = std::move(g_instance);
+  }
+  old.reset();  // drains and joins the old pool, mutex released
   std::lock_guard<std::mutex> lock(g_instance_mutex);
-  g_instance.reset();  // drains and joins the old pool first
   g_instance = std::make_unique<runtime>(num_workers);
 }
 
 void runtime::shutdown() {
-  std::lock_guard<std::mutex> lock(g_instance_mutex);
-  g_instance.reset();
+  std::unique_ptr<runtime> old;
+  {
+    std::lock_guard<std::mutex> lock(g_instance_mutex);
+    old = std::move(g_instance);
+  }
+  old.reset();  // drains and joins, mutex released
 }
 
 void runtime::submit(task_function task) {
@@ -218,6 +237,8 @@ void runtime::worker_loop(unsigned index) {
 }
 
 bool runtime::on_worker_thread() noexcept { return tls_runtime != nullptr; }
+
+runtime* runtime::current() noexcept { return tls_runtime; }
 
 unsigned runtime::worker_index() noexcept { return tls_worker_index; }
 

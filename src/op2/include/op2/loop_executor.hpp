@@ -57,6 +57,10 @@ struct executor_caps {
   bool needs_forkjoin_team = false;
   /// op2::init must reset the hpxlite worker pool to config::threads.
   bool needs_hpx_runtime = false;
+  /// The executor's schedule actually varies with loop_launch::chunk
+  /// (seq runs one range regardless, so it does not); gates the
+  /// adaptive grain tuner — tuning a chunk nobody reads is noise.
+  bool honors_chunk = false;
   /// simsched method name modelling this backend on the virtual node
   /// ("" = not modelled; the figure harnesses skip the sim column).
   const char* sim_method = "";
@@ -129,6 +133,13 @@ class loop_error : public std::runtime_error {
 /// Human-readable form of a chunk decision ("auto", "static:16", ...),
 /// recorded by the default loop_end hook.
 std::string describe(const hpxlite::chunk_spec& chunk);
+
+/// Parses the OP2_CHUNK / config::chunker grammar:
+///   auto | static:N | dynamic:N | guided:N | adaptive
+/// ("adaptive" yields an adaptive_chunk_size with no controller; the
+/// prepared-loop capture attaches the per-site controller).  Throws
+/// std::invalid_argument on malformed specs.
+hpxlite::chunk_spec parse_chunk_spec(const std::string& text);
 
 /// A backend: how the block-structured schedule of a loop_launch runs.
 class loop_executor {

@@ -32,3 +32,4 @@
 #include "op2/renumber.hpp"
 #include "op2/runtime.hpp"
 #include "op2/set.hpp"
+#include "op2/tuner.hpp"

@@ -453,6 +453,10 @@ std::shared_ptr<loop_frame<Kernel, T...>> make_frame(const char* name,
 /// static chunk, or the paper's auto-partitioner.
 inline hpxlite::chunk_spec configured_chunk() {
   const auto& cfg = current_config();
+  if (!cfg.chunker.empty()) {
+    // OP2_CHUNK / config::chunker: full grammar, validated at init.
+    return parse_chunk_spec(cfg.chunker);
+  }
   if (cfg.static_chunk > 0) {
     return hpxlite::static_chunk_size(cfg.static_chunk);
   }

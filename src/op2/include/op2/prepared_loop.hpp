@@ -39,13 +39,16 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <exception>
 #include <memory>
 #include <mutex>
 #include <typeinfo>
 #include <utility>
 
 #include "op2/par_loop.hpp"
+#include "op2/tuner.hpp"
 
 namespace op2 {
 
@@ -111,6 +114,12 @@ struct prepared_entry {
   std::array<std::uint64_t, sizeof...(T)> dat_versions{};
   std::shared_ptr<loop_frame<Kernel, T...>> frame;
   loop_launch launch;
+  /// Adaptive grain controller for this loop site (null when the tuner
+  /// is off, the backend ignores chunk specs, or an explicit chunker
+  /// was configured).  When set, launch.chunk is an adaptive spec
+  /// reading the controller, and every dispatch feeds its wall time
+  /// back — the replacement for the auto-partitioner's serial probe.
+  std::shared_ptr<hpxlite::grain_controller> tuner;
   /// True while a replay of this entry is executing; a second
   /// overlapping invocation of the same call site must not share the
   /// frame's kernel slot and reduction scratch, so it takes the
@@ -242,8 +251,8 @@ loop_launch one_shot_launch(Kernel kernel, const char* name,
 /// Captures a fresh prepared entry for (kernel, name, set, args).
 template <typename Kernel, typename... T>
 std::shared_ptr<prepared_entry<Kernel, T...>> capture_entry(
-    const std::array<arg_key, sizeof...(T)>& keys, Kernel kernel,
-    const char* name, const op_set& set, op_arg<T>... args) {
+    loop_executor& exec, const std::array<arg_key, sizeof...(T)>& keys,
+    Kernel kernel, const char* name, const op_set& set, op_arg<T>... args) {
   auto e = std::make_shared<prepared_entry<Kernel, T...>>();
   e->keys = keys;
   e->dat_versions = {arg_version(args)...};
@@ -255,6 +264,14 @@ std::shared_ptr<prepared_entry<Kernel, T...>> capture_entry(
   e->set_version = set.version();
   e->epoch = prepared_epoch();
   e->launch = erase_frame(e->frame);
+  // Attach the per-site grain controller when the configuration wants
+  // the loop tuned: the cached launch's chunk spec becomes adaptive,
+  // and the dispatch helpers below feed every run's wall time back.
+  if (tuner::applicable(exec)) {
+    e->tuner = tuner::acquire(e->launch.name,
+                              static_cast<std::size_t>(e->set_size));
+    e->launch.chunk = hpxlite::adaptive_chunk_size{e->tuner};
+  }
   // Replays must record without a string-keyed lookup, so the slot is
   // pinned at capture regardless of whether profiling is on right now.
   // Deliberate: slots are never erased (stable addresses), so this is
@@ -263,6 +280,33 @@ std::shared_ptr<prepared_entry<Kernel, T...>> capture_entry(
   e->launch.prof = profiling::acquire_slot(e->launch.name);
   profiling::record_capture(e->launch.name);
   return e;
+}
+
+/// Feeds one completed dispatch's wall time to the entry's controller
+/// and mirrors its decision into the profiling columns.
+template <typename Entry>
+void feed_tuner(const std::shared_ptr<Entry>& e,
+                std::chrono::steady_clock::time_point t0) {
+  e->tuner->feed(std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count());
+  profiling::record_tuner(e->launch.prof, e->tuner->current_chunk(),
+                          hpxlite::to_string(e->tuner->current_state()));
+}
+
+/// Synchronous dispatch of a prepared entry, timing the run for the
+/// tuner when one is attached (failed runs propagate before the feed,
+/// so exceptions never poison the controller's samples).
+template <typename Entry>
+void run_prepared_entry(loop_executor& exec, const std::shared_ptr<Entry>& e,
+                        const failure_policy& policy) {
+  if (!e->tuner) {
+    run_loop_protected(exec, e->launch, policy);
+    return;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  run_loop_protected(exec, e->launch, policy);
+  feed_tuner(e, t0);
 }
 
 /// Synchronous prepared dispatch: replay the cached entry when valid,
@@ -296,7 +340,7 @@ void run_prepared_sync(
         e->launch.writes = collect_write_targets(*e->frame);
       }
       profiling::record_replay(e->launch.prof);
-      run_loop_protected(exec, e->launch, policy);
+      run_prepared_entry(exec, e, policy);
       return;
     }
     // The entry is mid-execution (async overlap with ourselves):
@@ -306,12 +350,12 @@ void run_prepared_sync(
         policy);
     return;
   }
-  auto e = capture_entry(keys, std::move(kernel), name, set,
+  auto e = capture_entry(exec, keys, std::move(kernel), name, set,
                          std::move(args)...);
   e->in_flight.store(true, std::memory_order_release);
   cache->store(e);
   flight_guard<prepared_entry<Kernel, T...>> guard{e};
-  run_loop_protected(exec, e->launch, policy);
+  run_prepared_entry(exec, e, policy);
 }
 
 /// Asynchronous prepared dispatch: like run_prepared_sync, but the
@@ -359,16 +403,32 @@ hpxlite::future<void> run_prepared_async(
     }
     profiling::record_replay(e->launch.prof);
   } else {
-    e = capture_entry(keys, std::move(kernel), name, set,
+    e = capture_entry(exec, keys, std::move(kernel), name, set,
                       std::move(args)...);
     e->in_flight.store(true, std::memory_order_release);
     guard.entry = e;
     cache->store(e);
   }
+  // Tuner timing spans launch to completion (measured in the clearing
+  // continuation, which runs before the entry can be replayed again).
+  const auto tuner_t0 = e->tuner ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point{};
   auto done = launch_loop_protected(exec, e->launch, policy);
-  auto chained = done.then([e](hpxlite::future<void>&& f) {
+  auto chained = done.then([e, tuner_t0](hpxlite::future<void>&& f) {
+    std::exception_ptr err;
+    try {
+      f.get();
+    } catch (...) {
+      err = std::current_exception();
+    }
+    if (!err && e->tuner) {
+      // Only successful runs feed the controller, as on the sync path.
+      feed_tuner(e, tuner_t0);
+    }
     e->in_flight.store(false, std::memory_order_release);
-    f.get();
+    if (err) {
+      std::rethrow_exception(err);
+    }
   });
   // The continuation now owns clearing in_flight; disarm the guard.
   // (If the loop already finished and the continuation already ran,

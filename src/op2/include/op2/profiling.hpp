@@ -41,6 +41,11 @@ struct loop_profile {
   /// installed alloc counter; see set_alloc_counter).
   std::uint64_t allocs = 0;
   std::uint64_t alloc_samples = 0;
+  /// Adaptive grain tuner: the chunk the loop's controller currently
+  /// uses (0 = no tuner attached; the report shows "-") and its state
+  /// ("probing" / "converged" / "frozen", empty when untuned).
+  std::uint64_t chunk_chosen = 0;
+  std::string tuner_state;
 
   bool empty() const {
     return invocations == 0 && retries == 0 && fallbacks == 0 &&
@@ -87,6 +92,11 @@ void record_replay(const std::string& loop_name);
 /// loop (fed by run_loop when an alloc counter is installed).
 void record_allocs(slot* s, std::uint64_t n);
 void record_allocs(const std::string& loop_name, std::uint64_t n);
+
+/// Adaptive-tuner hook (no-op while profiling is disabled): the chunk
+/// the loop's grain controller chose for the execution just fed, and
+/// the controller's state ("probing"/"converged"/"frozen").
+void record_tuner(slot* s, std::uint64_t chunk, const char* state);
 
 /// Resilience hooks (no-ops while profiling is disabled): a write-set
 /// rollback + re-execution, a degradation to the seq executor, and a

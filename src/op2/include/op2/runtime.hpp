@@ -69,6 +69,23 @@ struct failure_policy {
 /// malformed specs.
 failure_policy parse_failure_policy(const std::string& text);
 
+/// Adaptive grain tuner arm (OP2_TUNER):
+///   on     — prepared loops on chunk-honouring backends tune their
+///            chunk size from replay wall times (default)
+///   off    — the pre-tuner behaviour: every launch uses the configured
+///            chunker (auto-probe unless a chunk was set explicitly)
+///   freeze — controllers are pinned at their current (or cache-loaded)
+///            chunk and never probe or drift
+enum class tuner_mode { off, on, freeze };
+
+constexpr const char* to_string(tuner_mode m) {
+  return m == tuner_mode::off ? "off"
+                              : (m == tuner_mode::on ? "on" : "freeze");
+}
+
+/// Parses "on" | "off" | "freeze" (throws std::invalid_argument).
+tuner_mode parse_tuner_mode(const std::string& text);
+
 struct config {
   backend bk = backend::seq;
   unsigned threads = 1;
@@ -90,6 +107,19 @@ struct config {
   /// Off (OP2_PREPARED=off) forces the one-shot path on every call —
   /// the control arm of the equivalence tests.
   bool prepared_loops = true;
+  /// Adaptive grain tuner (see tuner_mode / OP2_TUNER).  Applies only
+  /// to prepared loops whose backend honours the chunk spec and whose
+  /// configured chunker is the auto-partitioner; explicit chunkers are
+  /// always respected.
+  tuner_mode tuner = tuner_mode::on;
+  /// Calibration-cache file (OP2_TUNER_CACHE): loaded by init() so
+  /// controllers start converged, written by finalize() with every
+  /// converged entry.  Empty disables persistence.
+  std::string tuner_cache;
+  /// Chunker spec override (OP2_CHUNK): "auto" | "static:N" |
+  /// "dynamic:N" | "guided:N" | "adaptive".  Empty defers to
+  /// static_chunk (legacy knob) then the auto-partitioner.
+  std::string chunker;
 };
 
 /// Convenience constructor for string-selected backends: validates

@@ -1,10 +1,14 @@
 // forkjoin — the OpenMP `#pragma omp parallel for` baseline: one
 // fork-join episode (== one implicit global barrier) per colour,
-// executed on the persistent team op2::init creates.
+// executed on the persistent team op2::init creates.  An explicit
+// static (or tuner-adaptive) chunk maps to schedule(static, chunk);
+// the auto/dynamic/guided chunkers keep OpenMP's default static split.
 #include <cstddef>
 #include <memory>
+#include <variant>
 
 #include "backends/builtin.hpp"
+#include "hpxlite/grain_controller.hpp"
 #include "op2/loop_executor.hpp"
 #include "op2/runtime.hpp"
 
@@ -19,6 +23,7 @@ class forkjoin_executor final : public loop_executor {
   executor_caps capabilities() const noexcept override {
     executor_caps caps;
     caps.needs_forkjoin_team = true;
+    caps.honors_chunk = true;
     caps.sim_method = "omp_forkjoin";
     return caps;
   }
@@ -28,14 +33,34 @@ class forkjoin_executor final : public loop_executor {
   void run_indirect(const loop_launch& loop) override { run_colored(loop); }
 
  private:
+  /// Chunk to deal round-robin, or 0 for the default static split.
+  static std::size_t chunk_for(const hpxlite::chunk_spec& spec,
+                               std::size_t n, unsigned workers) {
+    if (const auto* st = std::get_if<hpxlite::static_chunk_size>(&spec)) {
+      return st->size;
+    }
+    if (const auto* ad = std::get_if<hpxlite::adaptive_chunk_size>(&spec);
+        ad != nullptr && ad->controller != nullptr) {
+      return ad->controller->chunk(n, workers);
+    }
+    return 0;
+  }
+
   static void run_colored(const loop_launch& loop) {
     auto& tm = team();
     for (const auto& blocks : loop.plan->color_blocks) {
-      tm.parallel_for(blocks.size(), [&](std::size_t lo, std::size_t hi) {
+      const auto body = [&](std::size_t lo, std::size_t hi) {
         for (std::size_t k = lo; k != hi; ++k) {
           loop.run_block(blocks[k]);
         }
-      });
+      };
+      const std::size_t chunk =
+          chunk_for(loop.chunk, blocks.size(), tm.size());
+      if (chunk == 0) {
+        tm.parallel_for(blocks.size(), body);
+      } else {
+        tm.parallel_for_chunked(blocks.size(), chunk, body);
+      }
     }
   }
 };

@@ -20,6 +20,7 @@ class hpx_async_executor final : public loop_executor {
     executor_caps caps;
     caps.asynchronous = true;
     caps.needs_hpx_runtime = true;
+    caps.honors_chunk = true;
     caps.sim_method = "hpx_async";
     return caps;
   }

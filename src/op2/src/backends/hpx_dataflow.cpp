@@ -23,6 +23,7 @@ class hpx_dataflow_executor final : public loop_executor {
     caps.asynchronous = true;
     caps.dataflow_api = true;
     caps.needs_hpx_runtime = true;
+    caps.honors_chunk = true;
     caps.sim_method = "hpx_dataflow";
     return caps;
   }

@@ -18,6 +18,7 @@ class hpx_foreach_executor final : public loop_executor {
   executor_caps capabilities() const noexcept override {
     executor_caps caps;
     caps.needs_hpx_runtime = true;
+    caps.honors_chunk = true;
     caps.sim_method = "hpx_foreach_auto";
     return caps;
   }

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "backends/builtin.hpp"
+#include "hpxlite/grain_controller.hpp"
 #include "hpxlite/watchdog.hpp"
 #include "op2/profiling.hpp"
 
@@ -199,8 +200,58 @@ std::string describe(const hpxlite::chunk_spec& chunk) {
     std::string operator()(const hpxlite::guided_chunk_size& c) const {
       return "guided:" + std::to_string(c.min_size);
     }
+    std::string operator()(const hpxlite::adaptive_chunk_size& c) const {
+      if (!c.controller) {
+        return "adaptive";
+      }
+      return "adaptive:" + std::to_string(c.controller->current_chunk());
+    }
   };
   return std::visit(visitor{}, chunk);
+}
+
+hpxlite::chunk_spec parse_chunk_spec(const std::string& text) {
+  if (text == "auto") {
+    return hpxlite::auto_chunk_size{};
+  }
+  if (text == "adaptive") {
+    return hpxlite::adaptive_chunk_size{};
+  }
+  const auto colon = text.find(':');
+  const std::string kind = text.substr(0, colon);
+  std::size_t size = 0;
+  bool size_ok = false;
+  if (colon != std::string::npos) {
+    try {
+      const std::string digits = text.substr(colon + 1);
+      // stoull tolerates signs and leading whitespace; the grammar is
+      // plain decimal digits only.
+      const bool all_digits =
+          !digits.empty() &&
+          digits.find_first_not_of("0123456789") == std::string::npos;
+      std::size_t used = 0;
+      const unsigned long long parsed =
+          all_digits ? std::stoull(digits, &used) : 0;
+      size_ok = all_digits && used == digits.size() && parsed > 0;
+      size = static_cast<std::size_t>(parsed);
+    } catch (const std::exception&) {
+      size_ok = false;
+    }
+  }
+  if (size_ok) {
+    if (kind == "static") {
+      return hpxlite::static_chunk_size(size);
+    }
+    if (kind == "dynamic") {
+      return hpxlite::dynamic_chunk_size(size);
+    }
+    if (kind == "guided") {
+      return hpxlite::guided_chunk_size(size);
+    }
+  }
+  throw std::invalid_argument(
+      "op2: bad chunk spec '" + text +
+      "' (grammar: auto | static:N | dynamic:N | guided:N | adaptive)");
 }
 
 // --- loop_executor defaults -------------------------------------------

@@ -119,6 +119,15 @@ void record_allocs(const std::string& loop_name, std::uint64_t n) {
   p.alloc_samples += 1;
 }
 
+void record_tuner(slot* s, std::uint64_t chunk, const char* state) {
+  if (!enabled() || s == nullptr) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(g_mutex);
+  s->p.chunk_chosen = chunk;
+  s->p.tuner_state = state;
+}
+
 void record_retry(const std::string& loop_name) {
   if (!enabled()) {
     return;
@@ -177,6 +186,7 @@ void report(std::ostream& out) {
       << std::setw(12) << "allocs/loop" << std::setw(9) << "retries"
       << std::setw(11) << "fallbacks" << std::setw(10) << "restarts"
       << std::setw(10) << "captures" << std::setw(9) << "replays"
+      << std::setw(13) << "chunk_chosen" << std::setw(12) << "tuner_state"
       << "\n";
   for (const auto& [name, p] : rows) {
     const double avg_us = p.invocations != 0
@@ -203,7 +213,14 @@ void report(std::ostream& out) {
     }
     out << std::setw(9) << p.retries << std::setw(11) << p.fallbacks
         << std::setw(10) << p.restarts << std::setw(10) << p.captures
-        << std::setw(9) << p.replays << "\n";
+        << std::setw(9) << p.replays;
+    if (p.chunk_chosen != 0) {
+      out << std::setw(13) << p.chunk_chosen;
+    } else {
+      out << std::setw(13) << "-";
+    }
+    out << std::setw(12) << (p.tuner_state.empty() ? "-" : p.tuner_state)
+        << "\n";
   }
 }
 

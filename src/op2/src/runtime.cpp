@@ -10,6 +10,7 @@
 #include "op2/fault.hpp"
 #include "op2/loop_executor.hpp"
 #include "op2/plan.hpp"
+#include "op2/tuner.hpp"
 
 namespace op2 {
 
@@ -57,6 +58,19 @@ void apply_resilience_env(config& cfg) {
   if (const char* env = std::getenv("OP2_FAILURE_POLICY");
       env != nullptr && *env != '\0') {
     cfg.on_failure = parse_failure_policy(env);
+  }
+  if (const char* env = std::getenv("OP2_TUNER");
+      env != nullptr && *env != '\0') {
+    cfg.tuner = parse_tuner_mode(env);
+  }
+  if (const char* env = std::getenv("OP2_TUNER_CACHE");
+      env != nullptr && *env != '\0') {
+    cfg.tuner_cache = env;
+  }
+  if (const char* env = std::getenv("OP2_CHUNK");
+      env != nullptr && *env != '\0') {
+    parse_chunk_spec(env);  // validate eagerly: fail at init, not launch
+    cfg.chunker = env;
   }
   if (const char* env = std::getenv("OP2_WATCHDOG_MS");
       env != nullptr && *env != '\0') {
@@ -124,6 +138,20 @@ failure_policy parse_failure_policy(const std::string& text) {
   return policy;
 }
 
+tuner_mode parse_tuner_mode(const std::string& text) {
+  if (text == "on" || text == "1" || text == "true") {
+    return tuner_mode::on;
+  }
+  if (text == "off" || text == "0" || text == "false") {
+    return tuner_mode::off;
+  }
+  if (text == "freeze") {
+    return tuner_mode::freeze;
+  }
+  throw std::invalid_argument("op2: OP2_TUNER must be on, off or freeze, got '" +
+                              text + "'");
+}
+
 config make_config(const std::string& backend_name, unsigned threads,
                    int block_size, std::size_t static_chunk) {
   config cfg;
@@ -136,35 +164,70 @@ config make_config(const std::string& backend_name, unsigned threads,
 }
 
 void init(const config& cfg) {
-  if (cfg.threads == 0) {
+  config requested = cfg;
+  // Environment overrides for the two coarse selection knobs, so a
+  // binary whose config is hard-wired can still be redirected per run.
+  // Applied before resolution: a bad OP2_BACKEND fails here, with the
+  // registry's "available:" message, leaving the runtime intact.
+  if (const char* env = std::getenv("OP2_BACKEND");
+      env != nullptr && *env != '\0') {
+    requested.backend_name = env;
+  }
+  if (const char* env = std::getenv("OP2_THREADS");
+      env != nullptr && *env != '\0') {
+    long threads = 0;
+    try {
+      threads = std::stol(env);
+    } catch (const std::exception&) {
+      threads = 0;
+    }
+    if (threads <= 0) {
+      throw std::invalid_argument(
+          std::string("op2: OP2_THREADS must be a positive thread count, "
+                      "got '") + env + "'");
+    }
+    requested.threads = static_cast<unsigned>(threads);
+  }
+  if (requested.threads == 0) {
     throw std::invalid_argument("op2::init: threads must be >= 1");
   }
-  if (cfg.block_size <= 0) {
+  if (requested.block_size <= 0) {
     throw std::invalid_argument("op2::init: block_size must be >= 1");
   }
   // Resolve before finalize() so a bad name leaves the runtime intact.
   const std::string name = backend_registry::resolve(
-      cfg.backend_name.empty() ? to_string(cfg.bk) : cfg.backend_name);
+      requested.backend_name.empty() ? to_string(requested.bk)
+                                     : requested.backend_name);
   loop_executor& exec = backend_registry::shared(name);
   const executor_caps caps = exec.capabilities();
 
+  config effective = requested;
+  apply_resilience_env(effective);  // validate env before teardown
+
   finalize();
-  config effective = cfg;
-  apply_resilience_env(effective);
   g_config = effective;
   g_config.backend_name = name;
   g_config.bk = enum_for(name);
   g_backend_name = name;
   g_executor = &exec;
   if (caps.needs_forkjoin_team) {
-    g_team = std::make_unique<hpxlite::fork_join_team>(cfg.threads);
+    g_team = std::make_unique<hpxlite::fork_join_team>(effective.threads);
   }
   if (caps.needs_hpx_runtime) {
-    hpxlite::runtime::reset(cfg.threads);
+    hpxlite::runtime::reset(effective.threads);
+  }
+  if (!g_config.tuner_cache.empty()) {
+    tuner::load_cache(g_config.tuner_cache);
   }
 }
 
 void finalize() {
+  // Persist calibration before asking controllers to re-verify: the
+  // saved file reflects the converged state this configuration reached.
+  if (!g_config.tuner_cache.empty()) {
+    tuner::save_cache(g_config.tuner_cache);
+  }
+  tuner::notify_epoch_bump();
   // Invalidate before tearing down pools: a prepared frame sized for
   // the outgoing worker pool must not replay against the next one, and
   // clearing the caches releases the dats/plans they pin.

@@ -15,6 +15,7 @@
 
 #include <cmath>
 #include <string>
+#include <vector>
 
 #include "airfoil/airfoil.hpp"
 
@@ -99,6 +100,72 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::ValuesIn(op2::backend_registry::names()),
     [](const ::testing::TestParamInfo<std::string>& pinfo) {
       return pinfo.param;
+    });
+
+// --- chunker x backend smoke matrix -----------------------------------
+//
+// Every chunk_spec the config grammar can express, under every
+// registered backend: the grain decision partitions work, it must
+// never change what the flow field converges to.  Backends that ignore
+// the chunk spec (seq) are included deliberately — the config must be
+// accepted and harmless there too.
+
+struct chunker_backend_param {
+  std::string backend;
+  std::string chunker;
+};
+
+class ChunkerBackendMatrix
+    : public ::testing::TestWithParam<chunker_backend_param> {};
+
+TEST_P(ChunkerBackendMatrix, FlowFieldIndependentOfChunker) {
+  const auto& p = GetParam();
+  auto cfg = op2::make_config(p.backend, 2, 32);
+  cfg.chunker = p.chunker;
+  op2::init(cfg);
+  auto s = make_sim(generate_mesh(tiny()));
+  const auto result = run_with_backend(s, kIters, p.backend);
+  const double checksum = solution_checksum(s);
+  op2::finalize();
+
+  const auto& oracle = seq_reference();
+  ASSERT_EQ(result.rms_history.size(), oracle.result.rms_history.size());
+  for (std::size_t i = 0; i < oracle.result.rms_history.size(); ++i) {
+    const double ref = oracle.result.rms_history[i];
+    EXPECT_NEAR(result.rms_history[i], ref,
+                1e-12 * std::max(1.0, std::fabs(ref)))
+        << p.backend << " chunker=" << p.chunker << " iteration " << i;
+  }
+  if (p.backend == "seq") {
+    EXPECT_EQ(checksum, oracle.checksum);
+  } else {
+    EXPECT_EQ(checksum, colored_reference().checksum)
+        << p.backend << " chunker=" << p.chunker;
+  }
+}
+
+std::vector<chunker_backend_param> chunker_backend_cases() {
+  std::vector<chunker_backend_param> cases;
+  for (const auto& backend : op2::backend_registry::names()) {
+    for (const char* chunker :
+         {"auto", "static:4", "dynamic:8", "guided:2", "adaptive"}) {
+      cases.push_back({backend, chunker});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllChunkers, ChunkerBackendMatrix,
+    ::testing::ValuesIn(chunker_backend_cases()),
+    [](const ::testing::TestParamInfo<chunker_backend_param>& pinfo) {
+      std::string name = pinfo.param.backend + "_" + pinfo.param.chunker;
+      for (char& c : name) {
+        if (c == ':') {
+          c = '_';
+        }
+      }
+      return name;
     });
 
 }  // namespace

@@ -9,9 +9,11 @@
 
 namespace {
 
+using hpxlite::adaptive_chunk_size;
 using hpxlite::auto_chunk_size;
 using hpxlite::chunk_spec;
 using hpxlite::dynamic_chunk_size;
+using hpxlite::grain_controller;
 using hpxlite::guided_chunk_size;
 using hpxlite::irange;
 using hpxlite::par;
@@ -153,6 +155,73 @@ TEST_F(ForEachTest, TransformTaskPolicy) {
   }
 }
 
+// --- auto-partitioner probe skip on empty/tiny sets -------------------
+//
+// The serial probe samples n * measure_fraction iterations; when that
+// rounds to zero (empty or tiny set) a timed sample would be all
+// overhead and no signal, so pick_static_chunk must skip the probe
+// entirely and run the whole range as one chunk.
+
+std::pair<std::size_t, std::size_t> pick_counting(std::size_t n,
+                                                  unsigned workers,
+                                                  int& prefix_calls) {
+  return hpxlite::parallel::detail::pick_static_chunk(
+      chunk_spec(auto_chunk_size{}), n, workers,
+      [&](std::size_t) { ++prefix_calls; });
+}
+
+TEST(AutoProbeSkip, EmptySetNeverProbes) {
+  int calls = 0;
+  const auto [chunk, prefix] = pick_counting(0, 3, calls);
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(prefix, 0u);
+  EXPECT_GE(chunk, 1u);  // a sane chunk even with nothing to do
+}
+
+TEST(AutoProbeSkip, SingleElementNeverProbes) {
+  int calls = 0;
+  const auto [chunk, prefix] = pick_counting(1, 3, calls);
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(prefix, 0u);
+  EXPECT_EQ(chunk, 1u);
+}
+
+TEST(AutoProbeSkip, FewerElementsThanWorkersNeverProbes) {
+  int calls = 0;
+  const auto [chunk, prefix] = pick_counting(2, 3, calls);  // workers - 1
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(prefix, 0u);
+  EXPECT_EQ(chunk, 2u);  // the whole range is one chunk
+}
+
+TEST(AutoProbeSkip, LargestProbeFreeSizeRunsAsOneChunk) {
+  // 99 * 0.01 rounds to zero: still probe-free.
+  int calls = 0;
+  const auto [chunk, prefix] = pick_counting(99, 3, calls);
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(chunk, 99u);
+  // 100 * 0.01 == 1: the probe engages (and consumes its prefix).
+  const auto [chunk2, prefix2] = pick_counting(100, 3, calls);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(prefix2, 1u);
+  EXPECT_GE(chunk2, 1u);
+}
+
+TEST_F(ForEachTest, AutoChunkerTinyRangesStillVisitEverything) {
+  // End-to-end flavour of the probe-skip sizes: n = 0, 1, workers - 1.
+  for (const int n : {0, 1, 2}) {
+    std::vector<std::atomic<int>> counts(static_cast<std::size_t>(n) + 1);
+    auto r = irange(0, n);
+    hpxlite::parallel::for_each(par.with(auto_chunk_size{}), r.begin(),
+                                r.end(),
+                                [&](int i) { counts[static_cast<std::size_t>(i)].fetch_add(1); });
+    for (int i = 0; i < n; ++i) {
+      ASSERT_EQ(counts[static_cast<std::size_t>(i)].load(), 1)
+          << "n=" << n << " element " << i;
+    }
+  }
+}
+
 // --- chunker behaviour, parameterised over every chunk_spec -----------
 
 class ChunkerTest : public ::testing::TestWithParam<chunk_spec> {
@@ -190,12 +259,17 @@ TEST_P(ChunkerTest, TaskVariantVisitsEverything) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllChunkers, ChunkerTest,
-    ::testing::Values(chunk_spec(auto_chunk_size{}),
-                      chunk_spec(static_chunk_size(1)),
-                      chunk_spec(static_chunk_size(7)),
-                      chunk_spec(static_chunk_size(100000)),
-                      chunk_spec(dynamic_chunk_size(13)),
-                      chunk_spec(guided_chunk_size(4))),
+    ::testing::Values(
+        chunk_spec(auto_chunk_size{}),
+        chunk_spec(static_chunk_size(1)),
+        chunk_spec(static_chunk_size(7)),
+        chunk_spec(static_chunk_size(100000)),   // chunk > range
+        chunk_spec(dynamic_chunk_size(13)),
+        chunk_spec(dynamic_chunk_size(100000)),  // chunk > range
+        chunk_spec(guided_chunk_size(4)),
+        chunk_spec(guided_chunk_size(100000)),   // min clamp > range
+        chunk_spec(adaptive_chunk_size{}),       // null controller fallback
+        chunk_spec(adaptive_chunk_size{std::make_shared<grain_controller>()})),
     [](const ::testing::TestParamInfo<chunk_spec>& pinfo) {
       switch (pinfo.param.index()) {
         case 0:
@@ -204,11 +278,72 @@ INSTANTIATE_TEST_SUITE_P(
           const auto s = std::get<hpxlite::static_chunk_size>(pinfo.param).size;
           return "static" + std::to_string(s);
         }
-        case 2:
-          return std::string("dynamic");
+        case 2: {
+          const auto s =
+              std::get<hpxlite::dynamic_chunk_size>(pinfo.param).size;
+          return "dynamic" + std::to_string(s);
+        }
+        case 3: {
+          const auto s =
+              std::get<hpxlite::guided_chunk_size>(pinfo.param).min_size;
+          return "guided" + std::to_string(s);
+        }
         default:
-          return std::string("guided");
+          return std::get<adaptive_chunk_size>(pinfo.param).controller
+                     ? std::string("adaptive")
+                     : std::string("adaptiveNull");
       }
     });
+
+// --- dynamic / guided boundary behaviour ------------------------------
+
+TEST_F(ForEachTest, DynamicChunkLargerThanRangeIsOneGrab) {
+  // One worker's first fetch_add covers the whole range; the rest find
+  // the cursor past the end and exit.  Everything still runs once.
+  constexpr int n = 50;
+  std::vector<std::atomic<int>> counts(n);
+  auto r = irange(0, n);
+  hpxlite::parallel::for_each(par.with(dynamic_chunk_size(100000)),
+                              r.begin(), r.end(),
+                              [&](int i) { counts[static_cast<std::size_t>(i)].fetch_add(1); });
+  for (int i = 0; i < n; ++i) {
+    ASSERT_EQ(counts[static_cast<std::size_t>(i)].load(), 1);
+  }
+}
+
+TEST_F(ForEachTest, GuidedMinChunkClampsTheShrinkingGrabs) {
+  // remaining/(2*workers) would shrink below min_size quickly; the
+  // clamp keeps every grab at >= min_size and the tail grab must not
+  // overrun the range.
+  constexpr int n = 100;
+  std::vector<std::atomic<int>> counts(n);
+  auto r = irange(0, n);
+  hpxlite::parallel::for_each(par.with(guided_chunk_size(32)), r.begin(),
+                              r.end(),
+                              [&](int i) { counts[static_cast<std::size_t>(i)].fetch_add(1); });
+  for (int i = 0; i < n; ++i) {
+    ASSERT_EQ(counts[static_cast<std::size_t>(i)].load(), 1);
+  }
+}
+
+TEST_F(ForEachTest, AdaptiveChunkerFollowsItsController) {
+  // The controller converges on some chunk from fed times; for_each
+  // must keep visiting every element exactly once while it explores.
+  auto ctl = std::make_shared<grain_controller>();
+  constexpr int n = 2048;
+  for (int round = 0; round < 6; ++round) {
+    std::vector<std::atomic<int>> counts(n);
+    auto r = irange(0, n);
+    hpxlite::parallel::for_each(par.with(adaptive_chunk_size{ctl}),
+                                r.begin(), r.end(),
+                                [&](int i) { counts[static_cast<std::size_t>(i)].fetch_add(1); });
+    for (int i = 0; i < n; ++i) {
+      ASSERT_EQ(counts[static_cast<std::size_t>(i)].load(), 1)
+          << "round " << round;
+    }
+    ctl->feed(0.001 * (round + 1));  // owner-side feedback between runs
+  }
+  EXPECT_GE(ctl->total_feeds(), 6u);
+}
 
 }  // namespace

@@ -152,6 +152,27 @@ TEST(Scheduler, DefaultInstanceResetAndShutdown) {
   EXPECT_FALSE(runtime::exists());
 }
 
+// Regression: shutdown()/reset() must not hold the default-instance
+// mutex while ~runtime drains.  A task finishing during the drain may
+// call exists()/get() (continuation dispatch does exactly that), which
+// deadlocked against wait_idle() when the drain ran under the mutex.
+// The exists() probe inside a still-running task recreates the race;
+// repetition gives the interleaving a chance to bite.
+TEST(Scheduler, ShutdownWhileTasksQueryTheDefaultInstance) {
+  for (int round = 0; round < 50; ++round) {
+    runtime::reset(2);
+    std::atomic<bool> observed{false};
+    runtime::get().submit([&] {
+      // Mimic shared_state::dispatch deciding where a continuation
+      // runs; under the old locking this blocked forever once
+      // shutdown() had taken the instance mutex.
+      observed.store(runtime::exists(), std::memory_order_release);
+    });
+    runtime::shutdown();  // drains: the task must complete, not deadlock
+    EXPECT_FALSE(runtime::exists());
+  }
+}
+
 TEST(Scheduler, WaitIdleReturnsImmediatelyWhenEmpty) {
   runtime rt(2);
   const auto t0 = std::chrono::steady_clock::now();

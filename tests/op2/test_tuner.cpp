@@ -1,0 +1,354 @@
+// The adaptive grain tuner's op2 calibration layer (`ctest -L tuner`):
+//   - key derivation (size buckets) and registry identity;
+//   - applicability: mode off, a non-chunk-honouring backend, and an
+//     explicit static/dynamic/guided chunker all leave loops untuned,
+//     while the auto default and an explicit "adaptive" opt in;
+//   - OP2_TUNER / OP2_TUNER_CACHE / OP2_CHUNK environment knobs;
+//   - freeze mode pins controllers;
+//   - the op_timing_output columns (chunk_chosen, tuner_state);
+//   - the calibration-cache round trip: a warmed second "process"
+//     starts converged and performs ZERO exploration replays.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+#include <optional>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "op2/op2.hpp"
+
+namespace {
+
+using namespace op2;
+using ctl_state = hpxlite::grain_controller::state;
+
+void scale(const double* in, double* out) { out[0] = 2.0 * in[0]; }
+
+struct line_mesh {
+  op_set cells;
+  op_dat p_x;
+  op_dat p_y;
+};
+
+line_mesh make_line(int n) {
+  line_mesh m;
+  m.cells = op_decl_set(n, "cells");
+  std::vector<double> x(static_cast<std::size_t>(n));
+  std::iota(x.begin(), x.end(), 1.0);
+  m.p_x = op_decl_dat<double>(m.cells, 1, "double",
+                              std::span<const double>(x), "p_x");
+  m.p_y = op_decl_dat<double>(m.cells, 1, "double", "p_y");
+  return m;
+}
+
+void run_loop(line_mesh& m, loop_handle& h, const char* name, int times) {
+  for (int i = 0; i < times; ++i) {
+    op_par_loop(h, scale, name, m.cells,
+                op_arg_dat<double>(m.p_x, -1, OP_ID, 1, OP_READ),
+                op_arg_dat<double>(m.p_y, -1, OP_ID, 1, OP_WRITE));
+  }
+}
+
+loop_profile profile_of(const std::string& name) {
+  auto snap = profiling::snapshot();
+  const auto it = snap.find(name);
+  return it == snap.end() ? loop_profile{} : it->second;
+}
+
+/// The tuner entry for `loop`, or nullopt.
+std::optional<tuner::entry_info> entry_of(const std::string& loop) {
+  for (const auto& e : tuner::snapshot()) {
+    if (e.loop == loop) {
+      return e;
+    }
+  }
+  return std::nullopt;
+}
+
+class TunerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { tuner::reset(); }
+  void TearDown() override {
+    op2::finalize();
+    tuner::reset();
+  }
+
+  config tuned_config(tuner_mode mode = tuner_mode::on) {
+    auto cfg = make_config("hpx_foreach", 2, 16);
+    cfg.tuner = mode;
+    return cfg;
+  }
+};
+
+// ---------------------------------------------------------------------
+// Keys and registry identity.
+// ---------------------------------------------------------------------
+
+TEST(TunerKeys, SizeBucketIsFloorLog2) {
+  EXPECT_EQ(tuner::size_bucket(0), 0u);
+  EXPECT_EQ(tuner::size_bucket(1), 0u);
+  EXPECT_EQ(tuner::size_bucket(2), 1u);
+  EXPECT_EQ(tuner::size_bucket(3), 1u);
+  EXPECT_EQ(tuner::size_bucket(4), 2u);
+  EXPECT_EQ(tuner::size_bucket(1023), 9u);
+  EXPECT_EQ(tuner::size_bucket(1024), 10u);
+}
+
+TEST_F(TunerTest, AcquireIsKeyedOnLoopAndSizeBucket) {
+  op2::init(tuned_config());
+  const auto a = tuner::acquire("loop_a", 1000);
+  EXPECT_EQ(a.get(), tuner::acquire("loop_a", 1000).get());
+  // Same bucket (within 2x): the calibration is shared.
+  EXPECT_EQ(a.get(), tuner::acquire("loop_a", 513).get());
+  // A refined mesh (different bucket) and a different loop are not.
+  EXPECT_NE(a.get(), tuner::acquire("loop_a", 5000).get());
+  EXPECT_NE(a.get(), tuner::acquire("loop_b", 1000).get());
+}
+
+// ---------------------------------------------------------------------
+// Applicability.
+// ---------------------------------------------------------------------
+
+TEST_F(TunerTest, AutoChunkedHonoringBackendGetsTuned) {
+  op2::init(tuned_config());
+  auto m = make_line(64);
+  loop_handle h;
+  run_loop(m, h, "tuned_loop", 4);
+  const auto e = entry_of("tuned_loop");
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->backend, "hpx_foreach");
+  EXPECT_EQ(e->threads, 2u);
+  EXPECT_GE(e->total_feeds, 4u);
+}
+
+TEST_F(TunerTest, TunerOffLeavesLoopsUntuned) {
+  op2::init(tuned_config(tuner_mode::off));
+  auto m = make_line(64);
+  loop_handle h;
+  run_loop(m, h, "untuned_off", 4);
+  EXPECT_FALSE(entry_of("untuned_off").has_value());
+}
+
+TEST_F(TunerTest, SeqBackendNeverTuned) {
+  auto cfg = make_config("seq", 1, 16);
+  cfg.tuner = tuner_mode::on;
+  op2::init(cfg);
+  auto m = make_line(64);
+  loop_handle h;
+  run_loop(m, h, "untuned_seq", 4);
+  EXPECT_FALSE(entry_of("untuned_seq").has_value());
+}
+
+TEST_F(TunerTest, ExplicitStaticChunkDisablesTuning) {
+  auto cfg = make_config("hpx_foreach", 2, 16, /*static_chunk=*/8);
+  cfg.tuner = tuner_mode::on;
+  op2::init(cfg);
+  auto m = make_line(64);
+  loop_handle h;
+  run_loop(m, h, "untuned_static", 4);
+  EXPECT_FALSE(entry_of("untuned_static").has_value());
+}
+
+TEST_F(TunerTest, ExplicitChunkerStringsGateTheTuner) {
+  for (const char* chunker : {"static:8", "dynamic:4", "guided:2"}) {
+    tuner::reset();
+    auto cfg = tuned_config();
+    cfg.chunker = chunker;
+    op2::init(cfg);
+    auto m = make_line(64);
+    loop_handle h;
+    run_loop(m, h, "gated_loop", 2);
+    EXPECT_FALSE(entry_of("gated_loop").has_value()) << chunker;
+    op2::finalize();
+  }
+  // "adaptive" is a direct request for the tuner; "auto" is its default
+  // replacement target.
+  for (const char* chunker : {"adaptive", "auto"}) {
+    tuner::reset();
+    auto cfg = tuned_config();
+    cfg.chunker = chunker;
+    op2::init(cfg);
+    auto m = make_line(64);
+    loop_handle h;
+    run_loop(m, h, "opted_in", 2);
+    EXPECT_TRUE(entry_of("opted_in").has_value()) << chunker;
+    op2::finalize();
+  }
+}
+
+TEST_F(TunerTest, FreezeModePinsControllers) {
+  op2::init(tuned_config(tuner_mode::freeze));
+  auto m = make_line(64);
+  loop_handle h;
+  run_loop(m, h, "frozen_loop", 6);
+  const auto e = entry_of("frozen_loop");
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->state, ctl_state::frozen);
+  EXPECT_EQ(e->total_probe_feeds, 0u);  // feeds flow, exploration doesn't
+  EXPECT_GE(e->total_feeds, 6u);
+}
+
+// ---------------------------------------------------------------------
+// Environment knobs.
+// ---------------------------------------------------------------------
+
+TEST(TunerEnv, Op2TunerKnobParses) {
+  ::setenv("OP2_TUNER", "off", 1);
+  op2::init(make_config("seq", 1));
+  EXPECT_EQ(current_config().tuner, tuner_mode::off);
+  ::setenv("OP2_TUNER", "freeze", 1);
+  op2::init(make_config("seq", 1));
+  EXPECT_EQ(current_config().tuner, tuner_mode::freeze);
+  ::setenv("OP2_TUNER", "on", 1);
+  op2::init(make_config("seq", 1));
+  EXPECT_EQ(current_config().tuner, tuner_mode::on);
+  ::setenv("OP2_TUNER", "sometimes", 1);
+  EXPECT_THROW(op2::init(make_config("seq", 1)), std::invalid_argument);
+  ::unsetenv("OP2_TUNER");
+  op2::finalize();
+}
+
+TEST(TunerEnv, Op2TunerCacheAndChunkKnobs) {
+  ::setenv("OP2_TUNER_CACHE", "/tmp/op2_tuner_env_knob.txt", 1);
+  ::setenv("OP2_CHUNK", "static:8", 1);
+  op2::init(make_config("seq", 1));
+  EXPECT_EQ(current_config().tuner_cache, "/tmp/op2_tuner_env_knob.txt");
+  EXPECT_EQ(current_config().chunker, "static:8");
+  ::unsetenv("OP2_TUNER_CACHE");
+  // An invalid chunk grammar fails at init, not at first launch.
+  ::setenv("OP2_CHUNK", "bogus", 1);
+  EXPECT_THROW(op2::init(make_config("seq", 1)), std::invalid_argument);
+  ::setenv("OP2_CHUNK", "static:x", 1);
+  EXPECT_THROW(op2::init(make_config("seq", 1)), std::invalid_argument);
+  ::unsetenv("OP2_CHUNK");
+  op2::finalize();
+  std::remove("/tmp/op2_tuner_env_knob.txt");
+}
+
+// ---------------------------------------------------------------------
+// op_timing_output integration.
+// ---------------------------------------------------------------------
+
+TEST_F(TunerTest, ProfilingRecordsChunkAndTunerState) {
+  op2::init(tuned_config());
+  profiling::reset();
+  profiling::enable(true);
+  auto m = make_line(64);
+  loop_handle h;
+  run_loop(m, h, "profiled_tuned", 4);
+  const auto p = profile_of("profiled_tuned");
+  EXPECT_GT(p.chunk_chosen, 0u);
+  EXPECT_FALSE(p.tuner_state.empty());
+
+  std::ostringstream table;
+  profiling::report(table);
+  EXPECT_NE(table.str().find("chunk_chosen"), std::string::npos);
+  EXPECT_NE(table.str().find("tuner_state"), std::string::npos);
+  profiling::enable(false);
+  profiling::reset();
+}
+
+TEST_F(TunerTest, UntunedLoopShowsDashColumns) {
+  op2::init(tuned_config(tuner_mode::off));
+  profiling::reset();
+  profiling::enable(true);
+  auto m = make_line(64);
+  loop_handle h;
+  run_loop(m, h, "profiled_untuned", 4);
+  const auto p = profile_of("profiled_untuned");
+  EXPECT_EQ(p.chunk_chosen, 0u);
+  EXPECT_TRUE(p.tuner_state.empty());
+  profiling::enable(false);
+  profiling::reset();
+}
+
+// ---------------------------------------------------------------------
+// Calibration cache.
+// ---------------------------------------------------------------------
+
+TEST(TunerCache, LoadRejectsMissingAndMismatchedFiles) {
+  EXPECT_FALSE(tuner::load_cache("/nonexistent/op2_tuner_cache.txt"));
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "op2_tuner_badmagic.txt")
+          .string();
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "notop2tuner 1\nl b 2 6 4\n";
+  }
+  EXPECT_FALSE(tuner::load_cache(path));
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "op2tuner 999\nl b 2 6 4\n";
+  }
+  EXPECT_FALSE(tuner::load_cache(path));
+  std::remove(path.c_str());
+}
+
+TEST_F(TunerTest, CacheRoundTripWarmRunDoesZeroExploration) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "op2_tuner_roundtrip.txt")
+          .string();
+  std::remove(path.c_str());
+
+  // --- first "process": explore, converge, persist -------------------
+  auto cfg = tuned_config();
+  cfg.tuner_cache = path;
+  op2::init(cfg);
+  {
+    auto m = make_line(64);
+    loop_handle h;
+    run_loop(m, h, "cache_rt", 3);
+    // Drive the controller to convergence deterministically: the hard
+    // probe bound guarantees it locks within max_probe_feeds feeds.
+    auto ctl = tuner::acquire("cache_rt", 64);
+    for (int i = 0; i < 64 && ctl->current_state() != ctl_state::converged;
+         ++i) {
+      ctl->feed(1.0);
+    }
+    ASSERT_EQ(ctl->current_state(), ctl_state::converged);
+    EXPECT_GT(ctl->total_probe_feeds(), 0u);  // this run DID explore
+  }
+  op2::finalize();  // saves the cache before the epoch-bump reprobe
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "finalize did not write " << path;
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "op2tuner 1");
+  std::string body((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(body.find("cache_rt hpx_foreach 2 6 "), std::string::npos)
+      << body;
+
+  // --- second "process": warm start, zero exploration -----------------
+  tuner::reset();
+  op2::init(cfg);  // loads the cache
+  profiling::reset();
+  profiling::enable(true);
+  {
+    auto m = make_line(64);
+    loop_handle h;
+    run_loop(m, h, "cache_rt", 3);
+  }
+  const auto e = entry_of("cache_rt");
+  ASSERT_TRUE(e.has_value());
+  EXPECT_TRUE(e->cache_seeded);
+  EXPECT_EQ(e->state, ctl_state::converged);
+  EXPECT_EQ(e->total_probe_feeds, 0u);  // zero probe/exploration replays
+  EXPECT_GE(e->total_feeds, 3u);        // drift watch still fed
+  // The profiling columns agree: the loop ran converged from replay one.
+  const auto p = profile_of("cache_rt");
+  EXPECT_EQ(p.tuner_state, "converged");
+  EXPECT_GT(p.chunk_chosen, 0u);
+  profiling::enable(false);
+  profiling::reset();
+  std::remove(path.c_str());
+}
+
+}  // namespace
