@@ -30,6 +30,20 @@ ctest --test-dir "$build" -L fault --output-on-failure
 step "adaptive grain tuner: ctest -L tuner"
 ctest --test-dir "$build" -L tuner --output-on-failure
 
+step "cancellation/deadlines/backpressure: ctest -L cancel"
+ctest --test-dir "$build" -L cancel --output-on-failure
+
+step "self-healing: airfoil under an injected stall (deadline + ladder + window)"
+# A 60 s stall in res_calc must not abort or hang the solve: the
+# deadline cancels the attempt, the ladder re-runs it a rung down, and
+# the bounded dataflow window keeps admission finite throughout.
+OP2_FAULT='res_calc:stall:at=2,stall_ms=60000' \
+OP2_FAILURE_POLICY='deadline=250' \
+OP2_WATCHDOG_MS=400 \
+OP2_DATAFLOW_WINDOW=8 \
+  "$build/examples/airfoil_app" --backend=hpx_dataflow --threads=4 \
+      --imax=40 --jmax=40 --iters=20 --profile
+
 step "launch path: prepared-loop replay gate (zero allocs, no plan lookups)"
 # Both tuner arms: OP2_TUNER=off must reproduce the pre-tuner replay
 # sequence exactly, and the default (on) must keep the steady-state
@@ -49,5 +63,11 @@ step "thread sanitizer: reduction-merge contention (shared-global finalise)"
 # unsynchronised final combine deterministically regardless of core count.
 cmake --build "$tsan_build" -j "$jobs" --target test_op2
 "$tsan_build/tests/test_op2" --gtest_filter='PreparedContention.*'
+
+step "thread sanitizer: cancellation racing completion (CancelStress)"
+# The stop-token fast paths are relaxed atomics by design; TSan checks
+# the chunk hand-off and callback teardown around a racing cancel.
+cmake --build "$tsan_build" -j "$jobs" --target test_cancel
+"$tsan_build/tests/test_cancel" --gtest_filter='CancelStress.*'
 
 printf '\nAll checks passed.\n'

@@ -16,6 +16,7 @@
 
 #include "hpxlite/future.hpp"
 #include "hpxlite/scheduler.hpp"
+#include "hpxlite/stop_token.hpp"
 
 namespace hpxlite {
 
@@ -76,6 +77,24 @@ template <typename F, typename... Args,
           typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, launch>>>
 auto async(F&& f, Args&&... args) {
   return async(launch::async, std::forward<F>(f), std::forward<Args>(args)...);
+}
+
+/// Cancellable async: the token is polled at invocation time, so a stop
+/// requested while the task is still queued resolves the future to
+/// operation_cancelled without ever running `f` (and releases the bound
+/// closure immediately afterwards).  Cooperative bodies can poll the
+/// token themselves for mid-flight cancellation.
+template <typename F, typename... Args>
+auto async(launch policy, stop_token stop, F&& f, Args&&... args)
+    -> future<detail::async_result_t<F, Args...>> {
+  auto guarded = [stop = std::move(stop),
+                  fn = std::decay_t<F>(std::forward<F>(f))](
+                     std::decay_t<Args>&... as) mutable
+      -> detail::async_result_t<F, Args...> {
+    stop.throw_if_stopped();
+    return fn(as...);
+  };
+  return async(policy, std::move(guarded), std::forward<Args>(args)...);
 }
 
 /// Runs f(args...) on the pool without producing a future ("apply" in

@@ -244,9 +244,45 @@ auto dataflow(launch policy, F&& f, Ts&&... args) ->
 
 /// Default policy: async (scheduled on the pool once inputs are ready).
 template <typename F, typename... Ts,
-          typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, launch>>>
+          typename = std::enable_if_t<
+              !std::is_same_v<std::decay_t<F>, launch> &&
+              !std::is_same_v<std::decay_t<F>, stop_token>>>
 auto dataflow(F&& f, Ts&&... args) {
   return dataflow(launch::async, std::forward<F>(f), std::forward<Ts>(args)...);
+}
+
+namespace detail {
+
+/// Fire-time cancellation guard for dataflow nodes: polls the token
+/// when the last input arrives, before the wrapped callable runs.  A
+/// requested stop resolves the node's future to operation_cancelled
+/// without invoking the callable (its kernel never runs) and the frame
+/// — closure, argument futures and all — is released right after.
+template <typename F>
+struct stop_guarded {
+  stop_token stop;
+  F fn;
+
+  template <typename... As>
+  decltype(auto) operator()(As&&... as) {
+    stop.throw_if_stopped();
+    return fn(std::forward<As>(as)...);
+  }
+};
+
+}  // namespace detail
+
+/// Cancellable dataflow: like dataflow(policy, f, args...) but gated on
+/// `stop`.  Cancelling after the node has been armed (even before its
+/// inputs are ready) prevents the callable from ever running; the
+/// returned future resolves to operation_cancelled instead.
+template <typename F, typename... Ts>
+auto dataflow(launch policy, stop_token stop, F&& f, Ts&&... args) {
+  return dataflow(
+      policy,
+      detail::stop_guarded<std::decay_t<F>>{std::move(stop),
+                                            std::decay_t<F>(std::forward<F>(f))},
+      std::forward<Ts>(args)...);
 }
 
 }  // namespace hpxlite

@@ -26,6 +26,8 @@
 #include <memory>
 #include <variant>
 
+#include "hpxlite/stop_token.hpp"
+
 namespace hpxlite {
 
 class grain_controller;
@@ -80,43 +82,59 @@ class parallel_task_policy;
 /// Synchronous parallel execution policy (like hpx::parallel::par).
 class parallel_policy {
  public:
-  constexpr parallel_policy() = default;
-  explicit parallel_policy(chunk_spec chunk) : chunk_(chunk) {}
+  parallel_policy() = default;
+  explicit parallel_policy(chunk_spec chunk, stop_token stop = {})
+      : chunk_(chunk), stop_(std::move(stop)) {}
 
   /// par(task) — asynchronous flavour returning futures.
   parallel_task_policy operator()(task_policy_tag) const;
 
   /// par.with(chunker) — same policy with an explicit grain size.
   parallel_policy with(chunk_spec chunk) const {
-    return parallel_policy(chunk);
+    return parallel_policy(chunk, stop_);
+  }
+
+  /// par.with(token) — same policy, cancellable: workers poll the token
+  /// between chunks and resolve the join future to operation_cancelled.
+  parallel_policy with(stop_token stop) const {
+    return parallel_policy(chunk_, std::move(stop));
   }
 
   const chunk_spec& chunk() const { return chunk_; }
+  const stop_token& stop() const { return stop_; }
 
  private:
   chunk_spec chunk_ = auto_chunk_size{};
+  stop_token stop_;
 };
 
 /// Asynchronous parallel execution policy (like par(task)); algorithms
 /// run under it return future<> instead of blocking.
 class parallel_task_policy {
  public:
-  constexpr parallel_task_policy() = default;
-  explicit parallel_task_policy(chunk_spec chunk) : chunk_(chunk) {}
+  parallel_task_policy() = default;
+  explicit parallel_task_policy(chunk_spec chunk, stop_token stop = {})
+      : chunk_(chunk), stop_(std::move(stop)) {}
 
   parallel_task_policy with(chunk_spec chunk) const {
-    return parallel_task_policy(chunk);
+    return parallel_task_policy(chunk, stop_);
+  }
+
+  parallel_task_policy with(stop_token stop) const {
+    return parallel_task_policy(chunk_, std::move(stop));
   }
 
   const chunk_spec& chunk() const { return chunk_; }
+  const stop_token& stop() const { return stop_; }
 
  private:
   chunk_spec chunk_ = auto_chunk_size{};
+  stop_token stop_;
 };
 
 inline parallel_task_policy parallel_policy::operator()(
     task_policy_tag) const {
-  return parallel_task_policy(chunk_);
+  return parallel_task_policy(chunk_, stop_);
 }
 
 /// Sequential policy (reference semantics for tests/benchmarks).
@@ -125,7 +143,7 @@ class sequenced_policy {
   constexpr sequenced_policy() = default;
 };
 
-inline constexpr parallel_policy par{};
+inline const parallel_policy par{};
 inline constexpr sequenced_policy seq{};
 
 namespace detail {

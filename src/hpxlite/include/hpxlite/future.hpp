@@ -62,6 +62,14 @@ class no_state : public std::runtime_error {
   no_state() : std::runtime_error("hpxlite: future has no shared state") {}
 };
 
+/// Thrown by get_for() when the timeout elapses before the producer
+/// fulfils the future.  The future remains valid; the caller may retry,
+/// cancel the producer, or fall back.
+class wait_timeout : public std::runtime_error {
+ public:
+  wait_timeout() : std::runtime_error("hpxlite: timed wait expired") {}
+};
+
 namespace detail {
 
 /// Maps void to an empty tag so the shared-state storage stays uniform.
@@ -105,6 +113,16 @@ inline void note_abandoned_exception(
 #endif
 }
 
+/// Count of continuation closures currently parked inside not-yet-ready
+/// shared states.  Cancellation must drive this back down promptly: a
+/// cancelled chain resolves (running and releasing its continuations)
+/// instead of retaining them until runtime teardown.  Tests assert the
+/// counter returns to its baseline after a cancelled dataflow chain.
+inline std::atomic<std::uint64_t>& live_continuation_counter() {
+  static std::atomic<std::uint64_t> count{0};
+  return count;
+}
+
 /// How a continuation attached to a shared state should run once the
 /// state becomes ready.
 enum class continuation_mode {
@@ -125,6 +143,10 @@ class shared_state {
     if (exception_ && !exception_observed_.load(std::memory_order_relaxed)) {
       note_abandoned_exception(exception_);
     }
+    if (!continuations_.empty()) {
+      live_continuation_counter().fetch_sub(continuations_.size(),
+                                            std::memory_order_relaxed);
+    }
   }
 
   bool is_ready() const noexcept {
@@ -142,6 +164,7 @@ class shared_state {
       ready_.store(true, std::memory_order_release);
       conts.swap(continuations_);
     }
+    note_continuations_released(conts.size());
     wake_waiters();
     run_continuations(std::move(conts));
   }
@@ -156,6 +179,7 @@ class shared_state {
       ready_.store(true, std::memory_order_release);
       conts.swap(continuations_);
     }
+    note_continuations_released(conts.size());
     wake_waiters();
     run_continuations(std::move(conts));
   }
@@ -167,6 +191,7 @@ class shared_state {
       std::lock_guard<spinlock> lock(mutex_);
       if (!ready_.load(std::memory_order_relaxed)) {
         continuations_.push_back({std::move(cont), mode});
+        live_continuation_counter().fetch_add(1, std::memory_order_relaxed);
         return;
       }
     }
@@ -310,6 +335,12 @@ class shared_state {
     fn();
   }
 
+  static void note_continuations_released(std::size_t n) {
+    if (n != 0) {
+      live_continuation_counter().fetch_sub(n, std::memory_order_relaxed);
+    }
+  }
+
   void run_continuations(std::vector<pending_continuation> conts) {
     for (auto& c : conts) {
       dispatch(std::move(c.fn), c.mode);
@@ -383,6 +414,14 @@ inline std::uint64_t abandoned_exception_count() {
   return detail::abandoned_exception_counter().load(std::memory_order_relaxed);
 }
 
+/// Number of continuation closures currently held by pending shared
+/// states.  Returns to baseline once every chain — including cancelled
+/// ones — has resolved; the closure-retention regression test asserts
+/// this.
+inline std::uint64_t pending_continuation_count() {
+  return detail::live_continuation_counter().load(std::memory_order_relaxed);
+}
+
 template <typename T>
 class future {
  public:
@@ -433,6 +472,17 @@ class future {
     } else {
       return state->take_value();
     }
+  }
+
+  /// get() bounded by a timeout: waits up to `timeout`, then either
+  /// consumes the state like get() or throws wait_timeout, leaving the
+  /// future valid for a later retry/cancel decision.
+  template <typename Rep, typename Period>
+  T get_for(std::chrono::duration<Rep, Period> timeout) {
+    if (wait_for(timeout) == future_status::timeout) {
+      throw wait_timeout();
+    }
+    return get();
   }
 
   /// Attaches a continuation `f(future<T>&&)`; returns a future for its
@@ -503,6 +553,16 @@ class shared_future {
     } else {
       return static_cast<const T&>(state_->peek_value());
     }
+  }
+
+  /// get() bounded by a timeout; throws wait_timeout on expiry.  The
+  /// shared state is never consumed, so expiry leaves the future as-is.
+  template <typename Rep, typename Period>
+  decltype(auto) get_for(std::chrono::duration<Rep, Period> timeout) const {
+    if (wait_for(timeout) == future_status::timeout) {
+      throw wait_timeout();
+    }
+    return get();
   }
 
   template <typename F>

@@ -26,6 +26,7 @@
 #include "hpxlite/parallel_scan.hpp"
 #include "hpxlite/scheduler.hpp"
 #include "hpxlite/spinlock.hpp"
+#include "hpxlite/stop_token.hpp"
 #include "hpxlite/sync.hpp"
 #include "hpxlite/unique_function.hpp"
 #include "hpxlite/watchdog.hpp"

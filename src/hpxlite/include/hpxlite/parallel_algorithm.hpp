@@ -131,12 +131,20 @@ std::pair<std::size_t, std::size_t> pick_static_chunk(
 }
 
 /// Core engine: run body(i_begin, i_end) over [begin, n) as tasks.
-/// Returns the join future.
+/// Returns the join future.  When `stop` is attached, workers poll it
+/// before every chunk (and between pull-model claims); a requested stop
+/// resolves the join future to operation_cancelled without running the
+/// remaining chunks.  Chunks already executing run to completion —
+/// cancellation is cooperative, never preemptive.
 template <typename ChunkBody>
 future<void> run_chunked(const chunk_spec& spec, std::size_t n,
-                         ChunkBody body) {
+                         ChunkBody body, stop_token stop = {}) {
   if (n == 0) {
     return make_ready_future();
+  }
+  if (stop.stop_requested()) {
+    return make_exceptional_future<void>(
+        std::make_exception_ptr(operation_cancelled()));
   }
   runtime& rt = ambient_runtime();
   const unsigned workers = rt.concurrency();
@@ -156,9 +164,10 @@ future<void> run_chunked(const chunk_spec& spec, std::size_t n,
         guided ? std::get<guided_chunk_size>(spec).min_size : 1;
     auto join = std::make_shared<join_block>(workers);
     for (unsigned w = 0; w < workers; ++w) {
-      rt.submit([join, cursor, body, n, fixed, guided_min, workers] {
+      rt.submit([join, cursor, body, n, fixed, guided_min, workers, stop] {
         try {
           for (;;) {
+            stop.throw_if_stopped();
             std::size_t want = fixed;
             if (want == 0) {  // guided: proportional to what remains
               const std::size_t done =
@@ -198,8 +207,9 @@ future<void> run_chunked(const chunk_spec& spec, std::size_t n,
   for (std::size_t c = 0; c < nchunks; ++c) {
     const std::size_t begin = prefix + c * chunk;
     const std::size_t end = begin + chunk < n ? begin + chunk : n;
-    rt.submit([join, body, begin, end] {
+    rt.submit([join, body, begin, end, stop] {
       try {
+        stop.throw_if_stopped();
         body(begin, end);
         join->chunk_done();
       } catch (...) {
@@ -234,12 +244,14 @@ void for_each(sequenced_policy, It first, It last, F f) {
 template <typename It, typename F>
 void for_each(const parallel_policy& policy, It first, It last, F f) {
   const auto n = static_cast<std::size_t>(std::distance(first, last));
-  detail::run_chunked(policy.chunk(), n,
-                      [first, f](std::size_t b, std::size_t e) {
-                        for (std::size_t i = b; i != e; ++i) {
-                          f(first[static_cast<std::ptrdiff_t>(i)]);
-                        }
-                      })
+  detail::run_chunked(
+      policy.chunk(), n,
+      [first, f](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i != e; ++i) {
+          f(first[static_cast<std::ptrdiff_t>(i)]);
+        }
+      },
+      policy.stop())
       .get();
 }
 
@@ -249,12 +261,14 @@ template <typename It, typename F>
 future<void> for_each(const parallel_task_policy& policy, It first, It last,
                       F f) {
   const auto n = static_cast<std::size_t>(std::distance(first, last));
-  return detail::run_chunked(policy.chunk(), n,
-                             [first, f](std::size_t b, std::size_t e) {
-                               for (std::size_t i = b; i != e; ++i) {
-                                 f(first[static_cast<std::ptrdiff_t>(i)]);
-                               }
-                             });
+  return detail::run_chunked(
+      policy.chunk(), n,
+      [first, f](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i != e; ++i) {
+          f(first[static_cast<std::ptrdiff_t>(i)]);
+        }
+      },
+      policy.stop());
 }
 
 // ---------------------------------------------------------------------
@@ -273,12 +287,14 @@ void for_loop(const parallel_policy& policy, Int first, Int last, F f) {
     return;
   }
   const auto n = static_cast<std::size_t>(last - first);
-  detail::run_chunked(policy.chunk(), n,
-                      [first, f](std::size_t b, std::size_t e) {
-                        for (std::size_t i = b; i != e; ++i) {
-                          f(static_cast<Int>(first + static_cast<Int>(i)));
-                        }
-                      })
+  detail::run_chunked(
+      policy.chunk(), n,
+      [first, f](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i != e; ++i) {
+          f(static_cast<Int>(first + static_cast<Int>(i)));
+        }
+      },
+      policy.stop())
       .get();
 }
 
@@ -289,13 +305,14 @@ future<void> for_loop(const parallel_task_policy& policy, Int first, Int last,
     return make_ready_future();
   }
   const auto n = static_cast<std::size_t>(last - first);
-  return detail::run_chunked(policy.chunk(), n,
-                             [first, f](std::size_t b, std::size_t e) {
-                               for (std::size_t i = b; i != e; ++i) {
-                                 f(static_cast<Int>(first +
-                                                    static_cast<Int>(i)));
-                               }
-                             });
+  return detail::run_chunked(
+      policy.chunk(), n,
+      [first, f](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i != e; ++i) {
+          f(static_cast<Int>(first + static_cast<Int>(i)));
+        }
+      },
+      policy.stop());
 }
 
 // ---------------------------------------------------------------------
@@ -313,13 +330,15 @@ template <typename It, typename Out, typename F>
 Out transform(const parallel_policy& policy, It first, It last, Out out,
               F f) {
   const auto n = static_cast<std::size_t>(std::distance(first, last));
-  detail::run_chunked(policy.chunk(), n,
-                      [first, out, f](std::size_t b, std::size_t e) {
-                        for (std::size_t i = b; i != e; ++i) {
-                          const auto d = static_cast<std::ptrdiff_t>(i);
-                          out[d] = f(first[d]);
-                        }
-                      })
+  detail::run_chunked(
+      policy.chunk(), n,
+      [first, out, f](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i != e; ++i) {
+          const auto d = static_cast<std::ptrdiff_t>(i);
+          out[d] = f(first[d]);
+        }
+      },
+      policy.stop())
       .get();
   return out + static_cast<std::ptrdiff_t>(n);
 }
@@ -328,13 +347,15 @@ template <typename It, typename Out, typename F>
 future<void> transform(const parallel_task_policy& policy, It first, It last,
                        Out out, F f) {
   const auto n = static_cast<std::size_t>(std::distance(first, last));
-  return detail::run_chunked(policy.chunk(), n,
-                             [first, out, f](std::size_t b, std::size_t e) {
-                               for (std::size_t i = b; i != e; ++i) {
-                                 const auto d = static_cast<std::ptrdiff_t>(i);
-                                 out[d] = f(first[d]);
-                               }
-                             });
+  return detail::run_chunked(
+      policy.chunk(), n,
+      [first, out, f](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i != e; ++i) {
+          const auto d = static_cast<std::ptrdiff_t>(i);
+          out[d] = f(first[d]);
+        }
+      },
+      policy.stop());
 }
 
 // ---------------------------------------------------------------------
@@ -356,9 +377,13 @@ namespace detail {
 /// is reproducible run-to-run for a fixed worker count and chunking.
 template <typename T, typename Op, typename Leaf>
 future<T> reduce_chunked(const chunk_spec& spec, std::size_t n, T init, Op op,
-                         Leaf leaf) {
+                         Leaf leaf, stop_token stop = {}) {
   if (n == 0) {
     return make_ready_future(std::move(init));
+  }
+  if (stop.stop_requested()) {
+    return make_exceptional_future<T>(
+        std::make_exception_ptr(operation_cancelled()));
   }
   // Partials indexed by chunk are written without synchronisation: each
   // chunk owns its slot.  We need the chunk count up front, so reduce
@@ -393,8 +418,9 @@ future<T> reduce_chunked(const chunk_spec& spec, std::size_t n, T init, Op op,
   for (std::size_t c = 0; c < nchunks; ++c) {
     const std::size_t begin = c * chunk;
     const std::size_t end = begin + chunk < n ? begin + chunk : n;
-    rt.submit([block, leaf, op, begin, end, c, init] {
+    rt.submit([block, leaf, op, begin, end, c, init, stop] {
       try {
+        stop.throw_if_stopped();
         // Seed each chunk from its first element (std::reduce
         // semantics: `init` participates exactly once, at the final
         // combine), so the result does not depend on the chunk count.
@@ -434,7 +460,8 @@ T reduce(const parallel_policy& policy, It first, It last, T init, Op op) {
              policy.chunk(), n, std::move(init), op,
              [first](std::size_t i) -> decltype(auto) {
                return first[static_cast<std::ptrdiff_t>(i)];
-             })
+             },
+             policy.stop())
       .get();
 }
 
@@ -442,10 +469,12 @@ template <typename It, typename T, typename Op>
 future<T> reduce(const parallel_task_policy& policy, It first, It last,
                  T init, Op op) {
   const auto n = static_cast<std::size_t>(std::distance(first, last));
-  return detail::reduce_chunked(policy.chunk(), n, std::move(init), op,
-                                [first](std::size_t i) -> decltype(auto) {
-                                  return first[static_cast<std::ptrdiff_t>(i)];
-                                });
+  return detail::reduce_chunked(
+      policy.chunk(), n, std::move(init), op,
+      [first](std::size_t i) -> decltype(auto) {
+        return first[static_cast<std::ptrdiff_t>(i)];
+      },
+      policy.stop());
 }
 
 template <typename It, typename T, typename Reduce, typename Convert>
@@ -465,7 +494,8 @@ T transform_reduce(const parallel_policy& policy, It first, It last, T init,
              policy.chunk(), n, std::move(init), red,
              [first, conv](std::size_t i) {
                return conv(first[static_cast<std::ptrdiff_t>(i)]);
-             })
+             },
+             policy.stop())
       .get();
 }
 
@@ -474,9 +504,11 @@ future<T> transform_reduce(const parallel_task_policy& policy, It first,
                            It last, T init, Reduce red, Convert conv) {
   const auto n = static_cast<std::size_t>(std::distance(first, last));
   return detail::reduce_chunked(
-      policy.chunk(), n, std::move(init), red, [first, conv](std::size_t i) {
+      policy.chunk(), n, std::move(init), red,
+      [first, conv](std::size_t i) {
         return conv(first[static_cast<std::ptrdiff_t>(i)]);
-      });
+      },
+      policy.stop());
 }
 
 }  // namespace hpxlite::parallel

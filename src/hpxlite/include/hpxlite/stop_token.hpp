@@ -1,0 +1,183 @@
+// Cooperative cancellation, modelled on std::stop_token / HPX's
+// hpx::stop_token (arXiv:2401.03353 §5): a stop_source owns a shared
+// stop state, hands out copyable stop_tokens, and request_stop() makes
+// every token observe stop_requested() == true exactly once.
+//
+// Registered callbacks run on the thread calling request_stop() and the
+// stop state drops them immediately afterwards, so closures captured by
+// a callback are released promptly — cancelled work must not retain its
+// continuation environment until runtime teardown.
+//
+// Cancellation is *cooperative*: nothing preempts running code.  The
+// chunked parallel algorithms poll the token between chunks, async /
+// dataflow check it before invoking their callable, and blocking waits
+// (e.g. an injected stall) can register a stop_callback to be woken.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "hpxlite/spinlock.hpp"
+
+namespace hpxlite {
+
+/// Thrown out of cancelled work: a chunk that observed its token, an
+/// async/dataflow node resolved without running, or get() on a future
+/// whose producer was cancelled.
+class operation_cancelled : public std::runtime_error {
+ public:
+  operation_cancelled() : std::runtime_error("hpxlite: operation cancelled") {}
+  explicit operation_cancelled(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+struct stop_state {
+  std::atomic<bool> requested{false};
+  spinlock lock;
+  std::uint64_t next_id = 1;
+  std::vector<std::pair<std::uint64_t, std::function<void()>>> callbacks;
+
+  /// Flips the flag and runs (then drops) every registered callback.
+  /// Returns false if stop had already been requested.
+  bool request() {
+    if (requested.exchange(true, std::memory_order_acq_rel)) {
+      return false;
+    }
+    std::vector<std::pair<std::uint64_t, std::function<void()>>> run;
+    {
+      std::lock_guard<spinlock> g(lock);
+      run.swap(callbacks);
+    }
+    for (auto& cb : run) {
+      cb.second();
+    }
+    return true;
+  }
+
+  /// Registers a callback; runs it immediately (returning 0) when stop
+  /// was already requested.  Returns a nonzero id otherwise.
+  std::uint64_t add_callback(std::function<void()> cb) {
+    {
+      std::lock_guard<spinlock> g(lock);
+      if (!requested.load(std::memory_order_acquire)) {
+        std::uint64_t id = next_id++;
+        callbacks.emplace_back(id, std::move(cb));
+        return id;
+      }
+    }
+    cb();
+    return 0;
+  }
+
+  void remove_callback(std::uint64_t id) {
+    if (id == 0) {
+      return;
+    }
+    std::lock_guard<spinlock> g(lock);
+    for (auto it = callbacks.begin(); it != callbacks.end(); ++it) {
+      if (it->first == id) {
+        callbacks.erase(it);
+        return;
+      }
+    }
+  }
+};
+
+}  // namespace detail
+
+class stop_source;
+
+/// Copyable observer handle onto a stop state.  A default-constructed
+/// token is detached: stop_possible() == false and it never reports a
+/// stop request.
+class stop_token {
+ public:
+  stop_token() = default;
+
+  bool stop_possible() const noexcept { return state_ != nullptr; }
+
+  bool stop_requested() const noexcept {
+    return state_ && state_->requested.load(std::memory_order_acquire);
+  }
+
+  /// Throws operation_cancelled if stop has been requested.  The
+  /// polling idiom used between chunks.
+  void throw_if_stopped() const {
+    if (stop_requested()) {
+      throw operation_cancelled();
+    }
+  }
+
+  friend bool operator==(const stop_token& a, const stop_token& b) noexcept {
+    return a.state_ == b.state_;
+  }
+
+ private:
+  friend class stop_source;
+  friend class stop_callback;
+  explicit stop_token(std::shared_ptr<detail::stop_state> s)
+      : state_(std::move(s)) {}
+  std::shared_ptr<detail::stop_state> state_;
+};
+
+/// Owns the stop state; request_stop() is idempotent and thread-safe.
+class stop_source {
+ public:
+  stop_source() : state_(std::make_shared<detail::stop_state>()) {}
+
+  stop_token get_token() const { return stop_token(state_); }
+
+  /// Returns true if this call transitioned the state to "stopped".
+  bool request_stop() noexcept {
+    try {
+      return state_->request();
+    } catch (...) {
+      // A throwing stop callback must not take down the canceller.
+      return true;
+    }
+  }
+
+  bool stop_requested() const noexcept {
+    return state_->requested.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::shared_ptr<detail::stop_state> state_;
+};
+
+/// RAII callback registration: runs `cb` when stop is requested (on the
+/// requesting thread), or immediately on construction if it already
+/// was.  Deregisters on destruction.
+class stop_callback {
+ public:
+  stop_callback(const stop_token& tok, std::function<void()> cb)
+      : state_(tok.state_) {
+    if (state_) {
+      id_ = state_->add_callback(std::move(cb));
+    } else {
+      // Detached token: stop can never be requested; nothing to do.
+    }
+  }
+
+  ~stop_callback() {
+    if (state_) {
+      state_->remove_callback(id_);
+    }
+  }
+
+  stop_callback(const stop_callback&) = delete;
+  stop_callback& operator=(const stop_callback&) = delete;
+
+ private:
+  std::shared_ptr<detail::stop_state> state_;
+  std::uint64_t id_ = 0;
+};
+
+}  // namespace hpxlite

@@ -63,12 +63,26 @@ class watchdog {
   static bool running();
 
   /// Registers an in-flight activity; returns the token for
-  /// end_activity.  Counts as progress.
-  static std::uint64_t begin_activity(std::string description);
+  /// end_activity.  Counts as progress.  `on_cancel`, when set, makes
+  /// the activity *supervisable*: cancel_stalled() invokes it (typically
+  /// to request_stop() the activity's stop_source) so a stall handler
+  /// can unwedge the work instead of aborting the process.
+  static std::uint64_t begin_activity(std::string description,
+                                      std::function<void()> on_cancel = {});
 
   /// Unregisters an activity.  Counts as progress.  Unknown tokens are
   /// ignored (the activity may have been registered before a restart).
   static void end_activity(std::uint64_t token);
+
+  /// Fires the on_cancel hook of every in-flight supervisable activity
+  /// (at most once per activity) and returns how many were cancelled.
+  /// The degradation-ladder stall handler calls this instead of
+  /// aborting; activities without a hook are left untouched.
+  static std::size_t cancel_stalled();
+
+  /// Total activities cancelled via cancel_stalled() since the last
+  /// start().
+  static std::uint64_t cancellations();
 
   /// Heartbeat from inside a parallel region — one relaxed atomic
   /// increment when running, one relaxed load when not.

@@ -25,14 +25,20 @@ struct watchdog_state {
   std::chrono::milliseconds timeout{0};
   watchdog::stall_handler handler;
 
+  struct activity {
+    std::string description;
+    std::function<void()> on_cancel;  // empty: not supervisable
+    bool cancelled = false;           // fire on_cancel at most once
+  };
   std::uint64_t next_token = 1;
-  std::map<std::uint64_t, std::string> activities;  // token -> description
+  std::map<std::uint64_t, activity> activities;  // token -> activity
 
   // Progress tracking.  `pulses` is bumped lock-free from parallel
   // regions; the monitor compares successive readings instead of
   // timestamps so a heartbeat can never be lost to clock math.
   std::atomic<std::uint64_t> pulses{0};
   std::atomic<std::uint64_t> stalls{0};
+  std::atomic<std::uint64_t> cancellations{0};
 };
 
 watchdog_state& state() {
@@ -76,8 +82,8 @@ void monitor_loop() {
     }
     watchdog_report report;
     report.activities.reserve(s.activities.size());
-    for (const auto& [token, description] : s.activities) {
-      report.activities.push_back(description);
+    for (const auto& [token, act] : s.activities) {
+      report.activities.push_back(act.description);
     }
     report.pulses = current;
     report.pending_tasks =
@@ -122,6 +128,7 @@ void watchdog::start(std::chrono::milliseconds timeout,
   s.timeout = timeout;
   s.handler = std::move(on_stall);
   s.stalls.store(0, std::memory_order_relaxed);
+  s.cancellations.store(0, std::memory_order_relaxed);
   if (!s.monitor.joinable()) {
     s.stop_requested = false;
     s.monitor = std::thread(monitor_loop);
@@ -149,13 +156,45 @@ bool watchdog::running() {
   return g_running.load(std::memory_order_acquire);
 }
 
-std::uint64_t watchdog::begin_activity(std::string description) {
+std::uint64_t watchdog::begin_activity(std::string description,
+                                       std::function<void()> on_cancel) {
   auto& s = state();
   std::lock_guard<std::mutex> lock(s.mutex);
   const std::uint64_t token = s.next_token++;
-  s.activities.emplace(token, std::move(description));
+  s.activities.emplace(
+      token,
+      watchdog_state::activity{std::move(description), std::move(on_cancel)});
   s.pulses.fetch_add(1, std::memory_order_relaxed);
   return token;
+}
+
+std::size_t watchdog::cancel_stalled() {
+  auto& s = state();
+  // Collect the hooks under the lock, fire them outside it: a hook
+  // requests a stop, and stop callbacks (e.g. waking an injected stall)
+  // may call back into the watchdog.
+  std::vector<std::function<void()>> hooks;
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    for (auto& [token, act] : s.activities) {
+      if (act.on_cancel && !act.cancelled) {
+        act.cancelled = true;
+        hooks.push_back(act.on_cancel);
+      }
+    }
+    // Publish the count before firing: an unwedged activity observes
+    // its own cancellation, so readers woken by a hook must already
+    // see it reflected in cancellations().
+    s.cancellations.fetch_add(hooks.size(), std::memory_order_relaxed);
+  }
+  for (auto& hook : hooks) {
+    hook();
+  }
+  return hooks.size();
+}
+
+std::uint64_t watchdog::cancellations() {
+  return state().cancellations.load(std::memory_order_relaxed);
 }
 
 void watchdog::end_activity(std::uint64_t token) {

@@ -1,0 +1,67 @@
+// Bounded in-flight window for the dataflow API — sender/receiver-style
+// flow control for the paper's §III-B loop-dependency tree.
+//
+// Without a bound, a 1000-iteration solver run submits every op_par_loop
+// node up front: the dependency tree (frames, argument futures, write
+// snapshots) grows with the full run length even though only a few
+// nodes can execute at once.  With OP2_DATAFLOW_WINDOW=k, admission of
+// a new node blocks until fewer than k are outstanding; a blocked
+// worker thread helps the scheduler drain instead of sleeping, so the
+// window can never deadlock the pool.
+//
+// A ticket is released exactly when its node resolves (success, error
+// or cancellation) — release is idempotent, and a ticket destroyed
+// without its node ever running still frees the slot.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+namespace op2 {
+
+/// Snapshot of the window counters (peak is tracked even when the
+/// window is unbounded, so tests can assert the bound held).
+struct dataflow_window_stats {
+  std::size_t in_flight = 0;  // tickets currently outstanding
+  std::size_t peak = 0;       // high-water mark since the last reset
+  std::size_t cap = 0;        // configured window; 0 = unbounded
+};
+
+/// Installs the window cap (0 = unbounded).  Called by op2::init from
+/// config::dataflow_window; safe to call while nodes are in flight
+/// (raising the cap wakes blocked admitters).
+void set_dataflow_window(std::size_t cap);
+
+/// Current counters.
+dataflow_window_stats get_dataflow_window_stats();
+
+/// Resets the peak high-water mark (tests bracket a run with this).
+void reset_dataflow_window_peak();
+
+namespace detail {
+
+/// RAII admission ticket.  Construction blocks until a slot is free
+/// (helping the hpxlite scheduler while waiting); release() frees the
+/// slot early and is idempotent — the destructor covers nodes that are
+/// dropped without ever running.
+class dataflow_ticket {
+ public:
+  dataflow_ticket();
+  ~dataflow_ticket();
+  dataflow_ticket(const dataflow_ticket&) = delete;
+  dataflow_ticket& operator=(const dataflow_ticket&) = delete;
+
+  void release() noexcept;
+
+ private:
+  bool held_ = false;
+};
+
+/// Shared-ownership ticket for capture into node closures: the slot is
+/// freed when the node body calls release() (at completion) or, failing
+/// that, when the last reference dies.
+std::shared_ptr<dataflow_ticket> acquire_dataflow_ticket();
+
+}  // namespace detail
+
+}  // namespace op2

@@ -24,6 +24,7 @@
 
 #include "hpxlite/dataflow.hpp"
 #include "hpxlite/future.hpp"
+#include "op2/backpressure.hpp"
 #include "op2/par_loop.hpp"
 
 namespace op2 {
@@ -157,6 +158,14 @@ hpxlite::shared_future<void> op_par_loop(Kernel kernel, const char* name,
   };
   (collect(args), ...);
 
+  // Bounded in-flight window (OP2_DATAFLOW_WINDOW): admission of this
+  // node blocks the driver until fewer than the configured number of
+  // nodes are outstanding, so a long solver run cannot submit its whole
+  // dependency tree up front.  The ticket's slot is freed the instant
+  // the node resolves (success, error or cancellation) — or when the
+  // node is dropped without ever running.
+  auto ticket = detail::acquire_dataflow_ticket();
+
   // The node body is the paper's Fig 13: for_each(par) inside dataflow.
   // The synchronous hpx_foreach executor runs the colour sweep; the
   // dataflow gating above already provides the asynchrony.  Capturing
@@ -166,9 +175,13 @@ hpxlite::shared_future<void> op_par_loop(Kernel kernel, const char* name,
   hpxlite::future<void> gate = hpxlite::when_all(deps);
   hpxlite::future<void> done = hpxlite::dataflow(
       hpxlite::launch::async,
-      [cache, kernel, loop_name = std::string(name), set,
+      [cache, kernel, loop_name = std::string(name), set, ticket,
        arg_pack = std::make_tuple(args.arg...), deps = std::move(deps),
        policy = current_config().on_failure](hpxlite::future<void> ready) {
+        struct slot_release {
+          std::shared_ptr<detail::dataflow_ticket> held;
+          ~slot_release() { held->release(); }
+        } release{ticket};
         ready.get();
         // when_all signals readiness but not failure: re-observe each
         // dependency so an upstream loop's error propagates down the

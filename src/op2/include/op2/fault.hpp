@@ -43,6 +43,9 @@
 #include <stdexcept>
 #include <string>
 
+#include "hpxlite/spinlock.hpp"
+#include "hpxlite/stop_token.hpp"
+
 namespace op2 {
 
 enum class fault_kind { none, throw_, stall, corrupt };
@@ -103,6 +106,25 @@ struct fault_arming {
     fires_remaining.fetch_sub(1, std::memory_order_acq_rel);
     return true;
   }
+
+  /// Cancel token of the current attempt, installed by the deadline /
+  /// ladder machinery before the attempt runs.  An injected stall waits
+  /// on it: a supervisor's request_stop() wakes the stalled chunk,
+  /// which then raises operation_cancelled so the attempt is abandoned
+  /// (a stall released without cancellation completes normally).
+  void set_cancel_token(hpxlite::stop_token tk) {
+    std::lock_guard<hpxlite::spinlock> g(cancel_lock);
+    cancel = std::move(tk);
+  }
+
+  hpxlite::stop_token cancel_token() {
+    std::lock_guard<hpxlite::spinlock> g(cancel_lock);
+    return cancel;
+  }
+
+ private:
+  hpxlite::spinlock cancel_lock;
+  hpxlite::stop_token cancel;  // guarded by cancel_lock
 };
 
 }  // namespace detail
@@ -144,9 +166,9 @@ class fault_injector {
   /// loop doesn't fault (the common case: one relaxed load).
   static std::shared_ptr<detail::fault_arming> arm(const std::string& loop);
 
-  /// Internal: blocks for the armed stall (until release_stalls() or
-  /// the spec's stall_ms cap).
-  static void stall(int stall_ms);
+  /// Internal: blocks for the armed stall (until release_stalls(), a
+  /// stop request on `cancel`, or the spec's stall_ms cap).
+  static void stall(int stall_ms, hpxlite::stop_token cancel = {});
 };
 
 namespace detail {

@@ -107,6 +107,16 @@ struct loop_launch {
   /// loop was built with profiling disabled); lets the replay path
   /// record without a string-keyed map lookup.
   profiling::slot* prof = nullptr;
+  /// Cooperative cancel token for this execution attempt.  Backends
+  /// poll it between chunks/blocks (and thread it into the hpxlite
+  /// parallel algorithms); a requested stop makes the attempt fail with
+  /// hpxlite::operation_cancelled.  Detached (never stops) by default.
+  hpxlite::stop_token cancel;
+  /// The source behind `cancel`, installed per attempt by the deadline
+  /// / ladder machinery.  When set, the watchdog activity registered
+  /// for this execution is supervisable: cancel_stalled() requests a
+  /// stop on it instead of the process aborting.
+  std::shared_ptr<hpxlite::stop_source> cancel_source;
 };
 
 /// Structured failure surfaced when a loop exhausts its failure_policy:
@@ -128,6 +138,21 @@ class loop_error : public std::runtime_error {
   std::string backend_;
   int attempts_ = 0;
   std::exception_ptr cause_;
+};
+
+/// Raised by the deadline supervisor when an attempt overruns
+/// failure_policy::deadline_ms: the attempt's token was stopped and the
+/// execution drained before this surfaces, so the recovery machinery can
+/// roll back and re-run immediately.  Treated like
+/// hpxlite::operation_cancelled by the degradation ladder.
+class loop_deadline_error : public std::runtime_error {
+ public:
+  loop_deadline_error(const std::string& loop, int deadline_ms);
+
+  int deadline_ms() const noexcept { return deadline_ms_; }
+
+ private:
+  int deadline_ms_ = 0;
 };
 
 /// Human-readable form of a chunk decision ("auto", "static:16", ...),
@@ -234,6 +259,15 @@ hpxlite::future<void> launch_loop(loop_executor& exec, loop_launch loop);
 /// `exec`, then (policy.fallback_to_seq) once on the registry's "seq"
 /// executor; if everything fails the write set is left rolled back and
 /// an op2::loop_error surfaces.
+///
+/// With deadline/ladder policies the attempt additionally runs under a
+/// fresh stop_source: policy.deadline_ms bounds the attempt (a miss
+/// stops the token, drains the attempt and counts a deadline miss), and
+/// a cancelled attempt — deadline miss or watchdog cancel_stalled() —
+/// is rolled back and re-run one rung down the degradation ladder
+/// (hpx_dataflow -> hpx_async -> forkjoin -> seq; hpx_foreach ->
+/// forkjoin).  The seq floor always runs uncancellable, so a protected
+/// loop makes forward progress no matter what the upper rungs do.
 void run_loop_protected(loop_executor& exec, const loop_launch& loop,
                         const failure_policy& policy);
 

@@ -32,6 +32,13 @@ struct loop_profile {
   std::uint64_t retries = 0;
   std::uint64_t fallbacks = 0;
   std::uint64_t restarts = 0;
+  /// Cancellation/deadline/ladder counters: attempts abandoned via
+  /// cooperative cancellation (supervisor stall-cancel or deadline
+  /// miss), deadline expiries specifically, and degradation-ladder
+  /// rung-downs (re-runs on a cheaper backend after a cancellation).
+  std::uint64_t cancellations = 0;
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t degradations = 0;
   /// Launch-path counters: full frame builds (validation + plan lookup
   /// + binding + scratch allocation) vs cheap replays of a prepared
   /// descriptor.  invocations ≈ captures + replays once a loop is warm.
@@ -49,7 +56,8 @@ struct loop_profile {
 
   bool empty() const {
     return invocations == 0 && retries == 0 && fallbacks == 0 &&
-           restarts == 0 && captures == 0 && replays == 0;
+           restarts == 0 && captures == 0 && replays == 0 &&
+           cancellations == 0 && deadline_misses == 0 && degradations == 0;
   }
 };
 
@@ -104,6 +112,14 @@ void record_tuner(slot* s, std::uint64_t chunk, const char* state);
 void record_retry(const std::string& loop_name);
 void record_fallback(const std::string& loop_name);
 void record_restart(const std::string& loop_name);
+
+/// Cancellation hooks (no-ops while profiling is disabled), recorded by
+/// run_loop_protected and the watchdog supervisor's per-activity cancel
+/// hook: an attempt abandoned via cooperative cancellation, a deadline
+/// expiry, and a degradation-ladder rung-down.
+void record_cancellation(const std::string& loop_name);
+void record_deadline_miss(const std::string& loop_name);
+void record_degradation(const std::string& loop_name);
 
 /// Process-wide heap-allocation counter, installed by a harness that
 /// interposes operator new (bench/micro/launch_overhead.cpp).  When

@@ -59,14 +59,26 @@ struct failure_policy {
   /// After retries are exhausted, roll back once more and run the loop
   /// on the registry's "seq" executor.
   bool fallback_to_seq = false;
+  /// Wall-clock budget per loop attempt, in milliseconds; 0 disables.
+  /// An attempt past its deadline is cooperatively cancelled (its
+  /// stop_token is requested; chunks abandon between polls), rolled
+  /// back, and — with `ladder` — re-run one rung down the degradation
+  /// ladder dataflow→async→forkjoin→seq.  The seq floor runs without a
+  /// deadline so forward progress is guaranteed.
+  int deadline_ms = 0;
+  /// Enables the degradation ladder for cancelled/deadline-missed
+  /// attempts.  Implied by deadline_ms unless ladder=off is explicit.
+  bool ladder = false;
 
-  bool enabled() const { return max_retries > 0 || fallback_to_seq; }
+  bool enabled() const {
+    return max_retries > 0 || fallback_to_seq || deadline_ms > 0 || ladder;
+  }
 };
 
 /// Parses the OP2_FAILURE_POLICY grammar:
-///   off | retries=N[,fallback=on|off]
-/// e.g. "retries=2,fallback=on".  Throws std::invalid_argument on
-/// malformed specs.
+///   off | retries=N[,fallback=on|off][,deadline=MS][,ladder=on|off]
+/// e.g. "retries=2,fallback=on" or "deadline=500" (which implies
+/// ladder=on).  Throws std::invalid_argument on malformed specs.
 failure_policy parse_failure_policy(const std::string& text);
 
 /// Adaptive grain tuner arm (OP2_TUNER):
@@ -120,6 +132,17 @@ struct config {
   /// "dynamic:N" | "guided:N" | "adaptive".  Empty defers to
   /// static_chunk (legacy knob) then the auto-partitioner.
   std::string chunker;
+  /// Bounded in-flight window for the dataflow API (OP2_DATAFLOW_WINDOW):
+  /// at most this many op_par_loop futures outstanding at once; further
+  /// submissions block (helping the scheduler) until a node completes.
+  /// 0 = unbounded, the pre-backpressure behaviour.
+  std::size_t dataflow_window = 0;
+  /// Stall monitor period (OP2_WATCHDOG_MS): init() starts the hpxlite
+  /// watchdog with this timeout.  With a ladder policy the watchdog
+  /// supervises (a stall verdict cancels the stuck loop's token and the
+  /// ladder re-runs it); otherwise it diagnoses (prints and aborts).
+  /// 0 = no watchdog.
+  long watchdog_ms = 0;
 };
 
 /// Convenience constructor for string-selected backends: validates

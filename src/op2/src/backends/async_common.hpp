@@ -22,12 +22,14 @@ inline hpxlite::future<void> launch_colored(loop_launch loop) {
   }
   if (loop.direct) {
     // run_block shares ownership of the loop frame, so capturing the
-    // closure (plus the plan) keeps the loop's data alive.
+    // closure (plus the plan) keeps the loop's data alive.  The cancel
+    // token gates the launch itself and every chunk inside for_each.
     return hpxlite::async(
-        launch::async,
-        [plan = loop.plan, run = loop.run_block, chunk = loop.chunk] {
+        launch::async, loop.cancel,
+        [plan = loop.plan, run = loop.run_block, chunk = loop.chunk,
+         cancel = loop.cancel] {
           const auto& blocks = plan->color_blocks.front();
-          hpxlite::parallel::for_each(hpxlite::par.with(chunk),
+          hpxlite::parallel::for_each(hpxlite::par.with(chunk).with(cancel),
                                       blocks.begin(), blocks.end(),
                                       [&](int b) { run(b); });
         });
@@ -36,17 +38,22 @@ inline hpxlite::future<void> launch_colored(loop_launch loop) {
     return hpxlite::make_ready_future();
   }
   const auto sweep = [plan = loop.plan, run = loop.run_block,
-                      chunk = loop.chunk](std::size_t color) {
+                      chunk = loop.chunk,
+                      cancel = loop.cancel](std::size_t color) {
     const auto& blocks = plan->color_blocks[color];
     return hpxlite::parallel::for_each(
-        hpxlite::par(hpxlite::task).with(chunk), blocks.begin(),
+        hpxlite::par(hpxlite::task).with(chunk).with(cancel), blocks.begin(),
         blocks.end(), [run](int b) { run(b); });
   };
   hpxlite::future<void> chain = sweep(0);
   for (std::size_t c = 1;
        c < static_cast<std::size_t>(loop.plan->ncolors); ++c) {
+    // A cancelled (or otherwise failed) colour resolves the remaining
+    // sweeps to the same error without launching their kernels: the
+    // stop-token overload refuses to invoke the body once stopped, and
+    // prev.get() propagates the upstream exception.
     chain = hpxlite::dataflow(
-        launch::async,
+        launch::async, loop.cancel,
         [sweep, c](hpxlite::future<void> prev) {
           prev.get();  // propagate exceptions between colours
           return sweep(c);

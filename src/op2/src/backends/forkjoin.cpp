@@ -49,8 +49,12 @@ class forkjoin_executor final : public loop_executor {
   static void run_colored(const loop_launch& loop) {
     auto& tm = team();
     for (const auto& blocks : loop.plan->color_blocks) {
+      // Poll the cancel token between blocks: the team rethrows the
+      // first member's operation_cancelled after the barrier, so a
+      // cancelled loop abandons within one block per worker.
       const auto body = [&](std::size_t lo, std::size_t hi) {
         for (std::size_t k = lo; k != hi; ++k) {
+          loop.cancel.throw_if_stopped();
           loop.run_block(blocks[k]);
         }
       };

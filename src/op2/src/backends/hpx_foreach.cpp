@@ -29,7 +29,9 @@ class hpx_foreach_executor final : public loop_executor {
 
  private:
   static void run_colored(const loop_launch& loop) {
-    const auto policy = hpxlite::par.with(loop.chunk);
+    // The chunked algorithms poll the token between chunks and resolve
+    // to operation_cancelled without running further kernels.
+    const auto policy = hpxlite::par.with(loop.chunk).with(loop.cancel);
     for (const auto& blocks : loop.plan->color_blocks) {
       hpxlite::parallel::for_each(policy, blocks.begin(), blocks.end(),
                                   [&](int b) { loop.run_block(b); });

@@ -2,6 +2,7 @@
 // the raw iteration range in element order, ignoring the block/colour
 // schedule entirely, so its floating-point reduction order is the
 // textbook sequential one.
+#include <algorithm>
 #include <memory>
 
 #include "backends/builtin.hpp"
@@ -19,12 +20,25 @@ class seq_executor final : public loop_executor {
     return executor_caps{};  // synchronous, no pools, not simulated
   }
 
-  void run_direct(const loop_launch& loop) override {
-    loop.run_range(0, loop.set_size);
-  }
+  void run_direct(const loop_launch& loop) override { run_sliced(loop); }
 
-  void run_indirect(const loop_launch& loop) override {
-    loop.run_range(0, loop.set_size);
+  void run_indirect(const loop_launch& loop) override { run_sliced(loop); }
+
+ private:
+  /// With a live cancel token the range is executed in slices with a
+  /// poll between them, so even the sequential executor abandons a
+  /// cancelled loop promptly.  (The degradation ladder's seq *floor*
+  /// strips the token before running, so floor runs stay whole-range.)
+  static void run_sliced(const loop_launch& loop) {
+    if (!loop.cancel.stop_possible()) {
+      loop.run_range(0, loop.set_size);
+      return;
+    }
+    constexpr int slice = 1024;
+    for (int begin = 0; begin < loop.set_size; begin += slice) {
+      loop.cancel.throw_if_stopped();
+      loop.run_range(begin, std::min(begin + slice, loop.set_size));
+    }
   }
 };
 

@@ -1,0 +1,118 @@
+#include "op2/backpressure.hpp"
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "hpxlite/scheduler.hpp"
+
+namespace op2 {
+
+namespace {
+
+struct window_state {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::size_t cap = 0;  // 0 = unbounded
+  std::size_t in_flight = 0;
+  std::size_t peak = 0;
+
+  bool admissible() const { return cap == 0 || in_flight < cap; }
+};
+
+window_state& state() {
+  static window_state s;
+  return s;
+}
+
+void admit() {
+  auto& s = state();
+  // Worker threads must not sleep on the cv: the slot they are waiting
+  // for may be freed by a node queued behind them on this very pool.
+  // Helping drains that work; non-workers can block properly.
+  if (hpxlite::runtime::on_worker_thread()) {
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        if (s.admissible()) {
+          s.in_flight += 1;
+          if (s.in_flight > s.peak) {
+            s.peak = s.in_flight;
+          }
+          return;
+        }
+      }
+      if (hpxlite::runtime* rt = hpxlite::runtime::current()) {
+        if (!rt->try_execute_one()) {
+          std::this_thread::yield();
+        }
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  }
+  std::unique_lock<std::mutex> lock(s.mutex);
+  s.cv.wait(lock, [&s] { return s.admissible(); });
+  s.in_flight += 1;
+  if (s.in_flight > s.peak) {
+    s.peak = s.in_flight;
+  }
+}
+
+void depart() noexcept {
+  auto& s = state();
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (s.in_flight > 0) {
+      s.in_flight -= 1;
+    }
+  }
+  s.cv.notify_one();
+}
+
+}  // namespace
+
+void set_dataflow_window(std::size_t cap) {
+  auto& s = state();
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.cap = cap;
+  }
+  s.cv.notify_all();
+}
+
+dataflow_window_stats get_dataflow_window_stats() {
+  auto& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return {s.in_flight, s.peak, s.cap};
+}
+
+void reset_dataflow_window_peak() {
+  auto& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.peak = s.in_flight;
+}
+
+namespace detail {
+
+dataflow_ticket::dataflow_ticket() {
+  admit();
+  held_ = true;
+}
+
+dataflow_ticket::~dataflow_ticket() { release(); }
+
+void dataflow_ticket::release() noexcept {
+  if (held_) {
+    held_ = false;
+    depart();
+  }
+}
+
+std::shared_ptr<dataflow_ticket> acquire_dataflow_ticket() {
+  return std::make_shared<dataflow_ticket>();
+}
+
+}  // namespace detail
+
+}  // namespace op2

@@ -240,14 +240,18 @@ std::shared_ptr<detail::fault_arming> fault_injector::arm(
   return fire ? s.arming : nullptr;
 }
 
-void fault_injector::stall(int stall_ms) {
+void fault_injector::stall(int stall_ms, hpxlite::stop_token cancel) {
   auto& s = state();
+  // Wake the wait when the supervisor cancels this attempt; the
+  // predicate below distinguishes cancellation from release_stalls().
+  hpxlite::stop_callback wake(cancel, [&s] { s.stall_cv.notify_all(); });
   std::unique_lock<std::mutex> lock(s.stall_mutex);
   const std::uint64_t entered = s.release_generation;
   s.stalled += 1;
   s.stall_cv.wait_for(lock, std::chrono::milliseconds(stall_ms),
-                      [&s, entered] {
-                        return s.release_generation != entered;
+                      [&s, entered, &cancel] {
+                        return s.release_generation != entered ||
+                               cancel.stop_requested();
                       });
   s.stalled -= 1;
 }
@@ -265,7 +269,15 @@ void fire_fault_pre(fault_arming& arming) {
     case fault_kind::stall:
       if (arming.claim()) {
         state().fired.fetch_add(1, std::memory_order_acq_rel);
-        fault_injector::stall(arming.stall_ms);
+        hpxlite::stop_token cancel = arming.cancel_token();
+        fault_injector::stall(arming.stall_ms, cancel);
+        // A stall merely *released* completes normally; a stall
+        // *cancelled* abandons the attempt so the supervisor can roll
+        // back and re-run the loop one rung down the ladder.
+        if (cancel.stop_requested()) {
+          throw hpxlite::operation_cancelled(
+              "op2: injected stall in loop '" + arming.loop + "' cancelled");
+        }
       }
       break;
     default:

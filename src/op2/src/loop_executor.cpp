@@ -2,11 +2,13 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstring>
 #include <map>
 #include <mutex>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "backends/builtin.hpp"
@@ -318,6 +320,20 @@ std::string activity_description(const loop_executor& exec,
          " [chunk " + describe(loop.chunk) + "]";
 }
 
+/// The watchdog's supervise hook for a cancellable execution: a stall
+/// verdict stops the attempt's token and the protected-run machinery
+/// rolls back and degrades.  The profiling count is recorded by the
+/// unwinding attempt itself (see recover) — recording here, on the
+/// monitor thread, would race with the recovered loop's caller reading
+/// the profile.  Loops without a per-attempt stop_source get no hook,
+/// so the watchdog falls back to diagnostics for them.
+std::function<void()> cancel_hook(const loop_launch& loop) {
+  if (!loop.cancel_source) {
+    return {};
+  }
+  return [src = loop.cancel_source] { src->request_stop(); };
+}
+
 /// RAII registration of a supervised activity.  When the watchdog is
 /// stopped (the common case) the cost is one atomic load — the
 /// description string is never built.
@@ -325,7 +341,7 @@ struct activity_guard {
   activity_guard(const loop_executor& exec, const loop_launch& loop) {
     if (hpxlite::watchdog::running()) {
       token = hpxlite::watchdog::begin_activity(
-          activity_description(exec, loop));
+          activity_description(exec, loop), cancel_hook(loop));
     }
   }
   ~activity_guard() {
@@ -460,8 +476,8 @@ hpxlite::future<void> launch_loop(loop_executor& exec, loop_launch loop) {
     }
     // Supervise launch-to-completion: the activity ends (and counts as
     // progress) only when the loop's future becomes ready.
-    const std::uint64_t token =
-        hpxlite::watchdog::begin_activity(activity_description(exec, loop));
+    const std::uint64_t token = hpxlite::watchdog::begin_activity(
+        activity_description(exec, loop), cancel_hook(loop));
     auto launched = launch_loop_impl(exec, std::move(loop));
     return launched.then([token](hpxlite::future<void>&& f) {
       hpxlite::watchdog::end_activity(token);
@@ -503,7 +519,126 @@ loop_error::loop_error(std::string loop, std::string backend, int attempts,
       attempts_(attempts),
       cause_(std::move(cause)) {}
 
+loop_deadline_error::loop_deadline_error(const std::string& loop,
+                                         int deadline_ms)
+    : std::runtime_error("op2: loop '" + loop + "' missed its " +
+                         std::to_string(deadline_ms) + " ms deadline"),
+      deadline_ms_(deadline_ms) {}
+
 namespace {
+
+// --- deadline service -------------------------------------------------
+//
+// One dedicated timer thread for every deadline-bounded attempt in the
+// process.  A dedicated OS thread (rather than a pool task waiting with
+// a timeout) is essential: the attempt itself may occupy every worker —
+// including a worker parked inside an injected stall — and a supervisor
+// that helps the pool could be dragged into the very task it is meant
+// to cancel.  The thread sleeps until the earliest armed deadline and
+// just stops tokens; the heavy lifting (drain, rollback, degrade)
+// happens on the thread that ran the attempt.
+
+struct deadline_entry {
+  std::uint64_t id = 0;
+  std::chrono::steady_clock::time_point when;
+  std::shared_ptr<hpxlite::stop_source> src;
+  std::string loop;
+  bool fired = false;
+};
+
+struct deadline_state {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<deadline_entry> entries;  // few in flight; linear scan
+  std::uint64_t next_id = 1;
+  bool thread_started = false;
+};
+
+/// Leaked on purpose: the detached timer thread may outlive static
+/// destruction, so the state it touches must never be destroyed.
+deadline_state& deadlines() {
+  static deadline_state* s = new deadline_state;
+  return *s;
+}
+
+void deadline_thread_loop() {
+  auto& s = deadlines();
+  std::unique_lock<std::mutex> lock(s.mutex);
+  for (;;) {
+    auto next = std::chrono::steady_clock::time_point::max();
+    for (const auto& e : s.entries) {
+      if (!e.fired && e.when < next) {
+        next = e.when;
+      }
+    }
+    if (next == std::chrono::steady_clock::time_point::max()) {
+      s.cv.wait(lock);
+      continue;
+    }
+    if (s.cv.wait_until(lock, next) == std::cv_status::no_timeout) {
+      continue;  // re-scan: entries changed
+    }
+    const auto now = std::chrono::steady_clock::now();
+    std::vector<deadline_entry> due;
+    for (auto& e : s.entries) {
+      if (!e.fired && e.when <= now) {
+        e.fired = true;
+        due.push_back(e);  // copy src/name; fire outside the lock
+      }
+    }
+    lock.unlock();
+    for (const auto& e : due) {
+      // Record the miss *before* stopping the token: the woken attempt
+      // (and, transitively, the driver that launched it) must already
+      // see the miss in the profile.  The cancellation count itself is
+      // recorded by the unwinding attempt (see recover), never here.
+      profiling::record_deadline_miss(e.loop);
+      e.src->request_stop();
+    }
+    lock.lock();
+  }
+}
+
+/// Arms a deadline: at `delay` from now the service stops `src` and
+/// records the miss.  Pair with disarm_deadline once the attempt
+/// resolves; its return value says whether the deadline fired.
+std::uint64_t arm_deadline(std::chrono::milliseconds delay,
+                           std::shared_ptr<hpxlite::stop_source> src,
+                           std::string loop) {
+  auto& s = deadlines();
+  std::uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    id = s.next_id++;
+    deadline_entry e;
+    e.id = id;
+    e.when = std::chrono::steady_clock::now() + delay;
+    e.src = std::move(src);
+    e.loop = std::move(loop);
+    s.entries.push_back(std::move(e));
+    if (!s.thread_started) {
+      s.thread_started = true;
+      std::thread(deadline_thread_loop).detach();
+    }
+  }
+  s.cv.notify_one();
+  return id;
+}
+
+bool disarm_deadline(std::uint64_t id) {
+  auto& s = deadlines();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  for (auto it = s.entries.begin(); it != s.entries.end(); ++it) {
+    if (it->id == id) {
+      const bool fired = it->fired;
+      s.entries.erase(it);
+      return fired;
+    }
+  }
+  return false;
+}
+
+// --- rollback / retry / degradation ladder ----------------------------
 
 /// Byte copies of every write target, taken before the first attempt.
 std::vector<std::vector<std::byte>> take_snapshot(const loop_launch& loop) {
@@ -523,38 +658,188 @@ void restore_snapshot(const loop_launch& loop,
   }
 }
 
-/// Error path shared by the sync and async entry points: after a failed
-/// first attempt, roll back and retry on `exec`, then degrade to seq,
-/// then surface loop_error.  Runs synchronously (failures are rare;
-/// recovery needn't overlap).
-void recover(loop_executor& exec, const loop_launch& loop,
-             const failure_policy& policy,
-             const std::vector<std::vector<std::byte>>& snapshot,
-             std::exception_ptr error) {
-  int attempts = 1;
-  for (int retry = 0; retry < policy.max_retries; ++retry) {
+/// The next rung down the degradation ladder, or nullptr at the floor.
+/// hpx_dataflow -> hpx_async -> forkjoin -> seq; hpx_foreach ->
+/// forkjoin.  The forkjoin rung needs the persistent team op2::init
+/// creates for forkjoin configs only, so hpx configurations (which
+/// never built one) skip straight to the seq oracle.  Unknown user
+/// backends degrade straight to seq too.
+const char* next_rung(std::string_view backend) {
+  if (backend == "hpx_dataflow") {
+    return "hpx_async";
+  }
+  if (backend == "hpx_async" || backend == "hpx_foreach") {
+    return detail::team_if_active() != nullptr ? "forkjoin" : "seq";
+  }
+  if (backend == "forkjoin") {
+    return "seq";
+  }
+  if (backend == "seq") {
+    return nullptr;
+  }
+  return "seq";
+}
+
+/// True when `error` is a cooperative cancellation (watchdog stop or
+/// deadline miss) rather than a genuine kernel failure.
+bool is_cancellation(const std::exception_ptr& error) {
+  if (!error) {
+    return false;
+  }
+  try {
+    std::rethrow_exception(error);
+  } catch (const loop_deadline_error&) {
+    return true;
+  } catch (const hpxlite::operation_cancelled&) {
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+/// One execution attempt.  With cancellation allowed the attempt runs
+/// under a fresh stop_source — visible to the backends (chunk polls),
+/// the fault injector's stall wait, and the watchdog's supervise hook —
+/// and, when the policy carries a deadline, armed with the deadline
+/// service.  Without it (the seq floor, or policies that never cancel)
+/// any stale token from an earlier attempt is stripped first, so the
+/// run cannot be failed by a stop that already happened.
+void run_attempt(loop_executor& exec, const loop_launch& base,
+                 const failure_policy& policy, bool allow_cancel) {
+  if (!allow_cancel) {
+    if (!base.cancel_source && !base.cancel.stop_possible()) {
+      run_loop(exec, base);
+      return;
+    }
+    loop_launch plain = base;
+    plain.cancel = {};
+    plain.cancel_source.reset();
+    if (plain.fault) {
+      plain.fault->set_cancel_token({});
+    }
+    run_loop(exec, plain);
+    return;
+  }
+  loop_launch attempt = base;
+  auto src = std::make_shared<hpxlite::stop_source>();
+  attempt.cancel_source = src;
+  attempt.cancel = src->get_token();
+  if (attempt.fault) {
+    attempt.fault->set_cancel_token(attempt.cancel);
+  }
+  if (policy.deadline_ms <= 0) {
+    // No deadline: the watchdog's cancel_stalled() is the only
+    // supervisor (via the activity hook run_loop registers).
+    run_loop(exec, attempt);
+    return;
+  }
+  const std::uint64_t id =
+      arm_deadline(std::chrono::milliseconds(policy.deadline_ms), src,
+                   attempt.name);
+  std::exception_ptr error;
+  try {
+    run_loop(exec, attempt);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  const bool fired = disarm_deadline(id);
+  if (!error) {
+    return;  // beat the deadline (or squeaked past it — result stands)
+  }
+  if (fired && is_cancellation(error)) {
+    throw loop_deadline_error(attempt.name, policy.deadline_ms);
+  }
+  std::rethrow_exception(error);
+}
+
+/// The cancellation path of recover(): walk the ladder downward,
+/// rolling back and re-running one rung at a time.  Rungs above seq
+/// stay cancellable — the deadline and the watchdog bound them exactly
+/// like the first attempt — while the seq floor runs uncancellable, so
+/// the walk always terminates with a real result (or a loop_error
+/// carrying the floor's own failure).
+void degrade_ladder(loop_executor& exec, const loop_launch& loop,
+                    const failure_policy& policy,
+                    const std::vector<std::vector<std::byte>>& snapshot,
+                    std::exception_ptr error, int attempts) {
+  for (const char* rung = next_rung(exec.name()); rung != nullptr;
+       rung = next_rung(rung)) {
+    loop_executor& lower = backend_registry::shared(rung);
     restore_snapshot(loop, snapshot);
-    profiling::record_retry(loop.name);
+    profiling::record_degradation(loop.name);
     if (loop.fault) {
       loop.fault->begin_attempt();
     }
     ++attempts;
     try {
-      run_loop(exec, loop);
+      run_attempt(lower, loop, policy,
+                  /*allow_cancel=*/std::string_view(rung) != "seq");
+      return;
+    } catch (...) {
+      error = std::current_exception();
+      if (is_cancellation(error)) {
+        profiling::record_cancellation(loop.name);
+      }
+    }
+  }
+  restore_snapshot(loop, snapshot);
+  throw loop_error(loop.name, std::string(exec.name()), attempts,
+                   std::move(error));
+}
+
+/// Error path shared by the sync and async entry points.  Cancelled
+/// attempts (deadline miss, watchdog stall verdict) degrade down the
+/// ladder when the policy enables it; genuine kernel failures roll back
+/// and retry on `exec`, then degrade to seq, then surface loop_error.
+/// Runs synchronously (failures are rare; recovery needn't overlap).
+void recover(loop_executor& exec, const loop_launch& loop,
+             const failure_policy& policy,
+             const std::vector<std::vector<std::byte>>& snapshot,
+             std::exception_ptr error) {
+  // Cancellations are counted here, on the unwinding thread: the
+  // supervisor (watchdog monitor or deadline service) that stopped the
+  // token runs concurrently with the recovery, and recording from its
+  // thread would race with the recovered loop's caller reading the
+  // profile.
+  if (is_cancellation(error)) {
+    profiling::record_cancellation(loop.name);
+  }
+  if (policy.ladder && is_cancellation(error)) {
+    degrade_ladder(exec, loop, policy, snapshot, std::move(error), 1);
+    return;
+  }
+  // Strip any per-attempt token off the retry copies: a stop requested
+  // against the failed attempt must not poison its re-executions.
+  loop_launch base = loop;
+  base.cancel = {};
+  base.cancel_source.reset();
+  if (base.fault) {
+    base.fault->set_cancel_token({});
+  }
+  int attempts = 1;
+  for (int retry = 0; retry < policy.max_retries; ++retry) {
+    restore_snapshot(base, snapshot);
+    profiling::record_retry(base.name);
+    if (base.fault) {
+      base.fault->begin_attempt();
+    }
+    ++attempts;
+    try {
+      run_loop(exec, base);
       return;
     } catch (...) {
       error = std::current_exception();
     }
   }
   if (policy.fallback_to_seq && exec.name() != "seq") {
-    restore_snapshot(loop, snapshot);
-    profiling::record_fallback(loop.name);
-    if (loop.fault) {
-      loop.fault->begin_attempt();
+    restore_snapshot(base, snapshot);
+    profiling::record_fallback(base.name);
+    if (base.fault) {
+      base.fault->begin_attempt();
     }
     ++attempts;
     try {
-      run_loop(backend_registry::shared("seq"), loop);
+      run_loop(backend_registry::shared("seq"), base);
       return;
     } catch (...) {
       error = std::current_exception();
@@ -562,9 +847,17 @@ void recover(loop_executor& exec, const loop_launch& loop,
   }
   // Leave the write set in its pre-loop state: a failed loop must not
   // publish partial updates.
-  restore_snapshot(loop, snapshot);
-  throw loop_error(loop.name, std::string(exec.name()), attempts,
+  restore_snapshot(base, snapshot);
+  throw loop_error(base.name, std::string(exec.name()), attempts,
                    std::move(error));
+}
+
+/// Cancellation only makes sense when something will re-run the loop
+/// (the ladder) or bound it (a deadline); the seq oracle is always the
+/// uncancellable floor even when it is the configured backend.
+bool attempt_cancellable(const loop_executor& exec,
+                         const failure_policy& policy) {
+  return (policy.ladder || policy.deadline_ms > 0) && exec.name() != "seq";
 }
 
 }  // namespace
@@ -581,7 +874,7 @@ void run_loop_protected(loop_executor& exec, const loop_launch& loop,
   }
   std::exception_ptr error;
   try {
-    run_loop(exec, loop);
+    run_attempt(exec, loop, policy, attempt_cancellable(exec, policy));
     return;
   } catch (...) {
     error = std::current_exception();
@@ -599,19 +892,40 @@ hpxlite::future<void> launch_loop_protected(loop_executor& exec,
   if (loop.fault) {
     loop.fault->begin_attempt();
   }
+  std::uint64_t deadline_id = 0;
+  if (attempt_cancellable(exec, policy)) {
+    auto src = std::make_shared<hpxlite::stop_source>();
+    loop.cancel_source = src;
+    loop.cancel = src->get_token();
+    if (loop.fault) {
+      loop.fault->set_cancel_token(loop.cancel);
+    }
+    if (policy.deadline_ms > 0) {
+      deadline_id = arm_deadline(
+          std::chrono::milliseconds(policy.deadline_ms), src, loop.name);
+    }
+  }
   auto first = launch_loop(exec, loop);
   // Recovery runs in the completion continuation: the returned future
   // becomes ready only once an attempt succeeded, or exceptional with
   // the final loop_error.
   return first.then([&exec, loop = std::move(loop), policy,
-                     snapshot = std::move(snapshot)](
+                     snapshot = std::move(snapshot), deadline_id](
                         hpxlite::future<void>&& f) {
     std::exception_ptr error;
     try {
       f.get();
+      if (deadline_id != 0) {
+        disarm_deadline(deadline_id);
+      }
       return;
     } catch (...) {
       error = std::current_exception();
+    }
+    if (deadline_id != 0 && disarm_deadline(deadline_id) &&
+        is_cancellation(error)) {
+      error = std::make_exception_ptr(
+          loop_deadline_error(loop.name, policy.deadline_ms));
     }
     recover(exec, loop, policy, snapshot, std::move(error));
   });

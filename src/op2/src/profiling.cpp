@@ -152,6 +152,30 @@ void record_restart(const std::string& loop_name) {
   locked_slot(loop_name).p.restarts += 1;
 }
 
+void record_cancellation(const std::string& loop_name) {
+  if (!enabled()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(g_mutex);
+  locked_slot(loop_name).p.cancellations += 1;
+}
+
+void record_deadline_miss(const std::string& loop_name) {
+  if (!enabled()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(g_mutex);
+  locked_slot(loop_name).p.deadline_misses += 1;
+}
+
+void record_degradation(const std::string& loop_name) {
+  if (!enabled()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(g_mutex);
+  locked_slot(loop_name).p.degradations += 1;
+}
+
 void set_alloc_counter(alloc_counter_fn fn) {
   g_alloc_counter.store(fn, std::memory_order_release);
 }
@@ -185,6 +209,8 @@ void report(std::ostream& out) {
       << std::setw(12) << "max_ms" << std::setw(12) << "loops/sec"
       << std::setw(12) << "allocs/loop" << std::setw(9) << "retries"
       << std::setw(11) << "fallbacks" << std::setw(10) << "restarts"
+      << std::setw(8) << "cancels" << std::setw(10) << "ddl_miss"
+      << std::setw(9) << "degrade"
       << std::setw(10) << "captures" << std::setw(9) << "replays"
       << std::setw(13) << "chunk_chosen" << std::setw(12) << "tuner_state"
       << "\n";
@@ -212,8 +238,10 @@ void report(std::ostream& out) {
       out << std::setw(12) << "-";
     }
     out << std::setw(9) << p.retries << std::setw(11) << p.fallbacks
-        << std::setw(10) << p.restarts << std::setw(10) << p.captures
-        << std::setw(9) << p.replays;
+        << std::setw(10) << p.restarts << std::setw(8) << p.cancellations
+        << std::setw(10) << p.deadline_misses << std::setw(9)
+        << p.degradations << std::setw(10) << p.captures << std::setw(9)
+        << p.replays;
     if (p.chunk_chosen != 0) {
       out << std::setw(13) << p.chunk_chosen;
     } else {

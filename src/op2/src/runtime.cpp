@@ -1,12 +1,14 @@
 #include "op2/runtime.hpp"
 
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 
 #include "hpxlite/scheduler.hpp"
 #include "hpxlite/watchdog.hpp"
+#include "op2/backpressure.hpp"
 #include "op2/fault.hpp"
 #include "op2/loop_executor.hpp"
 #include "op2/plan.hpp"
@@ -72,6 +74,21 @@ void apply_resilience_env(config& cfg) {
     parse_chunk_spec(env);  // validate eagerly: fail at init, not launch
     cfg.chunker = env;
   }
+  if (const char* env = std::getenv("OP2_DATAFLOW_WINDOW");
+      env != nullptr && *env != '\0') {
+    long window = -1;
+    try {
+      window = std::stol(env);
+    } catch (const std::exception&) {
+      window = -1;
+    }
+    if (window < 0) {
+      throw std::invalid_argument(
+          std::string("op2: OP2_DATAFLOW_WINDOW must be a non-negative "
+                      "future count (0 = unbounded), got '") + env + "'");
+    }
+    cfg.dataflow_window = static_cast<std::size_t>(window);
+  }
   if (const char* env = std::getenv("OP2_WATCHDOG_MS");
       env != nullptr && *env != '\0') {
     long ms = 0;
@@ -86,11 +103,35 @@ void apply_resilience_env(config& cfg) {
       throw std::invalid_argument(
           "op2: OP2_WATCHDOG_MS must be a non-negative millisecond count");
     }
-    if (ms == 0) {
-      hpxlite::watchdog::stop();
-    } else {
-      hpxlite::watchdog::start(std::chrono::milliseconds(ms));
-    }
+    cfg.watchdog_ms = ms;
+  }
+}
+
+/// Starts (or leaves stopped) the stall monitor for `cfg`.  Runs after
+/// finalize() tore down the previous runtime — apply_resilience_env
+/// only validates and records the knob, so a bad environment fails
+/// init() before teardown, and the teardown's watchdog::stop() cannot
+/// kill the monitor this config asks for.
+void start_watchdog(const config& cfg) {
+  if (cfg.watchdog_ms <= 0) {
+    return;  // finalize() already stopped any previous monitor
+  }
+  if (cfg.on_failure.ladder) {
+    // Supervise mode: a stall cancels the stuck activities' tokens
+    // (the protected-run machinery then rolls back and degrades down
+    // the ladder) instead of killing the process.  When nothing in
+    // flight is supervisable, print the diagnostic and keep going —
+    // the deadline path still bounds every protected loop.
+    hpxlite::watchdog::start(
+        std::chrono::milliseconds(cfg.watchdog_ms),
+        [](const hpxlite::watchdog_report& report) {
+          if (hpxlite::watchdog::cancel_stalled() == 0) {
+            std::fputs(hpxlite::describe(report).c_str(), stderr);
+            std::fflush(stderr);
+          }
+        });
+  } else {
+    hpxlite::watchdog::start(std::chrono::milliseconds(cfg.watchdog_ms));
   }
 }
 
@@ -101,6 +142,7 @@ failure_policy parse_failure_policy(const std::string& text) {
   if (text == "off" || text == "none") {
     return policy;
   }
+  bool ladder_explicit = false;
   std::istringstream in(text);
   std::string kv;
   while (std::getline(in, kv, ',')) {
@@ -129,11 +171,38 @@ failure_policy parse_failure_policy(const std::string& text) {
             "op2: bad OP2_FAILURE_POLICY '" + text + "': fallback must be "
             "on or off");
       }
+    } else if (key == "deadline" && !value.empty()) {
+      try {
+        policy.deadline_ms = std::stoi(value);
+      } catch (const std::exception&) {
+        policy.deadline_ms = -1;
+      }
+      if (policy.deadline_ms < 0) {
+        throw std::invalid_argument(
+            "op2: bad OP2_FAILURE_POLICY '" + text + "': deadline must be "
+            "a non-negative millisecond count");
+      }
+    } else if (key == "ladder") {
+      if (value == "on" || value == "1") {
+        policy.ladder = true;
+      } else if (value == "off" || value == "0") {
+        policy.ladder = false;
+      } else {
+        throw std::invalid_argument(
+            "op2: bad OP2_FAILURE_POLICY '" + text + "': ladder must be "
+            "on or off");
+      }
+      ladder_explicit = true;
     } else {
       throw std::invalid_argument(
           "op2: bad OP2_FAILURE_POLICY '" + text + "' (grammar: off | "
-          "retries=N[,fallback=on|off])");
+          "retries=N[,fallback=on|off][,deadline=MS][,ladder=on|off])");
     }
+  }
+  // A deadline without an explicit ladder choice turns the ladder on:
+  // cancelling an attempt is only useful if something re-runs the loop.
+  if (policy.deadline_ms > 0 && !ladder_explicit) {
+    policy.ladder = true;
   }
   return policy;
 }
@@ -219,6 +288,9 @@ void init(const config& cfg) {
   if (!g_config.tuner_cache.empty()) {
     tuner::load_cache(g_config.tuner_cache);
   }
+  set_dataflow_window(g_config.dataflow_window);
+  reset_dataflow_window_peak();
+  start_watchdog(g_config);
 }
 
 void finalize() {
@@ -234,10 +306,16 @@ void finalize() {
   detail::bump_prepared_epoch();
   detail::clear_prepared_caches();
   g_team.reset();
+  // Stop the monitor before the pools go away: a supervise-mode
+  // watchdog left running would observe teardown as a stall, and its
+  // joinable monitor thread would terminate the process when statics
+  // destruct.
+  hpxlite::watchdog::stop();
   if (hpxlite::runtime::exists()) {
     hpxlite::runtime::shutdown();
   }
   clear_plan_cache();
+  set_dataflow_window(0);
   g_config = config{};
   g_backend_name = "seq";
   g_executor = nullptr;

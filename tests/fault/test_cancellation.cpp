@@ -1,0 +1,350 @@
+// Cancellation, deadlines and the degradation ladder, across backends
+// and API flavours: a deadline-missed (or watchdog-cancelled) attempt
+// is rolled back and re-run one rung down the ladder until the
+// uncancellable seq floor, with the cancels/ddl_miss/degrade profiling
+// counters recording what happened.  Also covers the policy grammar,
+// the OP2_DATAFLOW_WINDOW bounded admission window, and a TSan-friendly
+// cancel-vs-complete stress race.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hpxlite/hpxlite.hpp"
+#include "op2/backpressure.hpp"
+#include "op2/op2.hpp"
+
+namespace {
+
+using namespace op2;
+
+void inc_kernel(const double* a, double* b) { b[0] += a[0]; }
+
+class CancellationTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void TearDown() override {
+    fault_injector::clear();
+    hpxlite::watchdog::stop();
+    profiling::enable(false);
+    profiling::reset();
+    op2::finalize();
+  }
+
+  void start(int deadline_ms, bool ladder) {
+    auto cfg = make_config(GetParam(), 2, 16);
+    cfg.on_failure.deadline_ms = deadline_ms;
+    cfg.on_failure.ladder = ladder;
+    op2::init(cfg);
+  }
+
+  struct fixture {
+    op_set s;
+    op_dat a, b;
+  };
+
+  fixture make_fixture() {
+    fixture f;
+    f.s = op_decl_set(96, "s");
+    std::vector<double> init(96);
+    std::iota(init.begin(), init.end(), 1.0);
+    f.a = op_decl_dat<double>(f.s, 1, "double",
+                              std::span<const double>(init), "a");
+    f.b = op_decl_dat<double>(f.s, 1, "double", "b");
+    return f;
+  }
+
+  void run_guarded(fixture& f) {
+    op_par_loop(inc_kernel, "guarded", f.s,
+                op_arg_dat<double>(f.a, -1, OP_ID, 1, OP_READ),
+                op_arg_dat<double>(f.b, -1, OP_ID, 1, OP_INC));
+  }
+
+  static void expect_incremented_once(fixture& f) {
+    const auto a = f.a.data<double>();
+    const auto b = f.b.data<double>();
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(b[i], a[i]) << "element " << i;
+    }
+  }
+};
+
+// --- deadline miss -> ladder, sync API, every backend -----------------
+
+TEST_P(CancellationTest, DeadlineMissDegradesDownTheLadderAndCompletes) {
+  if (GetParam() == "seq") {
+    // seq is the uncancellable floor even as the configured backend:
+    // the deadline policy must leave a clean run untouched.
+    start(/*deadline_ms=*/100, /*ladder=*/true);
+    auto f = make_fixture();
+    run_guarded(f);
+    expect_incremented_once(f);
+    return;
+  }
+  start(/*deadline_ms=*/150, /*ladder=*/true);
+  profiling::enable(true);
+  auto f = make_fixture();
+  // One chunk of the first attempt stalls far beyond the deadline; the
+  // deadline service stops the attempt's token, the stalled chunk wakes
+  // cancelled, and the ladder re-runs the loop a rung down (the fault's
+  // fire budget is spent, so the re-run is clean).
+  fault_injector::configure("guarded:stall:at=1,stall_ms=60000");
+  run_guarded(f);
+  expect_incremented_once(f);
+  EXPECT_EQ(fault_injector::fired_count(), 1);
+  const auto prof = profiling::snapshot().at("guarded");
+  EXPECT_GE(prof.deadline_misses, 1u);
+  EXPECT_GE(prof.cancellations, 1u);
+  EXPECT_GE(prof.degradations, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, CancellationTest,
+    ::testing::ValuesIn(op2::backend_registry::names()),
+    [](const ::testing::TestParamInfo<std::string>& pinfo) {
+      return pinfo.param;
+    });
+
+// --- the other API flavours -------------------------------------------
+
+class CancellationApiTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    fault_injector::clear();
+    hpxlite::watchdog::stop();
+    profiling::enable(false);
+    profiling::reset();
+    op2::finalize();
+  }
+};
+
+TEST_F(CancellationApiTest, AsyncLaunchDeadlineMissRecoversViaLadder) {
+  auto cfg = make_config("hpx_async", 2, 16);
+  cfg.on_failure.deadline_ms = 150;
+  cfg.on_failure.ladder = true;
+  op2::init(cfg);
+  auto s = op_decl_set(96, "s");
+  std::vector<double> init(96);
+  std::iota(init.begin(), init.end(), 1.0);
+  auto a = op_decl_dat<double>(s, 1, "double",
+                               std::span<const double>(init), "a");
+  auto b = op_decl_dat<double>(s, 1, "double", "b");
+  fault_injector::configure("guarded:stall:at=1,stall_ms=60000");
+  auto done = op_par_loop_async(
+      inc_kernel, "guarded", s, op_arg_dat<double>(a, -1, OP_ID, 1, OP_READ),
+      op_arg_dat<double>(b, -1, OP_ID, 1, OP_INC));
+  done.get();  // recovery happens inside the completion continuation
+  const auto av = a.data<double>();
+  const auto bv = b.data<double>();
+  for (std::size_t i = 0; i < av.size(); ++i) {
+    ASSERT_EQ(bv[i], av[i]) << "element " << i;
+  }
+  EXPECT_EQ(fault_injector::fired_count(), 1);
+}
+
+TEST_F(CancellationApiTest, DataflowApiDeadlineMissRecoversViaLadder) {
+  auto cfg = make_config("hpx_dataflow", 2, 16);
+  cfg.on_failure.deadline_ms = 150;
+  cfg.on_failure.ladder = true;
+  op2::init(cfg);
+  auto s = op_decl_set(96, "s");
+  auto a = op_decl_dat<double>(s, 1, "double", "a");
+  op_dat_df da(a);
+  fault_injector::configure("writer:stall:at=1,stall_ms=60000");
+  op_par_loop([](double* x) { x[0] += 1.0; }, "writer", s,
+              op_arg_dat1<double>(da, -1, OP_ID, 1, OP_WRITE));
+  da.get();  // the node degraded internally; no error escapes
+  for (const double v : a.data<double>()) {
+    ASSERT_EQ(v, 1.0);
+  }
+  EXPECT_EQ(fault_injector::fired_count(), 1);
+}
+
+TEST_F(CancellationApiTest, PreparedReplayHonoursTheDeadlineLadder) {
+  auto cfg = make_config("hpx_foreach", 2, 4);
+  cfg.on_failure.deadline_ms = 100;
+  cfg.on_failure.ladder = true;
+  cfg.prepared_loops = true;
+  // Dynamic chunking: workers poll the cancel token on every claim, so
+  // the cancelled attempt abandons within one block per worker.
+  cfg.chunker = "dynamic:1";
+  op2::init(cfg);
+  profiling::enable(true);
+  auto s = op_decl_set(256, "s");
+  auto x = op_decl_dat<double>(s, 1, "double", "x");
+  // The kernel dawdles only when asked: the first invocation captures
+  // the prepared descriptor at full speed, then the replayed second
+  // invocation blows the deadline and must ride the ladder down to a
+  // backend that completes (the seq floor runs deadline-free).
+  static std::atomic<bool> dawdle{false};
+  dawdle = false;
+  const auto slow_inc = [](double* v) {
+    if (dawdle.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    v[0] += 1.0;
+  };
+  const auto run_once = [&] {
+    op_par_loop(slow_inc, "dawdler", s,
+                op_arg_dat<double>(x, -1, OP_ID, 1, OP_RW));
+  };
+  run_once();  // capture, fast
+  dawdle = true;
+  run_once();  // replay, slow: deadline miss -> ladder -> completes
+  dawdle = false;
+  for (const double v : x.data<double>()) {
+    ASSERT_EQ(v, 2.0);
+  }
+  const auto prof = profiling::snapshot().at("dawdler");
+  EXPECT_GE(prof.deadline_misses, 1u);
+  EXPECT_GE(prof.degradations, 1u);
+}
+
+// --- watchdog supervise mode ------------------------------------------
+
+TEST_F(CancellationApiTest, WatchdogCancelsAStalledLoopInsteadOfAborting) {
+  // No deadline: the watchdog's stall verdict is the only supervisor.
+  // OP2_WATCHDOG_MS with a ladder policy installs the supervise handler
+  // (cancel stalled activities; never abort).
+  setenv("OP2_WATCHDOG_MS", "150", 1);
+  setenv("OP2_FAILURE_POLICY", "ladder=on", 1);
+  auto cfg = make_config("hpx_foreach", 2, 16);
+  op2::init(cfg);
+  unsetenv("OP2_WATCHDOG_MS");
+  unsetenv("OP2_FAILURE_POLICY");
+  profiling::enable(true);
+  auto s = op_decl_set(96, "s");
+  std::vector<double> init(96);
+  std::iota(init.begin(), init.end(), 1.0);
+  auto a = op_decl_dat<double>(s, 1, "double",
+                               std::span<const double>(init), "a");
+  auto b = op_decl_dat<double>(s, 1, "double", "b");
+  fault_injector::configure("guarded:stall:at=1,stall_ms=60000");
+  op_par_loop(inc_kernel, "guarded", s,
+              op_arg_dat<double>(a, -1, OP_ID, 1, OP_READ),
+              op_arg_dat<double>(b, -1, OP_ID, 1, OP_INC));
+  const auto av = a.data<double>();
+  const auto bv = b.data<double>();
+  for (std::size_t i = 0; i < av.size(); ++i) {
+    ASSERT_EQ(bv[i], av[i]) << "element " << i;
+  }
+  EXPECT_GE(hpxlite::watchdog::cancellations(), 1u);
+  const auto prof = profiling::snapshot().at("guarded");
+  EXPECT_GE(prof.cancellations, 1u);
+  EXPECT_GE(prof.degradations, 1u);
+}
+
+// --- policy grammar ----------------------------------------------------
+
+TEST(FailurePolicyGrammar, DeadlineAndLadderParse) {
+  auto p = parse_failure_policy("retries=1,deadline=250");
+  EXPECT_EQ(p.max_retries, 1);
+  EXPECT_EQ(p.deadline_ms, 250);
+  EXPECT_TRUE(p.ladder);  // a deadline implies the ladder by default
+  EXPECT_TRUE(p.enabled());
+
+  p = parse_failure_policy("deadline=100,ladder=off");
+  EXPECT_EQ(p.deadline_ms, 100);
+  EXPECT_FALSE(p.ladder);
+
+  p = parse_failure_policy("ladder=on");
+  EXPECT_TRUE(p.ladder);
+  EXPECT_EQ(p.deadline_ms, 0);
+  EXPECT_TRUE(p.enabled());
+
+  EXPECT_THROW(parse_failure_policy("deadline=-5"), std::invalid_argument);
+  EXPECT_THROW(parse_failure_policy("deadline=abc"), std::invalid_argument);
+  EXPECT_THROW(parse_failure_policy("ladder=maybe"), std::invalid_argument);
+}
+
+TEST(DataflowWindowEnv, RejectsMalformedValues) {
+  setenv("OP2_DATAFLOW_WINDOW", "not-a-number", 1);
+  EXPECT_THROW(op2::init(make_config("seq", 1, 16)), std::invalid_argument);
+  setenv("OP2_DATAFLOW_WINDOW", "-3", 1);
+  EXPECT_THROW(op2::init(make_config("seq", 1, 16)), std::invalid_argument);
+  unsetenv("OP2_DATAFLOW_WINDOW");
+  op2::finalize();
+}
+
+// --- bounded dataflow window ------------------------------------------
+
+TEST_F(CancellationApiTest, DataflowWindowBoundsOutstandingNodes) {
+  constexpr std::size_t window = 3;
+  auto cfg = make_config("hpx_dataflow", 2, 16);
+  cfg.dataflow_window = window;
+  op2::init(cfg);
+  reset_dataflow_window_peak();
+  auto s = op_decl_set(64, "s");
+  auto a = op_decl_dat<double>(s, 1, "double", "a");
+  op_dat_df da(a);
+  // A 24-deep RAW chain: every node depends on the previous one, so an
+  // unbounded submission would put all 24 in flight at once.  Admission
+  // must block the driver at `window` outstanding nodes.
+  for (int i = 0; i < 24; ++i) {
+    op_par_loop([](double* x) { x[0] += 1.0; }, "chain", s,
+                op_arg_dat1<double>(da, -1, OP_ID, 1, OP_RW));
+  }
+  da.get();
+  const auto stats = get_dataflow_window_stats();
+  EXPECT_EQ(stats.cap, window);
+  EXPECT_GE(stats.peak, 1u);
+  EXPECT_LE(stats.peak, window);
+  EXPECT_EQ(stats.in_flight, 0u);
+  for (const double v : a.data<double>()) {
+    ASSERT_EQ(v, 24.0);
+  }
+}
+
+TEST_F(CancellationApiTest, UnboundedWindowStillTracksThePeak) {
+  auto cfg = make_config("hpx_dataflow", 2, 16);
+  op2::init(cfg);  // dataflow_window = 0: unbounded
+  reset_dataflow_window_peak();
+  auto s = op_decl_set(64, "s");
+  auto a = op_decl_dat<double>(s, 1, "double", "a");
+  op_dat_df da(a);
+  for (int i = 0; i < 8; ++i) {
+    op_par_loop([](double* x) { x[0] += 1.0; }, "chain", s,
+                op_arg_dat1<double>(da, -1, OP_ID, 1, OP_RW));
+  }
+  da.get();
+  const auto stats = get_dataflow_window_stats();
+  EXPECT_EQ(stats.cap, 0u);
+  EXPECT_GE(stats.peak, 1u);
+  EXPECT_EQ(stats.in_flight, 0u);
+}
+
+// --- cancel-vs-complete stress (run under TSan in scripts/check.sh) ---
+
+TEST(CancelStress, RacingCancellationAgainstCompletionIsClean) {
+  hpxlite::runtime::reset(4);
+  for (int round = 0; round < 60; ++round) {
+    hpxlite::stop_source src;
+    std::vector<int> items(2048);
+    std::atomic<int> executed{0};
+    auto work = hpxlite::parallel::for_each(
+        hpxlite::par(hpxlite::task)
+            .with(hpxlite::dynamic_chunk_size(16))
+            .with(src.get_token()),
+        items.begin(), items.end(), [&executed](int&) {
+          executed.fetch_add(1, std::memory_order_relaxed);
+        });
+    if (round % 2 == 0) {
+      std::this_thread::yield();
+    }
+    src.request_stop();  // races the loop's natural completion
+    try {
+      work.get();
+      EXPECT_EQ(executed.load(), 2048);  // completion won the race
+    } catch (const hpxlite::operation_cancelled&) {
+      EXPECT_LE(executed.load(), 2048);  // cancellation won
+    }
+  }
+  hpxlite::runtime::shutdown();
+}
+
+}  // namespace

@@ -1,0 +1,249 @@
+// Cooperative cancellation: stop_source/stop_token/stop_callback
+// semantics, token-aware async/dataflow launches, chunked parallel
+// algorithms polling between chunks, timed get_for, and the
+// closure-release regression (a cancelled chain must not retain its
+// continuation closures).
+#include "hpxlite/stop_token.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "hpxlite/async.hpp"
+#include "hpxlite/dataflow.hpp"
+#include "hpxlite/future.hpp"
+#include "hpxlite/parallel_algorithm.hpp"
+#include "hpxlite/scheduler.hpp"
+
+namespace {
+
+using hpxlite::launch;
+using hpxlite::operation_cancelled;
+using hpxlite::runtime;
+using hpxlite::stop_callback;
+using hpxlite::stop_source;
+using hpxlite::stop_token;
+
+// --- token semantics --------------------------------------------------
+
+TEST(StopToken, DefaultTokenIsDetached) {
+  stop_token tok;
+  EXPECT_FALSE(tok.stop_possible());
+  EXPECT_FALSE(tok.stop_requested());
+  EXPECT_NO_THROW(tok.throw_if_stopped());
+}
+
+TEST(StopToken, RequestStopIsVisibleToEveryTokenExactlyOnce) {
+  stop_source src;
+  stop_token a = src.get_token();
+  stop_token b = a;  // copies observe the same state
+  EXPECT_TRUE(a.stop_possible());
+  EXPECT_FALSE(a.stop_requested());
+  EXPECT_TRUE(src.request_stop());   // this call transitions
+  EXPECT_FALSE(src.request_stop());  // idempotent afterwards
+  EXPECT_TRUE(a.stop_requested());
+  EXPECT_TRUE(b.stop_requested());
+  EXPECT_THROW(a.throw_if_stopped(), operation_cancelled);
+}
+
+TEST(StopToken, CallbackRunsOnRequestThenIsDropped) {
+  stop_source src;
+  int runs = 0;
+  stop_callback cb(src.get_token(), [&runs] { ++runs; });
+  EXPECT_EQ(runs, 0);
+  src.request_stop();
+  EXPECT_EQ(runs, 1);
+  src.request_stop();  // callbacks were dropped after the first request
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(StopToken, CallbackRegisteredAfterStopRunsImmediately) {
+  stop_source src;
+  src.request_stop();
+  int runs = 0;
+  stop_callback cb(src.get_token(), [&runs] { ++runs; });
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(StopToken, DestroyedCallbackNeverRuns) {
+  stop_source src;
+  int runs = 0;
+  {
+    stop_callback cb(src.get_token(), [&runs] { ++runs; });
+  }
+  src.request_stop();
+  EXPECT_EQ(runs, 0);
+}
+
+// --- cancellation through the launch layer ----------------------------
+
+class StopTokenRuntimeTest : public ::testing::Test {
+ protected:
+  void SetUp() override { runtime::reset(2); }
+  void TearDown() override { runtime::shutdown(); }
+};
+
+TEST_F(StopTokenRuntimeTest, CancelledAsyncResolvesWithoutRunningBody) {
+  stop_source src;
+  src.request_stop();
+  std::atomic<bool> ran{false};
+  auto f = hpxlite::async(launch::async, src.get_token(),
+                          [&ran] { ran = true; });
+  EXPECT_THROW(f.get(), operation_cancelled);
+  EXPECT_FALSE(ran);
+}
+
+TEST_F(StopTokenRuntimeTest, UnstoppedTokenRunsNormally) {
+  stop_source src;
+  auto f = hpxlite::async(launch::async, src.get_token(),
+                          [] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST_F(StopTokenRuntimeTest, CancelledDataflowNodeResolvesWithoutRunning) {
+  stop_source src;
+  hpxlite::promise<void> gate;
+  std::atomic<bool> ran{false};
+  auto node = hpxlite::dataflow(
+      launch::async, src.get_token(),
+      [&ran](hpxlite::future<void> dep) {
+        dep.get();
+        ran = true;
+      },
+      gate.get_future());
+  src.request_stop();       // cancel while the node is parked
+  gate.set_value();         // dependency becomes ready; node fires
+  EXPECT_THROW(node.get(), operation_cancelled);
+  EXPECT_FALSE(ran);
+}
+
+TEST_F(StopTokenRuntimeTest, CancelledUpstreamPropagatesToDependents) {
+  stop_source src;
+  src.request_stop();
+  auto head = hpxlite::async(launch::async, src.get_token(), [] {});
+  // An unguarded dependent observes the upstream cancellation through
+  // prev.get() without running its own work either.
+  std::atomic<bool> ran{false};
+  auto tail = hpxlite::dataflow(
+      launch::async,
+      [&ran](hpxlite::future<void> prev) {
+        prev.get();
+        ran = true;
+      },
+      std::move(head));
+  EXPECT_THROW(tail.get(), operation_cancelled);
+  EXPECT_FALSE(ran);
+}
+
+// --- chunked parallel algorithms --------------------------------------
+
+TEST_F(StopTokenRuntimeTest, PreStoppedForEachThrowsWithoutRunning) {
+  stop_source src;
+  src.request_stop();
+  std::vector<int> items(256);
+  std::atomic<int> executed{0};
+  EXPECT_THROW(
+      hpxlite::parallel::for_each(
+          hpxlite::par.with(src.get_token()), items.begin(), items.end(),
+          [&executed](int&) { executed.fetch_add(1); }),
+      operation_cancelled);
+  EXPECT_EQ(executed.load(), 0);
+}
+
+TEST_F(StopTokenRuntimeTest, ForEachAbandonsPromptlyWhenCancelledMidRun) {
+  stop_source src;
+  constexpr int n = 100000;
+  std::vector<int> items(n);
+  std::atomic<int> executed{0};
+  // The dynamic chunker polls the token on every claim: cancelling from
+  // inside the first element leaves almost the whole range unexecuted.
+  const auto policy =
+      hpxlite::par.with(hpxlite::dynamic_chunk_size(1)).with(src.get_token());
+  EXPECT_THROW(hpxlite::parallel::for_each(
+                   policy, items.begin(), items.end(),
+                   [&](int&) {
+                     executed.fetch_add(1);
+                     src.request_stop();
+                   }),
+               operation_cancelled);
+  EXPECT_LT(executed.load(), n / 2);
+}
+
+TEST_F(StopTokenRuntimeTest, PreStoppedReduceThrows) {
+  stop_source src;
+  src.request_stop();
+  std::vector<int> items(512, 1);
+  EXPECT_THROW(hpxlite::parallel::reduce(
+                   hpxlite::par.with(src.get_token()), items.begin(),
+                   items.end(), 0, std::plus<int>()),
+               operation_cancelled);
+}
+
+TEST_F(StopTokenRuntimeTest, PolicyWithPreservesChunkAndToken) {
+  stop_source src;
+  // .with(chunk) then .with(token) (and vice versa) must compose.
+  const auto p1 = hpxlite::par.with(hpxlite::static_chunk_size(8))
+                      .with(src.get_token());
+  EXPECT_TRUE(p1.stop() == src.get_token());
+  const auto p2 = hpxlite::par.with(src.get_token())
+                      .with(hpxlite::static_chunk_size(8));
+  EXPECT_TRUE(p2.stop() == src.get_token());
+  ASSERT_TRUE(std::holds_alternative<hpxlite::static_chunk_size>(p2.chunk()));
+}
+
+// --- timed waits ------------------------------------------------------
+
+TEST_F(StopTokenRuntimeTest, GetForTimesOutAndLeavesTheFutureValid) {
+  hpxlite::promise<int> p;
+  auto f = p.get_future();
+  EXPECT_THROW(f.get_for(std::chrono::milliseconds(20)),
+               hpxlite::wait_timeout);
+  EXPECT_TRUE(f.valid());  // expiry does not consume the state
+  p.set_value(99);
+  EXPECT_EQ(f.get_for(std::chrono::seconds(5)), 99);
+}
+
+TEST_F(StopTokenRuntimeTest, SharedGetForNeverConsumes) {
+  hpxlite::promise<int> p;
+  auto sf = p.get_future().share();
+  EXPECT_THROW(sf.get_for(std::chrono::milliseconds(10)),
+               hpxlite::wait_timeout);
+  p.set_value(7);
+  EXPECT_EQ(sf.get_for(std::chrono::seconds(5)), 7);
+  EXPECT_EQ(sf.get(), 7);  // still observable afterwards
+}
+
+// --- closure-release regression ---------------------------------------
+
+TEST_F(StopTokenRuntimeTest, CancelledDataflowChainReleasesClosures) {
+  const std::uint64_t baseline = hpxlite::pending_continuation_count();
+  auto sentinel = std::make_shared<int>(42);
+  stop_source src;
+  {
+    hpxlite::promise<void> gate;
+    auto head = hpxlite::dataflow(
+        launch::async, src.get_token(),
+        [sentinel](hpxlite::future<void> dep) { dep.get(); },
+        gate.get_future());
+    auto tail = hpxlite::dataflow(
+        launch::async, src.get_token(),
+        [sentinel](hpxlite::future<void> prev) { prev.get(); },
+        std::move(head));
+    // The chain is parked: its continuations (holding the sentinel)
+    // are alive and counted.
+    EXPECT_GT(hpxlite::pending_continuation_count(), baseline);
+    EXPECT_GT(sentinel.use_count(), 1);
+    src.request_stop();
+    gate.set_value();  // fire the chain: every node resolves cancelled
+    EXPECT_THROW(tail.get(), operation_cancelled);
+  }
+  // Resolution released the parked continuations and their captures.
+  EXPECT_EQ(hpxlite::pending_continuation_count(), baseline);
+  EXPECT_EQ(sentinel.use_count(), 1);
+}
+
+}  // namespace
