@@ -11,16 +11,28 @@
 //   1. zero heap allocations (counted by interposing operator new)
 //   2. zero plan-cache lookups (op2::plan_cache_lookups())
 //
+// A third arm gates the continuation core's chain-BUILDING path: after
+// one warm-up round to prime the operation-state block pool,
+//   3. a `.then` chain of small continuations builds with ZERO heap
+//      allocations per node,
+//   4. a dataflow chain of small nodes likewise builds with ZERO,
+//   5. oversize continuations (captures larger than a pool block) cost
+//      at most ONE allocation per node.
+//
 // scripts/check.sh runs this binary; a non-zero exit fails the gate.
 // Output is human-readable ns/loop so regressions are quantifiable.
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <new>
+#include <utility>
 #include <vector>
 
+#include "hpxlite/dataflow.hpp"
+#include "hpxlite/future.hpp"
 #include "op2/op2.hpp"
 
 // --- operator new interposition ---------------------------------------
@@ -119,6 +131,90 @@ int fail(const char* what, std::uint64_t observed) {
   return 1;
 }
 
+// --- chain-building arm ------------------------------------------------
+// Builds a `.then` (and a dataflow) chain of kChainLen nodes per round,
+// then resolves it.  Only the BUILD segment is counted: the window from
+// the first then()/dataflow() to the last, before the promise is set.
+// One untimed warm-up round primes the operation-state block pool.
+
+constexpr int kChainLen = 256;
+constexpr int kChainRounds = 64;
+
+struct chain_result {
+  std::uint64_t build_allocs = 0;  // operator new calls while building
+  double build_ns_per_node = 0.0;
+  int final_value = 0;
+};
+
+chain_result run_then_chain(int rounds) {
+  chain_result r;
+  double ns = 0.0;
+  for (int round = 0; round < rounds; ++round) {
+    hpxlite::promise<int> p;
+    hpxlite::future<int> f = p.get_future();
+    const std::uint64_t a0 = alloc_count();
+    const double t0 = now_ns();
+    for (int i = 0; i < kChainLen; ++i) {
+      f = f.then([](hpxlite::future<int>&& in) { return in.get() + 1; });
+    }
+    ns += now_ns() - t0;
+    r.build_allocs += alloc_count() - a0;
+    p.set_value(0);
+    r.final_value = f.get();
+  }
+  r.build_ns_per_node = ns / (static_cast<double>(rounds) * kChainLen);
+  return r;
+}
+
+chain_result run_dataflow_chain(int rounds) {
+  chain_result r;
+  double ns = 0.0;
+  for (int round = 0; round < rounds; ++round) {
+    hpxlite::promise<int> p;
+    hpxlite::future<int> f = p.get_future();
+    const std::uint64_t a0 = alloc_count();
+    const double t0 = now_ns();
+    for (int i = 0; i < kChainLen; ++i) {
+      f = hpxlite::dataflow(hpxlite::launch::async,
+                            hpxlite::unwrapping([](int v) { return v + 1; }),
+                            std::move(f));
+    }
+    ns += now_ns() - t0;
+    r.build_allocs += alloc_count() - a0;
+    p.set_value(0);
+    r.final_value = f.get();
+  }
+  r.build_ns_per_node = ns / (static_cast<double>(rounds) * kChainLen);
+  return r;
+}
+
+// Continuations whose capture exceeds a pool block fall back to a
+// single operator new per node — the "≤1 alloc for general
+// continuations" half of the gate.
+chain_result run_oversize_chain(int rounds) {
+  chain_result r;
+  double ns = 0.0;
+  for (int round = 0; round < rounds; ++round) {
+    hpxlite::promise<int> p;
+    hpxlite::future<int> f = p.get_future();
+    const std::uint64_t a0 = alloc_count();
+    const double t0 = now_ns();
+    for (int i = 0; i < kChainLen; ++i) {
+      std::array<char, 2 * hpxlite::op_state_block_size> ballast{};
+      ballast[0] = static_cast<char>(1);
+      f = f.then([ballast](hpxlite::future<int>&& in) {
+        return in.get() + static_cast<int>(ballast[0]);
+      });
+    }
+    ns += now_ns() - t0;
+    r.build_allocs += alloc_count() - a0;
+    p.set_value(0);
+    r.final_value = f.get();
+  }
+  r.build_ns_per_node = ns / (static_cast<double>(rounds) * kChainLen);
+  return r;
+}
+
 }  // namespace
 
 int main() {
@@ -169,12 +265,60 @@ int main() {
   std::printf("  %-28s %12llu\n", "replay plan-cache lookups",
               static_cast<unsigned long long>(replay_lookups));
 
+  // --- chain building: continuation-core build-path cost --------------
+  // Warm-up primes the block pool (fresh blocks allocate); the measured
+  // rounds must then build nodes entirely from recycled blocks.
+  (void)run_then_chain(1);
+  (void)run_dataflow_chain(1);
+  const chain_result then_chain = run_then_chain(kChainRounds);
+  const chain_result df_chain = run_dataflow_chain(kChainRounds);
+  const chain_result big_chain = run_oversize_chain(4);
+  const hpxlite::op_pool_counters pool = hpxlite::op_pool_stats();
+
+  const std::uint64_t chain_nodes =
+      static_cast<std::uint64_t>(kChainRounds) * kChainLen;
+  std::printf("  %-28s %12.0f ns/node (allocs/node %.3f)\n",
+              "then chain (build)", then_chain.build_ns_per_node,
+              static_cast<double>(then_chain.build_allocs) /
+                  static_cast<double>(chain_nodes));
+  std::printf("  %-28s %12.0f ns/node (allocs/node %.3f)\n",
+              "dataflow chain (build)", df_chain.build_ns_per_node,
+              static_cast<double>(df_chain.build_allocs) /
+                  static_cast<double>(chain_nodes));
+  std::printf("  %-28s %12.0f ns/node (allocs/node %.3f)\n",
+              "oversize then chain (build)", big_chain.build_ns_per_node,
+              static_cast<double>(big_chain.build_allocs) /
+                  static_cast<double>(4 * kChainLen));
+  std::printf("  %-28s %12llu hits / %llu fresh / %llu oversize\n",
+              "op-state pool",
+              static_cast<unsigned long long>(pool.pool_hits),
+              static_cast<unsigned long long>(pool.fresh_blocks),
+              static_cast<unsigned long long>(pool.oversize_allocs));
+
   int rc = 0;
   if (replay_allocs != 0) {
     rc = fail("steady-state replay heap-allocates", replay_allocs);
   }
   if (replay_lookups != 0) {
     rc = fail("steady-state replay hits the plan cache", replay_lookups);
+  }
+  if (then_chain.build_allocs != 0) {
+    rc = fail("then-chain build path heap-allocates (small continuations)",
+              then_chain.build_allocs);
+  }
+  if (df_chain.build_allocs != 0) {
+    rc = fail("dataflow-chain build path heap-allocates (small nodes)",
+              df_chain.build_allocs);
+  }
+  if (big_chain.build_allocs > static_cast<std::uint64_t>(4) * kChainLen) {
+    rc = fail("oversize-chain build path exceeds one allocation per node",
+              big_chain.build_allocs);
+  }
+  if (then_chain.final_value != kChainLen ||
+      df_chain.final_value != kChainLen ||
+      big_chain.final_value != kChainLen) {
+    std::fprintf(stderr, "launch_overhead: chain result drift\n");
+    rc = 1;
   }
   // Sanity: the reduction must have actually run every iteration.
   const double expected =
@@ -188,7 +332,9 @@ int main() {
   }
   op2::finalize();
   if (rc == 0) {
-    std::printf("  gate: OK (no allocations, no plan lookups)\n");
+    std::printf(
+        "  gate: OK (no replay allocations, no plan lookups, "
+        "0 allocs/node chain build)\n");
   }
   return rc;
 }

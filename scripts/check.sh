@@ -44,10 +44,12 @@ OP2_DATAFLOW_WINDOW=8 \
   "$build/examples/airfoil_app" --backend=hpx_dataflow --threads=4 \
       --imax=40 --jmax=40 --iters=20 --profile
 
-step "launch path: prepared-loop replay gate (zero allocs, no plan lookups)"
+step "launch path: replay + chain-building gates (zero allocs/node)"
 # Both tuner arms: OP2_TUNER=off must reproduce the pre-tuner replay
 # sequence exactly, and the default (on) must keep the steady-state
-# gate clean too.
+# gate clean too.  The binary also gates the continuation core's
+# chain-BUILDING path: 0 allocations per then/dataflow node once the
+# operation-state block pool is warm, ≤1 for oversize continuations.
 OP2_TUNER=off "$build/bench/launch_overhead"
 OP2_TUNER=on "$build/bench/launch_overhead"
 
@@ -69,5 +71,14 @@ step "thread sanitizer: cancellation racing completion (CancelStress)"
 # the chunk hand-off and callback teardown around a racing cancel.
 cmake --build "$tsan_build" -j "$jobs" --target test_cancel
 "$tsan_build/tests/test_cancel" --gtest_filter='CancelStress.*'
+
+step "thread sanitizer: operation-state continuation core (OpState)"
+# The pooled op-state path moves completion hand-off onto intrusive
+# node lists and a thread-cached block pool; TSan checks registration
+# racing completion, pool recycling across threads, and the combinator
+# arm countdowns.
+cmake --build "$tsan_build" -j "$jobs" --target test_hpxlite_future
+"$tsan_build/tests/test_hpxlite_future" \
+    --gtest_filter='OpState.*:FutureTest.*:AsyncTest.*:DataflowTest.*:WhenAnyTest.*'
 
 printf '\nAll checks passed.\n'

@@ -7,6 +7,11 @@
 //   launch::async     schedule on the runtime's worker pool
 //   launch::sync      invoke immediately in the calling thread
 //   launch::deferred  invoke lazily on the first wait()/get()
+//
+// Internally each async is ONE pooled operation state carrying the
+// result's shared state and the bound callable side by side; the
+// submit thunk is a single shared_ptr and rides in the task_function
+// small buffer, so the launch path performs one (recycled) allocation.
 #pragma once
 
 #include <memory>
@@ -32,6 +37,17 @@ template <typename F, typename... Args>
 using async_result_t =
     std::invoke_result_t<std::decay_t<F>, std::decay_t<Args>&...>;
 
+/// Operation state for async: result state + bound callable in one
+/// pooled object.  The returned future aliases the embedded state, so
+/// the op lives exactly as long as something can still observe it.
+template <typename R, typename Bound>
+struct async_op {
+  shared_state<R> result;
+  Bound fn;
+
+  explicit async_op(Bound b) : fn(std::move(b)) {}
+};
+
 }  // namespace detail
 
 /// Invokes f(args...) under `policy`, returning a future for the result.
@@ -39,7 +55,6 @@ template <typename F, typename... Args>
 auto async(launch policy, F&& f, Args&&... args)
     -> future<detail::async_result_t<F, Args...>> {
   using R = detail::async_result_t<F, Args...>;
-  auto state = std::make_shared<detail::shared_state<R>>();
 
   auto bound = [fn = std::decay_t<F>(std::forward<F>(f)),
                 tup = std::tuple<std::decay_t<Args>...>(
@@ -47,25 +62,33 @@ auto async(launch policy, F&& f, Args&&... args)
     return std::apply(fn, tup);
   };
 
+  using op_t = detail::async_op<R, decltype(bound)>;
+  auto op = detail::make_pooled<op_t>(std::move(bound));
+  detail::shared_state_ptr<R> state(op, &op->result);  // aliasing: no alloc
+
   switch (policy) {
     case launch::sync: {
-      detail::fulfil_from_invoke(state, std::move(bound));
+      detail::fulfil_from_invoke(&op->result, std::move(op->fn));
       break;
     }
     case launch::deferred: {
-      // Captures a raw pointer: the closure is stored inside the state
-      // itself, so the state strictly outlives it (and a shared_ptr
-      // capture would create a reference cycle).
-      state->set_deferred([s = state.get(), work = std::move(bound)]() mutable {
-        detail::fulfil_from_invoke(s, std::move(work));
+      // Captures a raw pointer: the deferred closure is stored inside
+      // the op's own shared state, which strictly outlives it (a
+      // shared_ptr capture would create a reference cycle).
+      op->result.set_deferred([o = op.get()]() mutable {
+        detail::fulfil_from_invoke(&o->result, std::move(o->fn));
       });
       break;
     }
     case launch::async: {
-      ambient_runtime().submit(
-          [state, work = std::move(bound)]() mutable {
-            detail::fulfil_from_invoke(state, std::move(work));
-          });
+      auto thunk = [op]() mutable {
+        detail::fulfil_from_invoke(&op->result, std::move(op->fn));
+        op.reset();
+      };
+      static_assert(task_function::stores_inline<decltype(thunk)>,
+                    "async submit thunk must ride in the task_function "
+                    "small buffer");
+      ambient_runtime().submit(std::move(thunk));
       break;
     }
   }

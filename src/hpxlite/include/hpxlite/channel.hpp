@@ -57,7 +57,7 @@ class channel {
   /// values and pending receives.
   future<T> get() {
     std::lock_guard<spinlock> lock(state_->mutex);
-    auto fstate = std::make_shared<detail::shared_state<T>>();
+    auto fstate = detail::make_pooled_state<T>();
     if (!state_->values.empty()) {
       fstate->set_value(std::move(state_->values.front()));
       state_->values.pop_front();

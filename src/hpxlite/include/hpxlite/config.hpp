@@ -29,4 +29,25 @@ inline constexpr std::size_t sbo_size = 6 * sizeof(void*);
 /// count (mirrors HPX's --hpx:threads).
 inline constexpr const char* threads_env_var = "HPXLITE_THREADS";
 
+/// Operation-state block pool (the zero-allocation continuation core).
+/// A `.then`/`dataflow`/`async` node — result shared state, continuation
+/// body and intrusive link in one object — is carved from a recycled
+/// block of this size when it fits; larger nodes fall back to a single
+/// operator new.  Sized so a shared state plus a continuation capturing
+/// several pointers (and the shared_ptr control block allocate_shared
+/// prepends) rides in one block.
+inline constexpr std::size_t op_state_block_size = 448;
+
+/// Per-thread block cache bound: above this the thread spills half its
+/// cache to the global pool, so producer-only threads keep feeding
+/// consumer-only threads.
+inline constexpr std::size_t op_state_tls_cache_cap = 128;
+
+/// How many blocks a thread pulls from the global pool per refill.
+inline constexpr std::size_t op_state_tls_refill_batch = 32;
+
+/// Global freelist cap; blocks beyond it are returned to the OS so one
+/// pathologically deep chain cannot pin memory for the process lifetime.
+inline constexpr std::size_t op_state_global_cache_cap = 8192;
+
 }  // namespace hpxlite

@@ -14,8 +14,15 @@
 //     the function F is scheduled for execution", Fig 11)
 //   - if the callable itself returns a future, the result is unwrapped
 //     one level, so chains of dataflow nodes compose without nesting
+//
+// A dataflow node is ONE pooled operation state: the result's shared
+// state, the callable, the argument tuple and one intrusive arm per
+// future input (the arm count is a compile-time constant, so the arms
+// ride inline) — versus the historical shared-state + frame + one heap
+// closure per input.  Arming allocates nothing.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <memory>
 #include <optional>
@@ -124,13 +131,17 @@ struct unwrap_result<future<U>> {
               } else {
                 state->set_value(inner_state->take_value());
               }
+            } catch (const operation_cancelled&) {
+              state->set_stopped(std::current_exception());
             } catch (...) {
-              state->set_exception(std::current_exception());
+              state->set_error(std::current_exception());
             }
           },
           continuation_mode::inline_);
+    } catch (const operation_cancelled&) {
+      state->set_stopped(std::current_exception());
     } catch (...) {
-      state->set_exception(std::current_exception());
+      state->set_error(std::current_exception());
     }
   }
 };
@@ -148,6 +159,97 @@ struct dataflow_value<future<U>> {
 template <typename... Ts>
 inline constexpr std::size_t future_arg_count_v =
     (0 + ... + (is_future_v<Ts> ? 1 : 0));
+
+/// The dataflow operation state: result state, callable, argument
+/// tuple, completion countdown and the input arms — one object, one
+/// pooled allocation.  `self` is the keepalive that survives from
+/// arming until the node body has been scheduled.
+template <typename V, typename F, typename... Ts>
+struct dataflow_op final {
+  static constexpr std::size_t nfutures = future_arg_count_v<Ts...>;
+
+  struct arm final : continuation_node {
+    dataflow_op* owner = nullptr;
+    arm() {
+      fire = &dataflow_op::arm_fire;
+      abandon = &dataflow_op::arm_abandon;
+      mode = continuation_mode::inline_;
+    }
+  };
+
+  shared_state<V> result;
+  F fn;
+  std::tuple<std::decay_t<Ts>...> args;
+  std::atomic<std::size_t> remaining{nfutures};
+  launch policy;
+  std::array<arm, nfutures == 0 ? 1 : nfutures> arms;
+  std::shared_ptr<dataflow_op> self;
+
+  template <typename Fc, typename... Tc>
+  dataflow_op(launch policy_, Fc&& f_, Tc&&... args_)
+      : fn(std::forward<Fc>(f_)),
+        args(std::forward<Tc>(args_)...),
+        policy(policy_) {
+    for (auto& a : arms) {
+      a.owner = this;
+    }
+  }
+
+  static void arm_fire(continuation_node* node) {
+    auto* owner = static_cast<arm*>(node)->owner;
+    if (owner->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      run(std::move(owner->self));
+    }
+  }
+
+  static void arm_abandon(continuation_node* node) noexcept {
+    // An input state died unresolved; unreachable in practice (the held
+    // argument futures pin every input), kept defensive: resolve the
+    // node exceptionally so downstream consumers are not left hanging.
+    auto* owner = static_cast<arm*>(node)->owner;
+    if (owner->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      auto keep = std::move(owner->self);
+      owner->result.set_error(std::make_exception_ptr(broken_promise()));
+    }
+  }
+
+  /// Last input arrived: schedule (or run) the body.  `keep` is the
+  /// arming keepalive; the submit thunk takes it over, so the op stays
+  /// alive through execution even if the consumer drops the future.
+  static void run(std::shared_ptr<dataflow_op> keep) {
+    if (keep->policy == launch::async) {
+      // Prefer the arming worker's own pool (stays valid during a
+      // teardown drain); fall back to the default instance, or run
+      // inline when no runtime is up.
+      runtime* rt = runtime::current();
+      if (rt == nullptr && runtime::exists()) {
+        rt = &runtime::get();
+      }
+      if (rt != nullptr) {
+        auto thunk = [keep = std::move(keep)]() mutable {
+          invoke(std::move(keep));
+        };
+        static_assert(task_function::stores_inline<decltype(thunk)>,
+                      "dataflow body thunk must ride in the task_function "
+                      "small buffer");
+        rt->submit(std::move(thunk));
+        return;
+      }
+    }
+    invoke(std::move(keep));
+  }
+
+  static void invoke(std::shared_ptr<dataflow_op> keep) {
+    using unwrapper = unwrap_result<dataflow_result_t<F, Ts...>>;
+    dataflow_op* op = keep.get();
+    // Nested-future unwrapping parks a continuation that must pin this
+    // op, so the result state is handed over as an aliased shared_ptr
+    // (no allocation — it shares the op's control block).
+    shared_state_ptr<V> state(keep, &op->result);
+    keep.reset();
+    unwrapper::fulfil(state, op->fn, op->args);
+  }
+};
 
 }  // namespace detail
 
@@ -170,76 +272,28 @@ auto dataflow(launch policy, F&& f, Ts&&... args) ->
   using R = detail::dataflow_result_t<F, Ts...>;
   using unwrapper = detail::unwrap_result<R>;
   using V = typename detail::dataflow_value<R>::type;
+  using op_t = detail::dataflow_op<V, std::decay_t<F>, Ts...>;
 
-  auto state = std::make_shared<detail::shared_state<V>>();
+  auto op = detail::make_pooled<op_t>(policy, std::forward<F>(f),
+                                      std::forward<Ts>(args)...);
+  // The result alias is created before arming so the op outlives any
+  // inline fire triggered while the remaining inputs are still walked.
+  detail::shared_state_ptr<V> state(op, &op->result);
 
-  struct frame {
-    std::decay_t<F> fn;
-    std::tuple<std::decay_t<Ts>...> args;
-    std::atomic<std::size_t> remaining;
-    std::shared_ptr<detail::shared_state<V>> state;
-    launch policy;
-
-    frame(F&& f_, Ts&&... args_,
-          std::shared_ptr<detail::shared_state<V>> state_, launch policy_)
-        : fn(std::forward<F>(f_)),
-          args(std::forward<Ts>(args_)...),
-          remaining(0),
-          state(std::move(state_)),
-          policy(policy_) {}
-
-    void run() {
-      if (policy == launch::async) {
-        auto self = this->shared_from_this_hack;
-        // Prefer the arming worker's own pool (stays valid during a
-        // teardown drain); fall back to the default instance, or run
-        // inline when no runtime is up.
-        if (runtime* rt = runtime::current()) {
-          rt->submit(
-              [self] { unwrapper::fulfil(self->state, self->fn, self->args); });
-          return;
-        }
-        if (runtime::exists()) {
-          runtime::get().submit(
-              [self] { unwrapper::fulfil(self->state, self->fn, self->args); });
-          return;
-        }
-      }
-      unwrapper::fulfil(state, fn, args);
-    }
-
-    std::shared_ptr<frame> shared_from_this_hack;
-  };
-
-  auto fr = std::make_shared<frame>(std::forward<F>(f),
-                                    std::forward<Ts>(args)..., state, policy);
-  fr->shared_from_this_hack = fr;
-
-  constexpr std::size_t nfutures = detail::future_arg_count_v<Ts...>;
-  if constexpr (nfutures == 0) {
-    fr->run();
-    fr->shared_from_this_hack.reset();
-    return typename unwrapper::type(std::move(state));
+  if constexpr (op_t::nfutures == 0) {
+    op_t::run(std::move(op));
   } else {
-    fr->remaining.store(nfutures, std::memory_order_relaxed);
-    const auto arm = [&fr](auto& arg) {
+    op->self = op;
+    std::size_t idx = 0;
+    const auto arm_one = [&](auto& arg) {
       if constexpr (detail::is_future_v<decltype(arg)>) {
         HPXLITE_ASSERT(arg.valid(), "dataflow over an invalid future");
-        auto keep = fr;
-        arg.state()->add_continuation(
-            [keep] {
-              if (keep->remaining.fetch_sub(1, std::memory_order_acq_rel) ==
-                  1) {
-                keep->run();
-                keep->shared_from_this_hack.reset();
-              }
-            },
-            detail::continuation_mode::inline_);
+        arg.state()->add_continuation(&op->arms[idx++]);
       }
     };
-    std::apply([&](auto&... as) { (arm(as), ...); }, fr->args);
-    return typename unwrapper::type(std::move(state));
+    std::apply([&](auto&... as) { (arm_one(as), ...); }, op->args);
   }
+  return typename unwrapper::type(std::move(state));
 }
 
 /// Default policy: async (scheduled on the pool once inputs are ready).
@@ -256,8 +310,8 @@ namespace detail {
 /// Fire-time cancellation guard for dataflow nodes: polls the token
 /// when the last input arrives, before the wrapped callable runs.  A
 /// requested stop resolves the node's future to operation_cancelled
-/// without invoking the callable (its kernel never runs) and the frame
-/// — closure, argument futures and all — is released right after.
+/// without invoking the callable (its kernel never runs) and the op
+/// state — closure, argument futures and all — is released right after.
 template <typename F>
 struct stop_guarded {
   stop_token stop;

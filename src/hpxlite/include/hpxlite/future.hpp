@@ -12,6 +12,13 @@
 //     tasks while the value is pending, so nested waits cannot deadlock
 //     the pool (Section III-A2's async-wrapped direct loops rely on it)
 //   - when_all composes readiness without blocking
+//
+// Internally the continuation machinery follows the operation-state
+// (connect/start, sender/receiver) shape production HPX adopted: a
+// `.then` node is ONE pooled object — result shared state, continuation
+// body and intrusive link side by side (see op_state.hpp) — and results
+// are delivered through the receiver triple set_value / set_error /
+// set_stopped.  The public future/promise API is unchanged.
 #pragma once
 
 #include <atomic>
@@ -30,8 +37,10 @@
 #include <vector>
 
 #include "hpxlite/assert.hpp"
+#include "hpxlite/op_state.hpp"
 #include "hpxlite/scheduler.hpp"
 #include "hpxlite/spinlock.hpp"
+#include "hpxlite/stop_token.hpp"
 #include "hpxlite/unique_function.hpp"
 
 namespace hpxlite {
@@ -113,22 +122,16 @@ inline void note_abandoned_exception(
 #endif
 }
 
-/// Count of continuation closures currently parked inside not-yet-ready
-/// shared states.  Cancellation must drive this back down promptly: a
-/// cancelled chain resolves (running and releasing its continuations)
-/// instead of retaining them until runtime teardown.  Tests assert the
-/// counter returns to its baseline after a cancelled dataflow chain.
+/// Count of continuations currently parked inside not-yet-ready shared
+/// states (operation-state nodes and type-erased closure nodes alike).
+/// Cancellation must drive this back down promptly: a cancelled chain
+/// resolves (running and releasing its continuations) instead of
+/// retaining them until runtime teardown.  Tests assert the counter
+/// returns to its baseline after a cancelled dataflow chain.
 inline std::atomic<std::uint64_t>& live_continuation_counter() {
   static std::atomic<std::uint64_t> count{0};
   return count;
 }
-
-/// How a continuation attached to a shared state should run once the
-/// state becomes ready.
-enum class continuation_mode {
-  scheduled,  // submit to the runtime (default for .then/dataflow)
-  inline_,    // run in the completing thread (cheap adapters only)
-};
 
 template <typename T>
 class shared_state {
@@ -143,8 +146,19 @@ class shared_state {
     if (exception_ && !exception_observed_.load(std::memory_order_relaxed)) {
       note_abandoned_exception(exception_);
     }
-    if (!continuations_.empty()) {
-      live_continuation_counter().fetch_sub(continuations_.size(),
+    // Abandon still-parked continuation nodes without running them: each
+    // node releases its own storage (and, for operation states, the
+    // keepalive reference that pins it).
+    continuation_node* node = cont_head_;
+    std::size_t abandoned = 0;
+    while (node != nullptr) {
+      continuation_node* next = node->next;
+      node->abandon(node);
+      node = next;
+      ++abandoned;
+    }
+    if (abandoned != 0) {
+      live_continuation_counter().fetch_sub(abandoned,
                                             std::memory_order_relaxed);
     }
   }
@@ -153,49 +167,80 @@ class shared_state {
     return ready_.load(std::memory_order_acquire);
   }
 
+  // --- receiver completion channels -----------------------------------
+  // Operation states deliver results through this triple; set_exception
+  // is kept as the historical spelling of set_error for external code.
+
   template <typename... Args>
   void set_value(Args&&... args) {
-    std::vector<pending_continuation> conts;
+    continuation_node* conts = nullptr;
     {
       std::lock_guard<spinlock> lock(mutex_);
       HPXLITE_ASSERT(!ready_.load(std::memory_order_relaxed),
                      "value set twice on shared state");
       value_.emplace(std::forward<Args>(args)...);
       ready_.store(true, std::memory_order_release);
-      conts.swap(continuations_);
+      conts = take_continuations_locked();
     }
-    note_continuations_released(conts.size());
-    wake_waiters();
-    run_continuations(std::move(conts));
+    finish(conts);
   }
 
-  void set_exception(std::exception_ptr ex) {
-    std::vector<pending_continuation> conts;
+  void set_error(std::exception_ptr ex) {
+    continuation_node* conts = nullptr;
     {
       std::lock_guard<spinlock> lock(mutex_);
       HPXLITE_ASSERT(!ready_.load(std::memory_order_relaxed),
                      "value set twice on shared state");
       exception_ = std::move(ex);
       ready_.store(true, std::memory_order_release);
-      conts.swap(continuations_);
+      conts = take_continuations_locked();
     }
-    note_continuations_released(conts.size());
-    wake_waiters();
-    run_continuations(std::move(conts));
+    finish(conts);
   }
 
-  /// Registers `cont` to run once ready; runs it immediately (per mode)
-  /// if the state is already ready.
-  void add_continuation(task_function cont, continuation_mode mode) {
+  void set_exception(std::exception_ptr ex) { set_error(std::move(ex)); }
+
+  /// Receiver-style stopped channel: resolves the state with
+  /// operation_cancelled, preserving the cancellation contract that
+  /// cancelled chains *resolve* (running and releasing downstream
+  /// continuations) rather than park forever.
+  void set_stopped() {
+    set_error(std::make_exception_ptr(operation_cancelled()));
+  }
+
+  /// set_stopped with the original cancellation exception (keeps the
+  /// producer's message intact for diagnostics).
+  void set_stopped(std::exception_ptr reason) { set_error(std::move(reason)); }
+
+  // --- continuation registration --------------------------------------
+
+  /// Links an operation-state node into this state's continuation list;
+  /// fires it immediately (per its mode) if the state is already ready.
+  /// Registration itself never allocates.
+  void add_continuation(continuation_node* node) {
     {
       std::lock_guard<spinlock> lock(mutex_);
       if (!ready_.load(std::memory_order_relaxed)) {
-        continuations_.push_back({std::move(cont), mode});
+        node->next = nullptr;
+        if (cont_tail_ != nullptr) {
+          cont_tail_->next = node;
+        } else {
+          cont_head_ = node;
+        }
+        cont_tail_ = node;
         live_continuation_counter().fetch_add(1, std::memory_order_relaxed);
         return;
       }
     }
-    dispatch(std::move(cont), mode);
+    dispatch_node(node);
+  }
+
+  /// Type-erased registration for arbitrary closures (join logic,
+  /// nested-future unwrapping, external composition code).  The closure
+  /// is wrapped in a pool-backed node — one recycled block, not a heap
+  /// closure in a heap vector slot.
+  void add_continuation(task_function cont, continuation_mode mode) {
+    add_continuation(closure_node::create(std::move(cont), mode));
   }
 
   /// Installs work to be executed lazily by the first wait()/get()
@@ -312,38 +357,55 @@ class shared_state {
     return is_ready() && exception_ != nullptr;
   }
 
- private:
-  struct pending_continuation {
-    task_function fn;
-    continuation_mode mode;
-  };
-
-  static void dispatch(task_function fn, continuation_mode mode) {
-    if (mode == continuation_mode::scheduled) {
-      // Prefer the completing worker's own pool (valid even while that
-      // pool is draining for teardown); fall back to the default
-      // instance, and run inline when no runtime is available.
+  /// Runs `node` now: scheduled nodes go to the runtime's worker pool
+  /// (preferring the completing worker's own pool, which stays valid
+  /// during a teardown drain), inline nodes run in the calling thread.
+  /// The dispatch thunk is a single pointer, so parking it in a
+  /// task_function is statically allocation-free.
+  static void dispatch_node(continuation_node* node) {
+    if (node->mode == continuation_mode::scheduled) {
+      auto thunk = [node] { node->fire(node); };
+      static_assert(task_function::stores_inline<decltype(thunk)>,
+                    "continuation dispatch thunk must ride in the "
+                    "task_function small buffer");
       if (runtime* rt = runtime::current()) {
-        rt->submit(std::move(fn));
+        rt->submit(std::move(thunk));
         return;
       }
       if (runtime::exists()) {
-        runtime::get().submit(std::move(fn));
+        runtime::get().submit(std::move(thunk));
         return;
       }
     }
-    fn();
+    node->fire(node);
   }
 
-  static void note_continuations_released(std::size_t n) {
-    if (n != 0) {
-      live_continuation_counter().fetch_sub(n, std::memory_order_relaxed);
+ private:
+  /// Pre: mutex_ held.  Detaches and returns the parked list.
+  continuation_node* take_continuations_locked() {
+    continuation_node* head = cont_head_;
+    cont_head_ = nullptr;
+    cont_tail_ = nullptr;
+    return head;
+  }
+
+  /// Post-completion epilogue: releases the parked-continuation count,
+  /// wakes blocked waiters, and fires the list in FIFO order.  A node's
+  /// fire may destroy the node, so `next` is read first.
+  void finish(continuation_node* conts) {
+    std::size_t released = 0;
+    for (continuation_node* n = conts; n != nullptr; n = n->next) {
+      ++released;
     }
-  }
-
-  void run_continuations(std::vector<pending_continuation> conts) {
-    for (auto& c : conts) {
-      dispatch(std::move(c.fn), c.mode);
+    if (released != 0) {
+      live_continuation_counter().fetch_sub(released,
+                                            std::memory_order_relaxed);
+    }
+    wake_waiters();
+    while (conts != nullptr) {
+      continuation_node* next = conts->next;
+      dispatch_node(conts);
+      conts = next;
     }
   }
 
@@ -373,13 +435,21 @@ class shared_state {
   std::atomic<bool> exception_observed_{false};
   std::optional<payload> value_;
   std::exception_ptr exception_;
-  std::vector<pending_continuation> continuations_;
+  continuation_node* cont_head_ = nullptr;  // FIFO list of parked nodes
+  continuation_node* cont_tail_ = nullptr;
   task_function deferred_work_;
   int waiters_ = 0;  // guarded by waiter_mutex()
 };
 
 template <typename T>
 using shared_state_ptr = std::shared_ptr<shared_state<T>>;
+
+/// One pooled allocation for a bare shared state (promise,
+/// make_ready_future, the chunked algorithms' join states).
+template <typename T>
+shared_state_ptr<T> make_pooled_state() {
+  return make_pooled<shared_state<T>>();
+}
 
 /// Trait: is X a (possibly cv/ref-qualified) hpxlite future?
 template <typename X>
@@ -414,10 +484,10 @@ inline std::uint64_t abandoned_exception_count() {
   return detail::abandoned_exception_counter().load(std::memory_order_relaxed);
 }
 
-/// Number of continuation closures currently held by pending shared
-/// states.  Returns to baseline once every chain — including cancelled
-/// ones — has resolved; the closure-retention regression test asserts
-/// this.
+/// Number of continuations currently parked inside pending shared
+/// states (operation-state nodes and closure nodes alike).  Returns to
+/// baseline once every chain — including cancelled ones — has resolved;
+/// the closure-retention regression tests assert this.
 inline std::uint64_t pending_continuation_count() {
   return detail::live_continuation_counter().load(std::memory_order_relaxed);
 }
@@ -487,6 +557,9 @@ class future {
 
   /// Attaches a continuation `f(future<T>&&)`; returns a future for its
   /// result.  `mode` selects scheduled (default) or inline execution.
+  /// Internally this is a connect/start: one pooled operation state
+  /// carries the result state and the continuation body, linked into
+  /// the predecessor without any further allocation.
   template <typename F>
   auto then(F&& f, detail::continuation_mode mode =
                        detail::continuation_mode::scheduled)
@@ -585,7 +658,7 @@ class shared_future {
 template <typename T>
 class promise {
  public:
-  promise() : state_(std::make_shared<detail::shared_state<T>>()) {}
+  promise() : state_(detail::make_pooled_state<T>()) {}
   promise(promise&&) noexcept = default;
   promise& operator=(promise&&) noexcept = default;
   promise(const promise&) = delete;
@@ -631,14 +704,14 @@ class promise {
 /// A future that is already ready, holding `value`.
 template <typename T>
 future<std::decay_t<T>> make_ready_future(T&& value) {
-  auto state = std::make_shared<detail::shared_state<std::decay_t<T>>>();
+  auto state = detail::make_pooled_state<std::decay_t<T>>();
   state->set_value(std::forward<T>(value));
   return future<std::decay_t<T>>(std::move(state));
 }
 
 /// A ready future<void>.
 inline future<void> make_ready_future() {
-  auto state = std::make_shared<detail::shared_state<void>>();
+  auto state = detail::make_pooled_state<void>();
   state->set_value(detail::unit{});
   return future<void>(std::move(state));
 }
@@ -646,17 +719,19 @@ inline future<void> make_ready_future() {
 /// A ready future carrying an exception.
 template <typename T>
 future<T> make_exceptional_future(std::exception_ptr ex) {
-  auto state = std::make_shared<detail::shared_state<T>>();
+  auto state = detail::make_pooled_state<T>();
   state->set_exception(std::move(ex));
   return future<T>(std::move(state));
 }
 
 namespace detail {
 
-/// Invokes `f(arg)` and fulfils `state` with the result, routing any
-/// exception into the state.  Handles void results uniformly.
+/// Invokes `f(arg)` and delivers the result through the receiver
+/// triple: set_value on success, set_stopped for cancellation, and
+/// set_error for every other exception.  Handles void results
+/// uniformly.  `State` may be a raw pointer or any smart pointer.
 template <typename State, typename F, typename... Arg>
-void fulfil_from_invoke(State& state, F&& f, Arg&&... arg) {
+void fulfil_from_invoke(State&& state, F&& f, Arg&&... arg) {
   try {
     if constexpr (std::is_void_v<
                       std::invoke_result_t<F&&, Arg&&...>>) {
@@ -665,9 +740,62 @@ void fulfil_from_invoke(State& state, F&& f, Arg&&... arg) {
     } else {
       state->set_value(std::forward<F>(f)(std::forward<Arg>(arg)...));
     }
+  } catch (const operation_cancelled&) {
+    state->set_stopped(std::current_exception());
   } catch (...) {
-    state->set_exception(std::current_exception());
+    state->set_error(std::current_exception());
   }
+}
+
+/// The operation state behind future::then / shared_future::then: the
+/// result's shared state, the predecessor reference and the
+/// continuation body in ONE pooled object.  `connect` is the
+/// make_pooled call; `start` is the add_continuation registration; the
+/// node fires at most once and releases its keepalive there.
+template <typename R, typename FutureT, typename T, typename F>
+struct then_op final : continuation_node {
+  shared_state<R> result;
+  shared_state_ptr<T> pred;
+  F fn;
+  std::shared_ptr<void> self;  // keepalive from start() to fire
+
+  then_op(shared_state_ptr<T> p, F f)
+      : pred(std::move(p)), fn(std::move(f)) {
+    fire = &then_op::do_fire;
+    abandon = &then_op::do_abandon;
+  }
+
+  static void do_fire(continuation_node* node) {
+    auto* op = static_cast<then_op*>(node);
+    auto keep = std::move(op->self);
+    // Re-wrap the (now ready) predecessor for the callback, matching
+    // HPX's then() signature; the callback consumes the predecessor
+    // reference, releasing it as soon as the body returns.
+    fulfil_from_invoke(&op->result, std::move(op->fn),
+                       FutureT(std::move(op->pred)));
+  }
+
+  static void do_abandon(continuation_node* node) noexcept {
+    // Never ran: the predecessor state died unresolved.  Unreachable in
+    // practice (this op holds the predecessor alive), kept defensive.
+    auto* op = static_cast<then_op*>(node);
+    auto keep = std::move(op->self);
+  }
+};
+
+/// Builds, registers and returns the future for a then-continuation.
+template <typename R, typename FutureT, typename T, typename F>
+future<R> start_then_op(shared_state_ptr<T> pred_state, F&& f,
+                        continuation_mode mode) {
+  using op_t = then_op<R, FutureT, T, std::decay_t<F>>;
+  auto op = make_pooled<op_t>(std::move(pred_state),
+                              std::decay_t<F>(std::forward<F>(f)));
+  op->mode = mode;
+  shared_state<T>* pred = op->pred.get();
+  shared_state_ptr<R> result(op, &op->result);  // aliasing: no allocation
+  op->self = op;
+  pred->add_continuation(static_cast<continuation_node*>(op.get()));
+  return future<R>(std::move(result));
 }
 
 }  // namespace detail
@@ -678,17 +806,8 @@ auto future<T>::then(F&& f, detail::continuation_mode mode)
     -> future<std::invoke_result_t<std::decay_t<F>, future<T>&&>> {
   using R = std::invoke_result_t<std::decay_t<F>, future<T>&&>;
   ensure_valid();
-  auto next = std::make_shared<detail::shared_state<R>>();
-  auto self = std::move(state_);
-  // The continuation owns the predecessor state and re-wraps it in a
-  // ready future for the callback, matching HPX's then() signature.
-  self->add_continuation(
-      [next, self, fn = std::forward<F>(f)]() mutable {
-        detail::fulfil_from_invoke(next, std::move(fn),
-                                   future<T>(std::move(self)));
-      },
-      mode);
-  return future<R>(std::move(next));
+  return detail::start_then_op<R, future<T>>(std::move(state_),
+                                             std::forward<F>(f), mode);
 }
 
 template <typename T>
@@ -703,48 +822,167 @@ auto shared_future<T>::then(F&& f, detail::continuation_mode mode)
     -> future<std::invoke_result_t<std::decay_t<F>, shared_future<T>>> {
   using R = std::invoke_result_t<std::decay_t<F>, shared_future<T>>;
   ensure_valid();
-  auto next = std::make_shared<detail::shared_state<R>>();
-  auto self = state_;
-  self->add_continuation(
-      [next, self, fn = std::forward<F>(f)]() mutable {
-        detail::fulfil_from_invoke(next, std::move(fn),
-                                   shared_future<T>(std::move(self)));
-      },
-      mode);
-  return future<R>(std::move(next));
+  // Copies the state (a shared_future stays usable after then()).
+  return detail::start_then_op<R, shared_future<T>>(state_,
+                                                    std::forward<F>(f), mode);
 }
 
 // ---------------------------------------------------------------------
 // when_all
 
+namespace detail {
+
+/// Join operation state for when_all over a vector: ONE pooled object
+/// holds the result state, the countdown and the held inputs, plus one
+/// intrusive arm per input (a single pooled array, not a closure per
+/// input).  Arms carry a raw owner pointer — the keepalive reference
+/// makes per-arm shared_state_ptr copies unnecessary on the dispatch
+/// hot path.
+template <typename T>
+struct when_all_vec_op final {
+  using result_t = std::vector<future<T>>;
+
+  struct arm final : continuation_node {
+    when_all_vec_op* owner = nullptr;
+    arm() {
+      fire = &when_all_vec_op::arm_fire;
+      abandon = &when_all_vec_op::arm_abandon;
+      mode = continuation_mode::inline_;
+    }
+  };
+
+  shared_state<result_t> result;
+  std::atomic<std::size_t> remaining{0};
+  result_t held;
+  pooled_arm_array<arm> arms;
+  std::shared_ptr<void> self;
+
+  explicit when_all_vec_op(std::size_t n) : arms(n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      arms[i].owner = this;
+    }
+  }
+
+  static void arm_fire(continuation_node* node) {
+    auto* owner = static_cast<arm*>(node)->owner;
+    if (owner->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      auto keep = std::move(owner->self);
+      owner->result.set_value(std::move(owner->held));
+    }
+  }
+
+  static void arm_abandon(continuation_node* node) noexcept {
+    // Unreachable in practice: `held` keeps every input state alive
+    // until the join completes.  Kept defensive.
+    auto* owner = static_cast<arm*>(node)->owner;
+    if (owner->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      auto keep = std::move(owner->self);
+      owner->result.set_error(std::make_exception_ptr(broken_promise()));
+    }
+  }
+};
+
+/// Join op for when_all over shared futures: completion only, the
+/// inputs stay with the caller (and are NOT retained here, matching the
+/// historical semantics).  An input state dying unresolved abandons its
+/// arm, which counts as arrival so the join still completes.
+struct when_all_shared_op final {
+  struct arm final : continuation_node {
+    when_all_shared_op* owner = nullptr;
+    arm() {
+      fire = &when_all_shared_op::arm_fire;
+      abandon = &when_all_shared_op::arm_fire_noexcept;
+      mode = continuation_mode::inline_;
+    }
+  };
+
+  shared_state<void> result;
+  std::atomic<std::size_t> remaining{0};
+  pooled_arm_array<arm> arms;
+  std::shared_ptr<void> self;
+
+  explicit when_all_shared_op(std::size_t n) : arms(n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      arms[i].owner = this;
+    }
+  }
+
+  static void arm_fire(continuation_node* node) {
+    auto* owner = static_cast<arm*>(node)->owner;
+    if (owner->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      auto keep = std::move(owner->self);
+      owner->result.set_value(unit{});
+    }
+  }
+
+  static void arm_fire_noexcept(continuation_node* node) noexcept {
+    arm_fire(node);
+  }
+};
+
+/// Join op for variadic when_all: the arm count is a compile-time
+/// constant, so the arms ride inline — one pooled allocation total.
+template <typename Tuple, std::size_t N>
+struct when_all_tuple_op final {
+  struct arm final : continuation_node {
+    when_all_tuple_op* owner = nullptr;
+    arm() {
+      fire = &when_all_tuple_op::arm_fire;
+      abandon = &when_all_tuple_op::arm_abandon;
+      mode = continuation_mode::inline_;
+    }
+  };
+
+  shared_state<Tuple> result;
+  std::atomic<std::size_t> remaining{0};
+  std::optional<Tuple> held;
+  std::array<arm, N> arms;
+  std::shared_ptr<void> self;
+
+  when_all_tuple_op() {
+    for (auto& a : arms) {
+      a.owner = this;
+    }
+  }
+
+  static void arm_fire(continuation_node* node) {
+    auto* owner = static_cast<arm*>(node)->owner;
+    if (owner->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      auto keep = std::move(owner->self);
+      owner->result.set_value(std::move(*owner->held));
+    }
+  }
+
+  static void arm_abandon(continuation_node* node) noexcept {
+    auto* owner = static_cast<arm*>(node)->owner;
+    if (owner->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      auto keep = std::move(owner->self);
+      owner->result.set_error(std::make_exception_ptr(broken_promise()));
+    }
+  }
+};
+
+}  // namespace detail
+
 /// when_all over a vector: the result future becomes ready when every
 /// input is ready and yields the (now-ready) inputs back.
 template <typename T>
 future<std::vector<future<T>>> when_all(std::vector<future<T>> futures) {
-  using result_t = std::vector<future<T>>;
-  auto next = std::make_shared<detail::shared_state<result_t>>();
-  if (futures.empty()) {
-    next->set_value(result_t{});
+  using op_t = detail::when_all_vec_op<T>;
+  using result_t = typename op_t::result_t;
+  const std::size_t n = futures.size();
+  auto op = detail::make_pooled<op_t>(n);
+  detail::shared_state_ptr<result_t> next(op, &op->result);
+  if (n == 0) {
+    op->result.set_value(result_t{});
     return future<result_t>(std::move(next));
   }
-  struct join_block {
-    std::atomic<std::size_t> remaining;
-    result_t held;
-    std::shared_ptr<detail::shared_state<result_t>> next;
-  };
-  auto block = std::make_shared<join_block>();
-  block->remaining.store(futures.size(), std::memory_order_relaxed);
-  block->held = std::move(futures);
-  block->next = next;
-  for (auto& f : block->held) {
-    HPXLITE_ASSERT(f.valid(), "when_all over an invalid future");
-    f.state()->add_continuation(
-        [block] {
-          if (block->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-            block->next->set_value(std::move(block->held));
-          }
-        },
-        detail::continuation_mode::inline_);
+  op->remaining.store(n, std::memory_order_relaxed);
+  op->held = std::move(futures);
+  op->self = op;
+  for (std::size_t i = 0; i < n; ++i) {
+    HPXLITE_ASSERT(op->held[i].valid(), "when_all over an invalid future");
+    op->held[i].state()->add_continuation(&op->arms[i]);
   }
   return future<result_t>(std::move(next));
 }
@@ -753,21 +991,20 @@ future<std::vector<future<T>>> when_all(std::vector<future<T>> futures) {
 /// input is ready; the inputs themselves remain usable by the caller.
 template <typename T>
 future<void> when_all(const std::vector<shared_future<T>>& futures) {
-  auto next = std::make_shared<detail::shared_state<void>>();
-  if (futures.empty()) {
-    next->set_value(detail::unit{});
+  using op_t = detail::when_all_shared_op;
+  const std::size_t n = futures.size();
+  auto op = detail::make_pooled<op_t>(n);
+  detail::shared_state_ptr<void> next(op, &op->result);
+  if (n == 0) {
+    op->result.set_value(detail::unit{});
     return future<void>(std::move(next));
   }
-  auto remaining = std::make_shared<std::atomic<std::size_t>>(futures.size());
-  for (const auto& f : futures) {
-    HPXLITE_ASSERT(f.valid(), "when_all over an invalid shared_future");
-    f.state()->add_continuation(
-        [next, remaining] {
-          if (remaining->fetch_sub(1, std::memory_order_acq_rel) == 1) {
-            next->set_value(detail::unit{});
-          }
-        },
-        detail::continuation_mode::inline_);
+  op->remaining.store(n, std::memory_order_relaxed);
+  op->self = op;
+  for (std::size_t i = 0; i < n; ++i) {
+    HPXLITE_ASSERT(futures[i].valid(),
+                   "when_all over an invalid shared_future");
+    futures[i].state()->add_continuation(&op->arms[i]);
   }
   return future<void>(std::move(next));
 }
@@ -777,27 +1014,18 @@ template <typename... Ts,
           typename = std::enable_if_t<(detail::is_future_v<Ts> && ...)>>
 future<std::tuple<std::decay_t<Ts>...>> when_all(Ts&&... futures) {
   using tuple_t = std::tuple<std::decay_t<Ts>...>;
-  auto next = std::make_shared<detail::shared_state<tuple_t>>();
-  struct join_block {
-    std::atomic<std::size_t> remaining;
-    std::optional<tuple_t> held;
-    std::shared_ptr<detail::shared_state<tuple_t>> next;
-  };
-  auto block = std::make_shared<join_block>();
-  block->remaining.store(sizeof...(Ts), std::memory_order_relaxed);
-  block->held.emplace(std::forward<Ts>(futures)...);
-  block->next = next;
-  const auto arm = [&block](auto& f) {
+  using op_t = detail::when_all_tuple_op<tuple_t, sizeof...(Ts)>;
+  auto op = detail::make_pooled<op_t>();
+  detail::shared_state_ptr<tuple_t> next(op, &op->result);
+  op->remaining.store(sizeof...(Ts), std::memory_order_relaxed);
+  op->held.emplace(std::forward<Ts>(futures)...);
+  op->self = op;
+  std::size_t idx = 0;
+  const auto arm_one = [&](auto& f) {
     HPXLITE_ASSERT(f.valid(), "when_all over an invalid future");
-    f.state()->add_continuation(
-        [block] {
-          if (block->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-            block->next->set_value(std::move(*block->held));
-          }
-        },
-        detail::continuation_mode::inline_);
+    f.state()->add_continuation(&op->arms[idx++]);
   };
-  std::apply([&](auto&... fs) { (arm(fs), ...); }, *block->held);
+  std::apply([&](auto&... fs) { (arm_one(fs), ...); }, *op->held);
   return future<tuple_t>(std::move(next));
 }
 

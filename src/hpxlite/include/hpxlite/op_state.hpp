@@ -1,0 +1,357 @@
+// Operation-state substrate for the zero-allocation continuation core.
+//
+// Production HPX moved its futures onto sender/receiver-style inline
+// continuations (connect/start operation-states, P0783's "futures with
+// continuations" shape) because at millions of chain launches per
+// second the *construction* of a continuation chain — one heap shared
+// state plus one heap closure per node — dominates the launch path.
+// hpxlite adopts the same internal shape here:
+//
+//   - a continuation is an intrusive `continuation_node` linked
+//     directly into the predecessor's shared state: registering it
+//     allocates nothing,
+//   - a `.then`/`dataflow`/`async` node is ONE object (an operation
+//     state) carrying the result's shared state, the continuation body
+//     and the link node side by side: one combined allocation instead
+//     of shared-state + closure + vector slot,
+//   - that one allocation is served from a recycling block pool, so a
+//     steady-state chain build performs ZERO calls to operator new.
+//
+// The pool is a global freelist of fixed-size blocks with a per-thread
+// cache in front (the common build→fire→release cycle never touches
+// the global lock).  Blocks larger than `op_state_block_size` fall back
+// to operator new — still a single allocation per node, which is the
+// hard gate bench/micro/launch_overhead enforces.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+
+#include "hpxlite/assert.hpp"
+#include "hpxlite/config.hpp"
+#include "hpxlite/spinlock.hpp"
+#include "hpxlite/unique_function.hpp"
+
+namespace hpxlite {
+
+/// Observable pool behaviour, for tests and the launch-overhead bench.
+/// Monotonic counters except `outstanding` (a gauge: acquires minus
+/// releases, i.e. blocks currently owned by live operation states).
+struct op_pool_counters {
+  std::uint64_t acquires = 0;        // pooled-size requests served
+  std::uint64_t pool_hits = 0;       // ... served from a cached block
+  std::uint64_t fresh_blocks = 0;    // ... served by a new allocation
+  std::uint64_t oversize_allocs = 0; // requests larger than a block
+  std::int64_t outstanding = 0;      // blocks held by live op-states
+};
+
+namespace detail {
+
+/// How a continuation attached to a shared state should run once the
+/// state becomes ready.
+enum class continuation_mode {
+  scheduled,  // submit to the runtime (default for .then/dataflow)
+  inline_,    // run in the completing thread (cheap adapters only)
+};
+
+/// Intrusive continuation link: the "receiver hook" a shared state
+/// fires at completion.  Operation states embed one (or several, for
+/// multi-input nodes) of these; registering a node into a state links
+/// it into the state's list without allocating.
+///
+/// `fire` runs the continuation exactly once (and is responsible for
+/// releasing whatever keeps the operation state alive).  `abandon` is
+/// the never-ran path: the owning state is being destroyed with the
+/// node still parked, and the node must release its storage without
+/// invoking the body.
+struct continuation_node {
+  continuation_node* next = nullptr;
+  void (*fire)(continuation_node*) = nullptr;
+  void (*abandon)(continuation_node*) noexcept = nullptr;
+  continuation_mode mode = continuation_mode::scheduled;
+};
+
+// --- recycling block pool ---------------------------------------------
+
+struct op_pool_counter_cells {
+  std::atomic<std::uint64_t> acquires{0};
+  std::atomic<std::uint64_t> pool_hits{0};
+  std::atomic<std::uint64_t> fresh_blocks{0};
+  std::atomic<std::uint64_t> oversize_allocs{0};
+  std::atomic<std::int64_t> outstanding{0};
+};
+
+inline op_pool_counter_cells& op_pool_cells() {
+  static op_pool_counter_cells cells;
+  return cells;
+}
+
+struct op_free_node {
+  op_free_node* next;
+};
+
+/// Global overflow freelist.  Deliberately leaked (never destroyed):
+/// worker threads flush their caches into it from thread-exit
+/// destructors, which on some platforms run after static destructors
+/// would have torn a non-leaky singleton down.
+class op_block_pool {
+ public:
+  static op_block_pool& instance() {
+    static op_block_pool* pool = new op_block_pool();  // intentionally leaked
+    return *pool;
+  }
+
+  /// Pops up to `want` blocks into `out` (singly linked); returns how
+  /// many were popped.
+  std::size_t pop_some(op_free_node*& out, std::size_t want) noexcept {
+    std::lock_guard<spinlock> lock(lock_);
+    std::size_t got = 0;
+    while (head_ != nullptr && got < want) {
+      op_free_node* n = head_;
+      head_ = n->next;
+      n->next = out;
+      out = n;
+      ++got;
+    }
+    count_ -= got;
+    return got;
+  }
+
+  /// Pushes `n` blocks (singly linked from `list`).  Blocks past the
+  /// cache cap are freed outright so an unusually deep chain cannot pin
+  /// memory forever.
+  void push_some(op_free_node* list, std::size_t n) noexcept {
+    op_free_node* overflow = nullptr;
+    {
+      std::lock_guard<spinlock> lock(lock_);
+      while (list != nullptr && count_ < op_state_global_cache_cap) {
+        op_free_node* next = list->next;
+        list->next = head_;
+        head_ = list;
+        list = next;
+        ++count_;
+        --n;
+      }
+      overflow = list;
+    }
+    while (overflow != nullptr) {
+      op_free_node* next = overflow->next;
+      ::operator delete(static_cast<void*>(overflow));
+      overflow = next;
+    }
+  }
+
+ private:
+  op_block_pool() = default;
+  spinlock lock_;
+  op_free_node* head_ = nullptr;
+  std::size_t count_ = 0;
+};
+
+/// Per-thread block cache: the fast path for the build→fire→release
+/// cycle.  Refills from / spills to the global pool in batches.
+struct op_tls_cache {
+  op_free_node* head = nullptr;
+  std::size_t count = 0;
+
+  ~op_tls_cache() {
+    if (head != nullptr) {
+      op_block_pool::instance().push_some(head, count);
+      head = nullptr;
+      count = 0;
+    }
+  }
+};
+
+inline op_tls_cache& op_tls() {
+  thread_local op_tls_cache cache;
+  return cache;
+}
+
+inline void* op_pool_acquire(std::size_t size) {
+  auto& cells = op_pool_cells();
+  if (size > op_state_block_size) {
+    cells.oversize_allocs.fetch_add(1, std::memory_order_relaxed);
+    cells.outstanding.fetch_add(1, std::memory_order_relaxed);
+    return ::operator new(size);
+  }
+  cells.acquires.fetch_add(1, std::memory_order_relaxed);
+  cells.outstanding.fetch_add(1, std::memory_order_relaxed);
+  op_tls_cache& tls = op_tls();
+  if (tls.head == nullptr) {
+    op_free_node* batch = nullptr;
+    const std::size_t got = op_block_pool::instance().pop_some(
+        batch, op_state_tls_refill_batch);
+    tls.head = batch;
+    tls.count = got;
+  }
+  if (tls.head != nullptr) {
+    op_free_node* n = tls.head;
+    tls.head = n->next;
+    --tls.count;
+    cells.pool_hits.fetch_add(1, std::memory_order_relaxed);
+    return static_cast<void*>(n);
+  }
+  cells.fresh_blocks.fetch_add(1, std::memory_order_relaxed);
+  return ::operator new(op_state_block_size);
+}
+
+inline void op_pool_release(void* p, std::size_t size) noexcept {
+  auto& cells = op_pool_cells();
+  cells.outstanding.fetch_sub(1, std::memory_order_relaxed);
+  if (size > op_state_block_size) {
+    ::operator delete(p);
+    return;
+  }
+  op_tls_cache& tls = op_tls();
+  auto* n = static_cast<op_free_node*>(p);
+  n->next = tls.head;
+  tls.head = n;
+  ++tls.count;
+  if (tls.count > op_state_tls_cache_cap) {
+    // Spill half the cache so producer-only / consumer-only threads
+    // keep exchanging blocks through the global pool.
+    op_free_node* spill = nullptr;
+    std::size_t spilled = 0;
+    while (tls.count > op_state_tls_cache_cap / 2) {
+      op_free_node* s = tls.head;
+      tls.head = s->next;
+      --tls.count;
+      s->next = spill;
+      spill = s;
+      ++spilled;
+    }
+    op_block_pool::instance().push_some(spill, spilled);
+  }
+}
+
+/// Allocator adapter so std::allocate_shared carves operation states
+/// (object + shared_ptr control block, one allocation) out of the pool.
+template <typename T>
+struct pooled_allocator {
+  using value_type = T;
+
+  pooled_allocator() noexcept = default;
+  template <typename U>
+  pooled_allocator(const pooled_allocator<U>&) noexcept {}  // NOLINT
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(op_pool_acquire(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    op_pool_release(static_cast<void*>(p), n * sizeof(T));
+  }
+
+  template <typename U>
+  bool operator==(const pooled_allocator<U>&) const noexcept {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const pooled_allocator<U>&) const noexcept {
+    return false;
+  }
+};
+
+/// One combined allocation (pool-served when it fits a block) for an
+/// operation state plus its shared_ptr control block.
+template <typename T, typename... Args>
+std::shared_ptr<T> make_pooled(Args&&... args) {
+  static_assert(alignof(T) <= alignof(std::max_align_t),
+                "operation states must not be over-aligned: pool blocks "
+                "carry default (max_align_t) alignment only");
+  return std::allocate_shared<T>(pooled_allocator<T>{},
+                                 std::forward<Args>(args)...);
+}
+
+/// Type-erased continuation for callers that attach an arbitrary
+/// closure to a shared state (when_all joins, nested-future unwrapping,
+/// external composition code).  Pool-backed: one recycled block, not a
+/// heap closure in a heap vector slot.
+struct closure_node final : continuation_node {
+  task_function fn;
+
+  closure_node(task_function f, continuation_mode m) : fn(std::move(f)) {
+    fire = &closure_node::do_fire;
+    abandon = &closure_node::do_abandon;
+    mode = m;
+  }
+
+  static closure_node* create(task_function f, continuation_mode m) {
+    void* mem = op_pool_acquire(sizeof(closure_node));
+    return ::new (mem) closure_node(std::move(f), m);
+  }
+
+  static void do_fire(continuation_node* node) {
+    auto* self = static_cast<closure_node*>(node);
+    task_function body = std::move(self->fn);
+    destroy(self);
+    body();
+  }
+
+  static void do_abandon(continuation_node* node) noexcept {
+    destroy(static_cast<closure_node*>(node));
+  }
+
+ private:
+  static void destroy(closure_node* self) noexcept {
+    self->~closure_node();
+    op_pool_release(static_cast<void*>(self), sizeof(closure_node));
+  }
+};
+
+/// Fixed-size array of POD-ish arm nodes carved from the pool in one
+/// allocation — when_all/when_some attach one arm per input, and a
+/// per-input heap allocation is exactly what the audit removed.
+template <typename Arm>
+class pooled_arm_array {
+ public:
+  pooled_arm_array() = default;
+
+  explicit pooled_arm_array(std::size_t n) : size_(n) {
+    if (n != 0) {
+      arms_ = static_cast<Arm*>(op_pool_acquire(n * sizeof(Arm)));
+      for (std::size_t i = 0; i < n; ++i) {
+        ::new (static_cast<void*>(arms_ + i)) Arm();
+      }
+    }
+  }
+
+  pooled_arm_array(const pooled_arm_array&) = delete;
+  pooled_arm_array& operator=(const pooled_arm_array&) = delete;
+
+  ~pooled_arm_array() {
+    if (arms_ != nullptr) {
+      for (std::size_t i = size_; i > 0; --i) {
+        arms_[i - 1].~Arm();
+      }
+      op_pool_release(static_cast<void*>(arms_), size_ * sizeof(Arm));
+    }
+  }
+
+  Arm& operator[](std::size_t i) noexcept { return arms_[i]; }
+  std::size_t size() const noexcept { return size_; }
+
+ private:
+  Arm* arms_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace detail
+
+/// Snapshot of the operation-state block pool's counters.
+inline op_pool_counters op_pool_stats() noexcept {
+  auto& cells = detail::op_pool_cells();
+  op_pool_counters s;
+  s.acquires = cells.acquires.load(std::memory_order_relaxed);
+  s.pool_hits = cells.pool_hits.load(std::memory_order_relaxed);
+  s.fresh_blocks = cells.fresh_blocks.load(std::memory_order_relaxed);
+  s.oversize_allocs = cells.oversize_allocs.load(std::memory_order_relaxed);
+  s.outstanding = cells.outstanding.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace hpxlite

@@ -67,7 +67,7 @@ struct join_block {
   spinlock error_lock;
   std::exception_ptr error;
   std::shared_ptr<shared_state<void>> state =
-      std::make_shared<shared_state<void>>();
+      hpxlite::detail::make_pooled_state<void>();
 };
 
 /// Decides the static chunk size for `n` iterations under `spec`,
@@ -412,7 +412,7 @@ future<T> reduce_chunked(const chunk_spec& spec, std::size_t n, T init, Op op,
     spinlock error_lock;
     std::exception_ptr error;
     std::shared_ptr<shared_state<T>> state =
-        std::make_shared<shared_state<T>>();
+        hpxlite::detail::make_pooled_state<T>();
   };
   auto block = std::make_shared<reduce_block>(nchunks);
   for (std::size_t c = 0; c < nchunks; ++c) {

@@ -20,11 +20,12 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "hpxlite/config.hpp"
@@ -32,6 +33,64 @@
 #include "hpxlite/unique_function.hpp"
 
 namespace hpxlite {
+
+/// Power-of-two ring buffer of tasks, the storage behind the worker
+/// deques and the injection queue.  Unlike std::deque — which allocates
+/// and frees chunk nodes as pushes and pops cross chunk boundaries — a
+/// ring only allocates when it grows, so the steady-state submit/pop
+/// cycle of the continuation core is allocation-free end to end.
+/// Externally synchronised (the owning queue's lock).
+class task_ring {
+ public:
+  task_ring() = default;
+  task_ring(const task_ring&) = delete;
+  task_ring& operator=(const task_ring&) = delete;
+
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+  std::size_t capacity() const noexcept { return cap_; }
+
+  void push_back(task_function t) {
+    if (size_ == cap_) {
+      grow();
+    }
+    slots_[(head_ + size_) & (cap_ - 1)] = std::move(t);
+    ++size_;
+  }
+
+  /// Pre: !empty().  LIFO end (owner pops here, cache-warm).
+  task_function pop_back() {
+    --size_;
+    return std::move(slots_[(head_ + size_) & (cap_ - 1)]);
+  }
+
+  /// Pre: !empty().  FIFO end (thieves steal here, oldest first).
+  task_function pop_front() {
+    task_function t = std::move(slots_[head_]);
+    head_ = (head_ + 1) & (cap_ - 1);
+    --size_;
+    return t;
+  }
+
+ private:
+  void grow() {
+    const std::size_t new_cap = cap_ == 0 ? initial_capacity : cap_ * 2;
+    auto fresh = std::make_unique<task_function[]>(new_cap);
+    for (std::size_t i = 0; i < size_; ++i) {
+      fresh[i] = std::move(slots_[(head_ + i) & (cap_ - 1)]);
+    }
+    slots_ = std::move(fresh);
+    cap_ = new_cap;
+    head_ = 0;
+  }
+
+  static constexpr std::size_t initial_capacity = 64;
+
+  std::unique_ptr<task_function[]> slots_;
+  std::size_t cap_ = 0;   // always zero or a power of two
+  std::size_t head_ = 0;  // index of the FIFO front
+  std::size_t size_ = 0;
+};
 
 /// Aggregate scheduler counters, readable at any time (approximate under
 /// concurrency; exact once the runtime is quiescent).
@@ -102,7 +161,7 @@ class runtime {
  private:
   struct worker_queue {
     spinlock lock;
-    std::deque<task_function> tasks;
+    task_ring tasks;
     // Pad to a cache line so neighbouring queues do not false-share.
     char pad[cache_line_size];
   };
@@ -117,7 +176,7 @@ class runtime {
   unsigned num_workers_;
   std::vector<std::unique_ptr<worker_queue>> queues_;
   spinlock inject_lock_;
-  std::deque<task_function> injected_;
+  task_ring injected_;
 
   std::mutex sleep_mutex_;
   std::condition_variable sleep_cv_;

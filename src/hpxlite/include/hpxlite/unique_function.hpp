@@ -23,6 +23,30 @@ class unique_function;
 template <typename R, typename... Args>
 class unique_function<R(Args...)> {
  public:
+  /// Capacity of the inline small-buffer, in bytes.
+  static constexpr std::size_t inline_capacity = sbo_size;
+
+  /// True when a callable of type F rides in the inline buffer — no
+  /// heap allocation at construction, move, or destruction.  The
+  /// operation-state continuation core static_asserts this for its
+  /// dispatch thunks, so a buffer shrink that would silently reintroduce
+  /// per-dispatch allocations fails to compile instead.
+  template <typename F>
+  static constexpr bool stores_inline =
+      sizeof(std::decay_t<F>) <= sbo_size &&
+      alignof(std::decay_t<F>) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<std::decay_t<F>>;
+
+  // Compile-time size/alignment guard: the continuation core parks
+  // dispatch thunks (a raw pointer or two plus nothing else) and join
+  // closures (a couple of shared_ptrs) inside task_functions, and the
+  // zero-allocation build path only holds if those always fit inline.
+  static_assert(sbo_size >= 4 * sizeof(void*),
+                "unique_function small buffer must hold at least a "
+                "two-shared_ptr capture (4 pointers)");
+  static_assert(sbo_size % sizeof(void*) == 0,
+                "small buffer should be pointer-granular");
+
   unique_function() noexcept = default;
 
   template <typename F,
@@ -57,6 +81,12 @@ class unique_function<R(Args...)> {
   }
 
   explicit operator bool() const noexcept { return vtable_ != nullptr; }
+
+  /// Whether the currently-held callable lives in the inline buffer
+  /// (false when empty or heap-stored).
+  bool uses_inline_storage() const noexcept {
+    return vtable_ != nullptr && vtable_->inline_stored;
+  }
 
   R operator()(Args... args) {
     HPXLITE_ASSERT(vtable_ != nullptr, "calling an empty unique_function");
@@ -105,10 +135,7 @@ class unique_function<R(Args...)> {
   template <typename F>
   void emplace(F&& f) {
     using D = std::decay_t<F>;
-    constexpr bool fits = sizeof(D) <= sbo_size &&
-                          alignof(D) <= alignof(std::max_align_t) &&
-                          std::is_nothrow_move_constructible_v<D>;
-    if constexpr (fits) {
+    if constexpr (stores_inline<D>) {
       ::new (storage()) D(std::forward<F>(f));
       vtable_ = vtable_for<D, true>();
     } else {

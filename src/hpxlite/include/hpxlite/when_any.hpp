@@ -5,6 +5,13 @@
 //                         input is ready; yields all inputs back plus
 //                         the index of the first-ready one
 //   when_some(k, fs)   -> ready once k inputs are ready
+//
+// Like when_all, the combinator is ONE pooled operation state with an
+// intrusive arm per input — no per-input closure allocation, no
+// per-input shared_state_ptr copies on the dispatch path.  The op does
+// NOT pin its inputs: after the threshold fires the inputs are handed
+// back to the consumer, who may drop still-pending ones; their states
+// then abandon the parked arms, which releases the op promptly.
 #pragma once
 
 #include <atomic>
@@ -32,58 +39,125 @@ struct some_result {
   std::vector<future<T>> futures;
 };
 
+namespace detail {
+
+template <typename T>
+struct when_some_op final {
+  using result_t = some_result<T>;
+
+  struct arm final : continuation_node {
+    when_some_op* owner = nullptr;
+    std::size_t index = 0;
+    arm() {
+      fire = &when_some_op::arm_fire;
+      abandon = &when_some_op::arm_abandon;
+      mode = continuation_mode::inline_;
+    }
+  };
+
+  shared_state<result_t> result;
+  std::atomic<std::size_t> ready{0};
+  std::atomic<std::size_t> live_arms{0};  // arms not yet fired/abandoned
+  std::atomic<bool> fired{false};
+  spinlock index_lock;
+  std::vector<std::size_t> indices;
+  std::vector<future<T>> held;
+  std::size_t threshold = 0;
+  pooled_arm_array<arm> arms;
+  std::shared_ptr<void> self;
+
+  explicit when_some_op(std::size_t n) : arms(n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      arms[i].owner = this;
+      arms[i].index = i;
+    }
+  }
+
+  static void arm_fire(continuation_node* node) {
+    auto* a = static_cast<arm*>(node);
+    when_some_op* op = a->owner;
+    {
+      std::lock_guard<spinlock> lock(op->index_lock);
+      if (op->indices.size() < op->threshold) {
+        op->indices.push_back(a->index);
+      }
+    }
+    if (op->ready.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            op->threshold &&
+        !op->fired.exchange(true)) {
+      result_t r;
+      {
+        // A slower arm may still be pushing its index; synchronise the
+        // handover instead of racing the vector move against it.
+        std::lock_guard<spinlock> lock(op->index_lock);
+        r.indices = std::move(op->indices);
+      }
+      r.futures = std::move(op->held);
+      op->result.set_value(std::move(r));
+    }
+    release_arm(op);
+  }
+
+  static void arm_abandon(continuation_node* node) noexcept {
+    // Post-threshold only: the consumer dropped a still-pending input
+    // it got back from the combinator (pre-threshold, `held` keeps
+    // every input state alive).
+    release_arm(static_cast<arm*>(node)->owner);
+  }
+
+  /// The op's keepalive is released by the LAST arm event, fired or
+  /// abandoned — not at threshold, because later-completing inputs
+  /// still hold parked arms pointing into this object.
+  static void release_arm(when_some_op* op) noexcept {
+    if (op->live_arms.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      auto keep = std::move(op->self);
+    }
+  }
+};
+
+}  // namespace detail
+
 /// Ready once at least `count` of `futures` are ready.  count == 0 is
 /// immediately ready; count > size is clamped.
 template <typename T>
 future<some_result<T>> when_some(std::size_t count,
                                  std::vector<future<T>> futures) {
+  using op_t = detail::when_some_op<T>;
   using result_t = some_result<T>;
-  auto next = std::make_shared<detail::shared_state<result_t>>();
   if (count > futures.size()) {
     count = futures.size();
   }
+  const std::size_t n = futures.size();
+  auto op = detail::make_pooled<op_t>(count == 0 ? 0 : n);
+  detail::shared_state_ptr<result_t> next(op, &op->result);
   if (count == 0) {
     result_t r;
     r.futures = std::move(futures);
-    next->set_value(std::move(r));
+    op->result.set_value(std::move(r));
     return future<result_t>(std::move(next));
   }
 
-  struct wait_block {
-    std::atomic<std::size_t> ready{0};
-    std::atomic<bool> fired{false};
-    spinlock index_lock;
-    std::vector<std::size_t> indices;
-    std::vector<future<T>> held;
-    std::size_t threshold = 0;
-    std::shared_ptr<detail::shared_state<result_t>> next;
-  };
-  auto block = std::make_shared<wait_block>();
-  block->threshold = count;
-  block->held = std::move(futures);
-  block->next = next;
+  op->threshold = count;
+  op->held = std::move(futures);
+  op->ready.store(0, std::memory_order_relaxed);
+  op->live_arms.store(n, std::memory_order_relaxed);
+  op->self = op;
 
-  for (std::size_t i = 0; i < block->held.size(); ++i) {
-    HPXLITE_ASSERT(block->held[i].valid(),
-                   "when_some over an invalid future");
-    block->held[i].state()->add_continuation(
-        [block, i] {
-          {
-            std::lock_guard<spinlock> lock(block->index_lock);
-            if (block->indices.size() < block->threshold) {
-              block->indices.push_back(i);
-            }
-          }
-          if (block->ready.fetch_add(1, std::memory_order_acq_rel) + 1 ==
-                  block->threshold &&
-              !block->fired.exchange(true)) {
-            result_t r;
-            r.indices = std::move(block->indices);
-            r.futures = std::move(block->held);
-            block->next->set_value(std::move(r));
-          }
-        },
-        detail::continuation_mode::inline_);
+  {
+    // Arming can fire the threshold inline, which moves `held` out to
+    // the consumer — so the input states are snapshotted (and pinned)
+    // up front, and registration never touches `held` again.  The pins
+    // are scoped to the arming window only: keeping them in the op
+    // would cycle (state holds arm, arm's op holds state) and leak
+    // cancelled inputs.
+    std::vector<detail::shared_state_ptr<T>> pins(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      HPXLITE_ASSERT(op->held[i].valid(), "when_some over an invalid future");
+      pins[i] = op->held[i].state();
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      pins[i]->add_continuation(&op->arms[i]);
+    }
   }
   return future<result_t>(std::move(next));
 }

@@ -125,8 +125,7 @@ bool runtime::try_pop_local(unsigned index, task_function& out) {
   if (q.tasks.empty()) {
     return false;
   }
-  out = std::move(q.tasks.back());
-  q.tasks.pop_back();
+  out = q.tasks.pop_back();
   return true;
 }
 
@@ -135,8 +134,7 @@ bool runtime::try_pop_injected(task_function& out) {
   if (injected_.empty()) {
     return false;
   }
-  out = std::move(injected_.front());
-  injected_.pop_front();
+  out = injected_.pop_front();
   return true;
 }
 
@@ -153,8 +151,7 @@ bool runtime::try_steal(unsigned thief, task_function& out) {
     worker_queue& q = *queues_[victim];
     std::lock_guard<spinlock> lock(q.lock);
     if (!q.tasks.empty()) {
-      out = std::move(q.tasks.front());
-      q.tasks.pop_front();
+      out = q.tasks.pop_front();
       stolen_.fetch_add(1, std::memory_order_relaxed);
       return true;
     }

@@ -1,0 +1,251 @@
+// The operation-state continuation core: pooled single-allocation
+// chain building, receiver-triple delivery, combinator allocation
+// bounds, and prompt release of continuation storage on cancellation.
+#include "hpxlite/op_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "hpxlite/async.hpp"
+#include "hpxlite/dataflow.hpp"
+#include "hpxlite/future.hpp"
+#include "hpxlite/stop_token.hpp"
+#include "hpxlite/when_any.hpp"
+
+namespace {
+
+using hpxlite::launch;
+using hpxlite::operation_cancelled;
+using hpxlite::stop_source;
+
+// Pool activity (pooled acquires + oversize fallbacks) across a code
+// region — the unit the zero-allocation gates are expressed in.
+struct pool_delta {
+  hpxlite::op_pool_counters before = hpxlite::op_pool_stats();
+
+  std::uint64_t news_served() const {
+    const auto now = hpxlite::op_pool_stats();
+    return (now.fresh_blocks - before.fresh_blocks) +
+           (now.oversize_allocs - before.oversize_allocs);
+  }
+  std::uint64_t requests() const {
+    const auto now = hpxlite::op_pool_stats();
+    return (now.acquires - before.acquires) +
+           (now.oversize_allocs - before.oversize_allocs);
+  }
+  std::int64_t outstanding() const {
+    return hpxlite::op_pool_stats().outstanding - before.outstanding;
+  }
+};
+
+// --- chain building ---------------------------------------------------
+
+constexpr int kChain = 128;
+
+void run_then_chain() {
+  hpxlite::promise<int> p;
+  hpxlite::future<int> f = p.get_future();
+  for (int i = 0; i < kChain; ++i) {
+    f = f.then([](hpxlite::future<int>&& in) { return in.get() + 1; });
+  }
+  p.set_value(0);
+  ASSERT_EQ(f.get(), kChain);
+}
+
+TEST(OpState, ThenChainBuildsFromRecycledBlocksAfterWarmup) {
+  run_then_chain();  // warm-up: primes the thread's block cache
+  pool_delta d;
+  run_then_chain();
+  // Every node was served from the pool: zero fresh blocks, zero
+  // oversize fallbacks — i.e. zero calls to operator new per node.
+  EXPECT_EQ(d.news_served(), 0u);
+  EXPECT_EQ(d.outstanding(), 0);  // all op-states released again
+}
+
+void run_dataflow_chain() {
+  hpxlite::promise<int> p;
+  hpxlite::future<int> f = p.get_future();
+  for (int i = 0; i < kChain; ++i) {
+    f = hpxlite::dataflow(launch::async,
+                          hpxlite::unwrapping([](int v) { return v + 1; }),
+                          std::move(f));
+  }
+  p.set_value(0);
+  ASSERT_EQ(f.get(), kChain);
+}
+
+TEST(OpState, DataflowChainBuildsFromRecycledBlocksAfterWarmup) {
+  run_dataflow_chain();
+  pool_delta d;
+  run_dataflow_chain();
+  EXPECT_EQ(d.news_served(), 0u);
+  EXPECT_EQ(d.outstanding(), 0);
+}
+
+TEST(OpState, AsyncLaunchIsASinglePooledAllocation) {
+  { auto warm = hpxlite::async(launch::sync, [] { return 1; }); }
+  pool_delta d;
+  auto f = hpxlite::async(launch::sync, [] { return 41; });
+  EXPECT_EQ(d.requests(), 1u);  // op (state + bound fn) in ONE block
+  EXPECT_EQ(f.get(), 41);
+}
+
+// --- receiver triple --------------------------------------------------
+
+TEST(OpState, ContinuationThrowingCancellationPreservesItsMessage) {
+  // fulfil routes operation_cancelled through set_stopped with the
+  // original exception, so the reason survives to the consumer.
+  auto f = hpxlite::make_ready_future().then(
+      [](hpxlite::future<void>&&) -> int {
+        throw operation_cancelled("deadline budget exhausted");
+      });
+  try {
+    (void)f.get();
+    FAIL() << "expected operation_cancelled";
+  } catch (const operation_cancelled& e) {
+    EXPECT_STREQ(e.what(), "deadline budget exhausted");
+  }
+}
+
+TEST(OpState, ParkedContinuationsFireInRegistrationOrder) {
+  hpxlite::promise<void> p;
+  auto sf = p.get_future().share();
+  std::vector<int> order;
+  auto a = sf.then([&order](hpxlite::shared_future<void>) { order.push_back(1); },
+                   hpxlite::detail::continuation_mode::inline_);
+  auto b = sf.then([&order](hpxlite::shared_future<void>) { order.push_back(2); },
+                   hpxlite::detail::continuation_mode::inline_);
+  auto c = sf.then([&order](hpxlite::shared_future<void>) { order.push_back(3); },
+                   hpxlite::detail::continuation_mode::inline_);
+  p.set_value();
+  a.wait();
+  b.wait();
+  c.wait();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+// --- combinator allocation bounds (when_all / when_some audit) --------
+
+TEST(OpState, WhenAllOverManyInputsIsAllocationBounded) {
+  constexpr std::size_t n = 64;
+  std::vector<hpxlite::promise<int>> ps(n);
+  std::vector<hpxlite::future<int>> fs;
+  fs.reserve(n);
+  for (auto& p : ps) {
+    fs.push_back(p.get_future());
+  }
+  pool_delta d;
+  auto joined = hpxlite::when_all(std::move(fs));
+  // One op + one arm array — NOT one closure per input.
+  EXPECT_LE(d.requests(), 3u);
+  for (std::size_t i = 0; i < n; ++i) {
+    ps[i].set_value(static_cast<int>(i));
+  }
+  auto ready = joined.get();
+  ASSERT_EQ(ready.size(), n);
+  EXPECT_EQ(ready[5].get(), 5);
+}
+
+TEST(OpState, WhenSomeOverManyInputsIsAllocationBounded) {
+  constexpr std::size_t n = 64;
+  std::vector<hpxlite::promise<int>> ps(n);
+  std::vector<hpxlite::future<int>> fs;
+  fs.reserve(n);
+  for (auto& p : ps) {
+    fs.push_back(p.get_future());
+  }
+  pool_delta d;
+  auto some = hpxlite::when_some(2, std::move(fs));
+  EXPECT_LE(d.requests(), 3u);
+  ps[7].set_value(70);
+  ps[3].set_value(30);
+  auto r = some.get();
+  ASSERT_EQ(r.indices.size(), 2u);
+  EXPECT_EQ(r.indices[0], 7u);
+  EXPECT_EQ(r.indices[1], 3u);
+  EXPECT_EQ(r.futures[7].get(), 70);
+  // Resolve the rest so their parked arms release.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != 7 && i != 3) {
+      ps[i].set_value(0);
+    }
+  }
+}
+
+TEST(OpState, WhenSomeReleasesCombinatorAfterStragglersResolve) {
+  const std::uint64_t pending0 = hpxlite::pending_continuation_count();
+  pool_delta d;
+  {
+    std::vector<hpxlite::promise<int>> ps(4);
+    std::vector<hpxlite::future<int>> fs;
+    for (auto& p : ps) {
+      fs.push_back(p.get_future());
+    }
+    ps[0].set_value(1);
+    auto any = hpxlite::when_any(std::move(fs));
+    auto r = any.get();
+    EXPECT_EQ(r.index, 0u);
+    // The consumer drops the three still-pending inputs it got back;
+    // their promises then resolve as broken, firing the parked arms.
+    r.futures.clear();
+  }
+  EXPECT_EQ(hpxlite::pending_continuation_count(), pending0);
+  EXPECT_EQ(d.outstanding(), 0);  // combinator op-state fully released
+}
+
+// --- cancellation: prompt release of continuation storage -------------
+
+TEST(OpState, CancelMidThenChainReleasesOpStatesPromptly) {
+  const std::uint64_t pending0 = hpxlite::pending_continuation_count();
+  auto sentinel = std::make_shared<int>(7);
+  pool_delta d;
+  stop_source src;
+  {
+    hpxlite::promise<void> gate;
+    hpxlite::future<void> f = gate.get_future();
+    for (int i = 0; i < 8; ++i) {
+      f = f.then([sentinel, tok = src.get_token()](hpxlite::future<void>&& in) {
+        in.get();
+        tok.throw_if_stopped();
+      });
+    }
+    // The chain is parked: each node's op-state (holding the sentinel)
+    // is counted as a live continuation, one per link.
+    EXPECT_EQ(hpxlite::pending_continuation_count(), pending0 + 8);
+    EXPECT_GT(sentinel.use_count(), 1);
+    src.request_stop();
+    gate.set_value();  // fire: every node resolves operation_cancelled
+    EXPECT_THROW(f.get(), operation_cancelled);
+  }
+  // Resolution released every op-state and its captures promptly.
+  EXPECT_EQ(hpxlite::pending_continuation_count(), pending0);
+  EXPECT_EQ(sentinel.use_count(), 1);
+  EXPECT_EQ(d.outstanding(), 0);
+}
+
+TEST(OpState, CancelledAsyncChainReleasesBoundClosures) {
+  const std::uint64_t pending0 = hpxlite::pending_continuation_count();
+  auto sentinel = std::make_shared<int>(1);
+  pool_delta d;
+  stop_source src;
+  src.request_stop();
+  {
+    // The token gate trips at invocation, before the sentinel-holding
+    // body runs; the downstream then sees the cancellation.
+    auto f = hpxlite::async(launch::sync, src.get_token(),
+                            [sentinel] { return *sentinel; });
+    auto g = f.then([sentinel](hpxlite::future<int>&& in) {
+      return in.get() + *sentinel;
+    });
+    EXPECT_THROW(g.get(), operation_cancelled);
+  }
+  EXPECT_EQ(hpxlite::pending_continuation_count(), pending0);
+  EXPECT_EQ(sentinel.use_count(), 1);
+  EXPECT_EQ(d.outstanding(), 0);
+}
+
+}  // namespace

@@ -3,12 +3,39 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <atomic>
+#include <cstdlib>
 #include <memory>
+#include <new>
 #include <string>
 
 namespace {
 
 using hpxlite::unique_function;
+
+// Process-wide allocation counter (interposed operator new) so the
+// inline-storage tests can assert "no heap allocation" directly rather
+// than inferring it from uses_inline_storage() alone.
+std::atomic<std::uint64_t> g_news{0};
+
+std::uint64_t news() { return g_news.load(std::memory_order_relaxed); }
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
 
 TEST(UniqueFunction, DefaultConstructedIsEmpty) {
   unique_function<void()> f;
@@ -54,6 +81,86 @@ TEST(UniqueFunction, MoveAssignReplacesTarget) {
   f();
   EXPECT_EQ(a, 0);
   EXPECT_EQ(b, 1);
+}
+
+// --- small-buffer inline-storage guarantees ---------------------------
+// The operation-state continuation core parks dispatch thunks (one or
+// two pointers) inside task_functions on its zero-allocation build
+// path; these tests pin the contract down.
+
+// Compile-time guard: the buffer must hold a two-shared_ptr capture.
+static_assert(unique_function<void()>::inline_capacity >=
+              4 * sizeof(void*));
+static_assert(unique_function<void()>::stores_inline<void (*)()>);
+
+TEST(UniqueFunction, OnePointerCaptureStoresInline) {
+  int target = 0;
+  auto lam = [&target] { ++target; };
+  static_assert(unique_function<void()>::stores_inline<decltype(lam)>);
+  const std::uint64_t before = news();
+  unique_function<void()> f(lam);
+  f();
+  EXPECT_EQ(news() - before, 0u);
+  EXPECT_TRUE(f.uses_inline_storage());
+  EXPECT_EQ(target, 1);
+}
+
+TEST(UniqueFunction, TwoPointerCaptureStoresInline) {
+  int a = 0;
+  int b = 0;
+  auto lam = [pa = &a, pb = &b] { ++*pa, ++*pb; };
+  static_assert(sizeof(lam) == 2 * sizeof(void*));
+  static_assert(unique_function<void()>::stores_inline<decltype(lam)>);
+  const std::uint64_t before = news();
+  unique_function<void()> f(lam);
+  f();
+  EXPECT_EQ(news() - before, 0u);
+  EXPECT_TRUE(f.uses_inline_storage());
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+}
+
+TEST(UniqueFunction, SharedPtrPairCaptureStoresInline) {
+  // The shape of the continuation-core keepalive captures: a pair of
+  // shared_ptrs (4 pointers) must still ride inline.
+  auto x = std::make_shared<int>(1);
+  auto y = std::make_shared<int>(2);
+  auto lam = [x, y] { return *x + *y; };
+  static_assert(unique_function<int()>::stores_inline<decltype(lam)>);
+  const std::uint64_t before = news();
+  unique_function<int()> f(std::move(lam));
+  EXPECT_EQ(f(), 3);
+  EXPECT_EQ(news() - before, 0u);
+  EXPECT_TRUE(f.uses_inline_storage());
+}
+
+TEST(UniqueFunction, MovePreservesInlineStorageWithoutAllocating) {
+  int hits = 0;
+  unique_function<void()> f([&hits] { ++hits; });
+  ASSERT_TRUE(f.uses_inline_storage());
+  const std::uint64_t before = news();
+  unique_function<void()> g(std::move(f));
+  unique_function<void()> h;
+  h = std::move(g);
+  EXPECT_EQ(news() - before, 0u);
+  ASSERT_TRUE(h.uses_inline_storage());
+  h();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(UniqueFunction, OversizeCaptureReportsHeapStorage) {
+  std::array<double, 64> big{};
+  auto lam = [big] { return big[0]; };
+  static_assert(!unique_function<double()>::stores_inline<decltype(lam)>);
+  const std::uint64_t before = news();
+  unique_function<double()> f(lam);
+  EXPECT_GE(news() - before, 1u);
+  EXPECT_FALSE(f.uses_inline_storage());
+}
+
+TEST(UniqueFunction, EmptyFunctionReportsNoInlineStorage) {
+  unique_function<void()> f;
+  EXPECT_FALSE(f.uses_inline_storage());
 }
 
 TEST(UniqueFunction, LargeCaptureHeapAllocates) {
