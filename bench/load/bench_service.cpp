@@ -1,0 +1,203 @@
+// bench_service — the op2::service load benchmark: N tenants sustain
+// concurrent Airfoil jobs in one process through the weighted-fair
+// admission controller, plus one deliberately-bursty tenant whose
+// shallow queue exercises load shedding.  Reports p50/p99 job latency,
+// aggregate loops/sec, admitted/shed/degraded counts and the peak
+// number of concurrently-running jobs, and writes BENCH_service.json.
+//
+// Usage: bench_service [--tenants=N] [--jobs=N] [--iters=N] [--soak]
+//   --soak  gate mode for scripts/check.sh: exit non-zero when the
+//           service shed everything (nothing completed) or p99 job
+//           latency blew past 60 s — either means admission is broken.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "airfoil/job.hpp"
+#include "op2/op2.hpp"
+
+namespace {
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) {
+    return 0.0;
+  }
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+int parse_flag(const char* arg, const char* name, int fallback) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    return std::atoi(arg + len + 1);
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int tenants = 8;
+  int jobs_per_tenant = 3;
+  int niter = 10;
+  bool soak = false;
+  for (int i = 1; i < argc; ++i) {
+    tenants = parse_flag(argv[i], "--tenants", tenants);
+    jobs_per_tenant = parse_flag(argv[i], "--jobs", jobs_per_tenant);
+    niter = parse_flag(argv[i], "--iters", niter);
+    if (std::strcmp(argv[i], "--soak") == 0) {
+      soak = true;
+    }
+  }
+  tenants = std::max(1, tenants);
+
+  const unsigned hw = std::max(2u, std::thread::hardware_concurrency());
+  op2::init(op2::make_config("hpx_foreach", hw));
+  op2::profiling::enable(true);
+
+  // Enough runners that every tenant can hold its one-job quota
+  // concurrently — the "N concurrent Airfoil jobs in one process" claim
+  // is peak_running below, not the runner count.
+  op2::service::service_config cfg;
+  cfg.workers = static_cast<unsigned>(tenants) + 1;
+  op2::service::job_service svc(cfg);
+
+  std::vector<std::unique_ptr<airfoil::job_workspace>> spaces;
+  for (int t = 0; t < tenants; ++t) {
+    op2::service::tenant_options opts;
+    opts.name = "tenant-" + std::to_string(t);
+    opts.weight = 1.0;
+    opts.quota = 1;
+    svc.register_tenant(opts);
+    spaces.push_back(std::make_unique<airfoil::job_workspace>());
+  }
+  // The bursty tenant: low weight, shallow queue, far more submissions
+  // than it may buffer — its overflow is shed with queue_full, its
+  // backlog queues against its own budget, and the steady tenants'
+  // latency must not blow up.
+  {
+    op2::service::tenant_options opts;
+    opts.name = "bursty";
+    opts.weight = 0.5;
+    opts.quota = 1;
+    opts.queue_depth = 4;
+    svc.register_tenant(opts);
+    spaces.push_back(std::make_unique<airfoil::job_workspace>());
+  }
+
+  airfoil::job_params params;
+  params.niter = niter;
+
+  op2::service::job_options qos;
+  qos.qos.max_retries = 1;
+  qos.qos.fallback_to_seq = true;
+  qos.max_attempts = 2;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<op2::service::job_handle> handles;
+  for (int j = 0; j < jobs_per_tenant; ++j) {
+    for (int t = 0; t < tenants; ++t) {
+      handles.push_back(svc.submit(
+          "tenant-" + std::to_string(t),
+          [&params, ws = spaces[static_cast<std::size_t>(t)].get()](
+              const op2::service::job_context& ctx) {
+            airfoil::run_job(params, *ws, ctx.stop);
+          },
+          qos));
+    }
+  }
+  const int burst_jobs = 3 * jobs_per_tenant;
+  for (int j = 0; j < burst_jobs; ++j) {
+    handles.push_back(svc.submit(
+        "bursty",
+        [&params, ws = spaces.back().get()](
+            const op2::service::job_context& ctx) {
+          airfoil::run_job(params, *ws, ctx.stop);
+        },
+        qos));
+  }
+
+  std::vector<double> latencies;  // queue wait + run, per completed job
+  std::uint64_t loops_done = 0;
+  for (auto& h : handles) {
+    const auto r = h.get();
+    if (r.status == op2::service::job_status::completed) {
+      latencies.push_back(r.queue_wait_seconds + r.run_seconds);
+      loops_done += static_cast<std::uint64_t>(9) *
+                    static_cast<std::uint64_t>(niter);
+    }
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const auto stats = svc.stats();
+  std::uint64_t degraded = 0;
+  for (const auto& [name, t] : op2::profiling::tenant_snapshot()) {
+    degraded += t.degradations;
+  }
+  const double p50 = percentile(latencies, 0.50);
+  const double p99 = percentile(latencies, 0.99);
+  const double loops_per_sec = wall > 0.0 ? loops_done / wall : 0.0;
+
+  std::printf("bench_service: %d tenants + 1 bursty, %d jobs each, %d iters\n",
+              tenants, jobs_per_tenant, niter);
+  std::printf("  submitted %llu admitted %llu shed %llu completed %llu "
+              "failed %llu cancelled %llu degraded %llu\n",
+              static_cast<unsigned long long>(stats.submitted),
+              static_cast<unsigned long long>(stats.admitted),
+              static_cast<unsigned long long>(stats.shed),
+              static_cast<unsigned long long>(stats.completed),
+              static_cast<unsigned long long>(stats.failed),
+              static_cast<unsigned long long>(stats.cancelled),
+              static_cast<unsigned long long>(degraded));
+  std::printf("  peak concurrent jobs %zu (target >= %d)\n",
+              stats.peak_running, std::min(tenants, 8));
+  std::printf("  job latency p50 %.3f ms  p99 %.3f ms\n", p50 * 1e3,
+              p99 * 1e3);
+  std::printf("  aggregate %.0f loops/sec over %.3f s\n", loops_per_sec,
+              wall);
+
+  {
+    std::ofstream json("BENCH_service.json");
+    json << "{\n"
+         << "  \"tenants\": " << tenants << ",\n"
+         << "  \"jobs_per_tenant\": " << jobs_per_tenant << ",\n"
+         << "  \"burst_jobs\": " << burst_jobs << ",\n"
+         << "  \"iters\": " << niter << ",\n"
+         << "  \"submitted\": " << stats.submitted << ",\n"
+         << "  \"admitted\": " << stats.admitted << ",\n"
+         << "  \"shed\": " << stats.shed << ",\n"
+         << "  \"completed\": " << stats.completed << ",\n"
+         << "  \"failed\": " << stats.failed << ",\n"
+         << "  \"cancelled\": " << stats.cancelled << ",\n"
+         << "  \"degraded\": " << degraded << ",\n"
+         << "  \"peak_concurrent_jobs\": " << stats.peak_running << ",\n"
+         << "  \"p50_latency_ms\": " << p50 * 1e3 << ",\n"
+         << "  \"p99_latency_ms\": " << p99 * 1e3 << ",\n"
+         << "  \"loops_per_sec\": " << loops_per_sec << ",\n"
+         << "  \"wall_seconds\": " << wall << "\n"
+         << "}\n";
+  }
+
+  if (soak) {
+    if (stats.completed == 0) {
+      std::fprintf(stderr, "bench_service: FAIL — everything was shed\n");
+      return 1;
+    }
+    if (p99 > 60.0) {
+      std::fprintf(stderr, "bench_service: FAIL — p99 %.1f s\n", p99);
+      return 1;
+    }
+  }
+  op2::finalize();
+  return 0;
+}

@@ -33,6 +33,18 @@ ctest --test-dir "$build" -L tuner --output-on-failure
 step "cancellation/deadlines/backpressure: ctest -L cancel"
 ctest --test-dir "$build" -L cancel --output-on-failure
 
+step "job service: ctest -L service"
+ctest --test-dir "$build" -L service --output-on-failure
+
+step "chaos: ctest -L chaos (faulted tenant heals, bystanders bit-exact)"
+ctest --test-dir "$build" -L chaos --output-on-failure
+
+step "job service: bench_service soak (writes BENCH_service.json)"
+# A short multi-tenant soak through the admission controller: hard-fails
+# when everything was shed or p99 job latency blew up — either means
+# admission or fairness is broken.
+(cd "$repo" && "$build/bench/bench_service" --tenants=8 --jobs=3 --iters=10 --soak)
+
 step "self-healing: airfoil under an injected stall (deadline + ladder + window)"
 # A 60 s stall in res_calc must not abort or hang the solve: the
 # deadline cancels the attempt, the ladder re-runs it a rung down, and
@@ -57,6 +69,11 @@ step "adaptive grain tuner: convergence within 32 replays (ablation_tuner)"
 "$build/bench/ablation_tuner"
 
 step "thread sanitizer: configure + build backend_smoke ($tsan_build)"
+# libstdc++.so is not TSan-instrumented, so the atomic refcounts inside
+# std::exception_ptr are invisible to the tool; scripts/tsan.supp
+# suppresses exactly that false positive (see the file for details).
+TSAN_OPTIONS="suppressions=$repo/scripts/tsan.supp${TSAN_OPTIONS:+:$TSAN_OPTIONS}"
+export TSAN_OPTIONS
 cmake -S "$repo" -B "$tsan_build" -DOP2_SANITIZE=thread
 cmake --build "$tsan_build" -j "$jobs" --target backend_smoke
 
@@ -71,6 +88,14 @@ step "thread sanitizer: cancellation racing completion (CancelStress)"
 # the chunk hand-off and callback teardown around a racing cancel.
 cmake --build "$tsan_build" -j "$jobs" --target test_cancel
 "$tsan_build/tests/test_cancel" --gtest_filter='CancelStress.*'
+
+step "thread sanitizer: job-service admission controller (ServiceStress)"
+# Concurrent submit/cancel/set_quota against the weighted-fair
+# dispatcher, plus faulted-and-clean tenants churning through real
+# Airfoil jobs — the admission controller's locking under TSan.
+cmake --build "$tsan_build" -j "$jobs" --target test_service test_chaos
+"$tsan_build/tests/test_service" --gtest_filter='ServiceStress.*'
+"$tsan_build/tests/test_chaos" --gtest_filter='ChaosServiceStress.*'
 
 step "thread sanitizer: operation-state continuation core (OpState)"
 # The pooled op-state path moves completion hand-off onto intrusive

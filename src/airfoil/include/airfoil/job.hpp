@@ -1,0 +1,63 @@
+// Job-able Airfoil driver for op2::service: run_job packages the
+// classic five-loop iteration as a cancellable, retryable unit of work
+// whose mesh, sim state and prepared-loop handles live in a
+// tenant-owned workspace instead of function-local statics, so N
+// Airfoil jobs from N tenants coexist in one process without sharing
+// replay state.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hpxlite/spinlock.hpp"
+#include "hpxlite/stop_token.hpp"
+#include "op2/service.hpp"
+
+#include "airfoil/mesh.hpp"
+#include "airfoil/solver.hpp"
+
+namespace airfoil {
+
+struct job_params {
+  /// Mesh size; service jobs default small so many fit in one process.
+  int imax = 30;
+  int jmax = 15;
+  int niter = 10;
+  /// Copies the final p_q field into job_output::solution — the chaos
+  /// suite's bit-exactness evidence.
+  bool keep_solution = false;
+};
+
+struct job_output {
+  double final_rms = 0.0;
+  double checksum = 0.0;
+  int iterations = 0;
+  /// op_par_loop launches this run issued (9 per iteration).
+  std::uint64_t loops = 0;
+  std::vector<double> solution;  // p_q when keep_solution was set
+};
+
+/// One tenant's Airfoil state: the session keeps the mesh alive and
+/// owns the named prepared-loop handles, so repeat jobs replay captured
+/// descriptors instead of re-capturing; the sim is built lazily on the
+/// first run_job against this workspace (later runs must pass the same
+/// mesh size).  Jobs against one workspace serialise on its lock — run
+/// concurrent jobs against separate workspaces (one per tenant).
+struct job_workspace {
+  op2::service::session session;
+  std::shared_ptr<sim> state;
+  hpxlite::spinlock lock;
+};
+
+/// Runs one Airfoil job: resets the workspace solution to the free
+/// stream, then runs `params.niter` classic iterations, polling `stop`
+/// between loops (throws hpxlite::operation_cancelled when requested —
+/// job cancel, tenant cancel, service shutdown or job deadline).  A
+/// non-finite residual or checksum (an unhealed corrupt fault) throws
+/// std::runtime_error so the service's job-level retry re-runs from the
+/// pristine initial condition.
+job_output run_job(const job_params& params, job_workspace& workspace,
+                   const hpxlite::stop_token& stop);
+
+}  // namespace airfoil

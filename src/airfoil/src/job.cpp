@@ -1,0 +1,117 @@
+#include "airfoil/job.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "airfoil/kernels.hpp"
+
+namespace airfoil {
+
+using op2::op_arg_dat;
+using op2::op_arg_gbl;
+using op2::OP_ID;
+using op2::OP_INC;
+using op2::OP_READ;
+using op2::OP_RW;
+using op2::OP_WRITE;
+
+namespace {
+
+void check_stop(const hpxlite::stop_token& stop) {
+  if (stop.stop_requested()) {
+    throw hpxlite::operation_cancelled("airfoil job cancelled");
+  }
+}
+
+}  // namespace
+
+job_output run_job(const job_params& params, job_workspace& workspace,
+                   const hpxlite::stop_token& stop) {
+  std::lock_guard<hpxlite::spinlock> serialise(workspace.lock);
+
+  if (!workspace.state) {
+    mesh_params mp;
+    mp.imax = params.imax;
+    mp.jmax = params.jmax;
+    workspace.state = workspace.session.adopt(
+        std::make_shared<sim>(make_sim(generate_mesh(mp))));
+  }
+  sim& s = *workspace.state;
+  if (s.cells.size() != params.imax * params.jmax) {
+    throw std::invalid_argument(
+        "airfoil::run_job: workspace was built for a different mesh size");
+  }
+
+  // Every attempt starts from the pristine free-stream state, so a
+  // retry after a corrupt-fault failure cannot inherit poisoned cells.
+  reset_solution(s);
+
+  job_output out;
+  double rms = 0.0;
+  for (int iter = 0; iter < params.niter; ++iter) {
+    check_stop(stop);
+
+    op2::op_par_loop(workspace.session.handle("save_soln"), save_soln,
+                     "save_soln", s.cells,
+                     op_arg_dat<double>(s.p_q, -1, OP_ID, 4, OP_READ),
+                     op_arg_dat<double>(s.p_qold, -1, OP_ID, 4, OP_WRITE));
+    out.loops += 1;
+
+    for (int k = 0; k < 2; ++k) {
+      check_stop(stop);
+      rms = 0.0;
+      op2::op_par_loop(workspace.session.handle("adt_calc"), adt_calc,
+                       "adt_calc", s.cells,
+                       op_arg_dat<double>(s.p_x, 0, s.pcell, 2, OP_READ),
+                       op_arg_dat<double>(s.p_x, 1, s.pcell, 2, OP_READ),
+                       op_arg_dat<double>(s.p_x, 2, s.pcell, 2, OP_READ),
+                       op_arg_dat<double>(s.p_x, 3, s.pcell, 2, OP_READ),
+                       op_arg_dat<double>(s.p_q, -1, OP_ID, 4, OP_READ),
+                       op_arg_dat<double>(s.p_adt, -1, OP_ID, 1, OP_WRITE));
+
+      op2::op_par_loop(workspace.session.handle("res_calc"), res_calc,
+                       "res_calc", s.edges,
+                       op_arg_dat<double>(s.p_x, 0, s.pedge, 2, OP_READ),
+                       op_arg_dat<double>(s.p_x, 1, s.pedge, 2, OP_READ),
+                       op_arg_dat<double>(s.p_q, 0, s.pecell, 4, OP_READ),
+                       op_arg_dat<double>(s.p_q, 1, s.pecell, 4, OP_READ),
+                       op_arg_dat<double>(s.p_adt, 0, s.pecell, 1, OP_READ),
+                       op_arg_dat<double>(s.p_adt, 1, s.pecell, 1, OP_READ),
+                       op_arg_dat<double>(s.p_res, 0, s.pecell, 4, OP_INC),
+                       op_arg_dat<double>(s.p_res, 1, s.pecell, 4, OP_INC));
+
+      op2::op_par_loop(workspace.session.handle("bres_calc"), bres_calc,
+                       "bres_calc", s.bedges,
+                       op_arg_dat<double>(s.p_x, 0, s.pbedge, 2, OP_READ),
+                       op_arg_dat<double>(s.p_x, 1, s.pbedge, 2, OP_READ),
+                       op_arg_dat<double>(s.p_q, 0, s.pbecell, 4, OP_READ),
+                       op_arg_dat<double>(s.p_adt, 0, s.pbecell, 1, OP_READ),
+                       op_arg_dat<double>(s.p_res, 0, s.pbecell, 4, OP_INC),
+                       op_arg_dat<int>(s.p_bound, -1, OP_ID, 1, OP_READ));
+
+      op2::op_par_loop(workspace.session.handle("update"), update, "update",
+                       s.cells,
+                       op_arg_dat<double>(s.p_qold, -1, OP_ID, 4, OP_READ),
+                       op_arg_dat<double>(s.p_q, -1, OP_ID, 4, OP_WRITE),
+                       op_arg_dat<double>(s.p_res, -1, OP_ID, 4, OP_RW),
+                       op_arg_dat<double>(s.p_adt, -1, OP_ID, 1, OP_READ),
+                       op_arg_gbl<double>(&rms, 1, OP_INC));
+      out.loops += 4;
+    }
+    out.iterations = iter + 1;
+  }
+
+  out.final_rms = std::sqrt(rms / static_cast<double>(s.cells.size()));
+  out.checksum = solution_checksum(s);
+  if (!std::isfinite(out.final_rms) || !std::isfinite(out.checksum)) {
+    throw std::runtime_error(
+        "airfoil::run_job: non-finite solution (unhealed corruption)");
+  }
+  if (params.keep_solution) {
+    auto q = s.p_q.data<double>();
+    out.solution.assign(q.begin(), q.end());
+  }
+  return out;
+}
+
+}  // namespace airfoil

@@ -180,4 +180,46 @@ class stop_callback {
   std::uint64_t id_ = 0;
 };
 
+/// Fans several upstream stop tokens into one downstream stop state:
+/// the fan-in's token observes a stop once ANY upstream source requests
+/// one (or request_stop() is called on the fan-in directly).  The job
+/// service composes a job's effective token this way — service-wide
+/// shutdown, tenant-wide cancel and the job's own cancel all funnel
+/// into the single token the job polls.  Detached upstream tokens
+/// (stop_possible() == false) are ignored; an upstream that already
+/// stopped trips the fan-in during construction.  Destroying the
+/// fan-in unlinks every upstream callback.
+class stop_fan_in {
+ public:
+  stop_fan_in() = default;
+
+  stop_fan_in(std::initializer_list<stop_token> upstreams) {
+    for (const auto& up : upstreams) {
+      add(up);
+    }
+  }
+
+  stop_fan_in(const stop_fan_in&) = delete;
+  stop_fan_in& operator=(const stop_fan_in&) = delete;
+
+  /// Links one more upstream token (no-op for detached tokens).
+  void add(const stop_token& upstream) {
+    if (!upstream.stop_possible()) {
+      return;
+    }
+    links_.push_back(std::make_unique<stop_callback>(
+        upstream, [src = source_]() mutable { src.request_stop(); }));
+  }
+
+  stop_token get_token() const { return source_.get_token(); }
+
+  bool request_stop() noexcept { return source_.request_stop(); }
+
+  bool stop_requested() const noexcept { return source_.stop_requested(); }
+
+ private:
+  stop_source source_;
+  std::vector<std::unique_ptr<stop_callback>> links_;
+};
+
 }  // namespace hpxlite

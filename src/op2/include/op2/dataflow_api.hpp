@@ -26,6 +26,7 @@
 #include "hpxlite/future.hpp"
 #include "op2/backpressure.hpp"
 #include "op2/par_loop.hpp"
+#include "op2/tenant.hpp"
 
 namespace op2 {
 
@@ -171,13 +172,17 @@ hpxlite::shared_future<void> op_par_loop(Kernel kernel, const char* name,
   // dataflow gating above already provides the asynchrony.  Capturing
   // the args by value keeps the dats alive until the node runs; the
   // shared site cache carries the prepared descriptor across nodes.
+  // The submitting thread's failure policy and tenant identity are
+  // captured here and re-established inside the body: the node fires
+  // on a pool worker, which carries neither thread-local mark.
   auto cache = detail::site_cache<Kernel, T...>();
   hpxlite::future<void> gate = hpxlite::when_all(deps);
   hpxlite::future<void> done = hpxlite::dataflow(
       hpxlite::launch::async,
       [cache, kernel, loop_name = std::string(name), set, ticket,
        arg_pack = std::make_tuple(args.arg...), deps = std::move(deps),
-       policy = current_config().on_failure](hpxlite::future<void> ready) {
+       policy = effective_failure_policy(),
+       tenant = detail::current_tenant()](hpxlite::future<void> ready) {
         struct slot_release {
           std::shared_ptr<detail::dataflow_ticket> held;
           ~slot_release() { held->release(); }
@@ -190,6 +195,7 @@ hpxlite::shared_future<void> op_par_loop(Kernel kernel, const char* name,
         for (const auto& d : deps) {
           d.get();
         }
+        tenant_scope scope(tenant);
         std::apply(
             [&](const auto&... a) {
               detail::run_prepared_sync(

@@ -15,8 +15,12 @@
 // Configuration comes from the OP2_FAULT environment variable (read by
 // op2::init) or the programmatic API.  Spec grammar:
 //
-//   <loop>:<kind>[:key=value[,key=value...]]
+//   [tenant=<id>:]<loop>:<kind>[:key=value[,key=value...]]
 //
+//   tenant=<id>  scope the fault to threads running work for tenant
+//                <id> (see op2/tenant.hpp; the job service marks its
+//                job threads).  Omitted = the legacy process-global
+//                form: every thread is eligible.
 //   kind      throw | stall | corrupt
 //   at=N      fire on the Nth invocation of <loop> (1-based)
 //   prob=P    instead of at: fire each invocation with probability P
@@ -30,6 +34,12 @@
 //   OP2_FAULT=res_calc:throw:at=10
 //   OP2_FAULT=update:corrupt:prob=0.05,seed=7
 //   OP2_FAULT=res_calc:stall:at=3,stall_ms=2000,count=1
+//   OP2_FAULT=tenant=team-a:res_calc:throw:at=2
+//
+// A tenant-scoped fault counts invocations only on matching threads:
+// tenant B's runs of the target loop neither fire nor advance the
+// at/prob bookkeeping, which is what makes chaos tests deterministic
+// under concurrent multi-tenant load.
 //
 // At most one fault is configured at a time (reconfiguring replaces and
 // resets the invocation counter).  All hooks are thread-safe; the hot
@@ -55,6 +65,7 @@ const char* to_string(fault_kind k);
 /// A parsed fault specification.
 struct fault_spec {
   std::string loop;            // target loop name (required)
+  std::string tenant;          // only fire for this tenant ("" = any)
   fault_kind kind = fault_kind::none;
   int at = 0;                  // 1-based invocation to fire on; 0 = use prob
   double probability = 0.0;    // per-invocation firing probability

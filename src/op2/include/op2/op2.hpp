@@ -31,5 +31,8 @@
 #include "op2/profiling.hpp"
 #include "op2/renumber.hpp"
 #include "op2/runtime.hpp"
+#include "op2/service.hpp"
 #include "op2/set.hpp"
+#include "op2/tenant.hpp"
+#include "op2/timer_service.hpp"
 #include "op2/tuner.hpp"

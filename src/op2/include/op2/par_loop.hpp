@@ -534,8 +534,11 @@ loop_launch erase_frame(std::shared_ptr<loop_frame<Kernel, T...>> frame) {
     d.prof = profiling::acquire_slot(d.name);
   }
   // Write targets feed the rollback snapshot and the corrupt fault;
-  // skip the collection entirely on the zero-cost default path.
-  if (current_config().on_failure.enabled() || fault_injector::active()) {
+  // skip the collection entirely on the zero-cost default path.  The
+  // effective policy (not the global config) decides: a job running
+  // under a per-job QoS scope needs the snapshot even when the
+  // process-wide policy is off.
+  if (effective_failure_policy().enabled() || fault_injector::active()) {
     d.writes = collect_write_targets(*frame);
   }
   d.fault = fault_injector::arm(d.name);

@@ -496,7 +496,7 @@ template <typename Kernel, typename... T>
 void op_par_loop(Kernel kernel, const char* name, const op_set& set,
                  op_arg<T>... args) {
   detail::run_prepared_sync(detail::site_cache<Kernel, T...>(),
-                            current_executor(), current_config().on_failure,
+                            current_executor(), effective_failure_policy(),
                             std::move(kernel), name, set, std::move(args)...);
 }
 
@@ -511,7 +511,7 @@ hpxlite::future<void> op_par_loop_async(Kernel kernel, const char* name,
                                         const op_set& set, op_arg<T>... args) {
   return detail::run_prepared_async(
       detail::site_cache<Kernel, T...>(), current_executor(),
-      current_config().on_failure, std::move(kernel), name, set,
+      effective_failure_policy(), std::move(kernel), name, set,
       std::move(args)...);
 }
 
@@ -520,7 +520,7 @@ template <typename Kernel, typename... T>
 void op_par_loop(loop_handle& handle, Kernel kernel, const char* name,
                  const op_set& set, op_arg<T>... args) {
   detail::run_prepared_sync(handle.cache<Kernel, T...>(), current_executor(),
-                            current_config().on_failure, std::move(kernel),
+                            effective_failure_policy(), std::move(kernel),
                             name, set, std::move(args)...);
 }
 
@@ -530,7 +530,7 @@ hpxlite::future<void> op_par_loop_async(loop_handle& handle, Kernel kernel,
                                         op_arg<T>... args) {
   return detail::run_prepared_async(
       handle.cache<Kernel, T...>(), current_executor(),
-      current_config().on_failure, std::move(kernel), name, set,
+      effective_failure_policy(), std::move(kernel), name, set,
       std::move(args)...);
 }
 

@@ -61,6 +61,38 @@ struct loop_profile {
   }
 };
 
+/// Per-tenant overload/robustness counters — op_timing_output's second
+/// table.  The job-level rows are fed by op2::service; the loop-level
+/// rows (retries, degradations, cancellations, deadline misses) are
+/// attributed via the thread's tenant mark (op2/tenant.hpp), so one
+/// profile dump shows which tenant absorbed faults, which degraded and
+/// how long jobs queued.
+struct tenant_profile {
+  std::uint64_t jobs_admitted = 0;
+  std::uint64_t jobs_shed = 0;
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_failed = 0;
+  std::uint64_t jobs_cancelled = 0;
+  /// Whole-job re-runs (the service's exponential-backoff retry).
+  std::uint64_t job_retries = 0;
+  /// Loop-level resilience events attributed to this tenant's threads.
+  std::uint64_t loop_retries = 0;
+  std::uint64_t degradations = 0;
+  /// Deepest single-execution descent down the degradation ladder.
+  std::uint64_t max_degrade_depth = 0;
+  std::uint64_t cancellations = 0;
+  std::uint64_t deadline_misses = 0;
+  /// Total time this tenant's admitted jobs spent queued.
+  double queue_wait_seconds = 0.0;
+
+  bool empty() const {
+    return jobs_admitted == 0 && jobs_shed == 0 && jobs_completed == 0 &&
+           jobs_failed == 0 && jobs_cancelled == 0 && job_retries == 0 &&
+           loop_retries == 0 && degradations == 0 && cancellations == 0 &&
+           deadline_misses == 0;
+  }
+};
+
 namespace profiling {
 
 /// Enables/disables recording (also clears nothing; see reset()).
@@ -121,6 +153,24 @@ void record_cancellation(const std::string& loop_name);
 void record_deadline_miss(const std::string& loop_name);
 void record_degradation(const std::string& loop_name);
 
+/// Deepest single-execution descent down the degradation ladder,
+/// attributed to the calling thread's tenant (no-op when unscoped or
+/// disabled); recorded by the ladder walk once the execution resolves.
+void record_degrade_depth(std::uint64_t depth);
+
+/// Job-level hooks fed by op2::service (no-ops while profiling is
+/// disabled).  The loop-level hooks above additionally attribute their
+/// event to the calling thread's tenant (op2/tenant.hpp) when one is
+/// marked, so a single profile dump shows which tenant's jobs retried,
+/// degraded or missed deadlines.
+void record_job_admitted(const std::string& tenant);
+void record_job_shed(const std::string& tenant);
+void record_job_completed(const std::string& tenant,
+                          double queue_wait_seconds);
+void record_job_failed(const std::string& tenant);
+void record_job_cancelled(const std::string& tenant);
+void record_job_retry(const std::string& tenant);
+
 /// Process-wide heap-allocation counter, installed by a harness that
 /// interposes operator new (bench/micro/launch_overhead.cpp).  When
 /// set, run_loop samples it around each profiled execution and the
@@ -132,6 +182,9 @@ alloc_counter_fn alloc_counter();
 
 /// Snapshot of all recorded loops (rows with no activity are omitted).
 std::map<std::string, loop_profile> snapshot();
+
+/// Per-tenant snapshot (empty until a job service recorded activity).
+std::map<std::string, tenant_profile> tenant_snapshot();
 
 /// Prints the per-loop table (name, count, total ms, avg µs, max ms,
 /// loops/sec, allocs/loop, resilience counters, capture/replay split),

@@ -81,6 +81,29 @@ struct failure_policy {
 /// ladder=on).  Throws std::invalid_argument on malformed specs.
 failure_policy parse_failure_policy(const std::string& text);
 
+/// The failure policy op_par_loop applies on the calling thread: a
+/// thread-local override installed by failure_policy_scope when one is
+/// active, else the global config's on_failure.  This is how the job
+/// service maps per-job QoS onto the loop-level deadline + degradation
+/// ladder without touching the process-wide configuration.
+const failure_policy& effective_failure_policy() noexcept;
+
+/// RAII per-thread failure-policy override.  Every op_par_loop issued
+/// from the scoped thread (and every dataflow node it submits — the
+/// node captures the policy at submission) runs under `policy` instead
+/// of the global default.  Nests; the previous override is restored.
+class failure_policy_scope {
+ public:
+  explicit failure_policy_scope(const failure_policy& policy);
+  ~failure_policy_scope();
+  failure_policy_scope(const failure_policy_scope&) = delete;
+  failure_policy_scope& operator=(const failure_policy_scope&) = delete;
+
+ private:
+  failure_policy policy_;
+  const failure_policy* prev_;
+};
+
 /// Adaptive grain tuner arm (OP2_TUNER):
 ///   on     — prepared loops on chunk-honouring backends tune their
 ///            chunk size from replay wall times (default)

@@ -1,0 +1,47 @@
+// Per-thread tenant identity — the tag that scopes fault injection and
+// profiling attribution in a multi-tenant process (op2::service).
+//
+// The job service marks every thread that runs work for a tenant with a
+// tenant_scope before dispatching the job body.  Downstream layers read
+// the mark instead of threading a tenant id through every call:
+//
+//   - the fault injector honours `OP2_FAULT=tenant=<id>:...` specs by
+//     arming only on threads whose current tenant matches,
+//   - profiling attributes loop-level resilience events (retries,
+//     degradations, cancellations, deadline misses) to the tenant whose
+//     job triggered them, feeding op_timing_output's per-tenant table.
+//
+// Dataflow nodes fire on pool worker threads, not the submitting
+// thread; the dataflow op_par_loop captures the submitter's tenant at
+// node creation and re-establishes it inside the node body, so tenant
+// scoping survives every launch path.
+//
+// The empty string means "no tenant" — the single-tenant default every
+// pre-service code path runs under.
+#pragma once
+
+#include <string>
+
+namespace op2 {
+
+namespace detail {
+
+/// The calling thread's current tenant id ("" when unscoped).
+const std::string& current_tenant() noexcept;
+
+}  // namespace detail
+
+/// RAII: marks the calling thread as running work for tenant `id` until
+/// the scope ends; nests (the previous tenant is restored).
+class tenant_scope {
+ public:
+  explicit tenant_scope(std::string id);
+  ~tenant_scope();
+  tenant_scope(const tenant_scope&) = delete;
+  tenant_scope& operator=(const tenant_scope&) = delete;
+
+ private:
+  std::string prev_;
+};
+
+}  // namespace op2

@@ -1,0 +1,54 @@
+// Shared one-shot timer service — the single timer thread behind every
+// deadline in the process.
+//
+// Before the job service existed, the per-attempt deadline machinery
+// lived inside loop_executor.cpp with its own dedicated thread; the
+// job layer would have needed a second one for whole-job deadlines
+// (and a naive implementation spawns a transient thread per deadline).
+// This service consolidates them: one detached OS thread owns a
+// min-heap of armed timers, sleeps until the earliest, and runs the
+// due timers' fire callbacks.
+//
+// A dedicated OS thread — never a worker-pool task — is essential and
+// load-bearing for the ladder semantics: the attempt a deadline is
+// meant to cancel may occupy every pool worker (including one parked
+// inside an injected stall), and a supervisor that helps the pool
+// could be dragged into the very task it must cancel.  The regression
+// tests in tests/service/test_timer_service.cpp pin both properties:
+// the thread count stays at one however many timers are armed, and the
+// deadline → degradation-ladder path behaves exactly as before the
+// consolidation.
+//
+// Fire callbacks run on the timer thread and must stay cheap and
+// non-blocking: stop a token, bump a counter.  The heavy lifting
+// (drain, rollback, degrade) happens on the thread that ran the
+// cancelled attempt.  Callers pair every arm() with a disarm() once
+// the guarded work resolves; disarm reports whether the timer fired,
+// which is how the attempt machinery distinguishes a deadline miss
+// from an ordinary failure.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace op2::timer_service {
+
+/// Arms a one-shot timer: `fire` runs on the shared timer thread once
+/// `delay` elapses, unless disarmed first.  Returns the timer's id.
+std::uint64_t arm(std::chrono::steady_clock::duration delay,
+                  std::function<void()> fire);
+
+/// Cancels (or reaps) the timer; returns true when it had already
+/// fired.  Every arm() must be paired with exactly one disarm().
+bool disarm(std::uint64_t id);
+
+/// Timers currently armed (fired-but-not-yet-disarmed ones included).
+std::size_t armed_count();
+
+/// Total timer threads ever started.  Stays at one for the process
+/// lifetime — the consolidation guarantee the regression tests assert.
+std::uint64_t threads_started();
+
+}  // namespace op2::timer_service

@@ -1,5 +1,7 @@
 #include "op2/fault.hpp"
 
+#include "op2/tenant.hpp"
+
 #include <chrono>
 #include <condition_variable>
 #include <cstdlib>
@@ -30,8 +32,8 @@ namespace {
 [[noreturn]] void bad_spec(const std::string& text, const std::string& why) {
   throw std::invalid_argument(
       "op2: bad OP2_FAULT spec '" + text + "': " + why +
-      " (grammar: <loop>:<kind>[:key=value[,key=value...]], kind = "
-      "throw|stall|corrupt, keys = at, prob, seed, count, stall_ms)");
+      " (grammar: [tenant=<id>:]<loop>:<kind>[:key=value[,key=value...]], "
+      "kind = throw|stall|corrupt, keys = at, prob, seed, count, stall_ms)");
 }
 
 struct injector_state {
@@ -68,8 +70,16 @@ fault_spec parse_fault_spec(const std::string& text) {
   while (std::getline(in, token, ':')) {
     parts.push_back(token);
   }
+  // Optional tenant scope prefix; the legacy global form has none.
+  if (!parts.empty() && parts[0].rfind("tenant=", 0) == 0) {
+    spec.tenant = parts[0].substr(7);
+    if (spec.tenant.empty()) {
+      bad_spec(text, "tenant id must not be empty");
+    }
+    parts.erase(parts.begin());
+  }
   if (parts.size() < 2 || parts.size() > 3) {
-    bad_spec(text, "expected <loop>:<kind>[:options]");
+    bad_spec(text, "expected [tenant=<id>:]<loop>:<kind>[:options]");
   }
   spec.loop = parts[0];
   if (spec.loop.empty()) {
@@ -217,6 +227,12 @@ std::shared_ptr<detail::fault_arming> fault_injector::arm(
   auto& s = state();
   std::lock_guard<std::mutex> lock(s.mutex);
   if (!s.configured || s.spec.loop != loop) {
+    return nullptr;
+  }
+  // A tenant-scoped fault is invisible to other tenants' threads — the
+  // invocation counter must not advance either, or one tenant's loops
+  // would perturb another's deterministic at=N schedule.
+  if (!s.spec.tenant.empty() && s.spec.tenant != detail::current_tenant()) {
     return nullptr;
   }
   if (s.arming->fires_remaining.load(std::memory_order_acquire) <= 0) {

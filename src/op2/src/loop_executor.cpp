@@ -15,6 +15,8 @@
 #include "hpxlite/grain_controller.hpp"
 #include "hpxlite/watchdog.hpp"
 #include "op2/profiling.hpp"
+#include "op2/tenant.hpp"
+#include "op2/timer_service.hpp"
 
 namespace op2 {
 
@@ -527,77 +529,14 @@ loop_deadline_error::loop_deadline_error(const std::string& loop,
 
 namespace {
 
-// --- deadline service -------------------------------------------------
+// --- attempt deadlines ------------------------------------------------
 //
-// One dedicated timer thread for every deadline-bounded attempt in the
-// process.  A dedicated OS thread (rather than a pool task waiting with
-// a timeout) is essential: the attempt itself may occupy every worker —
-// including a worker parked inside an injected stall — and a supervisor
-// that helps the pool could be dragged into the very task it is meant
-// to cancel.  The thread sleeps until the earliest armed deadline and
-// just stops tokens; the heavy lifting (drain, rollback, degrade)
-// happens on the thread that ran the attempt.
-
-struct deadline_entry {
-  std::uint64_t id = 0;
-  std::chrono::steady_clock::time_point when;
-  std::shared_ptr<hpxlite::stop_source> src;
-  std::string loop;
-  bool fired = false;
-};
-
-struct deadline_state {
-  std::mutex mutex;
-  std::condition_variable cv;
-  std::vector<deadline_entry> entries;  // few in flight; linear scan
-  std::uint64_t next_id = 1;
-  bool thread_started = false;
-};
-
-/// Leaked on purpose: the detached timer thread may outlive static
-/// destruction, so the state it touches must never be destroyed.
-deadline_state& deadlines() {
-  static deadline_state* s = new deadline_state;
-  return *s;
-}
-
-void deadline_thread_loop() {
-  auto& s = deadlines();
-  std::unique_lock<std::mutex> lock(s.mutex);
-  for (;;) {
-    auto next = std::chrono::steady_clock::time_point::max();
-    for (const auto& e : s.entries) {
-      if (!e.fired && e.when < next) {
-        next = e.when;
-      }
-    }
-    if (next == std::chrono::steady_clock::time_point::max()) {
-      s.cv.wait(lock);
-      continue;
-    }
-    if (s.cv.wait_until(lock, next) == std::cv_status::no_timeout) {
-      continue;  // re-scan: entries changed
-    }
-    const auto now = std::chrono::steady_clock::now();
-    std::vector<deadline_entry> due;
-    for (auto& e : s.entries) {
-      if (!e.fired && e.when <= now) {
-        e.fired = true;
-        due.push_back(e);  // copy src/name; fire outside the lock
-      }
-    }
-    lock.unlock();
-    for (const auto& e : due) {
-      // Record the miss *before* stopping the token: the woken attempt
-      // (and, transitively, the driver that launched it) must already
-      // see the miss in the profile.  The cancellation count itself is
-      // recorded by the unwinding attempt (see recover), never here.
-      profiling::record_deadline_miss(e.loop);
-      e.src->request_stop();
-    }
-    lock.lock();
-  }
-}
+// Armed on the shared timer service (op2/timer_service.hpp): one
+// dedicated OS thread for every deadline in the process — per-attempt
+// deadlines here and whole-job deadlines in op2::service.  The fire
+// callback just records the miss and stops the token; the heavy
+// lifting (drain, rollback, degrade) happens on the thread that ran
+// the attempt.
 
 /// Arms a deadline: at `delay` from now the service stops `src` and
 /// records the miss.  Pair with disarm_deadline once the attempt
@@ -605,38 +544,24 @@ void deadline_thread_loop() {
 std::uint64_t arm_deadline(std::chrono::milliseconds delay,
                            std::shared_ptr<hpxlite::stop_source> src,
                            std::string loop) {
-  auto& s = deadlines();
-  std::uint64_t id = 0;
-  {
-    std::lock_guard<std::mutex> lock(s.mutex);
-    id = s.next_id++;
-    deadline_entry e;
-    e.id = id;
-    e.when = std::chrono::steady_clock::now() + delay;
-    e.src = std::move(src);
-    e.loop = std::move(loop);
-    s.entries.push_back(std::move(e));
-    if (!s.thread_started) {
-      s.thread_started = true;
-      std::thread(deadline_thread_loop).detach();
-    }
-  }
-  s.cv.notify_one();
-  return id;
+  // The timer thread has no tenant mark of its own; carry the arming
+  // thread's tenant into the fire so the per-tenant ddl_miss column
+  // attributes correctly.
+  return timer_service::arm(
+      delay, [src = std::move(src), loop = std::move(loop),
+              tenant = detail::current_tenant()] {
+        // Record the miss *before* stopping the token: the woken
+        // attempt (and, transitively, the driver that launched it)
+        // must already see the miss in the profile.  The cancellation
+        // count itself is recorded by the unwinding attempt (see
+        // recover), never here.
+        tenant_scope scope(tenant);
+        profiling::record_deadline_miss(loop);
+        src->request_stop();
+      });
 }
 
-bool disarm_deadline(std::uint64_t id) {
-  auto& s = deadlines();
-  std::lock_guard<std::mutex> lock(s.mutex);
-  for (auto it = s.entries.begin(); it != s.entries.end(); ++it) {
-    if (it->id == id) {
-      const bool fired = it->fired;
-      s.entries.erase(it);
-      return fired;
-    }
-  }
-  return false;
-}
+bool disarm_deadline(std::uint64_t id) { return timer_service::disarm(id); }
 
 // --- rollback / retry / degradation ladder ----------------------------
 
@@ -762,11 +687,13 @@ void degrade_ladder(loop_executor& exec, const loop_launch& loop,
                     const failure_policy& policy,
                     const std::vector<std::vector<std::byte>>& snapshot,
                     std::exception_ptr error, int attempts) {
+  std::uint64_t depth = 0;
   for (const char* rung = next_rung(exec.name()); rung != nullptr;
        rung = next_rung(rung)) {
     loop_executor& lower = backend_registry::shared(rung);
     restore_snapshot(loop, snapshot);
     profiling::record_degradation(loop.name);
+    ++depth;
     if (loop.fault) {
       loop.fault->begin_attempt();
     }
@@ -774,6 +701,7 @@ void degrade_ladder(loop_executor& exec, const loop_launch& loop,
     try {
       run_attempt(lower, loop, policy,
                   /*allow_cancel=*/std::string_view(rung) != "seq");
+      profiling::record_degrade_depth(depth);
       return;
     } catch (...) {
       error = std::current_exception();
@@ -782,6 +710,7 @@ void degrade_ladder(loop_executor& exec, const loop_launch& loop,
       }
     }
   }
+  profiling::record_degrade_depth(depth);
   restore_snapshot(loop, snapshot);
   throw loop_error(loop.name, std::string(exec.name()), attempts,
                    std::move(error));

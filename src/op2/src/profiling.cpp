@@ -1,5 +1,7 @@
 #include "op2/profiling.hpp"
 
+#include "op2/tenant.hpp"
+
 #include <algorithm>
 #include <atomic>
 #include <iomanip>
@@ -23,8 +25,16 @@ std::atomic<bool> g_enabled{false};
 std::atomic<alloc_counter_fn> g_alloc_counter{nullptr};
 std::mutex g_mutex;
 std::map<std::string, slot> g_profiles;
+std::map<std::string, tenant_profile> g_tenants;
 
 slot& locked_slot(const std::string& name) { return g_profiles[name]; }
+
+/// The calling thread's tenant row, or null when the thread is not
+/// marked (the single-tenant default).  Requires g_mutex.
+tenant_profile* locked_tenant() {
+  const std::string& tenant = op2::detail::current_tenant();
+  return tenant.empty() ? nullptr : &g_tenants[tenant];
+}
 
 void record_time(loop_profile& p, double seconds) {
   p.invocations += 1;
@@ -44,6 +54,7 @@ void reset() {
   for (auto& [name, s] : g_profiles) {
     s.p = loop_profile{};
   }
+  g_tenants.clear();
 }
 
 slot* acquire_slot(const std::string& loop_name) {
@@ -134,6 +145,9 @@ void record_retry(const std::string& loop_name) {
   }
   std::lock_guard<std::mutex> lock(g_mutex);
   locked_slot(loop_name).p.retries += 1;
+  if (auto* t = locked_tenant()) {
+    t->loop_retries += 1;
+  }
 }
 
 void record_fallback(const std::string& loop_name) {
@@ -158,6 +172,9 @@ void record_cancellation(const std::string& loop_name) {
   }
   std::lock_guard<std::mutex> lock(g_mutex);
   locked_slot(loop_name).p.cancellations += 1;
+  if (auto* t = locked_tenant()) {
+    t->cancellations += 1;
+  }
 }
 
 void record_deadline_miss(const std::string& loop_name) {
@@ -166,6 +183,9 @@ void record_deadline_miss(const std::string& loop_name) {
   }
   std::lock_guard<std::mutex> lock(g_mutex);
   locked_slot(loop_name).p.deadline_misses += 1;
+  if (auto* t = locked_tenant()) {
+    t->deadline_misses += 1;
+  }
 }
 
 void record_degradation(const std::string& loop_name) {
@@ -174,6 +194,70 @@ void record_degradation(const std::string& loop_name) {
   }
   std::lock_guard<std::mutex> lock(g_mutex);
   locked_slot(loop_name).p.degradations += 1;
+  if (auto* t = locked_tenant()) {
+    t->degradations += 1;
+  }
+}
+
+void record_degrade_depth(std::uint64_t depth) {
+  if (!enabled() || depth == 0) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (auto* t = locked_tenant()) {
+    t->max_degrade_depth = std::max(t->max_degrade_depth, depth);
+  }
+}
+
+void record_job_admitted(const std::string& tenant) {
+  if (!enabled()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_tenants[tenant].jobs_admitted += 1;
+}
+
+void record_job_shed(const std::string& tenant) {
+  if (!enabled()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_tenants[tenant].jobs_shed += 1;
+}
+
+void record_job_completed(const std::string& tenant,
+                          double queue_wait_seconds) {
+  if (!enabled()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(g_mutex);
+  auto& t = g_tenants[tenant];
+  t.jobs_completed += 1;
+  t.queue_wait_seconds += queue_wait_seconds;
+}
+
+void record_job_failed(const std::string& tenant) {
+  if (!enabled()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_tenants[tenant].jobs_failed += 1;
+}
+
+void record_job_cancelled(const std::string& tenant) {
+  if (!enabled()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_tenants[tenant].jobs_cancelled += 1;
+}
+
+void record_job_retry(const std::string& tenant) {
+  if (!enabled()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_tenants[tenant].job_retries += 1;
 }
 
 void set_alloc_counter(alloc_counter_fn fn) {
@@ -190,6 +274,17 @@ std::map<std::string, loop_profile> snapshot() {
   for (const auto& [name, s] : g_profiles) {
     if (!s.p.empty()) {
       out.emplace(name, s.p);
+    }
+  }
+  return out;
+}
+
+std::map<std::string, tenant_profile> tenant_snapshot() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::map<std::string, tenant_profile> out;
+  for (const auto& [name, t] : g_tenants) {
+    if (!t.empty()) {
+      out.emplace(name, t);
     }
   }
   return out;
@@ -249,6 +344,30 @@ void report(std::ostream& out) {
     }
     out << std::setw(12) << (p.tuner_state.empty() ? "-" : p.tuner_state)
         << "\n";
+  }
+  const auto tenants = tenant_snapshot();
+  if (tenants.empty()) {
+    return;
+  }
+  out << "op_timing_output: " << tenants.size() << " tenants\n";
+  out << std::left << std::setw(20) << "  tenant" << std::right
+      << std::setw(10) << "admitted" << std::setw(7) << "shed"
+      << std::setw(11) << "completed" << std::setw(8) << "failed"
+      << std::setw(8) << "cancel" << std::setw(10) << "job_retry"
+      << std::setw(11) << "loop_retry" << std::setw(9) << "degrade"
+      << std::setw(7) << "depth" << std::setw(10) << "ddl_miss"
+      << std::setw(12) << "qwait_ms"
+      << "\n";
+  for (const auto& [name, t] : tenants) {
+    out << "  " << std::left << std::setw(18) << name << std::right
+        << std::setw(10) << t.jobs_admitted << std::setw(7) << t.jobs_shed
+        << std::setw(11) << t.jobs_completed << std::setw(8)
+        << t.jobs_failed << std::setw(8) << t.jobs_cancelled
+        << std::setw(10) << t.job_retries << std::setw(11)
+        << t.loop_retries << std::setw(9) << t.degradations << std::setw(7)
+        << t.max_degrade_depth << std::setw(10) << t.deadline_misses
+        << std::setw(12) << std::fixed << std::setprecision(3)
+        << 1e3 * t.queue_wait_seconds << "\n";
   }
 }
 

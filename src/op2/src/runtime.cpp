@@ -207,6 +207,25 @@ failure_policy parse_failure_policy(const std::string& text) {
   return policy;
 }
 
+namespace {
+
+/// Active per-thread policy override (null = use the global config).
+thread_local const failure_policy* t_policy_override = nullptr;
+
+}  // namespace
+
+const failure_policy& effective_failure_policy() noexcept {
+  return t_policy_override != nullptr ? *t_policy_override
+                                      : g_config.on_failure;
+}
+
+failure_policy_scope::failure_policy_scope(const failure_policy& policy)
+    : policy_(policy), prev_(t_policy_override) {
+  t_policy_override = &policy_;
+}
+
+failure_policy_scope::~failure_policy_scope() { t_policy_override = prev_; }
+
 tuner_mode parse_tuner_mode(const std::string& text) {
   if (text == "on" || text == "1" || text == "true") {
     return tuner_mode::on;

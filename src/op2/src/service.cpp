@@ -1,0 +1,607 @@
+#include "op2/service.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <limits>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "op2/profiling.hpp"
+#include "op2/tenant.hpp"
+#include "op2/timer_service.hpp"
+
+namespace op2::service {
+
+const char* to_string(shed_reason r) {
+  switch (r) {
+    case shed_reason::none:
+      return "none";
+    case shed_reason::zero_quota:
+      return "zero_quota";
+    case shed_reason::queue_full:
+      return "queue_full";
+    case shed_reason::shutdown:
+      return "shutdown";
+  }
+  return "unknown";
+}
+
+const char* to_string(job_status s) {
+  switch (s) {
+    case job_status::queued:
+      return "queued";
+    case job_status::running:
+      return "running";
+    case job_status::completed:
+      return "completed";
+    case job_status::failed:
+      return "failed";
+    case job_status::shed:
+      return "shed";
+    case job_status::cancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+namespace {
+
+unsigned parse_env_unsigned(const char* name, unsigned fallback,
+                            unsigned min_value) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  const long value = std::strtol(raw, &end, 10);
+  if (end == raw || *end != '\0' || value < static_cast<long>(min_value) ||
+      value > std::numeric_limits<int>::max()) {
+    throw std::invalid_argument(std::string(name) + ": invalid value '" +
+                                raw + "'");
+  }
+  return static_cast<unsigned>(value);
+}
+
+}  // namespace
+
+service_config service_config::from_env() { return from_env(service_config{}); }
+
+service_config service_config::from_env(service_config base) {
+  base.workers = parse_env_unsigned("OP2_SERVICE_WORKERS", base.workers, 1);
+  base.default_queue_depth = parse_env_unsigned(
+      "OP2_SERVICE_QUEUE_DEPTH",
+      static_cast<unsigned>(base.default_queue_depth), 1);
+  return base;
+}
+
+namespace detail {
+
+using clock = std::chrono::steady_clock;
+
+struct job_state {
+  job_fn fn;
+  job_options opts;
+  std::string tenant;
+  job_status status = job_status::queued;
+  shed_reason shed = shed_reason::none;
+  std::string error;
+  int attempts = 0;
+  clock::time_point submitted{};
+  clock::time_point started{};
+  double queue_wait_seconds = 0.0;
+  double run_seconds = 0.0;
+  /// Weighted-fair virtual tags, assigned at admission (start-time fair
+  /// queueing): start = max(vclock, tenant.vfinish), finish = start +
+  /// 1/weight.  Tags are fixed at enqueue — recomputing them at
+  /// dispatch would let a backlogged heavy tenant's tag float up with
+  /// the clock and starve lighter tenants forever.
+  double vstart = 0.0;
+  double vfinish = 0.0;
+  bool done = false;
+  /// Per-job cancellation: handle.cancel() and the job-deadline timer
+  /// both request this source; it fans in with the tenant and service
+  /// sources for the token the body polls.
+  hpxlite::stop_source stop;
+};
+
+struct tenant_state {
+  tenant_options opts;
+  std::deque<std::shared_ptr<job_state>> queue;
+  tenant_stats stats;
+  /// Finish tag of this tenant's most recently admitted job; the next
+  /// admission chains off it, so a tenant's queue carries strictly
+  /// increasing tags spaced 1/weight apart.
+  double vfinish = 0.0;
+  hpxlite::stop_source stop;
+};
+
+struct service_state {
+  service_config cfg;
+  mutable std::mutex mutex;
+  std::condition_variable work_cv;   // workers: queue/quota/shutdown changes
+  std::condition_variable done_cv;   // waiters: a job resolved
+  std::map<std::string, tenant_state> tenants;
+  std::vector<std::thread> workers;
+  bool stopping = false;
+  double vclock = 0.0;               // weighted-fair virtual time
+  std::size_t running_total = 0;
+  std::size_t peak_running = 0;
+  hpxlite::stop_source stop;
+
+  // -- helpers (mutex held unless noted) ------------------------------
+
+  tenant_state& tenant(const std::string& name) {
+    auto it = tenants.find(name);
+    if (it == tenants.end()) {
+      throw std::invalid_argument("op2::service: unknown tenant '" + name +
+                                  "'");
+    }
+    return it->second;
+  }
+
+  std::size_t queue_depth(const tenant_state& t) const {
+    return t.opts.queue_depth != 0 ? t.opts.queue_depth
+                                   : cfg.default_queue_depth;
+  }
+
+  void resolve_shed(tenant_state& t, const std::shared_ptr<job_state>& j,
+                    shed_reason why) {
+    j->status = job_status::shed;
+    j->shed = why;
+    j->error = std::string("shed: ") + to_string(why);
+    j->done = true;
+    j->fn = nullptr;
+    t.stats.shed += 1;
+    switch (why) {
+      case shed_reason::zero_quota:
+        t.stats.shed_zero_quota += 1;
+        break;
+      case shed_reason::queue_full:
+        t.stats.shed_queue_full += 1;
+        break;
+      case shed_reason::shutdown:
+        t.stats.shed_shutdown += 1;
+        break;
+      case shed_reason::none:
+        break;
+    }
+    profiling::record_job_shed(t.opts.name);
+  }
+
+  /// Weighted-fair pick: among tenants with queued work and headroom
+  /// under their quota, take the one whose head-of-queue job carries the
+  /// smallest admission-time finish tag (ties break in tenant name
+  /// order — deterministic).  Returns nullptr when nothing is
+  /// dispatchable.
+  tenant_state* pick_tenant() {
+    tenant_state* best = nullptr;
+    double best_finish = 0.0;
+    for (auto& [name, t] : tenants) {
+      if (t.queue.empty() || t.stats.running >= t.opts.quota) {
+        continue;
+      }
+      const double finish = t.queue.front()->vfinish;
+      if (best == nullptr || finish < best_finish) {
+        best = &t;
+        best_finish = finish;
+      }
+    }
+    return best;
+  }
+
+  void finish_job(tenant_state& t, const std::shared_ptr<job_state>& j) {
+    t.stats.running -= 1;
+    running_total -= 1;
+    switch (j->status) {
+      case job_status::completed:
+        t.stats.completed += 1;
+        profiling::record_job_completed(t.opts.name, j->queue_wait_seconds);
+        break;
+      case job_status::failed:
+        t.stats.failed += 1;
+        profiling::record_job_failed(t.opts.name);
+        break;
+      case job_status::cancelled:
+        t.stats.cancelled += 1;
+        profiling::record_job_cancelled(t.opts.name);
+        break;
+      default:
+        break;
+    }
+    t.stats.queue_wait_seconds += j->queue_wait_seconds;
+    t.stats.run_seconds += j->run_seconds;
+    j->done = true;
+    j->fn = nullptr;
+  }
+
+  // -- job execution (mutex NOT held) ---------------------------------
+
+  /// Stop-aware exponential backoff between job attempts; returns false
+  /// when the wait was interrupted by cancellation.
+  static bool backoff_wait(const hpxlite::stop_token& token, int delay_ms) {
+    std::mutex m;
+    std::condition_variable cv;
+    hpxlite::stop_callback wake(token, [&] {
+      std::lock_guard<std::mutex> lock(m);
+      cv.notify_all();
+    });
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait_for(lock, std::chrono::milliseconds(delay_ms),
+                [&] { return token.stop_requested(); });
+    return !token.stop_requested();
+  }
+
+  void execute(tenant_state& t, const std::shared_ptr<job_state>& j) {
+    hpxlite::stop_fan_in fan{stop.get_token(), t.stop.get_token(),
+                             j->stop.get_token()};
+    const hpxlite::stop_token token = fan.get_token();
+
+    // The whole-job deadline is armed once around all attempts on the
+    // shared timer service; firing requests the job's own stop source,
+    // so the ladder of attempts collapses cooperatively.
+    std::uint64_t deadline_id = 0;
+    if (j->opts.job_deadline_ms > 0) {
+      deadline_id = timer_service::arm(
+          std::chrono::milliseconds(j->opts.job_deadline_ms),
+          [src = j->stop]() mutable { src.request_stop(); });
+    }
+
+    const int max_attempts = std::max(1, j->opts.max_attempts);
+    int delay_ms = std::max(1, j->opts.backoff_ms);
+    job_status outcome = job_status::failed;
+    std::string error;
+
+    for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+      if (token.stop_requested()) {
+        outcome = job_status::cancelled;
+        error = "cancelled before attempt";
+        break;
+      }
+      j->attempts = attempt;
+      try {
+        tenant_scope mark(t.opts.name);
+        failure_policy_scope qos(j->opts.qos);
+        job_context ctx{t.opts.name, token, j->opts.qos, attempt};
+        j->fn(ctx);
+        outcome = job_status::completed;
+        error.clear();
+        break;
+      } catch (const hpxlite::operation_cancelled& e) {
+        outcome = job_status::cancelled;
+        error = e.what();
+        break;
+      } catch (const std::exception& e) {
+        error = e.what();
+        outcome = job_status::failed;
+        if (attempt == max_attempts || token.stop_requested()) {
+          break;
+        }
+        {
+          std::lock_guard<std::mutex> lock(mutex);
+          t.stats.job_retries += 1;
+        }
+        profiling::record_job_retry(t.opts.name);
+        if (!backoff_wait(token, delay_ms)) {
+          outcome = job_status::cancelled;
+          error = "cancelled during retry backoff";
+          break;
+        }
+        delay_ms = std::min(delay_ms * 2, 1000);
+      }
+    }
+
+    bool deadline_fired = false;
+    if (deadline_id != 0) {
+      deadline_fired = timer_service::disarm(deadline_id);
+    }
+    if (outcome == job_status::cancelled && deadline_fired) {
+      // Deadline-driven cancellation is a QoS failure, not a caller
+      // cancel: report it as such so callers can tell the two apart.
+      outcome = job_status::failed;
+      error = "job deadline of " + std::to_string(j->opts.job_deadline_ms) +
+              " ms exceeded (" + error + ")";
+    }
+    j->status = outcome;
+    j->error = error;
+  }
+
+  // -- worker loop ----------------------------------------------------
+
+  void worker_loop() {
+    std::unique_lock<std::mutex> lock(mutex);
+    for (;;) {
+      work_cv.wait(lock, [&] { return stopping || pick_tenant() != nullptr; });
+      if (stopping) {
+        return;
+      }
+      tenant_state* t = pick_tenant();
+      if (t == nullptr) {
+        continue;
+      }
+      auto j = t->queue.front();
+      t->queue.pop_front();
+      t->stats.queued -= 1;
+      t->stats.running += 1;
+      running_total += 1;
+      peak_running = std::max(peak_running, running_total);
+      // The virtual clock tracks the start tag of the job in service.
+      vclock = std::max(vclock, j->vstart);
+      j->status = job_status::running;
+      j->started = clock::now();
+      j->queue_wait_seconds =
+          std::chrono::duration<double>(j->started - j->submitted).count();
+
+      lock.unlock();
+      execute(*t, j);
+      lock.lock();
+
+      j->run_seconds =
+          std::chrono::duration<double>(clock::now() - j->started).count();
+      finish_job(*t, j);
+      done_cv.notify_all();
+      // A freed quota slot may make a different tenant dispatchable.
+      work_cv.notify_all();
+    }
+  }
+
+  void shutdown() {
+    std::vector<std::thread> joinable;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (stopping) {
+        return;
+      }
+      stopping = true;
+      for (auto& [name, t] : tenants) {
+        while (!t.queue.empty()) {
+          auto j = t.queue.front();
+          t.queue.pop_front();
+          t.stats.queued -= 1;
+          resolve_shed(t, j, shed_reason::shutdown);
+        }
+      }
+      joinable.swap(workers);
+    }
+    stop.request_stop();
+    work_cv.notify_all();
+    done_cv.notify_all();
+    for (auto& w : joinable) {
+      w.join();
+    }
+  }
+};
+
+}  // namespace detail
+
+// -- job_handle -------------------------------------------------------
+
+job_result job_handle::get() const {
+  if (!state_) {
+    throw std::logic_error("op2::service::job_handle: empty handle");
+  }
+  std::unique_lock<std::mutex> lock(service_->mutex);
+  service_->done_cv.wait(lock, [&] { return state_->done; });
+  job_result r;
+  r.status = state_->status;
+  r.shed = state_->shed;
+  r.error = state_->error;
+  r.attempts = state_->attempts;
+  r.queue_wait_seconds = state_->queue_wait_seconds;
+  r.run_seconds = state_->run_seconds;
+  return r;
+}
+
+bool job_handle::wait_for(std::chrono::milliseconds timeout) const {
+  if (!state_) {
+    return false;
+  }
+  std::unique_lock<std::mutex> lock(service_->mutex);
+  return service_->done_cv.wait_for(lock, timeout,
+                                    [&] { return state_->done; });
+}
+
+job_status job_handle::status() const {
+  if (!state_) {
+    throw std::logic_error("op2::service::job_handle: empty handle");
+  }
+  std::lock_guard<std::mutex> lock(service_->mutex);
+  return state_->status;
+}
+
+void job_handle::cancel() const {
+  if (!state_) {
+    return;
+  }
+  bool resolved = false;
+  {
+    std::lock_guard<std::mutex> lock(service_->mutex);
+    if (state_->done) {
+      return;
+    }
+    if (state_->status == job_status::queued) {
+      // Eager removal: a queued job never runs, its closure (and
+      // whatever resources it captured) is released immediately, and
+      // waiters resolve now rather than when a worker gets around to it.
+      auto& t = service_->tenant(state_->tenant);
+      auto it = std::find(t.queue.begin(), t.queue.end(), state_);
+      if (it != t.queue.end()) {
+        t.queue.erase(it);
+        t.stats.queued -= 1;
+        state_->status = job_status::cancelled;
+        state_->error = "cancelled while queued";
+        state_->done = true;
+        state_->fn = nullptr;
+        t.stats.cancelled += 1;
+        resolved = true;
+      }
+    }
+  }
+  if (resolved) {
+    profiling::record_job_cancelled(state_->tenant);
+    service_->done_cv.notify_all();
+    return;
+  }
+  state_->stop.request_stop();
+}
+
+// -- job_service ------------------------------------------------------
+
+job_service::job_service(service_config cfg)
+    : state_(std::make_shared<detail::service_state>()) {
+  state_->cfg = cfg;
+  const unsigned workers = std::max(1u, cfg.workers);
+  state_->workers.reserve(workers);
+  for (unsigned i = 0; i < workers; ++i) {
+    state_->workers.emplace_back([s = state_] { s->worker_loop(); });
+  }
+}
+
+job_service::~job_service() { state_->shutdown(); }
+
+void job_service::register_tenant(const tenant_options& options) {
+  if (options.name.empty()) {
+    throw std::invalid_argument("op2::service: tenant name must be non-empty");
+  }
+  if (!(options.weight > 0.0)) {
+    throw std::invalid_argument("op2::service: tenant weight must be > 0");
+  }
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  auto [it, inserted] = state_->tenants.try_emplace(options.name);
+  if (!inserted) {
+    throw std::invalid_argument("op2::service: duplicate tenant '" +
+                                options.name + "'");
+  }
+  it->second.opts = options;
+  it->second.stats.quota = options.quota;
+  it->second.stats.weight = options.weight;
+  // Late joiners start at the current virtual time, not zero —
+  // otherwise a new tenant would owe nothing and monopolise dispatch.
+  it->second.vfinish = state_->vclock;
+}
+
+void job_service::set_quota(const std::string& tenant, std::size_t quota) {
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    auto& t = state_->tenant(tenant);
+    t.opts.quota = quota;
+    t.stats.quota = quota;
+  }
+  state_->work_cv.notify_all();
+}
+
+void job_service::cancel_tenant(const std::string& tenant) {
+  std::vector<std::shared_ptr<detail::job_state>> dropped;
+  hpxlite::stop_source source;
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    auto& t = state_->tenant(tenant);
+    while (!t.queue.empty()) {
+      auto j = t.queue.front();
+      t.queue.pop_front();
+      t.stats.queued -= 1;
+      j->status = job_status::cancelled;
+      j->error = "tenant cancelled";
+      j->done = true;
+      j->fn = nullptr;
+      t.stats.cancelled += 1;
+      dropped.push_back(std::move(j));
+    }
+    source = t.stop;
+  }
+  for (const auto& j : dropped) {
+    profiling::record_job_cancelled(tenant);
+    (void)j;
+  }
+  source.request_stop();
+  state_->done_cv.notify_all();
+}
+
+job_handle job_service::submit(const std::string& tenant, job_fn fn,
+                               job_options options) {
+  if (!fn) {
+    throw std::invalid_argument("op2::service: job function must be callable");
+  }
+  if (options.max_attempts < 1) {
+    throw std::invalid_argument("op2::service: max_attempts must be >= 1");
+  }
+  auto j = std::make_shared<detail::job_state>();
+  j->fn = std::move(fn);
+  j->opts = std::move(options);
+  j->tenant = tenant;
+  j->submitted = detail::clock::now();
+
+  job_handle handle;
+  handle.state_ = j;
+  handle.service_ = state_;
+
+  bool admitted = false;
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    auto& t = state_->tenant(tenant);  // throws for unknown tenants
+    t.stats.submitted += 1;
+    if (state_->stopping) {
+      state_->resolve_shed(t, j, shed_reason::shutdown);
+    } else if (t.opts.quota == 0) {
+      state_->resolve_shed(t, j, shed_reason::zero_quota);
+    } else if (t.queue.size() >= state_->queue_depth(t)) {
+      state_->resolve_shed(t, j, shed_reason::queue_full);
+    } else {
+      j->vstart = std::max(state_->vclock, t.vfinish);
+      j->vfinish = j->vstart + 1.0 / t.opts.weight;
+      t.vfinish = j->vfinish;
+      t.queue.push_back(j);
+      t.stats.queued += 1;
+      t.stats.peak_queued = std::max(t.stats.peak_queued, t.stats.queued);
+      t.stats.admitted += 1;
+      admitted = true;
+      profiling::record_job_admitted(tenant);
+    }
+  }
+  if (admitted) {
+    state_->work_cv.notify_one();
+  } else {
+    state_->done_cv.notify_all();
+  }
+  return handle;
+}
+
+void job_service::drain() {
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->done_cv.wait(lock, [&] {
+    if (state_->running_total != 0) {
+      return false;
+    }
+    for (const auto& [name, t] : state_->tenants) {
+      if (!t.queue.empty()) {
+        return false;
+      }
+    }
+    return true;
+  });
+}
+
+tenant_stats job_service::stats(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->tenant(tenant).stats;
+}
+
+service_stats job_service::stats() const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  service_stats out;
+  out.peak_running = state_->peak_running;
+  for (const auto& [name, t] : state_->tenants) {
+    out.tenants.emplace(name, t.stats);
+    out.submitted += t.stats.submitted;
+    out.admitted += t.stats.admitted;
+    out.shed += t.stats.shed;
+    out.completed += t.stats.completed;
+    out.failed += t.stats.failed;
+    out.cancelled += t.stats.cancelled;
+  }
+  return out;
+}
+
+}  // namespace op2::service

@@ -1,0 +1,28 @@
+#include "op2/tenant.hpp"
+
+#include <utility>
+
+namespace op2 {
+
+namespace {
+
+std::string& slot() {
+  thread_local std::string id;
+  return id;
+}
+
+}  // namespace
+
+namespace detail {
+
+const std::string& current_tenant() noexcept { return slot(); }
+
+}  // namespace detail
+
+tenant_scope::tenant_scope(std::string id) : prev_(std::move(slot())) {
+  slot() = std::move(id);
+}
+
+tenant_scope::~tenant_scope() { slot() = std::move(prev_); }
+
+}  // namespace op2

@@ -1,0 +1,137 @@
+#include "op2/timer_service.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace op2::timer_service {
+
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+struct timer {
+  clock::time_point when;
+  std::function<void()> fire;
+  bool fired = false;
+};
+
+/// Heap node; stale nodes (disarmed timers) are lazily popped.
+struct heap_item {
+  clock::time_point when;
+  std::uint64_t id;
+  friend bool operator>(const heap_item& a, const heap_item& b) {
+    return a.when > b.when;
+  }
+};
+
+struct service_state {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::map<std::uint64_t, timer> timers;
+  std::priority_queue<heap_item, std::vector<heap_item>, std::greater<>> heap;
+  std::uint64_t next_id = 1;
+  bool thread_started = false;
+  std::atomic<std::uint64_t> threads_started{0};
+};
+
+/// Leaked on purpose: the detached timer thread may outlive static
+/// destruction, so the state it touches must never be destroyed.
+service_state& state() {
+  static service_state* s = new service_state;
+  return *s;
+}
+
+void timer_thread_loop() {
+  auto& s = state();
+  std::unique_lock<std::mutex> lock(s.mutex);
+  for (;;) {
+    // Drop heap nodes whose timer was disarmed or already fired.
+    while (!s.heap.empty()) {
+      const auto it = s.timers.find(s.heap.top().id);
+      if (it == s.timers.end() || it->second.fired ||
+          it->second.when != s.heap.top().when) {
+        s.heap.pop();
+        continue;
+      }
+      break;
+    }
+    if (s.heap.empty()) {
+      s.cv.wait(lock);
+      continue;
+    }
+    const auto next = s.heap.top().when;
+    if (s.cv.wait_until(lock, next) == std::cv_status::no_timeout) {
+      continue;  // re-scan: timers changed
+    }
+    const auto now = clock::now();
+    std::vector<std::function<void()>> due;
+    while (!s.heap.empty() && s.heap.top().when <= now) {
+      const auto it = s.timers.find(s.heap.top().id);
+      s.heap.pop();
+      if (it != s.timers.end() && !it->second.fired) {
+        it->second.fired = true;
+        // Move the callback out: once fired, only disarm touches the
+        // entry again, and it never reads `fire`.
+        due.push_back(std::move(it->second.fire));
+      }
+    }
+    lock.unlock();
+    for (const auto& fire : due) {
+      fire();
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace
+
+std::uint64_t arm(clock::duration delay, std::function<void()> fire) {
+  auto& s = state();
+  std::uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    id = s.next_id++;
+    timer t;
+    t.when = clock::now() + delay;
+    t.fire = std::move(fire);
+    s.heap.push({t.when, id});
+    s.timers.emplace(id, std::move(t));
+    if (!s.thread_started) {
+      s.thread_started = true;
+      s.threads_started.fetch_add(1, std::memory_order_relaxed);
+      std::thread(timer_thread_loop).detach();
+    }
+  }
+  s.cv.notify_one();
+  return id;
+}
+
+bool disarm(std::uint64_t id) {
+  auto& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  const auto it = s.timers.find(id);
+  if (it == s.timers.end()) {
+    return false;
+  }
+  const bool fired = it->second.fired;
+  s.timers.erase(it);  // the heap node is reaped lazily
+  return fired;
+}
+
+std::size_t armed_count() {
+  auto& s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  return s.timers.size();
+}
+
+std::uint64_t threads_started() {
+  return state().threads_started.load(std::memory_order_relaxed);
+}
+
+}  // namespace op2::timer_service

@@ -217,6 +217,59 @@ TEST_F(StopTokenRuntimeTest, SharedGetForNeverConsumes) {
   EXPECT_EQ(sf.get(), 7);  // still observable afterwards
 }
 
+// --- stop_fan_in ------------------------------------------------------
+
+TEST(StopFanIn, AnyUpstreamTripsTheDownstreamToken) {
+  stop_source a;
+  stop_source b;
+  hpxlite::stop_fan_in fan{a.get_token(), b.get_token()};
+  EXPECT_FALSE(fan.stop_requested());
+  b.request_stop();
+  EXPECT_TRUE(fan.stop_requested());
+  EXPECT_TRUE(fan.get_token().stop_requested());
+  // The untripped upstream is unaffected: fan-in is one-directional.
+  EXPECT_FALSE(a.get_token().stop_requested());
+}
+
+TEST(StopFanIn, AlreadyStoppedUpstreamTripsAtConstruction) {
+  stop_source a;
+  a.request_stop();
+  hpxlite::stop_fan_in fan{a.get_token()};
+  EXPECT_TRUE(fan.stop_requested());
+}
+
+TEST(StopFanIn, DetachedUpstreamIsIgnored) {
+  hpxlite::stop_fan_in fan;
+  fan.add(stop_token{});  // stop_possible() == false: no link created
+  EXPECT_FALSE(fan.stop_requested());
+  stop_source live;
+  fan.add(live.get_token());
+  live.request_stop();
+  EXPECT_TRUE(fan.stop_requested());
+}
+
+TEST(StopFanIn, DirectRequestStopWorksWithoutUpstreams) {
+  hpxlite::stop_fan_in fan;
+  auto tok = fan.get_token();
+  EXPECT_FALSE(tok.stop_requested());
+  fan.request_stop();
+  EXPECT_TRUE(tok.stop_requested());
+}
+
+TEST(StopFanIn, DestructionUnlinksFromUpstreams) {
+  stop_source a;
+  stop_token downstream;
+  {
+    hpxlite::stop_fan_in fan{a.get_token()};
+    downstream = fan.get_token();
+  }
+  // The fan-in is gone; a late upstream stop must not touch freed
+  // callbacks (ASan/TSan would flag it) — and the downstream token it
+  // handed out stays quiescent.
+  a.request_stop();
+  EXPECT_FALSE(downstream.stop_requested());
+}
+
 // --- closure-release regression ---------------------------------------
 
 TEST_F(StopTokenRuntimeTest, CancelledDataflowChainReleasesClosures) {

@@ -1,0 +1,395 @@
+// Chaos suite: real Airfoil jobs under injected faults, through the
+// multi-tenant job service.  The contract under test — a faulted
+// tenant either heals (loop-level QoS ladder or job-level retry) or is
+// shed/failed with a structured reason, and every OTHER tenant's
+// result is bit-identical to a run without the victim, because
+// tenant-scoped faults (OP2_FAULT=tenant=<id>:...) fire only on the
+// faulted tenant's threads.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "airfoil/job.hpp"
+#include "hpxlite/hpxlite.hpp"
+#include "op2/op2.hpp"
+
+namespace {
+
+namespace svc = op2::service;
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto cfg = op2::make_config("hpx_foreach", 2);
+    op2::init(cfg);
+  }
+
+  void TearDown() override {
+    op2::fault_injector::clear();
+    op2::profiling::enable(false);
+    op2::profiling::reset();
+    op2::finalize();
+  }
+
+  static airfoil::job_params params() {
+    airfoil::job_params p;
+    p.imax = 12;
+    p.jmax = 6;
+    p.niter = 4;
+    p.keep_solution = true;
+    return p;
+  }
+
+  static svc::service_config two_workers() {
+    svc::service_config cfg;
+    cfg.workers = 2;
+    return cfg;
+  }
+
+  /// Runs one Airfoil job for `name` through a service and returns its
+  /// output.  The fault configuration active at call time applies —
+  /// the baseline for bit-exactness runs the *same* code path with the
+  /// same (tenant-scoped) fault installed, just without the victim
+  /// tenant submitting.
+  static airfoil::job_output run_solo(const std::string& name) {
+    svc::job_service s(two_workers());
+    svc::tenant_options t;
+    t.name = name;
+    s.register_tenant(t);
+    airfoil::job_workspace ws;
+    airfoil::job_output out;
+    auto h = s.submit(name, [&](const svc::job_context& ctx) {
+      out = airfoil::run_job(params(), ws, ctx.stop);
+    });
+    EXPECT_EQ(h.get().status, svc::job_status::completed);
+    return out;
+  }
+};
+
+// --- heal paths -------------------------------------------------------
+
+TEST_F(ChaosTest, ThrowFaultHealsViaJobLevelRetry) {
+  // No loop-level policy: the injected throw escapes the loop, fails
+  // attempt 1, and the service's exponential-backoff retry re-runs the
+  // job from the pristine initial condition (the fault budget is
+  // spent, so attempt 2 is clean).
+  op2::fault_injector::configure("tenant=victim:res_calc:throw:at=2");
+  svc::job_service s(two_workers());
+  svc::tenant_options t;
+  t.name = "victim";
+  s.register_tenant(t);
+  svc::job_options opts;
+  opts.max_attempts = 2;
+  opts.backoff_ms = 1;
+  airfoil::job_workspace ws;
+  airfoil::job_output out;
+  auto h = s.submit(
+      "victim",
+      [&](const svc::job_context& ctx) {
+        out = airfoil::run_job(params(), ws, ctx.stop);
+      },
+      opts);
+  const auto r = h.get();
+  EXPECT_EQ(r.status, svc::job_status::completed);
+  EXPECT_EQ(r.attempts, 2);
+  EXPECT_EQ(op2::fault_injector::fired_count(), 1);
+  EXPECT_TRUE(std::isfinite(out.checksum));
+  EXPECT_EQ(s.stats("victim").job_retries, 1u);
+}
+
+TEST_F(ChaosTest, ThrowFaultHealsInsideTheJobViaLoopQos) {
+  // Loop-level policy: rollback + retry absorbs the injected throw
+  // inside the loop, so the job completes on its first attempt.
+  op2::fault_injector::configure("tenant=victim:res_calc:throw:at=2");
+  svc::job_service s(two_workers());
+  svc::tenant_options t;
+  t.name = "victim";
+  s.register_tenant(t);
+  svc::job_options opts;
+  opts.qos.max_retries = 2;
+  airfoil::job_workspace ws;
+  auto h = s.submit(
+      "victim",
+      [&](const svc::job_context& ctx) {
+        airfoil::run_job(params(), ws, ctx.stop);
+      },
+      opts);
+  const auto r = h.get();
+  EXPECT_EQ(r.status, svc::job_status::completed);
+  EXPECT_EQ(r.attempts, 1);  // healed below the job layer
+  EXPECT_EQ(op2::fault_injector::fired_count(), 1);
+}
+
+TEST_F(ChaosTest, StallFaultHealsViaDeadlineAndLadder) {
+  op2::profiling::enable(true);
+  op2::fault_injector::configure(
+      "tenant=victim:adt_calc:stall:at=2,stall_ms=60000");
+  svc::job_service s(two_workers());
+  svc::tenant_options t;
+  t.name = "victim";
+  s.register_tenant(t);
+  svc::job_options opts;
+  opts.qos.deadline_ms = 150;
+  opts.qos.ladder = true;
+  airfoil::job_workspace ws;
+  auto h = s.submit(
+      "victim",
+      [&](const svc::job_context& ctx) {
+        airfoil::run_job(params(), ws, ctx.stop);
+      },
+      opts);
+  const auto r = h.get();
+  EXPECT_EQ(r.status, svc::job_status::completed) << r.error;
+  EXPECT_EQ(r.attempts, 1);  // the ladder healed the stalled attempt
+  const auto tenants = op2::profiling::tenant_snapshot();
+  ASSERT_TRUE(tenants.count("victim"));
+  EXPECT_GE(tenants.at("victim").deadline_misses, 1u);
+  EXPECT_GE(tenants.at("victim").degradations, 1u);
+  EXPECT_GE(tenants.at("victim").max_degrade_depth, 1u);
+}
+
+TEST_F(ChaosTest, CorruptFaultHealsViaJobLevelRetry) {
+  // The corrupt fault NaNs one output value after `update` completes;
+  // run_job's finite-check turns that into a failed attempt, and the
+  // retry re-runs from the pristine free-stream state.
+  op2::fault_injector::configure("tenant=victim:update:corrupt:at=3");
+  svc::job_service s(two_workers());
+  svc::tenant_options t;
+  t.name = "victim";
+  s.register_tenant(t);
+  svc::job_options opts;
+  opts.max_attempts = 2;
+  opts.backoff_ms = 1;
+  airfoil::job_workspace ws;
+  airfoil::job_output out;
+  auto h = s.submit(
+      "victim",
+      [&](const svc::job_context& ctx) {
+        out = airfoil::run_job(params(), ws, ctx.stop);
+      },
+      opts);
+  const auto r = h.get();
+  EXPECT_EQ(r.status, svc::job_status::completed);
+  EXPECT_EQ(r.attempts, 2);
+  EXPECT_TRUE(std::isfinite(out.checksum));
+}
+
+TEST_F(ChaosTest, UnhealableFaultFailsWithAStructuredReasonNotAHang) {
+  // count=-1: the throw fires on every res_calc invocation, so no
+  // amount of retrying heals it — the job must fail with the injected
+  // error's message, promptly.
+  op2::fault_injector::configure(
+      "tenant=victim:res_calc:throw:at=1,count=-1");
+  svc::job_service s(two_workers());
+  svc::tenant_options t;
+  t.name = "victim";
+  s.register_tenant(t);
+  svc::job_options opts;
+  opts.max_attempts = 2;
+  opts.backoff_ms = 1;
+  airfoil::job_workspace ws;
+  auto h = s.submit(
+      "victim",
+      [&](const svc::job_context& ctx) {
+        airfoil::run_job(params(), ws, ctx.stop);
+      },
+      opts);
+  const auto r = h.get();
+  EXPECT_EQ(r.status, svc::job_status::failed);
+  EXPECT_EQ(r.attempts, 2);
+  EXPECT_FALSE(r.error.empty());
+  EXPECT_EQ(s.stats("victim").failed, 1u);
+}
+
+// --- isolation matrix: faulted tenant A, bystander tenant B -----------
+
+class ChaosIsolationTest : public ChaosTest,
+                           public ::testing::WithParamInterface<std::string> {
+};
+
+TEST_P(ChaosIsolationTest, BystanderTenantIsBitIdenticalUnderTheFault) {
+  const std::string spec = GetParam();
+  op2::fault_injector::configure(spec);
+
+  // Baseline: the bystander alone, same service machinery, same
+  // (tenant=victim) fault installed — identical code path, fault never
+  // eligible to fire.
+  const auto baseline = run_solo("bystander");
+  ASSERT_FALSE(baseline.solution.empty());
+  EXPECT_EQ(op2::fault_injector::fired_count(), 0);
+
+  // Now both tenants concurrently; the victim absorbs its fault.
+  op2::fault_injector::configure(spec);  // reset counters
+  svc::job_service s(two_workers());
+  for (const char* name : {"victim", "bystander"}) {
+    svc::tenant_options t;
+    t.name = name;
+    s.register_tenant(t);
+  }
+  svc::job_options victim_opts;
+  victim_opts.max_attempts = 2;
+  victim_opts.backoff_ms = 1;
+  victim_opts.qos.deadline_ms = 150;
+  victim_opts.qos.ladder = true;
+  airfoil::job_workspace victim_ws;
+  airfoil::job_workspace bystander_ws;
+  airfoil::job_output bystander_out;
+  auto victim = s.submit(
+      "victim",
+      [&](const svc::job_context& ctx) {
+        airfoil::run_job(params(), victim_ws, ctx.stop);
+      },
+      victim_opts);
+  auto bystander = s.submit("bystander", [&](const svc::job_context& ctx) {
+    bystander_out = airfoil::run_job(params(), bystander_ws, ctx.stop);
+  });
+  EXPECT_EQ(bystander.get().status, svc::job_status::completed);
+  EXPECT_EQ(victim.get().status, svc::job_status::completed);
+  EXPECT_GE(op2::fault_injector::fired_count(), 1);
+
+  // Bit-exact: the victim's fault, retries and degradations leaked
+  // nothing into the bystander's arithmetic.
+  ASSERT_EQ(bystander_out.solution.size(), baseline.solution.size());
+  for (std::size_t i = 0; i < baseline.solution.size(); ++i) {
+    ASSERT_EQ(bystander_out.solution[i], baseline.solution[i])
+        << "solution diverged at " << i << " under " << spec;
+  }
+  EXPECT_EQ(bystander_out.checksum, baseline.checksum);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FaultKinds, ChaosIsolationTest,
+    ::testing::Values("tenant=victim:res_calc:throw:at=2",
+                      "tenant=victim:adt_calc:stall:at=2,stall_ms=60000",
+                      "tenant=victim:update:corrupt:at=3"),
+    [](const ::testing::TestParamInfo<std::string>& pinfo) {
+      if (pinfo.param.find(":throw") != std::string::npos) {
+        return std::string("Throw");
+      }
+      if (pinfo.param.find(":stall") != std::string::npos) {
+        return std::string("Stall");
+      }
+      return std::string("Corrupt");
+    });
+
+// --- legacy global faults still fire for everyone ---------------------
+
+TEST_F(ChaosTest, LegacyGlobalFaultFormStillAppliesToAnyTenant) {
+  op2::fault_injector::configure("res_calc:throw:at=2");
+  svc::job_service s(two_workers());
+  svc::tenant_options t;
+  t.name = "anyone";
+  s.register_tenant(t);
+  svc::job_options opts;
+  opts.max_attempts = 2;
+  opts.backoff_ms = 1;
+  airfoil::job_workspace ws;
+  auto h = s.submit(
+      "anyone",
+      [&](const svc::job_context& ctx) {
+        airfoil::run_job(params(), ws, ctx.stop);
+      },
+      opts);
+  EXPECT_EQ(h.get().status, svc::job_status::completed);
+  EXPECT_EQ(op2::fault_injector::fired_count(), 1);
+}
+
+// --- per-tenant profiling columns -------------------------------------
+
+TEST_F(ChaosTest, TimingOutputGrowsPerTenantColumns) {
+  op2::profiling::enable(true);
+  op2::fault_injector::configure("tenant=victim:res_calc:throw:at=2");
+  svc::job_service s(two_workers());
+  for (const char* name : {"victim", "bystander"}) {
+    svc::tenant_options t;
+    t.name = name;
+    s.register_tenant(t);
+  }
+  svc::job_options opts;
+  opts.max_attempts = 2;
+  opts.backoff_ms = 1;
+  airfoil::job_workspace vws;
+  airfoil::job_workspace bws;
+  s.submit(
+       "victim",
+       [&](const svc::job_context& ctx) {
+         airfoil::run_job(params(), vws, ctx.stop);
+       },
+       opts)
+      .get();
+  s.submit("bystander", [&](const svc::job_context& ctx) {
+     airfoil::run_job(params(), bws, ctx.stop);
+   }).get();
+
+  const auto tenants = op2::profiling::tenant_snapshot();
+  ASSERT_TRUE(tenants.count("victim"));
+  ASSERT_TRUE(tenants.count("bystander"));
+  EXPECT_EQ(tenants.at("victim").jobs_admitted, 1u);
+  EXPECT_EQ(tenants.at("victim").jobs_completed, 1u);
+  EXPECT_EQ(tenants.at("victim").job_retries, 1u);
+  EXPECT_EQ(tenants.at("bystander").job_retries, 0u);
+
+  std::ostringstream out;
+  op2::profiling::report(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("tenants"), std::string::npos);
+  EXPECT_NE(text.find("victim"), std::string::npos);
+  EXPECT_NE(text.find("bystander"), std::string::npos);
+}
+
+// --- stress (runs under TSan in scripts/check.sh) ---------------------
+
+TEST(ChaosServiceStress, FaultedAndCleanTenantsChurnConcurrently) {
+  op2::init(op2::make_config("hpx_foreach", 2));
+  op2::fault_injector::configure(
+      "tenant=victim:res_calc:throw:at=1,count=4");
+  {
+    svc::service_config cfg;
+    cfg.workers = 3;
+    svc::job_service s(cfg);
+    for (const char* name : {"victim", "clean0", "clean1"}) {
+      svc::tenant_options t;
+      t.name = name;
+      s.register_tenant(t);
+    }
+    airfoil::job_params p;
+    p.imax = 10;
+    p.jmax = 5;
+    p.niter = 2;
+    std::vector<std::unique_ptr<airfoil::job_workspace>> spaces;
+    std::vector<svc::job_handle> handles;
+    svc::job_options opts;
+    opts.max_attempts = 3;
+    opts.backoff_ms = 1;
+    int w = 0;
+    for (const char* name : {"victim", "clean0", "clean1"}) {
+      spaces.push_back(std::make_unique<airfoil::job_workspace>());
+      auto* ws = spaces.back().get();
+      for (int i = 0; i < 3; ++i) {
+        handles.push_back(s.submit(
+            name,
+            [&p, ws](const svc::job_context& ctx) {
+              airfoil::run_job(p, *ws, ctx.stop);
+            },
+            opts));
+      }
+      ++w;
+    }
+    for (auto& h : handles) {
+      const auto r = h.get();
+      EXPECT_TRUE(r.status == svc::job_status::completed ||
+                  r.status == svc::job_status::failed)
+          << r.error;
+    }
+  }
+  op2::fault_injector::clear();
+  op2::finalize();
+}
+
+}  // namespace

@@ -1,0 +1,529 @@
+// op2::service admission-controller semantics: per-tenant quotas and
+// bounded queues (shed with structured reasons, never unbounded
+// memory), deterministic weighted-fair dispatch, mid-flight quota
+// changes, prompt resource release when queued work is cancelled,
+// whole-job deadlines and exponential-backoff retries, and cross-tenant
+// tuner sharing.
+#include "op2/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hpxlite/hpxlite.hpp"
+#include "op2/op2.hpp"
+
+namespace {
+
+using namespace std::chrono_literals;
+namespace svc = op2::service;
+
+svc::service_config config(unsigned workers, std::size_t depth = 16) {
+  svc::service_config cfg;
+  cfg.workers = workers;
+  cfg.default_queue_depth = depth;
+  return cfg;
+}
+
+svc::tenant_options tenant(const std::string& name, double weight = 1.0,
+                           std::size_t quota = 1, std::size_t depth = 0) {
+  svc::tenant_options t;
+  t.name = name;
+  t.weight = weight;
+  t.quota = quota;
+  t.queue_depth = depth;
+  return t;
+}
+
+/// A job body that parks until release() — the unit tests' stand-in for
+/// a long-running simulation.  Stop-aware, like a real job body: it
+/// polls its token while parked.
+struct gate {
+  std::promise<void> barrier;
+  std::shared_future<void> opened{barrier.get_future().share()};
+  void release() { barrier.set_value(); }
+  svc::job_fn job() {
+    return [f = opened](const svc::job_context& ctx) {
+      while (f.wait_for(1ms) != std::future_status::ready) {
+        if (ctx.stop.stop_requested()) {
+          throw hpxlite::operation_cancelled("gate cancelled");
+        }
+      }
+    };
+  }
+};
+
+// --- registration / validation ----------------------------------------
+
+TEST(Service, RejectsBadRegistrationsAndSubmissions) {
+  svc::job_service s(config(1));
+  EXPECT_THROW(s.register_tenant(tenant("")), std::invalid_argument);
+  EXPECT_THROW(s.register_tenant(tenant("a", 0.0)), std::invalid_argument);
+  s.register_tenant(tenant("a"));
+  EXPECT_THROW(s.register_tenant(tenant("a")), std::invalid_argument);
+  EXPECT_THROW(s.submit("nobody", [](const svc::job_context&) {}),
+               std::invalid_argument);
+  EXPECT_THROW(s.submit("a", svc::job_fn{}), std::invalid_argument);
+  svc::job_options bad;
+  bad.max_attempts = 0;
+  EXPECT_THROW(s.submit("a", [](const svc::job_context&) {}, bad),
+               std::invalid_argument);
+}
+
+TEST(Service, EnvConfigRejectsMalformedValues) {
+  setenv("OP2_SERVICE_WORKERS", "three", 1);
+  EXPECT_THROW(svc::service_config::from_env(), std::invalid_argument);
+  setenv("OP2_SERVICE_WORKERS", "0", 1);
+  EXPECT_THROW(svc::service_config::from_env(), std::invalid_argument);
+  setenv("OP2_SERVICE_WORKERS", "6", 1);
+  setenv("OP2_SERVICE_QUEUE_DEPTH", "9", 1);
+  const auto cfg = svc::service_config::from_env();
+  EXPECT_EQ(cfg.workers, 6u);
+  EXPECT_EQ(cfg.default_queue_depth, 9u);
+  unsetenv("OP2_SERVICE_WORKERS");
+  unsetenv("OP2_SERVICE_QUEUE_DEPTH");
+}
+
+// --- shedding ---------------------------------------------------------
+
+TEST(Service, ZeroQuotaTenantShedsEverySubmission) {
+  svc::job_service s(config(1));
+  s.register_tenant(tenant("idle", 1.0, /*quota=*/0));
+  auto h = s.submit("idle", [](const svc::job_context&) { FAIL(); });
+  const auto r = h.get();  // already resolved: shed at submit
+  EXPECT_EQ(r.status, svc::job_status::shed);
+  EXPECT_EQ(r.shed, svc::shed_reason::zero_quota);
+  EXPECT_STREQ(svc::to_string(r.shed), "zero_quota");
+  const auto st = s.stats("idle");
+  EXPECT_EQ(st.submitted, 1u);
+  EXPECT_EQ(st.shed_zero_quota, 1u);
+  EXPECT_EQ(st.admitted, 0u);
+}
+
+TEST(Service, FullQueueShedsWithReasonAndBoundedMemory) {
+  svc::job_service s(config(1));
+  s.register_tenant(tenant("t", 1.0, 1, /*depth=*/3));
+  gate g;
+  auto running = s.submit("t", g.job());
+  // Wait until the gate job occupies the single worker.
+  while (s.stats("t").running == 0) {
+    std::this_thread::sleep_for(1ms);
+  }
+  std::vector<svc::job_handle> queued;
+  for (int i = 0; i < 3; ++i) {
+    queued.push_back(s.submit("t", g.job()));
+  }
+  // Depth 3 reached: the 4th queued submission is shed, not buffered.
+  auto overflow = s.submit("t", g.job());
+  EXPECT_EQ(overflow.status(), svc::job_status::shed);
+  EXPECT_EQ(overflow.get().shed, svc::shed_reason::queue_full);
+  EXPECT_EQ(s.stats("t").queued, 3u);
+  EXPECT_EQ(s.stats("t").peak_queued, 3u);
+  g.release();
+  for (auto& h : queued) {
+    EXPECT_EQ(h.get().status, svc::job_status::completed);
+  }
+  EXPECT_EQ(running.get().status, svc::job_status::completed);
+}
+
+// --- weighted fairness ------------------------------------------------
+
+TEST(Service, WeightedFairDispatchIsDeterministicAndStarvationFree) {
+  svc::job_service s(config(/*workers=*/1, /*depth=*/64));
+  s.register_tenant(tenant("a", /*weight=*/3.0, /*quota=*/1));
+  s.register_tenant(tenant("b", /*weight=*/1.0, /*quota=*/1));
+  s.register_tenant(tenant("z", 1.0, 1));
+
+  // Park the single worker so every job below is tagged while the
+  // virtual clock is frozen — the dispatch order is then a pure
+  // function of the admission tags.
+  gate g;
+  auto parked = s.submit("z", g.job());
+  while (s.stats("z").running == 0) {
+    std::this_thread::sleep_for(1ms);
+  }
+
+  std::mutex m;
+  std::vector<std::string> order;
+  auto record = [&](const std::string& who) {
+    return [&, who](const svc::job_context&) {
+      std::lock_guard<std::mutex> lock(m);
+      order.push_back(who);
+    };
+  };
+  std::vector<svc::job_handle> handles;
+  for (int i = 0; i < 12; ++i) {
+    handles.push_back(s.submit("a", record("a")));
+  }
+  for (int i = 0; i < 4; ++i) {
+    handles.push_back(s.submit("b", record("b")));
+  }
+  g.release();
+  parked.get();
+  for (auto& h : handles) {
+    EXPECT_EQ(h.get().status, svc::job_status::completed);
+  }
+  // Start-time fair queueing with weights 3:1 — tags a: k/3, b: k — and
+  // name-order tie-break gives exactly three a-dispatches per b.
+  ASSERT_EQ(order.size(), 16u);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], (i % 4 == 3) ? "b" : "a") << "position " << i;
+  }
+}
+
+TEST(Service, BurstyTenantCannotStarveASteadyOne) {
+  svc::job_service s(config(/*workers=*/2, /*depth=*/64));
+  s.register_tenant(tenant("flood", 1.0, /*quota=*/1));
+  s.register_tenant(tenant("steady", 1.0, /*quota=*/1));
+  std::vector<svc::job_handle> flood;
+  for (int i = 0; i < 40; ++i) {
+    flood.push_back(s.submit(
+        "flood", [](const svc::job_context&) {
+          std::this_thread::sleep_for(1ms);
+        }));
+  }
+  auto h = s.submit("steady", [](const svc::job_context&) {});
+  // The steady tenant's first tag beats the flood's 40-deep backlog, so
+  // it must not wait for the flood to drain.
+  EXPECT_TRUE(h.wait_for(2s));
+  EXPECT_EQ(h.get().status, svc::job_status::completed);
+  for (auto& f : flood) {
+    f.get();
+  }
+}
+
+// --- quotas mid-flight ------------------------------------------------
+
+TEST(Service, RaisingAQuotaDispatchesQueuedJobsImmediately) {
+  svc::job_service s(config(/*workers=*/2));
+  s.register_tenant(tenant("t", 1.0, /*quota=*/1));
+  gate g;
+  auto a = s.submit("t", g.job());
+  auto b = s.submit("t", g.job());
+  while (s.stats("t").running == 0) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_EQ(s.stats("t").queued, 1u);  // quota 1: b waits
+  s.set_quota("t", 2);
+  while (s.stats("t").running < 2) {
+    std::this_thread::sleep_for(1ms);
+  }
+  g.release();
+  EXPECT_EQ(a.get().status, svc::job_status::completed);
+  EXPECT_EQ(b.get().status, svc::job_status::completed);
+}
+
+TEST(Service, LoweringAQuotaNeverPreemptsButGatesNewDispatches) {
+  svc::job_service s(config(/*workers=*/3));
+  s.register_tenant(tenant("t", 1.0, /*quota=*/2));
+  gate g1;
+  gate g2;
+  auto a = s.submit("t", g1.job());
+  auto b = s.submit("t", g2.job());
+  while (s.stats("t").running < 2) {
+    std::this_thread::sleep_for(1ms);
+  }
+  s.set_quota("t", 1);
+  EXPECT_EQ(s.stats("t").running, 2u);  // no preemption
+  auto c = s.submit("t", [](const svc::job_context&) {});
+  EXPECT_FALSE(c.wait_for(50ms));  // still over the new quota
+  g1.release();
+  a.get();
+  // One job finished, but running (1) still meets the lowered quota.
+  EXPECT_FALSE(c.wait_for(50ms));
+  g2.release();
+  b.get();
+  EXPECT_EQ(c.get().status, svc::job_status::completed);
+}
+
+// --- cancellation and prompt release ----------------------------------
+
+TEST(Service, CancellingAQueuedJobReleasesItsClosureImmediately) {
+  const std::uint64_t continuations = hpxlite::pending_continuation_count();
+  svc::job_service s(config(1));
+  s.register_tenant(tenant("t"));
+  gate g;
+  auto running = s.submit("t", g.job());
+  while (s.stats("t").running == 0) {
+    std::this_thread::sleep_for(1ms);
+  }
+  auto sentinel = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = sentinel;
+  auto queued = s.submit("t", [keep = std::move(sentinel)](
+                                  const svc::job_context&) { (void)keep; });
+  EXPECT_EQ(queued.status(), svc::job_status::queued);
+  queued.cancel();
+  // Eager removal: the job resolves now — not when the worker frees up —
+  // and the closure (sole owner of the sentinel) is destroyed with it.
+  EXPECT_EQ(queued.get().status, svc::job_status::cancelled);
+  EXPECT_TRUE(watch.expired());
+  EXPECT_EQ(s.stats("t").cancelled, 1u);
+  EXPECT_EQ(s.stats("t").queued, 0u);
+  g.release();
+  running.get();
+  // Nothing the cancelled job touched is parked in the runtime.
+  EXPECT_EQ(hpxlite::pending_continuation_count(), continuations);
+}
+
+TEST(Service, CancellingARunningJobStopsItCooperatively) {
+  svc::job_service s(config(1));
+  s.register_tenant(tenant("t"));
+  auto h = s.submit("t", [](const svc::job_context& ctx) {
+    while (!ctx.stop.stop_requested()) {
+      std::this_thread::sleep_for(1ms);
+    }
+    throw hpxlite::operation_cancelled("observed stop");
+  });
+  while (s.stats("t").running == 0) {
+    std::this_thread::sleep_for(1ms);
+  }
+  h.cancel();
+  const auto r = h.get();
+  EXPECT_EQ(r.status, svc::job_status::cancelled);
+  EXPECT_EQ(s.stats("t").cancelled, 1u);
+}
+
+TEST(Service, CancelTenantDropsItsQueueAndStopsItsRunningJobs) {
+  svc::job_service s(config(1));
+  s.register_tenant(tenant("t"));
+  s.register_tenant(tenant("bystander"));
+  auto running = s.submit("t", [](const svc::job_context& ctx) {
+    while (!ctx.stop.stop_requested()) {
+      std::this_thread::sleep_for(1ms);
+    }
+    throw hpxlite::operation_cancelled("tenant cancelled");
+  });
+  auto queued = s.submit("t", [](const svc::job_context&) { FAIL(); });
+  auto other = s.submit("bystander", [](const svc::job_context&) {});
+  while (s.stats("t").running == 0) {
+    std::this_thread::sleep_for(1ms);
+  }
+  s.cancel_tenant("t");
+  EXPECT_EQ(running.get().status, svc::job_status::cancelled);
+  EXPECT_EQ(queued.get().status, svc::job_status::cancelled);
+  // The bystander is untouched by another tenant's cancellation.
+  EXPECT_EQ(other.get().status, svc::job_status::completed);
+}
+
+TEST(Service, ShutdownShedsQueuedJobsAndCancelsRunningOnes) {
+  svc::job_handle running;
+  svc::job_handle queued;
+  gate g;  // never released: only the service stop can end the job
+  {
+    svc::job_service s(config(1));
+    s.register_tenant(tenant("t"));
+    running = s.submit("t", g.job());
+    while (s.stats("t").running == 0) {
+      std::this_thread::sleep_for(1ms);
+    }
+    queued = s.submit("t", [](const svc::job_context&) {
+      FAIL() << "shed work must never run";
+    });
+    // Destructor: queued work sheds with `shutdown`, the running job's
+    // fanned-in token trips, and the worker threads join.
+  }
+  const auto r = queued.get();
+  EXPECT_EQ(r.status, svc::job_status::shed);
+  EXPECT_EQ(r.shed, svc::shed_reason::shutdown);
+  EXPECT_EQ(running.get().status, svc::job_status::cancelled);
+}
+
+// --- QoS: job deadlines and retries -----------------------------------
+
+TEST(Service, JobDeadlineFailsTheJobWithAStructuredError) {
+  svc::job_service s(config(1));
+  s.register_tenant(tenant("t"));
+  svc::job_options opts;
+  opts.job_deadline_ms = 50;
+  auto h = s.submit(
+      "t",
+      [](const svc::job_context& ctx) {
+        for (int i = 0; i < 10000 && !ctx.stop.stop_requested(); ++i) {
+          std::this_thread::sleep_for(1ms);
+        }
+        if (ctx.stop.stop_requested()) {
+          throw hpxlite::operation_cancelled("deadline observed");
+        }
+      },
+      opts);
+  const auto r = h.get();
+  EXPECT_EQ(r.status, svc::job_status::failed);
+  EXPECT_NE(r.error.find("deadline"), std::string::npos) << r.error;
+}
+
+TEST(Service, TransientFailuresRetryWithBackoffUntilSuccess) {
+  svc::job_service s(config(1));
+  s.register_tenant(tenant("t"));
+  svc::job_options opts;
+  opts.max_attempts = 3;
+  opts.backoff_ms = 1;
+  auto flaky = std::make_shared<std::atomic<int>>(0);
+  auto h = s.submit(
+      "t",
+      [flaky](const svc::job_context& ctx) {
+        EXPECT_EQ(ctx.attempt, flaky->load() + 1);
+        if (flaky->fetch_add(1) < 2) {
+          throw std::runtime_error("transient");
+        }
+      },
+      opts);
+  const auto r = h.get();
+  EXPECT_EQ(r.status, svc::job_status::completed);
+  EXPECT_EQ(r.attempts, 3);
+  EXPECT_EQ(s.stats("t").job_retries, 2u);
+}
+
+TEST(Service, ExhaustedRetriesReportTheLastError) {
+  svc::job_service s(config(1));
+  s.register_tenant(tenant("t"));
+  svc::job_options opts;
+  opts.max_attempts = 2;
+  auto h = s.submit(
+      "t",
+      [](const svc::job_context&) { throw std::runtime_error("permanent"); },
+      opts);
+  const auto r = h.get();
+  EXPECT_EQ(r.status, svc::job_status::failed);
+  EXPECT_EQ(r.attempts, 2);
+  EXPECT_NE(r.error.find("permanent"), std::string::npos);
+}
+
+// --- overload ---------------------------------------------------------
+
+TEST(Service, OverloadIsShedNotBufferedAndEveryHandleResolves) {
+  svc::job_service s(config(/*workers=*/2));
+  s.register_tenant(tenant("hot", 1.0, /*quota=*/2, /*depth=*/4));
+  std::vector<svc::job_handle> handles;
+  for (int i = 0; i < 200; ++i) {
+    handles.push_back(
+        s.submit("hot", [](const svc::job_context&) {
+          std::this_thread::sleep_for(100us);
+        }));
+  }
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;
+  for (auto& h : handles) {
+    const auto r = h.get();  // load ≫ quota must never hang
+    if (r.status == svc::job_status::completed) {
+      completed += 1;
+    } else {
+      ASSERT_EQ(r.status, svc::job_status::shed);
+      ASSERT_EQ(r.shed, svc::shed_reason::queue_full);
+      shed += 1;
+    }
+  }
+  const auto st = s.stats("hot");
+  EXPECT_EQ(completed + shed, 200u);
+  EXPECT_GT(shed, 0u);           // the flood was shed, not buffered
+  EXPECT_GT(completed, 0u);      // but the service kept serving
+  EXPECT_LE(st.peak_queued, 4u); // memory stayed within the depth bound
+  EXPECT_EQ(st.submitted, 200u);
+  EXPECT_EQ(st.admitted, completed);
+}
+
+// --- drain and aggregate stats ----------------------------------------
+
+TEST(Service, DrainWaitsForAllQueuedAndRunningWork) {
+  svc::job_service s(config(2));
+  s.register_tenant(tenant("t", 1.0, 2));
+  std::atomic<int> done{0};
+  for (int i = 0; i < 10; ++i) {
+    s.submit("t", [&](const svc::job_context&) {
+      std::this_thread::sleep_for(2ms);
+      done += 1;
+    });
+  }
+  s.drain();
+  EXPECT_EQ(done.load(), 10);
+  const auto total = s.stats();
+  EXPECT_EQ(total.completed, 10u);
+  EXPECT_GE(total.peak_running, 1u);
+}
+
+// --- cross-tenant tuner sharing ---------------------------------------
+
+void scale_kernel(const double* a, double* b) { b[0] = 2.0 * a[0]; }
+
+TEST(Service, TenantsShareTunerCalibrationForIdenticalLoopShapes) {
+  auto cfg = op2::make_config("hpx_foreach", 2);
+  cfg.tuner = op2::tuner_mode::on;
+  op2::init(cfg);
+  svc::job_service s(config(1));
+  s.register_tenant(tenant("first"));
+  s.register_tenant(tenant("second"));
+  auto set = op2::op_decl_set(4096, "cells");
+  auto a = op2::op_decl_dat<double>(set, 1, "double", "a");
+  auto b = op2::op_decl_dat<double>(set, 1, "double", "b");
+  auto body = [&](const svc::job_context&) {
+    for (int i = 0; i < 4; ++i) {
+      op2::op_par_loop(scale_kernel, "shared_shape", set,
+                       op2::op_arg_dat<double>(a, -1, op2::OP_ID, 1,
+                                               op2::OP_READ),
+                       op2::op_arg_dat<double>(b, -1, op2::OP_ID, 1,
+                                               op2::OP_WRITE));
+    }
+  };
+  s.submit("first", body).get();
+  s.submit("second", body).get();
+  // Controllers key on loop shape, not tenant: both tenants fed one
+  // controller rather than calibrating separately.
+  int entries = 0;
+  for (const auto& e : op2::tuner::snapshot()) {
+    if (e.loop == "shared_shape") {
+      entries += 1;
+    }
+  }
+  EXPECT_EQ(entries, 1);
+  op2::finalize();
+}
+
+// --- stress (runs under TSan in scripts/check.sh) ---------------------
+
+TEST(ServiceStress, ConcurrentSubmitCancelQuotaChurnIsClean) {
+  svc::job_service s(config(4));
+  for (int t = 0; t < 4; ++t) {
+    s.register_tenant(tenant("t" + std::to_string(t), 1.0 + t, 2, 8));
+  }
+  std::atomic<bool> go{true};
+  std::vector<std::thread> drivers;
+  for (int t = 0; t < 4; ++t) {
+    drivers.emplace_back([&, t] {
+      const std::string name = "t" + std::to_string(t);
+      std::vector<svc::job_handle> mine;
+      for (int i = 0; i < 50; ++i) {
+        mine.push_back(s.submit(name, [](const svc::job_context& ctx) {
+          for (int k = 0; k < 10 && !ctx.stop.stop_requested(); ++k) {
+            std::this_thread::sleep_for(100us);
+          }
+        }));
+        if (i % 7 == 0) {
+          mine.back().cancel();
+        }
+        if (i % 13 == 0) {
+          s.set_quota(name, 1 + static_cast<std::size_t>(i % 3));
+        }
+      }
+      for (auto& h : mine) {
+        h.get();
+      }
+    });
+  }
+  go = false;
+  for (auto& d : drivers) {
+    d.join();
+  }
+  const auto total = s.stats();
+  EXPECT_EQ(total.submitted, 200u);
+  EXPECT_EQ(total.completed + total.shed + total.cancelled + total.failed,
+            200u);
+}
+
+}  // namespace

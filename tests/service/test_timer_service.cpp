@@ -1,0 +1,176 @@
+// The shared timer service (op2/timer_service.hpp): one dedicated OS
+// thread arms every job and attempt deadline in the process.  Covers
+// arm/fire/disarm semantics, the single-thread regression (the old
+// design spawned one deadline thread per guarded attempt), and — the
+// semantics that must not have changed when the per-attempt deadline
+// timer moved onto this service — the deadline → degradation-ladder
+// path, including the "a stalled attempt may own every pool worker"
+// guarantee that forces the timer off the pool.
+#include "op2/timer_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <numeric>
+#include <vector>
+
+#include "hpxlite/hpxlite.hpp"
+#include "op2/op2.hpp"
+
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(TimerService, ArmFiresAfterTheDelay) {
+  std::mutex m;
+  std::condition_variable cv;
+  bool fired = false;
+  const auto id = op2::timer_service::arm(20ms, [&] {
+    std::lock_guard<std::mutex> lock(m);
+    fired = true;
+    cv.notify_all();
+  });
+  std::unique_lock<std::mutex> lock(m);
+  ASSERT_TRUE(cv.wait_for(lock, 5s, [&] { return fired; }));
+  EXPECT_TRUE(op2::timer_service::disarm(id));  // true: already fired
+}
+
+TEST(TimerService, DisarmBeforeExpiryPreventsTheFire) {
+  std::atomic<bool> fired{false};
+  const auto id = op2::timer_service::arm(250ms, [&] { fired = true; });
+  EXPECT_FALSE(op2::timer_service::disarm(id));  // false: never fired
+  std::this_thread::sleep_for(400ms);
+  EXPECT_FALSE(fired.load());
+}
+
+TEST(TimerService, DisarmedTimersLeaveNoResidue) {
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 64; ++i) {
+    ids.push_back(op2::timer_service::arm(10min, [] {}));
+  }
+  EXPECT_GE(op2::timer_service::armed_count(), 64u);
+  for (const auto id : ids) {
+    EXPECT_FALSE(op2::timer_service::disarm(id));
+  }
+  // Disarm drops the map entry immediately; the heap entries are reaped
+  // lazily, but armed_count reflects live timers only.
+  EXPECT_LT(op2::timer_service::armed_count(), 64u);
+}
+
+TEST(TimerService, TimersFireInDeadlineOrderNotArmOrder) {
+  std::mutex m;
+  std::condition_variable cv;
+  std::vector<int> order;
+  auto push = [&](int tag) {
+    std::lock_guard<std::mutex> lock(m);
+    order.push_back(tag);
+    cv.notify_all();
+  };
+  const auto slow = op2::timer_service::arm(120ms, [&] { push(2); });
+  const auto fast = op2::timer_service::arm(20ms, [&] { push(1); });
+  std::unique_lock<std::mutex> lock(m);
+  ASSERT_TRUE(cv.wait_for(lock, 5s, [&] { return order.size() == 2; }));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  lock.unlock();
+  EXPECT_TRUE(op2::timer_service::disarm(slow));
+  EXPECT_TRUE(op2::timer_service::disarm(fast));
+}
+
+TEST(TimerService, OneThreadServicesEveryDeadline) {
+  // Arm a burst of concurrent timers — under the old per-attempt design
+  // each would have spawned its own thread.
+  std::atomic<int> fired{0};
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 32; ++i) {
+    ids.push_back(op2::timer_service::arm(
+        std::chrono::milliseconds(5 + i % 7), [&] { fired += 1; }));
+  }
+  while (fired.load() < 32) {
+    std::this_thread::sleep_for(5ms);
+  }
+  for (const auto id : ids) {
+    EXPECT_TRUE(op2::timer_service::disarm(id));
+  }
+  EXPECT_EQ(op2::timer_service::threads_started(), 1u);
+}
+
+// --- ladder semantics must be unchanged on the shared timer -----------
+
+void inc_kernel(const double* a, double* b) { b[0] += a[0]; }
+
+class SharedTimerLadderTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    op2::fault_injector::clear();
+    op2::profiling::enable(false);
+    op2::profiling::reset();
+    op2::finalize();
+  }
+};
+
+TEST_F(SharedTimerLadderTest, DeadlineMissStillRidesTheLadder) {
+  auto cfg = op2::make_config("hpx_foreach", 2, 16);
+  cfg.on_failure.deadline_ms = 150;
+  cfg.on_failure.ladder = true;
+  op2::init(cfg);
+  op2::profiling::enable(true);
+
+  auto s = op2::op_decl_set(96, "s");
+  std::vector<double> init(96);
+  std::iota(init.begin(), init.end(), 1.0);
+  auto a = op2::op_decl_dat<double>(s, 1, "double",
+                                    std::span<const double>(init), "a");
+  auto b = op2::op_decl_dat<double>(s, 1, "double", "b");
+
+  op2::fault_injector::configure("timed:stall:at=1,stall_ms=60000");
+  op2::op_par_loop(inc_kernel, "timed", s,
+                   op2::op_arg_dat<double>(a, -1, op2::OP_ID, 1, op2::OP_READ),
+                   op2::op_arg_dat<double>(b, -1, op2::OP_ID, 1, op2::OP_INC));
+
+  const auto av = a.data<double>();
+  const auto bv = b.data<double>();
+  for (std::size_t i = 0; i < av.size(); ++i) {
+    ASSERT_EQ(bv[i], av[i]) << "element " << i;
+  }
+  const auto prof = op2::profiling::snapshot().at("timed");
+  EXPECT_GE(prof.deadline_misses, 1u);
+  EXPECT_GE(prof.degradations, 1u);
+  // Every deadline in the run was serviced by the one shared thread.
+  EXPECT_EQ(op2::timer_service::threads_started(), 1u);
+}
+
+TEST_F(SharedTimerLadderTest, FiresWhileTheWholePoolIsStalled) {
+  // The regression the dedicated thread exists for: a stalled attempt
+  // may own every pool worker, so a pool-hosted timer could never fire.
+  // With a ONE-worker pool, a single stalled chunk owns the entire
+  // pool — the deadline must still fire (from the dedicated timer
+  // thread) and the ladder must still heal the loop.
+  auto cfg = op2::make_config("hpx_foreach", 1, 16);
+  cfg.on_failure.deadline_ms = 100;
+  cfg.on_failure.ladder = true;
+  op2::init(cfg);
+  op2::profiling::enable(true);
+
+  auto s = op2::op_decl_set(256, "s");
+  std::vector<double> init(256, 1.0);
+  auto a = op2::op_decl_dat<double>(s, 1, "double",
+                                    std::span<const double>(init), "a");
+  auto b = op2::op_decl_dat<double>(s, 1, "double", "b");
+
+  op2::fault_injector::configure("swamped:stall:at=1,stall_ms=60000");
+  op2::op_par_loop(inc_kernel, "swamped", s,
+                   op2::op_arg_dat<double>(a, -1, op2::OP_ID, 1, op2::OP_READ),
+                   op2::op_arg_dat<double>(b, -1, op2::OP_ID, 1, op2::OP_INC));
+
+  const auto av = a.data<double>();
+  const auto bv = b.data<double>();
+  for (std::size_t i = 0; i < av.size(); ++i) {
+    ASSERT_EQ(bv[i], av[i]) << "element " << i;
+  }
+  EXPECT_GE(op2::profiling::snapshot().at("swamped").deadline_misses, 1u);
+}
+
+}  // namespace
