@@ -19,6 +19,12 @@
 //   5. oversize continuations (captures larger than a pool block) cost
 //      at most ONE allocation per node.
 //
+// A fourth arm re-runs the replay gate on the hpx_shard backend: the
+// same loops issued inside an active shard_scope (clamped window,
+// completed exchange fence, conflict-free staged write — the shape
+// every loop of the sharded Airfoil driver has) must also replay with
+// zero heap allocations and zero plan-cache lookups once warm.
+//
 // scripts/check.sh runs this binary; a non-zero exit fails the gate.
 // Output is human-readable ns/loop so regressions are quantifiable.
 #include <array>
@@ -34,6 +40,7 @@
 #include "hpxlite/dataflow.hpp"
 #include "hpxlite/future.hpp"
 #include "op2/op2.hpp"
+#include "op2/shard.hpp"
 
 // --- operator new interposition ---------------------------------------
 // One process-wide counter, bumped by every allocation on any thread.
@@ -71,6 +78,13 @@ void sum_kernel(const double* x, double* acc) { acc[0] += x[0]; }
 
 void edge_kernel(const double* a, double* b) { b[0] += 0.5 * a[0]; }
 
+// The sharded driver's staged-increment shape: indirect reads, direct
+// per-edge write — conflict-free, so the hpx_shard executor splits it
+// into interior/boundary spans around the exchange fence.
+void stage_kernel(const double* a, const double* b, double* st) {
+  st[0] = a[0] - b[0];
+}
+
 constexpr int kCells = 1024;
 constexpr int kReplays = 2000;
 constexpr int kCaptures = 64;
@@ -87,6 +101,7 @@ struct mesh {
   op2::op_map pedge;
   op2::op_dat p_x;
   op2::op_dat p_y;
+  op2::op_dat p_stage;
 };
 
 mesh make_mesh() {
@@ -104,6 +119,7 @@ mesh make_mesh() {
   m.p_x = op2::op_decl_dat<double>(m.cells, 1, "double",
                                    std::span<const double>(x), "p_x");
   m.p_y = op2::op_decl_dat<double>(m.cells, 1, "double", "p_y");
+  m.p_stage = op2::op_decl_dat<double>(m.edges, 1, "double", "p_stage");
   return m;
 }
 
@@ -121,6 +137,24 @@ void run_pair(op2::loop_handle& hd, op2::loop_handle& hi, mesh& m,
                                            op2::OP_READ),
                    op2::op_arg_dat<double>(m.p_y, 1, m.pedge, 1,
                                            op2::OP_INC));
+}
+
+/// One invocation of the shard-arm loop pair: the direct reduction
+/// (clamped to the shard window) and the staged conflict-free edge
+/// loop (split into interior/boundary spans around the fence).
+void run_shard_pair(op2::loop_handle& hd, op2::loop_handle& hi, mesh& m,
+                    double* total) {
+  op2::op_par_loop(hd, sum_kernel, "lo_sum@s0", m.cells,
+                   op2::op_arg_dat<double>(m.p_x, -1, op2::OP_ID, 1,
+                                           op2::OP_READ),
+                   op2::op_arg_gbl<double>(total, 1, op2::OP_INC));
+  op2::op_par_loop(hi, stage_kernel, "lo_stage@s0", m.edges,
+                   op2::op_arg_dat<double>(m.p_x, 0, m.pedge, 1,
+                                           op2::OP_READ),
+                   op2::op_arg_dat<double>(m.p_x, 1, m.pedge, 1,
+                                           op2::OP_READ),
+                   op2::op_arg_dat<double>(m.p_stage, -1, op2::OP_ID, 1,
+                                           op2::OP_WRITE));
 }
 
 int fail(const char* what, std::uint64_t observed) {
@@ -295,9 +329,72 @@ int main() {
               static_cast<unsigned long long>(pool.fresh_blocks),
               static_cast<unsigned long long>(pool.oversize_allocs));
 
+  // --- shard backend replay: timed AND gated ---------------------------
+  // The same promise on hpx_shard: a loop issued inside an active
+  // shard_scope (window clamped, fence already completed, staged
+  // conflict-free write) replays allocation-free once the descriptors
+  // are captured and the op-state pool is primed.  Block size covers
+  // the whole set so each interior/boundary span is one inline block —
+  // the gate measures the LAUNCH path, not chunk-task spawning.
+  op2::init(op2::make_config("hpx_shard", 2, 2 * kCells));
+  static op2::loop_handle hs_direct;
+  static op2::loop_handle hs_indirect;
+  mesh sm = make_mesh();
+  double shard_total = 0.0;
+  static op2::shard_fence fence;
+  fence.arm();
+  fence.complete();  // the exchange this window waits on is done
+  op2::shard_context ctx;
+  ctx.active = true;
+  ctx.shard = 0;
+  ctx.interior_end = kCells / 2;
+  ctx.iterate_end = kCells;
+  ctx.fence = &fence;
+  constexpr int kShardWarmups = 8;  // capture + prime the op-state pool
+  std::uint64_t shard_allocs = 0;
+  std::uint64_t shard_lookups = 0;
+  double shard_ns = 0.0;
+  {
+    op2::shard_scope scope(ctx);
+    for (int i = 0; i < kShardWarmups; ++i) {
+      run_shard_pair(hs_direct, hs_indirect, sm, &shard_total);
+    }
+    const std::uint64_t sa0 = alloc_count();
+    const std::uint64_t sl0 = op2::plan_cache_lookups();
+    const double s0 = now_ns();
+    for (int i = 0; i < kReplays; ++i) {
+      run_shard_pair(hs_direct, hs_indirect, sm, &shard_total);
+    }
+    shard_ns = (now_ns() - s0) / (2.0 * kReplays);
+    shard_allocs = alloc_count() - sa0;
+    shard_lookups = op2::plan_cache_lookups() - sl0;
+  }
+  std::printf("  %-28s %12.0f ns/loop\n", "shard replay (steady state)",
+              shard_ns);
+  std::printf("  %-28s %12llu\n", "shard replay heap allocations",
+              static_cast<unsigned long long>(shard_allocs));
+  std::printf("  %-28s %12llu\n", "shard replay plan lookups",
+              static_cast<unsigned long long>(shard_lookups));
+
   int rc = 0;
   if (replay_allocs != 0) {
     rc = fail("steady-state replay heap-allocates", replay_allocs);
+  }
+  if (shard_allocs != 0) {
+    rc = fail("hpx_shard steady-state replay heap-allocates", shard_allocs);
+  }
+  if (shard_lookups != 0) {
+    rc = fail("hpx_shard steady-state replay hits the plan cache",
+              shard_lookups);
+  }
+  const double shard_expected =
+      static_cast<double>(kCells) * (kShardWarmups + kReplays);
+  if (shard_total != shard_expected) {
+    std::fprintf(stderr,
+                 "launch_overhead: shard reduction drift: got %f "
+                 "expected %f\n",
+                 shard_total, shard_expected);
+    rc = 1;
   }
   if (replay_lookups != 0) {
     rc = fail("steady-state replay hits the plan cache", replay_lookups);

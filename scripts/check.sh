@@ -39,6 +39,9 @@ ctest --test-dir "$build" -L service --output-on-failure
 step "chaos: ctest -L chaos (faulted tenant heals, bystanders bit-exact)"
 ctest --test-dir "$build" -L chaos --output-on-failure
 
+step "shard core: ctest -L shard (decomposition, exchange, bit-exactness matrix)"
+ctest --test-dir "$build" -L shard --output-on-failure
+
 step "job service: bench_service soak (writes BENCH_service.json)"
 # A short multi-tenant soak through the admission controller: hard-fails
 # when everything was shed or p99 job latency blew up — either means
@@ -68,6 +71,12 @@ OP2_TUNER=on "$build/bench/launch_overhead"
 step "adaptive grain tuner: convergence within 32 replays (ablation_tuner)"
 "$build/bench/ablation_tuner"
 
+step "shard core: overlapped exchange must beat the fenced schedule (ablation_shard)"
+# Fenced vs overlapped halo exchange under a deterministic simulated
+# link latency; hard-fails if the overlap win regresses or the two
+# schedules disagree on a single bit of the solution.
+"$build/bench/ablation_shard"
+
 step "thread sanitizer: configure + build backend_smoke ($tsan_build)"
 # libstdc++.so is not TSan-instrumented, so the atomic refcounts inside
 # std::exception_ptr are invisible to the tool; scripts/tsan.supp
@@ -96,6 +105,13 @@ step "thread sanitizer: job-service admission controller (ServiceStress)"
 cmake --build "$tsan_build" -j "$jobs" --target test_service test_chaos
 "$tsan_build/tests/test_service" --gtest_filter='ServiceStress.*'
 "$tsan_build/tests/test_chaos" --gtest_filter='ChaosServiceStress.*'
+
+step "thread sanitizer: halo-exchange progress engine (ExchangeStress)"
+# Concurrent fence waiters racing the exchanger's progress thread across
+# hundreds of rounds, plus mid-round destruction — the pack/publish/
+# consume/scatter hand-off and the fence fast path under TSan.
+cmake --build "$tsan_build" -j "$jobs" --target test_shard
+"$tsan_build/tests/test_shard" --gtest_filter='ExchangeStress.*'
 
 step "thread sanitizer: operation-state continuation core (OpState)"
 # The pooled op-state path moves completion hand-off onto intrusive

@@ -123,6 +123,104 @@ inline void bres_calc(const double* x1, const double* x2, const double* q1,
   res1[3] += f;
 }
 
+/// Staged flavour of res_calc for shard execution: computes the SAME
+/// four flux components f, but writes them into a per-edge stage slot
+/// (stage[n] = +f for cell1, stage[4+n] = -f for cell2) instead of
+/// accumulating through the map.  Writing the edge's own slot makes the
+/// loop conflict-free (direct OP_WRITE), so shards can run it split
+/// interior/boundary around the halo fence; a deterministic apply pass
+/// then adds the staged values in ascending global-edge order, which
+/// reproduces the sequential accumulation order bit for bit
+/// (a -= f  ≡  a += (-f) in IEEE arithmetic).
+///
+/// The arithmetic below is textually identical to res_calc — that
+/// identity is what the bit-exactness tests pin, so do not "simplify"
+/// shared subexpressions here without changing res_calc in lockstep.
+inline void res_calc_stage(const double* x1, const double* x2,
+                           const double* q1, const double* q2,
+                           const double* adt1, const double* adt2,
+                           double* stage) {
+  const auto& c = constants();
+  const double dx = x1[0] - x2[0];
+  const double dy = x1[1] - x2[1];
+
+  double ri = 1.0 / q1[0];
+  const double p1 =
+      c.gm1 * (q1[3] - 0.5 * ri * (q1[1] * q1[1] + q1[2] * q1[2]));
+  const double vol1 = ri * (q1[1] * dy - q1[2] * dx);
+
+  ri = 1.0 / q2[0];
+  const double p2 =
+      c.gm1 * (q2[3] - 0.5 * ri * (q2[1] * q2[1] + q2[2] * q2[2]));
+  const double vol2 = ri * (q2[1] * dy - q2[2] * dx);
+
+  const double mu = 0.5 * ((*adt1) + (*adt2)) * c.eps;
+
+  double f = 0.5 * (vol1 * q1[0] + vol2 * q2[0]) + mu * (q1[0] - q2[0]);
+  stage[0] = f;
+  stage[4] = -f;
+  f = 0.5 * (vol1 * q1[1] + p1 * dy + vol2 * q2[1] + p2 * dy) +
+      mu * (q1[1] - q2[1]);
+  stage[1] = f;
+  stage[5] = -f;
+  f = 0.5 * (vol1 * q1[2] - p1 * dx + vol2 * q2[2] - p2 * dx) +
+      mu * (q1[2] - q2[2]);
+  stage[2] = f;
+  stage[6] = -f;
+  f = 0.5 * (vol1 * (q1[3] + p1) + vol2 * (q2[3] + p2)) +
+      mu * (q1[3] - q2[3]);
+  stage[3] = f;
+  stage[7] = -f;
+}
+
+/// Staged flavour of bres_calc (see res_calc_stage).  A wall edge
+/// contributes only to components 1 and 2; the stage slots for 0 and 3
+/// are written as +0.0, which the apply pass may add unconditionally:
+/// residuals are zeroed to +0.0 each stage and x + (-x) rounds to +0.0
+/// under round-to-nearest, so a residual component is never -0.0 and
+/// adding +0.0 to it is a bitwise no-op.
+inline void bres_calc_stage(const double* x1, const double* x2,
+                            const double* q1, const double* adt1,
+                            double* stage, const int* bound) {
+  const auto& c = constants();
+  const double dx = x1[0] - x2[0];
+  const double dy = x1[1] - x2[1];
+
+  double ri = 1.0 / q1[0];
+  const double p1 =
+      c.gm1 * (q1[3] - 0.5 * ri * (q1[1] * q1[1] + q1[2] * q1[2]));
+
+  if (*bound == bound_wall) {
+    stage[0] = 0.0;
+    stage[1] = +p1 * dy;
+    stage[2] = -p1 * dx;
+    stage[3] = 0.0;
+    return;
+  }
+
+  const double vol1 = ri * (q1[1] * dy - q1[2] * dx);
+
+  ri = 1.0 / c.qinf[0];
+  const double p2 =
+      c.gm1 *
+      (c.qinf[3] - 0.5 * ri * (c.qinf[1] * c.qinf[1] + c.qinf[2] * c.qinf[2]));
+  const double vol2 = ri * (c.qinf[1] * dy - c.qinf[2] * dx);
+
+  const double mu = (*adt1) * c.eps;
+
+  double f = 0.5 * (vol1 * q1[0] + vol2 * c.qinf[0]) + mu * (q1[0] - c.qinf[0]);
+  stage[0] = f;
+  f = 0.5 * (vol1 * q1[1] + p1 * dy + vol2 * c.qinf[1] + p2 * dy) +
+      mu * (q1[1] - c.qinf[1]);
+  stage[1] = f;
+  f = 0.5 * (vol1 * q1[2] - p1 * dx + vol2 * c.qinf[2] - p2 * dx) +
+      mu * (q1[2] - c.qinf[2]);
+  stage[2] = f;
+  f = 0.5 * (vol1 * (q1[3] + p1) + vol2 * (c.qinf[3] + p2)) +
+      mu * (q1[3] - c.qinf[3]);
+  stage[3] = f;
+}
+
 /// Explicit pseudo-timestep update; accumulates the RMS residual used
 /// as the convergence monitor.
 inline void update(const double* qold, double* q, double* res,

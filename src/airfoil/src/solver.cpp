@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "airfoil/kernels.hpp"
+#include "airfoil/sharded.hpp"
 
 namespace airfoil {
 
@@ -303,6 +304,9 @@ run_result run_with_backend(sim& s, int niter,
                             const std::string& backend_name) {
   const auto caps =
       op2::backend_registry::shared(backend_name).capabilities();
+  if (caps.sharded) {
+    return run_sharded(s, niter);
+  }
   if (caps.dataflow_api) {
     return run_dataflow(s, niter);
   }

@@ -1,0 +1,145 @@
+// Pluggable halo-exchange layer.
+//
+// Two pieces, split so a real transport can slot in without touching
+// the exchange logic:
+//
+//   exchange_transport — the narrow wire seam: publish/consume one
+//     byte buffer per (directed link, round).  The in-process
+//     `shm_transport` implements it with double-buffered mailboxes;
+//     an MPI- or parcel-backed transport would implement the same two
+//     calls with Isend/Irecv or puts.
+//
+//   halo_exchanger — owner/halo exchange of ONE dat family across all
+//     shards: packs each shard's export rows (gather by global id),
+//     publishes them, and hands unpacking to a dedicated progress
+//     thread (the stand-in for an MPI progress engine).  Each shard's
+//     `shard_fence` is re-armed per round and completed by the
+//     progress thread once that shard's halo region is filled — the
+//     fence is the hpxlite future the dataflow overlaps with interior
+//     loops.
+//
+// The progress thread also applies `exchange_delay_us` (config /
+// OP2_EXCHANGE_DELAY_US) as an ABSOLUTE per-round deadline, so N
+// shards' simulated link latencies overlap instead of serialising on
+// the single thread.  The delay exists to make the overlap win
+// observable and deterministic in tests and the ablation; it defaults
+// to zero.
+//
+// Completing the fence off the worker pool keeps fencing deadlock-free:
+// a worker blocked in fence.wait() helps execute queued tasks, and the
+// completion it waits for never depends on the pool.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "op2/dat.hpp"
+#include "op2/shard.hpp"
+
+namespace op2 {
+
+/// The wire seam: one byte buffer per (directed link, round).
+/// Both calls may block; round numbers are strictly increasing per
+/// link and start at 1.
+class exchange_transport {
+ public:
+  virtual ~exchange_transport() = default;
+
+  /// Makes `bytes` available to the link's consumer for `round`.
+  /// May block until the consumer drained round-2 (double buffering).
+  virtual void publish(std::size_t link, std::uint64_t round,
+                       std::span<const std::byte> bytes) = 0;
+
+  /// Blocks until the link's producer published `round`, then copies
+  /// the payload into `out` (whose size must match what was published).
+  virtual void consume(std::size_t link, std::uint64_t round,
+                       std::span<std::byte> out) = 0;
+};
+
+/// In-process transport: per-link double-buffered mailboxes selected by
+/// round parity, so round r+1 can be published while round r is still
+/// being consumed, and publishing r+2 backpressures until r is drained.
+class shm_transport final : public exchange_transport {
+ public:
+  explicit shm_transport(std::size_t nlinks) : links_(nlinks) {}
+
+  void publish(std::size_t link, std::uint64_t round,
+               std::span<const std::byte> bytes) override;
+  void consume(std::size_t link, std::uint64_t round,
+               std::span<std::byte> out) override;
+
+ private:
+  struct mailbox {
+    std::mutex m;
+    std::condition_variable cv;
+    std::vector<std::byte> buf[2];
+    std::uint64_t round[2] = {0, 0};  // 0 = slot empty
+  };
+  std::deque<mailbox> links_;
+};
+
+/// Owner/halo exchange of one dat family (the same logical field on
+/// every shard's local set, e.g. per-shard q).  `hp` must outlive the
+/// exchanger; `dats[s]` must live on a set laid out owned-first per
+/// `hp->shards[s]`.
+class halo_exchanger {
+ public:
+  halo_exchanger(const halo_partition* hp, std::vector<op_dat> dats,
+                 std::shared_ptr<exchange_transport> transport = nullptr);
+  ~halo_exchanger();
+  halo_exchanger(const halo_exchanger&) = delete;
+  halo_exchanger& operator=(const halo_exchanger&) = delete;
+
+  /// Starts one exchange round: flushes the previous round's fence
+  /// stats to profiling, re-arms every shard's fence, packs + publishes
+  /// every export, and queues the unpack on the progress thread.  The
+  /// caller must ensure no loop is still gated on the previous round.
+  void exchange();
+
+  /// The gate for shard `s`'s most recent round.  Address-stable for
+  /// the exchanger's lifetime (prepared loops capture the pointer).
+  shard_fence& fence(int s) { return fences_[static_cast<std::size_t>(s)]; }
+
+  /// Flushes the final round's fence stats to profiling (idempotent;
+  /// also runs on destruction).
+  void flush_stats();
+
+  std::uint64_t rounds() const { return round_; }
+
+ private:
+  struct unpack_job {
+    int shard = -1;  // -1 = shutdown sentinel
+    std::uint64_t round = 0;
+    std::chrono::steady_clock::time_point deadline{};
+  };
+
+  void progress_loop();
+  void unpack(const unpack_job& job);
+  std::size_t link_index(int from, int to) const;
+
+  const halo_partition* hp_;
+  std::vector<op_dat> dats_;
+  std::size_t row_bytes_ = 0;
+  std::shared_ptr<exchange_transport> transport_;
+  std::vector<std::pair<int, int>> link_of_;        // index → (from, to)
+  std::vector<std::vector<std::size_t>> link_idx_;  // [from][to] or npos
+  std::vector<std::byte> pack_buf_;
+  std::deque<std::vector<std::byte>> consume_buf_;  // per link
+  std::deque<shard_fence> fences_;
+  std::uint64_t round_ = 0;
+  std::uint64_t flushed_round_ = 0;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<unpack_job> queue_;
+  std::thread progress_;
+};
+
+}  // namespace op2

@@ -37,6 +37,7 @@
 #include "op2/fault.hpp"
 #include "op2/plan.hpp"
 #include "op2/runtime.hpp"
+#include "op2/shard.hpp"
 
 namespace op2 {
 
@@ -61,6 +62,12 @@ struct executor_caps {
   /// (seq runs one range regardless, so it does not); gates the
   /// adaptive grain tuner — tuning a chunk nobody reads is noise.
   bool honors_chunk = false;
+  /// The executor understands shard_context windows natively: it
+  /// dispatches the interior span before waiting the halo-exchange
+  /// fence (overlap), instead of relying on the erased closures' gate
+  /// alone.  Drives airfoil::run_with_backend towards the sharded
+  /// driver.
+  bool sharded = false;
   /// simsched method name modelling this backend on the virtual node
   /// ("" = not modelled; the figure harnesses skip the sim column).
   const char* sim_method = "";
@@ -117,6 +124,12 @@ struct loop_launch {
   /// for this execution is supervisable: cancel_stalled() requests a
   /// stop on it instead of the process aborting.
   std::shared_ptr<hpxlite::stop_source> cancel_source;
+  /// The shard execution window this loop was issued under (inactive by
+  /// default).  Captured from the thread-local shard_scope at frame
+  /// build; the erased closures already clamp + fence with it, so any
+  /// backend runs the loop correctly — a shard-aware backend reads it
+  /// to schedule the interior span ahead of the fence wait.
+  shard_context shard;
 };
 
 /// Structured failure surfaced when a loop exhausts its failure_policy:

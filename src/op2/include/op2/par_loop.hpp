@@ -542,6 +542,49 @@ loop_launch erase_frame(std::shared_ptr<loop_frame<Kernel, T...>> frame) {
     d.writes = collect_write_targets(*frame);
   }
   d.fault = fault_injector::arm(d.name);
+  // Loops issued inside a shard_scope get clamping + fence-gating baked
+  // into the erased closures: iteration past `iterate_end` is dropped
+  // (the halo suffix owned by other shards), and any chunk crossing
+  // `interior_end` first waits the shard's halo-exchange fence.  Doing
+  // it here — not in a backend — means EVERY executor runs shard loops
+  // correctly: the seq floor and each degradation-ladder rung reuse the
+  // same closures, so rollback/retry/rung-down compose with sharding.
+  if (const shard_context shard = current_shard_context(); shard.active) {
+    d.shard = shard;
+    auto fault = d.fault;
+    d.run_block = [frame, shard, fault](int blk) {
+      hpxlite::watchdog::pulse();
+      if (fault) {
+        fire_fault_pre(*fault);
+      }
+      const auto bi = static_cast<std::size_t>(blk);
+      const int b = frame->plan->offset[bi];
+      const int e =
+          std::min(b + frame->plan->nelems[bi], shard.iterate_end);
+      if (b >= e) {
+        return;
+      }
+      if (e > shard.interior_end) {
+        shard.gate();
+      }
+      frame->run_range(b, e);
+    };
+    d.run_range = [frame, shard, fault](int b, int e) {
+      hpxlite::watchdog::pulse();
+      if (fault) {
+        fire_fault_pre(*fault);
+      }
+      e = std::min(e, shard.iterate_end);
+      if (b >= e) {
+        return;
+      }
+      if (e > shard.interior_end) {
+        shard.gate();
+      }
+      frame->run_range(b, e);
+    };
+    return d;
+  }
   if (!d.fault) {
     d.run_block = [frame](int b) {
       hpxlite::watchdog::pulse();

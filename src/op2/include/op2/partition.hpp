@@ -6,6 +6,15 @@
 // reproduction ships it: geometric recursive coordinate bisection,
 // partition quality metrics, partition-grouping renumbering, and halo
 // (ghost-element) construction.
+//
+// Determinism invariant: every function in this header is a PURE
+// function of its arguments — no RNG, no iteration over unordered
+// containers, and partition_rcb breaks coordinate ties by element id so
+// its median splits are total orders (not left to nth_element's
+// implementation-defined tie handling).  Two calls with the same input
+// produce the same partitioning on any platform.  Shard layouts
+// (op2/shard.hpp), golden tests, and the tuner's on-disk calibration
+// cache all rely on this; tests/op2/test_shard_partition.cpp pins it.
 #pragma once
 
 #include <span>
@@ -27,6 +36,8 @@ struct partitioning {
 /// (xy[2*e], xy[2*e+1]): recursively split the widest axis at the
 /// median, distributing parts proportionally.  nparts need not be a
 /// power of two.  Balanced to within one element per split.
+/// Deterministic: equal coordinates are ordered by element id, so the
+/// result is the unique lexicographic-median assignment.
 partitioning partition_rcb(std::span<const double> xy, int nparts);
 
 /// Trivial block partitioning (contiguous ranges) — the baseline RCB

@@ -232,11 +232,17 @@ void rebind_globals_impl(Frame& frame, const Tuple& fresh,
 }
 
 /// True while `e` may be replayed for (set, args) as they stand now.
+/// The captured shard window must match the ambient one: the erased
+/// closures baked clamping + fence-gating in at capture, so replaying
+/// them under a different shard_context (or outside any shard_scope)
+/// would run the wrong iteration window.  Per-shard sets make per-shard
+/// entries distinct anyway; this check catches the rest.
 template <typename Kernel, typename... T>
 bool entry_valid(const prepared_entry<Kernel, T...>& e, const op_set& set,
                  const std::array<std::uint64_t, sizeof...(T)>& versions) {
   return e.epoch == prepared_epoch() && e.set_size == set.size() &&
-         e.set_version == set.version() && e.dat_versions == versions;
+         e.set_version == set.version() && e.dat_versions == versions &&
+         e.launch.shard == current_shard_context();
 }
 
 /// The classic one-shot build: always correct, used for cache misses,

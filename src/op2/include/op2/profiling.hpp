@@ -93,6 +93,26 @@ struct tenant_profile {
   }
 };
 
+/// Per-shard owner/halo counters — op_timing_output's third table,
+/// fed by the halo_exchanger (shape once at construction, exchange
+/// stats once per round).  exchange_ms is wall time from round start
+/// (fence armed) to halo visible; overlap_ms is the portion hidden
+/// behind interior computation (exchange − longest fence stall), so
+/// the overlap win is observable per shard, not inferred.
+struct shard_profile {
+  int halo_depth = 0;
+  std::uint64_t owned = 0;
+  std::uint64_t halo = 0;
+  std::uint64_t exchanges = 0;
+  double exchange_seconds = 0.0;
+  double overlap_seconds = 0.0;
+  double blocked_seconds = 0.0;
+
+  bool empty() const {
+    return owned == 0 && halo == 0 && exchanges == 0;
+  }
+};
+
 namespace profiling {
 
 /// Enables/disables recording (also clears nothing; see reset()).
@@ -171,6 +191,14 @@ void record_job_failed(const std::string& tenant);
 void record_job_cancelled(const std::string& tenant);
 void record_job_retry(const std::string& tenant);
 
+/// Shard hooks fed by the halo_exchanger (no-ops while profiling is
+/// disabled): the static owner/halo shape of one shard, and one
+/// completed exchange round's timings (overlap = the hidden portion).
+void record_shard_shape(int shard, int halo_depth, std::uint64_t owned,
+                        std::uint64_t halo);
+void record_shard_exchange(int shard, double exchange_seconds,
+                           double overlap_seconds, double blocked_seconds);
+
 /// Process-wide heap-allocation counter, installed by a harness that
 /// interposes operator new (bench/micro/launch_overhead.cpp).  When
 /// set, run_loop samples it around each profiled execution and the
@@ -185,6 +213,9 @@ std::map<std::string, loop_profile> snapshot();
 
 /// Per-tenant snapshot (empty until a job service recorded activity).
 std::map<std::string, tenant_profile> tenant_snapshot();
+
+/// Per-shard snapshot (empty until a halo exchanger recorded activity).
+std::map<int, shard_profile> shard_snapshot();
 
 /// Prints the per-loop table (name, count, total ms, avg µs, max ms,
 /// loops/sec, allocs/loop, resilience counters, capture/replay split),

@@ -166,7 +166,29 @@ struct config {
   /// ladder re-runs it); otherwise it diagnoses (prints and aborts).
   /// 0 = no watchdog.
   long watchdog_ms = 0;
+  /// Shard count for the hpx_shard backend (OP2_SHARDS): the primary
+  /// set is owner/halo-partitioned into this many runtime shards.
+  /// 0 = auto (one shard per worker thread, at least one).
+  int shards = 0;
+  /// Halo depth in adjacency hops (OP2_HALO_DEPTH, default 1): how far
+  /// each shard's read-only replica extends past its owned region.
+  int halo_depth = 1;
+  /// Overlap schedule toggle (OP2_SHARD_OVERLAP, default on).  Off
+  /// makes the hpx_shard backend wait each halo-exchange fence BEFORE
+  /// dispatching the interior span — the "fenced" baseline the overlap
+  /// ablation measures against.  Correctness is identical either way.
+  bool shard_overlap = true;
+  /// Simulated per-round exchange latency in microseconds
+  /// (OP2_EXCHANGE_DELAY_US, default 0): the shm transport's progress
+  /// thread completes each shard's fence no earlier than round start +
+  /// this delay, making the overlap win deterministic and observable
+  /// in tests and the ablation.
+  int exchange_delay_us = 0;
 };
+
+/// Shards the runtime would use right now: cfg.shards, or (auto) one
+/// per worker thread.
+int effective_shards(const config& cfg);
 
 /// Convenience constructor for string-selected backends: validates
 /// `backend_name` against the registry (throwing the "unknown backend

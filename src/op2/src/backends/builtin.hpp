@@ -12,5 +12,6 @@ void register_forkjoin_backend();
 void register_hpx_foreach_backend();
 void register_hpx_async_backend();
 void register_hpx_dataflow_backend();
+void register_hpx_shard_backend();
 
 }  // namespace op2::backends

@@ -1,0 +1,112 @@
+// hpx_shard — the multi-shard execution backend: one process, N
+// runtime shards, halo exchanges as hpxlite futures overlapped with
+// interior computation (ROADMAP item 1; the owner/halo + overlap shape
+// of Reguly et al.'s full-scale OP2 port).
+//
+// A loop issued under a shard_scope arrives with loop.shard describing
+// its window: [0, interior_end) is exchange-independent, [interior_end,
+// iterate_end) must see the freshly exchanged halo.  The erased
+// closures already clamp + gate (so ANY backend — the seq floor, every
+// ladder rung — runs shard loops correctly); what this executor adds is
+// the overlap schedule:
+//
+//   dispatch interior span  ──┐ runs while the exchange is in flight
+//   fence.wait()              │ records the un-hidden remainder
+//   dispatch boundary span  ──┘ halo now visible
+//
+// With OP2_SHARD_OVERLAP=off the fence is waited BEFORE the interior
+// span — the "fenced" arm bench/ablations/ablation_shard.cpp compares
+// against.  Loops without a shard window (or with write conflicts,
+// which need the coloured schedule) delegate to the shared
+// async/coloured launch shape.
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "async_common.hpp"
+#include "backends/builtin.hpp"
+#include "hpxlite/irange.hpp"
+#include "hpxlite/parallel_algorithm.hpp"
+#include "op2/loop_executor.hpp"
+
+namespace op2::backends {
+
+namespace {
+
+/// Parallel chunked execution of elements [lo, hi) through the erased
+/// run_range closure.  Blocks until done (workers help while waiting).
+void run_span(const loop_launch& loop, int lo, int hi) {
+  if (lo >= hi) {
+    return;
+  }
+  // Direct loops carry no plan; they still honour the configured block
+  // granule so a span that fits one block runs inline, task-free.
+  const int bs = loop.plan != nullptr
+                     ? std::max(1, loop.plan->block_size)
+                     : std::max(1, current_config().block_size);
+  const int nblk = (hi - lo + bs - 1) / bs;
+  if (nblk == 1) {
+    loop.run_range(lo, hi);
+    return;
+  }
+  auto blocks = hpxlite::irange(0, nblk);
+  hpxlite::parallel::for_each(
+      hpxlite::par.with(loop.chunk).with(loop.cancel), blocks.begin(),
+      blocks.end(), [&](int b) {
+        const int begin = lo + b * bs;
+        loop.run_range(begin, std::min(begin + bs, hi));
+      });
+}
+
+class hpx_shard_executor final : public loop_executor {
+ public:
+  std::string_view name() const noexcept override { return "hpx_shard"; }
+
+  executor_caps capabilities() const noexcept override {
+    executor_caps caps;
+    caps.needs_hpx_runtime = true;
+    caps.honors_chunk = true;
+    caps.sharded = true;
+    caps.sim_method = "hpx_async";
+    return caps;
+  }
+
+  void run_direct(const loop_launch& loop) override { run(loop); }
+  void run_indirect(const loop_launch& loop) override { run(loop); }
+
+ private:
+  static void run(const loop_launch& loop) {
+    const shard_context& ctx = loop.shard;
+    const bool splittable =
+        ctx.active && (loop.direct ||
+                       (loop.plan != nullptr && loop.plan->conflict_free()));
+    if (!splittable) {
+      // No shard window, or a write-conflicted loop that needs the
+      // coloured schedule; the erased closures still clamp + gate.
+      launch_colored(loop).get();
+      return;
+    }
+    const int end = std::min(loop.set_size, ctx.iterate_end);
+    const int interior = std::clamp(ctx.interior_end, 0, end);
+    if (!current_config().shard_overlap) {
+      // Fenced arm: synchronise first, then run everything.  This is
+      // the latency the overlap schedule exists to hide.
+      ctx.gate();
+      run_span(loop, 0, end);
+      return;
+    }
+    run_span(loop, 0, interior);  // overlaps the in-flight exchange
+    ctx.gate();                   // fence: records the un-hidden stall
+    run_span(loop, interior, end);
+  }
+};
+
+}  // namespace
+
+void register_hpx_shard_backend() {
+  backend_registry::register_backend(
+      "hpx_shard", [] { return std::make_unique<hpx_shard_executor>(); },
+      {"shard"});
+}
+
+}  // namespace op2::backends

@@ -1,0 +1,214 @@
+#include "op2/exchange.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "op2/profiling.hpp"
+#include "op2/runtime.hpp"
+
+namespace op2 {
+
+namespace {
+constexpr std::size_t npos = std::numeric_limits<std::size_t>::max();
+}  // namespace
+
+// --- shm_transport ----------------------------------------------------
+
+void shm_transport::publish(std::size_t link, std::uint64_t round,
+                            std::span<const std::byte> bytes) {
+  mailbox& box = links_.at(link);
+  const std::size_t slot = round & 1U;
+  std::unique_lock<std::mutex> lock(box.m);
+  box.cv.wait(lock, [&] { return box.round[slot] == 0; });
+  box.buf[slot].assign(bytes.begin(), bytes.end());
+  box.round[slot] = round;
+  box.cv.notify_all();
+}
+
+void shm_transport::consume(std::size_t link, std::uint64_t round,
+                            std::span<std::byte> out) {
+  mailbox& box = links_.at(link);
+  const std::size_t slot = round & 1U;
+  std::unique_lock<std::mutex> lock(box.m);
+  box.cv.wait(lock, [&] { return box.round[slot] == round; });
+  if (box.buf[slot].size() != out.size()) {
+    throw std::logic_error("shm_transport: payload size mismatch on link " +
+                           std::to_string(link));
+  }
+  std::memcpy(out.data(), box.buf[slot].data(), out.size());
+  box.round[slot] = 0;
+  box.cv.notify_all();
+}
+
+// --- halo_exchanger ---------------------------------------------------
+
+halo_exchanger::halo_exchanger(const halo_partition* hp,
+                               std::vector<op_dat> dats,
+                               std::shared_ptr<exchange_transport> transport)
+    : hp_(hp), dats_(std::move(dats)), transport_(std::move(transport)) {
+  if (hp_ == nullptr ||
+      dats_.size() != static_cast<std::size_t>(hp_->nshards)) {
+    throw std::invalid_argument(
+        "halo_exchanger: need one dat per shard of the partition");
+  }
+  row_bytes_ = static_cast<std::size_t>(dats_.front().dim()) *
+               dats_.front().element_size();
+  for (int s = 0; s < hp_->nshards; ++s) {
+    const op_dat& d = dats_[static_cast<std::size_t>(s)];
+    const std::size_t rb =
+        static_cast<std::size_t>(d.dim()) * d.element_size();
+    if (rb != row_bytes_) {
+      throw std::invalid_argument(
+          "halo_exchanger: dat '" + d.name() +
+          "' disagrees on row size with the rest of the family");
+    }
+    fences_.emplace_back();
+  }
+
+  // Enumerate directed links with traffic: (owner → importer), ordered
+  // by importer then owner — the order both sides traverse them.
+  link_idx_.assign(static_cast<std::size_t>(hp_->nshards),
+                   std::vector<std::size_t>(
+                       static_cast<std::size_t>(hp_->nshards), npos));
+  for (int s = 0; s < hp_->nshards; ++s) {
+    for (const auto& link : hp_->shards[static_cast<std::size_t>(s)].imports) {
+      link_idx_[static_cast<std::size_t>(link.peer)]
+               [static_cast<std::size_t>(s)] = link_of_.size();
+      link_of_.emplace_back(link.peer, s);
+      consume_buf_.emplace_back(link.elements.size() * row_bytes_);
+    }
+  }
+  if (transport_ == nullptr) {
+    transport_ = std::make_shared<shm_transport>(link_of_.size());
+  }
+
+  for (int s = 0; s < hp_->nshards; ++s) {
+    const auto& sp = hp_->shards[static_cast<std::size_t>(s)];
+    profiling::record_shard_shape(
+        s, hp_->halo_depth, static_cast<std::uint64_t>(sp.owned_count()),
+        static_cast<std::uint64_t>(sp.halo_count()));
+  }
+
+  progress_ = std::thread([this] { progress_loop(); });
+}
+
+halo_exchanger::~halo_exchanger() {
+  for (auto& f : fences_) {
+    f.wait();
+  }
+  flush_stats();
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    queue_.push_back(unpack_job{});  // shard == -1: shutdown
+  }
+  queue_cv_.notify_all();
+  progress_.join();
+}
+
+std::size_t halo_exchanger::link_index(int from, int to) const {
+  return link_idx_[static_cast<std::size_t>(from)]
+                  [static_cast<std::size_t>(to)];
+}
+
+void halo_exchanger::flush_stats() {
+  if (round_ == flushed_round_) {
+    return;
+  }
+  flushed_round_ = round_;
+  for (int s = 0; s < hp_->nshards; ++s) {
+    const shard_fence& f = fences_[static_cast<std::size_t>(s)];
+    const double exchange_s = f.last_exchange_seconds();
+    const double blocked_s = f.last_blocked_seconds();
+    profiling::record_shard_exchange(
+        s, exchange_s, std::max(0.0, exchange_s - blocked_s), blocked_s);
+  }
+}
+
+void halo_exchanger::exchange() {
+  flush_stats();
+  ++round_;
+  const int delay_us = current_config().exchange_delay_us;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(delay_us);
+
+  for (auto& f : fences_) {
+    f.arm();
+  }
+
+  // Pack + publish every export on the calling thread: gather the
+  // exported rows by ascending global id — exactly the order the
+  // importer's matching link expects.
+  for (int s = 0; s < hp_->nshards; ++s) {
+    const auto& sp = hp_->shards[static_cast<std::size_t>(s)];
+    std::span<const std::byte> src =
+        dats_[static_cast<std::size_t>(s)].raw_bytes();
+    for (const auto& link : sp.exports) {
+      pack_buf_.resize(link.elements.size() * row_bytes_);
+      for (std::size_t i = 0; i < link.elements.size(); ++i) {
+        const int local = sp.local_of[static_cast<std::size_t>(
+            link.elements[i])];
+        std::memcpy(pack_buf_.data() + i * row_bytes_,
+                    src.data() + static_cast<std::size_t>(local) * row_bytes_,
+                    row_bytes_);
+      }
+      transport_->publish(link_index(s, link.peer), round_, pack_buf_);
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    for (int s = 0; s < hp_->nshards; ++s) {
+      queue_.push_back(unpack_job{s, round_, deadline});
+    }
+  }
+  queue_cv_.notify_all();
+}
+
+void halo_exchanger::progress_loop() {
+  for (;;) {
+    unpack_job job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [&] { return !queue_.empty(); });
+      job = queue_.front();
+      queue_.pop_front();
+    }
+    if (job.shard < 0) {
+      return;
+    }
+    unpack(job);
+  }
+}
+
+void halo_exchanger::unpack(const unpack_job& job) {
+  const auto& sp = hp_->shards[static_cast<std::size_t>(job.shard)];
+  // Drain every inbound link first, then honour the simulated link
+  // latency as an absolute deadline (so N shards' delays overlap on
+  // this single thread), then scatter into the halo region.
+  for (const auto& link : sp.imports) {
+    const std::size_t li = link_index(link.peer, job.shard);
+    transport_->consume(li, job.round, consume_buf_[li]);
+  }
+  if (!sp.imports.empty()) {
+    std::this_thread::sleep_until(job.deadline);
+  }
+  std::span<std::byte> dst =
+      dats_[static_cast<std::size_t>(job.shard)].raw_bytes();
+  for (const auto& link : sp.imports) {
+    const std::size_t li = link_index(link.peer, job.shard);
+    const std::vector<std::byte>& buf = consume_buf_[li];
+    for (std::size_t i = 0; i < link.elements.size(); ++i) {
+      const int local =
+          sp.local_of[static_cast<std::size_t>(link.elements[i])];
+      std::memcpy(dst.data() + static_cast<std::size_t>(local) * row_bytes_,
+                  buf.data() + i * row_bytes_, row_bytes_);
+    }
+  }
+  fences_[static_cast<std::size_t>(job.shard)].complete();
+}
+
+}  // namespace op2

@@ -219,6 +219,35 @@ void fault_injector::release_stalls() {
   s.stall_cv.notify_all();
 }
 
+namespace {
+
+/// True when `loop` is the spec's target.  A spec naming the bare
+/// kernel ("res_calc") also matches the sharded driver's per-shard
+/// instances ("res_calc@s2"), whose `@s<digits>` suffix only
+/// disambiguates the shard; a spec that is itself shard-qualified
+/// ("res_calc@s2") matches that one shard exactly.
+bool matches_target(const std::string& spec_loop, const std::string& loop) {
+  if (spec_loop == loop) {
+    return true;
+  }
+  if (spec_loop.find('@') != std::string::npos) {
+    return false;
+  }
+  const std::size_t base = spec_loop.size();
+  if (loop.size() < base + 3 || loop.compare(0, base, spec_loop) != 0 ||
+      loop[base] != '@' || loop[base + 1] != 's') {
+    return false;
+  }
+  for (std::size_t i = base + 2; i < loop.size(); ++i) {
+    if (loop[i] < '0' || loop[i] > '9') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
 std::shared_ptr<detail::fault_arming> fault_injector::arm(
     const std::string& loop) {
   if (!g_active.load(std::memory_order_acquire)) {
@@ -226,7 +255,7 @@ std::shared_ptr<detail::fault_arming> fault_injector::arm(
   }
   auto& s = state();
   std::lock_guard<std::mutex> lock(s.mutex);
-  if (!s.configured || s.spec.loop != loop) {
+  if (!s.configured || !matches_target(s.spec.loop, loop)) {
     return nullptr;
   }
   // A tenant-scoped fault is invisible to other tenants' threads — the

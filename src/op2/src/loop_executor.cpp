@@ -61,6 +61,7 @@ void ensure_builtin() {
   backends::register_hpx_foreach_backend();
   backends::register_hpx_async_backend();
   backends::register_hpx_dataflow_backend();
+  backends::register_hpx_shard_backend();
   in_progress = false;
   done.store(true, std::memory_order_release);
 }

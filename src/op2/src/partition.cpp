@@ -43,13 +43,22 @@ void rcb_recurse(std::span<const double> xy, std::vector<int>& elems,
       static_cast<std::size_t>(nparts);
   const auto mid =
       elems.begin() + static_cast<std::ptrdiff_t>(lo + left_count);
+  // (coordinate, element id) lexicographic: the id tie-break makes the
+  // median split a total order, so the assignment is the mathematically
+  // unique one — identical across libstdc++ versions and platforms, not
+  // just across runs of one binary.  Shard layouts, golden tests and
+  // the tuner cache all key off this invariant (see partition.hpp).
   std::nth_element(elems.begin() + static_cast<std::ptrdiff_t>(lo), mid,
                    elems.begin() + static_cast<std::ptrdiff_t>(hi),
                    [&](int a, int b) {
-                     return xy[2 * static_cast<std::size_t>(a) +
-                               static_cast<std::size_t>(axis)] <
-                            xy[2 * static_cast<std::size_t>(b) +
-                               static_cast<std::size_t>(axis)];
+                     const double xa = xy[2 * static_cast<std::size_t>(a) +
+                                          static_cast<std::size_t>(axis)];
+                     const double xb = xy[2 * static_cast<std::size_t>(b) +
+                                          static_cast<std::size_t>(axis)];
+                     if (xa != xb) {
+                       return xa < xb;
+                     }
+                     return a < b;
                    });
   rcb_recurse(xy, elems, lo, lo + left_count, part_begin,
               part_begin + left_parts, part_of);

@@ -26,6 +26,7 @@ std::atomic<alloc_counter_fn> g_alloc_counter{nullptr};
 std::mutex g_mutex;
 std::map<std::string, slot> g_profiles;
 std::map<std::string, tenant_profile> g_tenants;
+std::map<int, shard_profile> g_shards;
 
 slot& locked_slot(const std::string& name) { return g_profiles[name]; }
 
@@ -55,6 +56,7 @@ void reset() {
     s.p = loop_profile{};
   }
   g_tenants.clear();
+  g_shards.clear();
 }
 
 slot* acquire_slot(const std::string& loop_name) {
@@ -260,6 +262,31 @@ void record_job_retry(const std::string& tenant) {
   g_tenants[tenant].job_retries += 1;
 }
 
+void record_shard_shape(int shard, int halo_depth, std::uint64_t owned,
+                        std::uint64_t halo) {
+  if (!enabled()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(g_mutex);
+  auto& s = g_shards[shard];
+  s.halo_depth = halo_depth;
+  s.owned = owned;
+  s.halo = halo;
+}
+
+void record_shard_exchange(int shard, double exchange_seconds,
+                           double overlap_seconds, double blocked_seconds) {
+  if (!enabled()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(g_mutex);
+  auto& s = g_shards[shard];
+  s.exchanges += 1;
+  s.exchange_seconds += exchange_seconds;
+  s.overlap_seconds += overlap_seconds;
+  s.blocked_seconds += blocked_seconds;
+}
+
 void set_alloc_counter(alloc_counter_fn fn) {
   g_alloc_counter.store(fn, std::memory_order_release);
 }
@@ -285,6 +312,17 @@ std::map<std::string, tenant_profile> tenant_snapshot() {
   for (const auto& [name, t] : g_tenants) {
     if (!t.empty()) {
       out.emplace(name, t);
+    }
+  }
+  return out;
+}
+
+std::map<int, shard_profile> shard_snapshot() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::map<int, shard_profile> out;
+  for (const auto& [id, s] : g_shards) {
+    if (!s.empty()) {
+      out.emplace(id, s);
     }
   }
   return out;
@@ -344,6 +382,25 @@ void report(std::ostream& out) {
     }
     out << std::setw(12) << (p.tuner_state.empty() ? "-" : p.tuner_state)
         << "\n";
+  }
+  const auto shards = shard_snapshot();
+  if (!shards.empty()) {
+    out << "op_timing_output: " << shards.size() << " shards\n";
+    out << std::left << std::setw(10) << "  shard" << std::right
+        << std::setw(11) << "halo_depth" << std::setw(10) << "owned"
+        << std::setw(10) << "halo" << std::setw(11) << "exchanges"
+        << std::setw(13) << "exchange_ms" << std::setw(12) << "overlap_ms"
+        << std::setw(12) << "blocked_ms"
+        << "\n";
+    for (const auto& [id, s] : shards) {
+      out << "  " << std::left << std::setw(8) << id << std::right
+          << std::setw(11) << s.halo_depth << std::setw(10) << s.owned
+          << std::setw(10) << s.halo << std::setw(11) << s.exchanges
+          << std::setw(13) << std::fixed << std::setprecision(3)
+          << 1e3 * s.exchange_seconds << std::setw(12)
+          << 1e3 * s.overlap_seconds << std::setw(12)
+          << 1e3 * s.blocked_seconds << "\n";
+    }
   }
   const auto tenants = tenant_snapshot();
   if (tenants.empty()) {

@@ -105,6 +105,63 @@ void apply_resilience_env(config& cfg) {
     }
     cfg.watchdog_ms = ms;
   }
+  if (const char* env = std::getenv("OP2_SHARDS");
+      env != nullptr && *env != '\0') {
+    long n = -1;
+    try {
+      n = std::stol(env);
+    } catch (const std::exception&) {
+      n = -1;
+    }
+    if (n < 0) {
+      throw std::invalid_argument(
+          std::string("op2: OP2_SHARDS must be a non-negative shard count "
+                      "(0 = one per worker thread), got '") + env + "'");
+    }
+    cfg.shards = static_cast<int>(n);
+  }
+  if (const char* env = std::getenv("OP2_HALO_DEPTH");
+      env != nullptr && *env != '\0') {
+    long d = 0;
+    try {
+      d = std::stol(env);
+    } catch (const std::exception&) {
+      d = 0;
+    }
+    if (d < 1) {
+      throw std::invalid_argument(
+          std::string("op2: OP2_HALO_DEPTH must be a positive adjacency "
+                      "depth, got '") + env + "'");
+    }
+    cfg.halo_depth = static_cast<int>(d);
+  }
+  if (const char* env = std::getenv("OP2_SHARD_OVERLAP");
+      env != nullptr && *env != '\0') {
+    const std::string v = env;
+    if (v == "off" || v == "0" || v == "false") {
+      cfg.shard_overlap = false;
+    } else if (v == "on" || v == "1" || v == "true") {
+      cfg.shard_overlap = true;
+    } else {
+      throw std::invalid_argument(
+          "op2: OP2_SHARD_OVERLAP must be on or off, got '" + v + "'");
+    }
+  }
+  if (const char* env = std::getenv("OP2_EXCHANGE_DELAY_US");
+      env != nullptr && *env != '\0') {
+    long us = -1;
+    try {
+      us = std::stol(env);
+    } catch (const std::exception&) {
+      us = -1;
+    }
+    if (us < 0) {
+      throw std::invalid_argument(
+          std::string("op2: OP2_EXCHANGE_DELAY_US must be a non-negative "
+                      "microsecond count, got '") + env + "'");
+    }
+    cfg.exchange_delay_us = static_cast<int>(us);
+  }
 }
 
 /// Starts (or leaves stopped) the stall monitor for `cfg`.  Runs after
@@ -341,6 +398,13 @@ void finalize() {
 }
 
 const config& current_config() { return g_config; }
+
+int effective_shards(const config& cfg) {
+  if (cfg.shards > 0) {
+    return cfg.shards;
+  }
+  return cfg.threads > 0 ? static_cast<int>(cfg.threads) : 1;
+}
 
 const std::string& current_backend_name() { return g_backend_name; }
 

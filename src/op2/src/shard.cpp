@@ -1,0 +1,125 @@
+#include "op2/shard.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+namespace op2 {
+
+namespace detail {
+
+namespace {
+thread_local shard_context t_shard_context{};
+}  // namespace
+
+const shard_context& current_shard_context() { return t_shard_context; }
+
+void set_current_shard_context(const shard_context& ctx) {
+  t_shard_context = ctx;
+}
+
+}  // namespace detail
+
+halo_partition build_halo_partition(const partitioning& parts,
+                                    const op_map& via, int halo_depth) {
+  if (halo_depth < 1) {
+    throw std::invalid_argument("build_halo_partition: halo_depth must be >= 1, got " +
+                                std::to_string(halo_depth));
+  }
+  if (!via.valid()) {
+    throw std::invalid_argument("build_halo_partition: invalid adjacency map");
+  }
+  const int n = parts.size();
+  if (via.to().size() != n) {
+    throw std::invalid_argument(
+        "build_halo_partition: map '" + via.name() + "' targets " +
+        std::to_string(via.to().size()) + " elements, partitioning has " +
+        std::to_string(n));
+  }
+  const int nshards = parts.nparts;
+  const int nrows = via.from().size();
+  const int dim = via.dim();
+
+  halo_partition hp;
+  hp.nshards = nshards;
+  hp.halo_depth = halo_depth;
+  hp.parts = parts;
+  hp.shards.resize(static_cast<std::size_t>(nshards));
+
+  for (int s = 0; s < nshards; ++s) {
+    auto& sp = hp.shards[static_cast<std::size_t>(s)];
+
+    // region = owned ∪ halo-so-far, grown one adjacency hop per round.
+    std::vector<char> region(static_cast<std::size_t>(n), 0);
+    for (int e = 0; e < n; ++e) {
+      if (parts.part_of[static_cast<std::size_t>(e)] == s) {
+        region[static_cast<std::size_t>(e)] = 1;
+        sp.owned.push_back(e);
+      }
+    }
+    for (int depth = 0; depth < halo_depth; ++depth) {
+      std::vector<char> next = region;
+      for (int r = 0; r < nrows; ++r) {
+        bool touches = false;
+        for (int j = 0; j < dim; ++j) {
+          if (region[static_cast<std::size_t>(via.at(r, j))] != 0) {
+            touches = true;
+            break;
+          }
+        }
+        if (!touches) {
+          continue;
+        }
+        for (int j = 0; j < dim; ++j) {
+          next[static_cast<std::size_t>(via.at(r, j))] = 1;
+        }
+      }
+      region.swap(next);
+    }
+    for (int e = 0; e < n; ++e) {
+      if (region[static_cast<std::size_t>(e)] != 0 &&
+          parts.part_of[static_cast<std::size_t>(e)] != s) {
+        sp.halo.push_back(e);
+      }
+    }
+
+    sp.local_of.assign(static_cast<std::size_t>(n), -1);
+    for (std::size_t i = 0; i < sp.owned.size(); ++i) {
+      sp.local_of[static_cast<std::size_t>(sp.owned[i])] =
+          static_cast<int>(i);
+    }
+    for (std::size_t i = 0; i < sp.halo.size(); ++i) {
+      sp.local_of[static_cast<std::size_t>(sp.halo[i])] =
+          static_cast<int>(sp.owned.size() + i);
+    }
+
+    // Imports: the halo grouped by owner, each bucket already ascending
+    // because sp.halo is.
+    std::map<int, std::vector<int>> by_owner;
+    for (const int e : sp.halo) {
+      by_owner[parts.part_of[static_cast<std::size_t>(e)]].push_back(e);
+    }
+    for (auto& [peer, elems] : by_owner) {
+      sp.imports.push_back(shard_link{peer, std::move(elems)});
+    }
+  }
+
+  // Exports mirror imports: shard t's import link from s is shard s's
+  // export link to t, same elements, same (ascending) order.
+  for (int t = 0; t < nshards; ++t) {
+    for (const auto& link : hp.shards[static_cast<std::size_t>(t)].imports) {
+      hp.shards[static_cast<std::size_t>(link.peer)].exports.push_back(
+          shard_link{t, link.elements});
+    }
+  }
+  for (auto& sp : hp.shards) {
+    std::sort(sp.exports.begin(), sp.exports.end(),
+              [](const shard_link& a, const shard_link& b) {
+                return a.peer < b.peer;
+              });
+  }
+  return hp;
+}
+
+}  // namespace op2

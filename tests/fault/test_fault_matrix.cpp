@@ -145,7 +145,10 @@ TEST_P(FaultMatrix, StallTripsTheWatchdogWhichNamesAndReleasesIt) {
   {
     std::lock_guard<std::mutex> lock(mutex);
     for (const auto& activity : seen) {
-      if (activity.find("'" + loop + "'") != std::string::npos &&
+      // The sharded driver runs per-shard instances ("res_calc@s1");
+      // the diagnostic must still name the stuck kernel.
+      if ((activity.find("'" + loop + "'") != std::string::npos ||
+           activity.find("'" + loop + "@s") != std::string::npos) &&
           activity.find(executing) != std::string::npos) {
         named = true;
       }

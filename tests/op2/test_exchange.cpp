@@ -1,0 +1,245 @@
+// The pluggable halo-exchange layer: shm_transport mailbox semantics
+// (double buffering, backpressure, size checking) and halo_exchanger
+// end-to-end rounds (pack -> publish -> progress-thread unpack ->
+// fence completion).  The ExchangeStress suite is additionally run
+// under ThreadSanitizer by scripts/check.sh — it hammers concurrent
+// fence waiters against the progress thread across many rounds.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "hpxlite/hpxlite.hpp"
+#include "op2/exchange.hpp"
+#include "op2/op2.hpp"
+#include "op2/shard.hpp"
+
+namespace {
+
+using op2::build_halo_partition;
+using op2::halo_exchanger;
+using op2::halo_partition;
+using op2::op_decl_dat;
+using op2::op_decl_map;
+using op2::op_decl_set;
+using op2::shm_transport;
+
+std::span<const std::byte> as_bytes(const std::vector<double>& v) {
+  return {reinterpret_cast<const std::byte*>(v.data()),
+          v.size() * sizeof(double)};
+}
+
+// --- transport --------------------------------------------------------
+
+TEST(ShmTransport, RoundTripsOnePayload) {
+  shm_transport t(1);
+  const std::vector<double> in = {1.5, -2.5, 3.25};
+  t.publish(0, 1, as_bytes(in));
+  std::vector<double> out(3, 0.0);
+  t.consume(0, 1,
+            {reinterpret_cast<std::byte*>(out.data()),
+             out.size() * sizeof(double)});
+  EXPECT_EQ(out, in);
+}
+
+TEST(ShmTransport, DoubleBufferingAllowsOneRoundInFlight) {
+  // Rounds 1 and 2 occupy the two parity slots without a consumer;
+  // publishing round 3 must backpressure until round 1 drains.
+  shm_transport t(1);
+  const std::vector<double> v1 = {1.0};
+  const std::vector<double> v2 = {2.0};
+  const std::vector<double> v3 = {3.0};
+  t.publish(0, 1, as_bytes(v1));
+  t.publish(0, 2, as_bytes(v2));
+
+  std::atomic<bool> third_published{false};
+  std::thread producer([&] {
+    t.publish(0, 3, as_bytes(v3));
+    third_published.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(third_published.load());
+
+  std::vector<double> out(1, 0.0);
+  auto out_bytes = std::span<std::byte>(
+      reinterpret_cast<std::byte*>(out.data()), sizeof(double));
+  t.consume(0, 1, out_bytes);
+  EXPECT_EQ(out[0], 1.0);
+  producer.join();
+  EXPECT_TRUE(third_published.load());
+  t.consume(0, 2, out_bytes);
+  EXPECT_EQ(out[0], 2.0);
+  t.consume(0, 3, out_bytes);
+  EXPECT_EQ(out[0], 3.0);
+}
+
+TEST(ShmTransport, SizeMismatchThrows) {
+  shm_transport t(1);
+  const std::vector<double> in = {1.0, 2.0};
+  t.publish(0, 1, as_bytes(in));
+  std::vector<double> out(1, 0.0);
+  EXPECT_THROW(t.consume(0, 1,
+                         {reinterpret_cast<std::byte*>(out.data()),
+                          sizeof(double)}),
+               std::logic_error);
+}
+
+// --- halo_exchanger ---------------------------------------------------
+
+/// Three shards over a 12-cell ring (contiguous blocks of 4): each
+/// shard's dat lives on its local [owned | halo] layout with dim 2.
+struct exchanger_fixture {
+  std::unique_ptr<halo_partition> hp;
+  std::vector<op2::op_set> sets;
+  std::vector<op2::op_dat> dats;
+
+  exchanger_fixture() {
+    const auto cells = op_decl_set(12, "cells");
+    const auto edges = op_decl_set(12, "edges");
+    std::vector<int> table;
+    for (int i = 0; i < 12; ++i) {
+      table.push_back(i);
+      table.push_back((i + 1) % 12);
+    }
+    const auto adj = op_decl_map(edges, cells, 2, table, "adj");
+    op2::partitioning parts;
+    parts.nparts = 3;
+    parts.part_of = {0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2};
+    hp = std::make_unique<halo_partition>(
+        build_halo_partition(parts, adj, 1));
+    for (int s = 0; s < 3; ++s) {
+      const auto& sp = hp->shards[static_cast<std::size_t>(s)];
+      sets.push_back(op_decl_set(sp.local_count(), "local_cells"));
+      const std::vector<double> zero(
+          static_cast<std::size_t>(sp.local_count()) * 2, 0.0);
+      dats.push_back(op_decl_dat<double>(
+          sets.back(), 2, "double", std::span<const double>(zero), "q"));
+    }
+  }
+
+  /// Stamps every OWNED row with (round*100 + global id, -global id).
+  void stamp_owned(int round) {
+    for (int s = 0; s < 3; ++s) {
+      auto q = dats[static_cast<std::size_t>(s)].data<double>();
+      const auto& sp = hp->shards[static_cast<std::size_t>(s)];
+      for (int l = 0; l < sp.owned_count(); ++l) {
+        const int g = sp.global_of(l);
+        q[static_cast<std::size_t>(2 * l)] = round * 100.0 + g;
+        q[static_cast<std::size_t>(2 * l + 1)] = -static_cast<double>(g);
+      }
+    }
+  }
+
+  void expect_halos(int round) {
+    for (int s = 0; s < 3; ++s) {
+      const auto q = dats[static_cast<std::size_t>(s)].data<double>();
+      const auto& sp = hp->shards[static_cast<std::size_t>(s)];
+      for (int l = sp.owned_count(); l < sp.local_count(); ++l) {
+        const int g = sp.global_of(l);
+        EXPECT_EQ(q[static_cast<std::size_t>(2 * l)], round * 100.0 + g)
+            << "shard " << s << " halo cell " << g;
+        EXPECT_EQ(q[static_cast<std::size_t>(2 * l + 1)],
+                  -static_cast<double>(g));
+      }
+    }
+  }
+};
+
+class HaloExchangerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { op2::init(op2::make_config("hpx_async", 2)); }
+  void TearDown() override { op2::finalize(); }
+};
+
+TEST_F(HaloExchangerTest, OneRoundFillsEveryHalo) {
+  exchanger_fixture f;
+  halo_exchanger x(f.hp.get(), f.dats);
+  f.stamp_owned(1);
+  x.exchange();
+  for (int s = 0; s < 3; ++s) {
+    x.fence(s).wait();
+  }
+  f.expect_halos(1);
+  EXPECT_EQ(x.rounds(), 1u);
+}
+
+TEST_F(HaloExchangerTest, RepeatedRoundsTrackTheOwnerState) {
+  exchanger_fixture f;
+  halo_exchanger x(f.hp.get(), f.dats);
+  for (int round = 1; round <= 5; ++round) {
+    f.stamp_owned(round);
+    x.exchange();
+    for (int s = 0; s < 3; ++s) {
+      x.fence(s).wait();
+    }
+    f.expect_halos(round);
+  }
+  EXPECT_EQ(x.rounds(), 5u);
+}
+
+TEST_F(HaloExchangerTest, FencesReportExchangeStats) {
+  exchanger_fixture f;
+  halo_exchanger x(f.hp.get(), f.dats);
+  f.stamp_owned(1);
+  x.exchange();
+  for (int s = 0; s < 3; ++s) {
+    x.fence(s).wait();
+    EXPECT_TRUE(x.fence(s).ready());
+    EXPECT_GE(x.fence(s).last_exchange_seconds(), 0.0);
+    EXPECT_GE(x.fence(s).last_blocked_seconds(), 0.0);
+  }
+}
+
+TEST_F(HaloExchangerTest, RejectsMismatchedDatFamilies) {
+  exchanger_fixture f;
+  auto bad = f.dats;
+  bad.pop_back();  // one dat per shard is required
+  EXPECT_THROW(halo_exchanger(f.hp.get(), bad), std::invalid_argument);
+}
+
+// --- stress (also run under TSan by scripts/check.sh) ----------------
+
+TEST(ExchangeStress, ConcurrentWaitersManyRounds) {
+  op2::init(op2::make_config("hpx_async", 4));
+  {
+    exchanger_fixture f;
+    halo_exchanger x(f.hp.get(), f.dats);
+    constexpr int kRounds = 200;
+    for (int round = 1; round <= kRounds; ++round) {
+      f.stamp_owned(round);
+      x.exchange();
+      // Several concurrent waiters per shard, racing the progress
+      // thread's unpack + complete and each other.
+      std::vector<hpxlite::future<void>> waiters;
+      for (int s = 0; s < 3; ++s) {
+        for (int w = 0; w < 3; ++w) {
+          waiters.push_back(hpxlite::async([&x, s] { x.fence(s).wait(); }));
+        }
+      }
+      for (auto& w : waiters) {
+        w.get();
+      }
+      f.expect_halos(round);
+    }
+    EXPECT_EQ(x.rounds(), static_cast<std::uint64_t>(kRounds));
+  }
+  op2::finalize();
+}
+
+TEST(ExchangeStress, DestructionMidRoundIsClean) {
+  op2::init(op2::make_config("hpx_async", 2));
+  for (int i = 0; i < 20; ++i) {
+    exchanger_fixture f;
+    halo_exchanger x(f.hp.get(), f.dats);
+    f.stamp_owned(i);
+    x.exchange();
+    // No explicit fence wait: the destructor must drain the in-flight
+    // round (waiting the fences) before joining the progress thread.
+  }
+  op2::finalize();
+}
+
+}  // namespace

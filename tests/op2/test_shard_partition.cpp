@@ -1,0 +1,218 @@
+// Shard decomposition: RCB determinism (the invariant partition.hpp
+// documents) and the owner/halo/import/export structure
+// build_halo_partition guarantees.  These layouts seed every sharded
+// run, golden test and tuner-cache key, so they are pinned hard here.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "airfoil/airfoil.hpp"
+#include "op2/op2.hpp"
+#include "op2/partition.hpp"
+#include "op2/shard.hpp"
+
+namespace {
+
+using op2::build_halo_partition;
+using op2::op_decl_map;
+using op2::op_decl_set;
+using op2::partition_rcb;
+using op2::partitioning;
+
+// --- RCB determinism --------------------------------------------------
+
+TEST(RcbDeterminism, SameInputSameAssignment) {
+  std::vector<double> xy;
+  for (int i = 0; i < 64; ++i) {
+    xy.push_back(static_cast<double>(i % 8));
+    xy.push_back(static_cast<double>(i / 8));
+  }
+  const auto a = partition_rcb(xy, 5);
+  const auto b = partition_rcb(xy, 5);
+  EXPECT_EQ(a.part_of, b.part_of);
+}
+
+TEST(RcbDeterminism, EqualCoordinatesTieBreakByElementId) {
+  // Four coincident points: nth_element alone could split them any
+  // way; the (coordinate, id) comparator makes the split the unique
+  // lexicographic-median one — low ids left, high ids right.
+  const std::vector<double> xy = {1.0, 1.0, 1.0, 1.0,
+                                  1.0, 1.0, 1.0, 1.0};
+  const auto p = partition_rcb(xy, 2);
+  EXPECT_EQ(p.part_of, (std::vector<int>{0, 0, 1, 1}));
+}
+
+TEST(RcbDeterminism, DuplicateHeavyInputIsStillDeterministic) {
+  // Many duplicates across a grid with only two distinct x values per
+  // axis stripe — the degenerate case where implementation-defined
+  // nth_element tie handling would diverge across platforms.
+  std::vector<double> xy;
+  for (int i = 0; i < 96; ++i) {
+    xy.push_back(static_cast<double>((i / 3) % 2));
+    xy.push_back(static_cast<double>(i % 3 == 0 ? 0 : 1));
+  }
+  const auto a = partition_rcb(xy, 6);
+  const auto b = partition_rcb(xy, 6);
+  EXPECT_EQ(a.part_of, b.part_of);
+  // Balanced to within one element per split.
+  EXPECT_LE(op2::imbalance(a), 1.25);
+}
+
+// --- halo partition structure ----------------------------------------
+
+/// A 12-cell ring with an adjacency map (i, i+1 mod 12), partitioned
+/// into three contiguous blocks — halos and links are known by hand.
+struct ring_fixture {
+  op2::op_set cells = op_decl_set(12, "cells");
+  op2::op_set edges = op_decl_set(12, "edges");
+  op2::op_map adj;
+  partitioning parts;
+
+  ring_fixture() {
+    std::vector<int> table;
+    for (int i = 0; i < 12; ++i) {
+      table.push_back(i);
+      table.push_back((i + 1) % 12);
+    }
+    adj = op_decl_map(edges, cells, 2, table, "adj");
+    parts.nparts = 3;
+    parts.part_of = {0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2};
+  }
+};
+
+TEST(HaloPartition, RingDepthOneHalosAreTheBlockNeighbours) {
+  ring_fixture f;
+  const auto hp = build_halo_partition(f.parts, f.adj, 1);
+  ASSERT_EQ(hp.nshards, 3);
+  ASSERT_EQ(hp.shards.size(), 3u);
+  EXPECT_EQ(hp.shards[0].owned, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(hp.shards[0].halo, (std::vector<int>{4, 11}));
+  EXPECT_EQ(hp.shards[1].halo, (std::vector<int>{3, 8}));
+  EXPECT_EQ(hp.shards[2].halo, (std::vector<int>{0, 7}));
+}
+
+TEST(HaloPartition, RingDepthTwoExpandsOneMoreHop) {
+  ring_fixture f;
+  const auto hp = build_halo_partition(f.parts, f.adj, 2);
+  EXPECT_EQ(hp.shards[0].halo, (std::vector<int>{4, 5, 10, 11}));
+  EXPECT_EQ(hp.halo_depth, 2);
+}
+
+TEST(HaloPartition, LocalNumberingIsOwnedFirstAndInvertible) {
+  ring_fixture f;
+  const auto hp = build_halo_partition(f.parts, f.adj, 1);
+  for (const auto& sp : hp.shards) {
+    for (int l = 0; l < sp.local_count(); ++l) {
+      const int g = sp.global_of(l);
+      EXPECT_EQ(sp.local_of[static_cast<std::size_t>(g)], l);
+    }
+    // Absent elements map to -1.
+    for (int g = 0; g < 12; ++g) {
+      const int l = sp.local_of[static_cast<std::size_t>(g)];
+      if (l < 0) {
+        continue;
+      }
+      EXPECT_EQ(sp.global_of(l), g);
+    }
+  }
+}
+
+TEST(HaloPartition, ImportExportLinksMirrorEachOther) {
+  ring_fixture f;
+  const auto hp = build_halo_partition(f.parts, f.adj, 1);
+  for (int s = 0; s < hp.nshards; ++s) {
+    const auto& sp = hp.shards[static_cast<std::size_t>(s)];
+    // Imports cover the halo exactly, grouped by owner, ascending.
+    std::set<int> from_imports;
+    for (const auto& link : sp.imports) {
+      for (const int g : link.elements) {
+        EXPECT_EQ(f.parts.part_of[static_cast<std::size_t>(g)], link.peer);
+        from_imports.insert(g);
+      }
+      EXPECT_TRUE(std::is_sorted(link.elements.begin(),
+                                 link.elements.end()));
+    }
+    EXPECT_EQ(from_imports,
+              std::set<int>(sp.halo.begin(), sp.halo.end()));
+    // Every import link has a matching export link on the peer with
+    // the SAME elements in the SAME order (the wire carries no ids).
+    for (const auto& link : sp.imports) {
+      const auto& peer = hp.shards[static_cast<std::size_t>(link.peer)];
+      bool found = false;
+      for (const auto& exp : peer.exports) {
+        if (exp.peer == s) {
+          EXPECT_EQ(exp.elements, link.elements);
+          found = true;
+        }
+      }
+      EXPECT_TRUE(found) << "shard " << s << " import from " << link.peer;
+    }
+  }
+}
+
+TEST(HaloPartition, AirfoilMeshDecompositionIsDeterministicAndCovering) {
+  const auto mesh = airfoil::generate_mesh({16, 8});
+  const auto& pcell = mesh.map("pcell");
+  const auto& pecell = mesh.map("pecell");
+  const auto x = mesh.dat("p_x").data<double>();
+  const int ncell = mesh.set("cells").size();
+  std::vector<double> centroids(static_cast<std::size_t>(ncell) * 2, 0.0);
+  for (int c = 0; c < ncell; ++c) {
+    for (int k = 0; k < 4; ++k) {
+      const auto n = static_cast<std::size_t>(pcell.at(c, k));
+      centroids[static_cast<std::size_t>(2 * c)] += 0.25 * x[2 * n];
+      centroids[static_cast<std::size_t>(2 * c + 1)] += 0.25 * x[2 * n + 1];
+    }
+  }
+  const auto parts = partition_rcb(centroids, 4);
+  const auto hp = build_halo_partition(parts, pecell, 1);
+  const auto hp2 = build_halo_partition(parts, pecell, 1);
+
+  std::vector<int> owner_count(static_cast<std::size_t>(ncell), 0);
+  for (int s = 0; s < hp.nshards; ++s) {
+    const auto& sp = hp.shards[static_cast<std::size_t>(s)];
+    EXPECT_TRUE(std::is_sorted(sp.owned.begin(), sp.owned.end()));
+    EXPECT_TRUE(std::is_sorted(sp.halo.begin(), sp.halo.end()));
+    for (const int g : sp.owned) {
+      owner_count[static_cast<std::size_t>(g)] += 1;
+    }
+    // Halo is disjoint from owned and exactly the depth-1 neighbour
+    // region: every foreign cell sharing a pecell row with an owned
+    // cell, nothing more.
+    std::set<int> expected;
+    for (int e = 0; e < pecell.from().size(); ++e) {
+      const int a = pecell.at(e, 0);
+      const int b = pecell.at(e, 1);
+      const bool oa = parts.part_of[static_cast<std::size_t>(a)] == s;
+      const bool ob = parts.part_of[static_cast<std::size_t>(b)] == s;
+      if (oa && !ob) {
+        expected.insert(b);
+      }
+      if (ob && !oa) {
+        expected.insert(a);
+      }
+    }
+    EXPECT_EQ(std::set<int>(sp.halo.begin(), sp.halo.end()), expected)
+        << "shard " << s;
+    // Deterministic rebuild.
+    EXPECT_EQ(sp.owned, hp2.shards[static_cast<std::size_t>(s)].owned);
+    EXPECT_EQ(sp.halo, hp2.shards[static_cast<std::size_t>(s)].halo);
+  }
+  for (int c = 0; c < ncell; ++c) {
+    EXPECT_EQ(owner_count[static_cast<std::size_t>(c)], 1) << "cell " << c;
+  }
+}
+
+TEST(HaloPartition, RejectsBadArguments) {
+  ring_fixture f;
+  EXPECT_THROW(build_halo_partition(f.parts, f.adj, 0),
+               std::invalid_argument);
+  partitioning wrong;
+  wrong.nparts = 2;
+  wrong.part_of = {0, 1};  // does not cover the 12-cell target set
+  EXPECT_THROW(build_halo_partition(wrong, f.adj, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
