@@ -1,0 +1,215 @@
+// Ablation: cross-loop fusion and time-step tiling on a direct
+// element-local chain — the fusion planner's reason to exist.  Three
+// kernels stream three 4-component dats (a read-only, b and c updated
+// in place):
+//
+//   k1   b = 0.25 a + 0.75 b       k2   c = c + 0.5 b
+//   k3   b = b + 0.125 c
+//
+// run as an S-step chain over N elements.  The working set is sized to
+// overflow the last-level cache (tiling has nothing to win when the
+// whole problem is LLC-resident) while one tile stays L2-resident.
+// All three arms execute the IDENTICAL per-element operation sequence;
+// only the traversal order differs:
+//
+//   unfused      S steps x 3 op_par_loop — every kernel is its own
+//                pass over the arrays (3S sweeps of DRAM traffic)
+//   fused        S steps x 1 op_par_loop_fused — one traversal runs
+//                all three kernels per element (S sweeps)
+//   fused+tiled  1 op_par_loop_fused_steps(S) with a fixed tile —
+//                every step of the chain runs over one cache-resident
+//                tile before advancing (~1 sweep)
+//
+// scripts/check.sh runs this as a HARD GATE: fused must beat unfused
+// and fused+tiled must beat fused, with all three checksums
+// bit-identical, or the binary exits non-zero.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <span>
+#include <vector>
+
+#include "op2/op2.hpp"
+
+namespace {
+
+constexpr int kDim = 4;
+constexpr int kElems = 1 << 23;  // 3 dats x 32 B x 8M = 768 MiB working set
+constexpr int kSteps = 6;
+constexpr int kTile = 1 << 14;  // 3 dats x 32 B x 16384 = 1.5 MiB: L2-resident
+constexpr int kRepeats = 3;     // best-of, to shrug off scheduling noise
+
+void k1(const double* a, double* b) {
+  for (int d = 0; d < kDim; ++d) {
+    b[d] = 0.25 * a[d] + 0.75 * b[d];
+  }
+}
+void k2(const double* b, double* c) {
+  for (int d = 0; d < kDim; ++d) {
+    c[d] = c[d] + 0.5 * b[d];
+  }
+}
+void k3(const double* c, double* b) {
+  for (int d = 0; d < kDim; ++d) {
+    b[d] = b[d] + 0.125 * c[d];
+  }
+}
+
+struct arm_result {
+  double seconds = 0.0;
+  double checksum = 0.0;
+};
+
+struct chain_sim {
+  op2::op_set elems;
+  op2::op_dat d_a, d_b, d_c;
+};
+
+chain_sim make_chain() {
+  chain_sim s;
+  s.elems = op2::op_decl_set(kElems, "elems");
+  {  // scoped so each init image is freed before the next is built
+    std::vector<double> a(static_cast<std::size_t>(kElems) * kDim);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      a[i] = 1.0 + 1e-6 * static_cast<double>(i % 1024);
+    }
+    s.d_a = op2::op_decl_dat<double>(s.elems, kDim, "double",
+                                     std::span<const double>(a), "a");
+  }
+  {
+    std::vector<double> b(static_cast<std::size_t>(kElems) * kDim, 0.5);
+    s.d_b = op2::op_decl_dat<double>(s.elems, kDim, "double",
+                                     std::span<const double>(b), "b");
+  }
+  {
+    std::vector<double> c(static_cast<std::size_t>(kElems) * kDim, 0.0);
+    s.d_c = op2::op_decl_dat<double>(s.elems, kDim, "double",
+                                     std::span<const double>(c), "c");
+  }
+  return s;
+}
+
+/// Bitwise-stable summary of the chain's final state: ordered sum over
+/// b then c.  Every arm applies the identical per-element sequence, so
+/// equal bits here means the traversal reorder moved nothing.
+double chain_checksum(chain_sim& s) {
+  double sum = 0.0;
+  for (const double v : s.d_b.data<double>()) {
+    sum += v;
+  }
+  for (const double v : s.d_c.data<double>()) {
+    sum += v;
+  }
+  return sum;
+}
+
+template <typename Body>
+arm_result run_arm(const op2::config& cfg, Body&& body) {
+  arm_result best;
+  best.seconds = 1e300;
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    op2::init(cfg);
+    auto s = make_chain();
+    const auto t0 = std::chrono::steady_clock::now();
+    body(s);
+    const auto t1 = std::chrono::steady_clock::now();
+    arm_result out;
+    out.seconds = std::chrono::duration<double>(t1 - t0).count();
+    out.checksum = chain_checksum(s);
+    op2::finalize();
+    if (out.seconds < best.seconds) {
+      best = out;
+    }
+  }
+  return best;
+}
+
+void unfused_body(chain_sim& s) {
+  static op2::loop_handle h1, h2, h3;
+  for (int step = 0; step < kSteps; ++step) {
+    op2::op_par_loop(h1, k1, "k1", s.elems,
+        op2::op_arg_dat<double>(s.d_a, -1, op2::OP_ID, kDim, op2::OP_READ),
+        op2::op_arg_dat<double>(s.d_b, -1, op2::OP_ID, kDim, op2::OP_RW));
+    op2::op_par_loop(h2, k2, "k2", s.elems,
+        op2::op_arg_dat<double>(s.d_b, -1, op2::OP_ID, kDim, op2::OP_READ),
+        op2::op_arg_dat<double>(s.d_c, -1, op2::OP_ID, kDim, op2::OP_RW));
+    op2::op_par_loop(h3, k3, "k3", s.elems,
+        op2::op_arg_dat<double>(s.d_c, -1, op2::OP_ID, kDim, op2::OP_READ),
+        op2::op_arg_dat<double>(s.d_b, -1, op2::OP_ID, kDim, op2::OP_RW));
+  }
+}
+
+void fused_members(chain_sim& s, op2::fused_handle& h, int steps) {
+  op2::op_par_loop_fused_steps(h, s.elems, steps,
+      op2::fuse_loop(k1, "k1",
+          op2::op_arg_dat<double>(s.d_a, -1, op2::OP_ID, kDim, op2::OP_READ),
+          op2::op_arg_dat<double>(s.d_b, -1, op2::OP_ID, kDim, op2::OP_RW)),
+      op2::fuse_loop(k2, "k2",
+          op2::op_arg_dat<double>(s.d_b, -1, op2::OP_ID, kDim, op2::OP_READ),
+          op2::op_arg_dat<double>(s.d_c, -1, op2::OP_ID, kDim, op2::OP_RW)),
+      op2::fuse_loop(k3, "k3",
+          op2::op_arg_dat<double>(s.d_c, -1, op2::OP_ID, kDim, op2::OP_READ),
+          op2::op_arg_dat<double>(s.d_b, -1, op2::OP_ID, kDim, op2::OP_RW)));
+}
+
+void fused_body(chain_sim& s) {
+  static op2::fused_handle h;
+  for (int step = 0; step < kSteps; ++step) {
+    fused_members(s, h, 1);
+  }
+}
+
+void tiled_body(chain_sim& s) {
+  static op2::fused_handle h;
+  fused_members(s, h, kSteps);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("\n=== Ablation: cross-loop fusion and time-step tiling ===\n");
+  std::printf("seq, %d elements, 3-kernel chain, %d steps, tile %d "
+              "(%d tiles)\n",
+              kElems, kSteps, kTile, (kElems + kTile - 1) / kTile);
+
+  const auto base = op2::make_config("seq", 1, 128);
+  auto tiled_cfg = base;
+  tiled_cfg.tile = std::to_string(kTile);
+
+  const auto unfused = run_arm(base, unfused_body);
+  const auto fused = run_arm(base, fused_body);
+  const auto tiled = run_arm(tiled_cfg, tiled_body);
+
+  std::printf("%12s %10s %9s\n", "arm", "wall_ms", "sweeps");
+  std::printf("%12s %10.2f %9d\n", "unfused", 1e3 * unfused.seconds,
+              3 * kSteps);
+  std::printf("%12s %10.2f %9d\n", "fused", 1e3 * fused.seconds, kSteps);
+  std::printf("%12s %10.2f %9s\n", "fused+tiled", 1e3 * tiled.seconds, "~1");
+  std::printf("fusion speedup: %.2fx   tiling speedup: %.2fx\n",
+              unfused.seconds / fused.seconds, fused.seconds / tiled.seconds);
+
+  // Reordering the traversal must never move the arithmetic.
+  if (unfused.checksum != fused.checksum ||
+      unfused.checksum != tiled.checksum ||
+      !std::isfinite(unfused.checksum)) {
+    std::printf("FAIL: arms disagree on the result (unfused %.17g, "
+                "fused %.17g, tiled %.17g)\n",
+                unfused.checksum, fused.checksum, tiled.checksum);
+    return 1;
+  }
+  // The gates: one traversal must beat three, and a cache-resident
+  // tile walked S times must beat S full sweeps.
+  if (fused.seconds >= unfused.seconds) {
+    std::printf("FAIL: fused (%.2f ms) did not beat unfused (%.2f ms)\n",
+                1e3 * fused.seconds, 1e3 * unfused.seconds);
+    return 1;
+  }
+  if (tiled.seconds >= fused.seconds) {
+    std::printf("FAIL: fused+tiled (%.2f ms) did not beat fused "
+                "(%.2f ms)\n",
+                1e3 * tiled.seconds, 1e3 * fused.seconds);
+    return 1;
+  }
+  std::printf("PASS: fused < unfused and fused+tiled < fused\n");
+  return 0;
+}

@@ -1,0 +1,150 @@
+// bench_airfoil — end-to-end Airfoil throughput across the PR-9 fusion
+// arms: the unfused sequential baseline, the fused classic driver
+// (OP2_FUSE on collapses update+save_soln into one launch), and the
+// fused dataflow driver (one graph node per fused group).  Reports
+// iterations/sec and the per-loop time breakdown from the profiling
+// snapshot — the fused row appears under its aggregated name
+// ("update+save_soln") — and writes BENCH_airfoil.json.
+//
+// The three arms must agree on the solution checksum bit-for-bit
+// (fusion is a schedule change, not a physics change); disagreement
+// exits non-zero.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "airfoil/airfoil.hpp"
+#include "op2/op2.hpp"
+
+namespace {
+
+struct arm_result {
+  std::string name;
+  double seconds = 0.0;
+  double iters_per_sec = 0.0;
+  double checksum = 0.0;
+  std::map<std::string, op2::loop_profile> loops;
+};
+
+arm_result run_arm(const std::string& label, const op2::config& cfg,
+                   const std::string& backend, int niter,
+                   const airfoil::mesh_params& mp) {
+  op2::init(cfg);
+  op2::profiling::enable(true);
+  op2::profiling::reset();
+  auto s = airfoil::make_sim(airfoil::generate_mesh(mp));
+  const auto r = airfoil::run_with_backend(s, niter, backend);
+  arm_result out;
+  out.name = label;
+  out.seconds = r.seconds;
+  out.iters_per_sec =
+      r.seconds > 0.0 ? static_cast<double>(niter) / r.seconds : 0.0;
+  out.checksum = airfoil::solution_checksum(s);
+  out.loops = op2::profiling::snapshot();
+  op2::profiling::enable(false);
+  op2::profiling::reset();
+  op2::finalize();
+  return out;
+}
+
+int parse_flag(const char* arg, const char* name, int fallback) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    return std::atoi(arg + len + 1);
+  }
+  return fallback;
+}
+
+void print_arm(const arm_result& a) {
+  std::printf("%10s  %8.2f ms  %8.2f iters/sec\n", a.name.c_str(),
+              1e3 * a.seconds, a.iters_per_sec);
+  for (const auto& [loop, prof] : a.loops) {
+    std::printf("    %-24s %8.2f ms  %6llu calls", loop.c_str(),
+                1e3 * prof.total_seconds,
+                static_cast<unsigned long long>(prof.invocations));
+    if (prof.fused_loops > 1) {
+      std::printf("  (fused x%llu)",
+                  static_cast<unsigned long long>(prof.fused_loops));
+    }
+    std::printf("\n");
+  }
+}
+
+void json_arm(std::ofstream& json, const arm_result& a, bool last) {
+  json << "    {\n"
+       << "      \"name\": \"" << a.name << "\",\n"
+       << "      \"wall_seconds\": " << a.seconds << ",\n"
+       << "      \"iters_per_sec\": " << a.iters_per_sec << ",\n"
+       << "      \"loops\": {\n";
+  std::size_t i = 0;
+  for (const auto& [loop, prof] : a.loops) {
+    json << "        \"" << loop << "\": {\"total_ms\": "
+         << 1e3 * prof.total_seconds
+         << ", \"invocations\": " << prof.invocations
+         << ", \"fused_loops\": " << prof.fused_loops << "}"
+         << (++i == a.loops.size() ? "\n" : ",\n");
+  }
+  json << "      }\n    }" << (last ? "\n" : ",\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int niter = 60;
+  int imax = 200;
+  for (int i = 1; i < argc; ++i) {
+    niter = parse_flag(argv[i], "--iters", niter);
+    imax = parse_flag(argv[i], "--imax", imax);
+  }
+  airfoil::mesh_params mp;
+  mp.imax = imax;
+  mp.jmax = imax / 2;
+
+  // seq baseline with fusion OFF, the fused classic driver, and the
+  // fused dataflow driver.
+  auto unfused_cfg = op2::make_config("seq", 1, 128);
+  unfused_cfg.fuse = false;
+  auto fused_cfg = op2::make_config("seq", 1, 128);
+  auto dataflow_cfg = op2::make_config("hpx_dataflow", 4, 128);
+
+  std::printf("bench_airfoil: %dx%d mesh, %d iters\n", mp.imax, mp.jmax,
+              niter);
+  const auto seq = run_arm("seq", unfused_cfg, "seq", niter, mp);
+  const auto fused = run_arm("fused", fused_cfg, "seq", niter, mp);
+  const auto dataflow =
+      run_arm("dataflow", dataflow_cfg, "hpx_dataflow", niter, mp);
+  print_arm(seq);
+  print_arm(fused);
+  print_arm(dataflow);
+  std::printf("fused speedup over seq: %.3fx  dataflow: %.3fx\n",
+              seq.seconds / fused.seconds, seq.seconds / dataflow.seconds);
+
+  {
+    std::ofstream json("BENCH_airfoil.json");
+    json << "{\n"
+         << "  \"imax\": " << mp.imax << ",\n"
+         << "  \"jmax\": " << mp.jmax << ",\n"
+         << "  \"iters\": " << niter << ",\n"
+         << "  \"arms\": [\n";
+    json_arm(json, seq, false);
+    json_arm(json, fused, false);
+    json_arm(json, dataflow, true);
+    json << "  ]\n}\n";
+  }
+
+  // Fusion reorders launches, never arithmetic: all arms must agree on
+  // the solution to the last bit.
+  if (seq.checksum != fused.checksum || seq.checksum != dataflow.checksum ||
+      !std::isfinite(seq.checksum)) {
+    std::fprintf(stderr,
+                 "bench_airfoil: FAIL — arms disagree on the solution "
+                 "(seq %.17g, fused %.17g, dataflow %.17g)\n",
+                 seq.checksum, fused.checksum, dataflow.checksum);
+    return 1;
+  }
+  return 0;
+}

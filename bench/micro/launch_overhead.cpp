@@ -157,6 +157,23 @@ void run_shard_pair(op2::loop_handle& hd, op2::loop_handle& hi, mesh& m,
                                            op2::OP_WRITE));
 }
 
+/// One invocation of the fused-arm launch: the direct reduction and a
+/// direct scale loop fused into ONE traversal (the PR-9 fused prepared
+/// path) — its replay must stay allocation-free like the unfused one.
+void run_fused(op2::fused_handle& h, mesh& m, double* total) {
+  op2::op_par_loop_fused(
+      h, m.cells,
+      op2::fuse_loop(sum_kernel, "lo_fsum",
+                     op2::op_arg_dat<double>(m.p_x, -1, op2::OP_ID, 1,
+                                             op2::OP_READ),
+                     op2::op_arg_gbl<double>(total, 1, op2::OP_INC)),
+      op2::fuse_loop(edge_kernel, "lo_fscale",
+                     op2::op_arg_dat<double>(m.p_x, -1, op2::OP_ID, 1,
+                                             op2::OP_READ),
+                     op2::op_arg_dat<double>(m.p_y, -1, op2::OP_ID, 1,
+                                             op2::OP_RW)));
+}
+
 int fail(const char* what, std::uint64_t observed) {
   std::fprintf(stderr,
                "launch_overhead: GATE FAILED: %s (observed %llu, "
@@ -299,6 +316,29 @@ int main() {
   std::printf("  %-28s %12llu\n", "replay plan-cache lookups",
               static_cast<unsigned long long>(replay_lookups));
 
+  // --- fused replay: timed AND gated ----------------------------------
+  // Two direct loops fused into one launch: after the capture, every
+  // repeat call must rebind + interleave with zero heap allocations
+  // and zero plan-cache lookups, exactly like the unfused replay.
+  static op2::fused_handle h_fused;
+  double fused_total = 0.0;
+  run_fused(h_fused, m, &fused_total);  // warm-up: captures the group
+  const std::uint64_t fa0 = alloc_count();
+  const std::uint64_t fl0 = op2::plan_cache_lookups();
+  const double f0 = now_ns();
+  for (int i = 0; i < kReplays; ++i) {
+    run_fused(h_fused, m, &fused_total);
+  }
+  const double fused_ns = (now_ns() - f0) / kReplays;
+  const std::uint64_t fused_allocs = alloc_count() - fa0;
+  const std::uint64_t fused_lookups = op2::plan_cache_lookups() - fl0;
+  std::printf("  %-28s %12.0f ns/launch (2 member loops)\n",
+              "fused replay (steady state)", fused_ns);
+  std::printf("  %-28s %12llu\n", "fused replay heap allocations",
+              static_cast<unsigned long long>(fused_allocs));
+  std::printf("  %-28s %12llu\n", "fused replay plan lookups",
+              static_cast<unsigned long long>(fused_lookups));
+
   // --- chain building: continuation-core build-path cost --------------
   // Warm-up primes the block pool (fresh blocks allocate); the measured
   // rounds must then build nodes entirely from recycled blocks.
@@ -398,6 +438,22 @@ int main() {
   }
   if (replay_lookups != 0) {
     rc = fail("steady-state replay hits the plan cache", replay_lookups);
+  }
+  if (fused_allocs != 0) {
+    rc = fail("fused steady-state replay heap-allocates", fused_allocs);
+  }
+  if (fused_lookups != 0) {
+    rc = fail("fused steady-state replay hits the plan cache",
+              fused_lookups);
+  }
+  const double fused_expected =
+      static_cast<double>(kCells) * (1.0 + kReplays);
+  if (fused_total != fused_expected) {
+    std::fprintf(stderr,
+                 "launch_overhead: fused reduction drift: got %f "
+                 "expected %f\n",
+                 fused_total, fused_expected);
+    rc = 1;
   }
   if (then_chain.build_allocs != 0) {
     rc = fail("then-chain build path heap-allocates (small continuations)",

@@ -42,6 +42,9 @@ ctest --test-dir "$build" -L chaos --output-on-failure
 step "shard core: ctest -L shard (decomposition, exchange, bit-exactness matrix)"
 ctest --test-dir "$build" -L shard --output-on-failure
 
+step "fusion: ctest -L fusion (planner legality, fused runtime, acceptance matrix)"
+ctest --test-dir "$build" -L fusion --output-on-failure
+
 step "job service: bench_service soak (writes BENCH_service.json)"
 # A short multi-tenant soak through the admission controller: hard-fails
 # when everything was shed or p99 job latency blew up — either means
@@ -76,6 +79,12 @@ step "shard core: overlapped exchange must beat the fenced schedule (ablation_sh
 # link latency; hard-fails if the overlap win regresses or the two
 # schedules disagree on a single bit of the solution.
 "$build/bench/ablation_shard"
+
+step "fusion: fused must beat unfused, tiled must beat fused (ablation_fusion)"
+# Unfused / fused / fused+tiled over a DRAM-resident direct chain; all
+# three arms must produce bit-identical checksums, and each schedule
+# must beat the previous one or the binary exits non-zero.
+"$build/bench/ablation_fusion"
 
 step "thread sanitizer: configure + build backend_smoke ($tsan_build)"
 # libstdc++.so is not TSan-instrumented, so the atomic refcounts inside
@@ -112,6 +121,13 @@ step "thread sanitizer: halo-exchange progress engine (ExchangeStress)"
 # consume/scatter hand-off and the fence fast path under TSan.
 cmake --build "$tsan_build" -j "$jobs" --target test_shard
 "$tsan_build/tests/test_shard" --gtest_filter='ExchangeStress.*'
+
+step "thread sanitizer: concurrent fused replays (FusedStress)"
+# Several threads replaying through ONE shared fused_handle (the site
+# cache's find/CAS/busy paths) plus fused dataflow nodes racing on the
+# worker pool — the fused launch path's locking under TSan.
+cmake --build "$tsan_build" -j "$jobs" --target test_fusion
+"$tsan_build/tests/test_fusion" --gtest_filter='FusedStress.*'
 
 step "thread sanitizer: operation-state continuation core (OpState)"
 # The pooled op-state path moves completion hand-off onto intrusive

@@ -68,7 +68,17 @@ void apply_bres_stage(shard_domain& sh) {
 /// iterate windows and the halo fence the erased loop closures clamp
 /// and gate on — under hpx_shard the interior spans run while the
 /// exchange is still in flight.
-void run_stage(shard_sim& d, shard_domain& sh, bool with_save) {
+///
+/// With fuse_next_save, the closing update additionally absorbs the
+/// NEXT iteration's save_soln as a fused launch within the owned span.
+/// Hoisting the save ahead of the intervening halo exchange is legal:
+/// save_soln touches only owned q (read) and owned qold (write), while
+/// the exchange reads owned q and writes halo q — disjoint from qold
+/// and read-read on q.  Fusion never crosses the fence itself: both
+/// members run under the same fence-free owned_ctx, and the prepared
+/// entry re-validates the shard window on every replay.
+void run_stage(shard_sim& d, shard_domain& sh, bool with_save,
+               bool fuse_next_save) {
   using op2::op_arg_dat;
   using op2::op_arg_gbl;
   using op2::OP_ID;
@@ -147,23 +157,44 @@ void run_stage(shard_sim& d, shard_domain& sh, bool with_save) {
   sh.rms = 0.0;
   {
     op2::shard_scope scope(owned_ctx);
-    op2::op_par_loop(update, sh.n_update.c_str(), s.cells,
-                     op_arg_dat<double>(s.p_qold, -1, OP_ID, 4, OP_READ),
-                     op_arg_dat<double>(s.p_q, -1, OP_ID, 4, OP_WRITE),
-                     op_arg_dat<double>(s.p_res, -1, OP_ID, 4, OP_RW),
-                     op_arg_dat<double>(s.p_adt, -1, OP_ID, 1, OP_READ),
-                     op_arg_gbl<double>(&sh.rms, 1, OP_INC));
+    if (fuse_next_save) {
+      // One handle serves every shard: the per-shard loop names and
+      // owned sets make per-shard entries in the fused cache (capacity
+      // 8; more shards than that recapture — correct, just colder).
+      static op2::fused_handle h_fused;
+      op2::op_par_loop_fused(
+          h_fused, s.cells,
+          op2::fuse_loop(
+              update, sh.n_update.c_str(),
+              op_arg_dat<double>(s.p_qold, -1, OP_ID, 4, OP_READ),
+              op_arg_dat<double>(s.p_q, -1, OP_ID, 4, OP_WRITE),
+              op_arg_dat<double>(s.p_res, -1, OP_ID, 4, OP_RW),
+              op_arg_dat<double>(s.p_adt, -1, OP_ID, 1, OP_READ),
+              op_arg_gbl<double>(&sh.rms, 1, OP_INC)),
+          op2::fuse_loop(
+              save_soln, sh.n_save.c_str(),
+              op_arg_dat<double>(s.p_q, -1, OP_ID, 4, OP_READ),
+              op_arg_dat<double>(s.p_qold, -1, OP_ID, 4, OP_WRITE)));
+    } else {
+      op2::op_par_loop(update, sh.n_update.c_str(), s.cells,
+                       op_arg_dat<double>(s.p_qold, -1, OP_ID, 4, OP_READ),
+                       op_arg_dat<double>(s.p_q, -1, OP_ID, 4, OP_WRITE),
+                       op_arg_dat<double>(s.p_res, -1, OP_ID, 4, OP_RW),
+                       op_arg_dat<double>(s.p_adt, -1, OP_ID, 1, OP_READ),
+                       op_arg_gbl<double>(&sh.rms, 1, OP_INC));
+    }
   }
 }
 
 /// Launches one task per shard and joins (the main thread blocks, the
 /// workers run the shard loops; a worker blocked in a fence helps).
-void run_stage_all(shard_sim& d, bool with_save) {
+void run_stage_all(shard_sim& d, bool with_save, bool fuse_next_save) {
   std::vector<hpxlite::future<void>> tasks;
   tasks.reserve(d.shards.size());
   for (auto& sh : d.shards) {
-    tasks.push_back(hpxlite::async(
-        [&d, &sh, with_save] { run_stage(d, sh, with_save); }));
+    tasks.push_back(hpxlite::async([&d, &sh, with_save, fuse_next_save] {
+      run_stage(d, sh, with_save, fuse_next_save);
+    }));
   }
   for (auto& t : tasks) {
     t.get();
@@ -380,12 +411,20 @@ run_result run_sharded(shard_sim& d, int niter) {
   out.rms_history.reserve(static_cast<std::size_t>(niter));
   const auto t0 = std::chrono::steady_clock::now();
 
+  // Iteration 0 saves standalone; every later save runs fused with the
+  // previous iteration's k=1 update (see run_stage), so the k=0 stages
+  // after that skip their save.
+  bool need_save = true;
   for (int iter = 0; iter < niter; ++iter) {
     for (int k = 0; k < 2; ++k) {
       // Owner q -> halo replicas; the fences re-arm here and complete
       // on the progress thread while the shard tasks run.
       d.xq->exchange();
-      run_stage_all(d, /*with_save=*/k == 0);
+      const bool fuse_save = k == 1 && iter + 1 < niter;
+      run_stage_all(d, /*with_save=*/k == 0 && need_save, fuse_save);
+      if (fuse_save) {
+        need_save = false;
+      }
     }
     // Deterministic rms reduction: shard partials in shard order.
     double rms = 0.0;

@@ -70,6 +70,15 @@ double finish_rms(double rms, int ncell) {
 // call site carries a static op2::loop_handle, so iteration 1 captures
 // the five launch descriptors and iterations 2..N replay them
 // allocation-free (the prepared-loop pipeline).
+//
+// Cross-loop fusion: the stage-1 `update` and the NEXT iteration's
+// `save_soln` are adjacent direct loops over cells (nothing runs
+// between them), so they fuse into one element-contiguous launch —
+// q and qold are touched once per element instead of twice per
+// iteration.  The standalone save_soln survives only for iteration 0
+// (no preceding update) and the standalone update for the final
+// iteration (no following save).  OP2_FUSE=off runs the members
+// unfused and bit-identically.
 
 run_result run_classic(sim& s, int niter) {
   run_result out;
@@ -77,10 +86,12 @@ run_result run_classic(sim& s, int niter) {
   const auto t0 = std::chrono::steady_clock::now();
 
   for (int iter = 0; iter < niter; ++iter) {
-    static op2::loop_handle h_save;
-    op2::op_par_loop(h_save, save_soln, "save_soln", s.cells,
-                     op_arg_dat<double>(s.p_q, -1, OP_ID, 4, OP_READ),
-                     op_arg_dat<double>(s.p_qold, -1, OP_ID, 4, OP_WRITE));
+    if (iter == 0) {
+      static op2::loop_handle h_save;
+      op2::op_par_loop(h_save, save_soln, "save_soln", s.cells,
+                       op_arg_dat<double>(s.p_q, -1, OP_ID, 4, OP_READ),
+                       op_arg_dat<double>(s.p_qold, -1, OP_ID, 4, OP_WRITE));
+    }
 
     double rms = 0.0;
     for (int k = 0; k < 2; ++k) {
@@ -114,13 +125,31 @@ run_result run_classic(sim& s, int niter) {
                        op_arg_dat<double>(s.p_res, 0, s.pbecell, 4, OP_INC),
                        op_arg_dat<int>(s.p_bound, -1, OP_ID, 1, OP_READ));
 
-      static op2::loop_handle h_update;
-      op2::op_par_loop(h_update, update, "update", s.cells,
-                       op_arg_dat<double>(s.p_qold, -1, OP_ID, 4, OP_READ),
-                       op_arg_dat<double>(s.p_q, -1, OP_ID, 4, OP_WRITE),
-                       op_arg_dat<double>(s.p_res, -1, OP_ID, 4, OP_RW),
-                       op_arg_dat<double>(s.p_adt, -1, OP_ID, 1, OP_READ),
-                       op_arg_gbl<double>(&rms, 1, OP_INC));
+      if (k == 1 && iter + 1 < niter) {
+        // update + next iteration's save_soln, one traversal of cells.
+        static op2::fused_handle h_fused;
+        op2::op_par_loop_fused(
+            h_fused, s.cells,
+            op2::fuse_loop(
+                update, "update",
+                op_arg_dat<double>(s.p_qold, -1, OP_ID, 4, OP_READ),
+                op_arg_dat<double>(s.p_q, -1, OP_ID, 4, OP_WRITE),
+                op_arg_dat<double>(s.p_res, -1, OP_ID, 4, OP_RW),
+                op_arg_dat<double>(s.p_adt, -1, OP_ID, 1, OP_READ),
+                op_arg_gbl<double>(&rms, 1, OP_INC)),
+            op2::fuse_loop(
+                save_soln, "save_soln",
+                op_arg_dat<double>(s.p_q, -1, OP_ID, 4, OP_READ),
+                op_arg_dat<double>(s.p_qold, -1, OP_ID, 4, OP_WRITE)));
+      } else {
+        static op2::loop_handle h_update;
+        op2::op_par_loop(h_update, update, "update", s.cells,
+                         op_arg_dat<double>(s.p_qold, -1, OP_ID, 4, OP_READ),
+                         op_arg_dat<double>(s.p_q, -1, OP_ID, 4, OP_WRITE),
+                         op_arg_dat<double>(s.p_res, -1, OP_ID, 4, OP_RW),
+                         op_arg_dat<double>(s.p_adt, -1, OP_ID, 1, OP_READ),
+                         op_arg_gbl<double>(&rms, 1, OP_INC));
+      }
     }
     out.rms_history.push_back(finish_rms(rms, s.cells.size()));
   }
@@ -141,15 +170,24 @@ run_result run_async(sim& s, int niter) {
   out.rms_history.reserve(static_cast<std::size_t>(niter));
   const auto t0 = std::chrono::steady_clock::now();
 
+  // Iteration 0's save_soln is the only standalone one (see
+  // run_classic): later saves run fused with the previous iteration's
+  // stage-1 update, whose future the driver had to .get() immediately
+  // anyway (rms feeds the residual history), so the fused synchronous
+  // call costs no overlap.
+  hpxlite::future<void> f_save;
+
   for (int iter = 0; iter < niter; ++iter) {
-    // new_data1: save_soln — direct loop wrapped in async (Fig 8);
-    // nothing in stage k=0 before update needs qold, so it overlaps
-    // with adt_calc and the flux loops.
-    static op2::loop_handle h_save;
-    auto f_save = op2::op_par_loop_async(
-        h_save, save_soln, "save_soln", s.cells,
-        op_arg_dat<double>(s.p_q, -1, OP_ID, 4, OP_READ),
-        op_arg_dat<double>(s.p_qold, -1, OP_ID, 4, OP_WRITE));
+    if (iter == 0) {
+      // new_data1: save_soln — direct loop wrapped in async (Fig 8);
+      // nothing in stage k=0 before update needs qold, so it overlaps
+      // with adt_calc and the flux loops.
+      static op2::loop_handle h_save;
+      f_save = op2::op_par_loop_async(
+          h_save, save_soln, "save_soln", s.cells,
+          op_arg_dat<double>(s.p_q, -1, OP_ID, 4, OP_READ),
+          op_arg_dat<double>(s.p_qold, -1, OP_ID, 4, OP_WRITE));
+    }
 
     double rms = 0.0;
     for (int k = 0; k < 2; ++k) {
@@ -192,19 +230,38 @@ run_result run_async(sim& s, int niter) {
           op_arg_dat<double>(s.p_res, 0, s.pbecell, 4, OP_INC),
           op_arg_dat<int>(s.p_bound, -1, OP_ID, 1, OP_READ));
       f_bres.get();
-      if (k == 0) {
+      if (k == 0 && iter == 0) {
         f_save.get();  // update reads p_qold (Fig 10's new_data1.get())
       }
 
-      static op2::loop_handle h_update;
-      auto f_update = op2::op_par_loop_async(
-          h_update, update, "update", s.cells,
-          op_arg_dat<double>(s.p_qold, -1, OP_ID, 4, OP_READ),
-          op_arg_dat<double>(s.p_q, -1, OP_ID, 4, OP_WRITE),
-          op_arg_dat<double>(s.p_res, -1, OP_ID, 4, OP_RW),
-          op_arg_dat<double>(s.p_adt, -1, OP_ID, 1, OP_READ),
-          op_arg_gbl<double>(&rms, 1, OP_INC));
-      f_update.get();  // next adt_calc reads p_q; rms needed below
+      if (k == 1 && iter + 1 < niter) {
+        // Fused update + next iteration's save_soln, synchronous: the
+        // unfused variant's f_update.get() was immediate anyway.
+        static op2::fused_handle h_fused;
+        op2::op_par_loop_fused(
+            h_fused, s.cells,
+            op2::fuse_loop(
+                update, "update",
+                op_arg_dat<double>(s.p_qold, -1, OP_ID, 4, OP_READ),
+                op_arg_dat<double>(s.p_q, -1, OP_ID, 4, OP_WRITE),
+                op_arg_dat<double>(s.p_res, -1, OP_ID, 4, OP_RW),
+                op_arg_dat<double>(s.p_adt, -1, OP_ID, 1, OP_READ),
+                op_arg_gbl<double>(&rms, 1, OP_INC)),
+            op2::fuse_loop(
+                save_soln, "save_soln",
+                op_arg_dat<double>(s.p_q, -1, OP_ID, 4, OP_READ),
+                op_arg_dat<double>(s.p_qold, -1, OP_ID, 4, OP_WRITE)));
+      } else {
+        static op2::loop_handle h_update;
+        auto f_update = op2::op_par_loop_async(
+            h_update, update, "update", s.cells,
+            op_arg_dat<double>(s.p_qold, -1, OP_ID, 4, OP_READ),
+            op_arg_dat<double>(s.p_q, -1, OP_ID, 4, OP_WRITE),
+            op_arg_dat<double>(s.p_res, -1, OP_ID, 4, OP_RW),
+            op_arg_dat<double>(s.p_adt, -1, OP_ID, 1, OP_READ),
+            op_arg_gbl<double>(&rms, 1, OP_INC));
+        f_update.get();  // next adt_calc reads p_q; rms needed below
+      }
     }
     out.rms_history.push_back(finish_rms(rms, s.cells.size()));
   }
@@ -237,9 +294,14 @@ run_result run_dataflow(sim& s, int niter) {
       static_cast<std::size_t>(niter) * 2);
 
   for (int iter = 0; iter < niter; ++iter) {
-    op2::op_par_loop(save_soln, "save_soln", s.cells,
-                     op_arg_dat1<double>(q, -1, OP_ID, 4, OP_READ),
-                     op_arg_dat1<double>(qold, -1, OP_ID, 4, OP_WRITE));
+    // Iteration 0 only: later saves fuse into the previous iteration's
+    // stage-1 update node (one dataflow node, one op-state, one fire
+    // for both loops — see the fused submission below).
+    if (iter == 0) {
+      op2::op_par_loop(save_soln, "save_soln", s.cells,
+                       op_arg_dat1<double>(q, -1, OP_ID, 4, OP_READ),
+                       op_arg_dat1<double>(qold, -1, OP_ID, 4, OP_WRITE));
+    }
 
     for (int k = 0; k < 2; ++k) {
       op2::op_par_loop(adt_calc, "adt_calc", s.cells,
@@ -269,13 +331,30 @@ run_result run_dataflow(sim& s, int niter) {
                        op_arg_dat1<int>(bound, -1, OP_ID, 1, OP_READ));
 
       const auto slot = static_cast<std::size_t>(2 * iter + k);
-      stage_done[slot] = op2::op_par_loop(
-          update, "update", s.cells,
-          op_arg_dat1<double>(qold, -1, OP_ID, 4, OP_READ),
-          op_arg_dat1<double>(q, -1, OP_ID, 4, OP_WRITE),
-          op_arg_dat1<double>(res, -1, OP_ID, 4, OP_RW),
-          op_arg_dat1<double>(adt, -1, OP_ID, 1, OP_READ),
-          op_arg_gbl1<double>(&rms[slot], 1, OP_INC));
+      if (k == 1 && iter + 1 < niter) {
+        static op2::fused_handle h_fused;
+        stage_done[slot] = op2::op_par_loop_fused(
+            h_fused, s.cells,
+            op2::fuse_loop(
+                update, "update",
+                op_arg_dat1<double>(qold, -1, OP_ID, 4, OP_READ),
+                op_arg_dat1<double>(q, -1, OP_ID, 4, OP_WRITE),
+                op_arg_dat1<double>(res, -1, OP_ID, 4, OP_RW),
+                op_arg_dat1<double>(adt, -1, OP_ID, 1, OP_READ),
+                op_arg_gbl1<double>(&rms[slot], 1, OP_INC)),
+            op2::fuse_loop(
+                save_soln, "save_soln",
+                op_arg_dat1<double>(q, -1, OP_ID, 4, OP_READ),
+                op_arg_dat1<double>(qold, -1, OP_ID, 4, OP_WRITE)));
+      } else {
+        stage_done[slot] = op2::op_par_loop(
+            update, "update", s.cells,
+            op_arg_dat1<double>(qold, -1, OP_ID, 4, OP_READ),
+            op_arg_dat1<double>(q, -1, OP_ID, 4, OP_WRITE),
+            op_arg_dat1<double>(res, -1, OP_ID, 4, OP_RW),
+            op_arg_dat1<double>(adt, -1, OP_ID, 1, OP_READ),
+            op_arg_gbl1<double>(&rms[slot], 1, OP_INC));
+      }
     }
   }
 

@@ -19,8 +19,8 @@ namespace {
 
 int usage() {
   std::cerr
-      << "usage: op2hpx-translate [--list] --target=<t> [--backend=<b>] "
-         "<source.cpp>\n"
+      << "usage: op2hpx-translate [--list] [--fuse] --target=<t> "
+         "[--backend=<b>] <source.cpp>\n"
          "  targets: openmp, hpx_foreach, hpx_foreach_chunked, hpx_async,\n"
          "           hpx_dataflow, op2hpx\n"
          "  backends:";
@@ -29,6 +29,8 @@ int usage() {
   }
   std::cerr
       << "\n  --backend: runtime backend the generated code selects\n"
+         "  --fuse: fuse adjacent direct same-set loops into one launch\n"
+         "          (op2hpx target only)\n"
          "  --list: print a summary of the op_par_loop call sites instead\n";
   return 2;
 }
@@ -46,6 +48,8 @@ int main(int argc, char** argv) {
       target_name = arg.substr(9);
     } else if (arg.rfind("--backend=", 0) == 0) {
       opts.backend = arg.substr(10);
+    } else if (arg == "--fuse") {
+      opts.fuse = true;
     } else if (arg == "--list") {
       list_only = true;
     } else if (!arg.empty() && arg[0] == '-') {

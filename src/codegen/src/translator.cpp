@@ -358,6 +358,29 @@ std::string color_prologue(const parsed_loop& loop) {
   return os.str();
 }
 
+/// One argument rendered against this repository's typed API.
+std::string op2hpx_arg(const loop_arg& a) {
+  std::ostringstream os;
+  if (a.is_global) {
+    os << "op2::op_arg_gbl<" << a.type << ">(" << a.dat << ", " << a.dim
+       << ", op2::" << a.access << ")";
+  } else {
+    os << "op2::op_arg_dat<" << a.type << ">(" << a.dat << ", " << a.idx
+       << ", " << (a.is_direct() ? std::string("op2::OP_ID") : a.map)
+       << ", " << a.dim << ", op2::" << a.access << ")";
+  }
+  return os.str();
+}
+
+std::string join_kernels(const std::vector<parsed_loop>& group,
+                         const char* sep) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    os << (i != 0 ? sep : "") << group[i].kernel;
+  }
+  return os.str();
+}
+
 }  // namespace
 
 std::string emit_loop(const parsed_loop& loop, target t) {
@@ -440,16 +463,7 @@ std::string emit_loop(const parsed_loop& loop, target t) {
          << "  op2::op_par_loop(op2_handle_" << loop.kernel << ", "
          << loop.kernel << ", \"" << loop.name << "\", " << loop.set;
       for (const auto& a : loop.args) {
-        os << ",\n      ";
-        if (a.is_global) {
-          os << "op2::op_arg_gbl<" << a.type << ">(" << a.dat << ", "
-             << a.dim << ", op2::" << a.access << ")";
-        } else {
-          os << "op2::op_arg_dat<" << a.type << ">(" << a.dat << ", "
-             << a.idx << ", "
-             << (a.is_direct() ? std::string("op2::OP_ID") : a.map) << ", "
-             << a.dim << ", op2::" << a.access << ")";
-        }
+        os << ",\n      " << op2hpx_arg(a);
       }
       os << ");\n";
       break;
@@ -472,6 +486,86 @@ std::string emit_loop(const parsed_loop& loop, target t) {
       break;
   }
   os << "}\n";
+  return os.str();
+}
+
+std::vector<std::vector<std::size_t>> fuse_groups(
+    const std::vector<parsed_loop>& loops) {
+  std::vector<std::vector<std::size_t>> groups;
+  // Globals the open trailing group reduces into (their dat
+  // expressions, e.g. "&rms"): any later touch breaks the window —
+  // the fused launch merges reductions at finalize, so a member
+  // reading (or re-reducing) one mid-group would observe a stale
+  // value relative to the unfused program.
+  std::vector<std::string> reduced_globals;
+  bool open = false;  // trailing group still accepts members
+  for (std::size_t i = 0; i < loops.size(); ++i) {
+    const auto& loop = loops[i];
+    if (!loop.is_direct()) {
+      // Indirect loops never fuse (gather/scatter needs its own
+      // schedule) and fence the window, exactly like the runtime
+      // planner.
+      groups.push_back({i});
+      open = false;
+      continue;
+    }
+    bool join = open && loops[groups.back().front()].set == loop.set;
+    if (join) {
+      for (const auto& a : loop.args) {
+        if (a.is_global &&
+            std::find(reduced_globals.begin(), reduced_globals.end(),
+                      a.dat) != reduced_globals.end()) {
+          join = false;
+          break;
+        }
+      }
+    }
+    if (join) {
+      groups.back().push_back(i);
+    } else {
+      groups.push_back({i});
+      reduced_globals.clear();
+      open = true;
+    }
+    for (const auto& a : loop.args) {
+      if (a.is_global && a.access != "OP_READ") {
+        reduced_globals.push_back(a.dat);
+      }
+    }
+  }
+  return groups;
+}
+
+std::string emit_fused_loop(const std::vector<parsed_loop>& group) {
+  if (group.size() < 2) {
+    fail("emit_fused_loop needs at least two loops");
+  }
+  std::ostringstream label;
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    label << (i != 0 ? "+" : "") << group[i].name;
+  }
+  const std::string ident = join_kernels(group, "_");
+  std::ostringstream os;
+  os << "// generated by op2hpx codegen: fused group '" << label.str()
+     << "' (" << group.size() << " direct loops over " << group.front().set
+     << ") -> op2hpx\n";
+  os << "void op_par_loop_" << ident
+     << "(const char* name, op_set set, ...) {\n";
+  // One handle per fused call site: the first call captures the fused
+  // launch (one traversal running every member kernel per element),
+  // repeat calls replay it allocation-free (see op2/fused_loop.hpp).
+  os << "  static op2::fused_handle op2_fused_" << ident << ";\n"
+     << "  op2::op_par_loop_fused(op2_fused_" << ident << ", "
+     << group.front().set;
+  for (const auto& loop : group) {
+    os << ",\n      op2::fuse_loop(" << loop.kernel << ", \"" << loop.name
+       << "\"";
+    for (const auto& a : loop.args) {
+      os << ",\n          " << op2hpx_arg(a);
+    }
+    os << ")";
+  }
+  os << ");\n}\n";
   return os.str();
 }
 
@@ -508,6 +602,19 @@ std::string emit_translation_unit(const std::vector<parsed_loop>& loops,
   if (!opts.backend.empty()) {
     os << "// Backend: " << opts.backend << ".\n";
   }
+  // Fusion is an op2hpx-only transformation: the other targets emit
+  // the paper's per-loop schedules verbatim.
+  const bool fusing = opts.fuse && t == target::op2hpx;
+  std::vector<std::vector<std::size_t>> groups;
+  if (fusing) {
+    groups = fuse_groups(loops);
+    std::size_t nfused = 0;
+    for (const auto& g : groups) {
+      nfused += static_cast<std::size_t>(g.size() >= 2);
+    }
+    os << "// Fusion: on (" << loops.size() << " loops -> "
+       << groups.size() << " launches, " << nfused << " fused).\n";
+  }
   os << "\n";
   if (t == target::op2hpx && !opts.backend.empty()) {
     // Runtime bootstrap for the generated call sites: selection is by
@@ -518,6 +625,21 @@ std::string emit_translation_unit(const std::vector<parsed_loop>& loops,
        << "  op2::init(op2::make_config(\"" << opts.backend
        << "\", threads));\n"
        << "}\n\n";
+  }
+  if (fusing) {
+    for (const auto& g : groups) {
+      if (g.size() >= 2) {
+        std::vector<parsed_loop> members;
+        members.reserve(g.size());
+        for (const std::size_t i : g) {
+          members.push_back(loops[i]);
+        }
+        os << emit_fused_loop(members) << "\n";
+      } else {
+        os << emit_loop(loops[g.front()], t) << "\n";
+      }
+    }
+    return os.str();
   }
   for (const auto& loop : loops) {
     os << emit_loop(loop, t) << "\n";

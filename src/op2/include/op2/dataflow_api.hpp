@@ -20,11 +20,15 @@
 #pragma once
 
 #include <memory>
+#include <tuple>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "hpxlite/dataflow.hpp"
 #include "hpxlite/future.hpp"
 #include "op2/backpressure.hpp"
+#include "op2/fused_loop.hpp"
 #include "op2/par_loop.hpp"
 #include "op2/tenant.hpp"
 
@@ -219,6 +223,150 @@ hpxlite::shared_future<void> op_par_loop(Kernel kernel, const char* name,
     }
   }
 
+  return shared;
+}
+
+namespace detail {
+
+/// One member of a fused dataflow node, built by the op_arg_df overload
+/// of op2::fuse_loop below.
+template <typename Kernel, typename... T>
+struct fused_member_df {
+  const char* name;
+  Kernel kernel;
+  std::tuple<op_arg_df<T>...> args;
+};
+
+template <typename M>
+struct is_fused_member_df : std::false_type {};
+
+template <typename Kernel, typename... T>
+struct is_fused_member_df<fused_member_df<Kernel, T...>> : std::true_type {};
+
+template <typename MDF>
+struct stripped_impl;
+
+template <typename Kernel, typename... T>
+struct stripped_impl<fused_member_df<Kernel, T...>> {
+  using type = fused_member<Kernel, T...>;
+};
+
+/// The plain fused_member type behind a dataflow member (futures
+/// stripped; the node body runs the classic fused dispatch).
+template <typename MDF>
+using stripped_t = typename stripped_impl<MDF>::type;
+
+template <typename Kernel, typename... T>
+fused_member<Kernel, T...> strip_df(const fused_member_df<Kernel, T...>& m) {
+  return std::apply(
+      [&](const auto&... a) {
+        return fused_member<Kernel, T...>{m.name, m.kernel,
+                                          std::make_tuple(a.arg...)};
+      },
+      m.args);
+}
+
+}  // namespace detail
+
+/// Modified-API member of a fused launch (futures attached).
+template <typename Kernel, typename... T>
+detail::fused_member_df<Kernel, T...> fuse_loop(Kernel kernel,
+                                                const char* name,
+                                                op_arg_df<T>... args) {
+  return {name, std::move(kernel), std::make_tuple(std::move(args)...)};
+}
+
+/// Fused dataflow node: the member loops become ONE node in the
+/// dependency tree — one op-state, one admission ticket, one fire —
+/// that waits on the union of the members' dependency futures, runs
+/// the fused launch, and then becomes the last writer / a reader of
+/// each member dat exactly as if the members were separate nodes
+/// issued back-to-back.  Legality is checked synchronously through the
+/// fusion planner, so an illegal member list throws at the call site
+/// with the planner's explanation.
+template <typename... MDF,
+          typename = std::enable_if_t<
+              (detail::is_fused_member_df<MDF>::value && ...)>>
+hpxlite::shared_future<void> op_par_loop_fused(fused_handle& handle,
+                                               const op_set& set,
+                                               MDF... members) {
+  static_assert(sizeof...(MDF) >= 1,
+                "op_par_loop_fused needs at least one member");
+  // Validate each member synchronously — malformed loops throw at the
+  // call site exactly like the unfused dataflow op_par_loop.
+  const auto validate = [&set](const auto& m) {
+    std::apply(
+        [&](const auto&... a) {
+          auto probe = std::make_tuple(a.arg...);
+          detail::validate_args(m.name, set, probe);
+        },
+        m.args);
+  };
+  (validate(members), ...);
+  detail::validate_fusable(set, detail::strip_df(members)...);
+
+  // Dependency collection per the chaining rules, over the union of
+  // the members' arguments.  A dat used by several members installs
+  // once; written-anywhere wins over read-only.
+  std::vector<hpxlite::shared_future<void>> deps;
+  std::vector<std::pair<std::shared_ptr<detail::df_sync>, bool>> installs;
+  const auto collect = [&](const auto& a) {
+    if (!a.sync) {
+      return;
+    }
+    deps.push_back(a.sync->last_write);
+    if (writes(a.arg.acc)) {
+      deps.insert(deps.end(), a.sync->reads_since_write.begin(),
+                  a.sync->reads_since_write.end());
+    }
+    for (auto& [sync, is_writer] : installs) {
+      if (sync == a.sync) {
+        is_writer = is_writer || writes(a.arg.acc);
+        return;
+      }
+    }
+    installs.emplace_back(a.sync, writes(a.arg.acc));
+  };
+  const auto collect_member = [&](const auto& m) {
+    std::apply([&](const auto&... a) { (collect(a), ...); }, m.args);
+  };
+  (collect_member(members), ...);
+
+  auto ticket = detail::acquire_dataflow_ticket();
+  auto cache = handle.cache<detail::stripped_t<MDF>...>();
+  hpxlite::future<void> gate = hpxlite::when_all(deps);
+  hpxlite::future<void> done = hpxlite::dataflow(
+      hpxlite::launch::async,
+      [cache, set, ticket, pack = std::make_tuple(detail::strip_df(members)...),
+       deps = std::move(deps), policy = effective_failure_policy(),
+       tenant = detail::current_tenant()](hpxlite::future<void> ready) {
+        struct slot_release {
+          std::shared_ptr<detail::dataflow_ticket> held;
+          ~slot_release() { held->release(); }
+        } release{ticket};
+        ready.get();
+        for (const auto& d : deps) {
+          d.get();
+        }
+        tenant_scope scope(tenant);
+        std::apply(
+            [&](const auto&... m) {
+              detail::run_fused_sync(cache,
+                                     backend_registry::shared("hpx_foreach"),
+                                     policy, set, /*steps=*/1, m...);
+            },
+            pack);
+      },
+      std::move(gate));
+  hpxlite::shared_future<void> shared = done.share();
+  for (auto& [sync, is_writer] : installs) {
+    if (is_writer) {
+      sync->last_write = shared;
+      sync->reads_since_write.clear();
+    } else {
+      sync->reads_since_write.push_back(shared);
+    }
+  }
   return shared;
 }
 

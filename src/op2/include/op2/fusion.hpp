@@ -1,0 +1,130 @@
+// Cross-loop fusion planning — which adjacent op_par_loop launches may
+// legally collapse into one traversal.
+//
+// The planner consumes a *sequence* of loop descriptors (iteration set,
+// argument identities, access modes) and greedily grows fusion windows:
+// consecutive direct loops over the same set merge into one fused
+// launch whose members run element-contiguously — for each element, all
+// member kernels in program order.  That schedule preserves every
+// per-element RAW/WAR/WAW dependence a direct chain can have, because a
+// direct loop only touches element-local state (validate_args enforces
+// that direct dats live on the iteration set) plus globals, which are
+// handled separately below.  The flagship pair is Airfoil's
+// `update` → next-iteration `save_soln`: save_soln reads the q[i] the
+// fused update just wrote and rewrites qold[i] after update consumed
+// it, exactly as the unfused program order did — one pass over cells
+// instead of two.
+//
+// Legality rules, each recorded in the plan with a structured reason so
+// tests and the `describe()` introspection can see *why* a loop did not
+// fuse:
+//   - an indirect loop never fuses and closes the current window
+//     (its through-map reads/writes reach neighbouring elements, so no
+//     element-contiguous interleaving is safe without colouring-aware
+//     analysis this planner deliberately does not attempt);
+//   - a loop over a different set closes the window (no shared
+//     traversal exists);
+//   - a loop gated on a halo-exchange fence (`fence_before`) closes the
+//     window — shard boundary spans never fuse across a fence;
+//   - a loop touching a global an earlier window member *reduces into*
+//     closes the window: the fused launch merges reduction scratch only
+//     at finalize, so a member reading that global mid-window would see
+//     the pre-loop value.  A reducing loop itself may join anywhere —
+//     it is "tail only" with respect to that global's consumers.
+//     (The reverse order — read first, reduce later — is legal: the
+//     reader sees the pre-reduction value in both schedules.)
+//
+// Identities are opaque string tokens so the same planner serves both
+// the runtime (pointer tokens, see fused_loop.hpp) and the code
+// generator (variable names, see codegen --fuse).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "op2/access.hpp"
+
+namespace op2 {
+namespace fusion {
+
+/// One argument of a described loop, identity-only (no storage).
+struct arg_desc {
+  std::string dat;   // dat identity token; empty for globals
+  std::string map;   // map identity token; empty for direct access
+  std::string gbl;   // global-buffer identity token; empty for dats
+  access acc = OP_READ;
+
+  bool is_global() const noexcept { return !gbl.empty(); }
+  bool is_indirect() const noexcept { return !map.empty(); }
+};
+
+/// One loop of the planned sequence.
+struct loop_desc {
+  std::string name;
+  std::string set;   // iteration-set identity token
+  std::vector<arg_desc> args;
+  /// True when this loop is gated on a halo-exchange fence (or issued
+  /// under a different shard window) relative to the preceding loop;
+  /// fusion never crosses such a boundary.
+  bool fence_before = false;
+
+  bool direct() const noexcept;
+  bool has_reduction() const noexcept;
+};
+
+/// One launch of the planned schedule: a run of member loops (indices
+/// into the planned sequence) that execute as a single traversal.
+struct fusion_group {
+  std::vector<std::size_t> members;
+  std::string label;   // member names joined with '+'
+  std::string set;
+  bool fused() const noexcept { return members.size() > 1; }
+};
+
+/// The planner's verdict over a loop sequence, introspectable: groups
+/// in program order (singletons included) and, per loop, the reason it
+/// did not join the preceding window (empty when it did, or when no
+/// window was open to join).
+struct fusion_plan {
+  std::vector<loop_desc> loops;
+  std::vector<fusion_group> groups;
+  std::vector<std::string> notes;   // parallel to `loops`
+
+  std::size_t launches() const noexcept { return groups.size(); }
+  std::size_t fused_groups() const noexcept;
+  /// Human-readable plan: one line per launch with the member labels
+  /// and, for non-joining loops, the recorded reason.
+  std::string describe() const;
+};
+
+struct options {
+  /// OP2_FUSE: disabled planning yields an all-singleton plan, which
+  /// executes bit-identically to the fused one (the control arm).
+  bool enabled = true;
+};
+
+/// Plans the sequence in one pass (rules in the header comment).
+fusion_plan plan_fusion(std::vector<loop_desc> loops, options opt = {});
+
+/// Incremental flavour for drivers that discover their loop sequence
+/// while issuing it.
+class fusion_planner {
+ public:
+  void add(loop_desc loop) { loops_.push_back(std::move(loop)); }
+  std::size_t size() const noexcept { return loops_.size(); }
+  /// Consumes the accumulated sequence and plans it.
+  fusion_plan finish(options opt = {});
+
+ private:
+  std::vector<loop_desc> loops_;
+};
+
+/// Process-wide monotonic id stamped on each captured fused launch;
+/// op_timing_output's `fgroup` column reports it so concurrent fused
+/// sites stay distinguishable.
+std::uint64_t next_fused_group_id();
+
+}  // namespace fusion
+}  // namespace op2

@@ -21,6 +21,8 @@
 #include "op2/dat.hpp"
 #include "op2/dat_stats.hpp"
 #include "op2/dataflow_api.hpp"
+#include "op2/fused_loop.hpp"
+#include "op2/fusion.hpp"
 #include "op2/loop_executor.hpp"
 #include "op2/map.hpp"
 #include "op2/mesh_io.hpp"

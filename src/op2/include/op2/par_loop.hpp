@@ -236,11 +236,9 @@ struct loop_frame {
   }
 
   void run_range(int begin, int end) const {
-    slot_guard guard;
-    const unsigned slot = has_reduction ? acquire_slot(guard) : 0;
-    const auto ptrs = slot_ptrs(slot, std::index_sequence_for<T...>{});
+    const runner r(*this);
     for (int i = begin; i < end; ++i) {
-      invoke(i, ptrs, std::index_sequence_for<T...>{});
+      r(i);
     }
   }
 
@@ -296,6 +294,40 @@ struct loop_frame {
     return nslots - 1;
   }
 
+ public:
+  /// Resolves the reduction slot and the per-argument pointer tuple
+  /// once, then invokes the kernel per element — the body of run_range,
+  /// factored out so a fused launch (op2/fused_loop.hpp) can build one
+  /// runner per member frame and interleave their elements inside a
+  /// single traversal without re-resolving anything per element.
+  /// Move-only: it may hold the external overflow-slot lock for the
+  /// duration of the range.
+  class runner {
+   public:
+    explicit runner(const loop_frame& f) : frame_(&f) {
+      const unsigned slot = f.has_reduction ? f.acquire_slot(guard_) : 0;
+      ptrs_ = f.slot_ptrs(slot, std::index_sequence_for<T...>{});
+    }
+    runner(const runner&) = delete;
+    runner& operator=(const runner&) = delete;
+    runner(runner&& other) noexcept
+        : frame_(other.frame_), ptrs_(other.ptrs_) {
+      guard_.lock = other.guard_.lock;
+      other.guard_.lock = nullptr;
+    }
+    runner& operator=(runner&&) = delete;
+
+    void operator()(int i) const {
+      frame_->invoke(i, ptrs_, std::index_sequence_for<T...>{});
+    }
+
+   private:
+    const loop_frame* frame_;
+    slot_guard guard_;
+    std::tuple<T*...> ptrs_;
+  };
+
+ private:
   template <std::size_t I>
   auto slot_ptr(unsigned slot) const {
     auto& s = std::get<I>(scratch);

@@ -53,6 +53,14 @@ struct loop_profile {
   /// ("probing" / "converged" / "frozen", empty when untuned).
   std::uint64_t chunk_chosen = 0;
   std::string tuner_state;
+  /// Cross-loop fusion: the fused-launch id this row was captured
+  /// under (0 = not a fused launch; the report shows "-"), how many
+  /// member loops each launch replays, and the tile size the last
+  /// execution walked the set with (0 = untiled).  Fused rows carry the
+  /// aggregated member names ("update+save_soln") as their loop name.
+  std::uint64_t fused_group = 0;
+  std::uint64_t fused_loops = 0;
+  std::uint64_t tile_size = 0;
 
   bool empty() const {
     return invocations == 0 && retries == 0 && fallbacks == 0 &&
@@ -157,6 +165,12 @@ void record_allocs(const std::string& loop_name, std::uint64_t n);
 /// the loop's grain controller chose for the execution just fed, and
 /// the controller's state ("probing"/"converged"/"frozen").
 void record_tuner(slot* s, std::uint64_t chunk, const char* state);
+
+/// Fusion hook (no-op while profiling is disabled): stamps the fused
+/// launch's group id, member-loop count and the tile size the current
+/// execution used (0 = untiled) on the aggregated row.
+void record_fusion(slot* s, std::uint64_t group, std::uint64_t loops,
+                   std::uint64_t tile);
 
 /// Resilience hooks (no-ops while profiling is disabled): a write-set
 /// rollback + re-execution, a degradation to the seq executor, and a

@@ -121,6 +121,11 @@ constexpr const char* to_string(tuner_mode m) {
 /// Parses "on" | "off" | "freeze" (throws std::invalid_argument).
 tuner_mode parse_tuner_mode(const std::string& text);
 
+/// Parses the OP2_TILE / config::tile grammar: "" | "off" | "auto" |
+/// "<elems>".  Returns 0 for off, -1 for auto (grain-tuner fed), or the
+/// positive fixed tile size.  Throws std::invalid_argument otherwise.
+int parse_tile_spec(const std::string& text);
+
 struct config {
   backend bk = backend::seq;
   unsigned threads = 1;
@@ -142,6 +147,19 @@ struct config {
   /// Off (OP2_PREPARED=off) forces the one-shot path on every call —
   /// the control arm of the equivalence tests.
   bool prepared_loops = true;
+  /// Cross-loop fusion (OP2_FUSE, default on): op_par_loop_fused call
+  /// sites run their member loops as one element-contiguous traversal
+  /// when the fusion planner's legality rules allow it.  Off executes
+  /// the members as individual prepared loops — bit-identical results,
+  /// the control arm of the fusion tests and benchmarks.
+  bool fuse = true;
+  /// Tile size for fused direct chains (OP2_TILE): "" or "off" runs
+  /// each plan block/range as one tile; "auto" sizes tiles through the
+  /// grain tuner (a second calibration dimension per fused site);
+  /// "<elems>" fixes the tile.  A multi-step fused launch runs every
+  /// step of the chain over one tile before advancing, so the tile's
+  /// working set stays cache-hot across time steps.
+  std::string tile;
   /// Adaptive grain tuner (see tuner_mode / OP2_TUNER).  Applies only
   /// to prepared loops whose backend honours the chunk spec and whose
   /// configured chunker is the auto-partitioner; explicit chunkers are

@@ -1,0 +1,159 @@
+// Fusion planner implementation — one greedy pass over the described
+// loop sequence (rules documented in op2/fusion.hpp).
+#include "op2/fusion.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <sstream>
+#include <utility>
+
+namespace op2 {
+namespace fusion {
+
+bool loop_desc::direct() const noexcept {
+  return std::none_of(args.begin(), args.end(),
+                      [](const arg_desc& a) { return a.is_indirect(); });
+}
+
+bool loop_desc::has_reduction() const noexcept {
+  return std::any_of(args.begin(), args.end(), [](const arg_desc& a) {
+    return a.is_global() && is_reduction(a.acc);
+  });
+}
+
+std::size_t fusion_plan::fused_groups() const noexcept {
+  std::size_t n = 0;
+  for (const auto& g : groups) {
+    if (g.fused()) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::string fusion_plan::describe() const {
+  std::ostringstream out;
+  out << "fusion plan: " << loops.size() << " loop"
+      << (loops.size() == 1 ? "" : "s") << " -> " << groups.size()
+      << " launch" << (groups.size() == 1 ? "" : "es");
+  if (const std::size_t f = fused_groups(); f > 0) {
+    out << " (" << f << " fused)";
+  }
+  out << '\n';
+  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+    const fusion_group& g = groups[gi];
+    out << "  [" << gi << "] " << g.label;
+    if (g.fused()) {
+      out << "  fused x" << g.members.size();
+    }
+    const std::size_t first = g.members.front();
+    if (!notes[first].empty()) {
+      out << "  (" << notes[first] << ")";
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+namespace {
+
+/// The token of a global this loop touches that an earlier window
+/// member reduced into, or "" when there is no such hazard.
+std::string global_hazard(const std::vector<std::string>& window_reduced,
+                          const loop_desc& loop) {
+  for (const arg_desc& a : loop.args) {
+    if (!a.is_global()) {
+      continue;
+    }
+    if (std::find(window_reduced.begin(), window_reduced.end(), a.gbl) !=
+        window_reduced.end()) {
+      return a.gbl;
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+fusion_plan plan_fusion(std::vector<loop_desc> loops, options opt) {
+  fusion_plan plan;
+  plan.notes.assign(loops.size(), std::string{});
+  plan.loops = std::move(loops);
+
+  // Index of the open window (the last group, still accepting members),
+  // or npos when the window is closed (after an indirect loop, or with
+  // planning disabled).
+  constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t window = npos;
+  // Global tokens the open window's members reduce into; a later member
+  // touching one of these would read a not-yet-merged partial.
+  std::vector<std::string> window_reduced;
+
+  const auto open_group = [&plan](std::size_t i) {
+    fusion_group g;
+    g.members.push_back(i);
+    g.label = plan.loops[i].name;
+    g.set = plan.loops[i].set;
+    plan.groups.push_back(std::move(g));
+    return plan.groups.size() - 1;
+  };
+
+  for (std::size_t i = 0; i < plan.loops.size(); ++i) {
+    const loop_desc& l = plan.loops[i];
+    if (!opt.enabled) {
+      plan.notes[i] = "fusion disabled (OP2_FUSE=off)";
+      open_group(i);
+      continue;
+    }
+    if (!l.direct()) {
+      plan.notes[i] = "indirect loop breaks the window";
+      open_group(i);
+      window = npos;
+      window_reduced.clear();
+      continue;
+    }
+    std::string why;
+    if (window != npos) {
+      if (l.fence_before) {
+        why = "shard fence: spans never fuse across a halo exchange";
+      } else if (l.set != plan.groups[window].set) {
+        why = "iterates a different set than the open window";
+      } else {
+        why = global_hazard(window_reduced, l);
+        if (!why.empty()) {
+          why = "touches global '" + why + "' reduced earlier in the window";
+        }
+      }
+    }
+    if (window != npos && why.empty()) {
+      fusion_group& g = plan.groups[window];
+      g.members.push_back(i);
+      g.label += '+';
+      g.label += l.name;
+    } else {
+      plan.notes[i] = std::move(why);
+      window = open_group(i);
+      window_reduced.clear();
+    }
+    for (const arg_desc& a : l.args) {
+      if (a.is_global() && is_reduction(a.acc)) {
+        window_reduced.push_back(a.gbl);
+      }
+    }
+  }
+  return plan;
+}
+
+fusion_plan fusion_planner::finish(options opt) {
+  auto loops = std::move(loops_);
+  loops_.clear();
+  return plan_fusion(std::move(loops), opt);
+}
+
+std::uint64_t next_fused_group_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace fusion
+}  // namespace op2

@@ -141,6 +141,17 @@ void record_tuner(slot* s, std::uint64_t chunk, const char* state) {
   s->p.tuner_state = state;
 }
 
+void record_fusion(slot* s, std::uint64_t group, std::uint64_t loops,
+                   std::uint64_t tile) {
+  if (!enabled() || s == nullptr) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(g_mutex);
+  s->p.fused_group = group;
+  s->p.fused_loops = loops;
+  s->p.tile_size = tile;
+}
+
 void record_retry(const std::string& loop_name) {
   if (!enabled()) {
     return;
@@ -346,6 +357,8 @@ void report(std::ostream& out) {
       << std::setw(9) << "degrade"
       << std::setw(10) << "captures" << std::setw(9) << "replays"
       << std::setw(13) << "chunk_chosen" << std::setw(12) << "tuner_state"
+      << std::setw(8) << "fgroup" << std::setw(8) << "nfused"
+      << std::setw(8) << "tile"
       << "\n";
   for (const auto& [name, p] : rows) {
     const double avg_us = p.invocations != 0
@@ -380,8 +393,19 @@ void report(std::ostream& out) {
     } else {
       out << std::setw(13) << "-";
     }
-    out << std::setw(12) << (p.tuner_state.empty() ? "-" : p.tuner_state)
-        << "\n";
+    out << std::setw(12) << (p.tuner_state.empty() ? "-" : p.tuner_state);
+    if (p.fused_loops > 1) {
+      out << std::setw(8) << p.fused_group << std::setw(8) << p.fused_loops;
+      if (p.tile_size != 0) {
+        out << std::setw(8) << p.tile_size;
+      } else {
+        out << std::setw(8) << "-";
+      }
+    } else {
+      out << std::setw(8) << "-" << std::setw(8) << "-" << std::setw(8)
+          << "-";
+    }
+    out << "\n";
   }
   const auto shards = shard_snapshot();
   if (!shards.empty()) {

@@ -57,6 +57,23 @@ void apply_resilience_env(config& cfg) {
                                   v + "'");
     }
   }
+  if (const char* env = std::getenv("OP2_FUSE");
+      env != nullptr && *env != '\0') {
+    const std::string v = env;
+    if (v == "off" || v == "0" || v == "false") {
+      cfg.fuse = false;
+    } else if (v == "on" || v == "1" || v == "true") {
+      cfg.fuse = true;
+    } else {
+      throw std::invalid_argument("op2: OP2_FUSE must be on or off, got '" +
+                                  v + "'");
+    }
+  }
+  if (const char* env = std::getenv("OP2_TILE");
+      env != nullptr && *env != '\0') {
+    parse_tile_spec(env);  // validate eagerly: fail at init, not launch
+    cfg.tile = env;
+  }
   if (const char* env = std::getenv("OP2_FAILURE_POLICY");
       env != nullptr && *env != '\0') {
     cfg.on_failure = parse_failure_policy(env);
@@ -295,6 +312,31 @@ tuner_mode parse_tuner_mode(const std::string& text) {
   }
   throw std::invalid_argument("op2: OP2_TUNER must be on, off or freeze, got '" +
                               text + "'");
+}
+
+int parse_tile_spec(const std::string& text) {
+  if (text.empty() || text == "off") {
+    return 0;
+  }
+  if (text == "auto") {
+    return -1;
+  }
+  long n = 0;
+  try {
+    std::size_t used = 0;
+    n = std::stol(text, &used);
+    if (used != text.size()) {
+      n = 0;
+    }
+  } catch (const std::exception&) {
+    n = 0;
+  }
+  if (n <= 0) {
+    throw std::invalid_argument(
+        "op2: OP2_TILE must be off, auto or a positive element count, got '" +
+        text + "'");
+  }
+  return static_cast<int>(n);
 }
 
 config make_config(const std::string& backend_name, unsigned threads,

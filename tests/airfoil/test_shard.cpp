@@ -222,12 +222,28 @@ TEST_F(ShardChaos, ProfilingShowsPerShardLoopsExchangesAndShape) {
   // Per-shard loop instances are profiled under their qualified names
   // and hit the prepared-loop replay path after the first invocation.
   const auto loops = op2::profiling::snapshot();
-  for (const char* name : {"adt_calc@s0", "adt_calc@s1", "res_calc@s0",
-                           "update@s1"}) {
+  for (const char* name : {"adt_calc@s0", "adt_calc@s1", "res_calc@s0"}) {
     const auto it = loops.find(name);
     ASSERT_NE(it, loops.end()) << name;
     EXPECT_EQ(it->second.invocations, 2u * kIters) << name;
     EXPECT_GE(it->second.replays, 1u) << name;
+  }
+  // The k=1 update fuses with the next iteration's save_soln into one
+  // launch profiled under the aggregated name; only the k=0 updates and
+  // the final iteration's k=1 update remain standalone.
+  {
+    const auto it = loops.find("update@s1");
+    ASSERT_NE(it, loops.end());
+    EXPECT_EQ(it->second.invocations, static_cast<std::uint64_t>(kIters + 1));
+    EXPECT_GE(it->second.replays, 1u);
+  }
+  {
+    const auto it = loops.find("update@s1+save_soln@s1");
+    ASSERT_NE(it, loops.end());
+    EXPECT_EQ(it->second.invocations, static_cast<std::uint64_t>(kIters - 1));
+    EXPECT_GE(it->second.replays, 1u);
+    EXPECT_EQ(it->second.fused_loops, 2u);
+    EXPECT_GT(it->second.fused_group, 0u);
   }
 
   // The shard table: one row per shard carrying the owner/halo shape

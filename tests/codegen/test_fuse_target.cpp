@@ -1,0 +1,198 @@
+// The translator's --fuse mode: adjacent direct loops over the same
+// set are grouped by the string-level mirror of the runtime fusion
+// planner and emitted as ONE op2::op_par_loop_fused call site.  As
+// with the op2hpx target, the golden string is kept in lockstep with a
+// compiled-and-executed copy, proving the emitted fused code is valid
+// C++ for the library AND produces the same bits as the unfused loops.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "codegen/translator.hpp"
+#include "op2/op2.hpp"
+
+namespace {
+
+const char* kFusableSource = R"(
+  op_par_loop(scale_kernel, "scale", cells,
+      op_arg_dat(p_a, -1, OP_ID, 1, "double", OP_READ),
+      op_arg_dat(p_b, -1, OP_ID, 1, "double", OP_WRITE),
+      op_arg_gbl(&total, 1, "double", OP_INC));
+  op_par_loop(shift_kernel, "shift", cells,
+      op_arg_dat(p_b, -1, OP_ID, 1, "double", OP_RW));
+)";
+
+const char* kGoldenFusedBody =
+    "  static op2::fused_handle op2_fused_scale_kernel_shift_kernel;\n"
+    "  op2::op_par_loop_fused(op2_fused_scale_kernel_shift_kernel, cells,\n"
+    "      op2::fuse_loop(scale_kernel, \"scale\",\n"
+    "          op2::op_arg_dat<double>(p_a, -1, op2::OP_ID, 1, "
+    "op2::OP_READ),\n"
+    "          op2::op_arg_dat<double>(p_b, -1, op2::OP_ID, 1, "
+    "op2::OP_WRITE),\n"
+    "          op2::op_arg_gbl<double>(&total, 1, op2::OP_INC)),\n"
+    "      op2::fuse_loop(shift_kernel, \"shift\",\n"
+    "          op2::op_arg_dat<double>(p_b, -1, op2::OP_ID, 1, "
+    "op2::OP_RW)));\n";
+
+TEST(FuseTarget, AdjacentDirectSameSetLoopsFormOneGroup) {
+  const auto loops = codegen::parse_loops(kFusableSource);
+  ASSERT_EQ(loops.size(), 2u);
+  const auto groups = codegen::fuse_groups(loops);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0], (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(FuseTarget, IndirectLoopIsSingletonAndBreaksTheWindow) {
+  const auto loops = codegen::parse_loops(R"(
+    op_par_loop(a, "a", cells,
+        op_arg_dat(d1, -1, OP_ID, 1, "double", OP_RW));
+    op_par_loop(r, "r", edges,
+        op_arg_dat(d1, 0, pecell, 1, "double", OP_INC));
+    op_par_loop(b, "b", cells,
+        op_arg_dat(d1, -1, OP_ID, 1, "double", OP_RW));
+  )");
+  const auto groups = codegen::fuse_groups(loops);
+  ASSERT_EQ(groups.size(), 3u);
+  for (const auto& g : groups) {
+    EXPECT_EQ(g.size(), 1u);
+  }
+}
+
+TEST(FuseTarget, MismatchedSetsDoNotFuse) {
+  const auto loops = codegen::parse_loops(R"(
+    op_par_loop(a, "a", cells,
+        op_arg_dat(d1, -1, OP_ID, 1, "double", OP_RW));
+    op_par_loop(b, "b", nodes,
+        op_arg_dat(d2, -1, OP_ID, 1, "double", OP_RW));
+  )");
+  const auto groups = codegen::fuse_groups(loops);
+  ASSERT_EQ(groups.size(), 2u);
+}
+
+TEST(FuseTarget, TouchingAReducedGlobalBreaksTheGroup) {
+  // a reduces into &g; b reads the same global mid-window, so it must
+  // not join (the fused merge happens at finalize, after b would have
+  // read a stale value).  c starts a fresh window and fuses with b.
+  const auto loops = codegen::parse_loops(R"(
+    op_par_loop(a, "a", cells,
+        op_arg_dat(d1, -1, OP_ID, 1, "double", OP_READ),
+        op_arg_gbl(&g, 1, "double", OP_INC));
+    op_par_loop(b, "b", cells,
+        op_arg_dat(d1, -1, OP_ID, 1, "double", OP_RW),
+        op_arg_gbl(&g, 1, "double", OP_READ));
+    op_par_loop(c, "c", cells,
+        op_arg_dat(d1, -1, OP_ID, 1, "double", OP_RW));
+  )");
+  const auto groups = codegen::fuse_groups(loops);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0], (std::vector<std::size_t>{0}));
+  EXPECT_EQ(groups[1], (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(FuseTarget, ReductionInTheLastMemberFusesFine) {
+  // The reducing loop itself fuses anywhere — only a LATER touch of
+  // its target global is a hazard.
+  const auto loops = codegen::parse_loops(R"(
+    op_par_loop(a, "a", cells,
+        op_arg_dat(d1, -1, OP_ID, 1, "double", OP_RW));
+    op_par_loop(b, "b", cells,
+        op_arg_dat(d1, -1, OP_ID, 1, "double", OP_READ),
+        op_arg_gbl(&g, 1, "double", OP_INC));
+  )");
+  const auto groups = codegen::fuse_groups(loops);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].size(), 2u);
+}
+
+TEST(FuseTarget, EmitsGoldenFusedCallSite) {
+  const auto loops = codegen::parse_loops(kFusableSource);
+  const auto code = codegen::emit_fused_loop(loops);
+  EXPECT_NE(code.find(kGoldenFusedBody), std::string::npos)
+      << "emitted:\n"
+      << code;
+  EXPECT_NE(code.find("fused group 'scale+shift'"), std::string::npos);
+  EXPECT_NE(code.find("void op_par_loop_scale_kernel_shift_kernel("),
+            std::string::npos);
+}
+
+// The kernels the generated fused call site names.
+void scale_kernel(const double* a, double* b, double* total) {
+  b[0] = 2.0 * a[0];
+  total[0] += a[0];
+}
+void shift_kernel(double* b) { b[0] += 1.0; }
+
+TEST(FuseTarget, GoldenFusedCallSiteExecutes) {
+  op2::init(op2::make_config("hpx_foreach", 2));
+  auto cells = op2::op_decl_set(100, "cells");
+  std::vector<double> init(100, 3.0);
+  auto p_a = op2::op_decl_dat<double>(cells, 1, "double",
+                                      std::span<const double>(init), "a");
+  auto p_b = op2::op_decl_dat<double>(cells, 1, "double", "b");
+  double total = 0.0;
+
+  // --- exactly the golden body, verbatim ---
+  static op2::fused_handle op2_fused_scale_kernel_shift_kernel;
+  op2::op_par_loop_fused(op2_fused_scale_kernel_shift_kernel, cells,
+      op2::fuse_loop(scale_kernel, "scale",
+          op2::op_arg_dat<double>(p_a, -1, op2::OP_ID, 1, op2::OP_READ),
+          op2::op_arg_dat<double>(p_b, -1, op2::OP_ID, 1, op2::OP_WRITE),
+          op2::op_arg_gbl<double>(&total, 1, op2::OP_INC)),
+      op2::fuse_loop(shift_kernel, "shift",
+          op2::op_arg_dat<double>(p_b, -1, op2::OP_ID, 1, op2::OP_RW)));
+  // -----------------------------------------
+
+  EXPECT_DOUBLE_EQ(total, 300.0);
+  EXPECT_DOUBLE_EQ(p_b.data<double>()[7], 7.0);  // 2*3 then +1
+  op2::finalize();
+}
+
+TEST(FuseTarget, TranslationUnitFusesOnlyWithTheFlag) {
+  const auto loops = codegen::parse_loops(kFusableSource);
+  codegen::emit_options opts;
+  opts.fuse = true;
+  const auto fused = codegen::emit_translation_unit(
+      loops, codegen::target::op2hpx, opts);
+  EXPECT_NE(fused.find(kGoldenFusedBody), std::string::npos) << fused;
+  EXPECT_NE(fused.find("// Fusion: on (2 loops -> 1 launches, 1 fused)."),
+            std::string::npos)
+      << fused;
+  // Without --fuse the op2hpx target emits one prepared loop per call
+  // site, bit-identical to what it emitted before the flag existed.
+  const auto plain = codegen::emit_translation_unit(
+      loops, codegen::target::op2hpx);
+  EXPECT_EQ(plain.find("op_par_loop_fused"), std::string::npos);
+  EXPECT_EQ(plain.find("// Fusion"), std::string::npos);
+  // Non-op2hpx targets ignore the flag entirely.
+  const auto omp = codegen::emit_translation_unit(
+      loops, codegen::target::openmp, opts);
+  EXPECT_EQ(omp.find("op_par_loop_fused"), std::string::npos);
+}
+
+TEST(FuseTarget, SingletonGroupsStillEmitPreparedLoops) {
+  // A fused TU with an indirect loop in the middle: the indirect loop
+  // emits as a plain prepared op_par_loop between two fused launches.
+  const auto loops = codegen::parse_loops(R"(
+    op_par_loop(a, "a", cells,
+        op_arg_dat(d1, -1, OP_ID, 1, "double", OP_RW));
+    op_par_loop(b, "b", cells,
+        op_arg_dat(d1, -1, OP_ID, 1, "double", OP_READ),
+        op_arg_dat(d2, -1, OP_ID, 1, "double", OP_WRITE));
+    op_par_loop(r, "r", edges,
+        op_arg_dat(d1, 0, pecell, 1, "double", OP_INC));
+  )");
+  codegen::emit_options opts;
+  opts.fuse = true;
+  const auto tu = codegen::emit_translation_unit(
+      loops, codegen::target::op2hpx, opts);
+  EXPECT_NE(tu.find("op2_fused_a_b"), std::string::npos) << tu;
+  EXPECT_NE(tu.find("static op2::loop_handle op2_handle_r;"),
+            std::string::npos)
+      << tu;
+  EXPECT_NE(tu.find("// Fusion: on (3 loops -> 2 launches, 1 fused)."),
+            std::string::npos)
+      << tu;
+}
+
+}  // namespace

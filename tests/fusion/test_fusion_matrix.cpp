@@ -1,0 +1,293 @@
+// The fusion acceptance matrix: on every driver — classic, async,
+// dataflow and hpx_shard at 1/2/4 shards — Airfoil with OP2_FUSE=on
+// must reproduce that SAME driver's OP2_FUSE=off q field bit-for-bit
+// (fusion is a schedule change; a single flipped bit fails the
+// matrix), and every arm must track the unfused seq oracle's rms
+// history to the repo's standard 1e-12 relative tolerance.  seq and
+// hpx_shard are additionally held bit-identical to the seq oracle,
+// matching the guarantees test_backend_equivalence / test_shard
+// already pin for the unfused drivers.
+//
+// Plus FusedStress: concurrent fused replays hammering one shared
+// fused_handle (the site cache's find/CAS/rebind path) and concurrent
+// fused dataflow nodes — also the TSan target scripts/check.sh runs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "airfoil/airfoil.hpp"
+#include "op2/op2.hpp"
+
+namespace {
+
+using airfoil::generate_mesh;
+using airfoil::make_sim;
+using airfoil::mesh_params;
+using airfoil::run_with_backend;
+
+constexpr int kIters = 6;
+
+mesh_params small_mesh() {
+  mesh_params p;
+  p.imax = 16;
+  p.jmax = 8;
+  return p;
+}
+
+struct field_result {
+  std::vector<double> q;
+  std::vector<double> rms;
+};
+
+field_result run_under(const op2::config& cfg, const std::string& backend) {
+  op2::init(cfg);
+  auto s = make_sim(generate_mesh(small_mesh()));
+  const auto r = run_with_backend(s, kIters, backend);
+  field_result out;
+  const auto q = s.p_q.data<double>();
+  out.q.assign(q.begin(), q.end());
+  out.rms = r.rms_history;
+  op2::finalize();
+  return out;
+}
+
+/// The oracle: sequential with fusion DISABLED — the pre-PR-9 program.
+const field_result& unfused_seq_reference() {
+  static const field_result ref = [] {
+    auto cfg = op2::make_config("seq", 1, 32);
+    cfg.fuse = false;
+    return run_under(cfg, "seq");
+  }();
+  return ref;
+}
+
+/// Fused vs unfused of the SAME driver: bit-for-bit on every q entry.
+/// rms gets the repo's standard 1e-12 relative tolerance instead: it
+/// is a global +-reduction, and a fused launch may partition blocks
+/// differently than the unfused loop, reassociating the partial sums
+/// (q is per-element arithmetic and has no such freedom).
+void expect_same_bits(const field_result& fused, const field_result& unfused,
+                      const std::string& what) {
+  ASSERT_EQ(fused.q.size(), unfused.q.size()) << what;
+  for (std::size_t i = 0; i < unfused.q.size(); ++i) {
+    ASSERT_EQ(fused.q[i], unfused.q[i]) << what << " q entry " << i;
+  }
+  ASSERT_EQ(fused.rms.size(), unfused.rms.size()) << what;
+  for (std::size_t i = 0; i < unfused.rms.size(); ++i) {
+    EXPECT_NEAR(fused.rms[i], unfused.rms[i],
+                1e-12 * std::max(1.0, std::fabs(unfused.rms[i])))
+        << what << " rms entry " << i;
+  }
+}
+
+/// Any arm vs the seq oracle: rms to the standard relative tolerance.
+void expect_tracks_oracle_rms(const field_result& got,
+                              const std::string& what) {
+  const auto& ref = unfused_seq_reference();
+  ASSERT_EQ(got.rms.size(), ref.rms.size()) << what;
+  for (std::size_t i = 0; i < ref.rms.size(); ++i) {
+    EXPECT_NEAR(got.rms[i], ref.rms[i],
+                1e-12 * std::max(1.0, std::fabs(ref.rms[i])))
+        << what << " iteration " << i;
+  }
+}
+
+void expect_matches_oracle(const field_result& got, const std::string& what) {
+  const auto& ref = unfused_seq_reference();
+  ASSERT_EQ(got.q.size(), ref.q.size()) << what;
+  for (std::size_t i = 0; i < ref.q.size(); ++i) {
+    ASSERT_EQ(got.q[i], ref.q[i]) << what << " q entry " << i;
+  }
+  expect_tracks_oracle_rms(got, what);
+}
+
+class FusionMatrix : public ::testing::TestWithParam<std::string> {
+ protected:
+  void TearDown() override { op2::finalize(); }
+};
+
+TEST_P(FusionMatrix, FusedRunIsBitIdenticalToTheUnfusedDriver) {
+  const auto& backend = GetParam();
+  auto fused_cfg = op2::make_config(backend, 4, 32);
+  ASSERT_TRUE(fused_cfg.fuse);  // fusion defaults ON — this run fuses
+  auto unfused_cfg = fused_cfg;
+  unfused_cfg.fuse = false;
+  const auto fused = run_under(fused_cfg, backend);
+  const auto unfused = run_under(unfused_cfg, backend);
+  expect_same_bits(fused, unfused, backend + "/fused-vs-unfused");
+  expect_tracks_oracle_rms(fused, backend + "/fused-vs-seq-oracle");
+  if (backend == "seq") {
+    // The seq driver fused must still BE the oracle, bit-for-bit.
+    expect_matches_oracle(fused, "seq/fused-vs-seq-oracle");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, FusionMatrix,
+    ::testing::Values("seq", "hpx_foreach", "hpx_async", "hpx_dataflow"),
+    [](const ::testing::TestParamInfo<std::string>& p) { return p.param; });
+
+class FusionShardMatrix : public ::testing::TestWithParam<int> {
+ protected:
+  void TearDown() override { op2::finalize(); }
+};
+
+TEST_P(FusionShardMatrix, FusedShardedRunIsBitIdenticalToUnfusedSeq) {
+  // hpx_shard guarantees bit-identity to seq at every shard count (the
+  // test_shard acceptance matrix); fusion must preserve that.
+  auto cfg = op2::make_config("hpx_shard", 4, 32);
+  cfg.shards = GetParam();
+  ASSERT_TRUE(cfg.fuse);
+  const auto got = run_under(cfg, "hpx_shard");
+  expect_matches_oracle(got,
+                        "hpx_shard/fused/N" + std::to_string(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, FusionShardMatrix,
+                         ::testing::Values(1, 2, 4),
+                         [](const ::testing::TestParamInfo<int>& p) {
+                           return "N" + std::to_string(p.param);
+                         });
+
+// --- stress ------------------------------------------------------------
+
+void ks_scale(const double* a, double* b) { b[0] = 0.5 * a[0] + 0.5 * b[0]; }
+void ks_shift(double* b) { b[0] += 1.0; }
+
+struct pair_sim {
+  op2::op_set elems;
+  op2::op_dat d_a, d_b;
+};
+
+pair_sim make_pair_sim(int n, const std::string& tag) {
+  pair_sim s;
+  s.elems = op2::op_decl_set(n, "elems_" + tag);
+  std::vector<double> a(static_cast<std::size_t>(n), 2.0);
+  std::vector<double> b(static_cast<std::size_t>(n), 0.0);
+  s.d_a = op2::op_decl_dat<double>(s.elems, 1, "double",
+                                   std::span<const double>(a), "a_" + tag);
+  s.d_b = op2::op_decl_dat<double>(s.elems, 1, "double",
+                                   std::span<const double>(b), "b_" + tag);
+  return s;
+}
+
+void run_fused_pair(op2::fused_handle& h, pair_sim& s) {
+  op2::op_par_loop_fused(h, s.elems,
+      op2::fuse_loop(ks_scale, "ks_scale",
+          op2::op_arg_dat<double>(s.d_a, -1, op2::OP_ID, 1, op2::OP_READ),
+          op2::op_arg_dat<double>(s.d_b, -1, op2::OP_ID, 1, op2::OP_RW)),
+      op2::fuse_loop(ks_shift, "ks_shift",
+          op2::op_arg_dat<double>(s.d_b, -1, op2::OP_ID, 1, op2::OP_RW)));
+}
+
+class FusedStress : public ::testing::Test {
+ protected:
+  void TearDown() override { op2::finalize(); }
+};
+
+TEST_F(FusedStress, ConcurrentReplaysThroughOneSharedHandle) {
+  // Four threads, each with its own mesh, all funnelled through ONE
+  // fused_handle: distinct site-cache entries replay concurrently
+  // while the find/CAS/busy paths contend.  Every thread's result must
+  // equal the serial reference exactly.
+  op2::init(op2::make_config("seq", 1, 64));
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 100;
+  constexpr int kElems = 256;
+
+  auto ref = make_pair_sim(kElems, "ref");
+  static op2::fused_handle h;
+  for (int i = 0; i < kRounds; ++i) {
+    run_fused_pair(h, ref);
+  }
+  const std::vector<double> want(ref.d_b.data<double>().begin(),
+                                 ref.d_b.data<double>().end());
+
+  std::vector<pair_sim> sims;
+  sims.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    sims.push_back(make_pair_sim(kElems, "t" + std::to_string(t)));
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kRounds; ++i) {
+        run_fused_pair(h, sims[static_cast<std::size_t>(t)]);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    const auto got = sims[static_cast<std::size_t>(t)].d_b.data<double>();
+    for (int i = 0; i < kElems; ++i) {
+      ASSERT_EQ(got[i], want[static_cast<std::size_t>(i)])
+          << "thread " << t << " element " << i;
+    }
+  }
+}
+
+TEST_F(FusedStress, ConcurrentFusedDataflowNodes) {
+  // Independent fused nodes racing on the worker pool: each pair of
+  // dats gets its own node per round, every future must resolve and
+  // the results must be exact.
+  op2::init(op2::make_config("hpx_dataflow", 4, 64));
+  constexpr int kPairs = 4;
+  constexpr int kRounds = 50;
+  constexpr int kElems = 128;
+  {
+    std::vector<op2::op_dat_df> as;
+    std::vector<op2::op_dat_df> bs;
+    std::vector<op2::op_set> sets;
+    for (int p = 0; p < kPairs; ++p) {
+      const auto tag = std::to_string(p);
+      sets.push_back(op2::op_decl_set(kElems, "df_elems_" + tag));
+      std::vector<double> a(kElems, 2.0);
+      std::vector<double> b(kElems, 0.0);
+      as.emplace_back(op2::op_decl_dat<double>(
+          sets.back(), 1, "double", std::span<const double>(a),
+          "df_a_" + tag));
+      bs.emplace_back(op2::op_decl_dat<double>(
+          sets.back(), 1, "double", std::span<const double>(b),
+          "df_b_" + tag));
+    }
+    static op2::fused_handle h;
+    std::vector<hpxlite::shared_future<void>> last(kPairs);
+    for (int round = 0; round < kRounds; ++round) {
+      for (int p = 0; p < kPairs; ++p) {
+        const auto i = static_cast<std::size_t>(p);
+        last[i] = op2::op_par_loop_fused(h, sets[i],
+            op2::fuse_loop(ks_scale, "ks_scale",
+                op2::op_arg_dat1<double>(as[i], -1, op2::OP_ID, 1,
+                                         op2::OP_READ),
+                op2::op_arg_dat1<double>(bs[i], -1, op2::OP_ID, 1,
+                                         op2::OP_RW)),
+            op2::fuse_loop(ks_shift, "ks_shift",
+                op2::op_arg_dat1<double>(bs[i], -1, op2::OP_ID, 1,
+                                         op2::OP_RW)));
+      }
+    }
+    for (auto& f : last) {
+      f.get();
+    }
+    // Serial reference of the same recurrence.
+    double want = 0.0;
+    for (int round = 0; round < kRounds; ++round) {
+      want = 0.5 * 2.0 + 0.5 * want + 1.0;
+    }
+    for (int p = 0; p < kPairs; ++p) {
+      const auto got = bs[static_cast<std::size_t>(p)].dat().data<double>();
+      for (int i = 0; i < kElems; ++i) {
+        ASSERT_EQ(got[i], want) << "pair " << p << " element " << i;
+      }
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,168 @@
+// The fusion planner's legality edges, one by one: each rule from
+// op2/fusion.hpp gets a sequence that trips exactly it, and the
+// recorded note is asserted so `describe()` stays honest.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "op2/fusion.hpp"
+
+namespace {
+
+using op2::fusion::arg_desc;
+using op2::fusion::loop_desc;
+using op2::fusion::options;
+using op2::fusion::plan_fusion;
+
+arg_desc dat(const std::string& id, op2::access acc) {
+  arg_desc a;
+  a.dat = id;
+  a.acc = acc;
+  return a;
+}
+
+arg_desc via_map(const std::string& id, const std::string& map,
+                 op2::access acc) {
+  arg_desc a;
+  a.dat = id;
+  a.map = map;
+  a.acc = acc;
+  return a;
+}
+
+arg_desc gbl(const std::string& id, op2::access acc) {
+  arg_desc a;
+  a.gbl = id;
+  a.acc = acc;
+  return a;
+}
+
+loop_desc loop(const std::string& name, const std::string& set,
+               std::vector<arg_desc> args, bool fence = false) {
+  loop_desc l;
+  l.name = name;
+  l.set = set;
+  l.args = std::move(args);
+  l.fence_before = fence;
+  return l;
+}
+
+TEST(FusionPlanner, AdjacentDirectSameSetLoopsFuse) {
+  const auto plan = plan_fusion({
+      loop("update", "cells", {dat("q", op2::OP_WRITE)}),
+      loop("save_soln", "cells",
+           {dat("q", op2::OP_READ), dat("qold", op2::OP_WRITE)}),
+  });
+  ASSERT_EQ(plan.launches(), 1u);
+  EXPECT_EQ(plan.fused_groups(), 1u);
+  EXPECT_EQ(plan.groups[0].label, "update+save_soln");
+  EXPECT_TRUE(plan.groups[0].fused());
+  EXPECT_NE(plan.describe().find("update+save_soln"), std::string::npos)
+      << plan.describe();
+}
+
+TEST(FusionPlanner, IndirectLoopBreaksTheWindow) {
+  // direct, indirect, direct: three launches, none fused — the
+  // indirect loop is a singleton AND closes the window behind it.
+  const auto plan = plan_fusion({
+      loop("adt", "cells", {dat("q", op2::OP_RW)}),
+      loop("res", "edges", {via_map("q", "pecell", op2::OP_INC)}),
+      loop("update", "cells", {dat("q", op2::OP_RW)}),
+  });
+  ASSERT_EQ(plan.launches(), 3u);
+  EXPECT_EQ(plan.fused_groups(), 0u);
+  EXPECT_NE(plan.notes[1].find("indirect"), std::string::npos);
+}
+
+TEST(FusionPlanner, MismatchedSetsDoNotFuse) {
+  const auto plan = plan_fusion({
+      loop("a", "cells", {dat("q", op2::OP_RW)}),
+      loop("b", "nodes", {dat("x", op2::OP_RW)}),
+  });
+  ASSERT_EQ(plan.launches(), 2u);
+  EXPECT_NE(plan.notes[1].find("different set"), std::string::npos);
+}
+
+TEST(FusionPlanner, TouchingAReducedGlobalClosesTheWindow) {
+  // update reduces into rms; a later reader of rms must not join the
+  // same window (the merge happens at finalize), but it opens a fresh
+  // window that c then joins.
+  const auto plan = plan_fusion({
+      loop("update", "cells",
+           {dat("q", op2::OP_RW), gbl("rms", op2::OP_INC)}),
+      loop("report", "cells",
+           {dat("q", op2::OP_READ), gbl("rms", op2::OP_READ)}),
+      loop("c", "cells", {dat("q", op2::OP_RW)}),
+  });
+  ASSERT_EQ(plan.launches(), 2u);
+  EXPECT_EQ(plan.groups[0].label, "update");
+  EXPECT_EQ(plan.groups[1].label, "report+c");
+  EXPECT_NE(plan.notes[1].find("reduced earlier"), std::string::npos);
+}
+
+TEST(FusionPlanner, ReductionFusesWhenNothingTouchesItLater) {
+  // The reducing loop joins anywhere; read-then-reduce is also legal
+  // (the reader sees the pre-reduction value in both schedules).
+  const auto plan = plan_fusion({
+      loop("report", "cells",
+           {dat("q", op2::OP_READ), gbl("rms", op2::OP_READ)}),
+      loop("update", "cells",
+           {dat("q", op2::OP_RW), gbl("rms", op2::OP_INC)}),
+  });
+  ASSERT_EQ(plan.launches(), 1u);
+  EXPECT_EQ(plan.groups[0].label, "report+update");
+}
+
+TEST(FusionPlanner, ReReducingTheSameGlobalAlsoCloses) {
+  // "touch" includes a second reduction: two INC members into the same
+  // global would merge their scratch in an order the unfused program
+  // never had.
+  const auto plan = plan_fusion({
+      loop("a", "cells", {gbl("rms", op2::OP_INC)}),
+      loop("b", "cells", {gbl("rms", op2::OP_INC)}),
+  });
+  ASSERT_EQ(plan.launches(), 2u);
+  EXPECT_NE(plan.notes[1].find("reduced earlier"), std::string::npos);
+}
+
+TEST(FusionPlanner, ShardFenceNeverFusesAcross) {
+  const auto plan = plan_fusion({
+      loop("interior", "cells", {dat("q", op2::OP_RW)}),
+      loop("boundary", "cells", {dat("q", op2::OP_RW)}, /*fence=*/true),
+  });
+  ASSERT_EQ(plan.launches(), 2u);
+  EXPECT_NE(plan.notes[1].find("fence"), std::string::npos);
+}
+
+TEST(FusionPlanner, DisabledPlansAllSingletons) {
+  options off;
+  off.enabled = false;
+  const auto plan = plan_fusion(
+      {
+          loop("update", "cells", {dat("q", op2::OP_WRITE)}),
+          loop("save_soln", "cells", {dat("q", op2::OP_READ)}),
+      },
+      off);
+  ASSERT_EQ(plan.launches(), 2u);
+  EXPECT_EQ(plan.fused_groups(), 0u);
+  EXPECT_NE(plan.notes[1].find("OP2_FUSE=off"), std::string::npos);
+}
+
+TEST(FusionPlanner, IncrementalPlannerMatchesBatch) {
+  op2::fusion::fusion_planner planner;
+  planner.add(loop("update", "cells", {dat("q", op2::OP_WRITE)}));
+  planner.add(loop("save_soln", "cells", {dat("q", op2::OP_READ)}));
+  EXPECT_EQ(planner.size(), 2u);
+  const auto plan = planner.finish();
+  ASSERT_EQ(plan.launches(), 1u);
+  EXPECT_EQ(plan.groups[0].label, "update+save_soln");
+}
+
+TEST(FusionPlanner, GroupIdsAreMonotonic) {
+  const auto a = op2::fusion::next_fused_group_id();
+  const auto b = op2::fusion::next_fused_group_id();
+  EXPECT_GT(b, a);
+}
+
+}  // namespace
