@@ -1,0 +1,141 @@
+// Ablation: the overlapped-exchange win must SURVIVE a lossy wire.
+//
+// ablation_shard established that hiding the halo exchange behind
+// interior computation beats fencing on a perfect in-process
+// transport.  This ablation re-runs the same fenced-vs-overlapped
+// comparison with the reliable wire stack underneath (framed
+// datagrams + CRC + ack/retransmit, op2/wire.hpp) and a deterministic
+// 1% frame loss injected by the chaos transport — the regime the
+// protocol exists for.
+//
+// scripts/check.sh runs this as a HARD GATE, all of:
+//   1. both schedules produce the IDENTICAL, finite checksum — the
+//      retransmit protocol delivers exactly the bytes a perfect wire
+//      would have (loss may cost time, never bits);
+//   2. the overlapped schedule still beats the fenced one under loss;
+//   3. the loss was real: at least one retransmit healed a dropped
+//      frame, and no link was declared dead.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "airfoil/airfoil.hpp"
+#include "op2/op2.hpp"
+#include "op2/wire.hpp"
+
+namespace {
+
+constexpr int kIters = 12;
+constexpr int kShards = 4;
+constexpr int kDelayUs = 1500;  // simulated per-round link latency
+constexpr int kRepeats = 3;     // best-of, to shrug off scheduling noise
+
+// 1% per-frame drop on every link, seeded for reproducibility; the
+// at-spec guarantees at least one drop per run even on short traffic,
+// so gate 3 never depends on the probabilistic tail.
+constexpr const char* kLossSpec =
+    "link=*:drop:prob=0.01,seed=4242,count=-1;link=*:drop:at=5,count=1";
+
+struct schedule_result {
+  double seconds = 0.0;
+  double checksum = 0.0;
+  double exchange_ms = 0.0;  // summed over shards, best repeat
+  double overlap_ms = 0.0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t dead_links = 0;
+};
+
+schedule_result run_schedule(bool overlap) {
+  schedule_result best;
+  best.seconds = 1e300;
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    // Re-arm the chaos state per run: every repeat sees the same
+    // deterministic drop sequence with a fresh budget.
+    op2::wire::wire_fault_injector::configure(kLossSpec);
+    auto cfg = op2::make_config("hpx_shard", 4, 128);
+    cfg.shards = kShards;
+    cfg.shard_overlap = overlap;
+    cfg.exchange_delay_us = kDelayUs;
+    cfg.wire = "reliable";
+    cfg.wire_timeout_ms = 5;
+    op2::init(cfg);
+    op2::profiling::enable(true);
+    op2::profiling::reset();
+    auto s = airfoil::make_sim(airfoil::generate_mesh({200, 100}));
+    const auto r = airfoil::run_with_backend(s, kIters, "hpx_shard");
+    schedule_result out;
+    out.seconds = r.seconds;
+    out.checksum = airfoil::solution_checksum(s);
+    for (const auto& [id, prof] : op2::profiling::shard_snapshot()) {
+      out.exchange_ms += 1e3 * prof.exchange_seconds;
+      out.overlap_ms += 1e3 * prof.overlap_seconds;
+      out.retransmits += prof.retransmits;
+      out.dead_links += prof.dead_links;
+    }
+    op2::profiling::enable(false);
+    op2::profiling::reset();
+    op2::finalize();
+    op2::wire::wire_fault_injector::clear();
+    if (out.seconds < best.seconds) {
+      best = out;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("\n=== Ablation: overlapped exchange on a lossy wire ===\n");
+  std::printf("hpx_shard, %d shards, %d iters (%d exchange rounds), "
+              "%d us link latency, reliable wire, 1%% frame loss\n",
+              kShards, kIters, 2 * kIters, kDelayUs);
+
+  const auto fenced = run_schedule(false);
+  const auto overlapped = run_schedule(true);
+
+  std::printf("%12s %10s %13s %12s %12s %11s\n", "schedule", "wall_ms",
+              "exchange_ms", "overlap_ms", "retransmits", "dead_links");
+  std::printf("%12s %10.2f %13.2f %12.2f %12llu %11llu\n", "fenced",
+              1e3 * fenced.seconds, fenced.exchange_ms, fenced.overlap_ms,
+              static_cast<unsigned long long>(fenced.retransmits),
+              static_cast<unsigned long long>(fenced.dead_links));
+  std::printf("%12s %10.2f %13.2f %12.2f %12llu %11llu\n", "overlapped",
+              1e3 * overlapped.seconds, overlapped.exchange_ms,
+              overlapped.overlap_ms,
+              static_cast<unsigned long long>(overlapped.retransmits),
+              static_cast<unsigned long long>(overlapped.dead_links));
+  std::printf("overlap speedup under loss: %.2fx\n",
+              fenced.seconds / overlapped.seconds);
+
+  // Gate 1: loss may cost time, never bits.
+  if (fenced.checksum != overlapped.checksum ||
+      !std::isfinite(fenced.checksum)) {
+    std::printf("FAIL: schedules disagree on the solution under loss "
+                "(fenced %.17g vs overlapped %.17g)\n",
+                fenced.checksum, overlapped.checksum);
+    return 1;
+  }
+  // Gate 2: the overlap win survives the lossy wire.
+  if (overlapped.seconds >= fenced.seconds) {
+    std::printf("FAIL: overlapped schedule (%.2f ms) did not beat the "
+                "fenced one (%.2f ms) under loss\n",
+                1e3 * overlapped.seconds, 1e3 * fenced.seconds);
+    return 1;
+  }
+  // Gate 3: the wire was genuinely lossy and the protocol healed it.
+  if (fenced.retransmits == 0 || overlapped.retransmits == 0) {
+    std::printf("FAIL: no retransmits recorded — the loss injection "
+                "did not engage\n");
+    return 1;
+  }
+  if (fenced.dead_links != 0 || overlapped.dead_links != 0) {
+    std::printf("FAIL: a link was declared dead under 1%% loss\n");
+    return 1;
+  }
+  std::printf("PASS: checksum identical, overlapped < fenced, "
+              "loss healed by retransmit\n");
+  return 0;
+}

@@ -45,6 +45,9 @@ ctest --test-dir "$build" -L shard --output-on-failure
 step "fusion: ctest -L fusion (planner legality, fused runtime, acceptance matrix)"
 ctest --test-dir "$build" -L fusion --output-on-failure
 
+step "reliable wire: ctest -L wire (frame codec, chaos, retransmit, link death)"
+ctest --test-dir "$build" -L wire --output-on-failure
+
 step "job service: bench_service soak (writes BENCH_service.json)"
 # A short multi-tenant soak through the admission controller: hard-fails
 # when everything was shed or p99 job latency blew up — either means
@@ -79,6 +82,14 @@ step "shard core: overlapped exchange must beat the fenced schedule (ablation_sh
 # link latency; hard-fails if the overlap win regresses or the two
 # schedules disagree on a single bit of the solution.
 "$build/bench/ablation_shard"
+
+step "reliable wire: overlap win must survive 1% frame loss (ablation_wire)"
+# The same fenced-vs-overlapped comparison over the reliable wire stack
+# with a deterministic 1% drop rate injected below the protocol;
+# hard-fails if the schedules disagree on a single bit, the overlap win
+# disappears, no retransmit was needed (loss did not engage) or a link
+# was declared dead.
+"$build/bench/ablation_wire"
 
 step "fusion: fused must beat unfused, tiled must beat fused (ablation_fusion)"
 # Unfused / fused / fused+tiled over a DRAM-resident direct chain; all
@@ -121,6 +132,14 @@ step "thread sanitizer: halo-exchange progress engine (ExchangeStress)"
 # consume/scatter hand-off and the fence fast path under TSan.
 cmake --build "$tsan_build" -j "$jobs" --target test_shard
 "$tsan_build/tests/test_shard" --gtest_filter='ExchangeStress.*'
+
+step "thread sanitizer: reliable wire protocol (WireStress)"
+# Two links published/consumed from racing threads while the pump
+# thread retransmits through a lossy chaos wire, plus exchanger rounds
+# with concurrent fence waiters over the full wire stack — the
+# protocol's pending/stash/delivered locking under TSan.
+cmake --build "$tsan_build" -j "$jobs" --target test_wire
+"$tsan_build/tests/test_wire" --gtest_filter='WireStress.*'
 
 step "thread sanitizer: concurrent fused replays (FusedStress)"
 # Several threads replaying through ONE shared fused_handle (the site

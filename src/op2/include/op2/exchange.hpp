@@ -18,6 +18,21 @@
 //     fence is the hpxlite future the dataflow overlaps with interior
 //     loops.
 //
+// Reliability (docs/distributed.md "The reliable wire"): the seam
+// additionally carries failure semantics.  `exchange_error` is the
+// structured failure of one (link, round); `reliable_transport` runs
+// the framed-datagram protocol of op2/wire.hpp — per-link sequence
+// numbers, CRC verification, ack + timeout/exponential-backoff
+// retransmit, exactly-once in-order delivery — over any unreliable
+// `datagram_wire`, and declares a link DEAD once one frame exhausts
+// its retransmit budget (a consecutive-timeout health threshold).  A
+// dead or shut-down link makes consume()/publish() throw instead of
+// hang; the exchanger's progress thread catches that and completes the
+// affected shard's fence WITH the error, so every gated boundary chunk
+// rethrows it through the normal loop-failure machinery (retry ->
+// ladder -> loop_error) and the job level (op2::service retry/backoff,
+// checkpoint restart) heals what the wire protocol could not.
+//
 // The progress thread also applies `exchange_delay_us` (config /
 // OP2_EXCHANGE_DELAY_US) as an ABSOLUTE per-round deadline, so N
 // shards' simulated link latencies overlap instead of serialising on
@@ -30,24 +45,55 @@
 // completion it waits for never depends on the pool.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "op2/dat.hpp"
 #include "op2/shard.hpp"
+#include "op2/wire.hpp"
 
 namespace op2 {
 
+/// Structured failure of one halo-exchange link: which directed link
+/// (index plus, when the transport knows it, the shard pair), which
+/// round, and why.  Thrown by transports that can give up (reliable /
+/// shut-down ones) and rethrown by every fence waiter of the affected
+/// shard's round.
+class exchange_error : public std::runtime_error {
+ public:
+  exchange_error(std::size_t link, int from, int to, std::uint64_t round,
+                 std::string reason);
+
+  std::size_t link() const noexcept { return link_; }
+  int from() const noexcept { return from_; }
+  int to() const noexcept { return to_; }
+  std::uint64_t round() const noexcept { return round_; }
+  const std::string& reason() const noexcept { return reason_; }
+
+ private:
+  std::size_t link_;
+  int from_;
+  int to_;
+  std::uint64_t round_;
+  std::string reason_;
+};
+
 /// The wire seam: one byte buffer per (directed link, round).
 /// Both calls may block; round numbers are strictly increasing per
-/// link and start at 1.
+/// link and start at 1.  After shutdown(), or for a transport that has
+/// declared the link dead, either call throws exchange_error instead
+/// of blocking forever.
 class exchange_transport {
  public:
   virtual ~exchange_transport() = default;
@@ -61,6 +107,21 @@ class exchange_transport {
   /// the payload into `out` (whose size must match what was published).
   virtual void consume(std::size_t link, std::uint64_t round,
                        std::span<std::byte> out) = 0;
+
+  /// Releases every blocked publish/consume: rounds that can still be
+  /// served are, rounds that cannot throw exchange_error promptly.
+  /// Idempotent; the default is a no-op for transports whose calls
+  /// never block indefinitely once the peer is gone.
+  virtual void shutdown() {}
+
+  /// Reliability counters summed over all links (all-zero for
+  /// transports without a wire protocol underneath).
+  virtual wire::wire_stats wire_stats() const { return {}; }
+
+  /// Per-link flavour, feeding profiling's per-shard wire columns.
+  virtual wire::wire_stats link_wire_stats(std::size_t /*link*/) const {
+    return {};
+  }
 };
 
 /// In-process transport: per-link double-buffered mailboxes selected by
@@ -75,6 +136,12 @@ class shm_transport final : public exchange_transport {
   void consume(std::size_t link, std::uint64_t round,
                std::span<std::byte> out) override;
 
+  /// Wakes blocked calls.  A consume whose round was already published
+  /// still completes (the data is here — drain it); one whose round
+  /// never arrived throws exchange_error, because the only producer
+  /// (the exchanger's own thread) is gone.
+  void shutdown() override;
+
  private:
   struct mailbox {
     std::mutex m;
@@ -83,12 +150,115 @@ class shm_transport final : public exchange_transport {
     std::uint64_t round[2] = {0, 0};  // 0 = slot empty
   };
   std::deque<mailbox> links_;
+  std::atomic<bool> closed_{false};
+};
+
+/// Tuning knobs for reliable_transport (config.wire_timeout_ms /
+/// config.wire_retries, env OP2_WIRE_TIMEOUT_MS / OP2_WIRE_RETRIES).
+struct reliable_options {
+  /// Initial ack deadline; attempt k's deadline is timeout * 2^(k-1).
+  int timeout_ms = 25;
+  /// Retransmit budget per frame: after 1 + retries transmissions
+  /// without an ack the link is declared dead.
+  int retries = 5;
+};
+
+/// The reliability protocol over an unreliable datagram_wire: framed
+/// datagrams (op2/wire.hpp) with per-link sequence numbers, CRC
+/// verification on receive, cumulative acks, timeout + exponential-
+/// backoff retransmission, and dedup/reorder buffering — exactly-once,
+/// in-order (link, round) delivery on top of a wire that may drop,
+/// duplicate, reorder, corrupt or delay any frame.
+///
+/// publish() is asynchronous: it frames, registers the frame as
+/// pending-ack and returns (a synchronous ack-wait would deadlock the
+/// exchanger, whose progress thread only starts consuming after every
+/// publish of the round).  An internal pump thread receives frames,
+/// acks data, clears pending entries, and drives retransmits.  When a
+/// frame exhausts its budget — `1 + retries` consecutive timeouts, the
+/// per-link health threshold — the link is declared DEAD: its pending
+/// and future rounds fail with exchange_error, which the exchanger
+/// turns into failed fences (see the header comment above).  consume()
+/// is additionally bounded by the worst-case retransmit window, so it
+/// returns (by throwing) even for a round whose producer never
+/// published.
+class reliable_transport final : public exchange_transport {
+ public:
+  reliable_transport(std::shared_ptr<wire::datagram_wire> wire,
+                     std::size_t nlinks, reliable_options opts = {});
+  ~reliable_transport() override;
+  reliable_transport(const reliable_transport&) = delete;
+  reliable_transport& operator=(const reliable_transport&) = delete;
+
+  /// Labels `link` with its directed shard pair for exchange_error.
+  void map_link(std::size_t link, int from, int to);
+
+  void publish(std::size_t link, std::uint64_t round,
+               std::span<const std::byte> bytes) override;
+  void consume(std::size_t link, std::uint64_t round,
+               std::span<std::byte> out) override;
+  void shutdown() override;
+
+  wire::wire_stats wire_stats() const override;
+  wire::wire_stats link_wire_stats(std::size_t link) const override;
+  bool link_dead(std::size_t link) const;
+
+ private:
+  struct pending_send {
+    std::uint64_t seq = 0;
+    std::uint64_t round = 0;
+    std::vector<std::byte> frame;
+    int attempts = 1;
+    std::chrono::steady_clock::time_point deadline{};
+  };
+  struct stashed {  // received, not yet deliverable in order
+    std::uint64_t round = 0;
+    std::vector<std::byte> payload;
+  };
+  struct link_state {
+    int from = -1;
+    int to = -1;
+    std::uint64_t send_seq = 0;  // last sequence number sent
+    std::uint64_t recv_seq = 0;  // last sequence number delivered in order
+    int consecutive_timeouts = 0;
+    bool dead = false;
+    std::string dead_reason;
+    std::deque<pending_send> pending;             // ascending seq
+    std::map<std::uint64_t, stashed> out_of_order;  // seq -> frame
+    std::map<std::uint64_t, std::vector<std::byte>> delivered;  // round ->
+    wire::wire_stats stats;
+  };
+
+  void pump_loop();
+  void handle_frame(const std::vector<std::byte>& buf,
+                    std::vector<std::pair<std::size_t,
+                                          std::vector<std::byte>>>& out);
+  void scan_retransmits(std::vector<std::pair<std::size_t,
+                                              std::vector<std::byte>>>& out);
+  void fail_link_locked(std::size_t link, std::uint64_t round,
+                        const std::string& reason);
+  std::chrono::milliseconds consume_budget() const;
+
+  std::shared_ptr<wire::datagram_wire> wire_;
+  reliable_options opts_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<link_state> links_;
+  wire::wire_stats orphan_stats_;  // frames too mangled to attribute
+  bool closing_ = false;
+  std::thread pump_;
 };
 
 /// Owner/halo exchange of one dat family (the same logical field on
 /// every shard's local set, e.g. per-shard q).  `hp` must outlive the
 /// exchanger; `dats[s]` must live on a set laid out owned-first per
 /// `hp->shards[s]`.
+///
+/// When no transport is supplied, the exchanger builds one from the
+/// runtime config: the plain shm_transport by default, or the full
+/// wire stack — shm_wire, chaos_transport (when OP2_WIRE_FAULT is
+/// active), reliable_transport — when config.wire == "reliable" or a
+/// wire fault is configured.
 class halo_exchanger {
  public:
   halo_exchanger(const halo_partition* hp, std::vector<op_dat> dats,
@@ -101,6 +271,8 @@ class halo_exchanger {
   /// stats to profiling, re-arms every shard's fence, packs + publishes
   /// every export, and queues the unpack on the progress thread.  The
   /// caller must ensure no loop is still gated on the previous round.
+  /// If a publish fails (dead link), every fence of the round completes
+  /// with the error before it is rethrown — nothing is left armed.
   void exchange();
 
   /// The gate for shard `s`'s most recent round.  Address-stable for
@@ -113,6 +285,10 @@ class halo_exchanger {
 
   std::uint64_t rounds() const { return round_; }
 
+  /// The transport's aggregated reliability counters (all-zero on the
+  /// plain shm path).
+  wire::wire_stats wire_stats() const { return transport_->wire_stats(); }
+
  private:
   struct unpack_job {
     int shard = -1;  // -1 = shutdown sentinel
@@ -123,6 +299,7 @@ class halo_exchanger {
   void progress_loop();
   void unpack(const unpack_job& job);
   std::size_t link_index(int from, int to) const;
+  void make_default_transport();
 
   const halo_partition* hp_;
   std::vector<op_dat> dats_;

@@ -115,6 +115,13 @@ struct shard_profile {
   double exchange_seconds = 0.0;
   double overlap_seconds = 0.0;
   double blocked_seconds = 0.0;
+  /// Wire columns, cumulative over the shard's inbound links, fed from
+  /// the transport's wire_stats() (all zero on the perfect shm path):
+  /// data frames retransmitted, rounds failed with exchange_error, and
+  /// links declared dead by the retransmit health threshold.
+  std::uint64_t retransmits = 0;
+  std::uint64_t wire_errors = 0;
+  std::uint64_t dead_links = 0;
 
   bool empty() const {
     return owned == 0 && halo == 0 && exchanges == 0;
@@ -212,6 +219,12 @@ void record_shard_shape(int shard, int halo_depth, std::uint64_t owned,
                         std::uint64_t halo);
 void record_shard_exchange(int shard, double exchange_seconds,
                            double overlap_seconds, double blocked_seconds);
+
+/// Wire-reliability counters for one shard's inbound links.  The
+/// values are CUMULATIVE transport counters, so this overwrites the
+/// shard's wire columns rather than accumulating.
+void record_shard_wire(int shard, std::uint64_t retransmits,
+                       std::uint64_t wire_errors, std::uint64_t dead_links);
 
 /// Process-wide heap-allocation counter, installed by a harness that
 /// interposes operator new (bench/micro/launch_overhead.cpp).  When

@@ -202,6 +202,21 @@ struct config {
   /// this delay, making the overlap win deterministic and observable
   /// in tests and the ablation.
   int exchange_delay_us = 0;
+  /// Wire protocol behind the exchange seam (OP2_WIRE): "" or "raw"
+  /// keeps the perfect in-process mailbox transport; "reliable" runs
+  /// framed datagrams (CRC32C, sequence numbers, ack + exponential-
+  /// backoff retransmit — op2/exchange.hpp) over the in-process
+  /// carrier.  Auto-upgraded to reliable while OP2_WIRE_FAULT is
+  /// configured, so chaos always meets the protocol built to heal it.
+  std::string wire;
+  /// Initial per-frame ack deadline for the reliable wire in
+  /// milliseconds (OP2_WIRE_TIMEOUT_MS, default 25); attempt k waits
+  /// timeout * 2^(k-1).
+  int wire_timeout_ms = 25;
+  /// Retransmit budget per frame (OP2_WIRE_RETRIES, default 5): after
+  /// 1 + retries transmissions without an ack the link is declared
+  /// dead and its rounds fail with exchange_error.
+  int wire_retries = 5;
 };
 
 /// Shards the runtime would use right now: cfg.shards, or (auto) one

@@ -32,6 +32,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <exception>
 #include <limits>
 #include <vector>
 
@@ -72,6 +73,7 @@ class shard_fence {
     exchange_seconds_ = 0.0;
     armed_at_ = std::chrono::steady_clock::now();
     armed_ = true;
+    failed_.store(false, std::memory_order_release);
     ready_.store(false, std::memory_order_release);
   }
 
@@ -85,6 +87,7 @@ class shard_fence {
       if (!armed_) {
         return;
       }
+      armed_ = false;  // a round resolves exactly once
       exchange_seconds_ =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         armed_at_)
@@ -98,18 +101,45 @@ class shard_fence {
     p.set_value();
   }
 
-  /// Consumer side: returns once the current round (if any) completed.
+  /// Producer side, failure flavour: the round cannot complete (a dead
+  /// link, a shut-down transport).  Releases the waiters by completing
+  /// the gate with `err` — every wait() of this round (the gated
+  /// boundary chunks of every backend, including each retry/ladder
+  /// rung) rethrows it, so the failure surfaces through the normal
+  /// loop-failure machinery instead of hanging the fence.
+  void complete_error(std::exception_ptr err) {
+    hpxlite::promise<void> p;
+    {
+      std::lock_guard<hpxlite::spinlock> lock(lock_);
+      if (!armed_) {
+        return;
+      }
+      armed_ = false;  // a round resolves exactly once
+      exchange_seconds_ =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        armed_at_)
+              .count();
+      p = std::move(promise_);
+    }
+    failed_.store(true, std::memory_order_release);
+    ready_.store(true, std::memory_order_release);
+    p.set_exception(std::move(err));
+  }
+
+  /// Consumer side: returns once the current round (if any) completed;
+  /// rethrows the round's error if it completed via complete_error().
   /// Records how long this call actually blocked; concurrent waiters
   /// overlap, so the round's blocked time is the max, not the sum.
   void wait() const {
-    if (ready_.load(std::memory_order_acquire)) {
+    if (ready_.load(std::memory_order_acquire) &&
+        !failed_.load(std::memory_order_acquire)) {
       return;
     }
     hpxlite::shared_future<void> gate;
     {
       std::lock_guard<hpxlite::spinlock> lock(lock_);
-      if (!armed_ || !gate_.valid()) {
-        return;
+      if (!gate_.valid()) {
+        return;  // never armed
       }
       gate = gate_;
     }
@@ -118,13 +148,17 @@ class shard_fence {
     const double blocked =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
-    std::lock_guard<hpxlite::spinlock> lock(lock_);
-    if (blocked > blocked_seconds_) {
-      blocked_seconds_ = blocked;
+    {
+      std::lock_guard<hpxlite::spinlock> lock(lock_);
+      if (blocked > blocked_seconds_) {
+        blocked_seconds_ = blocked;
+      }
     }
+    gate.get();  // no-op on success; rethrows a complete_error() round
   }
 
   bool ready() const { return ready_.load(std::memory_order_acquire); }
+  bool failed() const { return failed_.load(std::memory_order_acquire); }
 
   /// Stats for the most recently completed round (exchange = armed →
   /// complete, blocked = longest wait() stall; overlap = the hidden
@@ -143,6 +177,7 @@ class shard_fence {
   hpxlite::promise<void> promise_;
   hpxlite::shared_future<void> gate_;
   std::atomic<bool> ready_{true};
+  std::atomic<bool> failed_{false};
   bool armed_ = false;
   std::chrono::steady_clock::time_point armed_at_{};
   double exchange_seconds_ = 0.0;

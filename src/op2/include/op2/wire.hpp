@@ -1,0 +1,313 @@
+// The halo-exchange wire: framed datagrams, chaos injection, integrity.
+//
+// PR 8's `exchange_transport` seam (op2/exchange.hpp) assumes a perfect
+// wire: publish/consume rendezvous by (link, round) and never lose,
+// reorder or corrupt a byte.  A real multi-process transport (MPI,
+// parcelport) offers none of those guarantees per message — so before
+// one can slot behind the seam, the exchange pipeline needs the wire
+// failure modes to be *expressible* and *survivable*.  This header is
+// the expressible half:
+//
+//   frame            — the unit on the wire: a fixed little-endian
+//                      header (magic/version/type/link/round/seq/
+//                      payload-len) plus a CRC32C over header+payload,
+//                      so any corruption is detected, never consumed.
+//
+//   datagram_wire    — the unreliable seam: best-effort `send` of one
+//                      frame to a directed link, one multiplexed `recv`
+//                      queue (the in-process stand-in for a NIC ring).
+//                      No delivery, ordering or integrity guarantee —
+//                      exactly the contract a UDP- or RDMA-style
+//                      carrier gives.  `shm_wire` implements it with a
+//                      mutex+cv queue and per-frame earliest-delivery
+//                      times (so an injected stall delays the frame
+//                      without blocking the sender).
+//
+//   chaos_transport  — a decorator over any datagram_wire that injects
+//                      drop / duplicate / reorder / corrupt / stall
+//                      faults per DIRECTED link, deterministically,
+//                      under the seeded OP2_WIRE_FAULT grammar
+//                      (mirroring OP2_FAULT):
+//
+//        OP2_WIRE_FAULT=link=0->1:drop:prob=0.05,seed=42
+//        link=<from>-><to> | link=*   directed shard pair (or any link)
+//        kind = drop|dup|reorder|corrupt|stall
+//        keys: at=N (Nth matched frame, default 1), prob=P (per frame,
+//              overrides at), seed=S (default 12345), count=K (fire
+//              budget, -1 unlimited, default 1), stall_ms=M (delivery
+//              delay for stall, default 20)
+//        multiple specs separated by ';' (or ',' right before 'link=')
+//
+//      Ack frames travel the reverse direction of their link, and the
+//      decorator matches them that way: `link=0->1:drop` drops data
+//      going 0->1 and `link=1->0:drop` drops the acks coming back.
+//
+//      Fault state (rng, invocation counters, the `count` budget) lives
+//      in a shared `chaos_state`, published process-wide by
+//      `wire_fault_injector` — so a service job retry, which rebuilds
+//      the exchanger and therefore the transport stack, finds a spent
+//      `count` budget spent and heals, exactly like OP2_FAULT loops.
+//
+// The survivable half — sequence numbers, acks, retransmit, link death
+// — is `reliable_transport` in op2/exchange.hpp, built on this seam.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace op2::wire {
+
+// ---------------------------------------------------------------------
+// Integrity: CRC32C (Castagnoli), table-driven, reflected.
+// crc32c("123456789") == 0xE3069283 — pinned by the unit tests.
+
+std::uint32_t crc32c(std::span<const std::byte> bytes,
+                     std::uint32_t seed = 0);
+
+// ---------------------------------------------------------------------
+// Frame codec.  Little-endian, fixed 36-byte header:
+//
+//   [0]  u32 magic   'OP2W'
+//   [4]  u16 version
+//   [6]  u16 type    (1 = data, 2 = ack)
+//   [8]  u32 link    directed-link index (exchanger's enumeration)
+//   [12] u64 round   exchange round (0 for acks)
+//   [20] u64 seq     per-link sequence number (for acks: cumulative)
+//   [28] u32 payload_len
+//   [32] u32 crc     CRC32C over bytes [0, 32) + payload
+//
+// Every bit of the frame is covered: a flip in the crc field itself
+// mismatches, a flip anywhere else changes the computed value (or trips
+// the magic/version/length checks first).
+
+inline constexpr std::uint32_t kFrameMagic = 0x4F503257;  // 'OP2W'
+inline constexpr std::uint16_t kFrameVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 36;
+
+enum class frame_type : std::uint16_t { data = 1, ack = 2 };
+
+std::vector<std::byte> encode_frame(frame_type type, std::uint32_t link,
+                                    std::uint64_t round, std::uint64_t seq,
+                                    std::span<const std::byte> payload);
+
+enum class decode_status {
+  ok,
+  truncated,    // shorter than the header
+  bad_magic,
+  bad_version,
+  bad_length,   // payload_len disagrees with the frame size
+  bad_crc,
+};
+
+const char* to_string(decode_status s);
+
+/// A decoded view INTO the encoded buffer: `payload` aliases it, so the
+/// buffer must outlive the view.  Fields other than `status` are only
+/// meaningful when status == ok.
+struct decoded_frame {
+  decode_status status = decode_status::truncated;
+  frame_type type = frame_type::data;
+  std::uint32_t link = 0;
+  std::uint64_t round = 0;
+  std::uint64_t seq = 0;
+  std::span<const std::byte> payload;
+};
+
+decoded_frame decode_frame(std::span<const std::byte> frame);
+
+// ---------------------------------------------------------------------
+// The unreliable seam.
+
+/// Best-effort framed datagrams: `send` never blocks on the receiver
+/// and promises nothing about delivery; `recv` drains one multiplexed
+/// queue (the frame header says which link a frame belongs to).
+class datagram_wire {
+ public:
+  virtual ~datagram_wire() = default;
+
+  /// Queues one frame for the link's receiver, visible no earlier than
+  /// now + `delay` (the hook chaos `stall` uses — delaying delivery
+  /// must not block the sender).  Frames sent after close() vanish.
+  virtual void send(std::size_t link, std::span<const std::byte> frame,
+                    std::chrono::microseconds delay =
+                        std::chrono::microseconds{0}) = 0;
+
+  /// Blocks up to `timeout` for the next deliverable frame (any link);
+  /// false on timeout or once closed and drained.
+  virtual bool recv(std::vector<std::byte>& frame,
+                    std::chrono::milliseconds timeout) = 0;
+
+  /// Wakes every blocked recv(); subsequent sends are dropped.
+  virtual void close() = 0;
+  virtual bool closed() const = 0;
+};
+
+/// In-process datagram carrier: one mutex+cv queue of (deliver_at,
+/// frame).  A frame whose deliver_at is in the future does not block
+/// frames behind it — late delivery reorders, like a real network.
+class shm_wire final : public datagram_wire {
+ public:
+  void send(std::size_t link, std::span<const std::byte> frame,
+            std::chrono::microseconds delay) override;
+  bool recv(std::vector<std::byte>& frame,
+            std::chrono::milliseconds timeout) override;
+  void close() override;
+  bool closed() const override;
+
+ private:
+  struct parcel {
+    std::chrono::steady_clock::time_point deliver_at;
+    std::vector<std::byte> bytes;
+  };
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<parcel> queue_;
+  bool closed_ = false;
+};
+
+// ---------------------------------------------------------------------
+// Chaos: deterministic wire-fault injection (OP2_WIRE_FAULT).
+
+enum class wire_fault_kind { none, drop, duplicate, reorder, corrupt, stall };
+
+const char* to_string(wire_fault_kind k);
+
+struct wire_fault_spec {
+  int from = -1;  // -1 = any shard (link=*)
+  int to = -1;
+  wire_fault_kind kind = wire_fault_kind::none;
+  int at = 1;               // fire on the Nth matched frame (0 = prob mode)
+  double probability = 0.0; // per matched frame, when at == 0
+  unsigned seed = 12345;    // RNG seed for prob firing + corrupt bit pick
+  int count = 1;            // fire budget (-1 = unlimited)
+  int stall_ms = 20;        // delivery delay for kind == stall
+};
+
+/// Parses the full OP2_WIRE_FAULT value (one or more ';'-separated
+/// specs; ',' immediately before 'link=' also separates, so the
+/// single-line form "link=0->1:drop:prob=0.05,link=1->0:dup" works).
+/// Throws std::invalid_argument with the grammar on any malformed spec.
+std::vector<wire_fault_spec> parse_wire_fault_specs(const std::string& text);
+
+/// Shared runtime state of a configured fault set.  One object is
+/// shared by every chaos_transport bound to it, so invocation counters
+/// and `count` budgets are global across transport instances — a
+/// rebuilt exchanger (job retry) sees the budget already spent.
+class chaos_state {
+ public:
+  explicit chaos_state(std::vector<wire_fault_spec> specs);
+
+  /// Per-frame decision for a frame travelling `from`->`to`: the kind
+  /// to apply (none = pass through) and the firing spec's parameters.
+  struct decision {
+    wire_fault_kind kind = wire_fault_kind::none;
+    int stall_ms = 0;
+    std::uint32_t corrupt_bit = 0;  // absolute bit index mod frame size
+  };
+  decision decide(int from, int to);
+
+  int fired() const { return fired_.load(std::memory_order_acquire); }
+
+ private:
+  struct armed_spec {
+    wire_fault_spec spec;
+    std::mt19937 rng;
+    std::uint64_t invocations = 0;
+    int fires_remaining = 0;
+  };
+  std::mutex mutex_;
+  std::vector<armed_spec> specs_;
+  std::atomic<int> fired_{0};
+};
+
+/// Process-wide chaos configuration, mirroring fault_injector: the
+/// runtime configures it from OP2_WIRE_FAULT at init(), tests drive it
+/// directly, and every halo_exchanger built while it is active binds
+/// its chaos_transport to the SAME shared state.
+class wire_fault_injector {
+ public:
+  static void configure(const std::string& text);
+  static void configure(std::vector<wire_fault_spec> specs);
+  /// Reads OP2_WIRE_FAULT; returns false when unset.
+  static bool configure_from_env();
+  static void clear();
+  static bool active();
+  static int fired_count();
+  /// The live shared state (null when inactive).
+  static std::shared_ptr<chaos_state> state();
+};
+
+/// Decorator injecting the configured faults into a datagram_wire.
+/// Needs the link table (index -> directed shard pair) to match specs;
+/// unmapped links pass through untouched.  Ack frames are matched as
+/// the REVERSE direction of their link (that is the way they travel).
+class chaos_transport final : public datagram_wire {
+ public:
+  chaos_transport(std::shared_ptr<datagram_wire> inner,
+                  std::shared_ptr<chaos_state> state);
+  chaos_transport(std::shared_ptr<datagram_wire> inner,
+                  std::vector<wire_fault_spec> specs);
+
+  void map_link(std::size_t link, int from, int to);
+
+  void send(std::size_t link, std::span<const std::byte> frame,
+            std::chrono::microseconds delay) override;
+  bool recv(std::vector<std::byte>& frame,
+            std::chrono::milliseconds timeout) override;
+  void close() override;
+  bool closed() const override;
+
+ private:
+  std::shared_ptr<datagram_wire> inner_;
+  std::shared_ptr<chaos_state> state_;
+  std::mutex mutex_;  // guards links_ and pockets_
+  std::vector<std::pair<int, int>> links_;  // index -> (from, to); (-1,-1) unmapped
+  /// One held-back frame per link: `reorder` pockets the frame and
+  /// releases it AFTER the next send on the same link.
+  struct pocket {
+    bool full = false;
+    std::vector<std::byte> bytes;
+    std::chrono::microseconds delay{0};
+  };
+  std::vector<pocket> pockets_;
+};
+
+// ---------------------------------------------------------------------
+// Reliability counters, surfaced per link and per shard (profiling's
+// wire columns) by reliable_transport in op2/exchange.hpp.
+struct wire_stats {
+  std::uint64_t frames_sent = 0;      // data frames, first transmissions
+  std::uint64_t frames_received = 0;  // data frames that passed the CRC
+  std::uint64_t acks_sent = 0;
+  std::uint64_t retransmits = 0;      // data frames sent again after timeout
+  std::uint64_t timeouts = 0;         // ack deadlines missed (incl. final)
+  std::uint64_t dup_dropped = 0;      // already-delivered seqs discarded
+  std::uint64_t corrupt_dropped = 0;  // frames rejected by decode_frame
+  std::uint64_t wire_errors = 0;      // rounds completed with exchange_error
+  std::uint64_t dead_links = 0;       // links declared dead (0 or 1 per link)
+
+  wire_stats& operator+=(const wire_stats& o) {
+    frames_sent += o.frames_sent;
+    frames_received += o.frames_received;
+    acks_sent += o.acks_sent;
+    retransmits += o.retransmits;
+    timeouts += o.timeouts;
+    dup_dropped += o.dup_dropped;
+    corrupt_dropped += o.corrupt_dropped;
+    wire_errors += o.wire_errors;
+    dead_links += o.dead_links;
+    return *this;
+  }
+};
+
+}  // namespace op2::wire

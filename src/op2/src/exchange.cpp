@@ -6,6 +6,7 @@
 #include <limits>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "op2/profiling.hpp"
 #include "op2/runtime.hpp"
@@ -14,7 +15,28 @@ namespace op2 {
 
 namespace {
 constexpr std::size_t npos = std::numeric_limits<std::size_t>::max();
+
+std::string link_label(std::size_t link, int from, int to) {
+  std::string s = "link " + std::to_string(link);
+  if (from >= 0 && to >= 0) {
+    s += " (" + std::to_string(from) + "->" + std::to_string(to) + ")";
+  }
+  return s;
+}
 }  // namespace
+
+// --- exchange_error ---------------------------------------------------
+
+exchange_error::exchange_error(std::size_t link, int from, int to,
+                               std::uint64_t round, std::string reason)
+    : std::runtime_error("op2: halo exchange failed on " +
+                         link_label(link, from, to) + " round " +
+                         std::to_string(round) + ": " + reason),
+      link_(link),
+      from_(from),
+      to_(to),
+      round_(round),
+      reason_(std::move(reason)) {}
 
 // --- shm_transport ----------------------------------------------------
 
@@ -23,7 +45,12 @@ void shm_transport::publish(std::size_t link, std::uint64_t round,
   mailbox& box = links_.at(link);
   const std::size_t slot = round & 1U;
   std::unique_lock<std::mutex> lock(box.m);
-  box.cv.wait(lock, [&] { return box.round[slot] == 0; });
+  box.cv.wait(lock, [&] {
+    return box.round[slot] == 0 || closed_.load(std::memory_order_acquire);
+  });
+  if (box.round[slot] != 0) {
+    throw exchange_error(link, -1, -1, round, "transport shut down");
+  }
   box.buf[slot].assign(bytes.begin(), bytes.end());
   box.round[slot] = round;
   box.cv.notify_all();
@@ -34,7 +61,16 @@ void shm_transport::consume(std::size_t link, std::uint64_t round,
   mailbox& box = links_.at(link);
   const std::size_t slot = round & 1U;
   std::unique_lock<std::mutex> lock(box.m);
-  box.cv.wait(lock, [&] { return box.round[slot] == round; });
+  box.cv.wait(lock, [&] {
+    return box.round[slot] == round ||
+           closed_.load(std::memory_order_acquire);
+  });
+  if (box.round[slot] != round) {
+    // Shut down with the round never published: the producer (the
+    // exchanger's own thread) is gone, so it never will be.
+    throw exchange_error(link, -1, -1, round,
+                         "transport shut down before the round arrived");
+  }
   if (box.buf[slot].size() != out.size()) {
     throw std::logic_error("shm_transport: payload size mismatch on link " +
                            std::to_string(link));
@@ -42,6 +78,286 @@ void shm_transport::consume(std::size_t link, std::uint64_t round,
   std::memcpy(out.data(), box.buf[slot].data(), out.size());
   box.round[slot] = 0;
   box.cv.notify_all();
+}
+
+void shm_transport::shutdown() {
+  closed_.store(true, std::memory_order_release);
+  for (mailbox& box : links_) {
+    std::lock_guard<std::mutex> lock(box.m);
+    box.cv.notify_all();
+  }
+}
+
+// --- reliable_transport -----------------------------------------------
+
+reliable_transport::reliable_transport(
+    std::shared_ptr<wire::datagram_wire> wire, std::size_t nlinks,
+    reliable_options opts)
+    : wire_(std::move(wire)), opts_(opts), links_(nlinks) {
+  if (wire_ == nullptr) {
+    throw std::invalid_argument(
+        "op2: reliable_transport needs a datagram wire");
+  }
+  if (opts_.timeout_ms < 1 || opts_.retries < 0) {
+    throw std::invalid_argument(
+        "op2: reliable_transport needs timeout_ms >= 1 and retries >= 0");
+  }
+  pump_ = std::thread([this] { pump_loop(); });
+}
+
+reliable_transport::~reliable_transport() {
+  shutdown();
+  pump_.join();
+}
+
+void reliable_transport::map_link(std::size_t link, int from, int to) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  links_.at(link).from = from;
+  links_.at(link).to = to;
+}
+
+std::chrono::milliseconds reliable_transport::consume_budget() const {
+  // Worst case before a lost frame kills its link: the sum of the
+  // exponential backoff windows, timeout * (2^(retries+1) - 1).  The
+  // consume deadline doubles that (the producer may publish late) so a
+  // round that can never arrive still throws instead of hanging.
+  const long long window =
+      static_cast<long long>(opts_.timeout_ms) *
+      ((1LL << (opts_.retries + 1)) - 1);
+  return std::chrono::milliseconds(2 * window + 4 * opts_.timeout_ms);
+}
+
+void reliable_transport::publish(std::size_t link, std::uint64_t round,
+                                 std::span<const std::byte> bytes) {
+  std::vector<std::byte> frame;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    link_state& L = links_.at(link);
+    if (closing_) {
+      throw exchange_error(link, L.from, L.to, round, "transport shut down");
+    }
+    if (L.dead) {
+      throw exchange_error(link, L.from, L.to, round,
+                           "link dead: " + L.dead_reason);
+    }
+    const std::uint64_t seq = ++L.send_seq;
+    frame = wire::encode_frame(wire::frame_type::data,
+                               static_cast<std::uint32_t>(link), round, seq,
+                               bytes);
+    L.pending.push_back(pending_send{
+        seq, round, frame, 1,
+        std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(opts_.timeout_ms)});
+    L.stats.frames_sent += 1;
+  }
+  wire_->send(link, frame, std::chrono::microseconds{0});
+}
+
+void reliable_transport::consume(std::size_t link, std::uint64_t round,
+                                 std::span<std::byte> out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  link_state& L = links_.at(link);
+  const auto deadline = std::chrono::steady_clock::now() + consume_budget();
+  cv_.wait_until(lock, deadline, [&] {
+    return L.delivered.count(round) != 0 || L.dead || closing_;
+  });
+  auto it = L.delivered.find(round);
+  if (it != L.delivered.end()) {
+    if (it->second.size() != out.size()) {
+      throw std::logic_error(
+          "reliable_transport: payload size mismatch on link " +
+          std::to_string(link));
+    }
+    std::memcpy(out.data(), it->second.data(), out.size());
+    L.delivered.erase(it);
+    return;
+  }
+  L.stats.wire_errors += 1;
+  if (L.dead) {
+    throw exchange_error(link, L.from, L.to, round,
+                         "link dead: " + L.dead_reason);
+  }
+  if (closing_) {
+    throw exchange_error(link, L.from, L.to, round,
+                         "transport shut down before the round arrived");
+  }
+  throw exchange_error(link, L.from, L.to, round,
+                       "timed out waiting for the round to arrive");
+}
+
+void reliable_transport::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closing_) {
+      return;
+    }
+    closing_ = true;
+  }
+  cv_.notify_all();
+  wire_->close();  // wakes the pump's recv; pump exits on closing_
+}
+
+wire::wire_stats reliable_transport::wire_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  wire::wire_stats total = orphan_stats_;
+  for (const link_state& L : links_) {
+    total += L.stats;
+  }
+  return total;
+}
+
+wire::wire_stats reliable_transport::link_wire_stats(std::size_t link) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return links_.at(link).stats;
+}
+
+bool reliable_transport::link_dead(std::size_t link) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return links_.at(link).dead;
+}
+
+void reliable_transport::fail_link_locked(std::size_t link,
+                                          std::uint64_t round,
+                                          const std::string& reason) {
+  link_state& L = links_.at(link);
+  if (L.dead) {
+    return;
+  }
+  L.dead = true;
+  L.dead_reason = reason + " (round " + std::to_string(round) + ")";
+  L.stats.dead_links = 1;
+  L.pending.clear();
+  L.out_of_order.clear();
+}
+
+void reliable_transport::handle_frame(
+    const std::vector<std::byte>& buf,
+    std::vector<std::pair<std::size_t, std::vector<std::byte>>>& out) {
+  const wire::decoded_frame f = wire::decode_frame(buf);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (f.status != wire::decode_status::ok) {
+    // Attribute the rejection to the frame's link field when the
+    // header still parses to a valid index, else to the orphan bucket.
+    wire::wire_stats* stats = &orphan_stats_;
+    if (buf.size() >= wire::kFrameHeaderBytes) {
+      std::uint32_t link = 0;
+      std::memcpy(&link, buf.data() + 8, sizeof(link));
+      if (link < links_.size()) {
+        stats = &links_[link].stats;
+      }
+    }
+    stats->corrupt_dropped += 1;
+    return;
+  }
+  if (f.link >= links_.size()) {
+    orphan_stats_.corrupt_dropped += 1;
+    return;
+  }
+  link_state& L = links_[f.link];
+  if (f.type == wire::frame_type::ack) {
+    // Cumulative: everything up to f.seq is acknowledged.
+    bool cleared = false;
+    while (!L.pending.empty() && L.pending.front().seq <= f.seq) {
+      L.pending.pop_front();
+      cleared = true;
+    }
+    if (cleared) {
+      L.consecutive_timeouts = 0;
+    }
+    return;
+  }
+  L.stats.frames_received += 1;
+  if (f.seq <= L.recv_seq || L.out_of_order.count(f.seq) != 0) {
+    // Already delivered (or already stashed): a duplicate.  Re-ack so
+    // the producer stops retransmitting the frame we dropped.
+    L.stats.dup_dropped += 1;
+  } else {
+    L.out_of_order.emplace(
+        f.seq, stashed{f.round, {f.payload.begin(), f.payload.end()}});
+    // Deliver the in-order prefix.
+    bool delivered = false;
+    for (auto it = L.out_of_order.begin();
+         it != L.out_of_order.end() && it->first == L.recv_seq + 1;
+         it = L.out_of_order.erase(it)) {
+      L.recv_seq = it->first;
+      L.delivered[it->second.round] = std::move(it->second.payload);
+      delivered = true;
+    }
+    if (delivered) {
+      cv_.notify_all();
+    }
+  }
+  // Ack the highest in-order seq (also re-acks after duplicates).
+  out.emplace_back(f.link,
+                   wire::encode_frame(wire::frame_type::ack, f.link, 0,
+                                      L.recv_seq, {}));
+  L.stats.acks_sent += 1;
+}
+
+void reliable_transport::scan_retransmits(
+    std::vector<std::pair<std::size_t, std::vector<std::byte>>>& out) {
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mutex_);
+  bool failed = false;
+  for (std::size_t li = 0; li < links_.size(); ++li) {
+    link_state& L = links_[li];
+    if (L.dead) {
+      continue;
+    }
+    for (pending_send& p : L.pending) {
+      if (p.deadline > now) {
+        continue;
+      }
+      L.stats.timeouts += 1;
+      L.consecutive_timeouts += 1;
+      if (p.attempts > opts_.retries) {
+        // The health threshold: 1 + retries consecutive timeouts on
+        // one frame means nobody is acking — the link is dead.
+        fail_link_locked(
+            li, p.round,
+            "retransmit budget exhausted after " +
+                std::to_string(p.attempts) + " attempts");
+        failed = true;
+        break;  // pending was cleared
+      }
+      p.attempts += 1;
+      p.deadline = now + std::chrono::milliseconds(
+                             static_cast<long long>(opts_.timeout_ms)
+                             << (p.attempts - 1));
+      L.stats.retransmits += 1;
+      out.emplace_back(li, p.frame);
+    }
+  }
+  if (failed) {
+    cv_.notify_all();
+  }
+}
+
+void reliable_transport::pump_loop() {
+  // The receive tick bounds how stale a retransmit deadline can get;
+  // a quarter of the base timeout keeps the backoff schedule honest
+  // without busy-spinning.
+  const auto tick =
+      std::chrono::milliseconds(std::max(1, opts_.timeout_ms / 4));
+  std::vector<std::byte> buf;
+  std::vector<std::pair<std::size_t, std::vector<std::byte>>> to_send;
+  for (;;) {
+    const bool got = wire_->recv(buf, tick);
+    to_send.clear();
+    if (got) {
+      handle_frame(buf, to_send);
+    }
+    scan_retransmits(to_send);
+    for (const auto& [link, frame] : to_send) {
+      wire_->send(link, frame, std::chrono::microseconds{0});
+    }
+    if (!got) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closing_) {
+        return;  // wire closed and drained
+      }
+    }
+  }
 }
 
 // --- halo_exchanger ---------------------------------------------------
@@ -83,7 +399,7 @@ halo_exchanger::halo_exchanger(const halo_partition* hp,
     }
   }
   if (transport_ == nullptr) {
-    transport_ = std::make_shared<shm_transport>(link_of_.size());
+    make_default_transport();
   }
 
   for (int s = 0; s < hp_->nshards; ++s) {
@@ -96,17 +412,62 @@ halo_exchanger::halo_exchanger(const halo_partition* hp,
   progress_ = std::thread([this] { progress_loop(); });
 }
 
-halo_exchanger::~halo_exchanger() {
-  for (auto& f : fences_) {
-    f.wait();
+void halo_exchanger::make_default_transport() {
+  const config& cfg = current_config();
+  const bool chaos = wire::wire_fault_injector::active();
+  if (cfg.wire != "reliable" && !chaos) {
+    transport_ = std::make_shared<shm_transport>(link_of_.size());
+    return;
   }
-  flush_stats();
+  // The full wire stack: framed datagrams over the in-process carrier,
+  // chaos injection when configured, the reliability protocol on top.
+  std::shared_ptr<wire::datagram_wire> w = std::make_shared<wire::shm_wire>();
+  if (chaos) {
+    auto decorated =
+        std::make_shared<wire::chaos_transport>(w,
+                                                wire::wire_fault_injector::state());
+    for (std::size_t li = 0; li < link_of_.size(); ++li) {
+      decorated->map_link(li, link_of_[li].first, link_of_[li].second);
+    }
+    w = decorated;
+  }
+  reliable_options opts;
+  opts.timeout_ms = cfg.wire_timeout_ms;
+  opts.retries = cfg.wire_retries;
+  auto rel =
+      std::make_shared<reliable_transport>(std::move(w), link_of_.size(),
+                                           opts);
+  for (std::size_t li = 0; li < link_of_.size(); ++li) {
+    rel->map_link(li, link_of_[li].first, link_of_[li].second);
+  }
+  transport_ = std::move(rel);
+}
+
+halo_exchanger::~halo_exchanger() {
+  // Shutdown order matters for the "mid-round destruction" case:
+  //   1. the sentinel goes BEHIND any queued unpack jobs, so rounds
+  //      whose data is (or arrives) on the wire still drain;
+  //   2. the transport's shutdown releases any consume that would
+  //      otherwise block forever (a frame lost on a non-reliable wire,
+  //      a round never published) — those rounds fail their fences
+  //      instead of hanging the progress thread;
+  //   3. after the join, any fence still armed (jobs the progress
+  //      thread never reached) completes with exchange_error so no
+  //      waiter is left stranded.
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     queue_.push_back(unpack_job{});  // shard == -1: shutdown
   }
   queue_cv_.notify_all();
+  transport_->shutdown();
   progress_.join();
+  for (auto& f : fences_) {
+    if (!f.ready()) {
+      f.complete_error(std::make_exception_ptr(exchange_error(
+          npos, -1, -1, round_, "halo exchanger destroyed mid-round")));
+    }
+  }
+  flush_stats();
 }
 
 std::size_t halo_exchanger::link_index(int from, int to) const {
@@ -125,6 +486,14 @@ void halo_exchanger::flush_stats() {
     const double blocked_s = f.last_blocked_seconds();
     profiling::record_shard_exchange(
         s, exchange_s, std::max(0.0, exchange_s - blocked_s), blocked_s);
+    // Wire columns: the shard's inbound links, cumulative counters
+    // (record_shard_wire overwrites, it does not accumulate).
+    wire::wire_stats in;
+    for (const auto& link : hp_->shards[static_cast<std::size_t>(s)].imports) {
+      in += transport_->link_wire_stats(link_index(link.peer, s));
+    }
+    profiling::record_shard_wire(s, in.retransmits, in.wire_errors,
+                                 in.dead_links);
   }
 }
 
@@ -142,21 +511,32 @@ void halo_exchanger::exchange() {
   // Pack + publish every export on the calling thread: gather the
   // exported rows by ascending global id — exactly the order the
   // importer's matching link expects.
-  for (int s = 0; s < hp_->nshards; ++s) {
-    const auto& sp = hp_->shards[static_cast<std::size_t>(s)];
-    std::span<const std::byte> src =
-        dats_[static_cast<std::size_t>(s)].raw_bytes();
-    for (const auto& link : sp.exports) {
-      pack_buf_.resize(link.elements.size() * row_bytes_);
-      for (std::size_t i = 0; i < link.elements.size(); ++i) {
-        const int local = sp.local_of[static_cast<std::size_t>(
-            link.elements[i])];
-        std::memcpy(pack_buf_.data() + i * row_bytes_,
-                    src.data() + static_cast<std::size_t>(local) * row_bytes_,
-                    row_bytes_);
+  try {
+    for (int s = 0; s < hp_->nshards; ++s) {
+      const auto& sp = hp_->shards[static_cast<std::size_t>(s)];
+      std::span<const std::byte> src =
+          dats_[static_cast<std::size_t>(s)].raw_bytes();
+      for (const auto& link : sp.exports) {
+        pack_buf_.resize(link.elements.size() * row_bytes_);
+        for (std::size_t i = 0; i < link.elements.size(); ++i) {
+          const int local = sp.local_of[static_cast<std::size_t>(
+              link.elements[i])];
+          std::memcpy(pack_buf_.data() + i * row_bytes_,
+                      src.data() +
+                          static_cast<std::size_t>(local) * row_bytes_,
+                      row_bytes_);
+        }
+        transport_->publish(link_index(s, link.peer), round_, pack_buf_);
       }
-      transport_->publish(link_index(s, link.peer), round_, pack_buf_);
     }
+  } catch (...) {
+    // A failed publish (dead link, shut-down transport) aborts the
+    // round: resolve every fence with the error so no waiter hangs,
+    // then let the driver see it.
+    for (auto& f : fences_) {
+      f.complete_error(std::current_exception());
+    }
+    throw;
   }
 
   {
@@ -186,12 +566,22 @@ void halo_exchanger::progress_loop() {
 
 void halo_exchanger::unpack(const unpack_job& job) {
   const auto& sp = hp_->shards[static_cast<std::size_t>(job.shard)];
+  shard_fence& fence = fences_[static_cast<std::size_t>(job.shard)];
   // Drain every inbound link first, then honour the simulated link
   // latency as an absolute deadline (so N shards' delays overlap on
   // this single thread), then scatter into the halo region.
-  for (const auto& link : sp.imports) {
-    const std::size_t li = link_index(link.peer, job.shard);
-    transport_->consume(li, job.round, consume_buf_[li]);
+  try {
+    for (const auto& link : sp.imports) {
+      const std::size_t li = link_index(link.peer, job.shard);
+      transport_->consume(li, job.round, consume_buf_[li]);
+    }
+  } catch (...) {
+    // Link-failure recovery: the shard's round cannot complete.  The
+    // fence carries the error to every gated chunk — the loop fails
+    // structurally (retry -> ladder -> loop_error) instead of hanging,
+    // and the job layer's retry/backoff + checkpoint restart heal it.
+    fence.complete_error(std::current_exception());
+    return;
   }
   if (!sp.imports.empty()) {
     std::this_thread::sleep_until(job.deadline);
@@ -208,7 +598,7 @@ void halo_exchanger::unpack(const unpack_job& job) {
                   buf.data() + i * row_bytes_, row_bytes_);
     }
   }
-  fences_[static_cast<std::size_t>(job.shard)].complete();
+  fence.complete();
 }
 
 }  // namespace op2

@@ -298,6 +298,18 @@ void record_shard_exchange(int shard, double exchange_seconds,
   s.blocked_seconds += blocked_seconds;
 }
 
+void record_shard_wire(int shard, std::uint64_t retransmits,
+                       std::uint64_t wire_errors, std::uint64_t dead_links) {
+  if (!enabled()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(g_mutex);
+  auto& s = g_shards[shard];
+  s.retransmits = retransmits;
+  s.wire_errors = wire_errors;
+  s.dead_links = dead_links;
+}
+
 void set_alloc_counter(alloc_counter_fn fn) {
   g_alloc_counter.store(fn, std::memory_order_release);
 }
@@ -414,7 +426,8 @@ void report(std::ostream& out) {
         << std::setw(11) << "halo_depth" << std::setw(10) << "owned"
         << std::setw(10) << "halo" << std::setw(11) << "exchanges"
         << std::setw(13) << "exchange_ms" << std::setw(12) << "overlap_ms"
-        << std::setw(12) << "blocked_ms"
+        << std::setw(12) << "blocked_ms" << std::setw(13) << "retransmits"
+        << std::setw(13) << "wire_errors" << std::setw(12) << "dead_links"
         << "\n";
     for (const auto& [id, s] : shards) {
       out << "  " << std::left << std::setw(8) << id << std::right
@@ -423,7 +436,9 @@ void report(std::ostream& out) {
           << std::setw(13) << std::fixed << std::setprecision(3)
           << 1e3 * s.exchange_seconds << std::setw(12)
           << 1e3 * s.overlap_seconds << std::setw(12)
-          << 1e3 * s.blocked_seconds << "\n";
+          << 1e3 * s.blocked_seconds << std::setw(13) << s.retransmits
+          << std::setw(13) << s.wire_errors << std::setw(12) << s.dead_links
+          << "\n";
     }
   }
   const auto tenants = tenant_snapshot();

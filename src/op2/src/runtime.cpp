@@ -13,6 +13,7 @@
 #include "op2/loop_executor.hpp"
 #include "op2/plan.hpp"
 #include "op2/tuner.hpp"
+#include "op2/wire.hpp"
 
 namespace op2 {
 
@@ -45,6 +46,7 @@ backend enum_for(const std::string& name) {
 /// Applies the resilience environment knobs on top of `cfg`.
 void apply_resilience_env(config& cfg) {
   fault_injector::configure_from_env();
+  wire::wire_fault_injector::configure_from_env();
   if (const char* env = std::getenv("OP2_PREPARED");
       env != nullptr && *env != '\0') {
     const std::string v = env;
@@ -178,6 +180,46 @@ void apply_resilience_env(config& cfg) {
                       "microsecond count, got '") + env + "'");
     }
     cfg.exchange_delay_us = static_cast<int>(us);
+  }
+  if (const char* env = std::getenv("OP2_WIRE");
+      env != nullptr && *env != '\0') {
+    const std::string v = env;
+    if (v == "raw" || v == "reliable") {
+      cfg.wire = v;
+    } else {
+      throw std::invalid_argument(
+          "op2: OP2_WIRE must be raw or reliable, got '" + v + "'");
+    }
+  }
+  if (const char* env = std::getenv("OP2_WIRE_TIMEOUT_MS");
+      env != nullptr && *env != '\0') {
+    long ms = 0;
+    try {
+      ms = std::stol(env);
+    } catch (const std::exception&) {
+      ms = 0;
+    }
+    if (ms < 1) {
+      throw std::invalid_argument(
+          std::string("op2: OP2_WIRE_TIMEOUT_MS must be a positive "
+                      "millisecond count, got '") + env + "'");
+    }
+    cfg.wire_timeout_ms = static_cast<int>(ms);
+  }
+  if (const char* env = std::getenv("OP2_WIRE_RETRIES");
+      env != nullptr && *env != '\0') {
+    long n = -1;
+    try {
+      n = std::stol(env);
+    } catch (const std::exception&) {
+      n = -1;
+    }
+    if (n < 0 || n > 30) {
+      throw std::invalid_argument(
+          std::string("op2: OP2_WIRE_RETRIES must be a retransmit count "
+                      "in [0, 30], got '") + env + "'");
+    }
+    cfg.wire_retries = static_cast<int>(n);
   }
 }
 

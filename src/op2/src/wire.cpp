@@ -1,0 +1,604 @@
+#include "op2/wire.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+
+namespace op2::wire {
+
+// --- CRC32C -----------------------------------------------------------
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc32c_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc & 1U) != 0 ? (crc >> 1) ^ 0x82F63B78U : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& crc32c_table() {
+  static const auto table = make_crc32c_table();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32c(std::span<const std::byte> bytes, std::uint32_t seed) {
+  const auto& table = crc32c_table();
+  std::uint32_t crc = ~seed;
+  for (const std::byte b : bytes) {
+    crc = table[(crc ^ static_cast<std::uint32_t>(b)) & 0xFFU] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+// --- frame codec ------------------------------------------------------
+
+namespace {
+
+void put_u16(std::byte* p, std::uint16_t v) {
+  p[0] = static_cast<std::byte>(v & 0xFFU);
+  p[1] = static_cast<std::byte>(v >> 8);
+}
+
+void put_u32(std::byte* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    p[i] = static_cast<std::byte>((v >> (8 * i)) & 0xFFU);
+  }
+}
+
+void put_u64(std::byte* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<std::byte>((v >> (8 * i)) & 0xFFU);
+  }
+}
+
+std::uint16_t get_u16(const std::byte* p) {
+  return static_cast<std::uint16_t>(static_cast<std::uint16_t>(p[0]) |
+                                    static_cast<std::uint16_t>(p[1]) << 8);
+}
+
+std::uint32_t get_u32(const std::byte* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<std::uint32_t>(p[i]);
+  }
+  return v;
+}
+
+std::uint64_t get_u64(const std::byte* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<std::uint64_t>(p[i]);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::byte> encode_frame(frame_type type, std::uint32_t link,
+                                    std::uint64_t round, std::uint64_t seq,
+                                    std::span<const std::byte> payload) {
+  std::vector<std::byte> frame(kFrameHeaderBytes + payload.size());
+  std::byte* p = frame.data();
+  put_u32(p + 0, kFrameMagic);
+  put_u16(p + 4, kFrameVersion);
+  put_u16(p + 6, static_cast<std::uint16_t>(type));
+  put_u32(p + 8, link);
+  put_u64(p + 12, round);
+  put_u64(p + 20, seq);
+  put_u32(p + 28, static_cast<std::uint32_t>(payload.size()));
+  if (!payload.empty()) {
+    std::memcpy(p + kFrameHeaderBytes, payload.data(), payload.size());
+  }
+  // CRC over the header prefix [0, 32) continued across the payload:
+  // every frame byte except the crc field itself feeds the sum.
+  std::uint32_t crc = crc32c({p, 32});
+  crc = crc32c(std::span<const std::byte>(p + kFrameHeaderBytes,
+                                          payload.size()),
+               crc);
+  put_u32(p + 32, crc);
+  return frame;
+}
+
+decoded_frame decode_frame(std::span<const std::byte> frame) {
+  decoded_frame out;
+  if (frame.size() < kFrameHeaderBytes) {
+    out.status = decode_status::truncated;
+    return out;
+  }
+  const std::byte* p = frame.data();
+  if (get_u32(p + 0) != kFrameMagic) {
+    out.status = decode_status::bad_magic;
+    return out;
+  }
+  if (get_u16(p + 4) != kFrameVersion) {
+    out.status = decode_status::bad_version;
+    return out;
+  }
+  const std::uint32_t payload_len = get_u32(p + 28);
+  if (payload_len != frame.size() - kFrameHeaderBytes) {
+    out.status = decode_status::bad_length;
+    return out;
+  }
+  std::uint32_t crc = crc32c({p, 32});
+  crc = crc32c(frame.subspan(kFrameHeaderBytes), crc);
+  if (crc != get_u32(p + 32)) {
+    out.status = decode_status::bad_crc;
+    return out;
+  }
+  const std::uint16_t t = get_u16(p + 6);
+  if (t != static_cast<std::uint16_t>(frame_type::data) &&
+      t != static_cast<std::uint16_t>(frame_type::ack)) {
+    out.status = decode_status::bad_crc;  // unreachable given the CRC
+    return out;
+  }
+  out.status = decode_status::ok;
+  out.type = static_cast<frame_type>(t);
+  out.link = get_u32(p + 8);
+  out.round = get_u64(p + 12);
+  out.seq = get_u64(p + 20);
+  out.payload = frame.subspan(kFrameHeaderBytes);
+  return out;
+}
+
+const char* to_string(decode_status s) {
+  switch (s) {
+    case decode_status::ok:
+      return "ok";
+    case decode_status::truncated:
+      return "truncated";
+    case decode_status::bad_magic:
+      return "bad_magic";
+    case decode_status::bad_version:
+      return "bad_version";
+    case decode_status::bad_length:
+      return "bad_length";
+    default:
+      return "bad_crc";
+  }
+}
+
+// --- shm_wire ---------------------------------------------------------
+
+void shm_wire::send(std::size_t /*link*/, std::span<const std::byte> frame,
+                    std::chrono::microseconds delay) {
+  const auto deliver_at = std::chrono::steady_clock::now() + delay;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) {
+      return;  // a closed wire swallows frames, like an unplugged NIC
+    }
+    queue_.push_back(parcel{deliver_at, {frame.begin(), frame.end()}});
+  }
+  cv_.notify_all();
+}
+
+bool shm_wire::recv(std::vector<std::byte>& frame,
+                    std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    auto ready = queue_.end();
+    auto next_at = std::chrono::steady_clock::time_point::max();
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->deliver_at <= now) {
+        ready = it;
+        break;
+      }
+      next_at = std::min(next_at, it->deliver_at);
+    }
+    if (ready != queue_.end()) {
+      frame = std::move(ready->bytes);
+      queue_.erase(ready);
+      return true;
+    }
+    if (closed_ || now >= deadline) {
+      return false;
+    }
+    cv_.wait_until(lock, std::min(deadline, next_at));
+  }
+}
+
+void shm_wire::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool shm_wire::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+// --- fault grammar ----------------------------------------------------
+
+const char* to_string(wire_fault_kind k) {
+  switch (k) {
+    case wire_fault_kind::drop:
+      return "drop";
+    case wire_fault_kind::duplicate:
+      return "dup";
+    case wire_fault_kind::reorder:
+      return "reorder";
+    case wire_fault_kind::corrupt:
+      return "corrupt";
+    case wire_fault_kind::stall:
+      return "stall";
+    default:
+      return "none";
+  }
+}
+
+namespace {
+
+[[noreturn]] void bad_wire_spec(const std::string& text,
+                                const std::string& why) {
+  throw std::invalid_argument(
+      "op2: bad OP2_WIRE_FAULT spec '" + text + "': " + why +
+      " (grammar: link=<from>-><to>:<kind>[:key=value[,key=value...]]"
+      "[;...], link=* for any, kind = drop|dup|reorder|corrupt|stall, "
+      "keys = at, prob, seed, count, stall_ms)");
+}
+
+/// Splits the full value into individual specs: ';' always separates,
+/// and ',' separates when the next characters are "link=" (so comma-
+/// joined single-line specs parse while "prob=0.05,seed=42" stays one
+/// option list).
+std::vector<std::string> split_specs(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const bool semi = text[i] == ';';
+    const bool comma_link =
+        text[i] == ',' && text.compare(i + 1, 5, "link=") == 0;
+    if (semi || comma_link) {
+      out.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  out.push_back(text.substr(start));
+  return out;
+}
+
+wire_fault_spec parse_one_spec(const std::string& text) {
+  wire_fault_spec spec;
+  std::vector<std::string> parts;
+  std::string token;
+  std::istringstream in(text);
+  while (std::getline(in, token, ':')) {
+    parts.push_back(token);
+  }
+  if (parts.size() < 2 || parts.size() > 3) {
+    bad_wire_spec(text, "expected link=<from>-><to>:<kind>[:options]");
+  }
+  if (parts[0].rfind("link=", 0) != 0) {
+    bad_wire_spec(text, "spec must start with link=");
+  }
+  const std::string target = parts[0].substr(5);
+  if (target == "*") {
+    spec.from = spec.to = -1;
+  } else {
+    const auto arrow = target.find("->");
+    if (arrow == std::string::npos) {
+      bad_wire_spec(text, "link must be <from>-><to> or *");
+    }
+    try {
+      spec.from = std::stoi(target.substr(0, arrow));
+      spec.to = std::stoi(target.substr(arrow + 2));
+    } catch (const std::exception&) {
+      bad_wire_spec(text, "link endpoints must be shard ids");
+    }
+    if (spec.from < 0 || spec.to < 0) {
+      bad_wire_spec(text, "link endpoints must be non-negative");
+    }
+  }
+  if (parts[1] == "drop") {
+    spec.kind = wire_fault_kind::drop;
+  } else if (parts[1] == "dup" || parts[1] == "duplicate") {
+    spec.kind = wire_fault_kind::duplicate;
+  } else if (parts[1] == "reorder") {
+    spec.kind = wire_fault_kind::reorder;
+  } else if (parts[1] == "corrupt") {
+    spec.kind = wire_fault_kind::corrupt;
+  } else if (parts[1] == "stall") {
+    spec.kind = wire_fault_kind::stall;
+  } else {
+    bad_wire_spec(text, "unknown kind '" + parts[1] + "'");
+  }
+  if (parts.size() == 3) {
+    std::istringstream opts(parts[2]);
+    std::string kv;
+    while (std::getline(opts, kv, ',')) {
+      const auto eq = kv.find('=');
+      if (eq == std::string::npos) {
+        bad_wire_spec(text, "option '" + kv + "' is not key=value");
+      }
+      const std::string key = kv.substr(0, eq);
+      const std::string value = kv.substr(eq + 1);
+      try {
+        if (key == "at") {
+          spec.at = std::stoi(value);
+          if (spec.at < 1) {
+            bad_wire_spec(text, "at must be >= 1");
+          }
+        } else if (key == "prob") {
+          spec.probability = std::stod(value);
+          spec.at = 0;
+          if (spec.probability < 0.0 || spec.probability > 1.0) {
+            bad_wire_spec(text, "prob must be in [0, 1]");
+          }
+        } else if (key == "seed") {
+          spec.seed = static_cast<unsigned>(std::stoul(value));
+        } else if (key == "count") {
+          spec.count = std::stoi(value);
+          if (spec.count == 0 || spec.count < -1) {
+            bad_wire_spec(text, "count must be >= 1 (or -1 for unlimited)");
+          }
+        } else if (key == "stall_ms") {
+          spec.stall_ms = std::stoi(value);
+          if (spec.stall_ms < 0) {
+            bad_wire_spec(text, "stall_ms must be >= 0");
+          }
+        } else {
+          bad_wire_spec(text, "unknown option '" + key + "'");
+        }
+      } catch (const std::invalid_argument&) {
+        throw;
+      } catch (const std::exception&) {
+        bad_wire_spec(text, "malformed value in '" + kv + "'");
+      }
+    }
+  }
+  return spec;
+}
+
+}  // namespace
+
+std::vector<wire_fault_spec> parse_wire_fault_specs(const std::string& text) {
+  std::vector<wire_fault_spec> specs;
+  for (const std::string& one : split_specs(text)) {
+    if (one.empty()) {
+      bad_wire_spec(text, "empty spec");
+    }
+    specs.push_back(parse_one_spec(one));
+  }
+  return specs;
+}
+
+// --- chaos_state ------------------------------------------------------
+
+chaos_state::chaos_state(std::vector<wire_fault_spec> specs) {
+  for (wire_fault_spec& s : specs) {
+    armed_spec armed;
+    armed.spec = s;
+    armed.rng.seed(s.seed);
+    armed.fires_remaining =
+        s.count < 0 ? std::numeric_limits<int>::max() : s.count;
+    specs_.push_back(std::move(armed));
+  }
+}
+
+chaos_state::decision chaos_state::decide(int from, int to) {
+  decision out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (armed_spec& a : specs_) {
+    const wire_fault_spec& s = a.spec;
+    const bool matches = (s.from < 0 || s.from == from) &&
+                         (s.to < 0 || s.to == to);
+    if (!matches || a.fires_remaining <= 0) {
+      continue;
+    }
+    a.invocations += 1;
+    bool fire = false;
+    if (s.at > 0) {
+      fire = a.invocations == static_cast<std::uint64_t>(s.at) ||
+             (s.count != 1 && a.invocations > static_cast<std::uint64_t>(s.at));
+    } else {
+      std::uniform_real_distribution<double> dist(0.0, 1.0);
+      fire = dist(a.rng) < s.probability;
+    }
+    if (!fire) {
+      continue;
+    }
+    a.fires_remaining -= 1;
+    fired_.fetch_add(1, std::memory_order_acq_rel);
+    out.kind = s.kind;
+    out.stall_ms = s.stall_ms;
+    if (s.kind == wire_fault_kind::corrupt) {
+      out.corrupt_bit = a.rng();
+    }
+    return out;  // first firing spec wins for this frame
+  }
+  return out;
+}
+
+// --- wire_fault_injector ----------------------------------------------
+
+namespace {
+std::mutex g_wire_fault_mutex;
+std::shared_ptr<chaos_state> g_wire_fault_state;
+std::atomic<bool> g_wire_fault_active{false};
+}  // namespace
+
+void wire_fault_injector::configure(const std::string& text) {
+  configure(parse_wire_fault_specs(text));
+}
+
+void wire_fault_injector::configure(std::vector<wire_fault_spec> specs) {
+  if (specs.empty()) {
+    throw std::invalid_argument(
+        "op2: wire_fault_injector::configure needs at least one spec");
+  }
+  auto fresh = std::make_shared<chaos_state>(std::move(specs));
+  std::lock_guard<std::mutex> lock(g_wire_fault_mutex);
+  g_wire_fault_state = std::move(fresh);
+  g_wire_fault_active.store(true, std::memory_order_release);
+}
+
+bool wire_fault_injector::configure_from_env() {
+  const char* env = std::getenv("OP2_WIRE_FAULT");
+  if (env == nullptr || *env == '\0') {
+    return false;
+  }
+  configure(std::string(env));
+  return true;
+}
+
+void wire_fault_injector::clear() {
+  std::lock_guard<std::mutex> lock(g_wire_fault_mutex);
+  g_wire_fault_state.reset();
+  g_wire_fault_active.store(false, std::memory_order_release);
+}
+
+bool wire_fault_injector::active() {
+  return g_wire_fault_active.load(std::memory_order_acquire);
+}
+
+int wire_fault_injector::fired_count() {
+  std::lock_guard<std::mutex> lock(g_wire_fault_mutex);
+  return g_wire_fault_state != nullptr ? g_wire_fault_state->fired() : 0;
+}
+
+std::shared_ptr<chaos_state> wire_fault_injector::state() {
+  std::lock_guard<std::mutex> lock(g_wire_fault_mutex);
+  return g_wire_fault_state;
+}
+
+// --- chaos_transport --------------------------------------------------
+
+chaos_transport::chaos_transport(std::shared_ptr<datagram_wire> inner,
+                                 std::shared_ptr<chaos_state> state)
+    : inner_(std::move(inner)), state_(std::move(state)) {
+  if (inner_ == nullptr) {
+    throw std::invalid_argument("op2: chaos_transport needs an inner wire");
+  }
+}
+
+chaos_transport::chaos_transport(std::shared_ptr<datagram_wire> inner,
+                                 std::vector<wire_fault_spec> specs)
+    : chaos_transport(std::move(inner),
+                      std::make_shared<chaos_state>(std::move(specs))) {}
+
+void chaos_transport::map_link(std::size_t link, int from, int to) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (links_.size() <= link) {
+    links_.resize(link + 1, {-1, -1});
+    pockets_.resize(link + 1);
+  }
+  links_[link] = {from, to};
+}
+
+void chaos_transport::send(std::size_t link,
+                           std::span<const std::byte> frame,
+                           std::chrono::microseconds delay) {
+  int from = -1;
+  int to = -1;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (link < links_.size()) {
+      std::tie(from, to) = links_[link];
+    }
+  }
+  if (from < 0 || state_ == nullptr) {
+    inner_->send(link, frame, delay);
+    return;
+  }
+  // Acks travel the reverse direction of their link; match them so.
+  if (frame.size() >= kFrameHeaderBytes) {
+    const auto t = static_cast<std::uint16_t>(frame[6]) |
+                   static_cast<std::uint16_t>(frame[7]) << 8;
+    if (t == static_cast<std::uint16_t>(frame_type::ack)) {
+      std::swap(from, to);
+    }
+  }
+  const chaos_state::decision d = state_->decide(from, to);
+  switch (d.kind) {
+    case wire_fault_kind::drop:
+      return;
+    case wire_fault_kind::duplicate:
+      inner_->send(link, frame, delay);
+      inner_->send(link, frame, delay);
+      return;
+    case wire_fault_kind::reorder: {
+      // Pocket this frame; it goes out after the NEXT send on the link
+      // (send_pocketed below).  A pocket that is already full flushes
+      // first so at most one frame is ever held back per link.
+      std::vector<std::byte> flush;
+      std::chrono::microseconds flush_delay{0};
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        pocket& pk = pockets_[link];
+        if (pk.full) {
+          flush = std::move(pk.bytes);
+          flush_delay = pk.delay;
+        }
+        pk.full = true;
+        pk.bytes.assign(frame.begin(), frame.end());
+        pk.delay = delay;
+      }
+      if (!flush.empty()) {
+        inner_->send(link, flush, flush_delay);
+      }
+      return;
+    }
+    case wire_fault_kind::corrupt: {
+      std::vector<std::byte> bent(frame.begin(), frame.end());
+      if (!bent.empty()) {
+        const std::size_t bit = d.corrupt_bit % (bent.size() * 8);
+        bent[bit / 8] ^= static_cast<std::byte>(1U << (bit % 8));
+      }
+      inner_->send(link, bent, delay);
+      return;
+    }
+    case wire_fault_kind::stall:
+      inner_->send(link, frame,
+                   delay + std::chrono::microseconds(
+                               static_cast<long long>(d.stall_ms) * 1000));
+      return;
+    default:
+      break;
+  }
+  inner_->send(link, frame, delay);
+  // A clean send releases any pocketed frame behind it — the two now
+  // arrive in swapped order.
+  std::vector<std::byte> held;
+  std::chrono::microseconds held_delay{0};
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (link < pockets_.size() && pockets_[link].full) {
+      held = std::move(pockets_[link].bytes);
+      held_delay = pockets_[link].delay;
+      pockets_[link].full = false;
+      pockets_[link].bytes.clear();
+    }
+  }
+  if (!held.empty()) {
+    inner_->send(link, held, held_delay);
+  }
+}
+
+bool chaos_transport::recv(std::vector<std::byte>& frame,
+                           std::chrono::milliseconds timeout) {
+  return inner_->recv(frame, timeout);
+}
+
+void chaos_transport::close() { inner_->close(); }
+
+bool chaos_transport::closed() const { return inner_->closed(); }
+
+}  // namespace op2::wire

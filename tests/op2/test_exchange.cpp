@@ -7,8 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -225,6 +227,46 @@ TEST(ExchangeStress, ConcurrentWaitersManyRounds) {
       f.expect_halos(round);
     }
     EXPECT_EQ(x.rounds(), static_cast<std::uint64_t>(kRounds));
+  }
+  op2::finalize();
+}
+
+/// A transport that never delivers: consume blocks until shutdown()
+/// and then fails the round — the worst case a lost peer can present.
+struct blackhole_transport final : op2::exchange_transport {
+  std::mutex m;
+  std::condition_variable cv;
+  bool down = false;
+
+  void publish(std::size_t, std::uint64_t,
+               std::span<const std::byte>) override {}
+  void consume(std::size_t link, std::uint64_t round,
+               std::span<std::byte>) override {
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [&] { return down; });
+    throw op2::exchange_error(link, -1, -1, round,
+                              "blackhole transport shut down");
+  }
+  void shutdown() override {
+    {
+      std::lock_guard<std::mutex> lock(m);
+      down = true;
+    }
+    cv.notify_all();
+  }
+};
+
+TEST(ExchangeStress, ShutdownReleasesATransportThatNeverDelivers) {
+  // Regression: destroying the exchanger while the progress thread is
+  // blocked in consume() on a round that will never arrive must shut
+  // the transport down, fail the fences and join — not hang.
+  op2::init(op2::make_config("hpx_async", 2));
+  for (int i = 0; i < 10; ++i) {
+    exchanger_fixture f;
+    halo_exchanger x(f.hp.get(), f.dats,
+                     std::make_shared<blackhole_transport>());
+    f.stamp_owned(1);
+    x.exchange();
   }
   op2::finalize();
 }
